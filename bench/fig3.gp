@@ -1,0 +1,21 @@
+# Regenerate the paper's Fig. 3 from a scenario CSV:
+#   dune exec bin/ovsdos.exe -- attack --csv fig3.csv
+#   gnuplot -e "csv='fig3.csv'" bench/fig3.gp
+# Produces fig3.png: victim throughput (left axis, linear) and megaflow
+# count (right axis, log), attack at t=60 s — the same two series the
+# paper plots.
+if (!exists("csv")) csv = "fig3.csv"
+set terminal pngcairo size 900,480 font "sans,11"
+set output "fig3.png"
+set datafile separator ","
+set xlabel "Time [sec]"
+set ylabel "Victim throughput [Gbps]"
+set y2label "# megaflow"
+set y2tics
+set logscale y2
+set y2range [1:10000]
+set yrange [0:1.05]
+set key bottom left
+set arrow from 60, graph 0 to 60, graph 1 nohead dashtype 2 lc rgb "gray40"
+plot csv using 1:2 skip 1 with lines lw 2 lc rgb "#1f77b4" title "Victim", \
+     csv using 1:4 skip 1 axes x1y2 with lines lw 2 lc rgb "#d62728" title "#megaflows"
