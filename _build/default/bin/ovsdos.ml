@@ -1,0 +1,317 @@
+(* ovsdos — command-line front end to the policy-injection toolkit.
+
+   Subcommands:
+     expand   print the Fig. 2-style megaflow table for a whitelist ACL
+     predict  closed-form mask counts and covert-stream budget
+     masks    drive the covert sequence through a real datapath
+     pcap     export one covert round as a .pcap file
+     attack   run the Fig. 3 end-to-end scenario *)
+
+open Cmdliner
+open Policy_injection
+
+let ip = Pi_pkt.Ipv4_addr.of_string
+
+(* --- shared arguments --- *)
+
+let variant_conv =
+  let parse s =
+    match Variant.of_name s with
+    | Some v -> Ok v
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown variant %S (expected %s)" s
+                     (String.concat ", " (List.map Variant.name Variant.all))))
+  in
+  Arg.conv (parse, Variant.pp)
+
+let variant_arg =
+  Arg.(value & opt variant_conv Variant.Src_dport
+       & info [ "v"; "variant" ] ~docv:"VARIANT"
+           ~doc:"Attack variant: src-only (32 masks), src-dport (512), \
+                 src-sport-dport (8192, needs Calico).")
+
+let allow_src_arg =
+  Arg.(value & opt string "10.0.0.10"
+       & info [ "allow-src" ] ~docv:"IP" ~doc:"Whitelisted source address.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let spec_of variant allow_src =
+  Policy_gen.default_spec ~variant ~allow_src:(ip allow_src) ()
+
+(* --- expand --- *)
+
+let expand variant allow_src toy =
+  if toy then begin
+    (* The paper's 8-bit illustration (Fig. 2a/2b). *)
+    let trie = Pi_classifier.Trie.create ~width:8 in
+    Pi_classifier.Trie.insert trie ~value:0b00001010L ~len:8;
+    Printf.printf "ACL (Fig. 2a):\n  ip_src    action\n  00001010  allow\n  ********  deny\n\n";
+    Printf.printf "Non-overlapping megaflow entries (Fig. 2b):\n";
+    Printf.printf "  %-10s %-10s %s\n" "Key" "Mask" "Action";
+    Printf.printf "  %-10s %-10s %s\n" "00001010" "11111111" "allow";
+    List.iter
+      (fun (v, len) ->
+        let bits x = String.init 8 (fun i ->
+            if Int64.logand (Int64.shift_right_logical x (7 - i)) 1L = 1L then '1' else '0')
+        in
+        let mask = if len = 0 then 0L else Int64.logand (Int64.shift_left (-1L) (8 - len)) 0xFFL in
+        Printf.printf "  %-10s %-10s %s\n" (bits v) (bits mask) "deny")
+      (Pi_classifier.Trie.complement trie)
+  end
+  else begin
+    let spec = spec_of variant allow_src in
+    let acl = Policy_gen.acl spec in
+    Format.printf "ACL:@.%a@.@." Pi_cms.Acl.pp acl;
+    Format.printf "Compiled flow rules:@.";
+    List.iter
+      (fun (r : Pi_ovs.Action.t Pi_classifier.Rule.t) ->
+        Format.printf "  %a@." (Pi_classifier.Rule.pp Pi_ovs.Action.pp) r)
+      (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2) acl);
+    Format.printf "@.Deny-side megaflow masks an adversary can mint: %d@."
+      (Predict.variant_masks variant)
+  end
+
+let expand_cmd =
+  let toy =
+    Arg.(value & flag
+         & info [ "fig2" ] ~doc:"Print the paper's 8-bit toy table (Fig. 2) verbatim.")
+  in
+  Cmd.v (Cmd.info "expand" ~doc:"Show the megaflow expansion of a whitelist ACL")
+    Term.(const expand $ variant_arg $ allow_src_arg $ toy)
+
+(* --- predict --- *)
+
+let predict pkt_len refresh =
+  Printf.printf "%-18s %8s %10s %12s %14s\n" "variant" "masks" "entries"
+    "packets/rnd" "covert Mb/s";
+  List.iter
+    (fun v ->
+      Printf.printf "%-18s %8d %10d %12d %14.2f\n" (Variant.name v)
+        (Predict.variant_masks v) (Predict.total_entries v)
+        (Predict.covert_packets v)
+        (Predict.covert_bandwidth_bps ~pkt_len ~refresh_period:refresh v /. 1e6))
+    Variant.all;
+  Printf.printf
+    "\n(stock-OVS short-circuit classifier would cap src-dport at %d masks)\n"
+    (Predict.variant_masks ~config:Pi_classifier.Tss.ovs_default_config
+       Variant.Src_dport)
+
+let predict_cmd =
+  let pkt_len =
+    Arg.(value & opt int 100
+         & info [ "pkt-len" ] ~docv:"BYTES" ~doc:"Covert frame size.")
+  in
+  let refresh =
+    Arg.(value & opt float 5.
+         & info [ "refresh" ] ~docv:"SECONDS" ~doc:"Megaflow refresh period.")
+  in
+  Cmd.v (Cmd.info "predict" ~doc:"Closed-form mask counts and covert budget")
+    Term.(const predict $ pkt_len $ refresh)
+
+(* --- masks --- *)
+
+let masks variant allow_src seed =
+  let spec = spec_of variant allow_src in
+  let dp = Pi_ovs.Datapath.create (Pi_pkt.Prng.create (Int64.of_int seed)) () in
+  Pi_ovs.Datapath.install_rules dp
+    (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2) (Policy_gen.acl spec));
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  let flows = Packet_gen.flows ~seed:(Int64.of_int seed) gen in
+  List.iter
+    (fun f -> ignore (Pi_ovs.Datapath.process dp ~now:0. f ~pkt_len:100))
+    flows;
+  Printf.printf "covert packets sent: %d\n" (List.length flows);
+  Printf.printf "megaflow masks:      %d (predicted %d)\n"
+    (Pi_ovs.Datapath.n_masks dp) (Predict.variant_masks variant);
+  Printf.printf "megaflow entries:    %d\n" (Pi_ovs.Datapath.n_megaflows dp);
+  Printf.printf "upcalls:             %d\n" (Pi_ovs.Datapath.n_upcalls dp)
+
+let masks_cmd =
+  Cmd.v (Cmd.info "masks" ~doc:"Drive the covert sequence through a datapath")
+    Term.(const masks $ variant_arg $ allow_src_arg $ seed_arg)
+
+(* --- dump --- *)
+
+let dump variant allow_src seed max =
+  let spec = spec_of variant allow_src in
+  let dp = Pi_ovs.Datapath.create (Pi_pkt.Prng.create (Int64.of_int seed)) () in
+  Pi_ovs.Datapath.install_rules dp
+    (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2) (Policy_gen.acl spec));
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  List.iter
+    (fun f -> ignore (Pi_ovs.Datapath.process dp ~now:0. f ~pkt_len:100))
+    (Packet_gen.flows ~seed:(Int64.of_int seed) gen);
+  Printf.printf "# %d megaflows across %d masks after one covert round\n"
+    (Pi_ovs.Datapath.n_megaflows dp) (Pi_ovs.Datapath.n_masks dp);
+  Pi_ovs.Megaflow.dump ~max Format.std_formatter (Pi_ovs.Datapath.megaflow dp)
+
+let dump_cmd =
+  let max =
+    Arg.(value & opt int 40
+         & info [ "max" ] ~docv:"N" ~doc:"Maximum entries to print.")
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"ovs-dpctl-style dump of the megaflow cache after an attack round")
+    Term.(const dump $ variant_arg $ allow_src_arg $ seed_arg $ max)
+
+(* --- pcap --- *)
+
+let pcap variant allow_src seed rate out =
+  let spec = spec_of variant allow_src in
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  let records = Packet_gen.to_pcap ~seed:(Int64.of_int seed) ~rate_pps:rate gen in
+  Pi_pkt.Pcap.write_file out records;
+  Printf.printf "wrote %d covert packets to %s (%.2f Mb/s at %g pps)\n"
+    (List.length records) out
+    (rate *. 100. *. 8. /. 1e6) rate
+
+let pcap_cmd =
+  let rate =
+    Arg.(value & opt float 2000.
+         & info [ "rate" ] ~docv:"PPS" ~doc:"Pacing of the exported stream.")
+  in
+  let out =
+    Arg.(value & opt string "covert.pcap"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v (Cmd.info "pcap" ~doc:"Export one covert round as a pcap capture")
+    Term.(const pcap $ variant_arg $ allow_src_arg $ seed_arg $ rate $ out)
+
+(* --- detect --- *)
+
+let detect variant duration start =
+  let open Pi_sim in
+  let a =
+    { Scenario.default_attack with Scenario.variant; start }
+  in
+  let p =
+    { Scenario.default_params with
+      Scenario.duration;
+      victim_flows = 3000;
+      victim_samples_per_tick = 300;
+      attack = Some a }
+  in
+  let r = Scenario.run p in
+  let det = Pi_mitigation.Detector.create () in
+  let first_alarm = ref None in
+  List.iter
+    (fun s ->
+      match
+        Pi_mitigation.Detector.observe det ~now:s.Scenario.time
+          ~n_masks:s.Scenario.n_masks
+          ~avg_probes:(s.Scenario.victim_cycles_per_pkt /. 100.)
+      with
+      | Some alarm when !first_alarm = None -> first_alarm := Some alarm
+      | Some _ | None -> ())
+    r.Scenario.samples;
+  (match !first_alarm with
+   | Some alarm ->
+     Format.printf "first alarm: %a@." Pi_mitigation.Detector.pp_alarm alarm;
+     Format.printf "detection delay: %.1f s after attack start@."
+       (alarm.Pi_mitigation.Detector.at -. start)
+   | None -> print_endline "no alarm raised");
+  Printf.printf "total alarms over the run: %d\n"
+    (List.length (Pi_mitigation.Detector.alarms det))
+
+let detect_cmd =
+  let duration =
+    Arg.(value & opt float 60.
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let start =
+    Arg.(value & opt float 20.
+         & info [ "start" ] ~docv:"SECONDS" ~doc:"Attack start time.")
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Run the attack under the provider-side detector and report alarms")
+    Term.(const detect $ variant_arg $ duration $ start)
+
+(* --- attack --- *)
+
+let write_csv path samples =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        "time,victim_gbps,offered_gbps,n_masks,n_megaflows,emc_hit_rate,loss\n";
+      List.iter
+        (fun (s : Pi_sim.Scenario.sample) ->
+          Printf.fprintf oc "%.1f,%.6f,%.3f,%d,%d,%.4f,%.4f\n"
+            s.Pi_sim.Scenario.time s.Pi_sim.Scenario.victim_gbps
+            s.Pi_sim.Scenario.offered_gbps s.Pi_sim.Scenario.n_masks
+            s.Pi_sim.Scenario.n_megaflows s.Pi_sim.Scenario.emc_hit_rate
+            s.Pi_sim.Scenario.loss)
+        samples)
+
+let attack variant duration start offered every coarse csv =
+  let open Pi_sim in
+  let a = { Scenario.default_attack with Scenario.variant; start } in
+  let dc =
+    if coarse then
+      { Scenario.default_params.Scenario.datapath_config with
+        Pi_ovs.Datapath.megaflow_transform =
+          Some (Pi_mitigation.Heuristics.round_up_prefix ~granularity:8) }
+    else Scenario.default_params.Scenario.datapath_config
+  in
+  let p =
+    { Scenario.default_params with
+      Scenario.duration;
+      victim_offered_gbps = offered;
+      attack = Some a;
+      datapath_config = dc }
+  in
+  let r = Scenario.run p in
+  Format.printf "%a@." Scenario.pp_sample_header ();
+  List.iter
+    (fun s ->
+      if int_of_float s.Scenario.time mod every = 0 then
+        Format.printf "%a@." Scenario.pp_sample s)
+    r.Scenario.samples;
+  Format.printf "@.pre-attack mean: %.3f Gbps, post-attack mean: %.3f Gbps, peak masks: %d@."
+    r.Scenario.pre_attack_mean_gbps r.Scenario.post_attack_mean_gbps
+    r.Scenario.peak_masks;
+  match csv with
+  | Some path ->
+    write_csv path r.Scenario.samples;
+    Format.printf "samples written to %s (plot with bench/fig3.gp)@." path
+  | None -> ()
+
+let attack_cmd =
+  let duration =
+    Arg.(value & opt float 150.
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let start =
+    Arg.(value & opt float 60.
+         & info [ "start" ] ~docv:"SECONDS" ~doc:"Attack start time.")
+  in
+  let offered =
+    Arg.(value & opt float 1.0
+         & info [ "offered" ] ~docv:"GBPS" ~doc:"Victim offered load.")
+  in
+  let every =
+    Arg.(value & opt int 5
+         & info [ "every" ] ~docv:"SECONDS" ~doc:"Print one sample per N seconds.")
+  in
+  let coarse =
+    Arg.(value & flag & info [ "mitigate" ] ~doc:"Enable the coarsened un-wildcarding mitigation.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write per-second samples as CSV.")
+  in
+  Cmd.v (Cmd.info "attack" ~doc:"Run the Fig. 3 end-to-end scenario")
+    Term.(const attack $ variant_arg $ duration $ start $ offered $ every $ coarse $ csv)
+
+let main_cmd =
+  let doc = "policy injection: a cloud dataplane DoS attack (SIGCOMM'18 reproduction)" in
+  Cmd.group (Cmd.info "ovsdos" ~version:"1.0.0" ~doc)
+    [ expand_cmd; predict_cmd; masks_cmd; dump_cmd; pcap_cmd; detect_cmd;
+      attack_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

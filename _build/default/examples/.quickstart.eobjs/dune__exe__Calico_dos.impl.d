@@ -1,0 +1,1 @@
+examples/calico_dos.ml: Format List Pi_sim Policy_injection Predict Printf Scenario Variant

@@ -1,0 +1,1 @@
+examples/calico_dos.mli:

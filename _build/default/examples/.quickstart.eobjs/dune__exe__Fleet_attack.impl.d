@@ -1,0 +1,1 @@
+examples/fleet_attack.ml: Attack Campaign Format List Pi_classifier Pi_cms Pi_ovs Pi_pkt Policy_injection Printf Seq Variant

@@ -1,0 +1,1 @@
+examples/mitigation_comparison.ml: Action Cost_model Datapath Flow Format Lazy List Packet_gen Pi_classifier Pi_cms Pi_mitigation Pi_ovs Pi_pkt Policy_gen Policy_injection Printf Variant

@@ -1,0 +1,1 @@
+examples/openstack_sg.ml: Format List Packet_gen Pi_classifier Pi_cms Pi_ovs Pi_pkt Policy_gen Policy_injection Predict Printf Variant

@@ -1,0 +1,1 @@
+examples/openstack_sg.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action Cost_model Datapath Flow Format Int32 List Mask Megaflow Pi_classifier Pi_cms Pi_ovs Pi_pkt Printf Switch

@@ -1,0 +1,1 @@
+examples/tenant_probe.ml: Flow Format List Mask Packet_gen Pi_classifier Pi_cms Pi_mitigation Pi_ovs Pi_pkt Policy_gen Policy_injection Printf Variant

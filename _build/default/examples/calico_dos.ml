@@ -1,0 +1,40 @@
+(* The full-blown DoS (Fig. 3): Calico's source-port filters push the
+   attack to 8192 megaflow masks, and a 1.3 Mb/s covert stream collapses
+   a victim's 1 Gb/s traffic on the same host.
+
+   This reruns the paper's Fig. 3 experiment end to end (150 simulated
+   seconds, attack at t=60 s) and prints the same two series the figure
+   plots: victim throughput and megaflow count.
+
+   Run with: dune exec examples/calico_dos.exe *)
+
+open Policy_injection
+open Pi_sim
+
+let () =
+  let attack = Scenario.default_attack in
+  Printf.printf
+    "attack: variant=%s, starts t=%.0fs, covert stream %.2f Mb/s (%d flows / %.0fs refresh)\n\n"
+    (Variant.name attack.Scenario.variant)
+    attack.Scenario.start
+    (Predict.covert_bandwidth_bps ~pkt_len:attack.Scenario.covert_pkt_len
+       ~refresh_period:attack.Scenario.refresh_period attack.Scenario.variant
+     /. 1e6)
+    (Predict.covert_packets attack.Scenario.variant)
+    attack.Scenario.refresh_period;
+  let report = Scenario.run Scenario.default_params in
+  Format.printf "%a@." Scenario.pp_sample_header ();
+  List.iter
+    (fun s ->
+      if int_of_float s.Scenario.time mod 5 = 0 then
+        Format.printf "%a@." Scenario.pp_sample s)
+    report.Scenario.samples;
+  Printf.printf
+    "\nvictim mean throughput: %.3f Gbps before the attack, %.3f Gbps after\n"
+    report.Scenario.pre_attack_mean_gbps report.Scenario.post_attack_mean_gbps;
+  Printf.printf "peak megaflow masks: %d (predicted %d)\n"
+    report.Scenario.peak_masks
+    (Predict.variant_masks attack.Scenario.variant);
+  Printf.printf
+    "paper (Fig. 3): throughput collapses from ~1 Gbps to ~zero once the\n\
+     covert stream populates ~8192 masks — \"denying network access altogether\".\n"

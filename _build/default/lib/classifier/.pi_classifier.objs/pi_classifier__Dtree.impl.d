@@ -1,0 +1,1 @@
+lib/classifier/dtree.ml: Field Flow Int64 List Mask Pattern Rule

@@ -1,0 +1,1 @@
+lib/classifier/dtree.mli: Flow Rule

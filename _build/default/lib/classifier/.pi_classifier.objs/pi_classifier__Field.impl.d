@@ -1,0 +1,1 @@
+lib/classifier/field.ml: Array Format Int List String

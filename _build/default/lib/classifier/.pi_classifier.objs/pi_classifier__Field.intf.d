@@ -1,0 +1,1 @@
+lib/classifier/field.mli: Format

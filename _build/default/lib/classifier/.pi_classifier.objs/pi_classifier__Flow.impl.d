@@ -1,0 +1,1 @@
+lib/classifier/flow.ml: Array Ethernet Field Format Icmp Int64 Ipv4 Packet Pi_pkt Tcp Udp

@@ -1,0 +1,1 @@
+lib/classifier/flow.mli: Field Format Pi_pkt

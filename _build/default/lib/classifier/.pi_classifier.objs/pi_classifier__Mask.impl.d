@@ -1,0 +1,1 @@
+lib/classifier/mask.ml: Array Field Flow Format Int64 List

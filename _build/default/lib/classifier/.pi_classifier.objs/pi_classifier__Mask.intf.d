@@ -1,0 +1,1 @@
+lib/classifier/mask.mli: Field Flow Format

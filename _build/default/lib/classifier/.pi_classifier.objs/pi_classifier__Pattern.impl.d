@@ -1,0 +1,1 @@
+lib/classifier/pattern.ml: Field Flow Format Int64 List Mask Pi_pkt

@@ -1,0 +1,1 @@
+lib/classifier/pattern.mli: Field Flow Format Mask Pi_pkt

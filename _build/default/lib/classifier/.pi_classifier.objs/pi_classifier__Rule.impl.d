@@ -1,0 +1,1 @@
+lib/classifier/rule.ml: Format Int Pattern

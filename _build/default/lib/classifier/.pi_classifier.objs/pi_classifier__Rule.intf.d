@@ -1,0 +1,1 @@
+lib/classifier/rule.mli: Flow Format Pattern

@@ -1,0 +1,1 @@
+lib/classifier/tables.ml: Flow Hashtbl Mask

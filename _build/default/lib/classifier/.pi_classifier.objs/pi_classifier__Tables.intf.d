@@ -1,0 +1,1 @@
+lib/classifier/tables.mli: Flow Hashtbl Mask

@@ -1,0 +1,1 @@
+lib/classifier/trie.ml: Array Format Int Int64 List

@@ -1,0 +1,1 @@
+lib/classifier/tss.ml: Array Field Flow Hashtbl Int Int64 List Mask Pattern Rule Tables Trie

@@ -1,0 +1,1 @@
+lib/classifier/tss.mli: Field Flow Mask Rule

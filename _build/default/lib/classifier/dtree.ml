@@ -1,0 +1,112 @@
+type 'a node =
+  | Leaf of 'a Rule.t list  (* precedence order *)
+  | Node of { field : Field.t; bit : int; zero : 'a node; one : 'a node }
+
+type 'a t = { root : 'a node; n_rules : int }
+
+(* Which way does a rule go at a (field, bit) test? *)
+type side = Zero | One | Both
+
+let bit_mask f bit = Int64.shift_left 1L (Field.width f - 1 - bit)
+
+let side_of (r : 'a Rule.t) f bit =
+  let m = bit_mask f bit in
+  let p = r.Rule.pattern in
+  if Int64.equal (Int64.logand (Mask.get p.Pattern.mask f) m) 0L then Both
+  else if Int64.equal (Int64.logand (Flow.get p.Pattern.key f) m) 0L then Zero
+  else One
+
+let candidates =
+  List.concat_map
+    (fun f -> List.init (Field.width f) (fun bit -> (f, bit)))
+    Field.all
+
+(* The classic greedy criterion: pick the test whose larger branch is
+   smallest (wildcarded rules replicate into both). *)
+let best_split rules =
+  let total = List.length rules in
+  let score (f, bit) =
+    let z = ref 0 and o = ref 0 and w = ref 0 in
+    List.iter
+      (fun r ->
+        match side_of r f bit with
+        | Zero -> incr z
+        | One -> incr o
+        | Both -> incr w)
+      rules;
+    max (!z + !w) (!o + !w)
+  in
+  let best =
+    List.fold_left
+      (fun acc cand ->
+        let s = score cand in
+        match acc with
+        | Some (_, best_s) when best_s <= s -> acc
+        | _ -> Some (cand, s))
+      None candidates
+  in
+  match best with
+  | Some (cand, s) when s < total -> Some cand  (* strict progress only *)
+  | Some _ | None -> None
+
+let build ?(leaf_size = 4) rules =
+  if leaf_size < 1 then invalid_arg "Dtree.build: leaf_size";
+  let sorted = List.sort Rule.compare_precedence rules in
+  let rec go rules =
+    if List.length rules <= leaf_size then Leaf rules
+    else
+      match best_split rules with
+      | None -> Leaf rules
+      | Some (field, bit) ->
+        let zero =
+          List.filter (fun r -> side_of r field bit <> One) rules
+        in
+        let one =
+          List.filter (fun r -> side_of r field bit <> Zero) rules
+        in
+        Node { field; bit; zero = go zero; one = go one }
+  in
+  { root = go sorted; n_rules = List.length rules }
+
+let lookup_counting t flow =
+  let rec go node steps =
+    match node with
+    | Leaf rules ->
+      let rec scan steps = function
+        | [] -> (None, steps)
+        | r :: rest ->
+          let steps = steps + 1 in
+          if Rule.matches r flow then (Some r, steps) else scan steps rest
+      in
+      scan steps rules
+    | Node { field; bit; zero; one } ->
+      let v = Flow.get flow field in
+      let next =
+        if Int64.equal (Int64.logand v (bit_mask field bit)) 0L then zero
+        else one
+      in
+      go next (steps + 1)
+  in
+  go t.root 0
+
+let lookup t flow = fst (lookup_counting t flow)
+
+let rec node_depth = function
+  | Leaf _ -> 0
+  | Node { zero; one; _ } -> 1 + max (node_depth zero) (node_depth one)
+
+let depth t = node_depth t.root
+
+let rec count_nodes = function
+  | Leaf _ -> 1
+  | Node { zero; one; _ } -> 1 + count_nodes zero + count_nodes one
+
+let n_nodes t = count_nodes t.root
+
+let rec node_max_leaf = function
+  | Leaf rules -> List.length rules
+  | Node { zero; one; _ } -> max (node_max_leaf zero) (node_max_leaf one)
+
+let max_leaf t = node_max_leaf t.root
+
+let n_rules t = t.n_rules

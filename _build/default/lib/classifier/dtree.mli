@@ -1,0 +1,42 @@
+(** A decision-tree packet classifier (HiCuts-style, on bits).
+
+    The paper's complexity citation (Gupta & McKeown, "Algorithms for
+    Packet Classification") surveys the classic alternatives to tuple
+    space search; this is the decision-tree family: recursively split
+    the rule set on the single field bit that discriminates best, until
+    leaves are small enough to scan linearly.
+
+    Two roles here: a second independent implementation to
+    differential-test {!Tss} and {!Linear} against, and the natural
+    engine for the flow-cache-less mitigation — its depth depends on the
+    {e rule set}, never on adversarial traffic, so policy injection
+    cannot inflate its per-packet cost. The trade-off is build time:
+    the tree must be recompiled when rules change. *)
+
+type 'a t
+
+val build : ?leaf_size:int -> 'a Rule.t list -> 'a t
+(** Compile a rule set ([leaf_size] defaults to 4; must be >= 1).
+    Rules whose masks wildcard a tested bit are replicated down both
+    branches, as in HiCuts. *)
+
+val lookup : 'a t -> Flow.t -> 'a Rule.t option
+(** Highest-precedence matching rule — always identical to
+    {!Linear.lookup} on the same rules (property-tested). *)
+
+val lookup_counting : 'a t -> Flow.t -> 'a Rule.t option * int
+(** Also reports the work done: tree nodes visited plus rules scanned
+    at the leaf. *)
+
+val depth : 'a t -> int
+(** Maximum node depth (0 for a single leaf). *)
+
+val n_nodes : 'a t -> int
+
+val max_leaf : 'a t -> int
+(** Largest leaf population. Usually <= [leaf_size], but an
+    unsplittable rule set (e.g. identical patterns) stays together in
+    one leaf. [depth + max_leaf] bounds the per-lookup work. *)
+
+val n_rules : 'a t -> int
+(** Rules in the compiled set (not counting replication). *)

@@ -1,0 +1,99 @@
+type t =
+  | In_port
+  | Eth_src
+  | Eth_dst
+  | Eth_type
+  | Vlan
+  | Ip_src
+  | Ip_dst
+  | Ip_proto
+  | Ip_tos
+  | Ip_ttl
+  | Tp_src
+  | Tp_dst
+  | Tcp_flags
+
+let all =
+  [ In_port; Eth_src; Eth_dst; Eth_type; Vlan; Ip_src; Ip_dst; Ip_proto;
+    Ip_tos; Ip_ttl; Tp_src; Tp_dst; Tcp_flags ]
+
+let count = List.length all
+
+let index = function
+  | In_port -> 0
+  | Eth_src -> 1
+  | Eth_dst -> 2
+  | Eth_type -> 3
+  | Vlan -> 4
+  | Ip_src -> 5
+  | Ip_dst -> 6
+  | Ip_proto -> 7
+  | Ip_tos -> 8
+  | Ip_ttl -> 9
+  | Tp_src -> 10
+  | Tp_dst -> 11
+  | Tcp_flags -> 12
+
+let of_index_table = Array.of_list all
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Field.of_index";
+  of_index_table.(i)
+
+let width = function
+  | In_port -> 16
+  | Eth_src -> 48
+  | Eth_dst -> 48
+  | Eth_type -> 16
+  | Vlan -> 12
+  | Ip_src -> 32
+  | Ip_dst -> 32
+  | Ip_proto -> 8
+  | Ip_tos -> 8
+  | Ip_ttl -> 8
+  | Tp_src -> 16
+  | Tp_dst -> 16
+  | Tcp_flags -> 12
+
+let name = function
+  | In_port -> "in_port"
+  | Eth_src -> "eth_src"
+  | Eth_dst -> "eth_dst"
+  | Eth_type -> "eth_type"
+  | Vlan -> "vlan"
+  | Ip_src -> "ip_src"
+  | Ip_dst -> "ip_dst"
+  | Ip_proto -> "ip_proto"
+  | Ip_tos -> "ip_tos"
+  | Ip_ttl -> "ip_ttl"
+  | Tp_src -> "tp_src"
+  | Tp_dst -> "tp_dst"
+  | Tcp_flags -> "tcp_flags"
+
+let of_name s = List.find_opt (fun f -> String.equal (name f) s) all
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+let equal a b = index a = index b
+let compare a b = Int.compare (index a) (index b)
+
+module Stage = struct
+  type t = Metadata | L2 | L3 | L4
+
+  let all = [ Metadata; L2; L3; L4 ]
+
+  let index = function Metadata -> 0 | L2 -> 1 | L3 -> 2 | L4 -> 3
+
+  let count = 4
+
+  let of_field = function
+    | In_port -> Metadata
+    | Eth_src | Eth_dst | Eth_type | Vlan -> L2
+    | Ip_src | Ip_dst | Ip_proto | Ip_tos | Ip_ttl -> L3
+    | Tp_src | Tp_dst | Tcp_flags -> L4
+
+  let pp ppf t =
+    Format.pp_print_string ppf
+      (match t with Metadata -> "metadata" | L2 -> "l2" | L3 -> "l3" | L4 -> "l4")
+
+  let equal a b = index a = index b
+end

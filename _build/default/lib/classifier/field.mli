@@ -1,0 +1,60 @@
+(** The header fields a flow key exposes to classification.
+
+    This is the (slightly reduced) OVS flow-key field set relevant to
+    L2–L4 microsegmentation ACLs. Like OVS, ICMP type and code are
+    folded into the transport-port fields. *)
+
+type t =
+  | In_port
+  | Eth_src
+  | Eth_dst
+  | Eth_type
+  | Vlan
+  | Ip_src
+  | Ip_dst
+  | Ip_proto
+  | Ip_tos
+  | Ip_ttl
+  | Tp_src
+  | Tp_dst
+  | Tcp_flags
+
+val all : t list
+(** Every field, in index order. *)
+
+val count : int
+(** Number of fields. *)
+
+val index : t -> int
+(** Dense index in [\[0, count)]. *)
+
+val of_index : int -> t
+(** Inverse of {!index}. Raises [Invalid_argument] out of range. *)
+
+val width : t -> int
+(** Field width in bits (e.g. 32 for [Ip_src], 16 for [Tp_dst]). *)
+
+val name : t -> string
+(** Stable lowercase name, e.g. ["ip_src"]. *)
+
+val of_name : string -> t option
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Lookup stages, mirroring OVS's staged subtable lookup: a subtable
+    probe proceeds stage by stage and a miss at stage [k] only
+    un-wildcards fields of stages [0..k]. *)
+module Stage : sig
+  type field := t
+
+  type t = Metadata | L2 | L3 | L4
+
+  val all : t list
+  val index : t -> int
+  val count : int
+  val of_field : field -> t
+  val pp : Format.formatter -> t -> unit
+  val equal : t -> t -> bool
+end

@@ -1,0 +1,111 @@
+type t = int64 array
+
+let field_mask f =
+  let w = Field.width f in
+  Int64.sub (Int64.shift_left 1L w) 1L
+
+let widths_mask = Array.init Field.count (fun i -> field_mask (Field.of_index i))
+
+let clamp i v = Int64.logand v widths_mask.(i)
+
+let zero = Array.make Field.count 0L
+
+let make ?(in_port = 0) ?(eth_src = Pi_pkt.Mac_addr.zero)
+    ?(eth_dst = Pi_pkt.Mac_addr.zero) ?(eth_type = 0x0800) ?(vlan = 0)
+    ?(ip_src = 0l) ?(ip_dst = 0l) ?(ip_proto = 0) ?(ip_tos = 0) ?(ip_ttl = 64)
+    ?(tp_src = 0) ?(tp_dst = 0) ?(tcp_flags = 0) () =
+  let a = Array.make Field.count 0L in
+  let set f v = a.(Field.index f) <- clamp (Field.index f) v in
+  set In_port (Int64.of_int in_port);
+  set Eth_src eth_src;
+  set Eth_dst eth_dst;
+  set Eth_type (Int64.of_int eth_type);
+  set Vlan (Int64.of_int vlan);
+  set Ip_src (Int64.logand (Int64.of_int32 ip_src) 0xFFFFFFFFL);
+  set Ip_dst (Int64.logand (Int64.of_int32 ip_dst) 0xFFFFFFFFL);
+  set Ip_proto (Int64.of_int ip_proto);
+  set Ip_tos (Int64.of_int ip_tos);
+  set Ip_ttl (Int64.of_int ip_ttl);
+  set Tp_src (Int64.of_int tp_src);
+  set Tp_dst (Int64.of_int tp_dst);
+  set Tcp_flags (Int64.of_int tcp_flags);
+  a
+
+let get t f = t.(Field.index f)
+
+let with_field t f v =
+  let a = Array.copy t in
+  a.(Field.index f) <- clamp (Field.index f) v;
+  a
+
+let geti t f = Int64.to_int (get t f)
+
+let in_port t = geti t In_port
+let eth_src t = get t Eth_src
+let eth_dst t = get t Eth_dst
+let eth_type t = geti t Eth_type
+let vlan t = geti t Vlan
+let ip_src t = Int64.to_int32 (get t Ip_src)
+let ip_dst t = Int64.to_int32 (get t Ip_dst)
+let ip_proto t = geti t Ip_proto
+let ip_tos t = geti t Ip_tos
+let ip_ttl t = geti t Ip_ttl
+let tp_src t = geti t Tp_src
+let tp_dst t = geti t Tp_dst
+let tcp_flags t = geti t Tcp_flags
+
+let of_packet ?(in_port = 0) (p : Pi_pkt.Packet.t) =
+  let open Pi_pkt in
+  let eth = p.Packet.eth in
+  let vlan = match p.Packet.vlan with Some v -> v | None -> 0 in
+  match p.Packet.l3 with
+  | Packet.Other_l3 _ ->
+    make ~in_port ~eth_src:eth.Ethernet.src ~eth_dst:eth.Ethernet.dst
+      ~eth_type:eth.Ethernet.ethertype ~vlan ~ip_ttl:0 ()
+  | Packet.Ipv4 (ip, l4) ->
+    let tp_src, tp_dst, tcp_flags, proto =
+      match l4 with
+      | Packet.Tcp h -> (h.Tcp.src_port, h.Tcp.dst_port, h.Tcp.flags, Ipv4.proto_tcp)
+      | Packet.Udp h -> (h.Udp.src_port, h.Udp.dst_port, 0, Ipv4.proto_udp)
+      | Packet.Icmp h -> (h.Icmp.typ, h.Icmp.code, 0, Ipv4.proto_icmp)
+      | Packet.Other_l4 (p, _) -> (0, 0, 0, p)
+    in
+    make ~in_port ~eth_src:eth.Ethernet.src ~eth_dst:eth.Ethernet.dst
+      ~eth_type:eth.Ethernet.ethertype ~vlan ~ip_src:ip.Ipv4.src
+      ~ip_dst:ip.Ipv4.dst ~ip_proto:proto ~ip_tos:ip.Ipv4.tos
+      ~ip_ttl:ip.Ipv4.ttl ~tp_src ~tp_dst ~tcp_flags ()
+
+let equal a b =
+  let rec go i = i = Field.count || (Int64.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let rec go i =
+    if i = Field.count then 0
+    else match Int64.unsigned_compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+(* Multiplicative mix over the fields. Field values fit in 48 bits, so
+   [Int64.to_int] is lossless; native-int arithmetic keeps the hot path
+   allocation-free (boxed [Int64] operations would allocate per step). *)
+let hash t =
+  let h = ref 0 in
+  for i = 0 to Field.count - 1 do
+    let v = Int64.to_int t.(i) in
+    h := (!h lxor v) * 0x9E3779B1
+  done;
+  let h = !h in
+  (h lxor (h lsr 29)) land max_int
+
+let pp ppf t =
+  Format.fprintf ppf
+    "flow(port %d, %a -> %a, type 0x%04x, %a -> %a, proto %d, tp %d -> %d)"
+    (in_port t) Pi_pkt.Mac_addr.pp (eth_src t) Pi_pkt.Mac_addr.pp (eth_dst t)
+    (eth_type t) Pi_pkt.Ipv4_addr.pp (ip_src t) Pi_pkt.Ipv4_addr.pp (ip_dst t)
+    (ip_proto t) (tp_src t) (tp_dst t)
+
+let unsafe_fields t = t
+let unsafe_of_fields a =
+  if Array.length a <> Field.count then invalid_arg "Flow.unsafe_of_fields";
+  a

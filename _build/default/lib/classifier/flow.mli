@@ -1,0 +1,65 @@
+(** Flow keys: the parsed header fields of one packet, as seen by the
+    classifier (the OVS "struct flow" analogue).
+
+    A flow key stores each field right-aligned in an [int64]; values are
+    always within the field's width (see {!Field.width}). *)
+
+type t
+
+val make :
+  ?in_port:int ->
+  ?eth_src:Pi_pkt.Mac_addr.t ->
+  ?eth_dst:Pi_pkt.Mac_addr.t ->
+  ?eth_type:int ->
+  ?vlan:int ->
+  ?ip_src:Pi_pkt.Ipv4_addr.t ->
+  ?ip_dst:Pi_pkt.Ipv4_addr.t ->
+  ?ip_proto:int ->
+  ?ip_tos:int ->
+  ?ip_ttl:int ->
+  ?tp_src:int ->
+  ?tp_dst:int ->
+  ?tcp_flags:int ->
+  unit -> t
+(** All fields default to zero except [eth_type] (0x0800) and [ip_ttl]
+    (64). Values are masked to their field width. *)
+
+val zero : t
+
+val of_packet : ?in_port:int -> Pi_pkt.Packet.t -> t
+(** Extract the flow key of a packet. ICMP type/code are folded into
+    [tp_src]/[tp_dst], as OVS does. *)
+
+val get : t -> Field.t -> int64
+val with_field : t -> Field.t -> int64 -> t
+(** Functional update; the value is masked to the field's width. *)
+
+(* Named accessors. *)
+val in_port : t -> int
+val eth_src : t -> Pi_pkt.Mac_addr.t
+val eth_dst : t -> Pi_pkt.Mac_addr.t
+val eth_type : t -> int
+val vlan : t -> int
+val ip_src : t -> Pi_pkt.Ipv4_addr.t
+val ip_dst : t -> Pi_pkt.Ipv4_addr.t
+val ip_proto : t -> int
+val ip_tos : t -> int
+val ip_ttl : t -> int
+val tp_src : t -> int
+val tp_dst : t -> int
+val tcp_flags : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+(** Deterministic FNV-1a hash over all fields. *)
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val unsafe_fields : t -> int64 array
+(** Internal: the backing array (do not mutate). Exposed for the sibling
+    [Mask] module and performance-critical probing. *)
+
+val unsafe_of_fields : int64 array -> t

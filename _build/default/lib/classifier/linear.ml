@@ -1,0 +1,23 @@
+type 'a t = { mutable rules : 'a Rule.t list }
+(* Kept sorted by precedence (winners first). *)
+
+let create () = { rules = [] }
+
+let sort rules = List.sort Rule.compare_precedence rules
+
+let of_rules rules = { rules = sort rules }
+
+let insert t r = t.rules <- sort (r :: t.rules)
+
+let remove t pred =
+  let keep, drop = List.partition (fun r -> not (pred r)) t.rules in
+  t.rules <- keep;
+  List.length drop
+
+let lookup t flow = List.find_opt (fun r -> Rule.matches r flow) t.rules
+
+let length t = List.length t.rules
+
+let rules t = t.rules
+
+let iter f t = List.iter f t.rules

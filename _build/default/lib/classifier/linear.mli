@@ -1,0 +1,25 @@
+(** Reference classifier: a priority-ordered linear scan.
+
+    Semantically authoritative and obviously correct; used as the test
+    oracle for {!Tss} and by the flow-cache-less baseline switch. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val of_rules : 'a Rule.t list -> 'a t
+
+val insert : 'a t -> 'a Rule.t -> unit
+
+val remove : 'a t -> ('a Rule.t -> bool) -> int
+(** Remove all rules satisfying the predicate; returns how many. *)
+
+val lookup : 'a t -> Flow.t -> 'a Rule.t option
+(** Highest-precedence matching rule (priority, then insertion order). *)
+
+val length : 'a t -> int
+
+val rules : 'a t -> 'a Rule.t list
+(** In precedence order. *)
+
+val iter : ('a Rule.t -> unit) -> 'a t -> unit

@@ -1,0 +1,147 @@
+type t = int64 array
+
+let full_of_field i =
+  let w = Field.width (Field.of_index i) in
+  Int64.sub (Int64.shift_left 1L w) 1L
+
+let full = Array.init Field.count full_of_field
+
+let empty = Array.make Field.count 0L
+
+let exact = Array.copy full
+
+let get t f = t.(Field.index f)
+
+let with_field t f v =
+  let a = Array.copy t in
+  let i = Field.index f in
+  a.(i) <- Int64.logand v full.(i);
+  a
+
+let with_exact t f = with_field t f (-1L)
+
+let prefix_mask f n =
+  let w = Field.width f in
+  if n < 0 || n > w then invalid_arg "Mask.with_prefix";
+  if n = 0 then 0L
+  else Int64.logand (Int64.shift_left (-1L) (w - n)) full.(Field.index f)
+
+let with_prefix t f n = with_field t f (prefix_mask f n)
+
+let prefix_len t f =
+  let w = Field.width f in
+  let v = get t f in
+  let rec go n = if n > w then None
+    else if Int64.equal (prefix_mask f n) v then Some n
+    else go (n + 1)
+  in
+  go 0
+
+let union a b = Array.init Field.count (fun i -> Int64.logor a.(i) b.(i))
+
+let is_subset a b =
+  let rec go i =
+    i = Field.count
+    || (Int64.equal (Int64.logand a.(i) b.(i)) a.(i) && go (i + 1))
+  in
+  go 0
+
+let is_empty t =
+  let rec go i = i = Field.count || (Int64.equal t.(i) 0L && go (i + 1)) in
+  go 0
+
+let fields t =
+  List.filter (fun f -> not (Int64.equal (get t f) 0L)) Field.all
+
+let apply t k =
+  let kf = Flow.unsafe_fields k in
+  Flow.unsafe_of_fields (Array.init Field.count (fun i -> Int64.logand t.(i) kf.(i)))
+
+let matches t ~key flow =
+  let kf = Flow.unsafe_fields key and ff = Flow.unsafe_fields flow in
+  let rec go i =
+    i = Field.count
+    || (Int64.equal (Int64.logand kf.(i) t.(i)) (Int64.logand ff.(i) t.(i))
+        && go (i + 1))
+  in
+  go 0
+
+let equal a b =
+  let rec go i = i = Field.count || (Int64.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let compare a b =
+  let rec go i =
+    if i = Field.count then 0
+    else match Int64.unsigned_compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+(* Same mixing scheme as {!Flow.hash}: native-int, allocation-free, so
+   the per-subtable probes that dominate the attack's cost profile stay
+   cheap and measurable. *)
+let hash t =
+  let h = ref 0 in
+  for i = 0 to Field.count - 1 do
+    let v = Int64.to_int t.(i) in
+    h := (!h lxor v) * 0x9E3779B1
+  done;
+  let h = !h in
+  (h lxor (h lsr 29)) land max_int
+
+let hash_masked t k =
+  let kf = Flow.unsafe_fields k in
+  let h = ref 0 in
+  for i = 0 to Field.count - 1 do
+    let v = Int64.to_int (Int64.logand t.(i) kf.(i)) in
+    h := (!h lxor v) * 0x9E3779B1
+  done;
+  let h = !h in
+  (h lxor (h lsr 29)) land max_int
+
+let equal_masked t a b =
+  let af = Flow.unsafe_fields a and bf = Flow.unsafe_fields b in
+  let rec go i =
+    i = Field.count
+    || (Int64.equal (Int64.logand t.(i) af.(i)) (Int64.logand t.(i) bf.(i))
+        && go (i + 1))
+  in
+  go 0
+
+let pp ppf t =
+  if is_empty t then Format.pp_print_string ppf "any"
+  else begin
+    let first = ref true in
+    List.iter
+      (fun f ->
+        let v = get t f in
+        if not (Int64.equal v 0L) then begin
+          if not !first then Format.pp_print_char ppf ',';
+          first := false;
+          match prefix_len t f with
+          | Some n -> Format.fprintf ppf "%s/%d" (Field.name f) n
+          | None -> Format.fprintf ppf "%s&0x%Lx" (Field.name f) v
+        end)
+      Field.all
+  end
+
+module Builder = struct
+  type nonrec t = int64 array
+
+  let create () = Array.make Field.count 0L
+
+  let add_mask t (m : int64 array) =
+    for i = 0 to Field.count - 1 do
+      t.(i) <- Int64.logor t.(i) m.(i)
+    done
+
+  let add_prefix t f n =
+    let i = Field.index f in
+    t.(i) <- Int64.logor t.(i) (prefix_mask f n)
+
+  let add_exact t f =
+    let i = Field.index f in
+    t.(i) <- full.(i)
+
+  let freeze t = Array.copy t
+end

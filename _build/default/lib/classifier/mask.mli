@@ -1,0 +1,80 @@
+(** Per-field wildcard masks over flow keys (the OVS "flow_wildcards" /
+    "minimask" analogue).
+
+    A mask holds, for each field, the set of bits that are matched
+    (1 = significant, 0 = wildcarded). Megaflow cache entries are
+    identified by [(key & mask, mask)]; the number of *distinct masks*
+    is what the tuple-space-search lookup cost is linear in — the
+    quantity the policy-injection attack inflates. *)
+
+type t
+
+val empty : t
+(** Matches nothing: every bit of every field wildcarded. *)
+
+val exact : t
+(** Every bit of every field significant. *)
+
+val get : t -> Field.t -> int64
+(** The field's mask bits (right-aligned). *)
+
+val with_field : t -> Field.t -> int64 -> t
+(** Functional update; bits beyond the field width are discarded. *)
+
+val with_exact : t -> Field.t -> t
+(** Make the whole field significant. *)
+
+val with_prefix : t -> Field.t -> int -> t
+(** [with_prefix m f n] makes the [n] most significant bits of [f]
+    significant (a prefix mask). Raises [Invalid_argument] if [n] is
+    outside [\[0, width f\]]. *)
+
+val prefix_len : t -> Field.t -> int option
+(** [Some n] iff the field's mask is a contiguous [n]-bit prefix. *)
+
+val union : t -> t -> t
+(** Bitwise-or of two masks. *)
+
+val is_subset : t -> t -> bool
+(** [is_subset a b] iff every significant bit of [a] is significant in
+    [b]. *)
+
+val is_empty : t -> bool
+
+val fields : t -> Field.t list
+(** Fields with at least one significant bit. *)
+
+val apply : t -> Flow.t -> Flow.t
+(** [apply m k] zeroes the wildcarded bits of [k]. *)
+
+val matches : t -> key:Flow.t -> Flow.t -> bool
+(** [matches m ~key flow] iff [flow & m = key & m]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val hash_masked : t -> Flow.t -> int
+(** [hash_masked m k = Flow.hash (apply m k)] without allocating. *)
+
+val equal_masked : t -> Flow.t -> Flow.t -> bool
+(** [equal_masked m a b] iff [a & m = b & m], without allocating. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [ip_src/8,tp_dst/16] (prefix notation when contiguous,
+    hex otherwise); [any] for the empty mask. *)
+
+(** Mutable mask accumulator used during classifier lookups to collect
+    the bits that were examined (OVS "un-wildcarding"). *)
+module Builder : sig
+  type mask := t
+
+  type t
+
+  val create : unit -> t
+  val add_mask : t -> mask -> unit
+  val add_prefix : t -> Field.t -> int -> unit
+  val add_exact : t -> Field.t -> unit
+  val freeze : t -> mask
+  (** The accumulated mask. The builder remains usable. *)
+end

@@ -1,0 +1,44 @@
+(** Match patterns: a masked flow key, the left-hand side of a
+    classifier rule. *)
+
+type t = private {
+  key : Flow.t;   (** pre-masked: [key = key & mask] *)
+  mask : Mask.t;
+}
+
+val any : t
+(** Matches every packet. *)
+
+val create : key:Flow.t -> mask:Mask.t -> t
+(** Normalises [key] by masking it. *)
+
+val matches : t -> Flow.t -> bool
+
+val with_exact : t -> Field.t -> int64 -> t
+(** Add an exact-match constraint on a field. *)
+
+val with_prefix : t -> Field.t -> len:int -> int64 -> t
+(** Add a prefix constraint of [len] bits on a field. *)
+
+(* Typed convenience constructors for the common ACL fields. *)
+val with_in_port : t -> int -> t
+val with_eth_type : t -> int -> t
+val with_ip_proto : t -> int -> t
+val with_ip_src : t -> Pi_pkt.Ipv4_addr.Prefix.t -> t
+val with_ip_dst : t -> Pi_pkt.Ipv4_addr.Prefix.t -> t
+val with_tp_src : t -> int -> t
+val with_tp_dst : t -> int -> t
+
+val is_exact_match : t -> bool
+(** True iff every field is fully specified. *)
+
+val overlaps : t -> t -> bool
+(** True iff some flow matches both patterns. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] iff every flow matching [b] also matches [a]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type 'a t = {
+  pattern : Pattern.t;
+  priority : int;
+  action : 'a;
+  seq : int;
+}
+
+let counter = ref 0
+
+let make ?(priority = 0) ~pattern ~action () =
+  incr counter;
+  { pattern; priority; action; seq = !counter }
+
+let matches t flow = Pattern.matches t.pattern flow
+
+let compare_precedence a b =
+  match Int.compare b.priority a.priority with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let wins a b = compare_precedence a b < 0
+
+let pp pp_action ppf t =
+  Format.fprintf ppf "prio %d: %a -> %a" t.priority Pattern.pp t.pattern
+    pp_action t.action

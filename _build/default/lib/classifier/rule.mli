@@ -1,0 +1,27 @@
+(** Classifier rules: a pattern, a priority and an action.
+
+    Priorities are compared numerically (higher wins). Ties are broken
+    by insertion order — the rule added first wins, matching the OVS
+    flow-table semantics described in the paper. *)
+
+type 'a t = private {
+  pattern : Pattern.t;
+  priority : int;
+  action : 'a;
+  seq : int;  (** insertion sequence number; lower = added earlier *)
+}
+
+val make : ?priority:int -> pattern:Pattern.t -> action:'a -> unit -> 'a t
+(** [priority] defaults to 0. The sequence number is drawn from a global
+    counter. *)
+
+val matches : 'a t -> Flow.t -> bool
+
+val wins : 'a t -> 'a t -> bool
+(** [wins a b] iff [a] takes precedence over [b]: higher priority, or
+    equal priority and earlier insertion. *)
+
+val compare_precedence : 'a t -> 'a t -> int
+(** Sort key: winners first. *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

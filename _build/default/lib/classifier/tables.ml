@@ -1,0 +1,13 @@
+module Flow_tbl = Hashtbl.Make (struct
+  type t = Flow.t
+
+  let equal = Flow.equal
+  let hash = Flow.hash
+end)
+
+module Mask_tbl = Hashtbl.Make (struct
+  type t = Mask.t
+
+  let equal = Mask.equal
+  let hash = Mask.hash
+end)

@@ -1,0 +1,5 @@
+(** Hash tables keyed by flow keys and by masks, shared by the
+    classifier and the flow caches. *)
+
+module Flow_tbl : Hashtbl.S with type key = Flow.t
+module Mask_tbl : Hashtbl.S with type key = Mask.t

@@ -1,0 +1,154 @@
+type node = {
+  mutable n_end : int;    (* prefixes terminating at this node *)
+  mutable below : int;    (* prefixes in this subtree, including here *)
+  mutable zero : node option;
+  mutable one : node option;
+}
+
+type t = { width : int; root : node }
+
+let new_node () = { n_end = 0; below = 0; zero = None; one = None }
+
+let create ~width =
+  if width < 1 || width > 64 then invalid_arg "Trie.create";
+  { width; root = new_node () }
+
+let width t = t.width
+
+let bit_at t value d =
+  Int64.logand (Int64.shift_right_logical value (t.width - 1 - d)) 1L
+
+let check_len t len name =
+  if len < 0 || len > t.width then invalid_arg name
+
+let insert t ~value ~len =
+  check_len t len "Trie.insert";
+  let rec go node d =
+    node.below <- node.below + 1;
+    if d = len then node.n_end <- node.n_end + 1
+    else begin
+      let child =
+        if Int64.equal (bit_at t value d) 0L then
+          match node.zero with
+          | Some c -> c
+          | None -> let c = new_node () in node.zero <- Some c; c
+        else
+          match node.one with
+          | Some c -> c
+          | None -> let c = new_node () in node.one <- Some c; c
+      in
+      go child (d + 1)
+    end
+  in
+  go t.root 0
+
+let mem t ~value ~len =
+  check_len t len "Trie.mem";
+  let rec go node d =
+    if d = len then node.n_end > 0
+    else
+      let child =
+        if Int64.equal (bit_at t value d) 0L then node.zero else node.one
+      in
+      match child with None -> false | Some c -> go c (d + 1)
+  in
+  go t.root 0
+
+let remove t ~value ~len =
+  check_len t len "Trie.remove";
+  if not (mem t ~value ~len) then invalid_arg "Trie.remove: prefix not present";
+  let rec go node d =
+    node.below <- node.below - 1;
+    if d = len then node.n_end <- node.n_end - 1
+    else begin
+      let zero_side = Int64.equal (bit_at t value d) 0L in
+      let child =
+        match (if zero_side then node.zero else node.one) with
+        | Some c -> c
+        | None -> assert false
+      in
+      go child (d + 1);
+      if child.below = 0 then
+        if zero_side then node.zero <- None else node.one <- None
+    end
+  in
+  go t.root 0
+
+let is_empty t = t.root.below = 0
+
+let size t = t.root.below
+
+type lookup_result = { plens : bool array; checked : int }
+
+let lookup t value =
+  let plens = Array.make (t.width + 1) false in
+  let rec go node d =
+    if node.n_end > 0 then plens.(d) <- true;
+    if d = t.width then t.width
+    else begin
+      let child =
+        if Int64.equal (bit_at t value d) 0L then node.zero else node.one
+      in
+      match child with
+      | None -> min t.width (d + 1)
+      | Some c -> go c (d + 1)
+    end
+  in
+  let checked = go t.root 0 in
+  { plens; checked }
+
+let longest_match r =
+  let rec go n = if n < 0 then -1 else if r.plens.(n) then n else go (n - 1) in
+  go (Array.length r.plens - 1)
+
+let sort_prefixes l =
+  List.sort
+    (fun (v1, l1) (v2, l2) ->
+      match Int.compare l1 l2 with
+      | 0 -> Int64.unsigned_compare v1 v2
+      | c -> c)
+    l
+
+let complement t =
+  let acc = ref [] in
+  let set_bit value d b =
+    if Int64.equal b 0L then value
+    else Int64.logor value (Int64.shift_left 1L (t.width - 1 - d))
+  in
+  let rec go node value d =
+    if node.n_end > 0 then ()        (* this whole prefix is covered *)
+    else if node.below = 0 then acc := (value, d) :: !acc
+    else begin
+      (* Some descendant stores a prefix, so descend; an absent child
+         subtree is entirely uncovered and maximal. *)
+      (match node.zero with
+       | None -> acc := (set_bit value d 0L, d + 1) :: !acc
+       | Some c -> go c (set_bit value d 0L) (d + 1));
+      match node.one with
+      | None -> acc := (set_bit value d 1L, d + 1) :: !acc
+      | Some c -> go c (set_bit value d 1L) (d + 1)
+    end
+  in
+  go t.root 0L 0;
+  sort_prefixes !acc
+
+let prefixes t =
+  let acc = ref [] in
+  let set_bit value d b =
+    if Int64.equal b 0L then value
+    else Int64.logor value (Int64.shift_left 1L (t.width - 1 - d))
+  in
+  let rec go node value d =
+    if node.n_end > 0 then acc := (value, d) :: !acc;
+    (match node.zero with
+     | None -> ()
+     | Some c -> go c (set_bit value d 0L) (d + 1));
+    match node.one with
+    | None -> ()
+    | Some c -> go c (set_bit value d 1L) (d + 1)
+  in
+  go t.root 0L 0;
+  sort_prefixes !acc
+
+let pp ppf t =
+  Format.fprintf ppf "trie(width %d, %d prefixes)" t.width (size t)

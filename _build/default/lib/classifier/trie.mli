@@ -1,0 +1,62 @@
+(** Binary prefix tries over classifier fields.
+
+    Two uses, both central to the reproduced attack:
+
+    - {b trie-assisted un-wildcarding} ({!lookup}): during a slow-path
+      lookup, the trie tells the classifier how many leading bits of a
+      field must be fixed in the generated megaflow to prove the packet
+      could not match any stored prefix — OVS's "wildcard as many bits
+      as possible" strategy. The attacker exploits exactly this: each
+      divergence depth materialises a distinct megaflow mask.
+    - {b complement decomposition} ({!complement}): the set of maximal
+      prefixes covering everything *not* covered by the stored prefixes;
+      for a single exact 8-bit value this is the 8 deny rows of the
+      paper's Fig. 2b. *)
+
+type t
+
+val create : width:int -> t
+(** An empty trie over values of [width] bits, [1 <= width <= 64]. *)
+
+val width : t -> int
+
+val insert : t -> value:int64 -> len:int -> unit
+(** Add a prefix of [len] leading bits of [value] (reference counted:
+    inserting the same prefix twice requires removing it twice). *)
+
+val remove : t -> value:int64 -> len:int -> unit
+(** Remove one reference of a prefix. Raises [Invalid_argument] if the
+    prefix is not present. *)
+
+val mem : t -> value:int64 -> len:int -> bool
+
+val is_empty : t -> bool
+
+val size : t -> int
+(** Number of stored prefixes (with multiplicity). *)
+
+type lookup_result = {
+  plens : bool array;
+      (** [plens.(n)] iff some stored prefix of length [n] covers the
+          value; length [width + 1] (index 0 = the empty prefix). *)
+  checked : int;
+      (** Number of leading bits that must be un-wildcarded so that any
+          value sharing them yields the same [plens] — the megaflow
+          prefix length OVS installs. *)
+}
+
+val lookup : t -> int64 -> lookup_result
+
+val longest_match : lookup_result -> int
+(** Largest [n] with [plens.(n)], or [-1] if none (not even [/0]). *)
+
+val complement : t -> (int64 * int) list
+(** Maximal prefixes [(value, len)] covering the complement of the union
+    of stored prefixes, ordered by increasing length then value. Empty
+    if the trie covers everything; the full list partitions the
+    complement exactly (property-tested). *)
+
+val prefixes : t -> (int64 * int) list
+(** The stored prefixes (without multiplicity), sorted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,312 @@
+type config = {
+  trie_fields : Field.t list;
+  check_all_tries : bool;
+  staged_lookup : bool;
+}
+
+let default_config =
+  { trie_fields = [ Field.Ip_src; Field.Ip_dst; Field.Tp_src; Field.Tp_dst ];
+    check_all_tries = true;
+    staged_lookup = true }
+
+let ovs_default_config =
+  { trie_fields = [ Field.Ip_src; Field.Ip_dst ];
+    check_all_tries = false;
+    staged_lookup = true }
+
+module Flow_tbl = Tables.Flow_tbl
+module Mask_tbl = Tables.Mask_tbl
+
+type 'a subtable = {
+  mask : Mask.t;
+  stage_masks : Mask.t array;      (* cumulative: stages 0..i *)
+  stage_used : bool array;         (* stage i adds bits of its own *)
+  stage_sets : (int, int ref) Hashtbl.t array;  (* per-stage hash multiset *)
+  entries : 'a Rule.t list ref Flow_tbl.t;      (* masked key -> rules, best first *)
+  plen : int array;                (* per field index: trie prefix length, 0 = no trie *)
+  mutable max_prio : int;
+  mutable n : int;
+}
+
+type 'a t = {
+  cfg : config;
+  subtables : 'a subtable Mask_tbl.t;
+  tries : Trie.t array;            (* per field index; unused entries stay empty *)
+  trie_on : bool array;            (* field index participates in trie checks *)
+  mutable sorted : 'a subtable list;
+  mutable dirty : bool;
+  mutable n_rules : int;
+}
+
+let create ?(config = default_config) () =
+  let trie_on = Array.make Field.count false in
+  List.iter (fun f -> trie_on.(Field.index f) <- true) config.trie_fields;
+  { cfg = config;
+    subtables = Mask_tbl.create 16;
+    tries = Array.init Field.count (fun i -> Trie.create ~width:(Field.width (Field.of_index i)));
+    trie_on;
+    sorted = [];
+    dirty = false;
+    n_rules = 0 }
+
+let config t = t.cfg
+
+let stage_masks_of mask =
+  let cum = Array.make Field.Stage.count Mask.empty in
+  let used = Array.make Field.Stage.count false in
+  let acc = ref Mask.empty in
+  List.iteri
+    (fun si stage ->
+      List.iter
+        (fun f ->
+          if Field.Stage.equal (Field.Stage.of_field f) stage then begin
+            let bits = Mask.get mask f in
+            if not (Int64.equal bits 0L) then begin
+              used.(si) <- true;
+              acc := Mask.with_field !acc f bits
+            end
+          end)
+        Field.all;
+      cum.(si) <- !acc)
+    Field.Stage.all;
+  (cum, used)
+
+let plen_of t mask =
+  let plen = Array.make Field.count 0 in
+  List.iter
+    (fun f ->
+      let i = Field.index f in
+      if t.trie_on.(i) then
+        match Mask.prefix_len mask f with
+        | Some n when n > 0 -> plen.(i) <- n
+        | Some _ | None -> ())
+    Field.all;
+  plen
+
+let new_subtable t mask =
+  let stage_masks, stage_used = stage_masks_of mask in
+  { mask;
+    stage_masks;
+    stage_used;
+    stage_sets = Array.init Field.Stage.count (fun _ -> Hashtbl.create 16);
+    entries = Flow_tbl.create 16;
+    plen = plen_of t mask;
+    max_prio = min_int;
+    n = 0 }
+
+(* Stage sets are hash multisets: absence of a hash proves absence of a
+   key (no false negatives); collisions only cost an extra probe. The
+   last stage has no set — the full entry table plays that role. *)
+let stage_set_add st si h =
+  match Hashtbl.find_opt st.stage_sets.(si) h with
+  | Some r -> incr r
+  | None -> Hashtbl.add st.stage_sets.(si) h (ref 1)
+
+let stage_set_remove st si h =
+  match Hashtbl.find_opt st.stage_sets.(si) h with
+  | Some r ->
+    decr r;
+    if !r <= 0 then Hashtbl.remove st.stage_sets.(si) h
+  | None -> assert false
+
+let last_stage = Field.Stage.count - 1
+
+let insert t (rule : 'a Rule.t) =
+  let mask = rule.Rule.pattern.Pattern.mask in
+  let key = rule.Rule.pattern.Pattern.key in
+  let st =
+    match Mask_tbl.find_opt t.subtables mask with
+    | Some st -> st
+    | None ->
+      let st = new_subtable t mask in
+      Mask_tbl.add t.subtables mask st;
+      (* Register the subtable's trie prefixes lazily per rule below. *)
+      st
+  in
+  (* Per-rule trie registration: every rule contributes its (identical)
+     per-field prefix so that reference counting survives removal. *)
+  Array.iteri
+    (fun i plen ->
+      if plen > 0 then
+        Trie.insert t.tries.(i) ~value:(Flow.get key (Field.of_index i)) ~len:plen)
+    st.plen;
+  for si = 0 to last_stage - 1 do
+    if st.stage_used.(si) then
+      stage_set_add st si (Mask.hash_masked st.stage_masks.(si) key)
+  done;
+  (match Flow_tbl.find_opt st.entries key with
+   | Some bucket -> bucket := List.sort Rule.compare_precedence (rule :: !bucket)
+   | None -> Flow_tbl.add st.entries key (ref [ rule ]));
+  st.n <- st.n + 1;
+  if rule.Rule.priority > st.max_prio then st.max_prio <- rule.Rule.priority;
+  t.n_rules <- t.n_rules + 1;
+  t.dirty <- true
+
+let remove t pred =
+  let removed = ref 0 in
+  let dead_subtables = ref [] in
+  Mask_tbl.iter
+    (fun _mask st ->
+      let dead_keys = ref [] in
+      Flow_tbl.iter
+        (fun key bucket ->
+          let keep, drop = List.partition (fun r -> not (pred r)) !bucket in
+          if drop <> [] then begin
+            List.iter
+              (fun (r : 'a Rule.t) ->
+                ignore r;
+                Array.iteri
+                  (fun i plen ->
+                    if plen > 0 then
+                      Trie.remove t.tries.(i)
+                        ~value:(Flow.get key (Field.of_index i)) ~len:plen)
+                  st.plen;
+                for si = 0 to last_stage - 1 do
+                  if st.stage_used.(si) then
+                    stage_set_remove st si (Mask.hash_masked st.stage_masks.(si) key)
+                done)
+              drop;
+            let n_drop = List.length drop in
+            removed := !removed + n_drop;
+            st.n <- st.n - n_drop;
+            t.n_rules <- t.n_rules - n_drop;
+            if keep = [] then dead_keys := key :: !dead_keys
+            else bucket := keep
+          end)
+        st.entries;
+      List.iter (fun k -> Flow_tbl.remove st.entries k) !dead_keys;
+      if st.n = 0 then dead_subtables := st.mask :: !dead_subtables
+      else begin
+        (* Recompute max priority after removals. *)
+        let mp = ref min_int in
+        Flow_tbl.iter
+          (fun _ bucket ->
+            List.iter (fun (r : 'a Rule.t) -> if r.Rule.priority > !mp then mp := r.Rule.priority) !bucket)
+          st.entries;
+        st.max_prio <- !mp
+      end)
+    t.subtables;
+  List.iter (fun m -> Mask_tbl.remove t.subtables m) !dead_subtables;
+  if !removed > 0 then t.dirty <- true;
+  !removed
+
+let sorted_subtables t =
+  if t.dirty then begin
+    let l = Mask_tbl.fold (fun _ st acc -> st :: acc) t.subtables [] in
+    t.sorted <-
+      List.sort (fun a b -> Int.compare b.max_prio a.max_prio) l;
+    t.dirty <- false
+  end;
+  t.sorted
+
+type 'a result = {
+  rule : 'a Rule.t option;
+  megaflow : Mask.t;
+  probes : int;
+}
+
+(* The core lookup. [wc] is the un-wildcarding accumulator ([None] for
+   plain finds, where only the verdict matters). *)
+let lookup_impl t flow ~wc =
+  let probes = ref 0 in
+  (* Per-field trie lookups are lazy and shared across subtables. *)
+  let trie_cache : Trie.lookup_result option array = Array.make Field.count None in
+  let trie_res i =
+    match trie_cache.(i) with
+    | Some r -> r
+    | None ->
+      let r = Trie.lookup t.tries.(i) (Flow.get flow (Field.of_index i)) in
+      trie_cache.(i) <- Some r;
+      r
+  in
+  let add_mask m = match wc with None -> () | Some b -> Mask.Builder.add_mask b m in
+  let add_prefix f n = match wc with None -> () | Some b -> Mask.Builder.add_prefix b f n in
+  let best : 'a Rule.t option ref = ref None in
+  let better (r : 'a Rule.t) =
+    match !best with None -> true | Some b -> Rule.wins r b
+  in
+  let examine st =
+    incr probes;
+    (* 1. Trie checks: can any rule of this subtable match at all? *)
+    let skip = ref false in
+    Array.iteri
+      (fun i plen ->
+        if plen > 0 && ((not !skip) || t.cfg.check_all_tries) then begin
+          let r = trie_res i in
+          if not r.Trie.plens.(plen) then begin
+            (* No stored prefix of the subtable's length covers the
+               packet: un-wildcard just enough leading bits to prove it
+               and skip the subtable. *)
+            add_prefix (Field.of_index i) r.Trie.checked;
+            skip := true
+          end
+        end)
+      st.plen;
+    if not !skip then begin
+      (* 2. Staged hash lookup. *)
+      let stage_miss = ref None in
+      if t.cfg.staged_lookup then begin
+        let si = ref 0 in
+        while !stage_miss = None && !si < last_stage do
+          if st.stage_used.(!si)
+             && not (Hashtbl.mem st.stage_sets.(!si)
+                       (Mask.hash_masked st.stage_masks.(!si) flow))
+          then stage_miss := Some !si;
+          incr si
+        done
+      end;
+      match !stage_miss with
+      | Some si ->
+        (* Genuinely absent at stage [si]: only stages 0..si examined. *)
+        add_mask st.stage_masks.(si)
+      | None ->
+        (* 3. Full-key probe. *)
+        (match Flow_tbl.find_opt st.entries (Mask.apply st.mask flow) with
+         | Some bucket ->
+           add_mask st.mask;
+           (match !bucket with
+            | r :: _ -> if better r then best := Some r
+            | [] -> ())
+         | None -> add_mask st.mask)
+    end
+  in
+  let rec go = function
+    | [] -> ()
+    | st :: rest ->
+      (* Strictly-lower subtables cannot beat [best]; equal-max-priority
+         subtables must still be examined because ties go to the rule
+         added first. *)
+      let stop =
+        match !best with
+        | Some b -> b.Rule.priority > st.max_prio
+        | None -> false
+      in
+      if not stop then begin
+        examine st;
+        go rest
+      end
+  in
+  go (sorted_subtables t);
+  (!best, !probes)
+
+let find t flow = fst (lookup_impl t flow ~wc:None)
+
+let find_wc t flow =
+  let b = Mask.Builder.create () in
+  let rule, probes = lookup_impl t flow ~wc:(Some b) in
+  { rule; megaflow = Mask.Builder.freeze b; probes }
+
+let n_rules t = t.n_rules
+
+let n_subtables t = Mask_tbl.length t.subtables
+
+let subtable_masks t = List.map (fun st -> st.mask) (sorted_subtables t)
+
+let rules t =
+  let acc = ref [] in
+  Mask_tbl.iter
+    (fun _ st -> Flow_tbl.iter (fun _ b -> acc := !b @ !acc) st.entries)
+    t.subtables;
+  List.sort Rule.compare_precedence !acc
+
+let iter f t = List.iter f (rules t)

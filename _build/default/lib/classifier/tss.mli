@@ -1,0 +1,72 @@
+(** Tuple Space Search classifier with OVS-style staged lookup,
+    prefix-trie assisted un-wildcarding and megaflow mask generation.
+
+    Rules are grouped into {e subtables} by their wildcard mask; a
+    lookup probes subtables in decreasing max-priority order, one hash
+    probe each — the linear-in-#masks behaviour the paper attacks. A
+    {!find_wc} lookup additionally accumulates the bits it examined,
+    yielding the megaflow [(key & mask, mask)] the OVS slow path would
+    install: as broad as provably safe ("wildcard as many bits as
+    possible"), which is exactly the property the policy-injection
+    attack turns against the switch. *)
+
+type config = {
+  trie_fields : Field.t list;
+      (** Fields with prefix tries. The paper's measured mask counts
+          (512 and 8192) correspond to tries on the IP source address
+          and the L4 ports; vanilla OVS defaults to IP fields only —
+          pass a narrower list to model that (see DESIGN.md §5). *)
+  check_all_tries : bool;
+      (** When a trie check proves a subtable cannot match, keep
+          checking the subtable's remaining trie fields and accumulate
+          each field's proof bits into the megaflow. [true] reproduces
+          the paper's multiplicative mask explosion; [false] models a
+          short-circuiting classifier (first failing field only). *)
+  staged_lookup : bool;
+      (** Probe subtables stage by stage (metadata → L2 → L3 → L4) so a
+          miss only un-wildcards the stages examined. *)
+}
+
+val default_config : config
+(** Tries on [ip_src; ip_dst; tp_src; tp_dst], [check_all_tries = true],
+    staged lookup on — the configuration that reproduces the paper. *)
+
+val ovs_default_config : config
+(** Tries on [ip_src; ip_dst] only and [check_all_tries = false] —
+    models a stock OVS [prefixes=ip_dst,ip_src] configuration; used by
+    ablation benches. *)
+
+type 'a t
+
+val create : ?config:config -> unit -> 'a t
+
+val config : 'a t -> config
+
+val insert : 'a t -> 'a Rule.t -> unit
+
+val remove : 'a t -> ('a Rule.t -> bool) -> int
+(** Remove every rule satisfying the predicate; returns how many. *)
+
+val find : 'a t -> Flow.t -> 'a Rule.t option
+(** Highest-precedence matching rule. *)
+
+type 'a result = {
+  rule : 'a Rule.t option;
+  megaflow : Mask.t;
+      (** The un-wildcarding result: any flow agreeing with the looked-up
+          flow on these bits is guaranteed the same verdict. *)
+  probes : int;
+      (** Subtables examined (trie skips included) — the lookup cost. *)
+}
+
+val find_wc : 'a t -> Flow.t -> 'a result
+
+val n_rules : 'a t -> int
+val n_subtables : 'a t -> int
+val subtable_masks : 'a t -> Mask.t list
+(** One mask per subtable, in current probe order. *)
+
+val rules : 'a t -> 'a Rule.t list
+(** All rules, in precedence order. *)
+
+val iter : ('a Rule.t -> unit) -> 'a t -> unit

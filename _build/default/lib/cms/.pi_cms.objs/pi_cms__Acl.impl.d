@@ -1,0 +1,1 @@
+lib/cms/acl.ml: Flow Format Ipv4 Ipv4_addr List Option Pi_classifier Pi_pkt

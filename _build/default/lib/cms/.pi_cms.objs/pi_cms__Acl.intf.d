@@ -1,0 +1,1 @@
+lib/cms/acl.mli: Format Pi_classifier Pi_pkt

@@ -1,0 +1,1 @@
+lib/cms/calico_policy.ml: Acl Format List Option Pi_pkt

@@ -1,0 +1,1 @@
+lib/cms/calico_policy.mli: Acl Format Pi_pkt

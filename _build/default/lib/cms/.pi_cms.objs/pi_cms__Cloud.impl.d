@@ -1,0 +1,1 @@
+lib/cms/cloud.ml: Calico_policy Compile Hashtbl Int64 K8s_policy List Logs Openstack_sg Pi_classifier Pi_ovs Pi_pkt Printf String

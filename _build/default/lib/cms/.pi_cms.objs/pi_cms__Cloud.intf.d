@@ -1,0 +1,1 @@
+lib/cms/cloud.mli: Acl Calico_policy K8s_policy Openstack_sg Pi_classifier Pi_ovs Pi_pkt

@@ -1,0 +1,1 @@
+lib/cms/compile.ml: Acl Field Int64 List Pattern Pi_classifier Pi_ovs Pi_pkt Rule

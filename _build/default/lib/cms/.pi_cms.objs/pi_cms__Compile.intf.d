@@ -1,0 +1,1 @@
+lib/cms/compile.mli: Acl Pi_classifier Pi_ovs Pi_pkt

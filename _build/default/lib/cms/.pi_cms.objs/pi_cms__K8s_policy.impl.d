@@ -1,0 +1,1 @@
+lib/cms/k8s_policy.ml: Acl Format Int64 Ipv4_addr List Pi_classifier Pi_pkt

@@ -1,0 +1,1 @@
+lib/cms/k8s_policy.mli: Acl Format Pi_pkt

@@ -1,0 +1,1 @@
+lib/cms/openstack_sg.ml: Acl Format List Pi_pkt

@@ -1,0 +1,1 @@
+lib/cms/openstack_sg.mli: Acl Format Pi_pkt

@@ -1,0 +1,124 @@
+open Pi_pkt
+
+type protocol = Any_proto | Tcp | Udp | Icmp
+
+type port_match =
+  | Any_port
+  | Port of int
+  | Port_range of int * int
+
+type entry = {
+  src : Ipv4_addr.Prefix.t option;
+  dst : Ipv4_addr.Prefix.t option;
+  proto : protocol;
+  src_port : port_match;
+  dst_port : port_match;
+}
+
+let entry ?src ?dst ?(proto = Any_proto) ?(src_port = Any_port)
+    ?(dst_port = Any_port) () =
+  { src; dst; proto; src_port; dst_port }
+
+type verdict = Allow | Deny
+
+type rule = { match_ : entry; verdict : verdict }
+
+type t = { rules : rule list; default : verdict }
+
+let whitelist entries =
+  { rules = List.map (fun e -> { match_ = e; verdict = Allow }) entries;
+    default = Deny }
+
+let allow_all = { rules = []; default = Allow }
+
+type five_tuple = {
+  ft_src : Ipv4_addr.t;
+  ft_dst : Ipv4_addr.t;
+  ft_proto : int;
+  ft_src_port : int;
+  ft_dst_port : int;
+}
+
+let five_tuple_of_flow flow =
+  let open Pi_classifier in
+  { ft_src = Flow.ip_src flow;
+    ft_dst = Flow.ip_dst flow;
+    ft_proto = Flow.ip_proto flow;
+    ft_src_port = Flow.tp_src flow;
+    ft_dst_port = Flow.tp_dst flow }
+
+let proto_number = function
+  | Tcp -> Some Ipv4.proto_tcp
+  | Udp -> Some Ipv4.proto_udp
+  | Icmp -> Some Ipv4.proto_icmp
+  | Any_proto -> None
+
+let port_matches pm p =
+  match pm with
+  | Any_port -> true
+  | Port q -> p = q
+  | Port_range (lo, hi) -> lo <= p && p <= hi
+
+(* Port filters are L4 concepts: they only constrain TCP/UDP packets
+   (and implicitly require one of those protocols when the entry is
+   protocol-agnostic); ICMP entries ignore them. This matches how the
+   CMSs define the fields and how Compile lowers them. *)
+let matches_entry e ft =
+  let has_ports = e.src_port <> Any_port || e.dst_port <> Any_port in
+  let is_l4 = ft.ft_proto = Ipv4.proto_tcp || ft.ft_proto = Ipv4.proto_udp in
+  let proto_and_ports =
+    match e.proto with
+    | Icmp -> ft.ft_proto = Ipv4.proto_icmp
+    | (Tcp | Udp) as p ->
+      ft.ft_proto = Option.get (proto_number p)
+      && port_matches e.src_port ft.ft_src_port
+      && port_matches e.dst_port ft.ft_dst_port
+    | Any_proto ->
+      if has_ports then
+        is_l4
+        && port_matches e.src_port ft.ft_src_port
+        && port_matches e.dst_port ft.ft_dst_port
+      else true
+  in
+  (match e.src with None -> true | Some p -> Ipv4_addr.Prefix.mem ft.ft_src p)
+  && (match e.dst with None -> true | Some p -> Ipv4_addr.Prefix.mem ft.ft_dst p)
+  && proto_and_ports
+
+let eval t ft =
+  let rec go = function
+    | [] -> t.default
+    | r :: rest -> if matches_entry r.match_ ft then r.verdict else go rest
+  in
+  go t.rules
+
+let n_rules t = List.length t.rules
+
+let pp_port ppf = function
+  | Any_port -> Format.pp_print_string ppf "*"
+  | Port p -> Format.pp_print_int ppf p
+  | Port_range (lo, hi) -> Format.fprintf ppf "%d-%d" lo hi
+
+let pp_entry ppf e =
+  let pp_pfx ppf = function
+    | None -> Format.pp_print_string ppf "*"
+    | Some p -> Ipv4_addr.Prefix.pp ppf p
+  in
+  let proto_name =
+    match e.proto with
+    | Any_proto -> "any"
+    | Tcp -> "tcp"
+    | Udp -> "udp"
+    | Icmp -> "icmp"
+  in
+  Format.fprintf ppf "%s %a:%a -> %a:%a" proto_name pp_pfx e.src pp_port
+    e.src_port pp_pfx e.dst pp_port e.dst_port
+
+let pp ppf t =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s %a@."
+        (match r.verdict with Allow -> "allow" | Deny -> "deny")
+        pp_entry r.match_)
+    t.rules;
+  Format.fprintf ppf "default %s"
+    (match t.default with Allow -> "allow" | Deny -> "deny")

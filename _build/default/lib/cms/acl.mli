@@ -1,0 +1,69 @@
+(** The CMS-independent ACL model: the L3/L4 5-tuple filters that
+    Kubernetes NetworkPolicies, OpenStack security groups and Calico
+    policies all reduce to (paper §2), in the Whitelist + Default-Deny
+    shape a typical CMS accepts from tenants. *)
+
+type protocol = Any_proto | Tcp | Udp | Icmp
+
+type port_match =
+  | Any_port
+  | Port of int
+  | Port_range of int * int  (** inclusive; CMSs accept ranges *)
+
+type entry = {
+  src : Pi_pkt.Ipv4_addr.Prefix.t option;  (** [None] = any *)
+  dst : Pi_pkt.Ipv4_addr.Prefix.t option;
+  proto : protocol;
+  src_port : port_match;  (** only honoured by CMSs that can filter on it *)
+  dst_port : port_match;
+}
+
+val entry :
+  ?src:Pi_pkt.Ipv4_addr.Prefix.t ->
+  ?dst:Pi_pkt.Ipv4_addr.Prefix.t ->
+  ?proto:protocol ->
+  ?src_port:port_match ->
+  ?dst_port:port_match ->
+  unit -> entry
+(** Unconstrained fields default to any. *)
+
+type verdict = Allow | Deny
+
+type rule = { match_ : entry; verdict : verdict }
+
+type t = {
+  rules : rule list;   (** evaluated in order, first match wins *)
+  default : verdict;
+}
+
+val whitelist : entry list -> t
+(** Allow the entries, deny everything else — the ACL shape the paper
+    attacks. *)
+
+val allow_all : t
+
+(** Semantic five-tuple used by the reference evaluator. *)
+type five_tuple = {
+  ft_src : Pi_pkt.Ipv4_addr.t;
+  ft_dst : Pi_pkt.Ipv4_addr.t;
+  ft_proto : int;
+  ft_src_port : int;
+  ft_dst_port : int;
+}
+
+val five_tuple_of_flow : Pi_classifier.Flow.t -> five_tuple
+
+val matches_entry : entry -> five_tuple -> bool
+(** Port filters only constrain TCP/UDP (a protocol-agnostic entry with
+    a port filter implicitly requires TCP or UDP); ICMP entries ignore
+    them — the semantics the CMSs give these fields, and what
+    {!Compile} lowers. *)
+
+val eval : t -> five_tuple -> verdict
+(** Reference semantics; the compilation to flow rules is
+    property-tested against this. *)
+
+val n_rules : t -> int
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+type entity_match = {
+  nets : Pi_pkt.Ipv4_addr.Prefix.t list;
+  ports : Acl.port_match list;
+}
+
+let any_entity = { nets = []; ports = [] }
+
+type action = Allow | Deny
+
+type rule = {
+  action : action;
+  protocol : Acl.protocol;
+  source : entity_match;
+  destination : entity_match;
+}
+
+let rule ?(action = Allow) ?(protocol = Acl.Any_proto)
+    ?(source = any_entity) ?(destination = any_entity) () =
+  { action; protocol; source; destination }
+
+type t = {
+  name : string;
+  order : int;
+  selector : string;
+  ingress : rule list;
+}
+
+let make ?(order = 100) ~name ~selector ~ingress () =
+  { name; order; selector; ingress }
+
+let option_list = function [] -> [ None ] | l -> List.map (fun x -> Some x) l
+
+let entries_of_rule r =
+  let srcs = option_list r.source.nets in
+  let sports = option_list r.source.ports in
+  let dsts = option_list r.destination.nets in
+  let dports = option_list r.destination.ports in
+  List.concat_map
+    (fun src ->
+      List.concat_map
+        (fun dst ->
+          List.concat_map
+            (fun sport ->
+              List.map
+                (fun dport ->
+                  Acl.entry ?src ?dst ~proto:r.protocol
+                    ~src_port:(Option.value sport ~default:Acl.Any_port)
+                    ~dst_port:(Option.value dport ~default:Acl.Any_port)
+                    ())
+                dports)
+            sports)
+        dsts)
+    srcs
+
+let to_acl t =
+  let rules =
+    List.concat_map
+      (fun r ->
+        let verdict =
+          match r.action with Allow -> Acl.Allow | Deny -> Acl.Deny
+        in
+        List.map
+          (fun e -> { Acl.match_ = e; verdict })
+          (entries_of_rule r))
+      t.ingress
+  in
+  { Acl.rules; default = Acl.Deny }
+
+let pp ppf t =
+  Format.fprintf ppf "CalicoPolicy %s (order %d, selector %s, %d ingress rules)"
+    t.name t.order t.selector (List.length t.ingress)

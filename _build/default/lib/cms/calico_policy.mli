@@ -1,0 +1,45 @@
+(** Calico network policy ([projectcalico.org/v3], reduced).
+
+    The property the paper exploits: unlike plain Kubernetes
+    NetworkPolicy, Calico rules can also match the {e source} L4 port
+    ("the Kubernetes networking plugin Calico does this"), which is what
+    pushes the attack from 512 to 8192 megaflow masks — a full DoS. *)
+
+type entity_match = {
+  nets : Pi_pkt.Ipv4_addr.Prefix.t list;  (** empty = any *)
+  ports : Acl.port_match list;            (** empty = any *)
+}
+
+val any_entity : entity_match
+
+type action = Allow | Deny
+
+type rule = {
+  action : action;
+  protocol : Acl.protocol;
+  source : entity_match;
+  destination : entity_match;
+}
+
+val rule :
+  ?action:action ->
+  ?protocol:Acl.protocol ->
+  ?source:entity_match ->
+  ?destination:entity_match ->
+  unit -> rule
+
+type t = {
+  name : string;
+  order : int;          (** lower order evaluated first, as in Calico *)
+  selector : string;
+  ingress : rule list;
+}
+
+val make : ?order:int -> name:string -> selector:string -> ingress:rule list -> unit -> t
+
+val to_acl : t -> Acl.t
+(** ACL with the policy's explicit allow/deny rules in order and a
+    default deny (Calico's implicit behaviour once a policy selects a
+    workload). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+(** The cloud: servers running hypervisor switches, tenant pods attached
+    to virtual ports, and the management API through which tenants
+    deploy pods and inject network policies — the paper's Fig. 1
+    test setup.
+
+    The management plane performs the CMS's (limited) validation: a
+    tenant may only attach policies to its own pods, and only policy
+    types the chosen CMS flavour supports. This is the point the paper
+    makes: all of these policies look perfectly legitimate to the CMS,
+    yet they arm the dataplane DoS. *)
+
+type flavour =
+  | Kubernetes      (** NetworkPolicy: src IP + dst port *)
+  | Openstack       (** security groups: src CIDR + dst port range *)
+  | Kubernetes_calico  (** Calico: + src port — the full-DoS enabler *)
+
+type pod = {
+  pod_name : string;
+  tenant : string;
+  ip : Pi_pkt.Ipv4_addr.t;
+  server : string;
+  port : Pi_ovs.Switch.port;
+  mutable labels : string list;
+}
+
+type t
+
+val create :
+  ?flavour:flavour -> ?switch_config:Pi_ovs.Datapath.config ->
+  ?tss_config:Pi_classifier.Tss.config ->
+  seed:int64 -> n_servers:int -> unit -> t
+
+val flavour : t -> flavour
+
+val servers : t -> string list
+val switch : t -> string -> Pi_ovs.Switch.t
+(** Raises [Not_found] for an unknown server. *)
+
+val deploy_pod :
+  t -> tenant:string -> name:string -> ?labels:string list ->
+  server:string -> ip:Pi_pkt.Ipv4_addr.t -> unit -> pod
+
+val pod : t -> string -> pod option
+val pods : t -> pod list
+val pods_by_label : t -> string -> pod list
+
+val resolve_selector : t -> string -> Pi_pkt.Ipv4_addr.Prefix.t list
+(** Pod-IP /32 prefixes of the pods carrying the label. *)
+
+val apply_acl : t -> pod:pod -> tenant:string -> Acl.t -> (unit, string) result
+(** Install the whitelist ACL as the pod's ingress policy (compiled and
+    pushed into the pod's server switch). Fails if [tenant] does not own
+    the pod. Replaces any previous policy of the pod. *)
+
+val apply_k8s_policy :
+  t -> tenant:string -> K8s_policy.t -> (int, string) result
+(** Apply to every owned pod selected by the policy; returns the number
+    of pods programmed. Fails on non-Kubernetes clouds. *)
+
+val apply_security_group :
+  t -> tenant:string -> pod:pod -> Openstack_sg.t -> (unit, string) result
+(** Fails unless the cloud is OpenStack-flavoured. *)
+
+val apply_calico_policy :
+  t -> tenant:string -> Calico_policy.t -> (int, string) result
+(** Fails unless the cloud runs Calico. *)
+
+val process :
+  t -> now:float -> server:string -> Pi_classifier.Flow.t -> pkt_len:int ->
+  Pi_ovs.Action.t * Pi_ovs.Cost_model.outcome
+(** Push one packet (as a flow key) through a server's switch. *)
+
+type hop = {
+  hop_server : string;
+  hop_action : Pi_ovs.Action.t;
+  hop_outcome : Pi_ovs.Cost_model.outcome;
+}
+
+val deliver :
+  t -> now:float -> src_pod:pod -> Pi_classifier.Flow.t -> pkt_len:int ->
+  hop list
+(** Pod-to-pod delivery across the data-center fabric (Fig. 1): classify
+    at the source pod's server (in at the pod's port; traffic to
+    non-local destinations takes the uplink), then — when forwarded to a
+    pod on another server — again at the destination server (in at its
+    uplink), since both hypervisors run the shared flow caches. Returns
+    the per-hop results, source first; the packet was delivered iff the
+    last hop's action is an [Output] to the destination pod's port. *)
+
+val revalidate_all : t -> now:float -> int

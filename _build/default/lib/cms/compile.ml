@@ -1,0 +1,106 @@
+open Pi_classifier
+
+let base_priority = 32768
+let default_priority = 1
+
+let range_prefixes lo hi =
+  if lo < 0 || hi > 0xFFFF || lo > hi then invalid_arg "Compile.range_prefixes";
+  let rec fit lo k =
+    if k < 16
+       && lo land ((1 lsl (k + 1)) - 1) = 0
+       && lo + (1 lsl (k + 1)) - 1 <= hi
+    then fit lo (k + 1)
+    else k
+  in
+  let rec go lo acc =
+    if lo > hi then List.rev acc
+    else begin
+      let k = fit lo 0 in
+      go (lo + (1 lsl k)) ((lo, 16 - k) :: acc)
+    end
+  in
+  go lo []
+
+let port_prefixes = function
+  | Acl.Any_port -> [ None ]
+  | Acl.Port p -> [ Some (p, 16) ]
+  | Acl.Port_range (lo, hi) ->
+    List.map (fun pl -> Some pl) (range_prefixes lo hi)
+
+(* A port filter is meaningful only for TCP/UDP; Any_proto with ports
+   expands over both, and ICMP ignores ports. *)
+let protocols_of_entry (e : Acl.entry) =
+  let has_ports =
+    e.Acl.src_port <> Acl.Any_port || e.Acl.dst_port <> Acl.Any_port
+  in
+  match e.Acl.proto with
+  | Acl.Tcp -> [ Some Pi_pkt.Ipv4.proto_tcp ]
+  | Acl.Udp -> [ Some Pi_pkt.Ipv4.proto_udp ]
+  | Acl.Icmp -> [ Some Pi_pkt.Ipv4.proto_icmp ]
+  | Acl.Any_proto ->
+    if has_ports then [ Some Pi_pkt.Ipv4.proto_tcp; Some Pi_pkt.Ipv4.proto_udp ]
+    else [ None ]
+
+let scope ?in_port ?dst pat =
+  let pat =
+    match in_port with None -> pat | Some p -> Pattern.with_in_port pat p
+  in
+  match dst with None -> pat | Some d -> Pattern.with_ip_dst pat d
+
+let patterns_of_entry ?in_port ?dst (e : Acl.entry) =
+  let base = scope ?in_port ?dst Pattern.any in
+  let base = Pattern.with_eth_type base Pi_pkt.Ethernet.ethertype_ipv4 in
+  let base =
+    match e.Acl.src with None -> base | Some p -> Pattern.with_ip_src base p
+  in
+  let base =
+    (* An explicit entry destination narrows (or overrides within) the
+       policy scope. *)
+    match e.Acl.dst with None -> base | Some p -> Pattern.with_ip_dst base p
+  in
+  let with_port field pat = function
+    | None -> pat
+    | Some (v, len) -> Pattern.with_prefix pat field ~len (Int64.of_int v)
+  in
+  let ports_irrelevant proto =
+    match proto with Some p when p = Pi_pkt.Ipv4.proto_icmp -> true | _ -> false
+  in
+  List.concat_map
+    (fun proto ->
+      let pat =
+        match proto with
+        | None -> base
+        | Some p -> Pattern.with_ip_proto base p
+      in
+      if ports_irrelevant proto then [ pat ]
+      else
+        List.concat_map
+          (fun sp ->
+            List.map
+              (fun dp ->
+                with_port Field.Tp_dst (with_port Field.Tp_src pat sp) dp)
+              (port_prefixes e.Acl.dst_port))
+          (port_prefixes e.Acl.src_port))
+    (protocols_of_entry e)
+
+let compile ?in_port ?dst ~allow ?(deny = Pi_ovs.Action.Drop) (acl : Acl.t) =
+  let action_of = function Acl.Allow -> allow | Acl.Deny -> deny in
+  let rules = ref [] in
+  List.iteri
+    (fun i (r : Acl.rule) ->
+      let priority = base_priority - i in
+      if priority <= default_priority then
+        invalid_arg "Compile.compile: too many ACL rules";
+      List.iter
+        (fun pattern ->
+          rules :=
+            Rule.make ~priority ~pattern ~action:(action_of r.Acl.verdict) ()
+            :: !rules)
+        (patterns_of_entry ?in_port ?dst r.Acl.match_))
+    acl.Acl.rules;
+  let catch_all = scope ?in_port ?dst Pattern.any in
+  rules :=
+    Rule.make ~priority:default_priority ~pattern:catch_all
+      ~action:(action_of acl.Acl.default) ()
+    :: !rules;
+  List.rev !rules

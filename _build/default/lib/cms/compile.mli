@@ -1,0 +1,39 @@
+(** Compilation of ACLs into prioritized flow-table rules — the job of
+    the CNI plugin / Neutron agent that programs the hypervisor switch.
+
+    Port ranges are decomposed into maximal aligned prefixes (the
+    standard range-to-prefix expansion), protocol-agnostic port filters
+    are expanded over TCP and UDP, and the default verdict becomes a
+    lowest-priority catch-all. First-match-wins ACL order is preserved
+    through descending priorities. *)
+
+val base_priority : int
+(** Priority of the first ACL rule's patterns (32768). *)
+
+val default_priority : int
+(** Priority of the default catch-all (1). *)
+
+val range_prefixes : int -> int -> (int * int) list
+(** [range_prefixes lo hi] covers the inclusive port range with maximal
+    aligned prefixes [(value, prefix_len)] over 16 bits, in increasing
+    order. Raises [Invalid_argument] on an empty or out-of-range
+    interval. *)
+
+val patterns_of_entry :
+  ?in_port:int -> ?dst:Pi_pkt.Ipv4_addr.Prefix.t ->
+  Acl.entry -> Pi_classifier.Pattern.t list
+(** The flow patterns equivalent to one ACL entry (cross product of
+    protocol expansion and port-range prefixes). *)
+
+val compile :
+  ?in_port:int ->
+  ?dst:Pi_pkt.Ipv4_addr.Prefix.t ->
+  allow:Pi_ovs.Action.t ->
+  ?deny:Pi_ovs.Action.t ->
+  Acl.t ->
+  Pi_ovs.Action.t Pi_classifier.Rule.t list
+(** Flow rules implementing the ACL: [allow] (typically
+    [Output pod_port]) for whitelisted traffic, [deny] (default [Drop])
+    otherwise. [in_port] scopes every rule (including the catch-all) to
+    a virtual port; [dst] scopes them to the protected pod's address —
+    how an ingress NetworkPolicy lands in the shared flow table. *)

@@ -1,0 +1,98 @@
+open Pi_pkt
+
+type ip_block = {
+  cidr : Ipv4_addr.Prefix.t;
+  except : Ipv4_addr.Prefix.t list;
+}
+
+type peer =
+  | Ip_block of ip_block
+  | Pod_selector of string
+
+type port = {
+  protocol : Acl.protocol;
+  port : int option;
+}
+
+type ingress_rule = {
+  from : peer list;
+  ports : port list;
+}
+
+type t = {
+  name : string;
+  pod_selector : string;
+  ingress : ingress_rule list;
+}
+
+let make ~name ~pod_selector ~ingress = { name; pod_selector; ingress }
+
+(* cidr \ except, as maximal prefixes: build a trie of the excepted
+   blocks (relative to the full 32-bit space), take its complement and
+   keep the pieces inside cidr. *)
+let block_prefixes b =
+  List.iter
+    (fun e ->
+      if not (Ipv4_addr.Prefix.subset e b.cidr) then
+        invalid_arg "K8s_policy.block_prefixes: except outside cidr")
+    b.except;
+  if b.except = [] then
+    [ (b.cidr.Ipv4_addr.Prefix.base, b.cidr.Ipv4_addr.Prefix.len) ]
+  else begin
+    let trie = Pi_classifier.Trie.create ~width:32 in
+    List.iter
+      (fun (e : Ipv4_addr.Prefix.t) ->
+        Pi_classifier.Trie.insert trie
+          ~value:(Int64.logand (Int64.of_int32 e.Ipv4_addr.Prefix.base) 0xFFFFFFFFL)
+          ~len:e.Ipv4_addr.Prefix.len)
+      b.except;
+    Pi_classifier.Trie.complement trie
+    |> List.filter_map (fun (v, len) ->
+           let addr = Int64.to_int32 v in
+           let p = Ipv4_addr.Prefix.make addr len in
+           if Ipv4_addr.Prefix.subset p b.cidr then Some (p.Ipv4_addr.Prefix.base, p.Ipv4_addr.Prefix.len)
+           else if Ipv4_addr.Prefix.subset b.cidr p then
+             (* The uncovered piece is broader than cidr: clip to cidr. *)
+             Some (b.cidr.Ipv4_addr.Prefix.base, b.cidr.Ipv4_addr.Prefix.len)
+           else None)
+  end
+
+let to_acl ~resolve t =
+  let sources_of rule =
+    if rule.from = [] then [ None ]
+    else
+      List.concat_map
+        (fun peer ->
+          match peer with
+          | Ip_block b ->
+            List.map
+              (fun (base, len) -> Some (Ipv4_addr.Prefix.make base len))
+              (block_prefixes b)
+          | Pod_selector sel -> List.map (fun p -> Some p) (resolve sel))
+        rule.from
+  in
+  let ports_of rule =
+    if rule.ports = [] then [ (Acl.Any_proto, Acl.Any_port) ]
+    else
+      List.map
+        (fun (p : port) ->
+          ( p.protocol,
+            match p.port with None -> Acl.Any_port | Some n -> Acl.Port n ))
+        rule.ports
+  in
+  let entries =
+    List.concat_map
+      (fun rule ->
+        List.concat_map
+          (fun src ->
+            List.map
+              (fun (proto, dst_port) -> Acl.entry ?src ~proto ~dst_port ())
+              (ports_of rule))
+          (sources_of rule))
+      t.ingress
+  in
+  Acl.whitelist entries
+
+let pp ppf t =
+  Format.fprintf ppf "NetworkPolicy %s (podSelector %s, %d ingress rules)"
+    t.name t.pod_selector (List.length t.ingress)

@@ -1,0 +1,51 @@
+(** Kubernetes NetworkPolicy (the [networking.k8s.io/v1] data model,
+    reduced to the fields that reach the dataplane).
+
+    Kubernetes lets a tenant whitelist ingress traffic by source
+    ([ipBlock] CIDRs with [except], or pod selectors resolved to pod
+    IPs) and by destination port/protocol. Crucially for the paper,
+    NetworkPolicy can express {e IP-source + destination-port} filters —
+    enough for the 512-mask attack — but {e not} source ports (that
+    needs Calico, see {!Calico_policy}). *)
+
+type ip_block = {
+  cidr : Pi_pkt.Ipv4_addr.Prefix.t;
+  except : Pi_pkt.Ipv4_addr.Prefix.t list;
+      (** carved out of [cidr]; must be subsets of it *)
+}
+
+type peer =
+  | Ip_block of ip_block
+  | Pod_selector of string  (** label selector, resolved via [resolve] *)
+
+type port = {
+  protocol : Acl.protocol;  (** TCP or UDP (K8s has no ICMP ports) *)
+  port : int option;        (** [None] = all ports of the protocol *)
+}
+
+type ingress_rule = {
+  from : peer list;   (** empty = any source *)
+  ports : port list;  (** empty = any port *)
+}
+
+type t = {
+  name : string;
+  pod_selector : string;   (** the pods this policy protects *)
+  ingress : ingress_rule list;
+}
+
+val make :
+  name:string -> pod_selector:string -> ingress:ingress_rule list -> t
+
+val block_prefixes : ip_block -> (Pi_pkt.Ipv4_addr.t * int) list
+(** The maximal prefixes covering [cidr] minus the [except] blocks
+    (computed by trie complement — the same machinery OVS's
+    un-wildcarding uses). *)
+
+val to_acl :
+  resolve:(string -> Pi_pkt.Ipv4_addr.Prefix.t list) -> t -> Acl.t
+(** The whitelist + default-deny ACL this policy induces at each
+    selected pod's port. [resolve] maps a pod selector to pod-IP /32
+    prefixes. *)
+
+val pp : Format.formatter -> t -> unit

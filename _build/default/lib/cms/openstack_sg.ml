@@ -1,0 +1,44 @@
+type direction = Ingress | Egress
+
+type rule = {
+  direction : direction;
+  protocol : Acl.protocol;
+  remote_ip_prefix : Pi_pkt.Ipv4_addr.Prefix.t option;
+  port_range_min : int option;
+  port_range_max : int option;
+}
+
+let rule ?(direction = Ingress) ?(protocol = Acl.Any_proto) ?remote_ip_prefix
+    ?port_range_min ?port_range_max () =
+  { direction; protocol; remote_ip_prefix; port_range_min; port_range_max }
+
+type t = {
+  name : string;
+  rules : rule list;
+}
+
+let make ~name ~rules = { name; rules }
+
+let port_match_of r =
+  match (r.port_range_min, r.port_range_max) with
+  | None, None -> Acl.Any_port
+  | Some lo, Some hi -> if lo = hi then Acl.Port lo else Acl.Port_range (lo, hi)
+  | Some p, None | None, Some p -> Acl.Port p
+
+let to_acl direction t =
+  let entries =
+    List.filter_map
+      (fun r ->
+        if r.direction <> direction then None
+        else begin
+          let dst_port = port_match_of r in
+          match direction with
+          | Ingress -> Some (Acl.entry ?src:r.remote_ip_prefix ~proto:r.protocol ~dst_port ())
+          | Egress -> Some (Acl.entry ?dst:r.remote_ip_prefix ~proto:r.protocol ~dst_port ())
+        end)
+      t.rules
+  in
+  Acl.whitelist entries
+
+let pp ppf t =
+  Format.fprintf ppf "SecurityGroup %s (%d rules)" t.name (List.length t.rules)

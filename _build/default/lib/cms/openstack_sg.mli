@@ -1,0 +1,39 @@
+(** OpenStack Neutron security groups (the paper's reference [7]).
+
+    Security-group rules whitelist traffic by direction, protocol,
+    remote CIDR and a destination port {e range}; there is no
+    source-port filter. The default group behaviour is deny-all for
+    ingress. *)
+
+type direction = Ingress | Egress
+
+type rule = {
+  direction : direction;
+  protocol : Acl.protocol;
+  remote_ip_prefix : Pi_pkt.Ipv4_addr.Prefix.t option;
+  port_range_min : int option;
+  port_range_max : int option;
+}
+
+val rule :
+  ?direction:direction ->
+  ?protocol:Acl.protocol ->
+  ?remote_ip_prefix:Pi_pkt.Ipv4_addr.Prefix.t ->
+  ?port_range_min:int ->
+  ?port_range_max:int ->
+  unit -> rule
+(** Defaults: ingress, any protocol, any remote, all ports. *)
+
+type t = {
+  name : string;
+  rules : rule list;
+}
+
+val make : name:string -> rules:rule list -> t
+
+val to_acl : direction -> t -> Acl.t
+(** The whitelist + default-deny ACL the group induces for one
+    direction. For ingress, [remote_ip_prefix] constrains the source;
+    the port range constrains the destination port. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/attack.ml: Campaign Format Int64 List Packet_gen Pi_classifier Pi_cms Pi_pkt Policy_gen Predict Seq

@@ -1,0 +1,1 @@
+lib/core/attack.mli: Campaign Format Pi_classifier Pi_cms Pi_pkt Policy_gen Seq Variant

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Int64 Packet_gen Policy_gen Predict Seq

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Packet_gen Pi_classifier Seq

@@ -1,0 +1,1 @@
+lib/core/packet_gen.ml: Field Flow Int64 List Pi_classifier Pi_cms Pi_pkt Policy_gen Variant

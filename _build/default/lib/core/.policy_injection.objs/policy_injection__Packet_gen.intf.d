@@ -1,0 +1,1 @@
+lib/core/packet_gen.mli: Pi_classifier Pi_pkt Policy_gen

@@ -1,0 +1,1 @@
+lib/core/policy_gen.ml: Acl Calico_policy K8s_policy Openstack_sg Pi_cms Pi_pkt Variant

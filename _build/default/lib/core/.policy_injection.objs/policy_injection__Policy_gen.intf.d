@@ -1,0 +1,1 @@
+lib/core/policy_gen.mli: Pi_cms Pi_pkt Variant

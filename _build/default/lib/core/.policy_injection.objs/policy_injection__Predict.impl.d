@@ -1,0 +1,1 @@
+lib/core/predict.ml: Field Int List Pi_classifier Trie Tss Variant

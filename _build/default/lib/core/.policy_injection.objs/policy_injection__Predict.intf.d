@@ -1,0 +1,1 @@
+lib/core/predict.mli: Pi_classifier Variant

@@ -1,0 +1,1 @@
+lib/core/variant.ml: Format List Pi_classifier Pi_cms String

@@ -1,0 +1,83 @@
+type t = {
+  pod : Pi_cms.Cloud.pod;
+  spec : Policy_gen.spec;
+  campaign : Campaign.t;
+}
+
+type error =
+  | Not_expressible of string
+  | Cms_rejected of string
+
+let pp_error ppf = function
+  | Not_expressible m -> Format.fprintf ppf "not expressible: %s" m
+  | Cms_rejected m -> Format.fprintf ppf "CMS rejected: %s" m
+
+(* Label used both for pod selection and policy attachment. *)
+let attack_label = "app=pi-target"
+
+let install_policy cloud ~tenant ~(pod : Pi_cms.Cloud.pod) spec =
+  if not (List.mem attack_label pod.Pi_cms.Cloud.labels) then
+    pod.Pi_cms.Cloud.labels <- attack_label :: pod.Pi_cms.Cloud.labels;
+  match Pi_cms.Cloud.flavour cloud with
+  | Pi_cms.Cloud.Kubernetes -> begin
+    match Policy_gen.k8s_policy ~pod_selector:attack_label spec with
+    | exception Invalid_argument m -> Error (Not_expressible m)
+    | policy -> begin
+      match Pi_cms.Cloud.apply_k8s_policy cloud ~tenant policy with
+      | Ok _ -> Ok ()
+      | Error m -> Error (Cms_rejected m)
+    end
+  end
+  | Pi_cms.Cloud.Openstack -> begin
+    match Policy_gen.security_group spec with
+    | exception Invalid_argument m -> Error (Not_expressible m)
+    | sg -> begin
+      match Pi_cms.Cloud.apply_security_group cloud ~tenant ~pod sg with
+      | Ok () -> Ok ()
+      | Error m -> Error (Cms_rejected m)
+    end
+  end
+  | Pi_cms.Cloud.Kubernetes_calico -> begin
+    let policy = Policy_gen.calico_policy ~selector:attack_label spec in
+    match Pi_cms.Cloud.apply_calico_policy cloud ~tenant policy with
+    | Ok _ -> Ok ()
+    | Error m -> Error (Cms_rejected m)
+  end
+
+let launch ?(refresh_period = 5.) ?(covert_pkt_len = 100)
+    ?(trusted_src = Pi_pkt.Ipv4_addr.of_string "10.0.0.10") ?(seed = 0x5EEDL)
+    ~cloud ~tenant ~pod ~variant ~start ~stop () =
+  let spec = { (Policy_gen.default_spec ~variant ~allow_src:trusted_src ()) with
+               Policy_gen.variant } in
+  match install_policy cloud ~tenant ~pod spec with
+  | Error _ as e -> e
+  | Ok () ->
+    let gen =
+      Packet_gen.make ~pkt_len:covert_pkt_len ~spec ~dst:pod.Pi_cms.Cloud.ip ()
+    in
+    let campaign = Campaign.make ~refresh_period ~seed ~gen ~start ~stop () in
+    Ok { pod; spec; campaign }
+
+let feed t cloud ~upto events =
+  let uplink = 1 in
+  let rec go events =
+    match events () with
+    | Seq.Nil -> Seq.empty
+    | Seq.Cons ((ts, flow), rest) ->
+      if ts >= upto then fun () -> Seq.Cons ((ts, flow), rest)
+      else begin
+        let flow =
+          Pi_classifier.Flow.with_field flow Pi_classifier.Field.In_port
+            (Int64.of_int uplink)
+        in
+        ignore
+          (Pi_cms.Cloud.process cloud ~now:ts
+             ~server:t.pod.Pi_cms.Cloud.server flow
+             ~pkt_len:t.campaign.Campaign.gen.Packet_gen.pkt_len);
+        go rest
+      end
+  in
+  go events
+
+let expected_masks t =
+  Predict.variant_masks t.spec.Policy_gen.variant

@@ -1,0 +1,56 @@
+(** End-to-end attack orchestration against a {!Pi_cms.Cloud}: the whole
+    kill chain of the paper's Fig. 1 in one call.
+
+    [launch] performs what the tenant would: deploy (or reuse) a pod,
+    express the malicious whitelist in the cloud's native policy
+    language (NetworkPolicy / security group / Calico policy — whichever
+    the flavour supports), push it through the management plane's
+    validation, and return the covert campaign to feed it with.
+
+    The management plane cannot tell this apart from legitimate
+    microsegmentation — that is the paper's point — but it {e will}
+    refuse variants its policy language cannot express (plain Kubernetes
+    and OpenStack have no source-port filters), which is why the full
+    8192-mask attack needs a Calico cloud. *)
+
+type t = {
+  pod : Pi_cms.Cloud.pod;       (** the attacker's pod (ACL target) *)
+  spec : Policy_gen.spec;
+  campaign : Campaign.t;
+}
+
+type error =
+  | Not_expressible of string
+      (** the CMS flavour cannot express the variant *)
+  | Cms_rejected of string      (** management-plane validation failed *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val launch :
+  ?refresh_period:float ->
+  ?covert_pkt_len:int ->
+  ?trusted_src:Pi_pkt.Ipv4_addr.t ->
+  ?seed:int64 ->
+  cloud:Pi_cms.Cloud.t ->
+  tenant:string ->
+  pod:Pi_cms.Cloud.pod ->
+  variant:Variant.t ->
+  start:float ->
+  stop:float ->
+  unit ->
+  (t, error) result
+(** Install the malicious policy on [pod] (owned by [tenant]) via the
+    cloud's native policy API and build the covert campaign for
+    [\[start, stop)]. Fails without side effects if the flavour cannot
+    express [variant] or the CMS rejects the request. *)
+
+val feed :
+  t -> Pi_cms.Cloud.t -> upto:float ->
+  (float * Pi_classifier.Flow.t) Seq.t -> (float * Pi_classifier.Flow.t) Seq.t
+(** [feed t cloud ~upto events] consumes and processes the covert events
+    with timestamp < [upto] through the pod's server switch (in at the
+    uplink, port 1), returning the remaining sequence — a convenience
+    for step-driven simulations and the examples. *)
+
+val expected_masks : t -> int
+(** {!Predict.variant_masks} for the launched variant. *)

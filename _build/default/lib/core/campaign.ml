@@ -1,0 +1,48 @@
+type t = {
+  gen : Packet_gen.t;
+  start : float;
+  stop : float;
+  refresh_period : float;
+  seed : int64;
+}
+
+let make ?(refresh_period = 5.) ?(seed = 0x5EEDL) ~gen ~start ~stop () =
+  if stop < start || refresh_period <= 0. then invalid_arg "Campaign.make";
+  { gen; start; stop; refresh_period; seed }
+
+let n_packets_per_round t =
+  Predict.covert_packets t.gen.Packet_gen.spec.Policy_gen.variant
+
+let rate_pps t = float_of_int (n_packets_per_round t) /. t.refresh_period
+
+let bandwidth_bps t =
+  rate_pps t *. float_of_int (t.gen.Packet_gen.pkt_len * 8)
+
+let round_seed t round =
+  Int64.add t.seed (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int round))
+
+let round_flows t ~round = Packet_gen.flows ~seed:(round_seed t round) t.gen
+
+let n_rounds t =
+  int_of_float (ceil ((t.stop -. t.start) /. t.refresh_period))
+
+let events t =
+  let per_round = n_packets_per_round t in
+  let spacing = t.refresh_period /. float_of_int per_round in
+  let rec round_seq round () =
+    let t0 = t.start +. (float_of_int round *. t.refresh_period) in
+    if t0 >= t.stop then Seq.Nil
+    else begin
+      let flows = round_flows t ~round in
+      let rec emit i = function
+        | [] -> round_seq (round + 1)
+        | f :: rest ->
+          fun () ->
+            let ts = t0 +. (float_of_int i *. spacing) in
+            if ts >= t.stop then Seq.Nil
+            else Seq.Cons ((ts, f), emit (i + 1) rest)
+      in
+      emit 0 flows ()
+    end
+  in
+  round_seq 0

@@ -1,0 +1,35 @@
+(** Attack campaign: the covert stream over time.
+
+    The megaflow cache evicts entries idle for [idle_timeout] (10 s by
+    default), so the attacker must re-send each covert flow at least
+    once per refresh period. One round of the full Calico variant is
+    8192 packets; at 100-byte frames a 5-second refresh costs ~1.3 Mb/s
+    — the paper's "low-bandwidth (1–2 Mbps) covert packet stream". *)
+
+type t = {
+  gen : Packet_gen.t;
+  start : float;            (** attack start time, seconds *)
+  stop : float;
+  refresh_period : float;   (** seconds between full re-sends *)
+  seed : int64;
+}
+
+val make :
+  ?refresh_period:float -> ?seed:int64 ->
+  gen:Packet_gen.t -> start:float -> stop:float -> unit -> t
+(** [refresh_period] defaults to 5 s (half the default idle timeout). *)
+
+val rate_pps : t -> float
+(** Packets per second of the sustained covert stream. *)
+
+val bandwidth_bps : t -> float
+
+val events : t -> (float * Pi_classifier.Flow.t) Seq.t
+(** Timed covert packets: each refresh round re-sends every flow, evenly
+    paced across the refresh period. Flow keys are regenerated each
+    round with a derived seed (fresh low bits, same megaflow masks). *)
+
+val round_flows : t -> round:int -> Pi_classifier.Flow.t list
+(** The flows of one refresh round. *)
+
+val n_rounds : t -> int

@@ -1,0 +1,103 @@
+open Pi_classifier
+
+type t = {
+  spec : Policy_gen.spec;
+  dst : Pi_pkt.Ipv4_addr.t;
+  pkt_len : int;
+}
+
+let make ?(pkt_len = 100) ~spec ~dst () = { spec; dst; pkt_len }
+
+let divergent_value ~width ~allowed ~depth ~rand =
+  if depth < 1 || depth > width then invalid_arg "Packet_gen.divergent_value";
+  let full = Int64.sub (Int64.shift_left 1L width) 1L in
+  let keep = depth - 1 in
+  (* high [keep] bits from [allowed], flipped bit at position [depth],
+     low bits from [rand] *)
+  let high_mask =
+    if keep = 0 then 0L
+    else Int64.logand (Int64.shift_left (-1L) (width - keep)) full
+  in
+  let flip_bit = Int64.shift_left 1L (width - depth) in
+  let low_mask = Int64.sub flip_bit 1L in
+  let flipped =
+    Int64.logxor (Int64.logand allowed flip_bit) flip_bit
+  in
+  Int64.logor
+    (Int64.logand allowed high_mask)
+    (Int64.logor flipped (Int64.logand rand low_mask))
+
+let proto_number spec =
+  match spec.Policy_gen.proto with
+  | Pi_cms.Acl.Tcp -> Pi_pkt.Ipv4.proto_tcp
+  | Pi_cms.Acl.Udp -> Pi_pkt.Ipv4.proto_udp
+  | Pi_cms.Acl.Icmp | Pi_cms.Acl.Any_proto -> Pi_pkt.Ipv4.proto_udp
+
+(* The allowed (exact) value of each targeted field. *)
+let allowed_value spec f =
+  match f with
+  | Field.Ip_src ->
+    Int64.logand (Int64.of_int32 spec.Policy_gen.allow_src) 0xFFFFFFFFL
+  | Field.Tp_src -> Int64.of_int spec.Policy_gen.allow_sport
+  | Field.Tp_dst -> Int64.of_int spec.Policy_gen.allow_dport
+  | _ -> invalid_arg "Packet_gen.allowed_value: unsupported field"
+
+let base_flow t =
+  Flow.make ~ip_dst:t.dst ~ip_proto:(proto_number t.spec)
+    ~ip_src:t.spec.Policy_gen.allow_src
+    ~tp_src:t.spec.Policy_gen.allow_sport
+    ~tp_dst:t.spec.Policy_gen.allow_dport ()
+
+let allow_flow t = base_flow t
+
+let flows ?(seed = 0xC0FFEEL) t =
+  let rng = Pi_pkt.Prng.create seed in
+  let fields = Variant.fields t.spec.Policy_gen.variant in
+  (* Depth tuples: the cartesian product of [1..width f] per field. *)
+  let rec enumerate acc = function
+    | [] -> List.rev_map List.rev acc
+    | f :: rest ->
+      let w = Field.width f in
+      let acc' =
+        List.concat_map
+          (fun partial ->
+            List.init w (fun d -> (f, d + 1) :: partial))
+          acc
+      in
+      enumerate acc' rest
+  in
+  let tuples = enumerate [ [] ] fields in
+  List.map
+    (fun tuple ->
+      List.fold_left
+        (fun flow (f, depth) ->
+          let v =
+            divergent_value ~width:(Field.width f)
+              ~allowed:(allowed_value t.spec f) ~depth
+              ~rand:(Pi_pkt.Prng.int64 rng)
+          in
+          Flow.with_field flow f v)
+        (base_flow t) tuple)
+    tuples
+
+let packet_of_flow t flow =
+  let payload = max 0 (t.pkt_len - Pi_pkt.Ethernet.size - Pi_pkt.Ipv4.size) in
+  if Flow.ip_proto flow = Pi_pkt.Ipv4.proto_tcp then
+    Pi_pkt.Packet.tcp
+      ~payload_len:(max 0 (payload - Pi_pkt.Tcp.size))
+      ~src:(Flow.ip_src flow) ~dst:(Flow.ip_dst flow)
+      ~src_port:(Flow.tp_src flow) ~dst_port:(Flow.tp_dst flow) ()
+  else
+    Pi_pkt.Packet.udp
+      ~payload_len:(max 0 (payload - Pi_pkt.Udp.size))
+      ~src:(Flow.ip_src flow) ~dst:(Flow.ip_dst flow)
+      ~src_port:(Flow.tp_src flow) ~dst_port:(Flow.tp_dst flow) ()
+
+let packets ?seed t = List.map (packet_of_flow t) (flows ?seed t)
+
+let to_pcap ?seed ?(rate_pps = 2000.) t =
+  let period = 1. /. rate_pps in
+  List.mapi
+    (fun i p -> (float_of_int i *. period, p))
+    (packets ?seed t)
+  |> Pi_pkt.Pcap.of_packets

@@ -1,0 +1,40 @@
+(** The adversarial covert packet sequence.
+
+    For each targeted field the whitelist pins exactly, a packet that
+    agrees with the whitelisted value on the first [d−1] bits and flips
+    bit [d] forces the slow path to install a megaflow whose mask fixes
+    exactly [d] leading bits of that field (Fig. 2b). Enumerating every
+    combination of divergence depths across the targeted fields
+    materialises the full product of masks; bits below each divergence
+    point are randomised, both for stealth and so repeated refreshes
+    keep re-hitting the *same* megaflows (same masked key) with
+    different exact headers. *)
+
+type t = {
+  spec : Policy_gen.spec;
+  dst : Pi_pkt.Ipv4_addr.t;     (** the attacker pod the ACL protects *)
+  pkt_len : int;                (** covert frame size (default 100 B) *)
+}
+
+val make :
+  ?pkt_len:int -> spec:Policy_gen.spec -> dst:Pi_pkt.Ipv4_addr.t -> unit -> t
+
+val divergent_value : width:int -> allowed:int64 -> depth:int -> rand:int64 -> int64
+(** [divergent_value ~width ~allowed ~depth ~rand] agrees with [allowed]
+    on bits [1..depth−1], differs at bit [depth] (1-indexed from the
+    MSB) and takes the remaining low bits from [rand]. *)
+
+val flows : ?seed:int64 -> t -> Pi_classifier.Flow.t list
+(** One flow key per megaflow mask to materialise (length =
+    {!Predict.covert_packets}). Deterministic given [seed]. *)
+
+val packets : ?seed:int64 -> t -> Pi_pkt.Packet.t list
+(** The same sequence as wire-ready packets. *)
+
+val to_pcap : ?seed:int64 -> ?rate_pps:float -> t -> Pi_pkt.Pcap.record list
+(** Export one round of the covert sequence, paced at [rate_pps]
+    (default 2000), for inspection with standard tooling. *)
+
+val allow_flow : t -> Pi_classifier.Flow.t
+(** A flow key that the whitelist {e accepts} — the attacker's own
+    legitimate traffic, used in tests to pin the allow-side megaflow. *)

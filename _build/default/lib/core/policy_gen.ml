@@ -1,0 +1,80 @@
+open Pi_cms
+
+type spec = {
+  variant : Variant.t;
+  allow_src : Pi_pkt.Ipv4_addr.t;
+  allow_sport : int;
+  allow_dport : int;
+  proto : Acl.protocol;
+}
+
+let default_spec ?(variant = Variant.Src_sport_dport) ~allow_src () =
+  { variant; allow_src; allow_sport = 53; allow_dport = 80; proto = Acl.Udp }
+
+let src_prefix spec = Pi_pkt.Ipv4_addr.Prefix.make spec.allow_src 32
+
+let acl spec =
+  let entry =
+    match spec.variant with
+    | Variant.Src_only -> Acl.entry ~src:(src_prefix spec) ()
+    | Variant.Src_dport ->
+      Acl.entry ~src:(src_prefix spec) ~proto:spec.proto
+        ~dst_port:(Acl.Port spec.allow_dport) ()
+    | Variant.Src_sport_dport ->
+      Acl.entry ~src:(src_prefix spec) ~proto:spec.proto
+        ~src_port:(Acl.Port spec.allow_sport)
+        ~dst_port:(Acl.Port spec.allow_dport) ()
+  in
+  Acl.whitelist [ entry ]
+
+let k8s_policy ?(name = "allow-trusted") ?(pod_selector = "app=victim-of-my-own-making") spec =
+  let block =
+    K8s_policy.Ip_block { K8s_policy.cidr = src_prefix spec; except = [] }
+  in
+  let ports =
+    match spec.variant with
+    | Variant.Src_only -> []
+    | Variant.Src_dport ->
+      [ { K8s_policy.protocol = spec.proto; port = Some spec.allow_dport } ]
+    | Variant.Src_sport_dport ->
+      invalid_arg
+        "Policy_gen.k8s_policy: NetworkPolicy cannot match source ports \
+         (use calico_policy)"
+  in
+  K8s_policy.make ~name ~pod_selector
+    ~ingress:[ { K8s_policy.from = [ block ]; ports } ]
+
+let security_group ?(name = "sg-allow-trusted") spec =
+  let rule =
+    match spec.variant with
+    | Variant.Src_only ->
+      Openstack_sg.rule ~remote_ip_prefix:(src_prefix spec) ()
+    | Variant.Src_dport ->
+      Openstack_sg.rule ~protocol:spec.proto
+        ~remote_ip_prefix:(src_prefix spec)
+        ~port_range_min:spec.allow_dport ~port_range_max:spec.allow_dport ()
+    | Variant.Src_sport_dport ->
+      invalid_arg
+        "Policy_gen.security_group: security groups cannot match source \
+         ports (use calico_policy)"
+  in
+  Openstack_sg.make ~name ~rules:[ rule ]
+
+let calico_policy ?(name = "allow-trusted") ?(selector = "app=victim-of-my-own-making") spec =
+  let source_ports, dest_ports =
+    match spec.variant with
+    | Variant.Src_only -> ([], [])
+    | Variant.Src_dport -> ([], [ Acl.Port spec.allow_dport ])
+    | Variant.Src_sport_dport ->
+      ([ Acl.Port spec.allow_sport ], [ Acl.Port spec.allow_dport ])
+  in
+  let proto =
+    match spec.variant with Variant.Src_only -> Acl.Any_proto | _ -> spec.proto
+  in
+  let rule =
+    Calico_policy.rule ~protocol:proto
+      ~source:{ Calico_policy.nets = [ src_prefix spec ]; ports = source_ports }
+      ~destination:{ Calico_policy.nets = []; ports = dest_ports }
+      ()
+  in
+  Calico_policy.make ~name ~selector ~ingress:[ rule ] ()

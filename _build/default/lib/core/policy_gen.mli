@@ -1,0 +1,35 @@
+(** Crafting the malicious — yet CMS-legitimate — policies.
+
+    Each generator returns both the dataplane-level {!Pi_cms.Acl.t} and,
+    where applicable, the native CMS object (NetworkPolicy, security
+    group, Calico policy) proving the ACL passes the management plane's
+    validation: it is a perfectly ordinary "allow my own prefix/service,
+    deny the rest" whitelist. *)
+
+type spec = {
+  variant : Variant.t;
+  allow_src : Pi_pkt.Ipv4_addr.t;
+      (** whitelisted source (an attacker-controlled pod IP) *)
+  allow_sport : int;  (** whitelisted source port (Calico variant) *)
+  allow_dport : int;  (** whitelisted destination/service port *)
+  proto : Pi_cms.Acl.protocol;  (** [Tcp] or [Udp] *)
+}
+
+val default_spec : ?variant:Variant.t -> allow_src:Pi_pkt.Ipv4_addr.t -> unit -> spec
+(** [proto = Udp], [allow_sport = 53], [allow_dport = 80],
+    [variant] defaults to [Src_sport_dport]. *)
+
+val acl : spec -> Pi_cms.Acl.t
+(** The 2-rule whitelist + default-deny ACL of the paper ("by setting
+    only 2 ACL rules…"). *)
+
+val k8s_policy : ?name:string -> ?pod_selector:string -> spec -> Pi_cms.K8s_policy.t
+(** The NetworkPolicy expressing {!acl}. Raises [Invalid_argument] for
+    [Src_sport_dport] — plain Kubernetes cannot express source ports,
+    which is the paper's point. *)
+
+val security_group : ?name:string -> spec -> Pi_cms.Openstack_sg.t
+(** Same restriction as {!k8s_policy}. *)
+
+val calico_policy : ?name:string -> ?selector:string -> spec -> Pi_cms.Calico_policy.t
+(** Expresses every variant, including source ports. *)

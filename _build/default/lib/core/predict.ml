@@ -1,0 +1,64 @@
+open Pi_classifier
+
+let field_len ~trie_fields f l =
+  if List.exists (Field.equal f) trie_fields then l else 1
+
+let deny_masks ?(config = Tss.default_config) bindings =
+  let lens =
+    List.map
+      (fun (f, l) -> field_len ~trie_fields:config.Tss.trie_fields f l)
+      bindings
+  in
+  if config.Tss.check_all_tries then List.fold_left ( * ) 1 lens
+  else begin
+    (* A short-circuiting classifier un-wildcards only the first trie
+       field that rejects the subtable, so the mask varies in one field
+       at a time: the first trie-checked field contributes its depths;
+       later fields only appear when all earlier fields agree with the
+       whitelisted value (one extra mask family each). *)
+    match List.filter (fun l -> l > 1) lens with
+    | [] -> 1
+    | first :: rest -> first + List.fold_left (fun acc l -> acc + l) 0 rest
+  end
+
+let prefix_set_depths ~width prefixes =
+  let trie = Trie.create ~width in
+  List.iter
+    (fun (value, len) ->
+      if not (Trie.mem trie ~value ~len) then Trie.insert trie ~value ~len)
+    prefixes;
+  let lens =
+    List.sort_uniq Int.compare (List.map snd (Trie.complement trie))
+  in
+  List.length lens
+
+let whitelist_masks ?(config = Tss.default_config) field_prefixes =
+  let counts =
+    List.map
+      (fun (f, prefixes) ->
+        if List.exists (Field.equal f) config.Tss.trie_fields then
+          prefix_set_depths ~width:(Field.width f) prefixes
+        else 1)
+      field_prefixes
+  in
+  if config.Tss.check_all_tries then List.fold_left ( * ) 1 counts
+  else begin
+    match List.filter (fun c -> c > 1) counts with
+    | [] -> 1
+    | first :: rest -> first + List.fold_left ( + ) 0 rest
+  end
+
+let bindings_of_variant v =
+  List.map (fun f -> (f, Field.width f)) (Variant.fields v)
+
+let variant_masks ?config v = deny_masks ?config (bindings_of_variant v)
+
+let total_entries ?config v = variant_masks ?config v + 1
+
+let covert_packets ?config v = variant_masks ?config v
+
+let covert_bandwidth_bps ?config ~pkt_len ~refresh_period v =
+  if refresh_period <= 0. then invalid_arg "Predict.covert_bandwidth_bps";
+  float_of_int (covert_packets ?config v)
+  *. float_of_int (pkt_len * 8)
+  /. refresh_period

@@ -1,0 +1,63 @@
+(** Closed-form prediction of megaflow mask and entry counts.
+
+    For a whitelist ACL that pins fields [f₁…f_k] to exact values (or
+    prefixes of length [L_f]), a deny-side adversarial packet diverging
+    at depth [d_f ∈ 1..L_f] on each field receives the megaflow mask
+    [(f₁/d₁, …, f_k/d_k)]; the attacker enumerates all combinations, so
+
+    - deny masks = ∏ L_f  (maximal-wildcarding, all tries checked);
+    - with a short-circuiting classifier only the first failing trie
+      field contributes, so deny masks = Σ L_f − (overlaps), bounded by
+      the per-field counts.
+
+    Validated against the switch implementation in the test suite and by
+    the [masks] experiment. *)
+
+val field_len :
+  trie_fields:Pi_classifier.Field.t list ->
+  Pi_classifier.Field.t -> int -> int
+(** [field_len ~trie_fields f l] is the number of divergence depths
+    field [f] contributes when whitelisted with an [l]-bit prefix: [l]
+    if the classifier tries the field, else 1 (the whole field is
+    un-wildcarded at once, one mask shape). *)
+
+val deny_masks :
+  ?config:Pi_classifier.Tss.config ->
+  (Pi_classifier.Field.t * int) list -> int
+(** [deny_masks bindings] with [bindings = [(field, prefix_len); …]] is
+    the number of distinct deny-side megaflow masks an adversarial
+    sequence can materialise. Honours [config.trie_fields] and
+    [config.check_all_tries] (product vs sum). *)
+
+val variant_masks : ?config:Pi_classifier.Tss.config -> Variant.t -> int
+(** The paper's numbers: 32 / 512 / 8192 under the default config. *)
+
+val prefix_set_depths : width:int -> (int64 * int) list -> int
+(** Generalisation beyond single-value whitelists: given the set of
+    prefixes a whitelist pins on one field, the number of distinct
+    megaflow prefix lengths an adversary can force on that field — the
+    distinct lengths occurring in the trie complement (each complement
+    prefix [(v, len)] is reachable by a packet diverging at depth
+    [len], and complement prefixes of equal length share a mask). *)
+
+val whitelist_masks :
+  ?config:Pi_classifier.Tss.config ->
+  (Pi_classifier.Field.t * (int64 * int) list) list -> int
+(** Deny-side mask count for a whitelist whose entries all pin the same
+    field set: per field, the prefixes pinned across all entries;
+    multiplied across trie-checked fields (or summed, short-circuit),
+    as in {!deny_masks}. Validated against the switch by property
+    tests. *)
+
+val total_entries : ?config:Pi_classifier.Tss.config -> Variant.t -> int
+(** Deny megaflows plus the allow-side megaflow. *)
+
+val covert_packets : ?config:Pi_classifier.Tss.config -> Variant.t -> int
+(** Packets needed to materialise every mask (one per mask). *)
+
+val covert_bandwidth_bps :
+  ?config:Pi_classifier.Tss.config -> pkt_len:int -> refresh_period:float ->
+  Variant.t -> float
+(** Sustained covert-stream bandwidth needed to keep all megaflows alive
+    against an idle timeout of [refresh_period] seconds — the paper's
+    "low-bandwidth (1–2 Mbps)" claim, checked in tests. *)

@@ -1,0 +1,28 @@
+type t =
+  | Src_only
+  | Src_dport
+  | Src_sport_dport
+
+let all = [ Src_only; Src_dport; Src_sport_dport ]
+
+let name = function
+  | Src_only -> "src-only"
+  | Src_dport -> "src-dport"
+  | Src_sport_dport -> "src-sport-dport"
+
+let of_name s = List.find_opt (fun v -> String.equal (name v) s) all
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+let fields = function
+  | Src_only -> [ Pi_classifier.Field.Ip_src ]
+  | Src_dport -> [ Pi_classifier.Field.Ip_src; Pi_classifier.Field.Tp_dst ]
+  | Src_sport_dport ->
+    [ Pi_classifier.Field.Ip_src; Pi_classifier.Field.Tp_src;
+      Pi_classifier.Field.Tp_dst ]
+
+let required_cms = function
+  | Src_only | Src_dport ->
+    [ Pi_cms.Cloud.Kubernetes; Pi_cms.Cloud.Openstack;
+      Pi_cms.Cloud.Kubernetes_calico ]
+  | Src_sport_dport -> [ Pi_cms.Cloud.Kubernetes_calico ]

@@ -1,0 +1,26 @@
+(** The attack variants the paper demonstrates, ordered by the CMS
+    capability they require. *)
+
+type t =
+  | Src_only
+      (** ACL on the IP source address only — 32 megaflow masks
+          (the 8-bit toy version of this is the paper's Fig. 2). *)
+  | Src_dport
+      (** IP source + L4 destination port: accepted by both Kubernetes
+          NetworkPolicy and OpenStack security groups — 512 masks,
+          "slowing [OVS] down to 10% of the peak performance". *)
+  | Src_sport_dport
+      (** + L4 source port (needs Calico) — 8192 masks, "a full-blown
+          DoS attack" (Fig. 3). *)
+
+val all : t list
+
+val name : t -> string
+val of_name : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val fields : t -> Pi_classifier.Field.t list
+(** The flow-key fields the malicious ACL pins exactly. *)
+
+val required_cms : t -> Pi_cms.Cloud.flavour list
+(** CMS flavours whose policy language can express the variant. *)

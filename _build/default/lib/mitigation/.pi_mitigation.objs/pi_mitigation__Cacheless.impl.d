@@ -1,0 +1,1 @@
+lib/mitigation/cacheless.ml: Dtree List Pi_classifier Pi_ovs Rule Tss

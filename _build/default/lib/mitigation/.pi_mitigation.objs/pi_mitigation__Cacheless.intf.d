@@ -1,0 +1,1 @@
+lib/mitigation/cacheless.mli: Pi_classifier Pi_ovs

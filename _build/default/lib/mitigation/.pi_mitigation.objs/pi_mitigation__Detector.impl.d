@@ -1,0 +1,1 @@
+lib/mitigation/detector.ml: Format Hashtbl List Logs Pi_classifier Pi_ovs Printf

@@ -1,0 +1,1 @@
+lib/mitigation/detector.mli: Format Pi_classifier Pi_ovs

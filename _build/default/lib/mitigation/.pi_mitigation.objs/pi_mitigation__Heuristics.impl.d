@@ -1,0 +1,1 @@
+lib/mitigation/heuristics.ml: Field Int64 List Mask Pi_classifier

@@ -1,0 +1,1 @@
+lib/mitigation/heuristics.mli: Pi_classifier

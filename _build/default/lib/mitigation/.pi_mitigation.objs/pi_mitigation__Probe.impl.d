@@ -1,0 +1,1 @@
+lib/mitigation/probe.ml: Float List Pi_ovs

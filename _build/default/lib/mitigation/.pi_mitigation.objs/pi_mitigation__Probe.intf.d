@@ -1,0 +1,1 @@
+lib/mitigation/probe.mli: Pi_classifier Pi_ovs

@@ -1,0 +1,92 @@
+open Pi_classifier
+
+type engine =
+  | Tss_engine
+  | Dtree_engine of int
+
+type dtree_state = {
+  leaf_size : int;
+  mutable rules : Pi_ovs.Action.t Rule.t list;
+  mutable tree : Pi_ovs.Action.t Dtree.t;
+}
+
+type backend =
+  | Tss of Pi_ovs.Action.t Tss.t
+  | Dtree of dtree_state
+
+type t = {
+  engine : engine;
+  backend : backend;
+  cost : Pi_ovs.Cost_model.t;
+  mutable cycles : float;
+  mutable n_processed : int;
+}
+
+let create ?(engine = Tss_engine) ?config ?(cost = Pi_ovs.Cost_model.default)
+    () =
+  let backend =
+    match engine with
+    | Tss_engine ->
+      let cls =
+        match config with
+        | Some c -> Tss.create ~config:c ()
+        | None -> Tss.create ()
+      in
+      Tss cls
+    | Dtree_engine leaf_size ->
+      Dtree { leaf_size; rules = []; tree = Dtree.build ~leaf_size [] }
+  in
+  { engine; backend; cost; cycles = 0.; n_processed = 0 }
+
+let engine t = t.engine
+
+let recompile d = d.tree <- Dtree.build ~leaf_size:d.leaf_size d.rules
+
+let install_rules t rules =
+  match t.backend with
+  | Tss cls -> List.iter (Tss.insert cls) rules
+  | Dtree d ->
+    d.rules <- d.rules @ rules;
+    recompile d
+
+let remove_rules t pred =
+  match t.backend with
+  | Tss cls -> Tss.remove cls pred
+  | Dtree d ->
+    let keep, drop = List.partition (fun r -> not (pred r)) d.rules in
+    d.rules <- keep;
+    recompile d;
+    List.length drop
+
+let process t flow ~pkt_len =
+  t.n_processed <- t.n_processed + 1;
+  let rule, work =
+    match t.backend with
+    | Tss cls ->
+      let r = Tss.find_wc cls flow in
+      (r.Tss.rule, r.Tss.probes)
+    | Dtree d -> Dtree.lookup_counting d.tree flow
+  in
+  let action =
+    match rule with
+    | Some rule -> rule.Rule.action
+    | None -> Pi_ovs.Action.Drop
+  in
+  let outcome =
+    { Pi_ovs.Cost_model.emc_hit = false; mf_probes = work; mf_hit = true;
+      upcall = false; slow_probes = 0; pkt_len }
+  in
+  t.cycles <- t.cycles +. Pi_ovs.Cost_model.cycles t.cost outcome;
+  (action, outcome)
+
+let cycles_used t = t.cycles
+let n_processed t = t.n_processed
+
+let n_subtables t =
+  match t.backend with
+  | Tss cls -> Tss.n_subtables cls
+  | Dtree d -> Dtree.n_nodes d.tree
+
+let reset_stats t =
+  t.cycles <- 0.;
+  t.n_processed <- 0

@@ -1,0 +1,79 @@
+let src = Logs.Src.create "pi.detector" ~doc:"policy-injection detector"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type alarm = {
+  at : float;
+  reason : string;
+  n_masks : int;
+  avg_probes : float;
+}
+
+type t = {
+  mask_threshold : int;
+  probes_threshold : float;
+  growth_threshold : int;
+  mutable last_masks : int;
+  mutable alarms : alarm list;
+}
+
+let create ?(mask_threshold = 128) ?(probes_threshold = 32.)
+    ?(growth_threshold = 64) () =
+  { mask_threshold; probes_threshold; growth_threshold;
+    last_masks = 0; alarms = [] }
+
+let raise_alarm t a =
+  t.alarms <- a :: t.alarms;
+  Log.warn (fun m -> m "%s (masks=%d)" a.reason a.n_masks);
+  Some a
+
+let observe t ~now ~n_masks ~avg_probes =
+  let growth = n_masks - t.last_masks in
+  t.last_masks <- n_masks;
+  if n_masks >= t.mask_threshold then
+    raise_alarm t
+      { at = now;
+        reason =
+          Printf.sprintf "megaflow mask count %d exceeds threshold %d"
+            n_masks t.mask_threshold;
+        n_masks; avg_probes }
+  else if growth >= t.growth_threshold then
+    raise_alarm t
+      { at = now;
+        reason = Printf.sprintf "mask burst: +%d masks in one observation" growth;
+        n_masks; avg_probes }
+  else if avg_probes >= t.probes_threshold then
+    raise_alarm t
+      { at = now;
+        reason =
+          Printf.sprintf "average lookup cost %.1f subtables exceeds %.1f"
+            avg_probes t.probes_threshold;
+        n_masks; avg_probes }
+  else None
+
+let alarms t = t.alarms
+
+let triggered t = t.alarms <> []
+
+let suspect_masks ?(max_entries_per_mask = 4) mf =
+  let by_mask = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Pi_ovs.Megaflow.entry) ->
+      let key = Pi_classifier.Mask.hash e.Pi_ovs.Megaflow.mask in
+      let n, pkts, mask =
+        match Hashtbl.find_opt by_mask key with
+        | Some (n, p, m) -> (n, p, m)
+        | None -> (0, 0, e.Pi_ovs.Megaflow.mask)
+      in
+      Hashtbl.replace by_mask key
+        (n + 1, pkts + e.Pi_ovs.Megaflow.n_packets, mask))
+    (Pi_ovs.Megaflow.entries mf);
+  Hashtbl.fold
+    (fun _ (n, pkts, mask) acc ->
+      (* Few entries, almost no traffic: the covert-stream signature. *)
+      if n <= max_entries_per_mask && pkts <= 4 * n then mask :: acc else acc)
+    by_mask []
+
+let pp_alarm ppf a =
+  Format.fprintf ppf "[%.1fs] %s (masks=%d, avg probes=%.1f)" a.at a.reason
+    a.n_masks a.avg_probes

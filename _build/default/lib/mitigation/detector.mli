@@ -1,0 +1,41 @@
+(** Online attack detector for the provider side.
+
+    Policy injection has a loud cache-level signature: the number of
+    distinct megaflow masks explodes while the per-mask entry count
+    stays ~1 and the new subtables attract almost no hits. The detector
+    watches mask count and average lookup cost over a sliding window and
+    raises alarms; {!suspect_masks} points at the offending subtables so
+    the provider can trace them to a tenant's policy. *)
+
+type alarm = {
+  at : float;
+  reason : string;
+  n_masks : int;
+  avg_probes : float;
+}
+
+type t
+
+val create :
+  ?mask_threshold:int ->
+  ?probes_threshold:float ->
+  ?growth_threshold:int ->
+  unit -> t
+(** Defaults: alarm at 128 masks, at an average lookup cost of 32
+    subtables, or at a burst of +64 masks between observations. *)
+
+val observe : t -> now:float -> n_masks:int -> avg_probes:float -> alarm option
+(** Feed one measurement (e.g. once per second); returns the alarm it
+    raised, if any. Alarms are also accumulated in {!alarms}. *)
+
+val alarms : t -> alarm list
+(** Most recent first. *)
+
+val triggered : t -> bool
+
+val suspect_masks :
+  ?max_entries_per_mask:int -> Pi_ovs.Megaflow.t -> Pi_classifier.Mask.t list
+(** Masks whose subtables look attack-made: at most
+    [max_entries_per_mask] (default 4) entries and near-zero traffic. *)
+
+val pp_alarm : Format.formatter -> alarm -> unit

@@ -1,0 +1,26 @@
+open Pi_classifier
+
+let round_up_prefix ~granularity m =
+  if granularity < 1 then invalid_arg "Heuristics.round_up_prefix";
+  List.fold_left
+    (fun acc f ->
+      let bits = Mask.get acc f in
+      if Int64.equal bits 0L then acc
+      else
+        match Mask.prefix_len acc f with
+        | None -> acc  (* scattered mask: leave it *)
+        | Some len ->
+          let w = Field.width f in
+          let rounded = min w (((len + granularity - 1) / granularity) * granularity) in
+          if rounded = len then acc else Mask.with_prefix acc f rounded)
+    m Field.all
+
+let exact_fields ~fields m =
+  List.fold_left
+    (fun acc f ->
+      if Int64.equal (Mask.get acc f) 0L then acc else Mask.with_exact acc f)
+    m fields
+
+let max_masks_per_field width ~granularity =
+  if granularity < 1 then invalid_arg "Heuristics.max_masks_per_field";
+  (width + granularity - 1) / granularity + 1

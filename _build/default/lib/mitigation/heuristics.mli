@@ -1,0 +1,23 @@
+(** "Improved heuristics in OVS" (paper §2, closing discussion): narrow
+    the megaflow masks the slow path generates so that the number of
+    distinct mask shapes is bounded, trading cache aggregation (more
+    entries, more upcalls) for bounded lookup cost.
+
+    Narrowing is always sound: a megaflow with {e more} significant bits
+    is more specific than the un-wildcarding result, so every packet it
+    matches still receives the slow path's verdict. *)
+
+val round_up_prefix : granularity:int -> Pi_classifier.Mask.t -> Pi_classifier.Mask.t
+(** Round every prefix-shaped field mask up to the next multiple of
+    [granularity] bits (capped at the field width). With granularity 8,
+    a 32-bit field contributes at most 5 mask shapes instead of 33, so
+    the paper's 512-mask attack collapses to ≤ 4·2·2 = 16 combinations.
+    Non-prefix (scattered) masks are left untouched. *)
+
+val exact_fields : fields:Pi_classifier.Field.t list -> Pi_classifier.Mask.t -> Pi_classifier.Mask.t
+(** Force the listed fields to exact match whenever the mask touches
+    them at all — one mask shape per touched-field set. *)
+
+val max_masks_per_field : int -> granularity:int -> int
+(** [max_masks_per_field width ~granularity] = number of distinct
+    prefix lengths a field can take after rounding (including 0). *)

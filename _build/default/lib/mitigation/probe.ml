@@ -1,0 +1,47 @@
+type t = {
+  alpha : float;
+  baseline_samples : int;
+  degradation_factor : float;
+  mutable n : int;
+  mutable ewma : float;
+  mutable baseline : float option;
+}
+
+let create ?(alpha = 0.2) ?(baseline_samples = 10) ?(degradation_factor = 3.)
+    () =
+  if alpha <= 0. || alpha > 1. then invalid_arg "Probe.create: alpha";
+  if baseline_samples < 1 then invalid_arg "Probe.create: baseline_samples";
+  if degradation_factor <= 1. then invalid_arg "Probe.create: factor";
+  { alpha; baseline_samples; degradation_factor; n = 0; ewma = nan;
+    baseline = None }
+
+let observe t v =
+  t.n <- t.n + 1;
+  t.ewma <- (if Float.is_nan t.ewma then v
+             else (t.alpha *. v) +. ((1. -. t.alpha) *. t.ewma));
+  if t.baseline = None && t.n >= t.baseline_samples then
+    t.baseline <- Some t.ewma
+
+let samples t = t.n
+let ewma t = t.ewma
+let baseline t = t.baseline
+
+let degradation t =
+  match t.baseline with
+  | None -> nan
+  | Some b -> if b <= 0. then nan else t.ewma /. b
+
+let degraded t =
+  match t.baseline with
+  | None -> false
+  | Some b -> t.ewma > t.degradation_factor *. b
+
+let measure_datapath dp ~now flows =
+  match flows with
+  | [] -> invalid_arg "Probe.measure_datapath: no flows"
+  | _ ->
+    let before = Pi_ovs.Datapath.cycles_used dp in
+    List.iter
+      (fun f -> ignore (Pi_ovs.Datapath.process dp ~now f ~pkt_len:100))
+      flows;
+    (Pi_ovs.Datapath.cycles_used dp -. before) /. float_of_int (List.length flows)

@@ -1,0 +1,44 @@
+(** Tenant-side dataplane probing (the poster's "joint troubleshooting
+    techniques by tenants and provider", its reference [2]).
+
+    A tenant cannot see the provider's megaflow cache, but it can time
+    its own traffic: policy injection by a co-located tenant shows up as
+    a multiplicative jump in per-packet forwarding cost. [Probe] keeps
+    an EWMA of observed costs, freezes a baseline from the early
+    samples, and reports degradation relative to it — evidence a tenant
+    can bring to the provider, who can then run
+    {!Detector.suspect_masks} on its side. *)
+
+type t
+
+val create :
+  ?alpha:float ->
+  ?baseline_samples:int ->
+  ?degradation_factor:float ->
+  unit -> t
+(** Defaults: EWMA smoothing [alpha = 0.2]; the baseline freezes after
+    [baseline_samples = 10] observations; degradation is declared when
+    the EWMA exceeds [degradation_factor = 3.] × baseline. *)
+
+val observe : t -> float -> unit
+(** Record one cost sample (any consistent unit: cycles, ns, µs). *)
+
+val samples : t -> int
+val ewma : t -> float
+(** [nan] before the first sample. *)
+
+val baseline : t -> float option
+(** Frozen after [baseline_samples] observations. *)
+
+val degraded : t -> bool
+(** True iff a baseline exists and the current EWMA exceeds it by the
+    degradation factor. *)
+
+val degradation : t -> float
+(** [ewma / baseline] ([nan] before the baseline freezes). *)
+
+val measure_datapath :
+  Pi_ovs.Datapath.t -> now:float -> Pi_classifier.Flow.t list -> float
+(** Average per-packet cost (cycles, per the datapath's cost model) of
+    pushing the given probe flows through the datapath — what a
+    tenant-side prober effectively samples with timed echoes. *)

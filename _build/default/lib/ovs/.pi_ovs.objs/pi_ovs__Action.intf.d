@@ -1,0 +1,1 @@
+lib/ovs/action.mli: Format

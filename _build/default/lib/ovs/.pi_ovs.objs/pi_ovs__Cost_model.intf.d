@@ -1,0 +1,1 @@
+lib/ovs/cost_model.mli: Format

@@ -1,0 +1,1 @@
+lib/ovs/emc.ml: Array Flow Pi_classifier Pi_pkt

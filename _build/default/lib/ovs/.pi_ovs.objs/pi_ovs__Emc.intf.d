@@ -1,0 +1,1 @@
+lib/ovs/emc.mli: Pi_classifier Pi_pkt

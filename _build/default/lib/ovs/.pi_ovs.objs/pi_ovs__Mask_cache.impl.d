@@ -1,0 +1,1 @@
+lib/ovs/mask_cache.ml: Array Flow Pi_classifier

@@ -1,0 +1,1 @@
+lib/ovs/mask_cache.mli: Pi_classifier

@@ -1,0 +1,1 @@
+lib/ovs/slowpath.ml: Action List Mask Pi_classifier Rule Tss

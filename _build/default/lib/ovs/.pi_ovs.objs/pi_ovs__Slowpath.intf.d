@@ -1,0 +1,1 @@
+lib/ovs/slowpath.mli: Action Pi_classifier

@@ -1,0 +1,1 @@
+lib/ovs/switch.ml: Action Datapath Hashtbl List Pi_classifier Pi_pkt String

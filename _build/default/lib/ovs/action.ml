@@ -1,0 +1,17 @@
+type t =
+  | Output of int
+  | Drop
+  | Controller
+
+let to_string = function
+  | Output p -> Printf.sprintf "output:%d" p
+  | Drop -> "drop"
+  | Controller -> "controller"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b =
+  match (a, b) with
+  | Output p, Output q -> p = q
+  | Drop, Drop | Controller, Controller -> true
+  | (Output _ | Drop | Controller), _ -> false

@@ -1,0 +1,11 @@
+(** Datapath actions. The reproduced ACL semantics only needs forwarding
+    and dropping; [Controller] models punting to the CMS agent. *)
+
+type t =
+  | Output of int  (** forward to port *)
+  | Drop
+  | Controller
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val to_string : t -> string

@@ -1,0 +1,55 @@
+type t = {
+  cpu_hz : float;
+  emc_lookup : float;
+  mf_probe : float;
+  mf_hit_fixed : float;
+  upcall : float;
+  slow_probe : float;
+  per_byte : float;
+}
+
+(* Calibration: a 2.4 GHz datapath core; EMC probe ~1 hash + 1 compare;
+   a TSS subtable probe ~1 masked hash + table probe (measured at
+   roughly 40-60 ns on this repository's own structures, i.e. ~120
+   cycles); an upcall costs tens of microseconds end to end. per_byte
+   reflects one copy at ~16 bytes/cycle. *)
+let default =
+  { cpu_hz = 2.4e9;
+    emc_lookup = 150.;
+    mf_probe = 80.;
+    mf_hit_fixed = 250.;
+    upcall = 60_000.;
+    slow_probe = 300.;
+    per_byte = 0.06 }
+
+type outcome = {
+  emc_hit : bool;
+  mf_probes : int;
+  mf_hit : bool;
+  upcall : bool;
+  slow_probes : int;
+  pkt_len : int;
+}
+
+let cycles t o =
+  let c = t.emc_lookup in
+  let c = c +. (float_of_int o.mf_probes *. t.mf_probe) in
+  let c = if o.mf_hit || o.emc_hit then c +. t.mf_hit_fixed else c in
+  let c =
+    if o.upcall then c +. t.upcall +. (float_of_int o.slow_probes *. t.slow_probe)
+    else c
+  in
+  c +. (float_of_int o.pkt_len *. t.per_byte)
+
+let seconds t o = cycles t o /. t.cpu_hz
+
+let pps_capacity t ~avg_cycles =
+  if avg_cycles <= 0. then infinity else t.cpu_hz /. avg_cycles
+
+let gbps ~pps ~pkt_len = pps *. float_of_int pkt_len *. 8. /. 1e9
+
+let pp ppf t =
+  Format.fprintf ppf
+    "cost(cpu %.2f GHz, emc %.0f, mf-probe %.0f, mf-hit %.0f, upcall %.0f, slow-probe %.0f, byte %.3f)"
+    (t.cpu_hz /. 1e9) t.emc_lookup t.mf_probe t.mf_hit_fixed t.upcall
+    t.slow_probe t.per_byte

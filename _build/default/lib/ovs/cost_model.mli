@@ -1,0 +1,45 @@
+(** Per-packet CPU cost model.
+
+    The container cannot reproduce the paper's testbed (kernel OVS on
+    physical servers), so forwarding performance is derived from a cycle
+    cost model applied to the *exact* cache behaviour of each simulated
+    packet. The constants are calibrated two ways (see EXPERIMENTS.md):
+    the per-probe cost against this repository's own Bechamel
+    measurements of the TSS structures (the linear shape is measured,
+    not assumed), and the absolute scale against the ~1 Gbps no-attack
+    baseline of the paper's Fig. 3. *)
+
+type t = {
+  cpu_hz : float;           (** datapath core clock *)
+  emc_lookup : float;       (** cycles per EMC probe (hit or miss) *)
+  mf_probe : float;         (** cycles per megaflow subtable probe *)
+  mf_hit_fixed : float;     (** fixed cycles on a megaflow hit (actions, stats) *)
+  upcall : float;           (** cycles per slow-path upcall, excluding probes *)
+  slow_probe : float;       (** cycles per slow-path subtable probe *)
+  per_byte : float;         (** copy cost per payload byte *)
+}
+
+val default : t
+
+(** What happened to one packet in the datapath. *)
+type outcome = {
+  emc_hit : bool;
+  mf_probes : int;   (** megaflow subtable probes (0 if EMC hit) *)
+  mf_hit : bool;
+  upcall : bool;
+  slow_probes : int; (** slow-path subtable probes (0 unless upcall) *)
+  pkt_len : int;
+}
+
+val cycles : t -> outcome -> float
+(** CPU cycles consumed by one packet with the given outcome. *)
+
+val seconds : t -> outcome -> float
+
+val pps_capacity : t -> avg_cycles:float -> float
+(** Packets/s a core sustains at a given average per-packet cost. *)
+
+val gbps : pps:float -> pkt_len:int -> float
+(** Convert a packet rate to Gb/s for a given frame size. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,161 @@
+let src = Logs.Src.create "pi.datapath" ~doc:"OVS-model datapath"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  emc_enabled : bool;
+  emc_capacity : int;
+  emc_insert_inv_prob : int;
+  megaflow : Megaflow.config;
+  cost : Cost_model.t;
+  mask_limit : int option;
+  megaflow_transform : (Pi_classifier.Mask.t -> Pi_classifier.Mask.t) option;
+  mask_cache_capacity : int option;
+  rank_subtables : bool;
+}
+
+let default_config =
+  { emc_enabled = true;
+    emc_capacity = 8192;
+    emc_insert_inv_prob = 4;
+    megaflow = Megaflow.default_config;
+    cost = Cost_model.default;
+    mask_limit = None;
+    megaflow_transform = None;
+    mask_cache_capacity = None;
+    rank_subtables = false }
+
+type t = {
+  cfg : config;
+  emc : Megaflow.entry Emc.t;
+  mf : Megaflow.t;
+  mcache : Mask_cache.t option;
+  slow : Slowpath.t;
+  mutable cycles : float;
+  mutable n_processed : int;
+  mutable n_upcalls : int;
+  mutable last_mf : Megaflow.entry option;
+}
+
+let create ?(config = default_config) ?tss_config rng () =
+  { cfg = config;
+    emc =
+      Emc.create ~capacity:config.emc_capacity
+        ~insert_inv_prob:config.emc_insert_inv_prob rng ();
+    mf = Megaflow.create ~config:config.megaflow ();
+    mcache =
+      (match config.mask_cache_capacity with
+       | Some capacity -> Some (Mask_cache.create ~capacity ())
+       | None -> None);
+    slow = Slowpath.create ?config:tss_config ();
+    cycles = 0.;
+    n_processed = 0;
+    n_upcalls = 0;
+    last_mf = None }
+
+let config t = t.cfg
+let slowpath t = t.slow
+let megaflow t = t.mf
+let emc t = t.emc
+
+let install_rules t rules = Slowpath.install t.slow rules
+let remove_rules t pred = Slowpath.remove t.slow pred
+
+let finish t outcome action =
+  t.cycles <- t.cycles +. Cost_model.cycles t.cfg.cost outcome;
+  (action, outcome)
+
+let process t ~now flow ~pkt_len =
+  t.n_processed <- t.n_processed + 1;
+  let emc_entry = if t.cfg.emc_enabled then Emc.lookup t.emc flow else None in
+  match emc_entry with
+  | Some e when e.Megaflow.alive ->
+    t.last_mf <- Some e;
+    e.Megaflow.last_used <- now;
+    e.Megaflow.n_packets <- e.Megaflow.n_packets + 1;
+    e.Megaflow.n_bytes <- e.Megaflow.n_bytes + pkt_len;
+    finish t
+      { Cost_model.emc_hit = true; mf_probes = 0; mf_hit = false;
+        upcall = false; slow_probes = 0; pkt_len }
+      e.Megaflow.action
+  | Some _ | None -> begin
+    let mf_lookup () =
+      match t.mcache with
+      | Some cache -> Megaflow.lookup_hinted t.mf cache flow ~now ~pkt_len
+      | None -> Megaflow.lookup t.mf flow ~now ~pkt_len
+    in
+    match mf_lookup () with
+    | Some e, probes ->
+      t.last_mf <- Some e;
+      if t.cfg.emc_enabled then Emc.insert t.emc flow e;
+      finish t
+        { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = true;
+          upcall = false; slow_probes = 0; pkt_len }
+        e.Megaflow.action
+    | None, probes ->
+      t.n_upcalls <- t.n_upcalls + 1;
+      let v = Slowpath.upcall t.slow flow in
+      (* Mitigation hooks: optionally narrow the megaflow (still sound —
+         more significant bits can only make the cached flow more
+         specific) and cap the number of distinct masks by falling back
+         to an exact-match megaflow once the cap is reached. *)
+      let mask =
+        match t.cfg.megaflow_transform with
+        | None -> v.Slowpath.megaflow
+        | Some f -> f v.Slowpath.megaflow
+      in
+      let mask =
+        match t.cfg.mask_limit with
+        | Some limit
+          when Megaflow.n_masks t.mf >= limit
+               && not
+                    (List.exists
+                       (Pi_classifier.Mask.equal mask)
+                       (Megaflow.masks t.mf)) ->
+          Pi_classifier.Mask.exact
+        | Some _ | None -> mask
+      in
+      let e =
+        Megaflow.insert t.mf ~key:flow ~mask
+          ~action:v.Slowpath.action ~revision:(Slowpath.revision t.slow) ~now
+      in
+      t.last_mf <- Some e;
+      if t.cfg.emc_enabled then Emc.insert t.emc flow e;
+      finish t
+        { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
+          upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
+        v.Slowpath.action
+  end
+
+let mask_cache t = t.mcache
+
+let revalidate t ~now =
+  if t.cfg.rank_subtables then Megaflow.resort_by_hits t.mf;
+  let rev = Slowpath.revision t.slow in
+  let evicted =
+    Megaflow.revalidate t.mf ~now
+      ~keep:(fun e -> e.Megaflow.revision = rev)
+      ()
+  in
+  if t.cfg.emc_enabled then
+    ignore (Emc.invalidate_if t.emc (fun e -> not e.Megaflow.alive));
+  if evicted > 0 then
+    Log.debug (fun m ->
+        m "revalidator: evicted %d megaflows (%d masks remain)" evicted
+          (Megaflow.n_masks t.mf));
+  evicted
+
+let last_megaflow t = t.last_mf
+
+let cycles_used t = t.cycles
+let n_processed t = t.n_processed
+let n_upcalls t = t.n_upcalls
+let n_masks t = Megaflow.n_masks t.mf
+let n_megaflows t = Megaflow.n_entries t.mf
+
+let reset_stats t =
+  t.cycles <- 0.;
+  t.n_processed <- 0;
+  t.n_upcalls <- 0;
+  Megaflow.reset_stats t.mf;
+  Emc.reset_stats t.emc

@@ -1,0 +1,80 @@
+(** The datapath: microflow cache → megaflow cache → slow-path upcall,
+    glued together exactly as in the OVS fast/slow path architecture the
+    paper describes (§2).
+
+    [process] classifies one packet, updates every cache layer, and
+    reports the precise {!Cost_model.outcome}, from which simulations
+    derive CPU consumption and forwarding capacity. *)
+
+type config = {
+  emc_enabled : bool;
+  emc_capacity : int;
+  emc_insert_inv_prob : int;
+  megaflow : Megaflow.config;
+  cost : Cost_model.t;
+  mask_limit : int option;
+      (** mitigation: once this many distinct megaflow masks exist, new
+          mask shapes fall back to exact-match megaflows *)
+  megaflow_transform : (Pi_classifier.Mask.t -> Pi_classifier.Mask.t) option;
+      (** mitigation: narrow slow-path megaflow masks before install
+          (e.g. {!Pi_mitigation.Heuristics.coarsen}); narrowing is always
+          sound *)
+  mask_cache_capacity : int option;
+      (** kernel-datapath flavour: route megaflow lookups through a
+          {!Mask_cache} of this size (typically 256, combined with
+          [emc_enabled = false]) *)
+  rank_subtables : bool;
+      (** userspace-dpcls flavour: each revalidation reorders the
+          megaflow subtables by hit count (OVS's pvector ranking) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> ?tss_config:Pi_classifier.Tss.config ->
+  Pi_pkt.Prng.t -> unit -> t
+(** [tss_config] configures the slow-path classifier's un-wildcarding
+    behaviour (see {!Pi_classifier.Tss.config}). *)
+
+val config : t -> config
+val slowpath : t -> Slowpath.t
+val megaflow : t -> Megaflow.t
+val emc : t -> Megaflow.entry Emc.t
+val mask_cache : t -> Mask_cache.t option
+
+val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
+(** Install flow-table rules in the slow path. Cached megaflows from
+    earlier revisions are evicted at the next {!revalidate} — OVS's
+    revalidation on policy change. *)
+
+val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
+
+val process :
+  t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
+  Action.t * Cost_model.outcome
+(** Classify one packet through the cache hierarchy. *)
+
+val last_megaflow : t -> Megaflow.entry option
+(** The megaflow entry the most recent {!process} call hit or installed
+    ([None] before the first packet) — an instrumentation hook for
+    simulations that need per-flow entry handles without extra
+    lookups. *)
+
+val revalidate : t -> now:float -> int
+(** Run the revalidator: evict idle and stale-revision megaflows, drop
+    microflow-cache entries pointing at dead megaflows. Returns evicted
+    megaflow count. *)
+
+val cycles_used : t -> float
+(** Cumulative CPU cycles consumed by [process] calls since the last
+    {!reset_stats}, per the cost model. *)
+
+val n_processed : t -> int
+val n_upcalls : t -> int
+val n_masks : t -> int
+val n_megaflows : t -> int
+
+val reset_stats : t -> unit
+(** Resets cycle/packet/hit counters; cache contents are untouched. *)

@@ -1,0 +1,77 @@
+open Pi_classifier
+
+type 'a slot = { key : Flow.t; value : 'a }
+
+type 'a t = {
+  slots : 'a slot option array;
+  mask : int;  (* capacity - 1 *)
+  insert_inv_prob : int;
+  rng : Pi_pkt.Prng.t;
+  mutable occupied : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(capacity = 8192) ?(insert_inv_prob = 4) rng () =
+  if capacity < 1 then invalid_arg "Emc.create: capacity";
+  if insert_inv_prob < 1 then invalid_arg "Emc.create: insert_inv_prob";
+  let cap = next_pow2 capacity in
+  { slots = Array.make cap None;
+    mask = cap - 1;
+    insert_inv_prob;
+    rng;
+    occupied = 0;
+    hits = 0;
+    misses = 0 }
+
+let capacity t = Array.length t.slots
+
+let slot_of t flow = Flow.hash flow land t.mask
+
+let lookup t flow =
+  match t.slots.(slot_of t flow) with
+  | Some s when Flow.equal s.key flow ->
+    t.hits <- t.hits + 1;
+    Some s.value
+  | Some _ | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let insert_forced t flow value =
+  let i = slot_of t flow in
+  if t.slots.(i) = None then t.occupied <- t.occupied + 1;
+  t.slots.(i) <- Some { key = flow; value }
+
+let insert t flow value =
+  if t.insert_inv_prob = 1 || Pi_pkt.Prng.int t.rng t.insert_inv_prob = 0 then
+    insert_forced t flow value
+
+let invalidate_if t pred =
+  let n = ref 0 in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some s when pred s.value ->
+        t.slots.(i) <- None;
+        t.occupied <- t.occupied - 1;
+        incr n
+      | Some _ | None -> ())
+    t.slots;
+  !n
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.occupied <- 0
+
+let occupancy t = t.occupied
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,42 @@
+(** Exact-match (microflow) cache.
+
+    The first fast-path layer: a fixed-capacity, direct-mapped,
+    probabilistically-inserted cache from full flow keys to a cached
+    value (here: a megaflow-cache entry). Modelled on the OVS EMC:
+    8192 entries, insertion probability 1/[insert_inv_prob].
+
+    The cache is deliberately small: under attack, the adversary's
+    thousands of live covert flows thrash it, which is what exposes
+    benign traffic to the expensive megaflow lookup. *)
+
+type 'a t
+
+val create :
+  ?capacity:int -> ?insert_inv_prob:int -> Pi_pkt.Prng.t -> unit -> 'a t
+(** [capacity] (default 8192) is rounded up to a power of two;
+    [insert_inv_prob] (default 4) is the [1/p] insertion probability
+    denominator — 1 inserts always. *)
+
+val capacity : 'a t -> int
+
+val lookup : 'a t -> Pi_classifier.Flow.t -> 'a option
+(** Exact-match hit or nothing. Updates hit/miss counters. *)
+
+val insert : 'a t -> Pi_classifier.Flow.t -> 'a -> unit
+(** Probabilistic insert: with probability [1/insert_inv_prob] the
+    key's slot is overwritten (evicting any previous occupant). *)
+
+val insert_forced : 'a t -> Pi_classifier.Flow.t -> 'a -> unit
+(** Insert regardless of the sampling probability. *)
+
+val invalidate_if : 'a t -> ('a -> bool) -> int
+(** Drop entries whose value satisfies the predicate; returns count. *)
+
+val clear : 'a t -> unit
+
+val occupancy : 'a t -> int
+(** Number of occupied slots. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val reset_stats : 'a t -> unit

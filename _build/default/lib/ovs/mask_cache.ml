@@ -1,0 +1,39 @@
+open Pi_classifier
+
+type t = {
+  slots : int array;  (* -1 = empty, otherwise a mask index *)
+  mask : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Mask_cache.create";
+  let cap = next_pow2 capacity in
+  { slots = Array.make cap (-1); mask = cap - 1; hits = 0; misses = 0 }
+
+let capacity t = Array.length t.slots
+
+let slot t flow = Flow.hash flow land t.mask
+
+let hint t flow =
+  let v = t.slots.(slot t flow) in
+  if v < 0 then None else Some v
+
+let record t flow idx = t.slots.(slot t flow) <- idx
+
+let clear t = Array.fill t.slots 0 (Array.length t.slots) (-1)
+
+let note_hit t = t.hits <- t.hits + 1
+let note_miss t = t.misses <- t.misses + 1
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,38 @@
+(** The kernel-datapath mask cache.
+
+    Kernel OVS has no exact-match microflow cache; instead it keeps a
+    small (256-entry) direct-mapped array from a packet's flow hash to
+    the index of the megaflow mask that matched that hash last time, so
+    a stable flow pays one probe instead of a scan
+    ({!Megaflow.lookup_hinted} consumes the hint).
+
+    Crucially for the paper, the cache is tiny: once the covert stream
+    keeps thousands of flows alive, benign hints are continually
+    overwritten and most packets fall back to the full linear scan —
+    the reason the kernel flavour of OVS collapses just like the
+    userspace one (see the [ranking] bench experiment). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 256 and is rounded up to a power of two. *)
+
+val capacity : t -> int
+
+val hint : t -> Pi_classifier.Flow.t -> int option
+(** The mask index recorded for this flow's hash slot, if any. *)
+
+val record : t -> Pi_classifier.Flow.t -> int -> unit
+(** Remember which mask index matched the flow. *)
+
+val clear : t -> unit
+
+val note_hit : t -> unit
+val note_miss : t -> unit
+(** Counter hooks used by {!Megaflow.lookup_hinted}: a hint that led
+    directly to the matching entry is a hit; everything else
+    (no hint, stale hint) is a miss. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,314 @@
+open Pi_classifier
+
+type entry = {
+  key : Flow.t;
+  mask : Mask.t;
+  action : Action.t;
+  revision : int;
+  created : float;
+  mutable last_used : float;
+  mutable n_packets : int;
+  mutable n_bytes : int;
+  mutable alive : bool;
+}
+
+(* Entries are bucketed by the masked-key hash (no allocation on the
+   probe path); candidates are verified with [Mask.equal_masked]. *)
+type subtable = {
+  s_mask : Mask.t;
+  s_entries : (int, entry list ref) Hashtbl.t;
+  mutable s_count : int;
+  mutable s_hits : int;
+}
+
+type config = {
+  max_entries : int;
+  idle_timeout : float;
+}
+
+let default_config = { max_entries = 200_000; idle_timeout = 10.0 }
+
+type t = {
+  cfg : config;
+  by_mask : subtable Tables.Mask_tbl.t;
+  mutable scan : subtable list;  (* creation order: first created probed first *)
+  mutable arr : subtable array;  (* same content, for indexed (hinted) access *)
+  mutable n : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable probes : int;
+}
+
+let set_scan t l =
+  t.scan <- l;
+  t.arr <- Array.of_list l
+
+let create ?(config = default_config) () =
+  { cfg = config;
+    by_mask = Tables.Mask_tbl.create 64;
+    scan = [];
+    arr = [||];
+    n = 0;
+    hits = 0;
+    misses = 0;
+    probes = 0 }
+
+let find_in_subtable st flow =
+  let h = Mask.hash_masked st.s_mask flow in
+  match Hashtbl.find_opt st.s_entries h with
+  | None -> None
+  | Some bucket ->
+    List.find_opt (fun e -> Mask.equal_masked st.s_mask e.key flow) !bucket
+
+let lookup t flow ~now ~pkt_len =
+  let rec go probes = function
+    | [] ->
+      t.misses <- t.misses + 1;
+      t.probes <- t.probes + probes;
+      (None, probes)
+    | st :: rest -> begin
+      let probes = probes + 1 in
+      match find_in_subtable st flow with
+      | Some e ->
+        e.last_used <- now;
+        e.n_packets <- e.n_packets + 1;
+        e.n_bytes <- e.n_bytes + pkt_len;
+        st.s_hits <- st.s_hits + 1;
+        t.hits <- t.hits + 1;
+        t.probes <- t.probes + probes;
+        (Some e, probes)
+      | None -> go probes rest
+    end
+  in
+  go 0 t.scan
+
+(* Kernel-style lookup: try the mask the flow's hash slot matched last
+   time (one probe); fall back to the linear scan and refresh the hint.
+   A correct hint makes a stable flow O(1) even with thousands of masks
+   — until the cache's few hundred slots are thrashed. *)
+let lookup_hinted t cache flow ~now ~pkt_len =
+  let try_hint () =
+    match Mask_cache.hint cache flow with
+    | Some i when i < Array.length t.arr -> begin
+      let st = t.arr.(i) in
+      match find_in_subtable st flow with
+      | Some e ->
+        e.last_used <- now;
+        e.n_packets <- e.n_packets + 1;
+        e.n_bytes <- e.n_bytes + pkt_len;
+        st.s_hits <- st.s_hits + 1;
+        t.hits <- t.hits + 1;
+        t.probes <- t.probes + 1;
+        Mask_cache.note_hit cache;
+        Some (Some e, 1)
+      | None -> None
+    end
+    | Some _ | None -> None
+  in
+  match try_hint () with
+  | Some r -> r
+  | None ->
+    Mask_cache.note_miss cache;
+    let rec go i probes =
+      if i >= Array.length t.arr then begin
+        t.misses <- t.misses + 1;
+        t.probes <- t.probes + probes;
+        (None, probes)
+      end
+      else begin
+        let st = t.arr.(i) in
+        let probes = probes + 1 in
+        match find_in_subtable st flow with
+        | Some e ->
+          e.last_used <- now;
+          e.n_packets <- e.n_packets + 1;
+          e.n_bytes <- e.n_bytes + pkt_len;
+          st.s_hits <- st.s_hits + 1;
+          t.hits <- t.hits + 1;
+          t.probes <- t.probes + probes;
+          Mask_cache.record cache flow i;
+          (Some e, probes)
+        | None -> go (i + 1) probes
+      end
+    in
+    (* The failed hint probe counts too. *)
+    let base = match Mask_cache.hint cache flow with Some _ -> 1 | None -> 0 in
+    go 0 base
+
+(* Userspace-dpcls-style ranking: periodically sort subtables so the
+   most-hit masks are probed first (OVS's pvector). Decays counts so
+   the ordering tracks recent traffic. *)
+let resort_by_hits t =
+  let l = List.stable_sort (fun a b -> Int.compare b.s_hits a.s_hits) t.scan in
+  List.iter (fun st -> st.s_hits <- st.s_hits / 2) l;
+  set_scan t l
+
+let remove_entry t st (e : entry) =
+  let h = Mask.hash_masked st.s_mask e.key in
+  (match Hashtbl.find_opt st.s_entries h with
+   | Some bucket ->
+     bucket := List.filter (fun x -> x != e) !bucket;
+     if !bucket = [] then Hashtbl.remove st.s_entries h
+   | None -> ());
+  st.s_count <- st.s_count - 1;
+  e.alive <- false;
+  t.n <- t.n - 1
+
+let drop_empty_subtables t =
+  let dead, live = List.partition (fun st -> st.s_count = 0) t.scan in
+  if dead <> [] then begin
+    List.iter (fun st -> Tables.Mask_tbl.remove t.by_mask st.s_mask) dead;
+    set_scan t live
+  end
+
+(* LRU eviction used when the flow limit is hit: evict the oldest ~5% so
+   insertion stays amortised-cheap, mimicking the revalidator's reaction
+   to flow-limit pressure. *)
+let evict_lru t =
+  let all = ref [] in
+  List.iter
+    (fun st ->
+      Hashtbl.iter (fun _ b -> List.iter (fun e -> all := (st, e) :: !all) !b)
+        st.s_entries)
+    t.scan;
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Float.compare a.last_used b.last_used) !all
+  in
+  let k = max 1 (t.n / 20) in
+  let rec drop i = function
+    | [] -> ()
+    | (st, e) :: rest ->
+      if i < k then begin
+        remove_entry t st e;
+        drop (i + 1) rest
+      end
+  in
+  drop 0 sorted;
+  drop_empty_subtables t
+
+let insert t ~key ~mask ~action ~revision ~now =
+  if t.n >= t.cfg.max_entries then evict_lru t;
+  let st =
+    match Tables.Mask_tbl.find_opt t.by_mask mask with
+    | Some st -> st
+    | None ->
+      let st =
+        { s_mask = mask; s_entries = Hashtbl.create 16; s_count = 0; s_hits = 0 }
+      in
+      Tables.Mask_tbl.add t.by_mask mask st;
+      set_scan t (t.scan @ [ st ]);
+      st
+  in
+  let key = Mask.apply mask key in
+  (match find_in_subtable st key with
+   | Some old -> remove_entry t st old
+   | None -> ());
+  let e =
+    { key; mask; action; revision; created = now; last_used = now;
+      n_packets = 0; n_bytes = 0; alive = true }
+  in
+  let h = Mask.hash_masked st.s_mask key in
+  (match Hashtbl.find_opt st.s_entries h with
+   | Some bucket -> bucket := e :: !bucket
+   | None -> Hashtbl.add st.s_entries h (ref [ e ]));
+  st.s_count <- st.s_count + 1;
+  t.n <- t.n + 1;
+  e
+
+let revalidate t ~now ?(keep = fun _ -> true) () =
+  let evicted = ref 0 in
+  List.iter
+    (fun st ->
+      let dead = ref [] in
+      Hashtbl.iter
+        (fun _ b ->
+          List.iter
+            (fun e ->
+              if now -. e.last_used > t.cfg.idle_timeout || not (keep e) then
+                dead := e :: !dead)
+            !b)
+        st.s_entries;
+      List.iter
+        (fun e ->
+          remove_entry t st e;
+          incr evicted)
+        !dead)
+    t.scan;
+  drop_empty_subtables t;
+  !evicted
+
+let flush t =
+  List.iter
+    (fun st ->
+      Hashtbl.iter (fun _ b -> List.iter (fun e -> e.alive <- false) !b)
+        st.s_entries)
+    t.scan;
+  Tables.Mask_tbl.reset t.by_mask;
+  set_scan t [];
+  t.n <- 0
+
+let n_entries t = t.n
+let n_masks t = List.length t.scan
+let masks t = List.map (fun st -> st.s_mask) t.scan
+
+let entries t =
+  List.concat_map
+    (fun st ->
+      Hashtbl.fold (fun _ b acc -> !b @ acc) st.s_entries [])
+    t.scan
+
+let pp_entry ppf e =
+  let first = ref true in
+  List.iter
+    (fun f ->
+      let m = Mask.get e.mask f in
+      if not (Int64.equal m 0L) then begin
+        if not !first then Format.pp_print_char ppf ',';
+        first := false;
+        let v = Flow.get e.key f in
+        let pp_value ppf v =
+          match f with
+          | Field.Ip_src | Field.Ip_dst ->
+            Pi_pkt.Ipv4_addr.pp ppf (Int64.to_int32 v)
+          | Field.In_port | Field.Eth_src | Field.Eth_dst | Field.Eth_type
+          | Field.Vlan | Field.Ip_proto | Field.Ip_tos | Field.Ip_ttl
+          | Field.Tp_src | Field.Tp_dst | Field.Tcp_flags ->
+            Format.fprintf ppf "%Ld" v
+        in
+        match Mask.prefix_len e.mask f with
+        | Some n when n = Field.width f ->
+          Format.fprintf ppf "%s=%a" (Field.name f) pp_value v
+        | Some n -> Format.fprintf ppf "%s=%a/%d" (Field.name f) pp_value v n
+        | None -> Format.fprintf ppf "%s=%a&0x%Lx" (Field.name f) pp_value v m
+      end)
+    Field.all;
+  if !first then Format.pp_print_string ppf "match=any";
+  Format.fprintf ppf " packets:%d bytes:%d used:%.2fs actions:%s" e.n_packets
+    e.n_bytes e.last_used (Action.to_string e.action)
+
+let dump ?max ppf t =
+  let printed = ref 0 in
+  let limit = match max with Some m -> m | None -> max_int in
+  List.iter
+    (fun st ->
+      Hashtbl.iter
+        (fun _ b ->
+          List.iter
+            (fun e ->
+              if !printed < limit then begin
+                Format.fprintf ppf "%a@." pp_entry e;
+                incr printed
+              end)
+            !b)
+        st.s_entries)
+    t.scan;
+  if t.n > limit then Format.fprintf ppf "... (%d more)@." (t.n - limit)
+
+let hits t = t.hits
+let misses t = t.misses
+let total_probes t = t.probes
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.probes <- 0

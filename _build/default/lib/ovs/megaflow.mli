@@ -1,0 +1,87 @@
+(** The megaflow cache: the second fast-path layer, organised by Tuple
+    Space Search.
+
+    Entries installed by the slow path are non-overlapping, so lookup
+    scans one hash table per distinct mask, in mask-creation order,
+    and stops at the first hit — which is why the lookup cost is linear
+    in the number of masks, the algorithmic deficiency the paper
+    attacks. A miss necessarily probes {e every} mask. *)
+
+type entry = {
+  key : Pi_classifier.Flow.t;   (** pre-masked *)
+  mask : Pi_classifier.Mask.t;
+  action : Action.t;
+  revision : int;               (** slow-path revision that produced it *)
+  created : float;
+  mutable last_used : float;
+  mutable n_packets : int;
+  mutable n_bytes : int;
+  mutable alive : bool;
+      (** cleared on eviction so stale microflow-cache references can be
+          detected *)
+}
+
+type t
+
+type config = {
+  max_entries : int;      (** flow limit (OVS flow-limit, default 200000) *)
+  idle_timeout : float;   (** seconds before an unused entry is evicted *)
+}
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
+
+val lookup : t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int -> entry option * int
+(** [(entry, probes)]: the matching entry, if any, and the number of
+    subtable hash probes performed (= position of the matching mask, or
+    the total mask count on a miss). Hit statistics are updated. *)
+
+val lookup_hinted :
+  t -> Mask_cache.t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int ->
+  entry option * int
+(** Kernel-datapath flavour: consult the {!Mask_cache} first (a correct
+    hint costs one probe), fall back to the linear scan and refresh the
+    hint. Stale hints cost their probe, exactly as in the kernel. *)
+
+val resort_by_hits : t -> unit
+(** Userspace-dpcls flavour: reorder the subtable scan so the most-hit
+    masks come first (OVS's pvector ranking), halving hit counts so the
+    ranking tracks recent traffic. Typically driven by the revalidator
+    (see {!Datapath.config}). *)
+
+val insert :
+  t -> key:Pi_classifier.Flow.t -> mask:Pi_classifier.Mask.t ->
+  action:Action.t -> revision:int -> now:float -> entry
+(** Install a megaflow produced by a slow-path upcall. If the flow limit
+    is exceeded, least-recently-used entries are evicted first. If an
+    entry with the same masked key exists it is replaced. *)
+
+val revalidate : t -> now:float -> ?keep:(entry -> bool) -> unit -> int
+(** Evict idle entries ([now - last_used > idle_timeout]) and entries
+    rejected by [keep] (e.g. produced by a stale slow-path revision).
+    Empty subtables (masks) are dropped. Returns entries evicted. *)
+
+val flush : t -> unit
+
+val n_entries : t -> int
+val n_masks : t -> int
+val masks : t -> Pi_classifier.Mask.t list
+(** In scan order. *)
+
+val entries : t -> entry list
+
+val pp_entry : Format.formatter -> entry -> unit
+(** ovs-dpctl-style rendering:
+    [ip_src=10.0.0.0/9,tp_dst=80 packets:3 bytes:300 used:4.20s actions:drop]. *)
+
+val dump : ?max:int -> Format.formatter -> t -> unit
+(** Print entries in scan order, one per line ([max] defaults to all) —
+    the equivalent of [ovs-dpctl dump-flows]. *)
+
+val hits : t -> int
+val misses : t -> int
+val total_probes : t -> int
+(** Cumulative subtable probes across all lookups. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,53 @@
+open Pi_classifier
+
+type t = {
+  cls : Action.t Tss.t;
+  mutable revision : int;
+}
+
+let create ?config () =
+  let cls =
+    match config with
+    | Some c -> Tss.create ~config:c ()
+    | None -> Tss.create ()
+  in
+  { cls; revision = 0 }
+
+let config t = Tss.config t.cls
+
+let install t rules =
+  List.iter (Tss.insert t.cls) rules;
+  if rules <> [] then t.revision <- t.revision + 1
+
+let remove t pred =
+  let n = Tss.remove t.cls pred in
+  if n > 0 then t.revision <- t.revision + 1;
+  n
+
+let clear t = ignore (remove t (fun _ -> true))
+
+type verdict = {
+  action : Action.t;
+  megaflow : Mask.t;
+  probes : int;
+  rule_found : bool;
+}
+
+let upcall t flow =
+  let r = Tss.find_wc t.cls flow in
+  match r.Tss.rule with
+  | Some rule ->
+    { action = rule.Rule.action;
+      megaflow = r.Tss.megaflow;
+      probes = r.Tss.probes;
+      rule_found = true }
+  | None ->
+    { action = Action.Drop;
+      megaflow = r.Tss.megaflow;
+      probes = r.Tss.probes;
+      rule_found = false }
+
+let revision t = t.revision
+let n_rules t = Tss.n_rules t.cls
+let n_subtables t = Tss.n_subtables t.cls
+let rules t = Tss.rules t.cls

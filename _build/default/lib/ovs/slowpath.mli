@@ -1,0 +1,41 @@
+(** The slow path (ofproto): the full flow-table classifier consulted on
+    flow-cache misses, and the component that generates megaflows.
+
+    Every upcall runs a wildcard-tracking lookup ({!Pi_classifier.Tss.find_wc})
+    and returns the verdict together with the broadest mask that is
+    provably safe to cache — OVS's maximal-wildcarding strategy, the
+    behaviour Fig. 2b of the paper illustrates and the attack exploits.
+
+    The [revision] counter models revalidation: installing or removing
+    rules bumps it, and the datapath revalidator evicts cached megaflows
+    minted under older revisions. *)
+
+type t
+
+val create : ?config:Pi_classifier.Tss.config -> unit -> t
+
+val config : t -> Pi_classifier.Tss.config
+
+val install : t -> Action.t Pi_classifier.Rule.t list -> unit
+(** Add rules (bumps the revision). *)
+
+val remove : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
+(** Remove matching rules (bumps the revision if any matched). *)
+
+val clear : t -> unit
+
+type verdict = {
+  action : Action.t;
+  megaflow : Pi_classifier.Mask.t;
+  probes : int;           (** subtables the slow-path lookup examined *)
+  rule_found : bool;      (** false = table miss (default drop) *)
+}
+
+val upcall : t -> Pi_classifier.Flow.t -> verdict
+(** Classify a missed flow. A table miss yields [Drop] with the
+    accumulated megaflow mask, so misses are cached too. *)
+
+val revision : t -> int
+val n_rules : t -> int
+val n_subtables : t -> int
+val rules : t -> Action.t Pi_classifier.Rule.t list

@@ -1,0 +1,80 @@
+type port = { id : int; name : string }
+
+type port_stats = {
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable dropped : int;
+}
+
+type t = {
+  name : string;
+  dp : Datapath.t;
+  mutable ports : port list;
+  stats : (int, port_stats) Hashtbl.t;
+  mutable next_port : int;
+}
+
+let create ?config ?tss_config ~name rng () =
+  { name;
+    dp = Datapath.create ?config ?tss_config rng ();
+    ports = [];
+    stats = Hashtbl.create 8;
+    next_port = 1 }
+
+let name t = t.name
+let datapath t = t.dp
+
+let new_stats () =
+  { rx_packets = 0; rx_bytes = 0; tx_packets = 0; tx_bytes = 0; dropped = 0 }
+
+let add_port t ~name =
+  let p = { id = t.next_port; name } in
+  t.next_port <- t.next_port + 1;
+  t.ports <- t.ports @ [ p ];
+  Hashtbl.replace t.stats p.id (new_stats ());
+  p
+
+let port_by_name t name =
+  List.find_opt (fun (p : port) -> String.equal p.name name) t.ports
+
+let ports t = t.ports
+
+let install_rules t rules = Datapath.install_rules t.dp rules
+
+let port_stats t id =
+  match Hashtbl.find_opt t.stats id with
+  | Some s -> s
+  | None -> raise Not_found
+
+let account t ~in_port ~pkt_len action =
+  (match Hashtbl.find_opt t.stats in_port with
+   | Some s ->
+     s.rx_packets <- s.rx_packets + 1;
+     s.rx_bytes <- s.rx_bytes + pkt_len
+   | None -> ());
+  match action with
+  | Action.Output out -> begin
+    match Hashtbl.find_opt t.stats out with
+    | Some s ->
+      s.tx_packets <- s.tx_packets + 1;
+      s.tx_bytes <- s.tx_bytes + pkt_len
+    | None -> ()
+  end
+  | Action.Drop | Action.Controller -> begin
+    match Hashtbl.find_opt t.stats in_port with
+    | Some s -> s.dropped <- s.dropped + 1
+    | None -> ()
+  end
+
+let process_flow t ~now flow ~pkt_len =
+  let action, outcome = Datapath.process t.dp ~now flow ~pkt_len in
+  account t ~in_port:(Pi_classifier.Flow.in_port flow) ~pkt_len action;
+  (action, outcome)
+
+let process_packet t ~now ~in_port pkt =
+  let flow = Pi_classifier.Flow.of_packet ~in_port pkt in
+  process_flow t ~now flow ~pkt_len:(Pi_pkt.Packet.size pkt)
+
+let revalidate t ~now = Datapath.revalidate t.dp ~now

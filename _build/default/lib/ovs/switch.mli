@@ -1,0 +1,54 @@
+(** A hypervisor switch: named virtual ports (one per pod/VM vNIC, plus
+    an uplink to the data-center fabric) in front of a shared
+    {!Datapath} — the per-server component of the paper's Fig. 1.
+
+    The flow cache (and thus the attack surface) is shared across all
+    ports of a server: a tenant's malicious ACL degrades every other
+    tenant on the same host. *)
+
+type port = {
+  id : int;
+  name : string;
+}
+
+type t
+
+val create :
+  ?config:Datapath.config -> ?tss_config:Pi_classifier.Tss.config ->
+  name:string -> Pi_pkt.Prng.t -> unit -> t
+
+val name : t -> string
+val datapath : t -> Datapath.t
+
+val add_port : t -> name:string -> port
+(** Port ids are assigned densely from 1. *)
+
+val port_by_name : t -> string -> port option
+val ports : t -> port list
+
+val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
+
+val process_packet :
+  t -> now:float -> in_port:int -> Pi_pkt.Packet.t ->
+  Action.t * Cost_model.outcome
+(** Extract the packet's flow key and classify it. *)
+
+val process_flow :
+  t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
+  Action.t * Cost_model.outcome
+(** Same without packet parsing — the fast path for simulations that
+    pre-compute flow keys. *)
+
+val revalidate : t -> now:float -> int
+
+(** Per-port counters. *)
+type port_stats = {
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable dropped : int;
+}
+
+val port_stats : t -> int -> port_stats
+(** Raises [Not_found] for an unknown port id. *)

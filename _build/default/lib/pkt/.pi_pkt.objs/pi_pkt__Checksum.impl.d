@@ -1,0 +1,1 @@
+lib/pkt/checksum.ml: Bytes Char Int32

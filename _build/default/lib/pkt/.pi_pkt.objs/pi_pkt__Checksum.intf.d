@@ -1,0 +1,1 @@
+lib/pkt/checksum.mli: Bytes Ipv4_addr

@@ -1,0 +1,1 @@
+lib/pkt/ethernet.ml: Bytes Char Format Int64 Mac_addr

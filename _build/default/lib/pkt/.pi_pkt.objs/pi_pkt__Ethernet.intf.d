@@ -1,0 +1,1 @@
+lib/pkt/ethernet.mli: Bytes Format Mac_addr

@@ -1,0 +1,1 @@
+lib/pkt/icmp.ml: Bytes Char Checksum Format Int32

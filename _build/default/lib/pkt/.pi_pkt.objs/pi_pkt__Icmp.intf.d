@@ -1,0 +1,1 @@
+lib/pkt/icmp.mli: Bytes Format

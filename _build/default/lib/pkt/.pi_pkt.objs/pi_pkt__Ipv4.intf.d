@@ -1,0 +1,1 @@
+lib/pkt/ipv4.mli: Bytes Format Ipv4_addr

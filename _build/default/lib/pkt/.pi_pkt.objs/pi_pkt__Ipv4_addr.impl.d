@@ -1,0 +1,1 @@
+lib/pkt/ipv4_addr.ml: Format Int Int32 Int64 Printf String

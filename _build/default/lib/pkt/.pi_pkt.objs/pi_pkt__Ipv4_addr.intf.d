@@ -1,0 +1,1 @@
+lib/pkt/ipv4_addr.mli: Format

@@ -1,0 +1,1 @@
+lib/pkt/mac_addr.ml: Array Format Int64 List Printf String

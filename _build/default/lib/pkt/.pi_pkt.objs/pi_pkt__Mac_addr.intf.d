@@ -1,0 +1,1 @@
+lib/pkt/mac_addr.mli: Format

@@ -1,0 +1,1 @@
+lib/pkt/packet.ml: Bytes Char Ethernet Format Icmp Ipv4 Mac_addr Tcp Udp

@@ -1,0 +1,1 @@
+lib/pkt/packet.mli: Bytes Ethernet Format Icmp Ipv4 Ipv4_addr Mac_addr Tcp Udp

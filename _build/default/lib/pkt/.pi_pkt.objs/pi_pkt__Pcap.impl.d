@@ -1,0 +1,1 @@
+lib/pkt/pcap.ml: Bytes Char Fun Int32 List Packet

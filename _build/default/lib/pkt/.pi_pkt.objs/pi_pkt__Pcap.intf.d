@@ -1,0 +1,1 @@
+lib/pkt/pcap.mli: Bytes Packet

@@ -1,0 +1,1 @@
+lib/pkt/prng.ml: Array Int64

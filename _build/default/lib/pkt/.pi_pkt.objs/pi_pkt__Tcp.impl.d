@@ -1,0 +1,1 @@
+lib/pkt/tcp.ml: Bytes Char Checksum Format Int32 Ipv4

@@ -1,0 +1,1 @@
+lib/pkt/tcp.mli: Bytes Format Ipv4_addr

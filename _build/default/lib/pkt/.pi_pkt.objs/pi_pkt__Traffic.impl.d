@@ -1,0 +1,1 @@
+lib/pkt/traffic.ml: Array Ethernet Float Format Int64 Ipv4 Ipv4_addr Packet Prng Seq Tcp Udp

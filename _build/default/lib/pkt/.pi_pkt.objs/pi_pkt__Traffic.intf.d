@@ -1,0 +1,1 @@
+lib/pkt/traffic.mli: Format Ipv4_addr Packet Prng Seq

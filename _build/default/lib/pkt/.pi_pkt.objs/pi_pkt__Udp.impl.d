@@ -1,0 +1,1 @@
+lib/pkt/udp.ml: Bytes Char Checksum Format Ipv4

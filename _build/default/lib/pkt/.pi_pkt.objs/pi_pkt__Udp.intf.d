@@ -1,0 +1,1 @@
+lib/pkt/udp.mli: Bytes Format Ipv4_addr

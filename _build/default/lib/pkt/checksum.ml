@@ -1,0 +1,30 @@
+let ones_complement_sum buf ~off ~len acc =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.ones_complement_sum";
+  let acc = ref acc in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc := !acc + (Char.code (Bytes.get buf !i) lsl 8)
+           + Char.code (Bytes.get buf (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get buf !i) lsl 8);
+  !acc
+
+let finish acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xFFFF) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xFFFF
+
+let compute buf ~off ~len = finish (ones_complement_sum buf ~off ~len 0)
+
+let pseudo_header_ipv4 ~src ~dst ~proto ~len =
+  let hi32 v = Int32.to_int (Int32.shift_right_logical v 16) in
+  let lo32 v = Int32.to_int (Int32.logand v 0xFFFFl) in
+  hi32 src + lo32 src + hi32 dst + lo32 dst + proto + len
+
+let verify buf ~off ~len =
+  finish (ones_complement_sum buf ~off ~len 0) = 0

@@ -1,0 +1,21 @@
+(** The Internet checksum (RFC 1071) used by IPv4, TCP, UDP and ICMP. *)
+
+val ones_complement_sum : Bytes.t -> off:int -> len:int -> int -> int
+(** [ones_complement_sum buf ~off ~len acc] folds the 16-bit one's
+    complement sum of [len] bytes starting at [off] into [acc]. An odd
+    trailing byte is padded with zero, per the RFC. *)
+
+val finish : int -> int
+(** [finish acc] folds carries and complements, yielding the 16-bit
+    checksum field value. *)
+
+val compute : Bytes.t -> off:int -> len:int -> int
+(** One-shot checksum of a byte range. *)
+
+val pseudo_header_ipv4 :
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> proto:int -> len:int -> int
+(** Partial sum of the IPv4 pseudo-header used by TCP/UDP checksums. *)
+
+val verify : Bytes.t -> off:int -> len:int -> bool
+(** [verify buf ~off ~len] is true iff the range (including its embedded
+    checksum field) sums to zero, i.e. the checksum is valid. *)

@@ -1,0 +1,48 @@
+type t = { dst : Mac_addr.t; src : Mac_addr.t; ethertype : int }
+
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+let ethertype_vlan = 0x8100
+let ethertype_ipv6 = 0x86DD
+
+let size = 14
+
+let check buf off need name =
+  if off < 0 || off + need > Bytes.length buf then invalid_arg name
+
+let write_mac buf off (m : Mac_addr.t) =
+  for i = 0 to 5 do
+    Bytes.set buf (off + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical m ((5 - i) * 8)) 0xFFL)))
+  done
+
+let read_mac buf off : Mac_addr.t =
+  let acc = ref 0L in
+  for i = 0 to 5 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code (Bytes.get buf (off + i))))
+  done;
+  !acc
+
+let write t buf ~off =
+  check buf off size "Ethernet.write";
+  write_mac buf off t.dst;
+  write_mac buf (off + 6) t.src;
+  Bytes.set buf (off + 12) (Char.chr ((t.ethertype lsr 8) land 0xFF));
+  Bytes.set buf (off + 13) (Char.chr (t.ethertype land 0xFF))
+
+let read buf ~off =
+  check buf off size "Ethernet.read";
+  let dst = read_mac buf off in
+  let src = read_mac buf (off + 6) in
+  let ethertype =
+    (Char.code (Bytes.get buf (off + 12)) lsl 8) lor Char.code (Bytes.get buf (off + 13))
+  in
+  { dst; src; ethertype }
+
+let pp ppf t =
+  Format.fprintf ppf "eth(%a -> %a, type 0x%04x)" Mac_addr.pp t.src Mac_addr.pp
+    t.dst t.ethertype
+
+let equal a b =
+  Mac_addr.equal a.dst b.dst && Mac_addr.equal a.src b.src
+  && a.ethertype = b.ethertype

@@ -1,0 +1,26 @@
+(** Ethernet II frame headers. *)
+
+type t = {
+  dst : Mac_addr.t;
+  src : Mac_addr.t;
+  ethertype : int;  (** 16-bit EtherType, e.g. {!ethertype_ipv4} *)
+}
+
+val ethertype_ipv4 : int
+val ethertype_arp : int
+val ethertype_vlan : int
+val ethertype_ipv6 : int
+
+val size : int
+(** Header size in bytes (14). *)
+
+val write : t -> Bytes.t -> off:int -> unit
+(** Serialises the header at [off]. Raises [Invalid_argument] if the
+    buffer is too small. *)
+
+val read : Bytes.t -> off:int -> t
+(** Parses a header at [off]. Raises [Invalid_argument] if the buffer is
+    too small. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

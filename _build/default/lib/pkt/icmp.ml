@@ -1,0 +1,45 @@
+type t = { typ : int; code : int; rest : int32 }
+
+let echo_request = 8
+let echo_reply = 0
+let dest_unreachable = 3
+
+let size = 8
+
+let make ?(rest = 0l) ~typ ~code () = { typ; code; rest }
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let write t ~payload_len buf ~off =
+  if off < 0 || off + size + payload_len > Bytes.length buf then
+    invalid_arg "Icmp.write";
+  Bytes.set buf off (Char.chr (t.typ land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (t.code land 0xFF));
+  set16 buf (off + 2) 0;
+  for i = 0 to 3 do
+    Bytes.set buf (off + 4 + i)
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical t.rest ((3 - i) * 8)) 0xFFl)))
+  done;
+  let csum = Checksum.compute buf ~off ~len:(size + payload_len) in
+  set16 buf (off + 2) csum
+
+let read buf ~off ~len =
+  if len < size || off < 0 || off + len > Bytes.length buf then
+    Error "icmp: truncated"
+  else if not (Checksum.verify buf ~off ~len) then Error "icmp: bad checksum"
+  else begin
+    let rest = ref 0l in
+    for i = 0 to 3 do
+      rest := Int32.logor (Int32.shift_left !rest 8)
+                (Int32.of_int (Char.code (Bytes.get buf (off + 4 + i))))
+    done;
+    Ok ({ typ = Char.code (Bytes.get buf off);
+          code = Char.code (Bytes.get buf (off + 1));
+          rest = !rest }, size)
+  end
+
+let pp ppf t = Format.fprintf ppf "icmp(type %d, code %d)" t.typ t.code
+
+let equal a b = a.typ = b.typ && a.code = b.code && Int32.equal a.rest b.rest

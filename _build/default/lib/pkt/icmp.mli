@@ -1,0 +1,21 @@
+(** ICMP headers (echo-style: type, code, 4 bytes of rest-of-header). *)
+
+type t = { typ : int; code : int; rest : int32 }
+
+val echo_request : int
+val echo_reply : int
+val dest_unreachable : int
+
+val size : int
+(** 8 bytes. *)
+
+val make : ?rest:int32 -> typ:int -> code:int -> unit -> t
+
+val write : t -> payload_len:int -> Bytes.t -> off:int -> unit
+(** Serialises with a checksum over header and payload (which must
+    already be at [off + size]). *)
+
+val read : Bytes.t -> off:int -> len:int -> (t * int, string) result
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,103 @@
+type t = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  proto : int;
+  tos : int;
+  ttl : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;
+}
+
+let proto_icmp = 1
+let proto_tcp = 6
+let proto_udp = 17
+
+let size = 20
+
+let make ?(tos = 0) ?(ttl = 64) ?(ident = 0) ~src ~dst ~proto () =
+  { src; dst; proto; tos; ttl; ident;
+    dont_fragment = false; more_fragments = false; frag_offset = 0 }
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let get16 buf off =
+  (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+let set32 buf off (v : int32) =
+  for i = 0 to 3 do
+    Bytes.set buf (off + i)
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v ((3 - i) * 8)) 0xFFl)))
+  done
+
+let get32 buf off : int32 =
+  let acc = ref 0l in
+  for i = 0 to 3 do
+    acc := Int32.logor (Int32.shift_left !acc 8) (Int32.of_int (Char.code (Bytes.get buf (off + i))))
+  done;
+  !acc
+
+let write t ~payload_len buf ~off =
+  if off < 0 || off + size > Bytes.length buf then invalid_arg "Ipv4.write";
+  if payload_len < 0 || size + payload_len > 0xFFFF then invalid_arg "Ipv4.write: length";
+  Bytes.set buf off (Char.chr 0x45);
+  Bytes.set buf (off + 1) (Char.chr (t.tos land 0xFF));
+  set16 buf (off + 2) (size + payload_len);
+  set16 buf (off + 4) (t.ident land 0xFFFF);
+  let flags =
+    (if t.dont_fragment then 0x4000 else 0)
+    lor (if t.more_fragments then 0x2000 else 0)
+    lor (t.frag_offset land 0x1FFF)
+  in
+  set16 buf (off + 6) flags;
+  Bytes.set buf (off + 8) (Char.chr (t.ttl land 0xFF));
+  Bytes.set buf (off + 9) (Char.chr (t.proto land 0xFF));
+  set16 buf (off + 10) 0;
+  set32 buf (off + 12) t.src;
+  set32 buf (off + 16) t.dst;
+  let csum = Checksum.compute buf ~off ~len:size in
+  set16 buf (off + 10) csum
+
+let read buf ~off =
+  if off < 0 || off + size > Bytes.length buf then Error "ipv4: truncated header"
+  else begin
+    let vihl = Char.code (Bytes.get buf off) in
+    if vihl lsr 4 <> 4 then Error "ipv4: bad version"
+    else if vihl land 0xF <> 5 then Error "ipv4: options unsupported"
+    else if not (Checksum.verify buf ~off ~len:size) then Error "ipv4: bad checksum"
+    else begin
+      let total = get16 buf (off + 2) in
+      if total < size then Error "ipv4: bad total length"
+      else if off + total > Bytes.length buf then Error "ipv4: truncated payload"
+      else begin
+        let flags = get16 buf (off + 6) in
+        let t =
+          { src = get32 buf (off + 12);
+            dst = get32 buf (off + 16);
+            proto = Char.code (Bytes.get buf (off + 9));
+            tos = Char.code (Bytes.get buf (off + 1));
+            ttl = Char.code (Bytes.get buf (off + 8));
+            ident = get16 buf (off + 4);
+            dont_fragment = flags land 0x4000 <> 0;
+            more_fragments = flags land 0x2000 <> 0;
+            frag_offset = flags land 0x1FFF }
+        in
+        Ok (t, total - size)
+      end
+    end
+  end
+
+let is_fragment t = t.more_fragments || t.frag_offset <> 0
+
+let pp ppf t =
+  Format.fprintf ppf "ipv4(%a -> %a, proto %d, ttl %d)" Ipv4_addr.pp t.src
+    Ipv4_addr.pp t.dst t.proto t.ttl
+
+let equal a b =
+  Ipv4_addr.equal a.src b.src && Ipv4_addr.equal a.dst b.dst
+  && a.proto = b.proto && a.tos = b.tos && a.ttl = b.ttl && a.ident = b.ident
+  && a.dont_fragment = b.dont_fragment && a.more_fragments = b.more_fragments
+  && a.frag_offset = b.frag_offset

@@ -1,0 +1,41 @@
+(** IPv4 headers (without options: IHL is fixed at 5). *)
+
+type t = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  proto : int;      (** 8-bit protocol number, e.g. {!proto_tcp} *)
+  tos : int;        (** DSCP/ECN byte *)
+  ttl : int;
+  ident : int;      (** 16-bit identification *)
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;  (** in 8-byte units, 13 bits *)
+}
+
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+
+val size : int
+(** Header size in bytes (20, no options). *)
+
+val make :
+  ?tos:int -> ?ttl:int -> ?ident:int ->
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> proto:int -> unit -> t
+(** Header with common defaults (tos 0, ttl 64, ident 0, no
+    fragmentation). *)
+
+val write : t -> payload_len:int -> Bytes.t -> off:int -> unit
+(** Serialises the header with total length [size + payload_len] and a
+    correct header checksum. *)
+
+val read : Bytes.t -> off:int -> (t * int, string) result
+(** [read buf ~off] parses a header, returning it together with the
+    payload length implied by the total-length field. Rejects bad
+    checksums, truncation and IHL <> 5. *)
+
+val is_fragment : t -> bool
+(** True iff the packet is a fragment (offset non-zero or MF set). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

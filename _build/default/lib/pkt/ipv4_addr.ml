@@ -1,0 +1,105 @@
+type t = int32
+
+let compare a b =
+  (* Unsigned comparison via sign-bit flip. *)
+  Int32.compare (Int32.logxor a Int32.min_int) (Int32.logxor b Int32.min_int)
+
+let equal = Int32.equal
+
+let of_octets a b c d =
+  let check o = if o < 0 || o > 255 then invalid_arg "Ipv4_addr.of_octets" in
+  check a; check b; check c; check d;
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d))
+
+let to_octets t =
+  let byte n = Int32.to_int (Int32.logand (Int32.shift_right_logical t n) 0xFFl) in
+  (byte 24, byte 16, byte 8, byte 0)
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+    let octet x =
+      match int_of_string_opt x with
+      | Some v when v >= 0 && v <= 255 && x <> "" -> Some v
+      | _ -> None
+    in
+    (match (octet a, octet b, octet c, octet d) with
+     | Some a, Some b, Some c, Some d -> Some (of_octets a b c d)
+     | _ -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ipv4_addr.of_string: %S" s)
+
+let to_string t =
+  let a, b, c, d = to_octets t in
+  Printf.sprintf "%d.%d.%d.%d" a b c d
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let any = 0l
+let broadcast = 0xFFFFFFFFl
+let succ t = Int32.add t 1l
+let add t n = Int32.add t (Int32.of_int n)
+
+let mask_of_len n =
+  if n < 0 || n > 32 then invalid_arg "Ipv4_addr.mask_of_len";
+  if n = 0 then 0l else Int32.shift_left (-1l) (32 - n)
+
+let len_of_mask m =
+  let rec go n =
+    if n > 32 then None
+    else if Int32.equal (mask_of_len n) m then Some n
+    else go (n + 1)
+  in
+  go 0
+
+module Prefix = struct
+  type addr = t
+
+  type t = { base : addr; len : int }
+
+  let make base len =
+    if len < 0 || len > 32 then invalid_arg "Ipv4_addr.Prefix.make";
+    { base = Int32.logand base (mask_of_len len); len }
+
+  let mask p = mask_of_len p.len
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | None -> make (of_string s) 32
+    | Some i ->
+      let addr = of_string (String.sub s 0 i) in
+      let len =
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some l when l >= 0 && l <= 32 -> l
+        | _ -> invalid_arg (Printf.sprintf "Ipv4_addr.Prefix.of_string: %S" s)
+      in
+      make addr len
+
+  let to_string p = Printf.sprintf "%s/%d" (to_string p.base) p.len
+
+  let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+  let mem a p = Int32.equal (Int32.logand a (mask p)) p.base
+
+  let subset p q = p.len >= q.len && mem p.base q
+
+  let host_count p = Int64.shift_left 1L (32 - p.len)
+
+  let nth p i =
+    if Int64.compare i 0L < 0 || Int64.compare i (host_count p) >= 0 then
+      invalid_arg "Ipv4_addr.Prefix.nth";
+    Int32.logor p.base (Int64.to_int32 i)
+
+  let all = { base = 0l; len = 0 }
+
+  let equal p q = Int32.equal p.base q.base && p.len = q.len
+
+  let compare p q =
+    match compare p.base q.base with 0 -> Int.compare p.len q.len | c -> c
+end

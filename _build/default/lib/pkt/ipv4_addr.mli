@@ -1,0 +1,86 @@
+(** IPv4 addresses and CIDR prefixes.
+
+    Addresses are stored as host-order [int32]; all arithmetic treats
+    them as unsigned 32-bit quantities. *)
+
+type t = int32
+
+val compare : t -> t -> int
+(** Unsigned comparison. *)
+
+val equal : t -> t -> bool
+
+val of_string : string -> t
+(** [of_string "10.0.0.1"] parses dotted-quad notation.
+    Raises [Invalid_argument] on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is the address [a.b.c.d]. Each octet must be in
+    [\[0, 255\]]. *)
+
+val to_octets : t -> int * int * int * int
+
+val any : t
+(** [0.0.0.0] *)
+
+val broadcast : t
+(** [255.255.255.255] *)
+
+val succ : t -> t
+(** Successor modulo 2^32. *)
+
+val add : t -> int -> t
+(** [add t n] offsets the address by [n], modulo 2^32. *)
+
+(** CIDR prefixes, e.g. [10.0.0.0/8]. *)
+module Prefix : sig
+  type addr := t
+
+  type t = { base : addr; len : int }
+  (** Invariant: [0 <= len <= 32] and the host bits of [base] are zero. *)
+
+  val make : addr -> int -> t
+  (** [make addr len] masks [addr] down to [len] bits.
+      Raises [Invalid_argument] if [len] is out of range. *)
+
+  val of_string : string -> t
+  (** Parses ["10.0.0.0/8"]; a bare address is a /32. *)
+
+  val to_string : t -> string
+
+  val pp : Format.formatter -> t -> unit
+
+  val mask : t -> addr
+  (** The netmask, e.g. [255.0.0.0] for a /8. *)
+
+  val mem : addr -> t -> bool
+  (** [mem a p] is true iff [a] lies within [p]. *)
+
+  val subset : t -> t -> bool
+  (** [subset p q] is true iff every address of [p] lies in [q]. *)
+
+  val host_count : t -> int64
+  (** Number of addresses covered (2^(32-len)). *)
+
+  val nth : t -> int64 -> addr
+  (** [nth p i] is the [i]-th address of the prefix.
+      Raises [Invalid_argument] if [i] is out of range. *)
+
+  val all : t
+  (** [0.0.0.0/0]. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+end
+
+val mask_of_len : int -> t
+(** [mask_of_len n] is the netmask with [n] leading ones. *)
+
+val len_of_mask : t -> int option
+(** [len_of_mask m] is [Some n] iff [m] is a contiguous prefix mask. *)

@@ -1,0 +1,54 @@
+type t = int64
+
+let mask48 = 0xFFFFFFFFFFFFL
+
+let of_int64 v = Int64.logand v mask48
+
+let compare = Int64.compare
+let equal = Int64.equal
+
+let of_octets o =
+  if Array.length o <> 6 then invalid_arg "Mac_addr.of_octets";
+  Array.fold_left
+    (fun acc b ->
+      if b < 0 || b > 255 then invalid_arg "Mac_addr.of_octets";
+      Int64.logor (Int64.shift_left acc 8) (Int64.of_int b))
+    0L o
+
+let to_octets t =
+  Array.init 6 (fun i ->
+      Int64.to_int (Int64.logand (Int64.shift_right_logical t ((5 - i) * 8)) 0xFFL))
+
+let of_string_opt s =
+  match String.split_on_char ':' s with
+  | [ _; _; _; _; _; _ ] as parts ->
+    let octet x =
+      if String.length x = 0 || String.length x > 2 then None
+      else int_of_string_opt ("0x" ^ x)
+    in
+    (try
+       Some
+         (of_octets
+            (Array.of_list
+               (List.map
+                  (fun x -> match octet x with Some v -> v | None -> raise Exit)
+                  parts)))
+     with Exit -> None)
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Mac_addr.of_string: %S" s)
+
+let to_string t =
+  let o = to_octets t in
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" o.(0) o.(1) o.(2) o.(3) o.(4) o.(5)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let broadcast = mask48
+let zero = 0L
+
+let is_multicast t =
+  Int64.logand (Int64.shift_right_logical t 40) 1L = 1L

@@ -1,0 +1,32 @@
+(** 48-bit Ethernet MAC addresses, stored in the low 48 bits of an
+    [int64]. *)
+
+type t = int64
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val of_string : string -> t
+(** Parses ["aa:bb:cc:dd:ee:ff"]. Raises [Invalid_argument] on malformed
+    input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_octets : int array -> t
+(** [of_octets [|a;b;c;d;e;f|]]. Raises [Invalid_argument] unless exactly
+    six octets in range are given. *)
+
+val to_octets : t -> int array
+
+val broadcast : t
+(** ff:ff:ff:ff:ff:ff *)
+
+val zero : t
+
+val is_multicast : t -> bool
+(** True iff the least significant bit of the first octet is set. *)
+
+val of_int64 : int64 -> t
+(** Masks the argument to 48 bits. *)

@@ -1,0 +1,182 @@
+type l4 =
+  | Tcp of Tcp.t
+  | Udp of Udp.t
+  | Icmp of Icmp.t
+  | Other_l4 of int * Bytes.t
+
+type l3 =
+  | Ipv4 of Ipv4.t * l4
+  | Other_l3 of Bytes.t
+
+type t = {
+  eth : Ethernet.t;
+  vlan : int option;
+  l3 : l3;
+  payload : Bytes.t;
+}
+
+let default_src_mac = Mac_addr.of_string "02:00:00:00:00:01"
+let default_dst_mac = Mac_addr.of_string "02:00:00:00:00:02"
+
+let make ?vlan ?(payload = Bytes.empty) ~eth ~l3 () =
+  let ethertype =
+    match l3 with Ipv4 _ -> Ethernet.ethertype_ipv4 | Other_l3 _ -> eth.Ethernet.ethertype
+  in
+  { eth = { eth with Ethernet.ethertype }; vlan; l3; payload }
+
+let l4_header_size = function
+  | Tcp _ -> Tcp.size
+  | Udp _ -> Udp.size
+  | Icmp _ -> Icmp.size
+  | Other_l4 (_, raw) -> Bytes.length raw
+
+let size t =
+  let vlan = match t.vlan with Some _ -> 4 | None -> 0 in
+  match t.l3 with
+  | Ipv4 (_, l4) ->
+    Ethernet.size + vlan + Ipv4.size + l4_header_size l4 + Bytes.length t.payload
+  | Other_l3 raw -> Ethernet.size + vlan + Bytes.length raw
+
+let udp ?(src_mac = default_src_mac) ?(dst_mac = default_dst_mac)
+    ?(payload_len = 18) ?(tos = 0) ?(ttl = 64) ~src ~dst ~src_port ~dst_port () =
+  let eth = Ethernet.{ src = src_mac; dst = dst_mac; ethertype = ethertype_ipv4 } in
+  let ip = Ipv4.make ~tos ~ttl ~src ~dst ~proto:Ipv4.proto_udp () in
+  { eth; vlan = None;
+    l3 = Ipv4 (ip, Udp (Udp.make ~src_port ~dst_port));
+    payload = Bytes.make payload_len '\000' }
+
+let tcp ?(src_mac = default_src_mac) ?(dst_mac = default_dst_mac)
+    ?(payload_len = 0) ?(flags = Tcp.flag_ack) ~src ~dst ~src_port ~dst_port () =
+  let eth = Ethernet.{ src = src_mac; dst = dst_mac; ethertype = ethertype_ipv4 } in
+  let ip = Ipv4.make ~src ~dst ~proto:Ipv4.proto_tcp () in
+  { eth; vlan = None;
+    l3 = Ipv4 (ip, Tcp (Tcp.make ~flags ~src_port ~dst_port ()));
+    payload = Bytes.make payload_len '\000' }
+
+let icmp_echo ?(src_mac = default_src_mac) ?(dst_mac = default_dst_mac)
+    ?(payload_len = 16) ~src ~dst () =
+  let eth = Ethernet.{ src = src_mac; dst = dst_mac; ethertype = ethertype_ipv4 } in
+  let ip = Ipv4.make ~src ~dst ~proto:Ipv4.proto_icmp () in
+  { eth; vlan = None;
+    l3 = Ipv4 (ip, Icmp (Icmp.make ~typ:Icmp.echo_request ~code:0 ()));
+    payload = Bytes.make payload_len '\000' }
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let get16 buf off =
+  (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+let serialize t =
+  let buf = Bytes.make (size t) '\000' in
+  let eth_type_off = Ethernet.size - 2 in
+  Ethernet.write t.eth buf ~off:0;
+  let l3_off =
+    match t.vlan with
+    | None -> Ethernet.size
+    | Some vid ->
+      (* Insert the 802.1Q tag: the frame's EtherType becomes 0x8100 and
+         the inner type follows the TCI. *)
+      let inner = get16 buf eth_type_off in
+      set16 buf eth_type_off Ethernet.ethertype_vlan;
+      set16 buf Ethernet.size (vid land 0xFFF);
+      set16 buf (Ethernet.size + 2) inner;
+      Ethernet.size + 4
+  in
+  (match t.l3 with
+   | Other_l3 raw -> Bytes.blit raw 0 buf l3_off (Bytes.length raw)
+   | Ipv4 (ip, l4) ->
+     let l4_off = l3_off + Ipv4.size in
+     let pl_len = Bytes.length t.payload in
+     let l4_size = l4_header_size l4 in
+     Bytes.blit t.payload 0 buf (l4_off + l4_size) pl_len;
+     (match l4 with
+      | Tcp h -> Tcp.write h ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ~payload_len:pl_len buf ~off:l4_off
+      | Udp h -> Udp.write h ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst ~payload_len:pl_len buf ~off:l4_off
+      | Icmp h -> Icmp.write h ~payload_len:pl_len buf ~off:l4_off
+      | Other_l4 (_, raw) -> Bytes.blit raw 0 buf l4_off (Bytes.length raw));
+     let proto = match l4 with
+       | Tcp _ -> Ipv4.proto_tcp
+       | Udp _ -> Ipv4.proto_udp
+       | Icmp _ -> Ipv4.proto_icmp
+       | Other_l4 (p, _) -> p
+     in
+     Ipv4.write { ip with Ipv4.proto } ~payload_len:(l4_size + pl_len) buf ~off:l3_off);
+  buf
+
+let parse buf =
+  if Bytes.length buf < Ethernet.size then Error "packet: truncated ethernet"
+  else begin
+    let eth = Ethernet.read buf ~off:0 in
+    let vlan, ethertype, l3_off =
+      if eth.Ethernet.ethertype = Ethernet.ethertype_vlan
+         && Bytes.length buf >= Ethernet.size + 4
+      then
+        (Some (get16 buf Ethernet.size land 0xFFF),
+         get16 buf (Ethernet.size + 2),
+         Ethernet.size + 4)
+      else (None, eth.Ethernet.ethertype, Ethernet.size)
+    in
+    let eth = { eth with Ethernet.ethertype } in
+    if ethertype <> Ethernet.ethertype_ipv4 then
+      Ok { eth; vlan;
+           l3 = Other_l3 (Bytes.sub buf l3_off (Bytes.length buf - l3_off));
+           payload = Bytes.empty }
+    else
+      match Ipv4.read buf ~off:l3_off with
+      | Error e -> Error e
+      | Ok (ip, payload_len) ->
+        let l4_off = l3_off + Ipv4.size in
+        let finish l4 hdr_len =
+          let pl = Bytes.sub buf (l4_off + hdr_len) (payload_len - hdr_len) in
+          Ok { eth; vlan; l3 = Ipv4 (ip, l4); payload = pl }
+        in
+        if Ipv4.is_fragment ip && ip.Ipv4.frag_offset <> 0 then
+          (* Non-first fragments carry no L4 header. *)
+          finish (Other_l4 (ip.Ipv4.proto, Bytes.empty)) 0
+        else if ip.Ipv4.proto = Ipv4.proto_tcp then
+          (match Tcp.read buf ~off:l4_off ~len:payload_len ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst with
+           | Error e -> Error e
+           | Ok (h, n) -> finish (Tcp h) n)
+        else if ip.Ipv4.proto = Ipv4.proto_udp then
+          (match Udp.read buf ~off:l4_off ~len:payload_len ~src:ip.Ipv4.src ~dst:ip.Ipv4.dst with
+           | Error e -> Error e
+           | Ok (h, n) -> finish (Udp h) n)
+        else if ip.Ipv4.proto = Ipv4.proto_icmp then
+          (match Icmp.read buf ~off:l4_off ~len:payload_len with
+           | Error e -> Error e
+           | Ok (h, n) -> finish (Icmp h) n)
+        else
+          finish (Other_l4 (ip.Ipv4.proto, Bytes.sub buf l4_off payload_len)) payload_len
+  end
+
+let pp ppf t =
+  match t.l3 with
+  | Ipv4 (ip, l4) ->
+    let pp_l4 ppf = function
+      | Tcp h -> Tcp.pp ppf h
+      | Udp h -> Udp.pp ppf h
+      | Icmp h -> Icmp.pp ppf h
+      | Other_l4 (p, _) -> Format.fprintf ppf "l4(proto %d)" p
+    in
+    Format.fprintf ppf "%a %a (%d bytes)" Ipv4.pp ip pp_l4 l4 (size t)
+  | Other_l3 _ -> Format.fprintf ppf "%a (%d bytes)" Ethernet.pp t.eth (size t)
+
+let equal_l4 a b =
+  match (a, b) with
+  | Tcp x, Tcp y -> Tcp.equal x y
+  | Udp x, Udp y -> Udp.equal x y
+  | Icmp x, Icmp y -> Icmp.equal x y
+  | Other_l4 (p, x), Other_l4 (q, y) -> p = q && Bytes.equal x y
+  | (Tcp _ | Udp _ | Icmp _ | Other_l4 _), _ -> false
+
+let equal a b =
+  Ethernet.equal a.eth b.eth
+  && a.vlan = b.vlan
+  && Bytes.equal a.payload b.payload
+  &&
+  match (a.l3, b.l3) with
+  | Ipv4 (x, xl4), Ipv4 (y, yl4) -> Ipv4.equal x y && equal_l4 xl4 yl4
+  | Other_l3 x, Other_l3 y -> Bytes.equal x y
+  | (Ipv4 _ | Other_l3 _), _ -> false

@@ -1,0 +1,63 @@
+(** Assembled packets: an Ethernet frame carrying (typically) an IPv4
+    datagram with a TCP/UDP/ICMP payload.
+
+    A packet here is a structured value plus an opaque payload length;
+    payload *contents* are zero bytes unless supplied, since nothing in
+    the reproduced system inspects them. [serialize]/[parse] convert to
+    and from wire format with correct lengths and checksums. *)
+
+type l4 =
+  | Tcp of Tcp.t
+  | Udp of Udp.t
+  | Icmp of Icmp.t
+  | Other_l4 of int * Bytes.t
+      (** protocol number and raw L4 bytes (e.g. GRE) *)
+
+type l3 =
+  | Ipv4 of Ipv4.t * l4
+  | Other_l3 of Bytes.t  (** raw bytes after the Ethernet header *)
+
+type t = {
+  eth : Ethernet.t;
+  vlan : int option;  (** 802.1Q VLAN id, if tagged *)
+  l3 : l3;
+  payload : Bytes.t;  (** application payload (after the L4 header) *)
+}
+
+val make :
+  ?vlan:int -> ?payload:Bytes.t ->
+  eth:Ethernet.t -> l3:l3 -> unit -> t
+(** Builds a packet; forces [eth.ethertype] to be consistent with [l3]
+    (0x0800 for IPv4) and with VLAN tagging. *)
+
+val udp :
+  ?src_mac:Mac_addr.t -> ?dst_mac:Mac_addr.t -> ?payload_len:int ->
+  ?tos:int -> ?ttl:int ->
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t ->
+  src_port:int -> dst_port:int -> unit -> t
+(** Convenience constructor for a UDP/IPv4/Ethernet packet with a
+    zero-filled payload of [payload_len] bytes (default 18, the minimum
+    frame fill). *)
+
+val tcp :
+  ?src_mac:Mac_addr.t -> ?dst_mac:Mac_addr.t -> ?payload_len:int ->
+  ?flags:int ->
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t ->
+  src_port:int -> dst_port:int -> unit -> t
+
+val icmp_echo :
+  ?src_mac:Mac_addr.t -> ?dst_mac:Mac_addr.t -> ?payload_len:int ->
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> unit -> t
+
+val size : t -> int
+(** On-wire size in bytes (Ethernet header through payload, no FCS). *)
+
+val serialize : t -> Bytes.t
+(** Wire representation with correct length fields and checksums. *)
+
+val parse : Bytes.t -> (t, string) result
+(** Inverse of {!serialize}. Unknown ethertypes and L4 protocols are
+    preserved through [Other_l3]/[Other_l4]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,110 @@
+type record = { ts : float; data : Bytes.t }
+
+let magic = 0xA1B2C3D4l
+let magic_swapped = 0xD4C3B2A1l
+
+let set32 le buf off (v : int32) =
+  for i = 0 to 3 do
+    let shift = if le then i * 8 else (3 - i) * 8 in
+    Bytes.set buf (off + i)
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v shift) 0xFFl)))
+  done
+
+let get32 le buf off : int32 =
+  let acc = ref 0l in
+  for i = 0 to 3 do
+    let j = if le then off + 3 - i else off + i in
+    acc := Int32.logor (Int32.shift_left !acc 8) (Int32.of_int (Char.code (Bytes.get buf j)))
+  done;
+  !acc
+
+let set16 le buf off v =
+  if le then begin
+    Bytes.set buf off (Char.chr (v land 0xFF));
+    Bytes.set buf (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+  end else begin
+    Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+  end
+
+let global_header_size = 24
+let record_header_size = 16
+
+(* We always emit big-endian ("network order") captures. *)
+let to_bytes records =
+  let total =
+    List.fold_left
+      (fun acc r -> acc + record_header_size + Bytes.length r.data)
+      global_header_size records
+  in
+  let buf = Bytes.make total '\000' in
+  set32 false buf 0 magic;
+  set16 false buf 4 2;   (* version major *)
+  set16 false buf 6 4;   (* version minor *)
+  set32 false buf 8 0l;  (* thiszone *)
+  set32 false buf 12 0l; (* sigfigs *)
+  set32 false buf 16 65535l; (* snaplen *)
+  set32 false buf 20 1l; (* LINKTYPE_ETHERNET *)
+  let off = ref global_header_size in
+  List.iter
+    (fun r ->
+      let sec = int_of_float r.ts in
+      let usec = int_of_float ((r.ts -. float_of_int sec) *. 1e6 +. 0.5) in
+      let sec, usec = if usec >= 1_000_000 then (sec + 1, 0) else (sec, usec) in
+      let len = Bytes.length r.data in
+      set32 false buf !off (Int32.of_int sec);
+      set32 false buf (!off + 4) (Int32.of_int usec);
+      set32 false buf (!off + 8) (Int32.of_int len);
+      set32 false buf (!off + 12) (Int32.of_int len);
+      Bytes.blit r.data 0 buf (!off + record_header_size) len;
+      off := !off + record_header_size + len)
+    records;
+  buf
+
+let of_bytes buf =
+  if Bytes.length buf < global_header_size then Error "pcap: truncated header"
+  else begin
+    let m_be = get32 false buf 0 in
+    if (not (Int32.equal m_be magic)) && not (Int32.equal m_be magic_swapped) then
+      Error "pcap: bad magic"
+    else begin
+      let le = Int32.equal m_be magic_swapped in
+      let rec go off acc =
+        if off = Bytes.length buf then Ok (List.rev acc)
+        else if off + record_header_size > Bytes.length buf then
+          Error "pcap: truncated record header"
+        else begin
+          let sec = Int32.to_int (get32 le buf off) in
+          let usec = Int32.to_int (get32 le buf (off + 4)) in
+          let len = Int32.to_int (get32 le buf (off + 8)) in
+          if len < 0 || off + record_header_size + len > Bytes.length buf then
+            Error "pcap: truncated record"
+          else begin
+            let data = Bytes.sub buf (off + record_header_size) len in
+            let ts = float_of_int sec +. (float_of_int usec /. 1e6) in
+            go (off + record_header_size + len) ({ ts; data } :: acc)
+          end
+        end
+      in
+      go global_header_size []
+    end
+  end
+
+let write_file path records =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc (to_bytes records))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = Bytes.create len in
+      really_input ic buf 0 len;
+      of_bytes buf)
+
+let of_packets ?(start = 0.) seq =
+  List.map (fun (t, p) -> { ts = start +. t; data = Packet.serialize p }) seq

@@ -1,0 +1,25 @@
+(** Minimal libpcap file format (version 2.4, big-endian magic,
+    microsecond timestamps, LINKTYPE_ETHERNET).
+
+    Used to export the adversarial covert packet sequence for inspection
+    with standard tooling and to round-trip traffic in tests. *)
+
+type record = {
+  ts : float;       (** seconds since the epoch *)
+  data : Bytes.t;   (** captured frame *)
+}
+
+val to_bytes : record list -> Bytes.t
+(** Serialise a capture to an in-memory pcap image. *)
+
+val of_bytes : Bytes.t -> (record list, string) result
+(** Parse a pcap image; accepts both byte orders. *)
+
+val write_file : string -> record list -> unit
+(** Write a capture file. Raises [Sys_error] on I/O failure. *)
+
+val read_file : string -> (record list, string) result
+
+val of_packets : ?start:float -> (float * Packet.t) list -> record list
+(** [of_packets seq] serialises timed packets into capture records;
+    [start] is added to every timestamp (default 0). *)

@@ -1,0 +1,96 @@
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack : int32;
+  flags : int;
+  window : int;
+  urgent : int;
+}
+
+let flag_fin = 0x01
+let flag_syn = 0x02
+let flag_rst = 0x04
+let flag_psh = 0x08
+let flag_ack = 0x10
+let flag_urg = 0x20
+
+let size = 20
+
+let make ?(seq = 0l) ?(ack = 0l) ?(flags = flag_ack) ?(window = 0xFFFF)
+    ~src_port ~dst_port () =
+  { src_port; dst_port; seq; ack; flags; window; urgent = 0 }
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let get16 buf off =
+  (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+let set32 buf off (v : int32) =
+  for i = 0 to 3 do
+    Bytes.set buf (off + i)
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v ((3 - i) * 8)) 0xFFl)))
+  done
+
+let get32 buf off : int32 =
+  let acc = ref 0l in
+  for i = 0 to 3 do
+    acc := Int32.logor (Int32.shift_left !acc 8) (Int32.of_int (Char.code (Bytes.get buf (off + i))))
+  done;
+  !acc
+
+let write t ~src ~dst ~payload_len buf ~off =
+  if off < 0 || off + size + payload_len > Bytes.length buf then
+    invalid_arg "Tcp.write";
+  set16 buf off t.src_port;
+  set16 buf (off + 2) t.dst_port;
+  set32 buf (off + 4) t.seq;
+  set32 buf (off + 8) t.ack;
+  Bytes.set buf (off + 12) (Char.chr ((5 lsl 4) lor ((t.flags lsr 8) land 1)));
+  Bytes.set buf (off + 13) (Char.chr (t.flags land 0xFF));
+  set16 buf (off + 14) t.window;
+  set16 buf (off + 16) 0;
+  set16 buf (off + 18) t.urgent;
+  let seg_len = size + payload_len in
+  let pseudo = Checksum.pseudo_header_ipv4 ~src ~dst ~proto:Ipv4.proto_tcp ~len:seg_len in
+  let csum = Checksum.finish (Checksum.ones_complement_sum buf ~off ~len:seg_len pseudo) in
+  set16 buf (off + 16) csum
+
+let read buf ~off ~len ~src ~dst =
+  if len < size || off < 0 || off + len > Bytes.length buf then
+    Error "tcp: truncated"
+  else begin
+    let data_off = Char.code (Bytes.get buf (off + 12)) lsr 4 in
+    if data_off <> 5 then Error "tcp: options unsupported"
+    else begin
+      let pseudo = Checksum.pseudo_header_ipv4 ~src ~dst ~proto:Ipv4.proto_tcp ~len in
+      if Checksum.finish (Checksum.ones_complement_sum buf ~off ~len pseudo) <> 0 then
+        Error "tcp: bad checksum"
+      else begin
+        let flags =
+          ((Char.code (Bytes.get buf (off + 12)) land 1) lsl 8)
+          lor Char.code (Bytes.get buf (off + 13))
+        in
+        let t =
+          { src_port = get16 buf off;
+            dst_port = get16 buf (off + 2);
+            seq = get32 buf (off + 4);
+            ack = get32 buf (off + 8);
+            flags;
+            window = get16 buf (off + 14);
+            urgent = get16 buf (off + 18) }
+        in
+        Ok (t, size)
+      end
+    end
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "tcp(%d -> %d, flags 0x%02x)" t.src_port t.dst_port t.flags
+
+let equal a b =
+  a.src_port = b.src_port && a.dst_port = b.dst_port
+  && Int32.equal a.seq b.seq && Int32.equal a.ack b.ack && a.flags = b.flags
+  && a.window = b.window && a.urgent = b.urgent

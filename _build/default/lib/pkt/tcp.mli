@@ -1,0 +1,40 @@
+(** TCP headers (no options: data offset fixed at 5). *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack : int32;
+  flags : int;   (** 9-bit flag field; see the [flag_*] constants *)
+  window : int;
+  urgent : int;
+}
+
+val flag_fin : int
+val flag_syn : int
+val flag_rst : int
+val flag_psh : int
+val flag_ack : int
+val flag_urg : int
+
+val size : int
+(** 20 bytes. *)
+
+val make : ?seq:int32 -> ?ack:int32 -> ?flags:int -> ?window:int ->
+  src_port:int -> dst_port:int -> unit -> t
+
+val write :
+  t -> src:Ipv4_addr.t -> dst:Ipv4_addr.t -> payload_len:int ->
+  Bytes.t -> off:int -> unit
+(** Serialises the header at [off]; the payload must already be present
+    at [off + size] so that the checksum (over the IPv4 pseudo-header,
+    header and payload) can be computed. *)
+
+val read :
+  Bytes.t -> off:int -> len:int -> src:Ipv4_addr.t -> dst:Ipv4_addr.t ->
+  (t * int, string) result
+(** Parses a TCP segment occupying [len] bytes at [off]; returns the
+    header and the payload offset delta. Verifies the checksum. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,47 @@
+type t = { src_port : int; dst_port : int }
+
+let size = 8
+
+let make ~src_port ~dst_port = { src_port; dst_port }
+
+let set16 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (off + 1) (Char.chr (v land 0xFF))
+
+let get16 buf off =
+  (Char.code (Bytes.get buf off) lsl 8) lor Char.code (Bytes.get buf (off + 1))
+
+let write t ~src ~dst ~payload_len buf ~off =
+  if off < 0 || off + size + payload_len > Bytes.length buf then
+    invalid_arg "Udp.write";
+  let dgram_len = size + payload_len in
+  set16 buf off t.src_port;
+  set16 buf (off + 2) t.dst_port;
+  set16 buf (off + 4) dgram_len;
+  set16 buf (off + 6) 0;
+  let pseudo = Checksum.pseudo_header_ipv4 ~src ~dst ~proto:Ipv4.proto_udp ~len:dgram_len in
+  let csum = Checksum.finish (Checksum.ones_complement_sum buf ~off ~len:dgram_len pseudo) in
+  (* An all-zero checksum means "no checksum" in UDP; transmit 0xFFFF. *)
+  set16 buf (off + 6) (if csum = 0 then 0xFFFF else csum)
+
+let read buf ~off ~len ~src ~dst =
+  if len < size || off < 0 || off + len > Bytes.length buf then
+    Error "udp: truncated"
+  else begin
+    let dgram_len = get16 buf (off + 4) in
+    if dgram_len <> len then Error "udp: length mismatch"
+    else begin
+      let csum_ok =
+        get16 buf (off + 6) = 0
+        ||
+        let pseudo = Checksum.pseudo_header_ipv4 ~src ~dst ~proto:Ipv4.proto_udp ~len in
+        Checksum.finish (Checksum.ones_complement_sum buf ~off ~len pseudo) = 0
+      in
+      if not csum_ok then Error "udp: bad checksum"
+      else Ok ({ src_port = get16 buf off; dst_port = get16 buf (off + 2) }, size)
+    end
+  end
+
+let pp ppf t = Format.fprintf ppf "udp(%d -> %d)" t.src_port t.dst_port
+
+let equal a b = a.src_port = b.src_port && a.dst_port = b.dst_port

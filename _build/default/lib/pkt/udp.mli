@@ -1,0 +1,21 @@
+(** UDP headers. *)
+
+type t = { src_port : int; dst_port : int }
+
+val size : int
+(** 8 bytes. *)
+
+val make : src_port:int -> dst_port:int -> t
+
+val write :
+  t -> src:Ipv4_addr.t -> dst:Ipv4_addr.t -> payload_len:int ->
+  Bytes.t -> off:int -> unit
+(** Serialises the header; the payload must already be at [off + size].
+    The checksum covers the IPv4 pseudo-header, header and payload. *)
+
+val read :
+  Bytes.t -> off:int -> len:int -> src:Ipv4_addr.t -> dst:Ipv4_addr.t ->
+  (t * int, string) result
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Format Pi_classifier Pi_ovs Pi_pkt Policy_injection Timeseries

@@ -1,0 +1,99 @@
+type event = { at : float; seq : int; fn : t -> unit }
+
+and t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable stopped : bool;
+}
+
+let dummy = { at = 0.; seq = -1; fn = (fun _ -> ()) }
+
+let create () =
+  { heap = Array.make 256 dummy; size = 0; clock = 0.; next_seq = 0; stopped = false }
+
+let now t = t.clock
+
+let before a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule t ~at fn =
+  if at < t.clock then invalid_arg "Engine.schedule: event in the past";
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- { at; seq = t.next_seq; fn };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let schedule_every t ~start ~period ~until fn =
+  if period <= 0. then invalid_arg "Engine.schedule_every";
+  let rec tick at engine =
+    if at < until then begin
+      fn engine;
+      let next = at +. period in
+      if next < until then schedule engine ~at:next (tick next)
+    end
+  in
+  if start < until then schedule t ~at:start (tick start)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let stop t = t.stopped <- true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue && not t.stopped do
+    if t.size = 0 then continue := false
+    else begin
+      let horizon_reached =
+        match until with Some u -> t.heap.(0).at >= u | None -> false
+      in
+      if horizon_reached then continue := false
+      else
+        match pop t with
+        | None -> continue := false
+        | Some ev ->
+          t.clock <- ev.at;
+          ev.fn t
+    end
+  done
+
+let pending t = t.size

@@ -1,0 +1,27 @@
+(** A minimal discrete-event engine: a time-ordered queue of callbacks.
+
+    Scenario code schedules packet arrivals, revalidator sweeps,
+    attacker rounds and measurement ticks as events; [run] dispatches
+    them in timestamp order (FIFO among equal timestamps). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Timestamp of the event being dispatched (0 before the first). *)
+
+val schedule : t -> at:float -> (t -> unit) -> unit
+(** Raises [Invalid_argument] if [at] is in the past. *)
+
+val schedule_every :
+  t -> start:float -> period:float -> until:float -> (t -> unit) -> unit
+(** Recurring event in [\[start, until)]. *)
+
+val run : ?until:float -> t -> unit
+(** Dispatch events until the queue empties (or [until], exclusive). *)
+
+val stop : t -> unit
+(** Abort [run] after the current event. *)
+
+val pending : t -> int

@@ -1,0 +1,370 @@
+open Pi_pkt
+open Pi_classifier
+open Pi_ovs
+
+type attack = {
+  variant : Policy_injection.Variant.t;
+  start : float;
+  stop : float option;
+  trusted_src : Ipv4_addr.t;
+  covert_pkt_len : int;
+  refresh_period : float;
+  attacker_exact_per_tick : int;
+}
+
+let default_attack =
+  { variant = Policy_injection.Variant.Src_sport_dport;
+    start = 60.;
+    stop = None;
+    trusted_src = Ipv4_addr.of_string "10.0.0.10";
+    covert_pkt_len = 100;
+    refresh_period = 5.;
+    attacker_exact_per_tick = 64 }
+
+type params = {
+  seed : int64;
+  duration : float;
+  tick : float;
+  victim_offered_gbps : float;
+  victim_pkt_len : int;
+  victim_flows : int;
+  victim_churn : float;
+  victim_samples_per_tick : int;
+  victim_allowed_net : Ipv4_addr.Prefix.t;
+  background_services : int;
+      (* other pods on the host with their own policies and a trickle of
+         traffic; gives the cache its realistic pre-attack handful of
+         megaflows (Fig. 3's y2 axis starts around 10, not 1) *)
+  attack : attack option;
+  datapath_config : Datapath.config;
+  tss_config : Tss.config option;
+  revalidate_period : float;
+  rtt : float;
+  mss : int;
+}
+
+let default_params =
+  { seed = 0x0BEEFL;
+    duration = 150.;
+    tick = 1.;
+    victim_offered_gbps = 1.0;
+    victim_pkt_len = 1500;
+    victim_flows = 6000;
+    victim_churn = 0.05;
+    victim_samples_per_tick = 500;
+    victim_allowed_net = Ipv4_addr.Prefix.of_string "10.0.0.0/8";
+    background_services = 8;
+    attack = Some default_attack;
+    datapath_config =
+      (* The kernel datapath effectively caches every flow in its
+         per-hash cache; insert on every miss. *)
+      { Datapath.default_config with Datapath.emc_insert_inv_prob = 1 };
+    tss_config = None;
+    revalidate_period = 1.;
+    rtt = 1e-3;
+    mss = 1460 }
+
+type sample = {
+  time : float;
+  victim_gbps : float;
+  offered_gbps : float;
+  n_masks : int;
+  n_megaflows : int;
+  emc_hit_rate : float;
+  victim_cycles_per_pkt : float;
+  attacker_cycles_per_sec : float;
+  loss : float;
+}
+
+type report = {
+  samples : sample list;
+  pre_attack_mean_gbps : float;
+  post_attack_mean_gbps : float;
+  peak_masks : int;
+  throughput_series : Timeseries.t;
+  masks_series : Timeseries.t;
+}
+
+(* Mathis et al. TCP response: rate ≈ (MSS/RTT) * 1.22/sqrt(p). *)
+let mathis_gbps ~mss ~rtt ~loss =
+  if loss <= 0. then infinity
+  else float_of_int (mss * 8) /. rtt *. 1.22 /. sqrt loss /. 1e9
+
+type attack_state = {
+  cfgd : attack;
+  flows : Flow.t array;
+  entries : Megaflow.entry option array;
+      (* per covert flow: its megaflow entry, filled as flows are first
+         processed; used to pace keep-alive touches at the real rate *)
+  rate_pps : float;
+  mutable cursor : int;
+  mutable injected : bool;
+  mutable first_round_done : bool;
+}
+
+let flow_of_spec ~in_port (f : Traffic.flow_spec) =
+  Flow.make ~in_port ~ip_src:f.Traffic.src ~ip_dst:f.Traffic.dst
+    ~ip_proto:f.Traffic.proto ~tp_src:f.Traffic.src_port
+    ~tp_dst:f.Traffic.dst_port ()
+
+let run p =
+  let rng = Prng.create p.seed in
+  let victim_ip = Ipv4_addr.of_string "10.1.0.2" in
+  let attacker_ip = Ipv4_addr.of_string "10.1.0.3" in
+  let sw =
+    Switch.create ~config:p.datapath_config ?tss_config:p.tss_config
+      ~name:"server-1" (Prng.split rng) ()
+  in
+  let uplink = Switch.add_port sw ~name:"uplink" in
+  let victim_port = Switch.add_port sw ~name:"victim-pod" in
+  let attacker_port = Switch.add_port sw ~name:"attacker-pod" in
+  let dp = Switch.datapath sw in
+  (* Victim's own (benign) ingress whitelist. *)
+  let victim_acl =
+    Pi_cms.Acl.whitelist [ Pi_cms.Acl.entry ~src:p.victim_allowed_net () ]
+  in
+  Switch.install_rules sw
+    (Pi_cms.Compile.compile
+       ~dst:(Ipv4_addr.Prefix.make victim_ip 32)
+       ~allow:(Action.Output victim_port.Switch.id) victim_acl);
+  (* Background services on the same host: their policies and occasional
+     traffic populate the cache with the usual handful of megaflows. *)
+  let background_flows =
+    List.init p.background_services (fun i ->
+        let svc_ip = Ipv4_addr.add (Ipv4_addr.of_string "10.1.1.0") (i + 1) in
+        let port = Switch.add_port sw ~name:(Printf.sprintf "svc-%d" i) in
+        let svc_port = 8000 + i in
+        Switch.install_rules sw
+          (Pi_cms.Compile.compile
+             ~dst:(Ipv4_addr.Prefix.make svc_ip 32)
+             ~allow:(Action.Output port.Switch.id)
+             (Pi_cms.Acl.whitelist
+                [ Pi_cms.Acl.entry ~src:p.victim_allowed_net
+                    ~proto:Pi_cms.Acl.Tcp ~dst_port:(Pi_cms.Acl.Port svc_port) () ]));
+        Flow.make ~in_port:uplink.Switch.id
+          ~ip_src:(Ipv4_addr.add (Ipv4_addr.of_string "10.9.0.1") i)
+          ~ip_dst:svc_ip ~ip_proto:Ipv4.proto_tcp ~tp_src:(41000 + i)
+          ~tp_dst:svc_port ())
+  in
+  (* Victim workload: client flows from the allowed net. *)
+  let traffic_rng = Prng.split rng in
+  let pool =
+    Traffic.Flow_pool.create traffic_rng ~n_flows:p.victim_flows
+      ~src_net:p.victim_allowed_net
+      ~dst_net:(Ipv4_addr.Prefix.make victim_ip 32)
+      ~proto:Ipv4.proto_tcp ~dst_ports:[| 5001 |] ~pkt_len:p.victim_pkt_len ()
+  in
+  let offered_pps =
+    Traffic.rate_for_bandwidth
+      ~bits_per_sec:(p.victim_offered_gbps *. 1e9)
+      ~pkt_len:p.victim_pkt_len
+  in
+  (* Attack state is armed lazily at [attack.start]. *)
+  let attack_state = ref None in
+  let arm_attack (a : attack) now =
+    let spec =
+      Policy_injection.Policy_gen.default_spec ~variant:a.variant
+        ~allow_src:a.trusted_src ()
+    in
+    let acl = Policy_injection.Policy_gen.acl spec in
+    Switch.install_rules sw
+      (Pi_cms.Compile.compile
+         ~dst:(Ipv4_addr.Prefix.make attacker_ip 32)
+         ~allow:(Action.Output attacker_port.Switch.id) acl);
+    ignore (Switch.revalidate sw ~now);  (* policy change flushes caches *)
+    let gen =
+      Policy_injection.Packet_gen.make ~pkt_len:a.covert_pkt_len ~spec
+        ~dst:attacker_ip ()
+    in
+    let flows =
+      Policy_injection.Packet_gen.flows ~seed:(Prng.int64 rng) gen
+      |> List.map (fun f ->
+             Flow.with_field f Field.In_port (Int64.of_int uplink.Switch.id))
+      |> Array.of_list
+    in
+    let rate_pps = float_of_int (Array.length flows) /. a.refresh_period in
+    attack_state :=
+      Some
+        { cfgd = a; flows;
+          entries = Array.make (Array.length flows) None;
+          rate_pps; cursor = 0; injected = true;
+          first_round_done = false }
+  in
+  let attack_active now =
+    match (p.attack, !attack_state) with
+    | Some a, _ when now < a.start -> None
+    | Some a, None ->
+      if now >= a.start then begin
+        arm_attack a now;
+        !attack_state
+      end
+      else None
+    | Some a, (Some _ as st) -> begin
+      match a.stop with
+      | Some stop when now >= stop -> None
+      | Some _ | None -> st
+    end
+    | None, _ -> None
+  in
+  let capacity_per_tick = p.datapath_config.Datapath.cost.Cost_model.cpu_hz *. p.tick in
+  let samples = ref [] in
+  let emc = Datapath.emc dp in
+  let n_ticks = int_of_float (ceil (p.duration /. p.tick)) in
+  let next_revalidate = ref p.revalidate_period in
+  for i = 0 to n_ticks - 1 do
+    let now = float_of_int i *. p.tick in
+    (* --- attacker --- *)
+    let attacker_cycles =
+      match attack_active now with
+      | None -> 0.
+      | Some st ->
+        let a = st.cfgd in
+        let n_flows = Array.length st.flows in
+        let due =
+          if not st.first_round_done then begin
+            (* First refresh round: install every megaflow exactly. *)
+            st.first_round_done <- true;
+            n_flows
+          end
+          else int_of_float (st.rate_pps *. p.tick)
+        in
+        (* Walk the paced stream: per covert packet due this tick,
+           either simulate it exactly (within the per-tick budget, or
+           when its megaflow no longer exists — a real re-install) or
+           refresh its entry's last-used stamp, extrapolating the cost
+           from the exactly-simulated sample. Pacing through the cursor
+           means a refresh period longer than the idle timeout really
+           lets megaflows expire between rounds. *)
+        let exact_budget =
+          ref (if due = n_flows then n_flows else a.attacker_exact_per_tick)
+        in
+        let exact_count = ref 0 in
+        let extrapolated = ref 0 in
+        let c0 = Datapath.cycles_used dp in
+        for _ = 1 to due do
+          let j = st.cursor in
+          st.cursor <- (st.cursor + 1) mod n_flows;
+          let touchable =
+            match st.entries.(j) with
+            | Some e -> e.Megaflow.alive
+            | None -> false
+          in
+          if touchable && !exact_budget <= 0 then begin
+            (match st.entries.(j) with
+             | Some e -> e.Megaflow.last_used <- now
+             | None -> ());
+            incr extrapolated
+          end
+          else begin
+            decr exact_budget;
+            incr exact_count;
+            ignore (Datapath.process dp ~now st.flows.(j) ~pkt_len:a.covert_pkt_len);
+            st.entries.(j) <- Datapath.last_megaflow dp
+          end
+        done;
+        let spent = Datapath.cycles_used dp -. c0 in
+        let per_pkt = spent /. float_of_int (max 1 !exact_count) in
+        (* Thrash the EMC at the covert stream's real insertion rate,
+           not just the sampled one. *)
+        let virtual_inserts =
+          !extrapolated / p.datapath_config.Datapath.emc_insert_inv_prob
+        in
+        for _ = 1 to virtual_inserts do
+          let j = Prng.int rng n_flows in
+          match st.entries.(j) with
+          | Some e when e.Megaflow.alive ->
+            Emc.insert_forced emc st.flows.(j) e
+          | Some _ | None -> ()
+        done;
+        spent +. (per_pkt *. float_of_int !extrapolated)
+    in
+    (* --- background services --- *)
+    List.iter
+      (fun f -> ignore (Datapath.process dp ~now f ~pkt_len:400))
+      background_flows;
+    (* --- victim --- *)
+    ignore (Traffic.Flow_pool.churn pool traffic_rng ~fraction:(p.victim_churn *. p.tick));
+    let emc_h0 = Emc.hits emc and emc_m0 = Emc.misses emc in
+    let c0 = Datapath.cycles_used dp in
+    for _ = 1 to p.victim_samples_per_tick do
+      let spec = Traffic.Flow_pool.sample pool traffic_rng in
+      let f = flow_of_spec ~in_port:uplink.Switch.id spec in
+      ignore (Datapath.process dp ~now f ~pkt_len:p.victim_pkt_len)
+    done;
+    let victim_cpp =
+      (Datapath.cycles_used dp -. c0) /. float_of_int p.victim_samples_per_tick
+    in
+    let emc_dh = Emc.hits emc - emc_h0 and emc_dm = Emc.misses emc - emc_m0 in
+    let emc_hit_rate =
+      if emc_dh + emc_dm = 0 then 0.
+      else float_of_int emc_dh /. float_of_int (emc_dh + emc_dm)
+    in
+    (* --- CPU budget sharing and TCP response --- *)
+    let victim_demand = offered_pps *. p.tick *. victim_cpp in
+    let demand = attacker_cycles +. victim_demand in
+    let frac = if demand <= capacity_per_tick then 1. else capacity_per_tick /. demand in
+    let loss = 1. -. frac in
+    let victim_gbps =
+      if loss < 1e-6 then p.victim_offered_gbps
+      else
+        Float.min
+          (p.victim_offered_gbps *. frac)
+          (mathis_gbps ~mss:p.mss ~rtt:p.rtt ~loss)
+    in
+    (* --- housekeeping --- *)
+    if now +. p.tick >= !next_revalidate then begin
+      ignore (Switch.revalidate sw ~now);
+      next_revalidate := !next_revalidate +. p.revalidate_period
+    end;
+    samples :=
+      { time = now;
+        victim_gbps;
+        offered_gbps = p.victim_offered_gbps;
+        n_masks = Datapath.n_masks dp;
+        n_megaflows = Datapath.n_megaflows dp;
+        emc_hit_rate;
+        victim_cycles_per_pkt = victim_cpp;
+        attacker_cycles_per_sec = attacker_cycles /. p.tick;
+        loss }
+      :: !samples
+  done;
+  let samples = List.rev !samples in
+  let mean f lo hi =
+    let vs =
+      List.filter_map
+        (fun s -> if s.time >= lo && s.time < hi then Some (f s) else None)
+        samples
+    in
+    match vs with
+    | [] -> nan
+    | _ -> List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+  in
+  let pre, post =
+    match p.attack with
+    | None -> (mean (fun s -> s.victim_gbps) 0. p.duration, nan)
+    | Some a ->
+      ( mean (fun s -> s.victim_gbps) 0. a.start,
+        mean (fun s -> s.victim_gbps) (a.start +. 10.)
+          (match a.stop with Some s -> s | None -> p.duration) )
+  in
+  let throughput_series = Timeseries.create ~name:"victim-gbps" in
+  let masks_series = Timeseries.create ~name:"megaflow-masks" in
+  List.iter
+    (fun s ->
+      Timeseries.add throughput_series ~time:s.time s.victim_gbps;
+      Timeseries.add masks_series ~time:s.time (float_of_int s.n_masks))
+    samples;
+  { samples;
+    pre_attack_mean_gbps = pre;
+    post_attack_mean_gbps = post;
+    peak_masks = List.fold_left (fun acc s -> max acc s.n_masks) 0 samples;
+    throughput_series;
+    masks_series }
+
+let pp_sample_header ppf () =
+  Format.fprintf ppf "%8s %12s %10s %12s %10s %10s"
+    "time[s]" "victim[Gbps]" "#masks" "#megaflows" "emc-hit" "loss"
+
+let pp_sample ppf s =
+  Format.fprintf ppf "%8.1f %12.4f %10d %12d %10.3f %10.3f"
+    s.time s.victim_gbps s.n_masks s.n_megaflows s.emc_hit_rate s.loss

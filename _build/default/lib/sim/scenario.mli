@@ -1,0 +1,87 @@
+(** The end-to-end attack scenario of the paper's Fig. 3: a server whose
+    hypervisor switch carries a victim tenant's traffic, an attacker
+    tenant that injects a malicious policy at [attack.start] and feeds
+    it a low-bandwidth covert stream, and a per-tick measurement of the
+    victim's achievable throughput and the megaflow-cache state.
+
+    Simulation method (see EXPERIMENTS.md for the fidelity discussion):
+    every covert packet of the first refresh round, and per-tick samples
+    of both the covert stream and the victim workload, run through the
+    {e real} datapath (EMC, TSS megaflow cache, slow path); per-packet
+    CPU costs come from {!Pi_ovs.Cost_model} applied to the observed
+    cache behaviour. Victim goodput is then the offered load scaled by
+    the CPU share left by the attacker, passed through a Mathis-style
+    TCP loss response. *)
+
+type attack = {
+  variant : Policy_injection.Variant.t;
+  start : float;
+  stop : float option;        (** [None] = runs to the end *)
+  trusted_src : Pi_pkt.Ipv4_addr.t;  (** the whitelisted source *)
+  covert_pkt_len : int;
+  refresh_period : float;
+  attacker_exact_per_tick : int;
+      (** covert packets simulated exactly per tick; the rest of the
+          round is extrapolated from their measured cost *)
+}
+
+val default_attack : attack
+(** Calico variant, starts at t=60 s, 100-byte covert frames refreshed
+    every 5 s (≈1.3 Mb/s, the paper's "1–2 Mbps"). *)
+
+type params = {
+  seed : int64;
+  duration : float;
+  tick : float;
+  victim_offered_gbps : float;
+  victim_pkt_len : int;
+  victim_flows : int;           (** concurrent client flows *)
+  victim_churn : float;         (** fraction of flows replaced per second *)
+  victim_samples_per_tick : int;
+  victim_allowed_net : Pi_pkt.Ipv4_addr.Prefix.t;
+      (** the victim's own whitelist (clients) *)
+  background_services : int;
+      (** other pods on the host with their own policies and a trickle
+          of traffic — gives the cache its realistic pre-attack handful
+          of megaflows (default 8) *)
+  attack : attack option;
+  datapath_config : Pi_ovs.Datapath.config;
+  tss_config : Pi_classifier.Tss.config option;
+  revalidate_period : float;
+  rtt : float;                  (** victim TCP round-trip time *)
+  mss : int;
+}
+
+val default_params : params
+(** 150 s, 1 s ticks, 1 Gb/s offered victim load (Fig. 3's scale),
+    default attack. *)
+
+type sample = {
+  time : float;
+  victim_gbps : float;
+  offered_gbps : float;
+  n_masks : int;
+  n_megaflows : int;
+  emc_hit_rate : float;
+  victim_cycles_per_pkt : float;
+  attacker_cycles_per_sec : float;
+  loss : float;
+}
+
+type report = {
+  samples : sample list;
+  pre_attack_mean_gbps : float;
+      (** mean victim throughput before the attack (or over the whole
+          run when there is none) *)
+  post_attack_mean_gbps : float;
+      (** mean from 10 s after the attack starts (ramp excluded) to its
+          end; [nan] without an attack *)
+  peak_masks : int;
+  throughput_series : Timeseries.t;  (** victim Gb/s over time *)
+  masks_series : Timeseries.t;       (** megaflow mask count over time *)
+}
+
+val run : params -> report
+
+val pp_sample_header : Format.formatter -> unit -> unit
+val pp_sample : Format.formatter -> sample -> unit

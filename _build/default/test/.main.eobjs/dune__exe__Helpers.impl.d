@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Field Flow Int32 Int64 Mask Pattern Pi_classifier Pi_ovs Pi_pkt QCheck2 QCheck_alcotest Rule String

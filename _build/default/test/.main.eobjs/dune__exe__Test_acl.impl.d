@@ -1,0 +1,1 @@
+test/test_acl.ml: Acl Alcotest Helpers Pi_classifier Pi_cms

@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Attack Campaign Helpers List Pi_classifier Pi_cms Pi_ovs Policy_injection Printf Seq Variant

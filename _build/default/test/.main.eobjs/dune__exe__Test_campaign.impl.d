@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest Campaign Helpers Int64 List Packet_gen Pi_classifier Policy_gen Policy_injection Printf Seq Variant

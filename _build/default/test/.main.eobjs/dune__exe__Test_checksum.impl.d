@@ -1,0 +1,1 @@
+test/test_checksum.ml: Alcotest Bytes Char Checksum Helpers Pi_pkt QCheck2

@@ -1,0 +1,1 @@
+test/test_cloud.ml: Acl Alcotest Calico_policy Cloud Field Flow Helpers K8s_policy List Openstack_sg Pi_classifier Pi_cms Pi_ovs Pi_pkt

@@ -1,0 +1,1 @@
+test/test_compile.ml: Acl Alcotest Compile Field Flow Helpers Int32 List Mask Pattern Pi_classifier Pi_cms Pi_ovs Pi_pkt QCheck2 Rule Tss

@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Cost_model Pi_ovs

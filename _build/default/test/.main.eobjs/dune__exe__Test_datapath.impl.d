@@ -1,0 +1,1 @@
+test/test_datapath.ml: Action Alcotest Cost_model Datapath Flow Helpers Int32 List Mask Megaflow Pattern Pi_classifier Pi_ovs Pi_pkt Printf QCheck2 Rule Slowpath

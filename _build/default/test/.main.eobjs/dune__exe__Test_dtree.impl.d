@@ -1,0 +1,1 @@
+test/test_dtree.ml: Alcotest Dtree Flow Fun Helpers Linear List Pattern Pi_classifier Pi_pkt Printf QCheck2 Rule

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Field Flow Helpers Int32 Int64 List Mask Pattern Pi_classifier Pi_cms Pi_ovs Pi_pkt Policy_injection QCheck2 Rule Trie

@@ -1,0 +1,1 @@
+test/test_emc.ml: Alcotest Emc Flow Helpers Int32 Pi_classifier Pi_ovs Pi_pkt

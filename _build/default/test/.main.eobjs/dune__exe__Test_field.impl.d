@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Field List Pi_classifier Stage

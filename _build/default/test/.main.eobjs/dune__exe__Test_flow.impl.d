@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Field Flow Helpers Int64 Pi_classifier Pi_pkt QCheck2

@@ -1,0 +1,1 @@
+test/test_headers.ml: Alcotest Bytes Ethernet Helpers Icmp Ipv4 Mac_addr Pi_pkt Tcp Udp

@@ -1,0 +1,1 @@
+test/test_ipv4_addr.ml: Alcotest Helpers Int64 Ipv4_addr List Pi_pkt Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_k8s_policy.ml: Acl Alcotest Helpers K8s_policy List Pi_cms Pi_pkt

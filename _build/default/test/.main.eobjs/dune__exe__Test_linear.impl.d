@@ -1,0 +1,1 @@
+test/test_linear.ml: Alcotest Flow Linear Pattern Pi_classifier Rule

@@ -1,0 +1,1 @@
+test/test_mac_addr.ml: Alcotest List Mac_addr Pi_pkt

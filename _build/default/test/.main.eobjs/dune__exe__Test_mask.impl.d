@@ -1,0 +1,1 @@
+test/test_mask.ml: Alcotest Field Flow Format Helpers List Mask Pi_classifier QCheck2

@@ -1,0 +1,1 @@
+test/test_mask_cache.ml: Action Alcotest Cost_model Datapath Field Flow Helpers Int32 List Mask Mask_cache Megaflow Pattern Pi_classifier Pi_ovs Pi_pkt Printf QCheck2 Rule

@@ -1,0 +1,1 @@
+test/test_megaflow.ml: Action Alcotest Field Flow Format Helpers Int32 List Mask Megaflow Pi_classifier Pi_ovs String

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Char Ethernet Helpers Ipv4 Mac_addr Packet Pi_pkt QCheck2 Tcp Udp

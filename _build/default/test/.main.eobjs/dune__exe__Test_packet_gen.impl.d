@@ -1,0 +1,1 @@
+test/test_packet_gen.ml: Alcotest Flow Helpers Int64 List Packet_gen Pi_classifier Pi_cms Pi_ovs Pi_pkt Policy_gen Policy_injection Predict Printf QCheck2 Variant

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Field Flow Helpers List Mask Pattern Pi_classifier QCheck2

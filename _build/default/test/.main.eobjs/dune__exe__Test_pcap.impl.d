@@ -1,0 +1,1 @@
+test/test_pcap.ml: Alcotest Bytes Filename Fun Helpers List Packet Pcap Pi_pkt Sys

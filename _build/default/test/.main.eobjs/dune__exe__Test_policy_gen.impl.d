@@ -1,0 +1,1 @@
+test/test_policy_gen.ml: Acl Alcotest Calico_policy Helpers K8s_policy List Openstack_sg Pi_cms Policy_gen Policy_injection Variant

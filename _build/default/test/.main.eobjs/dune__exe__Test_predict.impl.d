@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Field Flow Helpers Int32 Int64 List Pi_classifier Pi_cms Pi_ovs Pi_pkt Policy_injection Predict Printf QCheck2 Trie Tss Variant

@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Flow Helpers List Packet_gen Pi_classifier Pi_cms Pi_mitigation Pi_ovs Pi_pkt Policy_gen Policy_injection Printf Probe Variant

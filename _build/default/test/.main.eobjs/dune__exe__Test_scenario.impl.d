@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest List Pi_mitigation Pi_ovs Pi_sim Policy_injection Printf Scenario Timeseries Variant

@@ -1,0 +1,1 @@
+test/test_sg_calico.ml: Acl Alcotest Calico_policy Helpers Openstack_sg Pi_cms

@@ -1,0 +1,1 @@
+test/test_slowpath.ml: Action Alcotest Field Flow Helpers Mask Pattern Pi_classifier Pi_ovs Rule Slowpath

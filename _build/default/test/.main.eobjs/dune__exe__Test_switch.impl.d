@@ -1,0 +1,1 @@
+test/test_switch.ml: Action Alcotest Helpers List Pattern Pi_classifier Pi_ovs Pi_pkt Rule Switch

@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Float List Pi_sim Timeseries

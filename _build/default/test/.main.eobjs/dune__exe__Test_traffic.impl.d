@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Helpers Ipv4 Ipv4_addr List Packet Pi_pkt Prng Seq Traffic

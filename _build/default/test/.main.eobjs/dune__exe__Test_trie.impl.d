@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Array Helpers Int64 List Pi_classifier Pi_pkt Printf QCheck2 Trie

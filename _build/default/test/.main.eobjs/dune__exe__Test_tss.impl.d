@@ -1,0 +1,1 @@
+test/test_tss.ml: Alcotest Field Flow Format Hashtbl Helpers Int32 Int64 Linear List Mask Pattern Pi_classifier Printf QCheck2 Rule Tss

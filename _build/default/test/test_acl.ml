@@ -1,0 +1,97 @@
+open Pi_cms
+open Helpers
+
+let ft ?(src = "10.0.0.1") ?(dst = "10.1.0.2") ?(proto = 6) ?(sport = 1000)
+    ?(dport = 80) () =
+  { Acl.ft_src = ip src; ft_dst = ip dst; ft_proto = proto;
+    ft_src_port = sport; ft_dst_port = dport }
+
+let test_whitelist_shape () =
+  let acl = Acl.whitelist [ Acl.entry ~src:(pfx "10.0.0.0/8") () ] in
+  Alcotest.(check int) "one rule" 1 (Acl.n_rules acl);
+  Alcotest.(check bool) "default deny" true (acl.Acl.default = Acl.Deny)
+
+let test_eval_default () =
+  let acl = Acl.whitelist [] in
+  Alcotest.(check bool) "deny all" true (Acl.eval acl (ft ()) = Acl.Deny);
+  Alcotest.(check bool) "allow_all allows" true
+    (Acl.eval Acl.allow_all (ft ()) = Acl.Allow)
+
+let test_eval_src_prefix () =
+  let acl = Acl.whitelist [ Acl.entry ~src:(pfx "10.0.0.0/8") () ] in
+  Alcotest.(check bool) "inside allowed" true
+    (Acl.eval acl (ft ~src:"10.200.0.1" ()) = Acl.Allow);
+  Alcotest.(check bool) "outside denied" true
+    (Acl.eval acl (ft ~src:"11.0.0.1" ()) = Acl.Deny)
+
+let test_eval_proto () =
+  let acl = Acl.whitelist [ Acl.entry ~proto:Acl.Tcp () ] in
+  Alcotest.(check bool) "tcp allowed" true
+    (Acl.eval acl (ft ~proto:6 ()) = Acl.Allow);
+  Alcotest.(check bool) "udp denied" true
+    (Acl.eval acl (ft ~proto:17 ()) = Acl.Deny)
+
+let test_eval_ports () =
+  let acl =
+    Acl.whitelist [ Acl.entry ~proto:Acl.Tcp ~dst_port:(Acl.Port 80) () ]
+  in
+  Alcotest.(check bool) "80 allowed" true
+    (Acl.eval acl (ft ~dport:80 ()) = Acl.Allow);
+  Alcotest.(check bool) "81 denied" true
+    (Acl.eval acl (ft ~dport:81 ()) = Acl.Deny)
+
+let test_eval_port_range () =
+  let acl =
+    Acl.whitelist
+      [ Acl.entry ~proto:Acl.Udp ~dst_port:(Acl.Port_range (1000, 2000)) () ]
+  in
+  Alcotest.(check bool) "lo edge" true
+    (Acl.eval acl (ft ~proto:17 ~dport:1000 ()) = Acl.Allow);
+  Alcotest.(check bool) "hi edge" true
+    (Acl.eval acl (ft ~proto:17 ~dport:2000 ()) = Acl.Allow);
+  Alcotest.(check bool) "below" true
+    (Acl.eval acl (ft ~proto:17 ~dport:999 ()) = Acl.Deny);
+  Alcotest.(check bool) "above" true
+    (Acl.eval acl (ft ~proto:17 ~dport:2001 ()) = Acl.Deny)
+
+let test_first_match_wins () =
+  let acl =
+    { Acl.rules =
+        [ { Acl.match_ = Acl.entry ~src:(pfx "10.1.0.0/16") (); verdict = Acl.Deny };
+          { Acl.match_ = Acl.entry ~src:(pfx "10.0.0.0/8") (); verdict = Acl.Allow } ];
+      default = Acl.Deny }
+  in
+  Alcotest.(check bool) "specific deny first" true
+    (Acl.eval acl (ft ~src:"10.1.2.3" ()) = Acl.Deny);
+  Alcotest.(check bool) "broad allow second" true
+    (Acl.eval acl (ft ~src:"10.2.2.3" ()) = Acl.Allow)
+
+let test_five_tuple_of_flow () =
+  let f =
+    Pi_classifier.Flow.make ~ip_src:(ip "1.2.3.4") ~ip_dst:(ip "5.6.7.8")
+      ~ip_proto:17 ~tp_src:53 ~tp_dst:5353 ()
+  in
+  let t = Acl.five_tuple_of_flow f in
+  Alcotest.(check ipv4_t) "src" (ip "1.2.3.4") t.Acl.ft_src;
+  Alcotest.(check int) "dport" 5353 t.Acl.ft_dst_port
+
+let test_sport_filter () =
+  (* The Calico-only capability the paper highlights. *)
+  let acl =
+    Acl.whitelist [ Acl.entry ~proto:Acl.Udp ~src_port:(Acl.Port 53) () ]
+  in
+  Alcotest.(check bool) "sport 53 allowed" true
+    (Acl.eval acl (ft ~proto:17 ~sport:53 ()) = Acl.Allow);
+  Alcotest.(check bool) "sport 54 denied" true
+    (Acl.eval acl (ft ~proto:17 ~sport:54 ()) = Acl.Deny)
+
+let suite =
+  [ Alcotest.test_case "whitelist shape" `Quick test_whitelist_shape;
+    Alcotest.test_case "default verdicts" `Quick test_eval_default;
+    Alcotest.test_case "src prefix" `Quick test_eval_src_prefix;
+    Alcotest.test_case "protocol" `Quick test_eval_proto;
+    Alcotest.test_case "dst port" `Quick test_eval_ports;
+    Alcotest.test_case "port range edges" `Quick test_eval_port_range;
+    Alcotest.test_case "first match wins" `Quick test_first_match_wins;
+    Alcotest.test_case "five_tuple_of_flow" `Quick test_five_tuple_of_flow;
+    Alcotest.test_case "source-port filter" `Quick test_sport_filter ]

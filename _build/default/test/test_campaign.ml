@@ -1,0 +1,95 @@
+open Policy_injection
+open Helpers
+
+let gen variant =
+  Packet_gen.make
+    ~spec:(Policy_gen.default_spec ~variant ~allow_src:(ip "10.0.0.10") ())
+    ~dst:(ip "10.1.0.3") ()
+
+let mk ?(variant = Variant.Src_only) ?(refresh = 5.) ?(start = 60.) ?(stop = 80.) () =
+  Campaign.make ~refresh_period:refresh ~gen:(gen variant) ~start ~stop ()
+
+let test_rate () =
+  let c = mk () in
+  (* 32 flows per 5 s round. *)
+  Alcotest.(check (float 1e-9)) "rate" (32. /. 5.) (Campaign.rate_pps c)
+
+let test_bandwidth_paper_claim () =
+  let c = mk ~variant:Variant.Src_sport_dport () in
+  let bps = Campaign.bandwidth_bps c in
+  Alcotest.(check bool)
+    (Printf.sprintf "1-2 Mbps (got %.2f)" (bps /. 1e6))
+    true
+    (bps >= 1e6 && bps <= 2e6)
+
+let test_n_rounds () =
+  Alcotest.(check int) "4 rounds in 20 s at 5 s" 4 (Campaign.n_rounds (mk ()))
+
+let test_events_window () =
+  let c = mk () in
+  let events = List.of_seq (Campaign.events c) in
+  Alcotest.(check int) "4 rounds × 32 flows" (4 * 32) (List.length events);
+  List.iter
+    (fun (t, _) ->
+      if t < 60. || t >= 80. then Alcotest.failf "event at %f outside window" t)
+    events
+
+let test_events_monotonic () =
+  let c = mk () in
+  let prev = ref neg_infinity in
+  Seq.iter
+    (fun (t, _) ->
+      if t < !prev then Alcotest.fail "events not time-ordered";
+      prev := t)
+    (Campaign.events c)
+
+let test_rounds_share_masks () =
+  (* Different rounds randomise low bits but must target the same
+     megaflow masked keys: same divergence structure. *)
+  let c = mk () in
+  let f0 = Campaign.round_flows c ~round:0 in
+  let f1 = Campaign.round_flows c ~round:1 in
+  Alcotest.(check int) "same count" (List.length f0) (List.length f1);
+  List.iter2
+    (fun a b ->
+      (* Same divergence depth = same leading-bit agreement with the
+         whitelisted source. *)
+      let depth v =
+        let allowed = Int64.logand (Int64.of_int32 (ip "10.0.0.10")) 0xFFFFFFFFL in
+        let x = Int64.logxor allowed (Pi_classifier.Flow.get v Pi_classifier.Field.Ip_src) in
+        let rec go i = if i >= 32 then 32
+          else if Int64.logand (Int64.shift_right_logical x (31 - i)) 1L = 1L then i
+          else go (i + 1)
+        in
+        go 0
+      in
+      Alcotest.(check int) "same divergence depth" (depth a) (depth b))
+    f0 f1
+
+let test_round_determinism () =
+  let c = mk () in
+  let a = Campaign.round_flows c ~round:3 in
+  let b = Campaign.round_flows c ~round:3 in
+  Alcotest.(check bool) "same round, same flows" true
+    (List.for_all2 Pi_classifier.Flow.equal a b)
+
+let test_invalid () =
+  (match Campaign.make ~gen:(gen Variant.Src_only) ~start:10. ~stop:5. () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "stop before start should raise");
+  match
+    Campaign.make ~refresh_period:0. ~gen:(gen Variant.Src_only) ~start:0.
+      ~stop:5. ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero refresh should raise"
+
+let suite =
+  [ Alcotest.test_case "rate" `Quick test_rate;
+    Alcotest.test_case "bandwidth matches paper claim" `Quick test_bandwidth_paper_claim;
+    Alcotest.test_case "n_rounds" `Quick test_n_rounds;
+    Alcotest.test_case "events inside window" `Quick test_events_window;
+    Alcotest.test_case "events monotonic" `Quick test_events_monotonic;
+    Alcotest.test_case "rounds share mask structure" `Quick test_rounds_share_masks;
+    Alcotest.test_case "round determinism" `Quick test_round_determinism;
+    Alcotest.test_case "invalid parameters" `Quick test_invalid ]

@@ -1,0 +1,66 @@
+open Pi_pkt
+open Helpers
+
+(* The classic RFC 1071 example: checksum of 00 01 f2 03 f4 f5 f6 f7. *)
+let test_rfc_example () =
+  let buf = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  let sum = Checksum.ones_complement_sum buf ~off:0 ~len:8 0 in
+  Alcotest.(check int) "folded sum" 0xddf2
+    (let s = ref sum in
+     while !s lsr 16 <> 0 do
+       s := (!s land 0xFFFF) + (!s lsr 16)
+     done;
+     !s);
+  Alcotest.(check int) "checksum" (lnot 0xddf2 land 0xFFFF)
+    (Checksum.compute buf ~off:0 ~len:8)
+
+let test_verify_self () =
+  (* Embed the checksum and verify the whole range sums to zero. *)
+  let buf = Bytes.of_string "\x45\x00\x00\x1c\x00\x00\x00\x00\x40\x11\x00\x00\x0a\x00\x00\x01\x0a\x00\x00\x02" in
+  let c = Checksum.compute buf ~off:0 ~len:20 in
+  Bytes.set buf 10 (Char.chr (c lsr 8));
+  Bytes.set buf 11 (Char.chr (c land 0xFF));
+  Alcotest.(check bool) "verifies" true (Checksum.verify buf ~off:0 ~len:20);
+  Bytes.set buf 0 '\x46';
+  Alcotest.(check bool) "corruption detected" false
+    (Checksum.verify buf ~off:0 ~len:20)
+
+let test_odd_length () =
+  let buf = Bytes.of_string "\x01\x02\x03" in
+  (* Odd trailing byte is padded with zero: sum = 0x0102 + 0x0300. *)
+  Alcotest.(check int) "odd sum" (0x0102 + 0x0300)
+    (Checksum.ones_complement_sum buf ~off:0 ~len:3 0)
+
+let test_out_of_bounds () =
+  let buf = Bytes.create 4 in
+  match Checksum.ones_complement_sum buf ~off:2 ~len:4 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_pseudo_header () =
+  let p =
+    Checksum.pseudo_header_ipv4 ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2")
+      ~proto:17 ~len:8
+  in
+  Alcotest.(check int) "pseudo sum" (0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 17 + 8) p
+
+let prop_compute_then_verify =
+  qtest "compute then embed verifies"
+    QCheck2.Gen.(string_size ~gen:char (int_range 14 64))
+    (fun s ->
+      (* Reserve the first two bytes for the checksum field. *)
+      let buf = Bytes.of_string s in
+      Bytes.set buf 0 '\000';
+      Bytes.set buf 1 '\000';
+      let c = Checksum.compute buf ~off:0 ~len:(Bytes.length buf) in
+      Bytes.set buf 0 (Char.chr (c lsr 8));
+      Bytes.set buf 1 (Char.chr (c land 0xFF));
+      Checksum.verify buf ~off:0 ~len:(Bytes.length buf))
+
+let suite =
+  [ Alcotest.test_case "RFC 1071 example" `Quick test_rfc_example;
+    Alcotest.test_case "verify self" `Quick test_verify_self;
+    Alcotest.test_case "odd length" `Quick test_odd_length;
+    Alcotest.test_case "out of bounds" `Quick test_out_of_bounds;
+    Alcotest.test_case "pseudo header" `Quick test_pseudo_header;
+    prop_compute_then_verify ]

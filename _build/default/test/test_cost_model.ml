@@ -1,0 +1,64 @@
+open Pi_ovs
+
+let base_outcome =
+  { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false; upcall = false;
+    slow_probes = 0; pkt_len = 0 }
+
+let test_linear_in_probes () =
+  let m = Cost_model.default in
+  let c n = Cost_model.cycles m { base_outcome with Cost_model.mf_probes = n } in
+  let d1 = c 10 -. c 0 and d2 = c 20 -. c 10 in
+  Alcotest.(check (float 1e-6)) "linear increments" d1 d2;
+  Alcotest.(check (float 1e-6)) "slope is mf_probe" m.Cost_model.mf_probe (d1 /. 10.)
+
+let test_emc_hit_cheapest () =
+  let m = Cost_model.default in
+  let emc =
+    Cost_model.cycles m
+      { base_outcome with Cost_model.emc_hit = true; pkt_len = 100 }
+  in
+  let mf =
+    Cost_model.cycles m
+      { base_outcome with Cost_model.mf_probes = 5; mf_hit = true; pkt_len = 100 }
+  in
+  let up =
+    Cost_model.cycles m
+      { base_outcome with
+        Cost_model.mf_probes = 5; upcall = true; slow_probes = 2; pkt_len = 100 }
+  in
+  Alcotest.(check bool) "emc < mf" true (emc < mf);
+  Alcotest.(check bool) "mf < upcall" true (mf < up)
+
+let test_per_byte () =
+  let m = Cost_model.default in
+  let small = Cost_model.cycles m { base_outcome with Cost_model.pkt_len = 64 } in
+  let big = Cost_model.cycles m { base_outcome with Cost_model.pkt_len = 1500 } in
+  Alcotest.(check (float 1e-6)) "per byte slope"
+    (m.Cost_model.per_byte *. 1436.) (big -. small)
+
+let test_seconds () =
+  let m = Cost_model.default in
+  let o = { base_outcome with Cost_model.mf_probes = 100 } in
+  Alcotest.(check (float 1e-12)) "seconds = cycles / hz"
+    (Cost_model.cycles m o /. m.Cost_model.cpu_hz)
+    (Cost_model.seconds m o)
+
+let test_pps_capacity () =
+  let m = Cost_model.default in
+  Alcotest.(check (float 1.)) "capacity" (m.Cost_model.cpu_hz /. 1000.)
+    (Cost_model.pps_capacity m ~avg_cycles:1000.);
+  Alcotest.(check bool) "zero cost is infinite" true
+    (Cost_model.pps_capacity m ~avg_cycles:0. = infinity)
+
+let test_gbps () =
+  (* 83333 pps of 1500-byte frames ≈ 1 Gb/s *)
+  let g = Cost_model.gbps ~pps:83333.33 ~pkt_len:1500 in
+  if abs_float (g -. 1.0) > 1e-3 then Alcotest.failf "gbps %f" g
+
+let suite =
+  [ Alcotest.test_case "linear in probes" `Quick test_linear_in_probes;
+    Alcotest.test_case "cache hierarchy ordering" `Quick test_emc_hit_cheapest;
+    Alcotest.test_case "per byte" `Quick test_per_byte;
+    Alcotest.test_case "seconds" `Quick test_seconds;
+    Alcotest.test_case "pps capacity" `Quick test_pps_capacity;
+    Alcotest.test_case "gbps" `Quick test_gbps ]

@@ -1,0 +1,98 @@
+open Pi_classifier
+open Helpers
+
+let mk ?(priority = 0) pattern action = Rule.make ~priority ~pattern ~action ()
+
+let whitelist_rules () =
+  [ mk ~priority:100 (Pattern.with_ip_src Pattern.any (pfx "10.0.0.10/32")) "allow";
+    mk ~priority:1 Pattern.any "deny" ]
+
+let test_basic () =
+  let t = Dtree.build (whitelist_rules ()) in
+  (match Dtree.lookup t (Flow.make ~ip_src:(ip "10.0.0.10") ()) with
+   | Some r -> Alcotest.(check string) "allow" "allow" r.Rule.action
+   | None -> Alcotest.fail "no match");
+  match Dtree.lookup t (Flow.make ~ip_src:(ip "10.0.0.11") ()) with
+  | Some r -> Alcotest.(check string) "deny" "deny" r.Rule.action
+  | None -> Alcotest.fail "no match"
+
+let test_empty () =
+  let t = Dtree.build [] in
+  Alcotest.(check bool) "no rules, no match" true
+    (Dtree.lookup t (Flow.make ()) = None);
+  Alcotest.(check int) "depth 0" 0 (Dtree.depth t)
+
+let test_splits_large_sets () =
+  (* 64 exact-match rules on tp_dst: the tree must actually split. *)
+  let rules =
+    List.init 64 (fun i ->
+        mk ~priority:1 (Pattern.with_tp_dst Pattern.any i) (string_of_int i))
+  in
+  let t = Dtree.build ~leaf_size:4 rules in
+  Alcotest.(check bool) "tree has depth" true (Dtree.depth t >= 4);
+  Alcotest.(check int) "n_rules" 64 (Dtree.n_rules t);
+  (* Lookup work is logarithmic-ish, far below the 64 a linear scan pays. *)
+  let _, steps = Dtree.lookup_counting t (Flow.make ~tp_dst:37 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "few steps (got %d)" steps)
+    true (steps <= 16);
+  match Dtree.lookup t (Flow.make ~tp_dst:37 ()) with
+  | Some r -> Alcotest.(check string) "right rule" "37" r.Rule.action
+  | None -> Alcotest.fail "no match"
+
+let test_identical_rules_leaf () =
+  (* Unsplittable rule sets must terminate in a leaf, not recurse. *)
+  let rules = List.init 10 (fun i -> mk ~priority:i Pattern.any (string_of_int i)) in
+  let t = Dtree.build ~leaf_size:2 rules in
+  Alcotest.(check int) "single leaf" 0 (Dtree.depth t);
+  match Dtree.lookup t (Flow.make ()) with
+  | Some r -> Alcotest.(check string) "highest priority wins" "9" r.Rule.action
+  | None -> Alcotest.fail "no match"
+
+let test_leaf_size_invalid () =
+  match Dtree.build ~leaf_size:0 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "leaf_size 0 should raise"
+
+let prop_oracle_equivalence =
+  qtest ~count:300 "dtree ≡ linear reference"
+    QCheck2.Gen.(pair gen_rules (list_size (return 30) gen_small_flow))
+    (fun (rules, flows) ->
+      let dt = Dtree.build ~leaf_size:2 rules in
+      let lin = Linear.of_rules rules in
+      List.for_all
+        (fun f ->
+          match (Dtree.lookup dt f, Linear.lookup lin f) with
+          | None, None -> true
+          | Some x, Some y -> x.Rule.seq = y.Rule.seq
+          | Some _, None | None, Some _ -> false)
+        flows)
+
+let prop_attack_independent_depth =
+  (* The core mitigation property: the tree is a function of the rules,
+     so the attack's covert traffic cannot change lookup cost at all
+     (there is no per-traffic state to inflate). Here: same tree, any
+     flow, work bounded by depth + leaf size. *)
+  qtest ~count:100 "lookup work bounded by structure" gen_rules (fun rules ->
+      let dt = Dtree.build ~leaf_size:3 rules in
+      let bound = Dtree.depth dt + Dtree.max_leaf dt in
+      let rng = Pi_pkt.Prng.create 5L in
+      List.for_all
+        (fun _ ->
+          let f =
+            Flow.make ~ip_src:(Pi_pkt.Prng.int32 rng)
+              ~tp_src:(Pi_pkt.Prng.int rng 65536)
+              ~tp_dst:(Pi_pkt.Prng.int rng 65536) ()
+          in
+          let _, steps = Dtree.lookup_counting dt f in
+          steps <= bound)
+        (List.init 20 Fun.id))
+
+let suite =
+  [ Alcotest.test_case "basic whitelist" `Quick test_basic;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "splits large sets" `Quick test_splits_large_sets;
+    Alcotest.test_case "unsplittable terminates" `Quick test_identical_rules_leaf;
+    Alcotest.test_case "invalid leaf size" `Quick test_leaf_size_invalid;
+    prop_oracle_equivalence;
+    prop_attack_independent_depth ]

@@ -1,0 +1,99 @@
+open Pi_sim
+
+let test_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:3. (fun _ -> log := 3 :: !log);
+  Engine.schedule e ~at:1. (fun _ -> log := 1 :: !log);
+  Engine.schedule e ~at:2. (fun _ -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "dispatch order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~at:1. (fun _ -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo among equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_now () =
+  let e = Engine.create () in
+  let seen = ref (-1.) in
+  Engine.schedule e ~at:7.5 (fun e -> seen := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "clock at dispatch" 7.5 !seen
+
+let test_schedule_from_handler () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:1. (fun e ->
+      log := "a" :: !log;
+      Engine.schedule e ~at:2. (fun _ -> log := "b" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested scheduling" [ "a"; "b" ] (List.rev !log)
+
+let test_past_event_rejected () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5. (fun e ->
+      match Engine.schedule e ~at:1. (fun _ -> ()) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "past event accepted");
+  Engine.run e
+
+let test_until () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter (fun t -> Engine.schedule e ~at:t (fun _ -> log := t :: !log))
+    [ 1.; 2.; 3.; 4. ];
+  Engine.run ~until:3. e;
+  Alcotest.(check (list (float 1e-9))) "stops before horizon" [ 1.; 2. ]
+    (List.rev !log);
+  Alcotest.(check int) "rest still pending" 2 (Engine.pending e)
+
+let test_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~at:(float_of_int i) (fun e ->
+        incr count;
+        if !count = 3 then Engine.stop e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "stopped after 3" 3 !count
+
+let test_schedule_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  Engine.schedule_every e ~start:0. ~period:1. ~until:5. (fun _ -> incr count);
+  Engine.run e;
+  Alcotest.(check int) "5 ticks in [0,5)" 5 !count
+
+let test_schedule_every_invalid () =
+  let e = Engine.create () in
+  match Engine.schedule_every e ~start:0. ~period:0. ~until:5. (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero period should raise"
+
+let test_heap_growth () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10_000 do
+    Engine.schedule e ~at:(float_of_int (i mod 100)) (fun _ -> incr count)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all dispatched" 10_000 !count
+
+let suite =
+  [ Alcotest.test_case "time order" `Quick test_time_order;
+    Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "now" `Quick test_now;
+    Alcotest.test_case "schedule from handler" `Quick test_schedule_from_handler;
+    Alcotest.test_case "past event rejected" `Quick test_past_event_rejected;
+    Alcotest.test_case "until horizon" `Quick test_until;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "schedule_every" `Quick test_schedule_every;
+    Alcotest.test_case "schedule_every invalid" `Quick test_schedule_every_invalid;
+    Alcotest.test_case "heap growth" `Quick test_heap_growth ]

@@ -1,0 +1,56 @@
+open Pi_classifier
+
+let test_index_bijection () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (Field.name f) true
+        (Field.equal f (Field.of_index (Field.index f))))
+    Field.all;
+  Alcotest.(check int) "count" (List.length Field.all) Field.count
+
+let test_widths () =
+  Alcotest.(check int) "ip_src" 32 (Field.width Field.Ip_src);
+  Alcotest.(check int) "tp_dst" 16 (Field.width Field.Tp_dst);
+  Alcotest.(check int) "eth_src" 48 (Field.width Field.Eth_src);
+  Alcotest.(check int) "ip_proto" 8 (Field.width Field.Ip_proto)
+
+let test_names () =
+  List.iter
+    (fun f ->
+      match Field.of_name (Field.name f) with
+      | Some f' when Field.equal f f' -> ()
+      | _ -> Alcotest.failf "name roundtrip failed for %s" (Field.name f))
+    Field.all;
+  Alcotest.(check bool) "unknown name" true (Field.of_name "bogus" = None)
+
+let test_stages () =
+  let open Field in
+  Alcotest.(check bool) "in_port metadata" true
+    (Stage.equal (Stage.of_field In_port) Stage.Metadata);
+  Alcotest.(check bool) "eth_type l2" true
+    (Stage.equal (Stage.of_field Eth_type) Stage.L2);
+  Alcotest.(check bool) "ip_src l3" true
+    (Stage.equal (Stage.of_field Ip_src) Stage.L3);
+  Alcotest.(check bool) "tp_dst l4" true
+    (Stage.equal (Stage.of_field Tp_dst) Stage.L4)
+
+let test_stage_ordering () =
+  (* Every field's stage index must be a valid probe stage. *)
+  List.iter
+    (fun f ->
+      let si = Field.Stage.index (Field.Stage.of_field f) in
+      if si < 0 || si >= Field.Stage.count then Alcotest.fail "bad stage index")
+    Field.all
+
+let test_of_index_invalid () =
+  match Field.of_index Field.count with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_index out of range should raise"
+
+let suite =
+  [ Alcotest.test_case "index bijection" `Quick test_index_bijection;
+    Alcotest.test_case "widths" `Quick test_widths;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "stages" `Quick test_stages;
+    Alcotest.test_case "stage ordering" `Quick test_stage_ordering;
+    Alcotest.test_case "of_index invalid" `Quick test_of_index_invalid ]

@@ -1,0 +1,88 @@
+open Pi_classifier
+open Helpers
+
+let test_defaults () =
+  let f = Flow.make () in
+  Alcotest.(check int) "eth_type defaults to ipv4" 0x0800 (Flow.eth_type f);
+  Alcotest.(check int) "ttl 64" 64 (Flow.ip_ttl f);
+  Alcotest.(check int) "in_port 0" 0 (Flow.in_port f)
+
+let test_accessors () =
+  let f =
+    Flow.make ~in_port:3 ~ip_src:(ip "10.0.0.1") ~ip_dst:(ip "10.0.0.2")
+      ~ip_proto:6 ~tp_src:1234 ~tp_dst:80 ~tcp_flags:0x12 ()
+  in
+  Alcotest.(check int) "in_port" 3 (Flow.in_port f);
+  Alcotest.(check ipv4_t) "src" (ip "10.0.0.1") (Flow.ip_src f);
+  Alcotest.(check ipv4_t) "dst" (ip "10.0.0.2") (Flow.ip_dst f);
+  Alcotest.(check int) "proto" 6 (Flow.ip_proto f);
+  Alcotest.(check int) "tp_src" 1234 (Flow.tp_src f);
+  Alcotest.(check int) "tp_dst" 80 (Flow.tp_dst f);
+  Alcotest.(check int) "tcp_flags" 0x12 (Flow.tcp_flags f)
+
+let test_with_field () =
+  let f = Flow.make () in
+  let f' = Flow.with_field f Field.Tp_dst 8080L in
+  Alcotest.(check int) "updated" 8080 (Flow.tp_dst f');
+  Alcotest.(check int) "original untouched" 0 (Flow.tp_dst f);
+  Alcotest.(check bool) "not equal" false (Flow.equal f f')
+
+let test_width_clamp () =
+  let f = Flow.with_field (Flow.make ()) Field.Tp_dst 0x1FFFFL in
+  Alcotest.(check int) "clamped to 16 bits" 0xFFFF (Flow.tp_dst f);
+  let f = Flow.with_field (Flow.make ()) Field.Vlan (-1L) in
+  Alcotest.(check int) "vlan clamped to 12 bits" 0xFFF (Flow.vlan f)
+
+let test_of_packet_udp () =
+  let p =
+    Pi_pkt.Packet.udp ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~src_port:5000
+      ~dst_port:53 ()
+  in
+  let f = Flow.of_packet ~in_port:7 p in
+  Alcotest.(check int) "in_port" 7 (Flow.in_port f);
+  Alcotest.(check int) "proto udp" Pi_pkt.Ipv4.proto_udp (Flow.ip_proto f);
+  Alcotest.(check int) "tp_dst" 53 (Flow.tp_dst f);
+  Alcotest.(check int) "eth_type" 0x0800 (Flow.eth_type f)
+
+let test_of_packet_icmp_folding () =
+  let p = Pi_pkt.Packet.icmp_echo ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") () in
+  let f = Flow.of_packet p in
+  (* ICMP type/code land in the transport-port fields, as in OVS. *)
+  Alcotest.(check int) "type in tp_src" Pi_pkt.Icmp.echo_request (Flow.tp_src f);
+  Alcotest.(check int) "code in tp_dst" 0 (Flow.tp_dst f)
+
+let test_of_packet_tcp_flags () =
+  let p =
+    Pi_pkt.Packet.tcp ~flags:Pi_pkt.Tcp.flag_syn ~src:(ip "1.1.1.1")
+      ~dst:(ip "2.2.2.2") ~src_port:1 ~dst_port:2 ()
+  in
+  let f = Flow.of_packet p in
+  Alcotest.(check int) "syn flag" Pi_pkt.Tcp.flag_syn (Flow.tcp_flags f)
+
+let prop_equal_hash =
+  qtest "equal flows hash equally" (QCheck2.Gen.pair gen_flow gen_flow)
+    (fun (a, b) -> (not (Flow.equal a b)) || Flow.hash a = Flow.hash b)
+
+let prop_compare_consistent =
+  qtest "compare 0 iff equal" (QCheck2.Gen.pair gen_flow gen_flow)
+    (fun (a, b) -> Flow.equal a b = (Flow.compare a b = 0))
+
+let prop_get_with_field =
+  qtest "with_field then get"
+    QCheck2.Gen.(pair gen_flow (int_range 0 (Field.count - 1)))
+    (fun (f, i) ->
+      let field = Field.of_index i in
+      let v = Int64.of_int 3 in
+      Int64.equal (Flow.get (Flow.with_field f field v) field) v)
+
+let suite =
+  [ Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "with_field" `Quick test_with_field;
+    Alcotest.test_case "width clamping" `Quick test_width_clamp;
+    Alcotest.test_case "of_packet udp" `Quick test_of_packet_udp;
+    Alcotest.test_case "of_packet icmp folding" `Quick test_of_packet_icmp_folding;
+    Alcotest.test_case "of_packet tcp flags" `Quick test_of_packet_tcp_flags;
+    prop_equal_hash;
+    prop_compare_consistent;
+    prop_get_with_field ]

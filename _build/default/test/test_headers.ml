@@ -1,0 +1,148 @@
+open Pi_pkt
+open Helpers
+
+let eth_t = Alcotest.testable Ethernet.pp Ethernet.equal
+let ipv4h_t = Alcotest.testable Ipv4.pp Ipv4.equal
+let tcp_t = Alcotest.testable Tcp.pp Tcp.equal
+let udp_t = Alcotest.testable Udp.pp Udp.equal
+let icmp_t = Alcotest.testable Icmp.pp Icmp.equal
+
+let test_eth_roundtrip () =
+  let h =
+    Ethernet.
+      { dst = Mac_addr.of_string "ff:ff:ff:ff:ff:ff";
+        src = Mac_addr.of_string "02:00:00:00:00:01";
+        ethertype = Ethernet.ethertype_ipv4 }
+  in
+  let buf = Bytes.create Ethernet.size in
+  Ethernet.write h buf ~off:0;
+  Alcotest.(check eth_t) "roundtrip" h (Ethernet.read buf ~off:0)
+
+let test_eth_too_small () =
+  let buf = Bytes.create 10 in
+  match Ethernet.read buf ~off:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short buffer should raise"
+
+let test_ipv4_roundtrip () =
+  let h = Ipv4.make ~tos:0x10 ~ttl:17 ~ident:0xBEEF ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2") ~proto:Ipv4.proto_udp () in
+  let buf = Bytes.create (Ipv4.size + 12) in
+  Ipv4.write h ~payload_len:12 buf ~off:0;
+  match Ipv4.read buf ~off:0 with
+  | Error e -> Alcotest.fail e
+  | Ok (h', len) ->
+    Alcotest.(check ipv4h_t) "header" h h';
+    Alcotest.(check int) "payload length" 12 len
+
+let test_ipv4_bad_checksum () =
+  let h = Ipv4.make ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") ~proto:6 () in
+  let buf = Bytes.create Ipv4.size in
+  Ipv4.write h ~payload_len:0 buf ~off:0;
+  Bytes.set buf 8 '\x01';  (* corrupt ttl *)
+  match Ipv4.read buf ~off:0 with
+  | Error "ipv4: bad checksum" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "corruption accepted"
+
+let test_ipv4_bad_version () =
+  let buf = Bytes.make Ipv4.size '\x00' in
+  Bytes.set buf 0 '\x65';
+  match Ipv4.read buf ~off:0 with
+  | Error "ipv4: bad version" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "accepted bad version"
+
+let test_ipv4_fragment_flag () =
+  let h = Ipv4.make ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") ~proto:6 () in
+  Alcotest.(check bool) "not fragment" false (Ipv4.is_fragment h);
+  Alcotest.(check bool) "MF set" true
+    (Ipv4.is_fragment { h with Ipv4.more_fragments = true });
+  Alcotest.(check bool) "offset set" true
+    (Ipv4.is_fragment { h with Ipv4.frag_offset = 10 })
+
+let test_tcp_roundtrip () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let h = Tcp.make ~seq:17l ~ack:42l ~flags:(Tcp.flag_syn lor Tcp.flag_ack) ~src_port:4000 ~dst_port:80 () in
+  let buf = Bytes.create (Tcp.size + 5) in
+  Tcp.write h ~src ~dst ~payload_len:5 buf ~off:0;
+  match Tcp.read buf ~off:0 ~len:(Tcp.size + 5) ~src ~dst with
+  | Error e -> Alcotest.fail e
+  | Ok (h', n) ->
+    Alcotest.(check tcp_t) "header" h h';
+    Alcotest.(check int) "header size" Tcp.size n
+
+let test_tcp_checksum_covers_payload () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let h = Tcp.make ~src_port:1 ~dst_port:2 () in
+  let buf = Bytes.create (Tcp.size + 4) in
+  Tcp.write h ~src ~dst ~payload_len:4 buf ~off:0;
+  Bytes.set buf (Tcp.size + 1) '\xFF';  (* corrupt payload *)
+  match Tcp.read buf ~off:0 ~len:(Tcp.size + 4) ~src ~dst with
+  | Error "tcp: bad checksum" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "payload corruption accepted"
+
+let test_tcp_wrong_pseudo_header () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let h = Tcp.make ~src_port:1 ~dst_port:2 () in
+  let buf = Bytes.create Tcp.size in
+  Tcp.write h ~src ~dst ~payload_len:0 buf ~off:0;
+  match Tcp.read buf ~off:0 ~len:Tcp.size ~src:(ip "9.9.9.9") ~dst with
+  | Error "tcp: bad checksum" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "wrong pseudo header accepted"
+
+let test_udp_roundtrip () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let h = Udp.make ~src_port:53 ~dst_port:5353 in
+  let buf = Bytes.create (Udp.size + 7) in
+  Udp.write h ~src ~dst ~payload_len:7 buf ~off:0;
+  match Udp.read buf ~off:0 ~len:(Udp.size + 7) ~src ~dst with
+  | Error e -> Alcotest.fail e
+  | Ok (h', n) ->
+    Alcotest.(check udp_t) "header" h h';
+    Alcotest.(check int) "header size" Udp.size n
+
+let test_udp_length_mismatch () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let h = Udp.make ~src_port:53 ~dst_port:53 in
+  let buf = Bytes.create (Udp.size + 4) in
+  Udp.write h ~src ~dst ~payload_len:4 buf ~off:0;
+  match Udp.read buf ~off:0 ~len:(Udp.size + 3) ~src ~dst with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "length mismatch accepted"
+
+let test_icmp_roundtrip () =
+  let h = Icmp.make ~rest:0xCAFE0001l ~typ:Icmp.echo_request ~code:0 () in
+  let buf = Bytes.create (Icmp.size + 9) in
+  Icmp.write h ~payload_len:9 buf ~off:0;
+  match Icmp.read buf ~off:0 ~len:(Icmp.size + 9) with
+  | Error e -> Alcotest.fail e
+  | Ok (h', n) ->
+    Alcotest.(check icmp_t) "header" h h';
+    Alcotest.(check int) "header size" Icmp.size n
+
+let test_icmp_bad_checksum () =
+  let h = Icmp.make ~typ:8 ~code:0 () in
+  let buf = Bytes.create Icmp.size in
+  Icmp.write h ~payload_len:0 buf ~off:0;
+  Bytes.set buf 0 '\x03';
+  match Icmp.read buf ~off:0 ~len:Icmp.size with
+  | Error "icmp: bad checksum" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "corruption accepted"
+
+let suite =
+  [ Alcotest.test_case "ethernet roundtrip" `Quick test_eth_roundtrip;
+    Alcotest.test_case "ethernet short buffer" `Quick test_eth_too_small;
+    Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
+    Alcotest.test_case "ipv4 bad checksum" `Quick test_ipv4_bad_checksum;
+    Alcotest.test_case "ipv4 bad version" `Quick test_ipv4_bad_version;
+    Alcotest.test_case "ipv4 fragment flags" `Quick test_ipv4_fragment_flag;
+    Alcotest.test_case "tcp roundtrip" `Quick test_tcp_roundtrip;
+    Alcotest.test_case "tcp checksum covers payload" `Quick test_tcp_checksum_covers_payload;
+    Alcotest.test_case "tcp pseudo header" `Quick test_tcp_wrong_pseudo_header;
+    Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+    Alcotest.test_case "udp length mismatch" `Quick test_udp_length_mismatch;
+    Alcotest.test_case "icmp roundtrip" `Quick test_icmp_roundtrip;
+    Alcotest.test_case "icmp bad checksum" `Quick test_icmp_bad_checksum ]

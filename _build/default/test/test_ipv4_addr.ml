@@ -1,0 +1,110 @@
+open Pi_pkt
+open Helpers
+
+let test_roundtrip_examples () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Ipv4_addr.to_string (Ipv4_addr.of_string s)))
+    [ "0.0.0.0"; "10.0.0.10"; "255.255.255.255"; "192.168.1.254"; "1.2.3.4" ]
+
+let test_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option ipv4_t)) s None (Ipv4_addr.of_string_opt s))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "-1.0.0.0"; "a.b.c.d"; "1..2.3" ]
+
+let test_octets () =
+  let a = Ipv4_addr.of_octets 10 20 30 40 in
+  Alcotest.(check string) "octets" "10.20.30.40" (Ipv4_addr.to_string a);
+  let w, x, y, z = Ipv4_addr.to_octets a in
+  Alcotest.(check (list int)) "roundtrip" [ 10; 20; 30; 40 ] [ w; x; y; z ]
+
+let test_unsigned_compare () =
+  let hi = Ipv4_addr.of_string "200.0.0.1" in
+  let lo = Ipv4_addr.of_string "10.0.0.1" in
+  Alcotest.(check bool) "200.x > 10.x" true (Ipv4_addr.compare hi lo > 0);
+  Alcotest.(check bool) "broadcast max" true
+    (Ipv4_addr.compare Ipv4_addr.broadcast hi > 0)
+
+let test_succ_add () =
+  Alcotest.(check ipv4_t) "succ" (ip "10.0.0.1") (Ipv4_addr.succ (ip "10.0.0.0"));
+  Alcotest.(check ipv4_t) "add 256" (ip "10.0.1.0") (Ipv4_addr.add (ip "10.0.0.0") 256);
+  Alcotest.(check ipv4_t) "wraps" Ipv4_addr.any (Ipv4_addr.succ Ipv4_addr.broadcast)
+
+let test_mask_of_len () =
+  Alcotest.(check ipv4_t) "/0" Ipv4_addr.any (Ipv4_addr.mask_of_len 0);
+  Alcotest.(check ipv4_t) "/8" (ip "255.0.0.0") (Ipv4_addr.mask_of_len 8);
+  Alcotest.(check ipv4_t) "/25" (ip "255.255.255.128") (Ipv4_addr.mask_of_len 25);
+  Alcotest.(check ipv4_t) "/32" Ipv4_addr.broadcast (Ipv4_addr.mask_of_len 32)
+
+let test_len_of_mask () =
+  for n = 0 to 32 do
+    Alcotest.(check (option int)) (Printf.sprintf "/%d" n) (Some n)
+      (Ipv4_addr.len_of_mask (Ipv4_addr.mask_of_len n))
+  done;
+  Alcotest.(check (option int)) "non-contiguous" None
+    (Ipv4_addr.len_of_mask (ip "255.0.255.0"))
+
+let test_prefix_parse () =
+  let p = pfx "10.0.0.0/8" in
+  Alcotest.(check int) "len" 8 p.Ipv4_addr.Prefix.len;
+  Alcotest.(check ipv4_t) "base" (ip "10.0.0.0") p.Ipv4_addr.Prefix.base;
+  let p32 = pfx "1.2.3.4" in
+  Alcotest.(check int) "bare address is /32" 32 p32.Ipv4_addr.Prefix.len
+
+let test_prefix_normalises () =
+  let p = Ipv4_addr.Prefix.make (ip "10.1.2.3") 8 in
+  Alcotest.(check ipv4_t) "host bits cleared" (ip "10.0.0.0")
+    p.Ipv4_addr.Prefix.base
+
+let test_prefix_mem () =
+  let p = pfx "10.0.0.0/8" in
+  Alcotest.(check bool) "inside" true (Ipv4_addr.Prefix.mem (ip "10.255.0.1") p);
+  Alcotest.(check bool) "outside" false (Ipv4_addr.Prefix.mem (ip "11.0.0.1") p);
+  Alcotest.(check bool) "all matches everything" true
+    (Ipv4_addr.Prefix.mem (ip "200.1.2.3") Ipv4_addr.Prefix.all)
+
+let test_prefix_subset () =
+  Alcotest.(check bool) "10.1/16 ⊂ 10/8" true
+    (Ipv4_addr.Prefix.subset (pfx "10.1.0.0/16") (pfx "10.0.0.0/8"));
+  Alcotest.(check bool) "10/8 ⊄ 10.1/16" false
+    (Ipv4_addr.Prefix.subset (pfx "10.0.0.0/8") (pfx "10.1.0.0/16"));
+  Alcotest.(check bool) "disjoint" false
+    (Ipv4_addr.Prefix.subset (pfx "11.0.0.0/8") (pfx "10.0.0.0/8"))
+
+let test_prefix_host_count_nth () =
+  let p = pfx "192.168.1.0/30" in
+  Alcotest.(check int64) "count" 4L (Ipv4_addr.Prefix.host_count p);
+  Alcotest.(check ipv4_t) "nth 3" (ip "192.168.1.3") (Ipv4_addr.Prefix.nth p 3L);
+  match Ipv4_addr.Prefix.nth p 4L with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nth out of range should raise"
+
+let prop_roundtrip =
+  qtest "ipv4 string roundtrip" gen_ipv4 (fun a ->
+      Ipv4_addr.equal a (Ipv4_addr.of_string (Ipv4_addr.to_string a)))
+
+let prop_prefix_mem_of_nth =
+  qtest "prefix nth is member"
+    QCheck2.Gen.(pair gen_ipv4 (int_range 0 32))
+    (fun (a, len) ->
+      let p = Ipv4_addr.Prefix.make a len in
+      let count = Ipv4_addr.Prefix.host_count p in
+      let i = Int64.div count 2L in
+      Ipv4_addr.Prefix.mem (Ipv4_addr.Prefix.nth p i) p)
+
+let suite =
+  [ Alcotest.test_case "to/of_string roundtrip" `Quick test_roundtrip_examples;
+    Alcotest.test_case "invalid strings" `Quick test_invalid;
+    Alcotest.test_case "octets" `Quick test_octets;
+    Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+    Alcotest.test_case "succ/add" `Quick test_succ_add;
+    Alcotest.test_case "mask_of_len" `Quick test_mask_of_len;
+    Alcotest.test_case "len_of_mask" `Quick test_len_of_mask;
+    Alcotest.test_case "prefix parse" `Quick test_prefix_parse;
+    Alcotest.test_case "prefix normalises" `Quick test_prefix_normalises;
+    Alcotest.test_case "prefix mem" `Quick test_prefix_mem;
+    Alcotest.test_case "prefix subset" `Quick test_prefix_subset;
+    Alcotest.test_case "host_count/nth" `Quick test_prefix_host_count_nth;
+    prop_roundtrip;
+    prop_prefix_mem_of_nth ]

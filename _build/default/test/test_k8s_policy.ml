@@ -1,0 +1,115 @@
+open Pi_cms
+open Helpers
+
+let ft ?(src = "10.0.0.1") ?(proto = 6) ?(dport = 80) () =
+  { Acl.ft_src = ip src; ft_dst = ip "10.1.0.2"; ft_proto = proto;
+    ft_src_port = 40000; ft_dst_port = dport }
+
+let test_block_prefixes_no_except () =
+  let b = { K8s_policy.cidr = pfx "10.0.0.0/8"; except = [] } in
+  Alcotest.(check (list (pair ipv4_t int))) "whole cidr"
+    [ (ip "10.0.0.0", 8) ]
+    (K8s_policy.block_prefixes b)
+
+let test_block_prefixes_except () =
+  let b =
+    { K8s_policy.cidr = pfx "10.0.0.0/8"; except = [ pfx "10.128.0.0/9" ] }
+  in
+  Alcotest.(check (list (pair ipv4_t int))) "lower half remains"
+    [ (ip "10.0.0.0", 9) ]
+    (K8s_policy.block_prefixes b)
+
+let test_block_prefixes_cover_semantics () =
+  let b =
+    { K8s_policy.cidr = pfx "10.0.0.0/8";
+      except = [ pfx "10.1.0.0/16"; pfx "10.2.0.0/16" ] }
+  in
+  let ps =
+    List.map (fun (v, l) -> Pi_pkt.Ipv4_addr.Prefix.make v l)
+      (K8s_policy.block_prefixes b)
+  in
+  let covered a = List.exists (Pi_pkt.Ipv4_addr.Prefix.mem a) ps in
+  Alcotest.(check bool) "in cidr, not excepted" true (covered (ip "10.3.0.1"));
+  Alcotest.(check bool) "excepted" false (covered (ip "10.1.2.3"));
+  Alcotest.(check bool) "outside cidr" false (covered (ip "11.0.0.1"))
+
+let test_block_prefixes_bad_except () =
+  let b = { K8s_policy.cidr = pfx "10.0.0.0/8"; except = [ pfx "11.0.0.0/16" ] } in
+  match K8s_policy.block_prefixes b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "except outside cidr should raise"
+
+let simple_policy =
+  K8s_policy.make ~name:"allow-clients" ~pod_selector:"app=web"
+    ~ingress:
+      [ { K8s_policy.from =
+            [ K8s_policy.Ip_block { K8s_policy.cidr = pfx "10.0.0.0/8"; except = [] } ];
+          ports = [ { K8s_policy.protocol = Acl.Tcp; port = Some 80 } ] } ]
+
+let no_resolve _ = []
+
+let test_to_acl_semantics () =
+  let acl = K8s_policy.to_acl ~resolve:no_resolve simple_policy in
+  Alcotest.(check bool) "allowed" true
+    (Acl.eval acl (ft ()) = Acl.Allow);
+  Alcotest.(check bool) "wrong port denied" true
+    (Acl.eval acl (ft ~dport:81 ()) = Acl.Deny);
+  Alcotest.(check bool) "wrong src denied" true
+    (Acl.eval acl (ft ~src:"11.0.0.1" ()) = Acl.Deny);
+  Alcotest.(check bool) "udp denied" true
+    (Acl.eval acl (ft ~proto:17 ()) = Acl.Deny)
+
+let test_to_acl_empty_from () =
+  let pol =
+    K8s_policy.make ~name:"any-src" ~pod_selector:"app=web"
+      ~ingress:[ { K8s_policy.from = []; ports = [ { K8s_policy.protocol = Acl.Tcp; port = Some 443 } ] } ]
+  in
+  let acl = K8s_policy.to_acl ~resolve:no_resolve pol in
+  Alcotest.(check bool) "any source allowed on 443" true
+    (Acl.eval acl (ft ~src:"99.99.99.99" ~dport:443 ()) = Acl.Allow)
+
+let test_to_acl_pod_selector () =
+  let resolve = function
+    | "app=db" -> [ pfx "10.5.0.7/32" ]
+    | _ -> []
+  in
+  let pol =
+    K8s_policy.make ~name:"from-db" ~pod_selector:"app=web"
+      ~ingress:[ { K8s_policy.from = [ K8s_policy.Pod_selector "app=db" ]; ports = [] } ]
+  in
+  let acl = K8s_policy.to_acl ~resolve pol in
+  Alcotest.(check bool) "db pod allowed" true
+    (Acl.eval acl (ft ~src:"10.5.0.7" ()) = Acl.Allow);
+  Alcotest.(check bool) "others denied" true
+    (Acl.eval acl (ft ~src:"10.5.0.8" ()) = Acl.Deny)
+
+let test_to_acl_except_blocks () =
+  let pol =
+    K8s_policy.make ~name:"except" ~pod_selector:"x"
+      ~ingress:
+        [ { K8s_policy.from =
+              [ K8s_policy.Ip_block
+                  { K8s_policy.cidr = pfx "10.0.0.0/8"; except = [ pfx "10.66.0.0/16" ] } ];
+            ports = [] } ]
+  in
+  let acl = K8s_policy.to_acl ~resolve:no_resolve pol in
+  Alcotest.(check bool) "cidr allowed" true
+    (Acl.eval acl (ft ~src:"10.1.1.1" ()) = Acl.Allow);
+  Alcotest.(check bool) "except denied" true
+    (Acl.eval acl (ft ~src:"10.66.1.1" ()) = Acl.Deny)
+
+let test_no_ingress_denies_all () =
+  let pol = K8s_policy.make ~name:"deny-all" ~pod_selector:"x" ~ingress:[] in
+  let acl = K8s_policy.to_acl ~resolve:no_resolve pol in
+  Alcotest.(check bool) "deny" true (Acl.eval acl (ft ()) = Acl.Deny)
+
+let suite =
+  [ Alcotest.test_case "block: no except" `Quick test_block_prefixes_no_except;
+    Alcotest.test_case "block: except half" `Quick test_block_prefixes_except;
+    Alcotest.test_case "block: cover semantics" `Quick test_block_prefixes_cover_semantics;
+    Alcotest.test_case "block: invalid except" `Quick test_block_prefixes_bad_except;
+    Alcotest.test_case "to_acl semantics" `Quick test_to_acl_semantics;
+    Alcotest.test_case "empty from = any source" `Quick test_to_acl_empty_from;
+    Alcotest.test_case "pod selector resolution" `Quick test_to_acl_pod_selector;
+    Alcotest.test_case "except blocks carved out" `Quick test_to_acl_except_blocks;
+    Alcotest.test_case "no ingress denies all" `Quick test_no_ingress_denies_all ]

@@ -1,0 +1,66 @@
+open Pi_classifier
+
+let mk ?(priority = 0) pattern action = Rule.make ~priority ~pattern ~action ()
+
+let test_priority_order () =
+  let t = Linear.create () in
+  Linear.insert t (mk ~priority:1 Pattern.any "low");
+  Linear.insert t (mk ~priority:10 Pattern.any "high");
+  match Linear.lookup t (Flow.make ()) with
+  | Some r -> Alcotest.(check string) "high wins" "high" r.Rule.action
+  | None -> Alcotest.fail "no match"
+
+let test_insertion_order_tiebreak () =
+  let t = Linear.create () in
+  Linear.insert t (mk ~priority:5 Pattern.any "first");
+  Linear.insert t (mk ~priority:5 Pattern.any "second");
+  match Linear.lookup t (Flow.make ()) with
+  | Some r ->
+    (* The paper: "if multiple rules match, the one added first will be
+       applied". *)
+    Alcotest.(check string) "first added wins" "first" r.Rule.action
+  | None -> Alcotest.fail "no match"
+
+let test_no_match () =
+  let t = Linear.create () in
+  Linear.insert t (mk (Pattern.with_tp_dst Pattern.any 80) "only-80");
+  Alcotest.(check bool) "no match" true
+    (Linear.lookup t (Flow.make ~tp_dst:81 ()) = None)
+
+let test_specific_over_general_by_priority () =
+  let t = Linear.create () in
+  Linear.insert t (mk ~priority:100 (Pattern.with_tp_dst Pattern.any 80) "allow");
+  Linear.insert t (mk ~priority:1 Pattern.any "deny");
+  (match Linear.lookup t (Flow.make ~tp_dst:80 ()) with
+   | Some r -> Alcotest.(check string) "port 80" "allow" r.Rule.action
+   | None -> Alcotest.fail "no match");
+  match Linear.lookup t (Flow.make ~tp_dst:22 ()) with
+  | Some r -> Alcotest.(check string) "port 22" "deny" r.Rule.action
+  | None -> Alcotest.fail "no match"
+
+let test_remove () =
+  let t = Linear.create () in
+  Linear.insert t (mk ~priority:2 Pattern.any "a");
+  Linear.insert t (mk ~priority:1 Pattern.any "b");
+  let n = Linear.remove t (fun r -> r.Rule.action = "a") in
+  Alcotest.(check int) "removed one" 1 n;
+  Alcotest.(check int) "one left" 1 (Linear.length t);
+  match Linear.lookup t (Flow.make ()) with
+  | Some r -> Alcotest.(check string) "b remains" "b" r.Rule.action
+  | None -> Alcotest.fail "no match"
+
+let test_of_rules_sorted () =
+  let r1 = mk ~priority:1 Pattern.any "low" in
+  let r2 = mk ~priority:9 Pattern.any "high" in
+  let t = Linear.of_rules [ r1; r2 ] in
+  match Linear.rules t with
+  | first :: _ -> Alcotest.(check string) "sorted" "high" first.Rule.action
+  | [] -> Alcotest.fail "empty"
+
+let suite =
+  [ Alcotest.test_case "priority order" `Quick test_priority_order;
+    Alcotest.test_case "insertion-order tiebreak" `Quick test_insertion_order_tiebreak;
+    Alcotest.test_case "no match" `Quick test_no_match;
+    Alcotest.test_case "whitelist + default deny" `Quick test_specific_over_general_by_priority;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "of_rules sorted" `Quick test_of_rules_sorted ]

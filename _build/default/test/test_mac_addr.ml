@@ -1,0 +1,52 @@
+open Pi_pkt
+
+let mac_t = Alcotest.testable Mac_addr.pp Mac_addr.equal
+
+let test_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Mac_addr.to_string (Mac_addr.of_string s)))
+    [ "00:00:00:00:00:00"; "ff:ff:ff:ff:ff:ff"; "02:42:ac:11:00:02";
+      "0a:1b:2c:3d:4e:5f" ]
+
+let test_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option mac_t)) s None (Mac_addr.of_string_opt s))
+    [ ""; "00:00:00:00:00"; "00:00:00:00:00:00:00"; "gg:00:00:00:00:00";
+      "000:00:00:00:00:00" ]
+
+let test_octets () =
+  let m = Mac_addr.of_octets [| 0xde; 0xad; 0xbe; 0xef; 0x00; 0x01 |] in
+  Alcotest.(check string) "print" "de:ad:be:ef:00:01" (Mac_addr.to_string m);
+  Alcotest.(check (array int)) "roundtrip"
+    [| 0xde; 0xad; 0xbe; 0xef; 0x00; 0x01 |]
+    (Mac_addr.to_octets m)
+
+let test_octets_invalid () =
+  (match Mac_addr.of_octets [| 1; 2; 3 |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "short array should raise");
+  match Mac_addr.of_octets [| 1; 2; 3; 4; 5; 256 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "octet out of range should raise"
+
+let test_multicast () =
+  Alcotest.(check bool) "broadcast is multicast" true
+    (Mac_addr.is_multicast Mac_addr.broadcast);
+  Alcotest.(check bool) "01:... is multicast" true
+    (Mac_addr.is_multicast (Mac_addr.of_string "01:00:5e:00:00:01"));
+  Alcotest.(check bool) "02:... is unicast" false
+    (Mac_addr.is_multicast (Mac_addr.of_string "02:00:00:00:00:01"))
+
+let test_of_int64_masks () =
+  Alcotest.(check mac_t) "48-bit mask" Mac_addr.broadcast
+    (Mac_addr.of_int64 (-1L))
+
+let suite =
+  [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "invalid" `Quick test_invalid;
+    Alcotest.test_case "octets" `Quick test_octets;
+    Alcotest.test_case "octets invalid" `Quick test_octets_invalid;
+    Alcotest.test_case "multicast" `Quick test_multicast;
+    Alcotest.test_case "of_int64 masks to 48 bits" `Quick test_of_int64_masks ]

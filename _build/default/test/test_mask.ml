@@ -1,0 +1,122 @@
+open Pi_classifier
+open Helpers
+
+let gen_mask =
+  let open QCheck2.Gen in
+  let* n = int_range 0 3 in
+  let field_mask =
+    let* i = int_range 0 (Field.count - 1) in
+    let f = Field.of_index i in
+    let* len = int_range 0 (Field.width f) in
+    return (f, len)
+  in
+  let* picks = list_size (return n) field_mask in
+  return (List.fold_left (fun m (f, len) -> Mask.with_prefix m f len) Mask.empty picks)
+
+let test_empty_exact () =
+  Alcotest.(check bool) "empty is empty" true (Mask.is_empty Mask.empty);
+  Alcotest.(check bool) "exact not empty" false (Mask.is_empty Mask.exact);
+  List.iter
+    (fun f ->
+      Alcotest.(check int64) (Field.name f) 0L (Mask.get Mask.empty f))
+    Field.all
+
+let test_with_prefix () =
+  let m = Mask.with_prefix Mask.empty Field.Ip_src 8 in
+  Alcotest.(check int64) "/8 mask" 0xFF000000L (Mask.get m Field.Ip_src);
+  Alcotest.(check (option int)) "prefix_len" (Some 8)
+    (Mask.prefix_len m Field.Ip_src)
+
+let test_with_prefix_invalid () =
+  match Mask.with_prefix Mask.empty Field.Ip_src 33 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "len 33 should raise"
+
+let test_prefix_len_non_contiguous () =
+  let m = Mask.with_field Mask.empty Field.Ip_src 0xFF00FF00L in
+  Alcotest.(check (option int)) "scattered" None (Mask.prefix_len m Field.Ip_src)
+
+let test_fields () =
+  let m = Mask.with_exact (Mask.with_prefix Mask.empty Field.Ip_src 8) Field.Tp_dst in
+  Alcotest.(check (list string)) "fields" [ "ip_src"; "tp_dst" ]
+    (List.map Field.name (Mask.fields m))
+
+let test_apply () =
+  let m = Mask.with_prefix Mask.empty Field.Ip_src 8 in
+  let f = Flow.make ~ip_src:(ip "10.1.2.3") () in
+  Alcotest.(check ipv4_t) "masked" (ip "10.0.0.0") (Flow.ip_src (Mask.apply m f));
+  Alcotest.(check int) "other fields zeroed" 0 (Flow.eth_type (Mask.apply m f))
+
+let test_matches () =
+  let m = Mask.with_prefix Mask.empty Field.Ip_src 8 in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  Alcotest.(check bool) "same /8" true
+    (Mask.matches m ~key (Flow.make ~ip_src:(ip "10.9.9.9") ()));
+  Alcotest.(check bool) "different /8" false
+    (Mask.matches m ~key (Flow.make ~ip_src:(ip "11.0.0.0") ()))
+
+let test_pp () =
+  Alcotest.(check string) "any" "any" (Format.asprintf "%a" Mask.pp Mask.empty);
+  let m = Mask.with_prefix Mask.empty Field.Ip_src 8 in
+  Alcotest.(check string) "prefix form" "ip_src/8" (Format.asprintf "%a" Mask.pp m)
+
+let prop_union_comm =
+  qtest "union commutative" (QCheck2.Gen.pair gen_mask gen_mask)
+    (fun (a, b) -> Mask.equal (Mask.union a b) (Mask.union b a))
+
+let prop_union_subset =
+  qtest "operands subset of union" (QCheck2.Gen.pair gen_mask gen_mask)
+    (fun (a, b) ->
+      let u = Mask.union a b in
+      Mask.is_subset a u && Mask.is_subset b u)
+
+let prop_union_empty_identity =
+  qtest "empty is identity" gen_mask (fun m ->
+      Mask.equal (Mask.union m Mask.empty) m)
+
+let prop_subset_reflexive =
+  qtest "subset reflexive" gen_mask (fun m -> Mask.is_subset m m)
+
+let prop_subset_exact =
+  qtest "everything subset of exact" gen_mask (fun m ->
+      Mask.is_subset m Mask.exact)
+
+let prop_apply_idempotent =
+  qtest "apply idempotent" (QCheck2.Gen.pair gen_mask gen_flow)
+    (fun (m, f) ->
+      Flow.equal (Mask.apply m f) (Mask.apply m (Mask.apply m f)))
+
+let prop_hash_masked =
+  qtest "hash_masked = hash of apply" (QCheck2.Gen.pair gen_mask gen_flow)
+    (fun (m, f) -> Mask.hash_masked m f = Flow.hash (Mask.apply m f))
+
+let prop_equal_masked =
+  qtest "equal_masked = equal of applies"
+    QCheck2.Gen.(triple gen_mask gen_flow gen_flow)
+    (fun (m, a, b) ->
+      Mask.equal_masked m a b = Flow.equal (Mask.apply m a) (Mask.apply m b))
+
+let prop_matches_vs_equal_masked =
+  qtest "matches via equal_masked"
+    QCheck2.Gen.(triple gen_mask gen_flow gen_flow)
+    (fun (m, key, f) ->
+      Mask.matches m ~key f = Mask.equal_masked m key f)
+
+let suite =
+  [ Alcotest.test_case "empty/exact" `Quick test_empty_exact;
+    Alcotest.test_case "with_prefix" `Quick test_with_prefix;
+    Alcotest.test_case "with_prefix invalid" `Quick test_with_prefix_invalid;
+    Alcotest.test_case "prefix_len non-contiguous" `Quick test_prefix_len_non_contiguous;
+    Alcotest.test_case "fields" `Quick test_fields;
+    Alcotest.test_case "apply" `Quick test_apply;
+    Alcotest.test_case "matches" `Quick test_matches;
+    Alcotest.test_case "pp" `Quick test_pp;
+    prop_union_comm;
+    prop_union_subset;
+    prop_union_empty_identity;
+    prop_subset_reflexive;
+    prop_subset_exact;
+    prop_apply_idempotent;
+    prop_hash_masked;
+    prop_equal_masked;
+    prop_matches_vs_equal_masked ]

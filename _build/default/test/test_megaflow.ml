@@ -1,0 +1,185 @@
+open Pi_ovs
+open Pi_classifier
+open Helpers
+
+module Astring_like = Helpers.Astring_like
+
+let src_mask len = Mask.with_prefix Mask.empty Field.Ip_src len
+
+let mk ?config () = Megaflow.create ?config ()
+
+let test_insert_lookup () =
+  let mf = mk () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  let _e =
+    Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0
+      ~now:0.
+  in
+  match Megaflow.lookup mf (Flow.make ~ip_src:(ip "10.9.9.9") ()) ~now:1. ~pkt_len:100 with
+  | Some e, probes ->
+    Alcotest.(check action_t) "action" Action.Drop e.Megaflow.action;
+    Alcotest.(check int) "one probe" 1 probes;
+    Alcotest.(check int) "stats pkts" 1 e.Megaflow.n_packets;
+    Alcotest.(check int) "stats bytes" 100 e.Megaflow.n_bytes
+  | None, _ -> Alcotest.fail "expected hit"
+
+let test_miss_probes_all_masks () =
+  let mf = mk () in
+  for i = 1 to 5 do
+    let key = Flow.make ~ip_src:(Int32.shift_left 1l (32 - i)) () in
+    ignore (Megaflow.insert mf ~key ~mask:(src_mask i) ~action:Action.Drop ~revision:0 ~now:0.)
+  done;
+  match Megaflow.lookup mf (Flow.make ~ip_src:0l ()) ~now:0. ~pkt_len:1 with
+  | None, probes -> Alcotest.(check int) "probed all 5 masks" 5 probes
+  | Some _, _ -> Alcotest.fail "expected miss"
+
+let test_scan_order_is_creation_order () =
+  let mf = mk () in
+  (* Broad mask first, narrower later; a flow matching both masked keys
+     must hit the first-created. *)
+  let k1 = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  ignore (Megaflow.insert mf ~key:k1 ~mask:(src_mask 8) ~action:(Action.Output 1) ~revision:0 ~now:0.);
+  let k2 = Flow.make ~ip_src:(ip "10.0.0.1") () in
+  ignore (Megaflow.insert mf ~key:k2 ~mask:(src_mask 32) ~action:(Action.Output 2) ~revision:0 ~now:0.);
+  match Megaflow.lookup mf (Flow.make ~ip_src:(ip "10.0.0.1") ()) ~now:0. ~pkt_len:1 with
+  | Some e, probes ->
+    Alcotest.(check action_t) "first mask wins" (Action.Output 1) e.Megaflow.action;
+    Alcotest.(check int) "one probe" 1 probes
+  | None, _ -> Alcotest.fail "expected hit"
+
+let test_replace_same_key () =
+  let mf = mk () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:(Action.Output 3) ~revision:0 ~now:0.);
+  Alcotest.(check int) "still one entry" 1 (Megaflow.n_entries mf);
+  match Megaflow.lookup mf key ~now:0. ~pkt_len:1 with
+  | Some e, _ -> Alcotest.(check action_t) "replaced" (Action.Output 3) e.Megaflow.action
+  | None, _ -> Alcotest.fail "expected hit"
+
+let test_idle_expiry () =
+  let mf = mk ~config:{ Megaflow.max_entries = 100; idle_timeout = 10. } () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  Alcotest.(check int) "nothing expires early" 0 (Megaflow.revalidate mf ~now:5. ());
+  Alcotest.(check int) "expires after timeout" 1 (Megaflow.revalidate mf ~now:20. ());
+  Alcotest.(check int) "no entries" 0 (Megaflow.n_entries mf);
+  Alcotest.(check int) "no masks" 0 (Megaflow.n_masks mf)
+
+let test_usage_refreshes_idle () =
+  let mf = mk ~config:{ Megaflow.max_entries = 100; idle_timeout = 10. } () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.lookup mf key ~now:8. ~pkt_len:1);
+  Alcotest.(check int) "refreshed by traffic" 0 (Megaflow.revalidate mf ~now:15. ())
+
+let test_revision_keep () =
+  let mf = mk () in
+  let k1 = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  let k2 = Flow.make ~ip_src:(ip "11.0.0.0") () in
+  ignore (Megaflow.insert mf ~key:k1 ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:k2 ~mask:(src_mask 8) ~action:Action.Drop ~revision:1 ~now:0.);
+  let evicted =
+    Megaflow.revalidate mf ~now:1. ~keep:(fun e -> e.Megaflow.revision = 1) ()
+  in
+  Alcotest.(check int) "stale revision evicted" 1 evicted;
+  Alcotest.(check int) "one left" 1 (Megaflow.n_entries mf)
+
+let test_alive_flag () =
+  let mf = mk () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  let e = Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. in
+  Alcotest.(check bool) "alive" true e.Megaflow.alive;
+  ignore (Megaflow.revalidate mf ~now:100. ());
+  Alcotest.(check bool) "dead after eviction" false e.Megaflow.alive
+
+let test_flow_limit_eviction () =
+  let mf = mk ~config:{ Megaflow.max_entries = 50; idle_timeout = 1e9 } () in
+  for i = 0 to 59 do
+    let key = Flow.make ~ip_src:(Int32.of_int i) () in
+    ignore
+      (Megaflow.insert mf ~key ~mask:(Mask.with_exact Mask.empty Field.Ip_src)
+         ~action:Action.Drop ~revision:0 ~now:(float_of_int i))
+  done;
+  Alcotest.(check bool) "bounded" true (Megaflow.n_entries mf <= 51)
+
+let test_flush () =
+  let mf = mk () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  let e = Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. in
+  Megaflow.flush mf;
+  Alcotest.(check int) "empty" 0 (Megaflow.n_entries mf);
+  Alcotest.(check int) "no masks" 0 (Megaflow.n_masks mf);
+  Alcotest.(check bool) "entries dead" false e.Megaflow.alive
+
+let test_counters () =
+  let mf = mk () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.lookup mf key ~now:0. ~pkt_len:1);
+  ignore (Megaflow.lookup mf (Flow.make ~ip_src:(ip "99.0.0.1") ()) ~now:0. ~pkt_len:1);
+  Alcotest.(check int) "hits" 1 (Megaflow.hits mf);
+  Alcotest.(check int) "misses" 1 (Megaflow.misses mf);
+  Alcotest.(check int) "probes accumulated" 2 (Megaflow.total_probes mf);
+  Megaflow.reset_stats mf;
+  Alcotest.(check int) "reset" 0 (Megaflow.hits mf)
+
+let test_masks_listing () =
+  let mf = mk () in
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 16) ~action:Action.Drop ~revision:0 ~now:0.);
+  Alcotest.(check (list mask_t)) "creation order" [ src_mask 8; src_mask 16 ]
+    (Megaflow.masks mf)
+
+let test_pp_entry () =
+  let mf = mk () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  let e = Megaflow.insert mf ~key ~mask:(src_mask 9) ~action:Action.Drop ~revision:0 ~now:0. in
+  ignore (Megaflow.lookup mf key ~now:4.2 ~pkt_len:100);
+  let s = Format.asprintf "%a" Megaflow.pp_entry e in
+  Alcotest.(check bool) "prefix rendered" true
+    (Astring_like.contains s "ip_src=10.0.0.0/9");
+  Alcotest.(check bool) "stats rendered" true
+    (Astring_like.contains s "packets:1");
+  Alcotest.(check bool) "action rendered" true
+    (Astring_like.contains s "actions:drop")
+
+let test_pp_entry_match_any () =
+  let mf = mk () in
+  let e =
+    Megaflow.insert mf ~key:Flow.zero ~mask:Mask.empty ~action:(Action.Output 3)
+      ~revision:0 ~now:0.
+  in
+  let s = Format.asprintf "%a" Megaflow.pp_entry e in
+  Alcotest.(check bool) "wildcard-all rendered" true
+    (Astring_like.contains s "match=any")
+
+let test_dump_limit () =
+  let mf = mk () in
+  for i = 1 to 10 do
+    ignore
+      (Megaflow.insert mf ~key:(Flow.make ~ip_src:(Int32.of_int i) ())
+         ~mask:(Mask.with_exact Mask.empty Field.Ip_src) ~action:Action.Drop
+         ~revision:0 ~now:0.)
+  done;
+  let s = Format.asprintf "%a" (fun ppf () -> Megaflow.dump ~max:3 ppf mf) () in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "truncation notice" true
+    (List.exists (fun l -> Astring_like.contains l "7 more") lines)
+
+let suite =
+  [ Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+    Alcotest.test_case "miss probes all masks" `Quick test_miss_probes_all_masks;
+    Alcotest.test_case "scan order = creation order" `Quick test_scan_order_is_creation_order;
+    Alcotest.test_case "replace same key" `Quick test_replace_same_key;
+    Alcotest.test_case "idle expiry" `Quick test_idle_expiry;
+    Alcotest.test_case "usage refreshes idle" `Quick test_usage_refreshes_idle;
+    Alcotest.test_case "revision keep" `Quick test_revision_keep;
+    Alcotest.test_case "alive flag" `Quick test_alive_flag;
+    Alcotest.test_case "flow limit eviction" `Quick test_flow_limit_eviction;
+    Alcotest.test_case "flush" `Quick test_flush;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "masks listing" `Quick test_masks_listing;
+    Alcotest.test_case "pp_entry" `Quick test_pp_entry;
+    Alcotest.test_case "pp_entry wildcard-all" `Quick test_pp_entry_match_any;
+    Alcotest.test_case "dump limit" `Quick test_dump_limit ]

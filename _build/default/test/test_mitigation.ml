@@ -1,0 +1,265 @@
+open Pi_mitigation
+open Pi_classifier
+open Helpers
+
+(* --- Heuristics --- *)
+
+let test_round_up_prefix () =
+  let m = Mask.with_prefix Mask.empty Field.Ip_src 13 in
+  let m' = Heuristics.round_up_prefix ~granularity:8 m in
+  Alcotest.(check (option int)) "13 -> 16" (Some 16)
+    (Mask.prefix_len m' Field.Ip_src)
+
+let test_round_up_capped_at_width () =
+  let m = Mask.with_prefix Mask.empty Field.Tp_dst 15 in
+  let m' = Heuristics.round_up_prefix ~granularity:8 m in
+  Alcotest.(check (option int)) "15 -> 16 (width)" (Some 16)
+    (Mask.prefix_len m' Field.Tp_dst)
+
+let test_round_up_leaves_scattered () =
+  let m = Mask.with_field Mask.empty Field.Ip_src 0xFF00FF00L in
+  let m' = Heuristics.round_up_prefix ~granularity:8 m in
+  Alcotest.(check int64) "scattered untouched" 0xFF00FF00L
+    (Mask.get m' Field.Ip_src)
+
+let test_round_up_soundness () =
+  (* Narrowing only: the result must be a superset of the input bits. *)
+  let m =
+    Mask.with_prefix (Mask.with_prefix Mask.empty Field.Ip_src 5) Field.Tp_dst 3
+  in
+  Alcotest.(check bool) "superset" true
+    (Mask.is_subset m (Heuristics.round_up_prefix ~granularity:8 m))
+
+let test_exact_fields () =
+  let m = Mask.with_prefix Mask.empty Field.Ip_src 3 in
+  let m' = Heuristics.exact_fields ~fields:[ Field.Ip_src; Field.Tp_dst ] m in
+  Alcotest.(check (option int)) "touched field forced exact" (Some 32)
+    (Mask.prefix_len m' Field.Ip_src);
+  Alcotest.(check int64) "untouched field stays wildcarded" 0L
+    (Mask.get m' Field.Tp_dst)
+
+let test_max_masks_per_field () =
+  Alcotest.(check int) "32/8" 5 (Heuristics.max_masks_per_field 32 ~granularity:8);
+  Alcotest.(check int) "16/8" 3 (Heuristics.max_masks_per_field 16 ~granularity:8);
+  Alcotest.(check int) "32/1" 33 (Heuristics.max_masks_per_field 32 ~granularity:1)
+
+(* Attack under the coarsening mitigation: the 512-mask variant must be
+   bounded by the rounded combinations. *)
+let attack_masks ~config =
+  let open Policy_injection in
+  let spec =
+    Policy_gen.default_spec ~variant:Variant.Src_dport
+      ~allow_src:(ip "10.0.0.10") ()
+  in
+  let dp = Pi_ovs.Datapath.create ~config (Pi_pkt.Prng.create 5L) () in
+  Pi_ovs.Datapath.install_rules dp
+    (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2)
+       (Policy_gen.acl spec));
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  List.iter
+    (fun f -> ignore (Pi_ovs.Datapath.process dp ~now:0. f ~pkt_len:100))
+    (Packet_gen.flows gen);
+  Pi_ovs.Datapath.n_masks dp
+
+let test_coarsening_bounds_attack () =
+  let config =
+    { Pi_ovs.Datapath.default_config with
+      Pi_ovs.Datapath.megaflow_transform =
+        Some (Heuristics.round_up_prefix ~granularity:8) }
+  in
+  let n = attack_masks ~config in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded by 4*2 combinations (got %d)" n)
+    true (n <= 16);
+  (* Sanity: without the mitigation the same drive yields 512+. *)
+  let n0 = attack_masks ~config:Pi_ovs.Datapath.default_config in
+  Alcotest.(check bool) "unmitigated explodes" true (n0 >= 512)
+
+let test_mask_limit_bounds_attack () =
+  let config =
+    { Pi_ovs.Datapath.default_config with Pi_ovs.Datapath.mask_limit = Some 32 }
+  in
+  let n = attack_masks ~config in
+  Alcotest.(check bool) (Printf.sprintf "capped (got %d)" n) true (n <= 33)
+
+(* --- Cacheless baseline --- *)
+
+let test_cacheless_verdicts () =
+  let c = Cacheless.create () in
+  Cacheless.install_rules c
+    [ Rule.make ~priority:100
+        ~pattern:(Pattern.with_ip_src Pattern.any (pfx "10.0.0.0/8"))
+        ~action:(Pi_ovs.Action.Output 1) ();
+      Rule.make ~priority:1 ~pattern:Pattern.any ~action:Pi_ovs.Action.Drop () ];
+  let a, _ = Cacheless.process c (Flow.make ~ip_src:(ip "10.1.1.1") ()) ~pkt_len:100 in
+  let d, _ = Cacheless.process c (Flow.make ~ip_src:(ip "11.1.1.1") ()) ~pkt_len:100 in
+  Alcotest.(check action_t) "allowed" (Pi_ovs.Action.Output 1) a;
+  Alcotest.(check action_t) "denied" Pi_ovs.Action.Drop d;
+  Alcotest.(check int) "counted" 2 (Cacheless.n_processed c)
+
+let test_cacheless_attack_independent () =
+  (* The defining property: adversarial traffic cannot change the
+     per-packet cost, because there is no cache state to poison. *)
+  let open Policy_injection in
+  let spec =
+    Policy_gen.default_spec ~variant:Variant.Src_dport
+      ~allow_src:(ip "10.0.0.10") ()
+  in
+  let c = Cacheless.create () in
+  Cacheless.install_rules c
+    (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2)
+       (Policy_gen.acl spec));
+  let victim = Flow.make ~ip_src:(ip "10.0.0.10") ~ip_proto:17 ~tp_src:53 ~tp_dst:80 () in
+  let _, before = Cacheless.process c victim ~pkt_len:100 in
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  List.iter
+    (fun f -> ignore (Cacheless.process c f ~pkt_len:100))
+    (Packet_gen.flows gen);
+  let _, after = Cacheless.process c victim ~pkt_len:100 in
+  Alcotest.(check int) "probe count unchanged by the attack"
+    before.Pi_ovs.Cost_model.mf_probes after.Pi_ovs.Cost_model.mf_probes;
+  Alcotest.(check int) "subtables bounded by rule masks" 2
+    (Cacheless.n_subtables c)
+
+let test_cacheless_remove () =
+  let c = Cacheless.create () in
+  Cacheless.install_rules c
+    [ Rule.make ~pattern:Pattern.any ~action:Pi_ovs.Action.Drop () ];
+  Alcotest.(check int) "removed" 1 (Cacheless.remove_rules c (fun _ -> true));
+  let a, _ = Cacheless.process c (Flow.make ()) ~pkt_len:10 in
+  Alcotest.(check action_t) "default drop on empty" Pi_ovs.Action.Drop a
+
+let test_cacheless_dtree_engine () =
+  let open Policy_injection in
+  let spec =
+    Policy_gen.default_spec ~variant:Variant.Src_dport
+      ~allow_src:(ip "10.0.0.10") ()
+  in
+  let rules =
+    Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2) (Policy_gen.acl spec)
+  in
+  let c = Cacheless.create ~engine:(Cacheless.Dtree_engine 2) () in
+  Cacheless.install_rules c rules;
+  (* Verdicts match the reference semantics... *)
+  let acl = Policy_gen.acl spec in
+  let rng = Pi_pkt.Prng.create 12L in
+  for _ = 1 to 200 do
+    let f =
+      Flow.make ~ip_src:(Pi_pkt.Prng.int32 rng) ~ip_proto:17
+        ~tp_src:(Pi_pkt.Prng.int rng 65536) ~tp_dst:(Pi_pkt.Prng.int rng 65536) ()
+    in
+    let expected =
+      match Pi_cms.Acl.eval acl (Pi_cms.Acl.five_tuple_of_flow f) with
+      | Pi_cms.Acl.Allow -> Pi_ovs.Action.Output 2
+      | Pi_cms.Acl.Deny -> Pi_ovs.Action.Drop
+    in
+    let got, _ = Cacheless.process c f ~pkt_len:100 in
+    if not (Pi_ovs.Action.equal got expected) then
+      Alcotest.fail "dtree engine diverged from ACL semantics"
+  done;
+  (* ...and the attack still cannot move the cost. *)
+  let victim =
+    Flow.make ~ip_src:(ip "10.0.0.10") ~ip_proto:17 ~tp_src:53 ~tp_dst:80 ()
+  in
+  let _, before = Cacheless.process c victim ~pkt_len:100 in
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  List.iter (fun f -> ignore (Cacheless.process c f ~pkt_len:100))
+    (Packet_gen.flows gen);
+  let _, after = Cacheless.process c victim ~pkt_len:100 in
+  Alcotest.(check int) "work unchanged by the attack"
+    before.Pi_ovs.Cost_model.mf_probes after.Pi_ovs.Cost_model.mf_probes
+
+let test_cacheless_dtree_remove_recompiles () =
+  let c = Cacheless.create ~engine:(Cacheless.Dtree_engine 2) () in
+  Cacheless.install_rules c
+    [ Rule.make ~priority:5 ~pattern:(Pattern.with_tp_dst Pattern.any 80)
+        ~action:(Pi_ovs.Action.Output 1) ();
+      Rule.make ~priority:1 ~pattern:Pattern.any ~action:Pi_ovs.Action.Drop () ];
+  let f = Flow.make ~tp_dst:80 () in
+  let a1, _ = Cacheless.process c f ~pkt_len:10 in
+  Alcotest.(check action_t) "allowed" (Pi_ovs.Action.Output 1) a1;
+  Alcotest.(check int) "one removed" 1
+    (Cacheless.remove_rules c (fun r -> r.Rule.priority = 5));
+  let a2, _ = Cacheless.process c f ~pkt_len:10 in
+  Alcotest.(check action_t) "recompiled: now denied" Pi_ovs.Action.Drop a2
+
+(* --- Detector --- *)
+
+let test_detector_mask_threshold () =
+  let d = Detector.create ~mask_threshold:100 () in
+  Alcotest.(check bool) "quiet below" true
+    (Detector.observe d ~now:1. ~n_masks:50 ~avg_probes:2. = None);
+  Alcotest.(check bool) "alarms above" true
+    (Detector.observe d ~now:2. ~n_masks:150 ~avg_probes:2. <> None);
+  Alcotest.(check bool) "triggered" true (Detector.triggered d)
+
+let test_detector_burst () =
+  let d = Detector.create ~mask_threshold:10_000 ~growth_threshold:64 () in
+  ignore (Detector.observe d ~now:1. ~n_masks:10 ~avg_probes:2.);
+  match Detector.observe d ~now:2. ~n_masks:500 ~avg_probes:2. with
+  | Some a -> Alcotest.(check bool) "burst reason" true
+                (String.length a.Detector.reason > 0)
+  | None -> Alcotest.fail "burst not detected"
+
+let test_detector_probes () =
+  let d = Detector.create ~mask_threshold:10_000 ~growth_threshold:10_000 ~probes_threshold:32. () in
+  Alcotest.(check bool) "probes alarm" true
+    (Detector.observe d ~now:1. ~n_masks:10 ~avg_probes:100. <> None)
+
+let test_detector_suspect_masks () =
+  (* Drive a real attack, then ask the detector who did it. *)
+  let open Policy_injection in
+  let spec =
+    Policy_gen.default_spec ~variant:Variant.Src_only
+      ~allow_src:(ip "10.0.0.10") ()
+  in
+  let dp = Pi_ovs.Datapath.create (Pi_pkt.Prng.create 6L) () in
+  Pi_ovs.Datapath.install_rules dp
+    (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2)
+       (Policy_gen.acl spec));
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  List.iter
+    (fun f -> ignore (Pi_ovs.Datapath.process dp ~now:0. f ~pkt_len:100))
+    (Packet_gen.flows gen);
+  (* Busy benign flow: many packets through one megaflow. *)
+  let benign = Flow.make ~ip_src:(ip "10.0.0.10") () in
+  for _ = 1 to 200 do
+    ignore (Pi_ovs.Datapath.process dp ~now:0. benign ~pkt_len:100)
+  done;
+  let suspects = Detector.suspect_masks (Pi_ovs.Datapath.megaflow dp) in
+  Alcotest.(check bool)
+    (Printf.sprintf "most attack masks flagged (got %d)" (List.length suspects))
+    true
+    (List.length suspects >= 30);
+  (* The busy allow megaflow must not be flagged. *)
+  (* The allow-side megaflow is the one that pins eth_type as well as
+     the whole source (a depth-32 deny megaflow pins only ip_src). *)
+  let allow_mask =
+    List.find
+      (fun m ->
+        Mask.prefix_len m Field.Ip_src = Some 32
+        && not (Int64.equal (Mask.get m Field.Eth_type) 0L))
+      (Pi_ovs.Megaflow.masks (Pi_ovs.Datapath.megaflow dp))
+  in
+  Alcotest.(check bool) "benign mask not flagged" false
+    (List.exists (Mask.equal allow_mask) suspects)
+
+let suite =
+  [ Alcotest.test_case "round_up_prefix" `Quick test_round_up_prefix;
+    Alcotest.test_case "round up capped at width" `Quick test_round_up_capped_at_width;
+    Alcotest.test_case "scattered masks untouched" `Quick test_round_up_leaves_scattered;
+    Alcotest.test_case "rounding is narrowing" `Quick test_round_up_soundness;
+    Alcotest.test_case "exact_fields" `Quick test_exact_fields;
+    Alcotest.test_case "max_masks_per_field" `Quick test_max_masks_per_field;
+    Alcotest.test_case "coarsening bounds the attack" `Quick test_coarsening_bounds_attack;
+    Alcotest.test_case "mask limit bounds the attack" `Quick test_mask_limit_bounds_attack;
+    Alcotest.test_case "cacheless verdicts" `Quick test_cacheless_verdicts;
+    Alcotest.test_case "cacheless is attack-independent" `Quick test_cacheless_attack_independent;
+    Alcotest.test_case "cacheless remove" `Quick test_cacheless_remove;
+    Alcotest.test_case "cacheless dtree engine" `Quick test_cacheless_dtree_engine;
+    Alcotest.test_case "dtree engine recompiles on remove" `Quick
+      test_cacheless_dtree_remove_recompiles;
+    Alcotest.test_case "detector mask threshold" `Quick test_detector_mask_threshold;
+    Alcotest.test_case "detector burst" `Quick test_detector_burst;
+    Alcotest.test_case "detector probes" `Quick test_detector_probes;
+    Alcotest.test_case "detector suspects the attack masks" `Quick test_detector_suspect_masks ]

@@ -1,0 +1,96 @@
+open Pi_pkt
+open Helpers
+
+let roundtrip name p =
+  Alcotest.test_case name `Quick (fun () ->
+      match Packet.parse (Packet.serialize p) with
+      | Error e -> Alcotest.fail e
+      | Ok p' -> Alcotest.(check packet_t) "roundtrip" p p')
+
+let udp_pkt =
+  Packet.udp ~src:(ip "10.0.0.1") ~dst:(ip "10.1.0.2") ~src_port:5353
+    ~dst_port:53 ~payload_len:32 ()
+
+let tcp_pkt =
+  Packet.tcp ~src:(ip "10.0.0.1") ~dst:(ip "10.1.0.2") ~src_port:43210
+    ~dst_port:443 ~payload_len:100 ~flags:Tcp.flag_syn ()
+
+let icmp_pkt = Packet.icmp_echo ~src:(ip "10.0.0.1") ~dst:(ip "10.1.0.2") ()
+
+let vlan_pkt =
+  let p = udp_pkt in
+  { p with Packet.vlan = Some 42 }
+
+let test_size () =
+  Alcotest.(check int) "udp size"
+    (Ethernet.size + Ipv4.size + Udp.size + 32)
+    (Packet.size udp_pkt);
+  Alcotest.(check int) "vlan adds 4" (Packet.size udp_pkt + 4) (Packet.size vlan_pkt)
+
+let test_serialized_length () =
+  Alcotest.(check int) "bytes = size" (Packet.size tcp_pkt)
+    (Bytes.length (Packet.serialize tcp_pkt))
+
+let test_vlan_tag_on_wire () =
+  let buf = Packet.serialize vlan_pkt in
+  let tpid = (Char.code (Bytes.get buf 12) lsl 8) lor Char.code (Bytes.get buf 13) in
+  Alcotest.(check int) "TPID 0x8100" Ethernet.ethertype_vlan tpid;
+  let vid = (Char.code (Bytes.get buf 14) lsl 8) lor Char.code (Bytes.get buf 15) in
+  Alcotest.(check int) "vid" 42 (vid land 0xFFF)
+
+let test_parse_garbage () =
+  match Packet.parse (Bytes.make 5 'x') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+let test_parse_non_ip () =
+  let eth =
+    Ethernet.
+      { dst = Mac_addr.broadcast;
+        src = Mac_addr.of_string "02:00:00:00:00:01";
+        ethertype = Ethernet.ethertype_arp }
+  in
+  let p =
+    Packet.make ~eth ~l3:(Packet.Other_l3 (Bytes.make 28 '\000')) ()
+  in
+  match Packet.parse (Packet.serialize p) with
+  | Error e -> Alcotest.fail e
+  | Ok p' -> Alcotest.(check packet_t) "arp roundtrip" p p'
+
+let test_corrupted_rejected () =
+  let buf = Packet.serialize udp_pkt in
+  Bytes.set buf (Ethernet.size + 2) '\xFF';  (* total length field *)
+  match Packet.parse buf with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted packet accepted"
+
+let prop_roundtrip =
+  qtest ~count:100 "random packets roundtrip"
+    QCheck2.Gen.(
+      let* src = Helpers.gen_ipv4 in
+      let* dst = Helpers.gen_ipv4 in
+      let* sp = Helpers.gen_port in
+      let* dp = Helpers.gen_port in
+      let* len = int_range 0 200 in
+      let* tcp = bool in
+      return
+        (if tcp then
+           Packet.tcp ~src ~dst ~src_port:sp ~dst_port:dp ~payload_len:len ()
+         else Packet.udp ~src ~dst ~src_port:sp ~dst_port:dp ~payload_len:len ()))
+    (fun p ->
+      match Packet.parse (Packet.serialize p) with
+      | Ok p' -> Packet.equal p p'
+      | Error _ -> false)
+
+let suite =
+  [ roundtrip "udp roundtrip" udp_pkt;
+    roundtrip "tcp roundtrip" tcp_pkt;
+    roundtrip "icmp roundtrip" icmp_pkt;
+    roundtrip "vlan roundtrip" vlan_pkt;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "serialized length" `Quick test_serialized_length;
+    Alcotest.test_case "vlan tag on wire" `Quick test_vlan_tag_on_wire;
+    Alcotest.test_case "garbage rejected" `Quick test_parse_garbage;
+    Alcotest.test_case "non-ip ethertype" `Quick test_parse_non_ip;
+    Alcotest.test_case "corruption rejected" `Quick test_corrupted_rejected;
+    prop_roundtrip ]

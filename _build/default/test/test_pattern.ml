@@ -1,0 +1,98 @@
+open Pi_classifier
+open Helpers
+
+let test_any_matches_everything () =
+  Alcotest.(check bool) "any" true (Pattern.matches Pattern.any (Flow.make ()));
+  Alcotest.(check bool) "any 2" true
+    (Pattern.matches Pattern.any
+       (Flow.make ~ip_src:(ip "200.1.2.3") ~tp_dst:9999 ()))
+
+let test_exact_constraint () =
+  let p = Pattern.with_tp_dst Pattern.any 80 in
+  Alcotest.(check bool) "matches 80" true
+    (Pattern.matches p (Flow.make ~tp_dst:80 ()));
+  Alcotest.(check bool) "rejects 81" false
+    (Pattern.matches p (Flow.make ~tp_dst:81 ()))
+
+let test_prefix_constraint () =
+  let p = Pattern.with_ip_src Pattern.any (pfx "10.0.0.0/8") in
+  Alcotest.(check bool) "matches 10.x" true
+    (Pattern.matches p (Flow.make ~ip_src:(ip "10.200.3.4") ()));
+  Alcotest.(check bool) "rejects 11.x" false
+    (Pattern.matches p (Flow.make ~ip_src:(ip "11.0.0.1") ()))
+
+let test_key_normalised () =
+  (* Host bits outside the prefix must be cleared in the key. *)
+  let p = Pattern.with_ip_src Pattern.any (pfx "10.1.2.3/8") in
+  Alcotest.(check ipv4_t) "normalised" (ip "10.0.0.0")
+    (Flow.ip_src p.Pattern.key)
+
+let test_constraint_override () =
+  let p = Pattern.with_tp_dst (Pattern.with_tp_dst Pattern.any 80) 443 in
+  Alcotest.(check bool) "last write wins" true
+    (Pattern.matches p (Flow.make ~tp_dst:443 ()));
+  Alcotest.(check bool) "old constraint gone" false
+    (Pattern.matches p (Flow.make ~tp_dst:80 ()))
+
+let test_is_exact_match () =
+  Alcotest.(check bool) "any not exact" false (Pattern.is_exact_match Pattern.any);
+  let all_exact =
+    List.fold_left
+      (fun p f -> Pattern.with_exact p f 0L)
+      Pattern.any Field.all
+  in
+  Alcotest.(check bool) "fully pinned" true (Pattern.is_exact_match all_exact)
+
+let test_overlaps () =
+  let a = Pattern.with_ip_src Pattern.any (pfx "10.0.0.0/8") in
+  let b = Pattern.with_ip_src Pattern.any (pfx "10.1.0.0/16") in
+  let c = Pattern.with_ip_src Pattern.any (pfx "11.0.0.0/8") in
+  Alcotest.(check bool) "nested overlap" true (Pattern.overlaps a b);
+  Alcotest.(check bool) "disjoint" false (Pattern.overlaps a c);
+  let d = Pattern.with_tp_dst Pattern.any 80 in
+  Alcotest.(check bool) "different fields overlap" true (Pattern.overlaps a d)
+
+let test_subsumes () =
+  let a = Pattern.with_ip_src Pattern.any (pfx "10.0.0.0/8") in
+  let b = Pattern.with_ip_src Pattern.any (pfx "10.1.0.0/16") in
+  Alcotest.(check bool) "/8 subsumes /16" true (Pattern.subsumes a b);
+  Alcotest.(check bool) "/16 does not subsume /8" false (Pattern.subsumes b a);
+  Alcotest.(check bool) "any subsumes all" true (Pattern.subsumes Pattern.any a)
+
+let prop_matches_def =
+  qtest "matches = masked equality"
+    QCheck2.Gen.(pair gen_small_pattern gen_small_flow)
+    (fun (p, f) ->
+      Pattern.matches p f
+      = Flow.equal (Mask.apply p.Pattern.mask f)
+          (Mask.apply p.Pattern.mask p.Pattern.key))
+
+let prop_subsumes_sound =
+  qtest "subsumes implies matches"
+    QCheck2.Gen.(triple gen_small_pattern gen_small_pattern gen_small_flow)
+    (fun (a, b, f) ->
+      (not (Pattern.subsumes a b && Pattern.matches b f)) || Pattern.matches a f)
+
+let prop_overlap_witness =
+  qtest "matching flow witnesses overlap"
+    QCheck2.Gen.(triple gen_small_pattern gen_small_pattern gen_small_flow)
+    (fun (a, b, f) ->
+      (not (Pattern.matches a f && Pattern.matches b f)) || Pattern.overlaps a b)
+
+let prop_key_matches_itself =
+  qtest "pattern matches its own key" gen_small_pattern (fun p ->
+      Pattern.matches p p.Pattern.key)
+
+let suite =
+  [ Alcotest.test_case "any matches everything" `Quick test_any_matches_everything;
+    Alcotest.test_case "exact constraint" `Quick test_exact_constraint;
+    Alcotest.test_case "prefix constraint" `Quick test_prefix_constraint;
+    Alcotest.test_case "key normalised" `Quick test_key_normalised;
+    Alcotest.test_case "constraint override" `Quick test_constraint_override;
+    Alcotest.test_case "is_exact_match" `Quick test_is_exact_match;
+    Alcotest.test_case "overlaps" `Quick test_overlaps;
+    Alcotest.test_case "subsumes" `Quick test_subsumes;
+    prop_matches_def;
+    prop_subsumes_sound;
+    prop_overlap_witness;
+    prop_key_matches_itself ]

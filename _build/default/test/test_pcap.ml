@@ -1,0 +1,80 @@
+open Pi_pkt
+open Helpers
+
+let records =
+  [ { Pcap.ts = 1.0; data = Packet.serialize (Packet.udp ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") ~src_port:1 ~dst_port:2 ()) };
+    { Pcap.ts = 1.5; data = Bytes.make 60 '\x2a' };
+    { Pcap.ts = 2.25; data = Bytes.empty } ]
+
+let check_records expected actual =
+  Alcotest.(check int) "count" (List.length expected) (List.length actual);
+  List.iter2
+    (fun (e : Pcap.record) (a : Pcap.record) ->
+      if abs_float (e.Pcap.ts -. a.Pcap.ts) > 1e-5 then
+        Alcotest.failf "timestamp %f <> %f" e.Pcap.ts a.Pcap.ts;
+      Alcotest.(check bytes) "data" e.Pcap.data a.Pcap.data)
+    expected actual
+
+let test_bytes_roundtrip () =
+  match Pcap.of_bytes (Pcap.to_bytes records) with
+  | Error e -> Alcotest.fail e
+  | Ok rs -> check_records records rs
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "pi_test" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pcap.write_file path records;
+      match Pcap.read_file path with
+      | Error e -> Alcotest.fail e
+      | Ok rs -> check_records records rs)
+
+let test_bad_magic () =
+  match Pcap.of_bytes (Bytes.make 24 '\x00') with
+  | Error "pcap: bad magic" -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+
+let test_truncated_header () =
+  match Pcap.of_bytes (Bytes.make 10 '\x00') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated header accepted"
+
+let test_truncated_record () =
+  let buf = Pcap.to_bytes records in
+  let cut = Bytes.sub buf 0 (Bytes.length buf - 3) in
+  match Pcap.of_bytes cut with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated record accepted"
+
+let test_empty_capture () =
+  match Pcap.of_bytes (Pcap.to_bytes []) with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected empty"
+  | Error e -> Alcotest.fail e
+
+let test_of_packets () =
+  let pkts =
+    [ (0.0, Packet.udp ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") ~src_port:1 ~dst_port:2 ());
+      (0.5, Packet.udp ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2") ~src_port:3 ~dst_port:4 ()) ]
+  in
+  let rs = Pcap.of_packets ~start:100. pkts in
+  Alcotest.(check int) "count" 2 (List.length rs);
+  (match rs with
+   | r :: _ ->
+     if abs_float (r.Pcap.ts -. 100.) > 1e-6 then Alcotest.fail "start offset";
+     (* Frames in the capture must parse back into packets. *)
+     (match Packet.parse r.Pcap.data with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+   | [] -> Alcotest.fail "no records")
+
+let suite =
+  [ Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "bad magic" `Quick test_bad_magic;
+    Alcotest.test_case "truncated header" `Quick test_truncated_header;
+    Alcotest.test_case "truncated record" `Quick test_truncated_record;
+    Alcotest.test_case "empty capture" `Quick test_empty_capture;
+    Alcotest.test_case "of_packets" `Quick test_of_packets ]

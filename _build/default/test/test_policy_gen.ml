@@ -1,0 +1,85 @@
+open Policy_injection
+open Pi_cms
+open Helpers
+
+let spec variant =
+  Policy_gen.default_spec ~variant ~allow_src:(ip "10.0.0.10") ()
+
+let ft ?(src = "10.0.0.10") ?(proto = 17) ?(sport = 53) ?(dport = 80) () =
+  { Acl.ft_src = ip src; ft_dst = ip "10.1.0.3"; ft_proto = proto;
+    ft_src_port = sport; ft_dst_port = dport }
+
+let test_acl_two_rules () =
+  (* "by setting only 2 ACL rules": one whitelist entry + default deny. *)
+  let acl = Policy_gen.acl (spec Variant.Src_dport) in
+  Alcotest.(check int) "one explicit rule" 1 (Acl.n_rules acl);
+  Alcotest.(check bool) "default deny" true (acl.Acl.default = Acl.Deny)
+
+let test_acl_semantics_full_variant () =
+  let acl = Policy_gen.acl (spec Variant.Src_sport_dport) in
+  Alcotest.(check bool) "exact tuple allowed" true
+    (Acl.eval acl (ft ()) = Acl.Allow);
+  Alcotest.(check bool) "wrong src denied" true
+    (Acl.eval acl (ft ~src:"10.0.0.11" ()) = Acl.Deny);
+  Alcotest.(check bool) "wrong sport denied" true
+    (Acl.eval acl (ft ~sport:54 ()) = Acl.Deny);
+  Alcotest.(check bool) "wrong dport denied" true
+    (Acl.eval acl (ft ~dport:81 ()) = Acl.Deny)
+
+let test_acl_src_only_ignores_ports () =
+  let acl = Policy_gen.acl (spec Variant.Src_only) in
+  Alcotest.(check bool) "any port from trusted src" true
+    (Acl.eval acl (ft ~sport:1 ~dport:2 ()) = Acl.Allow)
+
+let test_k8s_policy_expressible () =
+  let pol = Policy_gen.k8s_policy (spec Variant.Src_dport) in
+  let acl = K8s_policy.to_acl ~resolve:(fun _ -> []) pol in
+  (* The NetworkPolicy must mean the same thing as the raw ACL. *)
+  let raw = Policy_gen.acl (spec Variant.Src_dport) in
+  List.iter
+    (fun t ->
+      if Acl.eval acl t <> Acl.eval raw t then
+        Alcotest.failf "NetworkPolicy diverges from ACL")
+    [ ft (); ft ~src:"10.0.0.11" (); ft ~dport:81 (); ft ~proto:6 ();
+      ft ~sport:1 () ]
+
+let test_k8s_rejects_sport () =
+  match Policy_gen.k8s_policy (spec Variant.Src_sport_dport) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NetworkPolicy cannot express source ports"
+
+let test_sg_rejects_sport () =
+  match Policy_gen.security_group (spec Variant.Src_sport_dport) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "security groups cannot express source ports"
+
+let test_sg_expressible () =
+  let sg = Policy_gen.security_group (spec Variant.Src_dport) in
+  let acl = Openstack_sg.to_acl Openstack_sg.Ingress sg in
+  Alcotest.(check bool) "allowed tuple" true (Acl.eval acl (ft ()) = Acl.Allow);
+  Alcotest.(check bool) "denied tuple" true
+    (Acl.eval acl (ft ~src:"11.0.0.1" ()) = Acl.Deny)
+
+let test_calico_expresses_all_variants () =
+  List.iter
+    (fun v ->
+      let pol = Policy_gen.calico_policy (spec v) in
+      let acl = Calico_policy.to_acl pol in
+      let raw = Policy_gen.acl (spec v) in
+      List.iter
+        (fun t ->
+          if Acl.eval acl t <> Acl.eval raw t then
+            Alcotest.failf "Calico policy diverges for %s" (Variant.name v))
+        [ ft (); ft ~src:"10.0.0.11" (); ft ~sport:54 (); ft ~dport:81 ();
+          ft ~proto:6 () ])
+    Variant.all
+
+let suite =
+  [ Alcotest.test_case "2-rule ACL" `Quick test_acl_two_rules;
+    Alcotest.test_case "full-variant semantics" `Quick test_acl_semantics_full_variant;
+    Alcotest.test_case "src-only ignores ports" `Quick test_acl_src_only_ignores_ports;
+    Alcotest.test_case "NetworkPolicy expresses src+dport" `Quick test_k8s_policy_expressible;
+    Alcotest.test_case "NetworkPolicy rejects sport" `Quick test_k8s_rejects_sport;
+    Alcotest.test_case "security group rejects sport" `Quick test_sg_rejects_sport;
+    Alcotest.test_case "security group expresses src+dport" `Quick test_sg_expressible;
+    Alcotest.test_case "Calico expresses all variants" `Quick test_calico_expresses_all_variants ]

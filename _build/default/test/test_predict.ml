@@ -1,0 +1,140 @@
+open Policy_injection
+open Pi_classifier
+open Helpers
+
+let test_paper_numbers () =
+  Alcotest.(check int) "src-only: 32" 32 (Predict.variant_masks Variant.Src_only);
+  Alcotest.(check int) "src+dport: 512" 512
+    (Predict.variant_masks Variant.Src_dport);
+  Alcotest.(check int) "+sport: 8192" 8192
+    (Predict.variant_masks Variant.Src_sport_dport)
+
+let test_total_entries () =
+  Alcotest.(check int) "entries = masks + allow" 8193
+    (Predict.total_entries Variant.Src_sport_dport)
+
+let test_field_len () =
+  let trie_fields = [ Field.Ip_src ] in
+  Alcotest.(check int) "tried field contributes prefix lengths" 32
+    (Predict.field_len ~trie_fields Field.Ip_src 32);
+  Alcotest.(check int) "untried field contributes one" 1
+    (Predict.field_len ~trie_fields Field.Tp_dst 16)
+
+let test_short_circuit () =
+  (* Stock-OVS config: tries on IP only → the port contributes nothing. *)
+  Alcotest.(check int) "ovs default caps at 32" 32
+    (Predict.variant_masks ~config:Tss.ovs_default_config Variant.Src_dport);
+  (* All tries but short-circuiting: sum, not product. *)
+  let cfg = { Tss.default_config with Tss.check_all_tries = false } in
+  Alcotest.(check int) "short-circuit sums" (32 + 16)
+    (Predict.variant_masks ~config:cfg Variant.Src_dport);
+  Alcotest.(check int) "short-circuit sums (3 fields)" (32 + 16 + 16)
+    (Predict.variant_masks ~config:cfg Variant.Src_sport_dport)
+
+let test_prefix_whitelist () =
+  (* Whitelisting a /8 only exposes 8 divergence depths (Fig. 2's toy). *)
+  Alcotest.(check int) "/8 gives 8 masks" 8
+    (Predict.deny_masks [ (Field.Ip_src, 8) ])
+
+let test_covert_bandwidth_claim () =
+  (* The paper: 1-2 Mbps suffices for the full 8192-mask attack. *)
+  let bps =
+    Predict.covert_bandwidth_bps ~pkt_len:100 ~refresh_period:5.
+      Variant.Src_sport_dport
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "1-2 Mbps (got %.2f Mbps)" (bps /. 1e6))
+    true
+    (bps >= 1e6 && bps <= 2e6)
+
+let test_covert_bandwidth_invalid () =
+  match
+    Predict.covert_bandwidth_bps ~pkt_len:100 ~refresh_period:0. Variant.Src_only
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero refresh period should raise"
+
+let test_variant_metadata () =
+  Alcotest.(check int) "three variants" 3 (List.length Variant.all);
+  List.iter
+    (fun v ->
+      match Variant.of_name (Variant.name v) with
+      | Some v' when v = v' -> ()
+      | _ -> Alcotest.fail "variant name roundtrip")
+    Variant.all;
+  Alcotest.(check bool) "sport variant needs calico" true
+    (Variant.required_cms Variant.Src_sport_dport = [ Pi_cms.Cloud.Kubernetes_calico ]);
+  Alcotest.(check int) "src-dport works on 3 CMSs" 3
+    (List.length (Variant.required_cms Variant.Src_dport))
+
+let test_prefix_set_depths_single () =
+  (* One exact value: the classic width-many depths. *)
+  Alcotest.(check int) "exact /32" 32
+    (Predict.prefix_set_depths ~width:32 [ (5L, 32) ]);
+  Alcotest.(check int) "one /8" 8
+    (Predict.prefix_set_depths ~width:32 [ (0x0A000000L, 8) ]);
+  Alcotest.(check int) "allow-all leaves nothing" 0
+    (Predict.prefix_set_depths ~width:32 [ (0L, 0) ])
+
+let test_whitelist_masks_multi_field () =
+  Alcotest.(check int) "src exact x dport exact" 512
+    (Predict.whitelist_masks
+       [ (Field.Ip_src, [ (0x0A00000AL, 32) ]);
+         (Field.Tp_dst, [ (80L, 16) ]) ])
+
+(* The generalised predictor against the real switch: for any whitelist
+   of source prefixes, driving one packet per complement prefix must
+   materialise exactly the predicted number of deny masks. *)
+let gen_prefix_set =
+  let open QCheck2.Gen in
+  let gen_prefix =
+    let* len = int_range 1 32 in
+    let* v = map Int32.of_int int in
+    let p = Pi_pkt.Ipv4_addr.Prefix.make v len in
+    return (p, (Int64.logand (Int64.of_int32 p.Pi_pkt.Ipv4_addr.Prefix.base) 0xFFFFFFFFL,
+                len))
+  in
+  list_size (int_range 1 5) gen_prefix
+
+let prop_whitelist_predictor =
+  qtest ~count:100 "whitelist predictor == switch" gen_prefix_set
+    (fun prefixes ->
+      let acl =
+        Pi_cms.Acl.whitelist
+          (List.map (fun (p, _) -> Pi_cms.Acl.entry ~src:p ()) prefixes)
+      in
+      let dp =
+        Pi_ovs.Datapath.create
+          ~config:{ Pi_ovs.Datapath.default_config with Pi_ovs.Datapath.emc_enabled = false }
+          (Pi_pkt.Prng.create 3L) ()
+      in
+      Pi_ovs.Datapath.install_rules dp
+        (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 1) acl);
+      (* One adversarial packet per complement prefix. *)
+      let trie = Trie.create ~width:32 in
+      List.iter
+        (fun (_, (v, len)) ->
+          if not (Trie.mem trie ~value:v ~len) then Trie.insert trie ~value:v ~len)
+        prefixes;
+      List.iter
+        (fun (v, _) ->
+          let f = Flow.make ~ip_src:(Int64.to_int32 v) () in
+          ignore (Pi_ovs.Datapath.process dp ~now:0. f ~pkt_len:64))
+        (Trie.complement trie);
+      let predicted =
+        Predict.whitelist_masks [ (Field.Ip_src, List.map snd prefixes) ]
+      in
+      Pi_ovs.Datapath.n_masks dp = predicted)
+
+let suite =
+  [ Alcotest.test_case "paper mask counts (32/512/8192)" `Quick test_paper_numbers;
+    Alcotest.test_case "total entries" `Quick test_total_entries;
+    Alcotest.test_case "field_len" `Quick test_field_len;
+    Alcotest.test_case "short-circuit prediction" `Quick test_short_circuit;
+    Alcotest.test_case "prefix whitelist" `Quick test_prefix_whitelist;
+    Alcotest.test_case "covert bandwidth is 1-2 Mbps" `Quick test_covert_bandwidth_claim;
+    Alcotest.test_case "invalid refresh period" `Quick test_covert_bandwidth_invalid;
+    Alcotest.test_case "variant metadata" `Quick test_variant_metadata;
+    Alcotest.test_case "prefix_set_depths" `Quick test_prefix_set_depths_single;
+    Alcotest.test_case "whitelist_masks multi-field" `Quick test_whitelist_masks_multi_field;
+    prop_whitelist_predictor ]

@@ -1,0 +1,105 @@
+open Pi_mitigation
+open Pi_classifier
+open Helpers
+
+let test_baseline_freezes () =
+  let p = Probe.create ~baseline_samples:5 () in
+  for _ = 1 to 4 do
+    Probe.observe p 100.
+  done;
+  Alcotest.(check (option (float 1e-6))) "not yet" None (Probe.baseline p);
+  Probe.observe p 100.;
+  (match Probe.baseline p with
+   | Some b -> Alcotest.(check (float 1e-6)) "frozen at ewma" 100. b
+   | None -> Alcotest.fail "baseline missing");
+  Alcotest.(check int) "samples" 5 (Probe.samples p)
+
+let test_degradation () =
+  let p = Probe.create ~alpha:1.0 ~baseline_samples:3 ~degradation_factor:3. () in
+  List.iter (Probe.observe p) [ 100.; 100.; 100. ];
+  Alcotest.(check bool) "healthy" false (Probe.degraded p);
+  Probe.observe p 150.;
+  Alcotest.(check bool) "1.5x is not degraded" false (Probe.degraded p);
+  Probe.observe p 1000.;
+  Alcotest.(check bool) "10x is degraded" true (Probe.degraded p);
+  Alcotest.(check (float 0.1)) "degradation factor" 10. (Probe.degradation p)
+
+let test_ewma_smoothing () =
+  let p = Probe.create ~alpha:0.5 ~baseline_samples:1 () in
+  Probe.observe p 100.;
+  Probe.observe p 200.;
+  Alcotest.(check (float 1e-6)) "smoothed" 150. (Probe.ewma p)
+
+let test_invalid_args () =
+  (match Probe.create ~alpha:0. () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "alpha 0 should raise");
+  (match Probe.create ~degradation_factor:1. () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "factor 1 should raise");
+  match Probe.create ~baseline_samples:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "0 samples should raise"
+
+(* The end-to-end story: a tenant probing its own path detects the
+   co-located policy-injection attack. *)
+let test_detects_attack_end_to_end () =
+  let open Policy_injection in
+  let dp =
+    Pi_ovs.Datapath.create
+      ~config:{ Pi_ovs.Datapath.default_config with Pi_ovs.Datapath.emc_enabled = false }
+      (Pi_pkt.Prng.create 31L) ()
+  in
+  (* Victim's own benign policy. *)
+  Pi_ovs.Datapath.install_rules dp
+    (Pi_cms.Compile.compile
+       ~dst:(Pi_pkt.Ipv4_addr.Prefix.make (ip "10.1.0.2") 32)
+       ~allow:(Pi_ovs.Action.Output 2)
+       (Pi_cms.Acl.whitelist [ Pi_cms.Acl.entry ~src:(pfx "10.0.0.0/8") () ]));
+  let probe_flows =
+    List.init 16 (fun i ->
+        Flow.make ~ip_src:(Pi_pkt.Ipv4_addr.add (ip "10.3.0.1") i)
+          ~ip_dst:(ip "10.1.0.2") ~ip_proto:6 ~tp_src:(30000 + i) ~tp_dst:5001 ())
+  in
+  let p = Probe.create ~baseline_samples:5 () in
+  for i = 1 to 6 do
+    Probe.observe p
+      (Probe.measure_datapath dp ~now:(float_of_int i) probe_flows)
+  done;
+  Alcotest.(check bool) "healthy before attack" false (Probe.degraded p);
+  (* Co-tenant injects the 512-mask policy. *)
+  let spec =
+    Policy_gen.default_spec ~variant:Variant.Src_dport
+      ~allow_src:(ip "10.0.0.10") ()
+  in
+  Pi_ovs.Datapath.install_rules dp
+    (Pi_cms.Compile.compile
+       ~dst:(Pi_pkt.Ipv4_addr.Prefix.make (ip "10.1.0.3") 32)
+       ~allow:(Pi_ovs.Action.Output 3) (Policy_gen.acl spec));
+  ignore (Pi_ovs.Datapath.revalidate dp ~now:7.);
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  List.iter
+    (fun f -> ignore (Pi_ovs.Datapath.process dp ~now:7. f ~pkt_len:100))
+    (Packet_gen.flows gen);
+  for i = 8 to 10 do
+    Probe.observe p
+      (Probe.measure_datapath dp ~now:(float_of_int i) probe_flows)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "degraded after attack (%.1fx)" (Probe.degradation p))
+    true (Probe.degraded p)
+
+let test_measure_requires_flows () =
+  let dp = Pi_ovs.Datapath.create (Pi_pkt.Prng.create 1L) () in
+  match Probe.measure_datapath dp ~now:0. [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty probe set should raise"
+
+let suite =
+  [ Alcotest.test_case "baseline freezes" `Quick test_baseline_freezes;
+    Alcotest.test_case "degradation detection" `Quick test_degradation;
+    Alcotest.test_case "ewma smoothing" `Quick test_ewma_smoothing;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "detects the attack end to end" `Quick
+      test_detects_attack_end_to_end;
+    Alcotest.test_case "measure requires flows" `Quick test_measure_requires_flows ]

@@ -1,0 +1,139 @@
+open Pi_sim
+open Policy_injection
+
+(* Scaled-down scenarios so the suite stays fast; the full Fig. 3
+   parameters run in bench/main.exe. *)
+let small_params ?attack () =
+  { Scenario.default_params with
+    Scenario.duration = 30.;
+    victim_flows = 500;
+    victim_samples_per_tick = 100;
+    attack }
+
+let small_attack variant =
+  { Scenario.default_attack with
+    Scenario.variant;
+    start = 10.;
+    refresh_period = 2.;
+    attacker_exact_per_tick = 32 }
+
+let test_no_attack_baseline () =
+  let r = Scenario.run (small_params ()) in
+  Alcotest.(check (float 1e-6)) "full offered throughput" 1.0
+    r.Scenario.pre_attack_mean_gbps;
+  Alcotest.(check bool)
+    (Printf.sprintf "the usual handful of masks (got %d)" r.Scenario.peak_masks)
+    true
+    (r.Scenario.peak_masks >= 2 && r.Scenario.peak_masks <= 40);
+  List.iter
+    (fun s ->
+      if s.Scenario.loss > 1e-9 then Alcotest.fail "loss without attack")
+    r.Scenario.samples;
+  Alcotest.(check int) "series mirror the samples"
+    (List.length r.Scenario.samples)
+    (Timeseries.length r.Scenario.throughput_series);
+  Alcotest.(check (float 1e-9)) "series mean matches report"
+    r.Scenario.pre_attack_mean_gbps
+    (Timeseries.mean_between r.Scenario.throughput_series ~lo:0. ~hi:1e9)
+
+let test_src_dport_attack () =
+  let r =
+    Scenario.run (small_params ~attack:(small_attack Variant.Src_dport) ())
+  in
+  (* Co-resident services' whitelists perturb the shared tries, so a
+     busy host yields slightly fewer than the clean-room 512 masks. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "masks reach ~512 (got %d)" r.Scenario.peak_masks)
+    true
+    (r.Scenario.peak_masks >= 512 * 85 / 100);
+  (* Victim forwarding cost must have exploded even if the offered load
+     still fits the remaining CPU. *)
+  let cpp_pre =
+    List.filter_map
+      (fun s ->
+        if s.Scenario.time < 10. then Some s.Scenario.victim_cycles_per_pkt
+        else None)
+      r.Scenario.samples
+  and cpp_post =
+    List.filter_map
+      (fun s ->
+        if s.Scenario.time >= 15. then Some s.Scenario.victim_cycles_per_pkt
+        else None)
+      r.Scenario.samples
+  in
+  let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+  Alcotest.(check bool) "per-packet cost grew >5x" true
+    (mean cpp_post > 5. *. mean cpp_pre)
+
+let test_full_attack_collapses () =
+  let r =
+    Scenario.run (small_params ~attack:(small_attack Variant.Src_sport_dport) ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "masks reach ~8192 (got %d)" r.Scenario.peak_masks)
+    true
+    (r.Scenario.peak_masks >= 8192 * 85 / 100);
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput collapses below 20%% (got %.3f)"
+       r.Scenario.post_attack_mean_gbps)
+    true
+    (r.Scenario.post_attack_mean_gbps < 0.2 *. r.Scenario.pre_attack_mean_gbps)
+
+let test_attack_stop_recovers_masks () =
+  let attack =
+    { (small_attack Variant.Src_only) with Scenario.stop = Some 15. }
+  in
+  let r = Scenario.run (small_params ~attack ()) in
+  (* Megaflows idle out within the 10 s timeout after the stream stops. *)
+  match List.rev r.Scenario.samples with
+  | last :: _ ->
+    (* The 32 attack masks idle out; what survives is the victim's own
+       handful of megaflow shapes. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "masks decay after stop (got %d, peak %d)"
+         last.Scenario.n_masks r.Scenario.peak_masks)
+      true
+      (last.Scenario.n_masks * 2 < r.Scenario.peak_masks)
+  | [] -> Alcotest.fail "no samples"
+
+let test_mitigated_scenario () =
+  (* Coarsened un-wildcarding keeps the same attack harmless. *)
+  let dc =
+    { Scenario.default_params.Scenario.datapath_config with
+      Pi_ovs.Datapath.megaflow_transform =
+        Some (Pi_mitigation.Heuristics.round_up_prefix ~granularity:8) }
+  in
+  let p =
+    { (small_params ~attack:(small_attack Variant.Src_sport_dport) ()) with
+      Scenario.datapath_config = dc }
+  in
+  let r = Scenario.run p in
+  Alcotest.(check bool)
+    (Printf.sprintf "masks bounded (got %d)" r.Scenario.peak_masks)
+    true
+    (r.Scenario.peak_masks <= 64);
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput preserved (got %.3f)"
+       r.Scenario.post_attack_mean_gbps)
+    true
+    (r.Scenario.post_attack_mean_gbps > 0.8 *. r.Scenario.pre_attack_mean_gbps)
+
+let test_deterministic () =
+  let p = small_params ~attack:(small_attack Variant.Src_only) () in
+  let a = Scenario.run p and b = Scenario.run p in
+  Alcotest.(check int) "same sample count"
+    (List.length a.Scenario.samples) (List.length b.Scenario.samples);
+  List.iter2
+    (fun (x : Scenario.sample) (y : Scenario.sample) ->
+      if x.Scenario.victim_gbps <> y.Scenario.victim_gbps
+         || x.Scenario.n_masks <> y.Scenario.n_masks then
+        Alcotest.failf "samples diverge at t=%.1f" x.Scenario.time)
+    a.Scenario.samples b.Scenario.samples
+
+let suite =
+  [ Alcotest.test_case "no-attack baseline" `Slow test_no_attack_baseline;
+    Alcotest.test_case "src+dport raises victim cost" `Slow test_src_dport_attack;
+    Alcotest.test_case "full attack collapses victim" `Slow test_full_attack_collapses;
+    Alcotest.test_case "masks decay after attack stops" `Slow test_attack_stop_recovers_masks;
+    Alcotest.test_case "coarsening mitigation holds" `Slow test_mitigated_scenario;
+    Alcotest.test_case "deterministic given the seed" `Slow test_deterministic ]

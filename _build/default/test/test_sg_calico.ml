@@ -1,0 +1,113 @@
+open Pi_cms
+open Helpers
+
+let ft ?(src = "10.0.0.1") ?(proto = 6) ?(sport = 40000) ?(dport = 80) () =
+  { Acl.ft_src = ip src; ft_dst = ip "10.1.0.2"; ft_proto = proto;
+    ft_src_port = sport; ft_dst_port = dport }
+
+(* --- OpenStack security groups --- *)
+
+let sg =
+  Openstack_sg.make ~name:"web"
+    ~rules:
+      [ Openstack_sg.rule ~protocol:Acl.Tcp ~remote_ip_prefix:(pfx "10.0.0.0/8")
+          ~port_range_min:80 ~port_range_max:80 ();
+        Openstack_sg.rule ~protocol:Acl.Tcp ~port_range_min:8000
+          ~port_range_max:8999 ();
+        Openstack_sg.rule ~direction:Openstack_sg.Egress ~protocol:Acl.Udp () ]
+
+let test_sg_ingress () =
+  let acl = Openstack_sg.to_acl Openstack_sg.Ingress sg in
+  Alcotest.(check int) "egress rule excluded" 2 (Acl.n_rules acl);
+  Alcotest.(check bool) "web allowed" true (Acl.eval acl (ft ()) = Acl.Allow);
+  Alcotest.(check bool) "range allowed" true
+    (Acl.eval acl (ft ~src:"99.0.0.1" ~dport:8500 ()) = Acl.Allow);
+  Alcotest.(check bool) "outside denied" true
+    (Acl.eval acl (ft ~src:"11.0.0.1" ~dport:22 ()) = Acl.Deny)
+
+let test_sg_egress () =
+  let acl = Openstack_sg.to_acl Openstack_sg.Egress sg in
+  Alcotest.(check int) "one egress rule" 1 (Acl.n_rules acl);
+  Alcotest.(check bool) "udp out allowed" true
+    (Acl.eval acl (ft ~proto:17 ()) = Acl.Allow);
+  Alcotest.(check bool) "tcp out denied" true
+    (Acl.eval acl (ft ~proto:6 ()) = Acl.Deny)
+
+let test_sg_half_open_range () =
+  let g =
+    Openstack_sg.make ~name:"h"
+      ~rules:[ Openstack_sg.rule ~protocol:Acl.Tcp ~port_range_min:443 () ]
+  in
+  let acl = Openstack_sg.to_acl Openstack_sg.Ingress g in
+  Alcotest.(check bool) "single port" true
+    (Acl.eval acl (ft ~dport:443 ()) = Acl.Allow);
+  Alcotest.(check bool) "other denied" true
+    (Acl.eval acl (ft ~dport:444 ()) = Acl.Deny)
+
+(* --- Calico --- *)
+
+let test_calico_source_ports () =
+  (* The capability the paper needs for the 8192-mask variant. *)
+  let pol =
+    Calico_policy.make ~name:"dns-only" ~selector:"app=web"
+      ~ingress:
+        [ Calico_policy.rule ~protocol:Acl.Udp
+            ~source:{ Calico_policy.nets = [ pfx "10.0.0.10/32" ];
+                      ports = [ Acl.Port 53 ] }
+            () ]
+      ()
+  in
+  let acl = Calico_policy.to_acl pol in
+  Alcotest.(check bool) "right sport allowed" true
+    (Acl.eval acl (ft ~src:"10.0.0.10" ~proto:17 ~sport:53 ()) = Acl.Allow);
+  Alcotest.(check bool) "wrong sport denied" true
+    (Acl.eval acl (ft ~src:"10.0.0.10" ~proto:17 ~sport:54 ()) = Acl.Deny)
+
+let test_calico_explicit_deny () =
+  let pol =
+    Calico_policy.make ~name:"mixed" ~selector:"x"
+      ~ingress:
+        [ Calico_policy.rule ~action:Calico_policy.Deny
+            ~source:{ Calico_policy.nets = [ pfx "10.66.0.0/16" ]; ports = [] }
+            ();
+          Calico_policy.rule
+            ~source:{ Calico_policy.nets = [ pfx "10.0.0.0/8" ]; ports = [] }
+            () ]
+      ()
+  in
+  let acl = Calico_policy.to_acl pol in
+  Alcotest.(check bool) "deny rule first" true
+    (Acl.eval acl (ft ~src:"10.66.1.1" ()) = Acl.Deny);
+  Alcotest.(check bool) "allow after" true
+    (Acl.eval acl (ft ~src:"10.1.1.1" ()) = Acl.Allow)
+
+let test_calico_cross_product () =
+  let pol =
+    Calico_policy.make ~name:"multi" ~selector:"x"
+      ~ingress:
+        [ Calico_policy.rule ~protocol:Acl.Tcp
+            ~source:{ Calico_policy.nets = [ pfx "10.0.0.0/8"; pfx "192.168.0.0/16" ];
+                      ports = [] }
+            ~destination:{ Calico_policy.nets = [];
+                           ports = [ Acl.Port 80; Acl.Port 443 ] }
+            () ]
+      ()
+  in
+  let acl = Calico_policy.to_acl pol in
+  Alcotest.(check int) "2 nets × 2 ports" 4 (Acl.n_rules acl);
+  Alcotest.(check bool) "second net, second port" true
+    (Acl.eval acl (ft ~src:"192.168.1.1" ~dport:443 ()) = Acl.Allow)
+
+let test_calico_default_deny () =
+  let pol = Calico_policy.make ~name:"empty" ~selector:"x" ~ingress:[] () in
+  let acl = Calico_policy.to_acl pol in
+  Alcotest.(check bool) "default deny" true (Acl.eval acl (ft ()) = Acl.Deny)
+
+let suite =
+  [ Alcotest.test_case "sg ingress" `Quick test_sg_ingress;
+    Alcotest.test_case "sg egress" `Quick test_sg_egress;
+    Alcotest.test_case "sg half-open range" `Quick test_sg_half_open_range;
+    Alcotest.test_case "calico source ports" `Quick test_calico_source_ports;
+    Alcotest.test_case "calico explicit deny" `Quick test_calico_explicit_deny;
+    Alcotest.test_case "calico cross product" `Quick test_calico_cross_product;
+    Alcotest.test_case "calico default deny" `Quick test_calico_default_deny ]

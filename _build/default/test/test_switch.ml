@@ -1,0 +1,75 @@
+open Pi_ovs
+open Pi_classifier
+open Helpers
+
+let mk () =
+  let sw = Switch.create ~name:"sw0" (Pi_pkt.Prng.create 4L) () in
+  let up = Switch.add_port sw ~name:"uplink" in
+  let pod = Switch.add_port sw ~name:"pod" in
+  Switch.install_rules sw
+    [ Rule.make ~priority:100
+        ~pattern:(Pattern.with_ip_src Pattern.any (pfx "10.0.0.0/8"))
+        ~action:(Action.Output pod.Switch.id) ();
+      Rule.make ~priority:1 ~pattern:Pattern.any ~action:Action.Drop () ];
+  (sw, up, pod)
+
+let test_port_ids_dense () =
+  let sw, up, pod = mk () in
+  Alcotest.(check int) "uplink id" 1 up.Switch.id;
+  Alcotest.(check int) "pod id" 2 pod.Switch.id;
+  Alcotest.(check int) "two ports" 2 (List.length (Switch.ports sw))
+
+let test_port_by_name () =
+  let sw, _, pod = mk () in
+  (match Switch.port_by_name sw "pod" with
+   | Some p -> Alcotest.(check int) "found" pod.Switch.id p.Switch.id
+   | None -> Alcotest.fail "port not found");
+  Alcotest.(check bool) "missing is None" true (Switch.port_by_name sw "nope" = None)
+
+let test_forwarding_and_stats () =
+  let sw, up, pod = mk () in
+  let pkt =
+    Pi_pkt.Packet.udp ~src:(ip "10.0.0.1") ~dst:(ip "10.1.0.2") ~src_port:1000
+      ~dst_port:80 ()
+  in
+  let action, _ = Switch.process_packet sw ~now:0. ~in_port:up.Switch.id pkt in
+  Alcotest.(check action_t) "forwarded" (Action.Output pod.Switch.id) action;
+  let s_up = Switch.port_stats sw up.Switch.id in
+  let s_pod = Switch.port_stats sw pod.Switch.id in
+  Alcotest.(check int) "rx on uplink" 1 s_up.Switch.rx_packets;
+  Alcotest.(check int) "tx on pod" 1 s_pod.Switch.tx_packets;
+  Alcotest.(check int) "bytes counted" (Pi_pkt.Packet.size pkt) s_pod.Switch.tx_bytes
+
+let test_drop_stats () =
+  let sw, up, _ = mk () in
+  let pkt =
+    Pi_pkt.Packet.udp ~src:(ip "99.0.0.1") ~dst:(ip "10.1.0.2") ~src_port:1
+      ~dst_port:2 ()
+  in
+  let action, _ = Switch.process_packet sw ~now:0. ~in_port:up.Switch.id pkt in
+  Alcotest.(check action_t) "dropped" Action.Drop action;
+  Alcotest.(check int) "drop counted" 1
+    (Switch.port_stats sw up.Switch.id).Switch.dropped
+
+let test_unknown_port_stats () =
+  let sw, _, _ = mk () in
+  match Switch.port_stats sw 99 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_revalidate_passthrough () =
+  let sw, up, _ = mk () in
+  let pkt =
+    Pi_pkt.Packet.udp ~src:(ip "10.0.0.1") ~dst:(ip "10.1.0.2") ~src_port:1
+      ~dst_port:2 ()
+  in
+  ignore (Switch.process_packet sw ~now:0. ~in_port:up.Switch.id pkt);
+  Alcotest.(check int) "idle flow expires" 1 (Switch.revalidate sw ~now:1000.)
+
+let suite =
+  [ Alcotest.test_case "dense port ids" `Quick test_port_ids_dense;
+    Alcotest.test_case "port by name" `Quick test_port_by_name;
+    Alcotest.test_case "forwarding and stats" `Quick test_forwarding_and_stats;
+    Alcotest.test_case "drop stats" `Quick test_drop_stats;
+    Alcotest.test_case "unknown port stats" `Quick test_unknown_port_stats;
+    Alcotest.test_case "revalidate" `Quick test_revalidate_passthrough ]

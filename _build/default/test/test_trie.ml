@@ -1,0 +1,181 @@
+open Pi_classifier
+open Helpers
+
+let test_insert_mem_remove () =
+  let t = Trie.create ~width:8 in
+  Alcotest.(check bool) "empty" true (Trie.is_empty t);
+  Trie.insert t ~value:0x0AL ~len:8;
+  Alcotest.(check bool) "member" true (Trie.mem t ~value:0x0AL ~len:8);
+  Alcotest.(check bool) "other absent" false (Trie.mem t ~value:0x0BL ~len:8);
+  Alcotest.(check bool) "shorter absent" false (Trie.mem t ~value:0x0AL ~len:7);
+  Trie.remove t ~value:0x0AL ~len:8;
+  Alcotest.(check bool) "empty again" true (Trie.is_empty t)
+
+let test_refcount () =
+  let t = Trie.create ~width:8 in
+  Trie.insert t ~value:0x0AL ~len:8;
+  Trie.insert t ~value:0x0AL ~len:8;
+  Alcotest.(check int) "size 2" 2 (Trie.size t);
+  Trie.remove t ~value:0x0AL ~len:8;
+  Alcotest.(check bool) "still member" true (Trie.mem t ~value:0x0AL ~len:8);
+  Trie.remove t ~value:0x0AL ~len:8;
+  Alcotest.(check bool) "gone" false (Trie.mem t ~value:0x0AL ~len:8)
+
+let test_remove_absent () =
+  let t = Trie.create ~width:8 in
+  match Trie.remove t ~value:1L ~len:8 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "removing absent prefix should raise"
+
+(* The paper's Fig. 2 case: an exact 8-bit value 00001010. An
+   adversarial value diverging at bit k (1-indexed) must force exactly k
+   un-wildcarded bits. *)
+let test_fig2_divergence () =
+  let t = Trie.create ~width:8 in
+  Trie.insert t ~value:0b00001010L ~len:8;
+  for k = 1 to 8 do
+    let v = Int64.logxor 0b00001010L (Int64.shift_left 1L (8 - k)) in
+    let r = Trie.lookup t v in
+    Alcotest.(check int) (Printf.sprintf "diverge at bit %d" k) k r.Trie.checked;
+    Alcotest.(check int) "no match" (-1) (Trie.longest_match r)
+  done;
+  let r = Trie.lookup t 0b00001010L in
+  Alcotest.(check int) "exact match checks all" 8 r.Trie.checked;
+  Alcotest.(check int) "match length" 8 (Trie.longest_match r)
+
+let test_plens_multiple () =
+  let t = Trie.create ~width:8 in
+  Trie.insert t ~value:0b10000000L ~len:1;   (* 1/1 *)
+  Trie.insert t ~value:0b10100000L ~len:3;   (* 101/3 *)
+  let r = Trie.lookup t 0b10100001L in
+  Alcotest.(check bool) "len1 matches" true r.Trie.plens.(1);
+  Alcotest.(check bool) "len2 no" false r.Trie.plens.(2);
+  Alcotest.(check bool) "len3 matches" true r.Trie.plens.(3);
+  Alcotest.(check int) "longest" 3 (Trie.longest_match r)
+
+let test_root_prefix () =
+  let t = Trie.create ~width:8 in
+  Trie.insert t ~value:0L ~len:0;
+  let r = Trie.lookup t 0xFFL in
+  Alcotest.(check bool) "/0 covers all" true r.Trie.plens.(0);
+  Alcotest.(check int) "longest 0" 0 (Trie.longest_match r)
+
+(* Fig. 2b verbatim: complement of {00001010} over 8 bits. *)
+let test_fig2b_complement () =
+  let t = Trie.create ~width:8 in
+  Trie.insert t ~value:0b00001010L ~len:8;
+  let expected =
+    [ (0b10000000L, 1);
+      (0b01000000L, 2);
+      (0b00100000L, 3);
+      (0b00010000L, 4);
+      (0b00000000L, 5);
+      (0b00001100L, 6);
+      (0b00001000L, 7);
+      (0b00001011L, 8) ]
+  in
+  Alcotest.(check (list (pair int64 int))) "Fig. 2b deny rows" expected
+    (Trie.complement t)
+
+let test_complement_empty () =
+  let t = Trie.create ~width:8 in
+  Alcotest.(check (list (pair int64 int))) "everything" [ (0L, 0) ]
+    (Trie.complement t)
+
+let test_complement_full () =
+  let t = Trie.create ~width:8 in
+  Trie.insert t ~value:0L ~len:0;
+  Alcotest.(check (list (pair int64 int))) "nothing" [] (Trie.complement t)
+
+let covers prefixes v =
+  List.exists
+    (fun (p, len) ->
+      len = 0
+      || Int64.equal
+           (Int64.shift_right_logical p (8 - len))
+           (Int64.shift_right_logical v (8 - len)))
+    prefixes
+
+(* Exhaustive at 8 bits: complement ∪ stored = everything, disjointly. *)
+let test_complement_partition_exhaustive () =
+  let rng = Pi_pkt.Prng.create 123L in
+  for _ = 1 to 50 do
+    let t = Trie.create ~width:8 in
+    let stored = ref [] in
+    let n = 1 + Pi_pkt.Prng.int rng 4 in
+    for _ = 1 to n do
+      let len = Pi_pkt.Prng.int rng 9 in
+      let v =
+        Int64.of_int
+          (Pi_pkt.Prng.int rng 256 land (0xFF lsl (8 - len)) land 0xFF)
+      in
+      Trie.insert t ~value:v ~len;
+      stored := (v, len) :: !stored
+    done;
+    let comp = Trie.complement t in
+    for x = 0 to 255 do
+      let v = Int64.of_int x in
+      let in_stored = covers !stored v in
+      let in_comp = covers comp v in
+      if in_stored && in_comp then
+        Alcotest.failf "value %d covered by both" x;
+      if (not in_stored) && not in_comp then
+        Alcotest.failf "value %d covered by neither" x
+    done
+  done
+
+let test_complement_count_exact_value () =
+  (* An exact w-bit value's complement needs exactly w prefixes — the
+     count the whole attack scales with. *)
+  List.iter
+    (fun w ->
+      let t = Trie.create ~width:w in
+      Trie.insert t ~value:5L ~len:w;
+      Alcotest.(check int)
+        (Printf.sprintf "width %d" w)
+        w
+        (List.length (Trie.complement t)))
+    [ 4; 8; 16; 32 ]
+
+let prop_lookup_checked_sound =
+  (* Any value sharing the checked bits yields the same longest match. *)
+  qtest ~count:500 "checked bits pin the lookup result"
+    QCheck2.Gen.(
+      let* vals = list_size (int_range 1 5) (int_range 0 255) in
+      let* probe = int_range 0 255 in
+      let* other = int_range 0 255 in
+      return (vals, probe, other))
+    (fun (vals, probe, other) ->
+      let t = Trie.create ~width:8 in
+      List.iter (fun v -> Trie.insert t ~value:(Int64.of_int v) ~len:8) vals;
+      let r = Trie.lookup t (Int64.of_int probe) in
+      let c = r.Trie.checked in
+      let mask = if c = 0 then 0 else 0xFF lsl (8 - c) land 0xFF in
+      let other = (other land lnot mask) lor (probe land mask) in
+      let r' = Trie.lookup t (Int64.of_int other) in
+      Trie.longest_match r = Trie.longest_match r')
+
+let test_prefixes_listing () =
+  let t = Trie.create ~width:8 in
+  Trie.insert t ~value:0b11000000L ~len:2;
+  Trie.insert t ~value:0b00001010L ~len:8;
+  Alcotest.(check (list (pair int64 int))) "sorted prefixes"
+    [ (0b11000000L, 2); (0b00001010L, 8) ]
+    (Trie.prefixes t)
+
+let suite =
+  [ Alcotest.test_case "insert/mem/remove" `Quick test_insert_mem_remove;
+    Alcotest.test_case "refcount" `Quick test_refcount;
+    Alcotest.test_case "remove absent" `Quick test_remove_absent;
+    Alcotest.test_case "Fig.2 divergence depths" `Quick test_fig2_divergence;
+    Alcotest.test_case "plens with nested prefixes" `Quick test_plens_multiple;
+    Alcotest.test_case "/0 prefix" `Quick test_root_prefix;
+    Alcotest.test_case "Fig.2b complement table" `Quick test_fig2b_complement;
+    Alcotest.test_case "complement of empty" `Quick test_complement_empty;
+    Alcotest.test_case "complement of full" `Quick test_complement_full;
+    Alcotest.test_case "complement partitions (exhaustive 8-bit)" `Quick
+      test_complement_partition_exhaustive;
+    Alcotest.test_case "complement count = width" `Quick
+      test_complement_count_exact_value;
+    prop_lookup_checked_sound;
+    Alcotest.test_case "prefixes listing" `Quick test_prefixes_listing ]
