@@ -223,7 +223,11 @@ let run_fig3 () =
        attack.Pi_sim.Scenario.variant
      /. 1e6)
     attack.Pi_sim.Scenario.refresh_period;
-  let r = Pi_sim.Scenario.run Pi_sim.Scenario.default_params in
+  let metrics = Pi_telemetry.Metrics.create () in
+  let r =
+    Pi_sim.Scenario.run
+      { Pi_sim.Scenario.default_params with Pi_sim.Scenario.metrics = Some metrics }
+  in
   Format.printf "  %a@." Pi_sim.Scenario.pp_sample_header ();
   List.iter
     (fun s ->
@@ -233,7 +237,21 @@ let run_fig3 () =
   Printf.printf "\n  victim mean: %.3f Gbps pre-attack, %.3f Gbps post-attack\n"
     r.Pi_sim.Scenario.pre_attack_mean_gbps r.Pi_sim.Scenario.post_attack_mean_gbps;
   Printf.printf "  peak megaflows: %d (paper Fig. 3: ~8192 and throughput -> ~0)\n"
-    r.Pi_sim.Scenario.peak_masks
+    r.Pi_sim.Scenario.peak_masks;
+  (* Machine-readable perf trajectory for future PRs: per-stage counters,
+     the cycles-per-packet histogram and the per-tick mask-count series. *)
+  (match Pi_telemetry.Metrics.find_histogram metrics "cycles_per_packet" with
+   | Some h ->
+     let s = Pi_telemetry.Histogram.summary h in
+     Printf.printf
+       "  cycles/packet: mean %.0f, p50 %.0f, p99 %.0f over %d packets\n"
+       s.Pi_telemetry.Histogram.s_mean s.Pi_telemetry.Histogram.s_p50
+       s.Pi_telemetry.Histogram.s_p99 s.Pi_telemetry.Histogram.s_count
+   | None -> ());
+  let path = "BENCH_fig3.json" in
+  Pi_telemetry.Export.write_json_file ?scrape:r.Pi_sim.Scenario.scrape ~path
+    metrics;
+  Printf.printf "  telemetry snapshot written to %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* mitigations: the trade-offs the poster discusses                    *)

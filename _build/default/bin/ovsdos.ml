@@ -112,9 +112,14 @@ let predict_cmd =
 
 (* --- masks --- *)
 
-let masks variant allow_src seed =
+let masks variant allow_src seed telemetry =
   let spec = spec_of variant allow_src in
-  let dp = Pi_ovs.Datapath.create (Pi_pkt.Prng.create (Int64.of_int seed)) () in
+  let metrics = if telemetry then Some (Pi_telemetry.Metrics.create ()) else None in
+  let tracer = if telemetry then Some (Pi_telemetry.Tracer.create ()) else None in
+  let dp =
+    Pi_ovs.Datapath.create ?metrics ?tracer
+      (Pi_pkt.Prng.create (Int64.of_int seed)) ()
+  in
   Pi_ovs.Datapath.install_rules dp
     (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2) (Policy_gen.acl spec));
   let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
@@ -126,11 +131,22 @@ let masks variant allow_src seed =
   Printf.printf "megaflow masks:      %d (predicted %d)\n"
     (Pi_ovs.Datapath.n_masks dp) (Predict.variant_masks variant);
   Printf.printf "megaflow entries:    %d\n" (Pi_ovs.Datapath.n_megaflows dp);
-  Printf.printf "upcalls:             %d\n" (Pi_ovs.Datapath.n_upcalls dp)
+  Printf.printf "upcalls:             %d\n" (Pi_ovs.Datapath.n_upcalls dp);
+  match metrics with
+  | Some m ->
+    print_newline ();
+    print_endline (Pi_telemetry.Export.text_report ?tracer m)
+  | None -> ()
 
 let masks_cmd =
+  let telemetry =
+    Arg.(value & flag
+         & info [ "telemetry" ]
+             ~doc:"Attach a metrics registry and event tracer; print the \
+                   dpctl-style telemetry report after the run.")
+  in
   Cmd.v (Cmd.info "masks" ~doc:"Drive the covert sequence through a datapath")
-    Term.(const masks $ variant_arg $ allow_src_arg $ seed_arg)
+    Term.(const masks $ variant_arg $ allow_src_arg $ seed_arg $ telemetry)
 
 (* --- dump --- *)
 
@@ -248,7 +264,7 @@ let write_csv path samples =
             s.Pi_sim.Scenario.loss)
         samples)
 
-let attack variant duration start offered every coarse csv =
+let attack variant duration start offered every coarse csv json =
   let open Pi_sim in
   let a = { Scenario.default_attack with Scenario.variant; start } in
   let dc =
@@ -258,12 +274,16 @@ let attack variant duration start offered every coarse csv =
           Some (Pi_mitigation.Heuristics.round_up_prefix ~granularity:8) }
     else Scenario.default_params.Scenario.datapath_config
   in
+  let metrics =
+    match json with Some _ -> Some (Pi_telemetry.Metrics.create ()) | None -> None
+  in
   let p =
     { Scenario.default_params with
       Scenario.duration;
       victim_offered_gbps = offered;
       attack = Some a;
-      datapath_config = dc }
+      datapath_config = dc;
+      metrics }
   in
   let r = Scenario.run p in
   Format.printf "%a@." Scenario.pp_sample_header ();
@@ -275,11 +295,16 @@ let attack variant duration start offered every coarse csv =
   Format.printf "@.pre-attack mean: %.3f Gbps, post-attack mean: %.3f Gbps, peak masks: %d@."
     r.Scenario.pre_attack_mean_gbps r.Scenario.post_attack_mean_gbps
     r.Scenario.peak_masks;
-  match csv with
-  | Some path ->
-    write_csv path r.Scenario.samples;
-    Format.printf "samples written to %s (plot with bench/fig3.gp)@." path
-  | None -> ()
+  (match csv with
+   | Some path ->
+     write_csv path r.Scenario.samples;
+     Format.printf "samples written to %s (plot with bench/fig3.gp)@." path
+   | None -> ());
+  match json, metrics with
+  | Some path, Some m ->
+    Pi_telemetry.Export.write_json_file ?scrape:r.Scenario.scrape ~path m;
+    Format.printf "telemetry snapshot written to %s@." path
+  | _ -> ()
 
 let attack_cmd =
   let duration =
@@ -305,8 +330,15 @@ let attack_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write per-second samples as CSV.")
   in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Attach a telemetry registry and write its JSON snapshot \
+                   (counters, histograms, per-tick gauge timeseries) to $(docv).")
+  in
   Cmd.v (Cmd.info "attack" ~doc:"Run the Fig. 3 end-to-end scenario")
-    Term.(const attack $ variant_arg $ duration $ start $ offered $ every $ coarse $ csv)
+    Term.(const attack $ variant_arg $ duration $ start $ offered $ every $ coarse
+          $ csv $ json)
 
 let main_cmd =
   let doc = "policy injection: a cloud dataplane DoS attack (SIGCOMM'18 reproduction)" in

@@ -1,1 +1,1 @@
-lib/ovs/datapath.ml: Cost_model Emc List Logs Mask_cache Megaflow Pi_classifier Slowpath
+lib/ovs/datapath.ml: Cost_model Emc List Logs Mask_cache Megaflow Option Pi_classifier Pi_telemetry Slowpath

@@ -1,1 +1,1 @@
-lib/ovs/datapath.mli: Action Cost_model Emc Mask_cache Megaflow Pi_classifier Pi_pkt Slowpath
+lib/ovs/datapath.mli: Action Cost_model Emc Mask_cache Megaflow Pi_classifier Pi_pkt Pi_telemetry Slowpath

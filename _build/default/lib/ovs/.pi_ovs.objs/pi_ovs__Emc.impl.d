@@ -1,1 +1,1 @@
-lib/ovs/emc.ml: Array Flow Pi_classifier Pi_pkt
+lib/ovs/emc.ml: Array Flow Option Pi_classifier Pi_pkt Pi_telemetry

@@ -1,1 +1,1 @@
-lib/ovs/emc.mli: Pi_classifier Pi_pkt
+lib/ovs/emc.mli: Pi_classifier Pi_pkt Pi_telemetry

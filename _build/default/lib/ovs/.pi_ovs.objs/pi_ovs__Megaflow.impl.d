@@ -1,1 +1,1 @@
-lib/ovs/megaflow.ml: Action Array Field Float Flow Format Hashtbl Int Int64 List Mask Mask_cache Pi_classifier Pi_pkt Tables
+lib/ovs/megaflow.ml: Action Array Field Float Flow Format Hashtbl Int Int64 List Mask Mask_cache Option Pi_classifier Pi_pkt Pi_telemetry Tables

@@ -1,1 +1,1 @@
-lib/ovs/megaflow.mli: Action Format Mask_cache Pi_classifier
+lib/ovs/megaflow.mli: Action Format Mask_cache Pi_classifier Pi_telemetry

@@ -1,1 +1,1 @@
-lib/ovs/slowpath.ml: Action List Mask Pi_classifier Rule Tss
+lib/ovs/slowpath.ml: Action List Mask Option Pi_classifier Pi_telemetry Rule Tss

@@ -1,1 +1,1 @@
-lib/ovs/slowpath.mli: Action Pi_classifier
+lib/ovs/slowpath.mli: Action Pi_classifier Pi_telemetry

@@ -1,1 +1,1 @@
-lib/ovs/switch.mli: Action Cost_model Datapath Pi_classifier Pi_pkt
+lib/ovs/switch.mli: Action Cost_model Datapath Pi_classifier Pi_pkt Pi_telemetry

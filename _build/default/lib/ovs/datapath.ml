@@ -35,23 +35,41 @@ type t = {
   mutable n_processed : int;
   mutable n_upcalls : int;
   mutable last_mf : Megaflow.entry option;
+  (* Optional telemetry: counters/histograms report into a shared
+     registry, the tracer records the event stream. All [None] when
+     telemetry is disabled — the datapath then behaves exactly as
+     before. *)
+  tracer : Pi_telemetry.Tracer.t option;
+  c_packets : Pi_telemetry.Metrics.counter option;
+  h_cycles : Pi_telemetry.Histogram.t option;
+  h_probes : Pi_telemetry.Histogram.t option;
+  h_upcall : Pi_telemetry.Histogram.t option;
 }
 
-let create ?(config = default_config) ?tss_config rng () =
+let create ?(config = default_config) ?tss_config ?metrics ?tracer rng () =
+  let hist name =
+    Option.map (fun m -> Pi_telemetry.Metrics.histogram m name) metrics
+  in
   { cfg = config;
     emc =
       Emc.create ~capacity:config.emc_capacity
-        ~insert_inv_prob:config.emc_insert_inv_prob rng ();
-    mf = Megaflow.create ~config:config.megaflow ();
+        ~insert_inv_prob:config.emc_insert_inv_prob ?metrics rng ();
+    mf = Megaflow.create ~config:config.megaflow ?metrics ();
     mcache =
       (match config.mask_cache_capacity with
        | Some capacity -> Some (Mask_cache.create ~capacity ())
        | None -> None);
-    slow = Slowpath.create ?config:tss_config ();
+    slow = Slowpath.create ?config:tss_config ?metrics ();
     cycles = 0.;
     n_processed = 0;
     n_upcalls = 0;
-    last_mf = None }
+    last_mf = None;
+    tracer;
+    c_packets =
+      Option.map (fun m -> Pi_telemetry.Metrics.counter m "packets") metrics;
+    h_cycles = hist "cycles_per_packet";
+    h_probes = hist "mf_probes_per_lookup";
+    h_upcall = hist "upcall_cycles" }
 
 let config t = t.cfg
 let slowpath t = t.slow
@@ -61,12 +79,25 @@ let emc t = t.emc
 let install_rules t rules = Slowpath.install t.slow rules
 let remove_rules t pred = Slowpath.remove t.slow pred
 
+let observe h v =
+  match h with Some h -> Pi_telemetry.Histogram.observe h v | None -> ()
+
+let trace t ~now kind =
+  match t.tracer with
+  | Some tr -> Pi_telemetry.Tracer.record tr ~at:now kind
+  | None -> ()
+
 let finish t outcome action =
-  t.cycles <- t.cycles +. Cost_model.cycles t.cfg.cost outcome;
+  let c = Cost_model.cycles t.cfg.cost outcome in
+  t.cycles <- t.cycles +. c;
+  observe t.h_cycles c;
   (action, outcome)
 
 let process t ~now flow ~pkt_len =
   t.n_processed <- t.n_processed + 1;
+  (match t.c_packets with
+   | Some c -> Pi_telemetry.Metrics.incr c
+   | None -> ());
   let emc_entry = if t.cfg.emc_enabled then Emc.lookup t.emc flow else None in
   match emc_entry with
   | Some e when e.Megaflow.alive ->
@@ -74,6 +105,7 @@ let process t ~now flow ~pkt_len =
     e.Megaflow.last_used <- now;
     e.Megaflow.n_packets <- e.Megaflow.n_packets + 1;
     e.Megaflow.n_bytes <- e.Megaflow.n_bytes + pkt_len;
+    trace t ~now Pi_telemetry.Tracer.Emc_hit;
     finish t
       { Cost_model.emc_hit = true; mf_probes = 0; mf_hit = false;
         upcall = false; slow_probes = 0; pkt_len }
@@ -88,13 +120,20 @@ let process t ~now flow ~pkt_len =
     | Some e, probes ->
       t.last_mf <- Some e;
       if t.cfg.emc_enabled then Emc.insert t.emc flow e;
+      observe t.h_probes (float_of_int probes);
+      trace t ~now (Pi_telemetry.Tracer.Mf_hit { probes });
       finish t
         { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = true;
           upcall = false; slow_probes = 0; pkt_len }
         e.Megaflow.action
     | None, probes ->
       t.n_upcalls <- t.n_upcalls + 1;
+      observe t.h_probes (float_of_int probes);
       let v = Slowpath.upcall t.slow flow in
+      observe t.h_upcall
+        (t.cfg.cost.Cost_model.upcall
+         +. (float_of_int v.Slowpath.probes *. t.cfg.cost.Cost_model.slow_probe));
+      trace t ~now (Pi_telemetry.Tracer.Upcall { slow_probes = v.Slowpath.probes });
       (* Mitigation hooks: optionally narrow the megaflow (still sound —
          more significant bits can only make the cached flow more
          specific) and cap the number of distinct masks by falling back
@@ -115,10 +154,14 @@ let process t ~now flow ~pkt_len =
           Pi_classifier.Mask.exact
         | Some _ | None -> mask
       in
+      let masks_before = Megaflow.n_masks t.mf in
       let e =
         Megaflow.insert t.mf ~key:flow ~mask
           ~action:v.Slowpath.action ~revision:(Slowpath.revision t.slow) ~now
       in
+      let n_masks = Megaflow.n_masks t.mf in
+      if n_masks > masks_before then
+        trace t ~now (Pi_telemetry.Tracer.Mask_created { n_masks });
       t.last_mf <- Some e;
       if t.cfg.emc_enabled then Emc.insert t.emc flow e;
       finish t
@@ -139,6 +182,11 @@ let revalidate t ~now =
   in
   if t.cfg.emc_enabled then
     ignore (Emc.invalidate_if t.emc (fun e -> not e.Megaflow.alive));
+  if evicted > 0 then
+    trace t ~now (Pi_telemetry.Tracer.Megaflow_evicted { count = evicted });
+  trace t ~now
+    (Pi_telemetry.Tracer.Revalidate
+       { evicted; n_masks = Megaflow.n_masks t.mf });
   if evicted > 0 then
     Log.debug (fun m ->
         m "revalidator: evicted %d megaflows (%d masks remain)" evicted

@@ -34,9 +34,19 @@ type t
 
 val create :
   ?config:config -> ?tss_config:Pi_classifier.Tss.config ->
+  ?metrics:Pi_telemetry.Metrics.t -> ?tracer:Pi_telemetry.Tracer.t ->
   Pi_pkt.Prng.t -> unit -> t
 (** [tss_config] configures the slow-path classifier's un-wildcarding
-    behaviour (see {!Pi_classifier.Tss.config}). *)
+    behaviour (see {!Pi_classifier.Tss.config}).
+
+    [metrics] attaches a telemetry registry: every cache stage then
+    reports into it — counters [packets], [emc_hit]/[emc_miss],
+    [mf_hit]/[mf_miss]/[mf_probes], [mask_created]/[megaflow_evicted],
+    [upcall]/[slow_probes]; histograms [cycles_per_packet],
+    [mf_probes_per_lookup] and [upcall_cycles]. [tracer] additionally
+    records per-event traces (EMC/megaflow hits, upcalls, mask creation,
+    evictions, revalidator sweeps). Both default to off, with no change
+    in behaviour or cost accounting. *)
 
 val config : t -> config
 val slowpath : t -> Slowpath.t

@@ -10,13 +10,15 @@ type 'a t = {
   mutable occupied : int;
   mutable hits : int;
   mutable misses : int;
+  c_hit : Pi_telemetry.Metrics.counter option;
+  c_miss : Pi_telemetry.Metrics.counter option;
 }
 
 let next_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let create ?(capacity = 8192) ?(insert_inv_prob = 4) rng () =
+let create ?(capacity = 8192) ?(insert_inv_prob = 4) ?metrics rng () =
   if capacity < 1 then invalid_arg "Emc.create: capacity";
   if insert_inv_prob < 1 then invalid_arg "Emc.create: insert_inv_prob";
   let cap = next_pow2 capacity in
@@ -26,19 +28,27 @@ let create ?(capacity = 8192) ?(insert_inv_prob = 4) rng () =
     rng;
     occupied = 0;
     hits = 0;
-    misses = 0 }
+    misses = 0;
+    c_hit = Option.map (fun m -> Pi_telemetry.Metrics.counter m "emc_hit") metrics;
+    c_miss = Option.map (fun m -> Pi_telemetry.Metrics.counter m "emc_miss") metrics }
 
 let capacity t = Array.length t.slots
 
 let slot_of t flow = Flow.hash flow land t.mask
 
+let bump = function
+  | Some c -> Pi_telemetry.Metrics.incr c
+  | None -> ()
+
 let lookup t flow =
   match t.slots.(slot_of t flow) with
   | Some s when Flow.equal s.key flow ->
     t.hits <- t.hits + 1;
+    bump t.c_hit;
     Some s.value
   | Some _ | None ->
     t.misses <- t.misses + 1;
+    bump t.c_miss;
     None
 
 let insert_forced t flow value =

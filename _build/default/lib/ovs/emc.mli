@@ -12,10 +12,12 @@
 type 'a t
 
 val create :
-  ?capacity:int -> ?insert_inv_prob:int -> Pi_pkt.Prng.t -> unit -> 'a t
+  ?capacity:int -> ?insert_inv_prob:int -> ?metrics:Pi_telemetry.Metrics.t ->
+  Pi_pkt.Prng.t -> unit -> 'a t
 (** [capacity] (default 8192) is rounded up to a power of two;
     [insert_inv_prob] (default 4) is the [1/p] insertion probability
-    denominator — 1 inserts always. *)
+    denominator — 1 inserts always. When [metrics] is given, every
+    lookup also bumps the registry's [emc_hit]/[emc_miss] counters. *)
 
 val capacity : 'a t -> int
 

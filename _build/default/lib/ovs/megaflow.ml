@@ -37,13 +37,19 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable probes : int;
+  c_hit : Pi_telemetry.Metrics.counter option;
+  c_miss : Pi_telemetry.Metrics.counter option;
+  c_probes : Pi_telemetry.Metrics.counter option;
+  c_mask_created : Pi_telemetry.Metrics.counter option;
+  c_evicted : Pi_telemetry.Metrics.counter option;
 }
 
 let set_scan t l =
   t.scan <- l;
   t.arr <- Array.of_list l
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?metrics () =
+  let c name = Option.map (fun m -> Pi_telemetry.Metrics.counter m name) metrics in
   { cfg = config;
     by_mask = Tables.Mask_tbl.create 64;
     scan = [];
@@ -51,7 +57,16 @@ let create ?(config = default_config) () =
     n = 0;
     hits = 0;
     misses = 0;
-    probes = 0 }
+    probes = 0;
+    c_hit = c "mf_hit";
+    c_miss = c "mf_miss";
+    c_probes = c "mf_probes";
+    c_mask_created = c "mask_created";
+    c_evicted = c "megaflow_evicted" }
+
+let bump ?(by = 1) = function
+  | Some c -> Pi_telemetry.Metrics.incr ~by c
+  | None -> ()
 
 let find_in_subtable st flow =
   let h = Mask.hash_masked st.s_mask flow in
@@ -65,6 +80,8 @@ let lookup t flow ~now ~pkt_len =
     | [] ->
       t.misses <- t.misses + 1;
       t.probes <- t.probes + probes;
+      bump t.c_miss;
+      bump ~by:probes t.c_probes;
       (None, probes)
     | st :: rest -> begin
       let probes = probes + 1 in
@@ -76,6 +93,8 @@ let lookup t flow ~now ~pkt_len =
         st.s_hits <- st.s_hits + 1;
         t.hits <- t.hits + 1;
         t.probes <- t.probes + probes;
+        bump t.c_hit;
+        bump ~by:probes t.c_probes;
         (Some e, probes)
       | None -> go probes rest
     end
@@ -99,6 +118,8 @@ let lookup_hinted t cache flow ~now ~pkt_len =
         st.s_hits <- st.s_hits + 1;
         t.hits <- t.hits + 1;
         t.probes <- t.probes + 1;
+        bump t.c_hit;
+        bump t.c_probes;
         Mask_cache.note_hit cache;
         Some (Some e, 1)
       | None -> None
@@ -113,6 +134,8 @@ let lookup_hinted t cache flow ~now ~pkt_len =
       if i >= Array.length t.arr then begin
         t.misses <- t.misses + 1;
         t.probes <- t.probes + probes;
+        bump t.c_miss;
+        bump ~by:probes t.c_probes;
         (None, probes)
       end
       else begin
@@ -126,6 +149,8 @@ let lookup_hinted t cache flow ~now ~pkt_len =
           st.s_hits <- st.s_hits + 1;
           t.hits <- t.hits + 1;
           t.probes <- t.probes + probes;
+          bump t.c_hit;
+          bump ~by:probes t.c_probes;
           Mask_cache.record cache flow i;
           (Some e, probes)
         | None -> go (i + 1) probes
@@ -180,6 +205,7 @@ let evict_lru t =
     | (st, e) :: rest ->
       if i < k then begin
         remove_entry t st e;
+        bump t.c_evicted;
         drop (i + 1) rest
       end
   in
@@ -197,6 +223,7 @@ let insert t ~key ~mask ~action ~revision ~now =
       in
       Tables.Mask_tbl.add t.by_mask mask st;
       set_scan t (t.scan @ [ st ]);
+      bump t.c_mask_created;
       st
   in
   let key = Mask.apply mask key in
@@ -231,6 +258,7 @@ let revalidate t ~now ?(keep = fun _ -> true) () =
       List.iter
         (fun e ->
           remove_entry t st e;
+          bump t.c_evicted;
           incr evicted)
         !dead)
     t.scan;

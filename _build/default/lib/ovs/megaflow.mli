@@ -30,7 +30,10 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?metrics:Pi_telemetry.Metrics.t -> unit -> t
+(** When [metrics] is given, lookups/inserts/evictions also report into
+    the registry's [mf_hit], [mf_miss], [mf_probes], [mask_created] and
+    [megaflow_evicted] counters. *)
 
 val lookup : t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int -> entry option * int
 (** [(entry, probes)]: the matching entry, if any, and the number of

@@ -3,15 +3,18 @@ open Pi_classifier
 type t = {
   cls : Action.t Tss.t;
   mutable revision : int;
+  c_upcall : Pi_telemetry.Metrics.counter option;
+  c_probes : Pi_telemetry.Metrics.counter option;
 }
 
-let create ?config () =
+let create ?config ?metrics () =
   let cls =
     match config with
     | Some c -> Tss.create ~config:c ()
     | None -> Tss.create ()
   in
-  { cls; revision = 0 }
+  let c name = Option.map (fun m -> Pi_telemetry.Metrics.counter m name) metrics in
+  { cls; revision = 0; c_upcall = c "upcall"; c_probes = c "slow_probes" }
 
 let config t = Tss.config t.cls
 
@@ -35,6 +38,12 @@ type verdict = {
 
 let upcall t flow =
   let r = Tss.find_wc t.cls flow in
+  (match t.c_upcall with
+   | Some c -> Pi_telemetry.Metrics.incr c
+   | None -> ());
+  (match t.c_probes with
+   | Some c -> Pi_telemetry.Metrics.incr ~by:r.Tss.probes c
+   | None -> ());
   match r.Tss.rule with
   | Some rule ->
     { action = rule.Rule.action;

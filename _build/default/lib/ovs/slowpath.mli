@@ -12,7 +12,11 @@
 
 type t
 
-val create : ?config:Pi_classifier.Tss.config -> unit -> t
+val create :
+  ?config:Pi_classifier.Tss.config -> ?metrics:Pi_telemetry.Metrics.t ->
+  unit -> t
+(** When [metrics] is given, every upcall also bumps the registry's
+    [upcall] counter and adds its classifier probes to [slow_probes]. *)
 
 val config : t -> Pi_classifier.Tss.config
 

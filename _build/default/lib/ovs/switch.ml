@@ -11,15 +11,15 @@ type port_stats = {
 type t = {
   name : string;
   dp : Datapath.t;
-  mutable ports : port list;
+  mutable ports_rev : port list;  (* newest first: O(1) insert *)
   stats : (int, port_stats) Hashtbl.t;
   mutable next_port : int;
 }
 
-let create ?config ?tss_config ~name rng () =
+let create ?config ?tss_config ?metrics ?tracer ~name rng () =
   { name;
-    dp = Datapath.create ?config ?tss_config rng ();
-    ports = [];
+    dp = Datapath.create ?config ?tss_config ?metrics ?tracer rng ();
+    ports_rev = [];
     stats = Hashtbl.create 8;
     next_port = 1 }
 
@@ -32,14 +32,14 @@ let new_stats () =
 let add_port t ~name =
   let p = { id = t.next_port; name } in
   t.next_port <- t.next_port + 1;
-  t.ports <- t.ports @ [ p ];
+  t.ports_rev <- p :: t.ports_rev;
   Hashtbl.replace t.stats p.id (new_stats ());
   p
 
 let port_by_name t name =
-  List.find_opt (fun (p : port) -> String.equal p.name name) t.ports
+  List.find_opt (fun (p : port) -> String.equal p.name name) t.ports_rev
 
-let ports t = t.ports
+let ports t = List.rev t.ports_rev
 
 let install_rules t rules = Datapath.install_rules t.dp rules
 

@@ -15,7 +15,9 @@ type t
 
 val create :
   ?config:Datapath.config -> ?tss_config:Pi_classifier.Tss.config ->
+  ?metrics:Pi_telemetry.Metrics.t -> ?tracer:Pi_telemetry.Tracer.t ->
   name:string -> Pi_pkt.Prng.t -> unit -> t
+(** [metrics]/[tracer] are forwarded to {!Datapath.create}. *)
 
 val name : t -> string
 val datapath : t -> Datapath.t
@@ -24,7 +26,9 @@ val add_port : t -> name:string -> port
 (** Port ids are assigned densely from 1. *)
 
 val port_by_name : t -> string -> port option
+
 val ports : t -> port list
+(** In creation order. *)
 
 val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
 

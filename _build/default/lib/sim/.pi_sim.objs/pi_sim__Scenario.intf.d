@@ -1,1 +1,1 @@
-lib/sim/scenario.mli: Format Pi_classifier Pi_ovs Pi_pkt Policy_injection Timeseries
+lib/sim/scenario.mli: Format Pi_classifier Pi_ovs Pi_pkt Pi_telemetry Policy_injection Timeseries

@@ -1,1 +1,1 @@
-lib/sim/timeseries.ml: Float Format List
+lib/sim/timeseries.ml: Pi_telemetry

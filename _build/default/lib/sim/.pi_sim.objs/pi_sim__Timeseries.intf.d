@@ -1,1 +1,1 @@
-lib/sim/timeseries.mli: Format
+lib/sim/timeseries.mli: Pi_telemetry

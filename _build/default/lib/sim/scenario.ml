@@ -41,6 +41,7 @@ type params = {
   revalidate_period : float;
   rtt : float;
   mss : int;
+  metrics : Pi_telemetry.Metrics.t option;
 }
 
 let default_params =
@@ -62,7 +63,8 @@ let default_params =
     tss_config = None;
     revalidate_period = 1.;
     rtt = 1e-3;
-    mss = 1460 }
+    mss = 1460;
+    metrics = None }
 
 type sample = {
   time : float;
@@ -83,6 +85,7 @@ type report = {
   peak_masks : int;
   throughput_series : Timeseries.t;
   masks_series : Timeseries.t;
+  scrape : Pi_telemetry.Scrape.t option;
 }
 
 (* Mathis et al. TCP response: rate ≈ (MSS/RTT) * 1.22/sqrt(p). *)
@@ -113,7 +116,7 @@ let run p =
   let attacker_ip = Ipv4_addr.of_string "10.1.0.3" in
   let sw =
     Switch.create ~config:p.datapath_config ?tss_config:p.tss_config
-      ~name:"server-1" (Prng.split rng) ()
+      ?metrics:p.metrics ~name:"server-1" (Prng.split rng) ()
   in
   let uplink = Switch.add_port sw ~name:"uplink" in
   let victim_port = Switch.add_port sw ~name:"victim-pod" in
@@ -209,6 +212,20 @@ let run p =
   let capacity_per_tick = p.datapath_config.Datapath.cost.Cost_model.cpu_hz *. p.tick in
   let samples = ref [] in
   let emc = Datapath.emc dp in
+  (* Telemetry: sample the cache-state gauges once per tick. *)
+  let scrape =
+    match p.metrics with
+    | None -> None
+    | Some _ ->
+      let s = Pi_telemetry.Scrape.create () in
+      Pi_telemetry.Scrape.register s ~name:"n_masks" (fun () ->
+          float_of_int (Datapath.n_masks dp));
+      Pi_telemetry.Scrape.register s ~name:"n_megaflows" (fun () ->
+          float_of_int (Datapath.n_megaflows dp));
+      Pi_telemetry.Scrape.register s ~name:"emc_occupancy" (fun () ->
+          float_of_int (Emc.occupancy emc));
+      Some s
+  in
   let n_ticks = int_of_float (ceil (p.duration /. p.tick)) in
   let next_revalidate = ref p.revalidate_period in
   for i = 0 to n_ticks - 1 do
@@ -316,6 +333,9 @@ let run p =
       ignore (Switch.revalidate sw ~now);
       next_revalidate := !next_revalidate +. p.revalidate_period
     end;
+    (match scrape with
+     | Some s -> Pi_telemetry.Scrape.tick s ~now
+     | None -> ());
     samples :=
       { time = now;
         victim_gbps;
@@ -359,7 +379,8 @@ let run p =
     post_attack_mean_gbps = post;
     peak_masks = List.fold_left (fun acc s -> max acc s.n_masks) 0 samples;
     throughput_series;
-    masks_series }
+    masks_series;
+    scrape }
 
 let pp_sample_header ppf () =
   Format.fprintf ppf "%8s %12s %10s %12s %10s %10s"

@@ -50,6 +50,9 @@ type params = {
   revalidate_period : float;
   rtt : float;                  (** victim TCP round-trip time *)
   mss : int;
+  metrics : Pi_telemetry.Metrics.t option;
+      (** attach a telemetry registry to the datapath; enables the
+          per-tick gauge scrape reported in {!report.scrape} *)
 }
 
 val default_params : params
@@ -79,6 +82,9 @@ type report = {
   peak_masks : int;
   throughput_series : Timeseries.t;  (** victim Gb/s over time *)
   masks_series : Timeseries.t;       (** megaflow mask count over time *)
+  scrape : Pi_telemetry.Scrape.t option;
+      (** per-tick [n_masks]/[n_megaflows]/[emc_occupancy] series;
+          [Some] exactly when {!params.metrics} was given *)
 }
 
 val run : params -> report

@@ -1,32 +1,7 @@
-(** Time series collected by simulations: timestamped float samples plus
-    summary statistics. *)
+(** Re-export of {!Pi_telemetry.Timeseries} (its historical home); the
+    type is equal to [Pi_telemetry.Timeseries.t], so series flow freely
+    between simulations and the telemetry subsystem. *)
 
-type t
-
-val create : name:string -> t
-
-val name : t -> string
-
-val add : t -> time:float -> float -> unit
-(** Samples must be added in non-decreasing time order. *)
-
-val length : t -> int
-
-val to_list : t -> (float * float) list
-(** In time order. *)
-
-val values_between : t -> lo:float -> hi:float -> float list
-(** Samples with [lo <= time < hi]. *)
-
-val mean_between : t -> lo:float -> hi:float -> float
-(** Mean of {!values_between}; [nan] if empty. *)
-
-val min_value : t -> float
-val max_value : t -> float
-val last : t -> float option
-
-val percentile : float list -> float -> float
-(** [percentile values p] with [p] in [\[0, 100\]] (nearest-rank);
-    [nan] on an empty list. *)
-
-val pp_row : Format.formatter -> float * float -> unit
+include module type of struct
+  include Pi_telemetry.Timeseries
+end

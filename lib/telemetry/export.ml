@@ -1,0 +1,173 @@
+(* Hand-rolled JSON emission: the toolchain has no JSON dependency and
+   the snapshot must be byte-stable (sorted keys, fixed float format)
+   so successive runs diff cleanly. *)
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_str v =
+  if not (Float.is_finite v) then "null" else Printf.sprintf "%.9g" v
+
+let add_float b v = Buffer.add_string b (float_str v)
+
+let add_fields b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, add_v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add_escaped b k;
+      Buffer.add_char b ':';
+      add_v b)
+    fields;
+  Buffer.add_char b '}'
+
+let add_summary b (s : Histogram.summary) =
+  add_fields b
+    [ ("count", fun b -> Buffer.add_string b (string_of_int s.Histogram.s_count));
+      ("mean", fun b -> add_float b s.Histogram.s_mean);
+      ("min", fun b -> add_float b s.Histogram.s_min);
+      ("max", fun b -> add_float b s.Histogram.s_max);
+      ("p50", fun b -> add_float b s.Histogram.s_p50);
+      ("p99", fun b -> add_float b s.Histogram.s_p99) ]
+
+let add_series b ts =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (time, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '[';
+      add_float b time;
+      Buffer.add_char b ',';
+      add_float b v;
+      Buffer.add_char b ']')
+    (Timeseries.to_list ts);
+  Buffer.add_char b ']'
+
+let add_tracer b tr =
+  add_fields b
+    [ ("capacity", fun b -> Buffer.add_string b (string_of_int (Tracer.capacity tr)));
+      ("recorded", fun b -> Buffer.add_string b (string_of_int (Tracer.total tr)));
+      ("dropped", fun b -> Buffer.add_string b (string_of_int (Tracer.dropped tr)));
+      ( "by_kind",
+        fun b ->
+          add_fields b
+            (List.map
+               (fun (k, n) ->
+                 (k, fun b -> Buffer.add_string b (string_of_int n)))
+               (Tracer.counts_by_kind tr)) ) ]
+
+let json_snapshot ?scrape ?tracer metrics =
+  let b = Buffer.create 4096 in
+  let sections =
+    [ ( "counters",
+        fun b ->
+          add_fields b
+            (List.map
+               (fun (name, v) ->
+                 (name, fun b -> Buffer.add_string b (string_of_int v)))
+               (Metrics.counters metrics)) );
+      ( "gauges",
+        fun b ->
+          add_fields b
+            (List.map
+               (fun (name, v) -> (name, fun b -> add_float b v))
+               (Metrics.gauges metrics)) );
+      ( "histograms",
+        fun b ->
+          add_fields b
+            (List.map
+               (fun (name, h) ->
+                 (name, fun b -> add_summary b (Histogram.summary h)))
+               (Metrics.histograms metrics)) ) ]
+  in
+  let sections =
+    sections
+    @ (match scrape with
+       | None -> []
+       | Some s ->
+         [ ( "timeseries",
+             fun b ->
+               add_fields b
+                 (List.map
+                    (fun ts ->
+                      (Timeseries.name ts, fun b -> add_series b ts))
+                    (Scrape.all s)) ) ])
+    @ (match tracer with
+       | None -> []
+       | Some tr -> [ ("trace", fun b -> add_tracer b tr) ])
+  in
+  add_fields b sections;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_json_file ?scrape ?tracer ~path metrics =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (json_snapshot ?scrape ?tracer metrics))
+
+(* ovs-appctl dpctl/show-style text dump. *)
+let pp_text ?scrape ?tracer ppf metrics =
+  let counters = Metrics.counters metrics in
+  let c name = Option.value ~default:0 (Metrics.find_counter metrics name) in
+  let packets = c "packets" in
+  let hit = c "emc_hit" + c "mf_hit" in
+  let missed = c "upcall" in
+  Format.fprintf ppf "@[<v>lookups: hit:%d missed:%d lost:0@," hit missed;
+  Format.fprintf ppf "masks: total:%d hit/pkt:%.2f@,"
+    (c "mask_created")
+    (if packets = 0 then 0.
+     else float_of_int (c "mf_probes") /. float_of_int packets);
+  Format.fprintf ppf "counters:@,";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %s: %d@," name v)
+    counters;
+  (match Metrics.gauges metrics with
+   | [] -> ()
+   | gauges ->
+     Format.fprintf ppf "gauges:@,";
+     List.iter
+       (fun (name, v) -> Format.fprintf ppf "  %s: %g@," name v)
+       gauges);
+  (match Metrics.histograms metrics with
+   | [] -> ()
+   | hists ->
+     Format.fprintf ppf "histograms:@,";
+     List.iter (fun (_, h) -> Format.fprintf ppf "  %a@," Histogram.pp h) hists);
+  (match scrape with
+   | None -> ()
+   | Some s ->
+     Format.fprintf ppf "timeseries:@,";
+     List.iter
+       (fun ts ->
+         Format.fprintf ppf "  %s: %d samples, last:%s@," (Timeseries.name ts)
+           (Timeseries.length ts)
+           (match Timeseries.last ts with
+            | Some v -> Printf.sprintf "%g" v
+            | None -> "-"))
+       (Scrape.all s));
+  (match tracer with
+   | None -> ()
+   | Some tr ->
+     Format.fprintf ppf "trace: %d recorded, %d retained, %d dropped@,"
+       (Tracer.total tr) (Tracer.length tr) (Tracer.dropped tr);
+     List.iter
+       (fun (k, n) -> Format.fprintf ppf "  %s: %d@," k n)
+       (Tracer.counts_by_kind tr));
+  Format.fprintf ppf "@]"
+
+let text_report ?scrape ?tracer metrics =
+  Format.asprintf "%a" (pp_text ?scrape ?tracer) metrics

@@ -1,0 +1,24 @@
+(** Snapshot export: machine-readable JSON and an
+    [ovs-appctl dpctl/show]-style text dump.
+
+    The JSON snapshot is {e stable}: object keys are sorted, floats use
+    a fixed format ([%.9g]; non-finite values become [null]), so two
+    snapshots of identical telemetry are byte-identical and benchmark
+    outputs ([BENCH_*.json]) diff cleanly across runs and PRs. *)
+
+val json_snapshot : ?scrape:Scrape.t -> ?tracer:Tracer.t -> Metrics.t -> string
+(** One JSON object (newline-terminated) with sections [counters],
+    [gauges], [histograms] (summaries: count/mean/min/max/p50/p99), and
+    — when given — [timeseries] (scraped [[time, value]] pairs) and
+    [trace] (ring statistics and per-kind tallies). *)
+
+val write_json_file :
+  ?scrape:Scrape.t -> ?tracer:Tracer.t -> path:string -> Metrics.t -> unit
+
+val pp_text :
+  ?scrape:Scrape.t -> ?tracer:Tracer.t -> Format.formatter -> Metrics.t -> unit
+(** dpctl-flavoured human dump: [lookups: hit:… missed:…], mask totals,
+    then every counter, gauge, histogram summary, series and trace
+    tally. *)
+
+val text_report : ?scrape:Scrape.t -> ?tracer:Tracer.t -> Metrics.t -> string

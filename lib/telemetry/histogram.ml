@@ -1,0 +1,127 @@
+type t = {
+  name : string;
+  lo : float;
+  growth : float;
+  bounds : float array;  (* bounds.(i) = lo * growth^i, length n_buckets+1 *)
+  counts : int array;    (* length n_buckets+2: underflow, buckets, overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create ?(lo = 1.0) ?(growth = 2.0) ?(n_buckets = 48) ~name () =
+  if lo <= 0. then invalid_arg "Histogram.create: lo must be positive";
+  if growth <= 1. then invalid_arg "Histogram.create: growth must exceed 1";
+  if n_buckets < 1 then invalid_arg "Histogram.create: n_buckets";
+  let bounds =
+    Array.init (n_buckets + 1) (fun i -> lo *. (growth ** float_of_int i))
+  in
+  { name; lo; growth; bounds;
+    counts = Array.make (n_buckets + 2) 0;
+    count = 0; sum = 0.; vmin = infinity; vmax = neg_infinity }
+
+let name t = t.name
+let n_buckets t = Array.length t.bounds - 1
+
+(* Bucket layout: index 0 is the underflow bucket (v < lo); index i in
+   [1, n] covers [bounds.(i-1), bounds.(i)); index n+1 is overflow. The
+   float-log estimate can land one bucket off at exact boundaries, so it
+   is corrected against the stored bounds. *)
+let bucket_index t v =
+  if Float.is_nan v then invalid_arg "Histogram.bucket_index: nan";
+  let n = n_buckets t in
+  if v < t.lo then 0
+  else if v >= t.bounds.(n) then n + 1
+  else begin
+    let i = int_of_float (Float.log (v /. t.lo) /. Float.log t.growth) in
+    let i = max 0 (min (n - 1) i) in
+    let i =
+      if v < t.bounds.(i) then i - 1
+      else if v >= t.bounds.(i + 1) then i + 1
+      else i
+    in
+    i + 1
+  end
+
+let bucket_bounds t i =
+  let n = n_buckets t in
+  if i < 0 || i > n + 1 then invalid_arg "Histogram.bucket_bounds";
+  if i = 0 then (neg_infinity, t.lo)
+  else if i = n + 1 then (t.bounds.(n), infinity)
+  else (t.bounds.(i - 1), t.bounds.(i))
+
+let observe t v =
+  let i = bucket_index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then nan else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then nan else t.vmin
+let max_value t = if t.count = 0 then nan else t.vmax
+
+let percentile t p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile";
+  if t.count = 0 then nan
+  else begin
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.count))) in
+    let n = n_buckets t in
+    let rec go i acc =
+      if i > n + 1 then t.vmax
+      else begin
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then begin
+          let hi =
+            if i = 0 then t.lo
+            else if i = n + 1 then t.vmax
+            else t.bounds.(i)
+          in
+          Float.min (Float.max hi t.vmin) t.vmax
+        end
+        else go (i + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_min : float;
+  s_max : float;
+  s_p50 : float;
+  s_p99 : float;
+}
+
+let summary t =
+  { s_count = t.count;
+    s_mean = mean t;
+    s_min = min_value t;
+    s_max = max_value t;
+    s_p50 = percentile t 50.;
+    s_p99 = percentile t 99. }
+
+let nonzero_buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (bucket_bounds t i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.vmin <- infinity;
+  t.vmax <- neg_infinity
+
+let pp ppf t =
+  let s = summary t in
+  Format.fprintf ppf
+    "%s: count:%d mean:%.1f min:%.1f max:%.1f p50:%.1f p99:%.1f" t.name
+    s.s_count s.s_mean s.s_min s.s_max s.s_p50 s.s_p99

@@ -1,0 +1,96 @@
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type item =
+  | Counter of counter
+  | Gauge of gauge
+  | Hist of Histogram.t
+
+type t = { tbl : (string, item) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let wrong_type name what =
+  invalid_arg
+    (Printf.sprintf "Metrics.%s: %S is registered as a different type" what
+       name)
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some _ -> wrong_type name "counter"
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add t.tbl name (Counter c);
+    c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_name c = c.c_name
+let counter_value c = c.c_value
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> g
+  | Some _ -> wrong_type name "gauge"
+  | None ->
+    let g = { g_name = name; g_value = 0. } in
+    Hashtbl.add t.tbl name (Gauge g);
+    g
+
+let set g v = g.g_value <- v
+let gauge_name g = g.g_name
+let gauge_value g = g.g_value
+
+let histogram ?lo ?growth ?n_buckets t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Hist h) -> h
+  | Some _ -> wrong_type name "histogram"
+  | None ->
+    let h = Histogram.create ?lo ?growth ?n_buckets ~name () in
+    Hashtbl.add t.tbl name (Hist h);
+    h
+
+let sorted_fold f t =
+  Hashtbl.fold (fun name item acc -> f name item acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t =
+  sorted_fold
+    (fun name item acc ->
+      match item with Counter c -> (name, c.c_value) :: acc | _ -> acc)
+    t
+
+let gauges t =
+  sorted_fold
+    (fun name item acc ->
+      match item with Gauge g -> (name, g.g_value) :: acc | _ -> acc)
+    t
+
+let histograms t =
+  sorted_fold
+    (fun name item acc -> match item with Hist h -> (name, h) :: acc | _ -> acc)
+    t
+
+let find_counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> Some c.c_value
+  | Some _ | None -> None
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> Some g.g_value
+  | Some _ | None -> None
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Hist h) -> Some h
+  | Some _ | None -> None
+
+let reset t =
+  Hashtbl.iter
+    (fun _ item ->
+      match item with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.
+      | Hist h -> Histogram.reset h)
+    t.tbl

@@ -1,0 +1,55 @@
+(** A registry of named counters, gauges and histograms.
+
+    One registry is threaded (optionally) through the datapath layers so
+    every cache stage reports hits/misses/probes/cycles under stable
+    names ([emc_hit], [mf_hit], [upcall], …) instead of each structure
+    exposing only private mutable fields. Lookups are get-or-create, so
+    independent components sharing a registry converge on the same
+    instrument; a name registered as one instrument type raises
+    [Invalid_argument] when requested as another. *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Get or create a monotonically increasing integer counter. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_name : counter -> string
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> gauge
+(** Get or create a point-in-time float gauge (initially [0.]). *)
+
+val set : gauge -> float -> unit
+val gauge_name : gauge -> string
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+val histogram :
+  ?lo:float -> ?growth:float -> ?n_buckets:int -> t -> string -> Histogram.t
+(** Get or create a log-scale {!Histogram} (bucket options are used only
+    on first creation). *)
+
+(** {1 Enumeration (sorted by name — export is deterministic)} *)
+
+val counters : t -> (string * int) list
+val gauges : t -> (string * float) list
+val histograms : t -> (string * Histogram.t) list
+
+val find_counter : t -> string -> int option
+val find_gauge : t -> string -> float option
+val find_histogram : t -> string -> Histogram.t option
+
+val reset : t -> unit
+(** Zero every counter and gauge, reset every histogram; the
+    registrations themselves persist. *)

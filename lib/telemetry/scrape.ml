@@ -1,0 +1,31 @@
+type source = {
+  s_name : string;
+  sample : unit -> float;
+  series : Timeseries.t;
+}
+
+type t = { mutable sources : source list (* reversed registration order *) }
+
+let create () = { sources = [] }
+
+let register t ~name fn =
+  if List.exists (fun s -> String.equal s.s_name name) t.sources then
+    invalid_arg (Printf.sprintf "Scrape.register: duplicate source %S" name);
+  t.sources <-
+    { s_name = name; sample = fn; series = Timeseries.create ~name } :: t.sources
+
+let tick t ~now =
+  (* Registration order, so sources that read shared state see a
+     consistent sweep ordering. *)
+  List.iter
+    (fun s -> Timeseries.add s.series ~time:now (s.sample ()))
+    (List.rev t.sources)
+
+let n_sources t = List.length t.sources
+
+let series t name =
+  Option.map
+    (fun s -> s.series)
+    (List.find_opt (fun s -> String.equal s.s_name name) t.sources)
+
+let all t = List.rev_map (fun s -> s.series) t.sources

@@ -1,0 +1,27 @@
+(** Periodic gauge sampling into {!Timeseries}.
+
+    A scrape set is a list of named sampling functions (e.g. the
+    datapath's current mask count, megaflow count, EMC occupancy). Each
+    {!tick} — typically driven by the sim engine's [schedule_every] or a
+    scenario's per-tick loop — evaluates every source at the given sim
+    time and appends the value to that source's timeseries, giving every
+    gauge a history instead of only a last value. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> (unit -> float) -> unit
+(** Raises [Invalid_argument] on a duplicate name. *)
+
+val tick : t -> now:float -> unit
+(** Sample every source at time [now] (sources are evaluated in
+    registration order). Times must be non-decreasing across ticks
+    (enforced by {!Timeseries.add}). *)
+
+val n_sources : t -> int
+
+val series : t -> string -> Timeseries.t option
+
+val all : t -> Timeseries.t list
+(** All series in registration order. *)

@@ -1,0 +1,52 @@
+type t = {
+  name : string;
+  mutable samples : (float * float) list;  (* reversed *)
+  mutable n : int;
+  mutable last_time : float;
+}
+
+let create ~name = { name; samples = []; n = 0; last_time = neg_infinity }
+
+let name t = t.name
+
+let add t ~time v =
+  if time < t.last_time then invalid_arg "Timeseries.add: time went backwards";
+  t.samples <- (time, v) :: t.samples;
+  t.n <- t.n + 1;
+  t.last_time <- time
+
+let length t = t.n
+
+let to_list t = List.rev t.samples
+
+let values_between t ~lo ~hi =
+  List.filter_map
+    (fun (ts, v) -> if ts >= lo && ts < hi then Some v else None)
+    (to_list t)
+
+let mean_between t ~lo ~hi =
+  match values_between t ~lo ~hi with
+  | [] -> nan
+  | vs -> List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+
+let fold_values f init t = List.fold_left (fun acc (_, v) -> f acc v) init t.samples
+
+let min_value t =
+  if t.n = 0 then nan else fold_values Float.min infinity t
+
+let max_value t =
+  if t.n = 0 then nan else fold_values Float.max neg_infinity t
+
+let last t = match t.samples with [] -> None | (_, v) :: _ -> Some v
+
+let percentile values p =
+  if p < 0. || p > 100. then invalid_arg "Timeseries.percentile";
+  match List.sort Float.compare values with
+  | [] -> nan
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    List.nth sorted (rank - 1)
+
+let pp_row ppf (ts, v) = Format.fprintf ppf "%8.2f  %12.4f" ts v

@@ -1,0 +1,78 @@
+type kind =
+  | Emc_hit
+  | Mf_hit of { probes : int }
+  | Upcall of { slow_probes : int }
+  | Mask_created of { n_masks : int }
+  | Megaflow_evicted of { count : int }
+  | Revalidate of { evicted : int; n_masks : int }
+
+type event = { at : float; kind : kind }
+
+type t = {
+  ring : event option array;
+  mutable head : int;  (* next write slot *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Tracer.create: capacity";
+  { ring = Array.make capacity None; head = 0; len = 0; dropped = 0; total = 0 }
+
+let capacity t = Array.length t.ring
+
+let record t ~at kind =
+  let cap = capacity t in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.ring.(t.head) <- Some { at; kind };
+  t.head <- (t.head + 1) mod cap;
+  t.total <- t.total + 1
+
+let length t = t.len
+let dropped t = t.dropped
+let total t = t.total
+
+let to_list t =
+  let cap = capacity t in
+  let start = (t.head - t.len + cap) mod cap in
+  List.init t.len (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  t.total <- 0
+
+let kind_name = function
+  | Emc_hit -> "emc_hit"
+  | Mf_hit _ -> "mf_hit"
+  | Upcall _ -> "upcall"
+  | Mask_created _ -> "mask_created"
+  | Megaflow_evicted _ -> "megaflow_evicted"
+  | Revalidate _ -> "revalidate"
+
+let counts_by_kind t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let k = kind_name e.kind in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    (to_list t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_kind ppf = function
+  | Emc_hit -> Format.pp_print_string ppf "emc_hit"
+  | Mf_hit { probes } -> Format.fprintf ppf "mf_hit probes:%d" probes
+  | Upcall { slow_probes } -> Format.fprintf ppf "upcall slow_probes:%d" slow_probes
+  | Mask_created { n_masks } -> Format.fprintf ppf "mask_created n_masks:%d" n_masks
+  | Megaflow_evicted { count } -> Format.fprintf ppf "megaflow_evicted count:%d" count
+  | Revalidate { evicted; n_masks } ->
+    Format.fprintf ppf "revalidate evicted:%d n_masks:%d" evicted n_masks
+
+let pp_event ppf e = Format.fprintf ppf "[%10.6f] %a" e.at pp_kind e.kind

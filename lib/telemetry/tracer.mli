@@ -1,0 +1,48 @@
+(** Bounded ring-buffer trace of typed dataplane events.
+
+    Each datapath decision point records a compact event with the sim
+    timestamp. The ring keeps the most recent [capacity] events; older
+    events are overwritten and counted in {!dropped}, so a long attack
+    run costs bounded memory while the tail of the event stream (and the
+    exact sequence around an incident) stays inspectable. *)
+
+type kind =
+  | Emc_hit
+  | Mf_hit of { probes : int }           (** megaflow hit after [probes] subtable probes *)
+  | Upcall of { slow_probes : int }      (** slow-path upcall, classifier probe count *)
+  | Mask_created of { n_masks : int }    (** new megaflow mask; total now [n_masks] *)
+  | Megaflow_evicted of { count : int }
+  | Revalidate of { evicted : int; n_masks : int }
+
+type event = { at : float; kind : kind }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 events. Raises on [capacity < 1]. *)
+
+val capacity : t -> int
+
+val record : t -> at:float -> kind -> unit
+(** O(1); overwrites the oldest event once full. *)
+
+val length : t -> int
+(** Events currently held ([<= capacity]). *)
+
+val dropped : t -> int
+(** Events overwritten since creation/clear. *)
+
+val total : t -> int
+(** Events ever recorded since creation/clear. *)
+
+val to_list : t -> event list
+(** Retained events, oldest first. *)
+
+val counts_by_kind : t -> (string * int) list
+(** Tally of retained events per {!kind_name}, sorted by name. *)
+
+val clear : t -> unit
+
+val kind_name : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val pp_event : Format.formatter -> event -> unit
