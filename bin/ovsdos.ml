@@ -161,7 +161,8 @@ let dump variant allow_src seed max =
     (Packet_gen.flows ~seed:(Int64.of_int seed) gen);
   Printf.printf "# %d megaflows across %d masks after one covert round\n"
     (Pi_ovs.Datapath.n_megaflows dp) (Pi_ovs.Datapath.n_masks dp);
-  Pi_ovs.Megaflow.dump ~max Format.std_formatter (Pi_ovs.Datapath.megaflow dp)
+  Pi_ovs.Megaflow.dump ~max ~now:0. Format.std_formatter
+    (Pi_ovs.Datapath.megaflow dp)
 
 let dump_cmd =
   let max =
@@ -264,7 +265,7 @@ let write_csv path samples =
             s.Pi_sim.Scenario.loss)
         samples)
 
-let attack variant duration start offered every coarse csv json =
+let attack variant duration start offered every coarse shards batch csv json =
   let open Pi_sim in
   let a = { Scenario.default_attack with Scenario.variant; start } in
   let dc =
@@ -282,6 +283,8 @@ let attack variant duration start offered every coarse csv json =
       Scenario.duration;
       victim_offered_gbps = offered;
       attack = Some a;
+      n_shards = shards;
+      batch_size = batch;
       datapath_config = dc;
       metrics }
   in
@@ -295,6 +298,33 @@ let attack variant duration start offered every coarse csv json =
   Format.printf "@.pre-attack mean: %.3f Gbps, post-attack mean: %.3f Gbps, peak masks: %d@."
     r.Scenario.pre_attack_mean_gbps r.Scenario.post_attack_mean_gbps
     r.Scenario.peak_masks;
+  if shards > 1 then begin
+    (* Per-PMD blast radius: every shard the covert flows hash onto
+       grows its own mask set and loses its own core. *)
+    let final_masks i =
+      match List.rev r.Scenario.samples with
+      | s :: _ -> s.Scenario.shard_masks.(i)
+      | [] -> 0
+    in
+    let post_start = start +. 10. in
+    let mean_gbps i =
+      let vs =
+        List.filter_map
+          (fun (s : Scenario.sample) ->
+            if s.Scenario.time >= post_start then Some s.Scenario.shard_gbps.(i)
+            else None)
+          r.Scenario.samples
+      in
+      List.fold_left ( +. ) 0. vs /. float_of_int (max 1 (List.length vs))
+    in
+    Format.printf "@.%-8s %12s %12s %16s@." "shard" "peak masks" "final masks"
+      "post[Gbps]";
+    Array.iteri
+      (fun i peak ->
+        Format.printf "%-8d %12d %12d %16.4f@." i peak (final_masks i)
+          (mean_gbps i))
+      r.Scenario.peak_shard_masks
+  end;
   (match csv with
    | Some path ->
      write_csv path r.Scenario.samples;
@@ -326,6 +356,17 @@ let attack_cmd =
   let coarse =
     Arg.(value & flag & info [ "mitigate" ] ~doc:"Enable the coarsened un-wildcarding mitigation.")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"PMD threads (one core each); covert and victim flows are \
+                   RSS-steered across them. 1 reproduces the single-datapath \
+                   model exactly.")
+  in
+  let batch =
+    Arg.(value & opt int 32
+         & info [ "batch" ] ~docv:"B" ~doc:"Rx burst size per PMD (OVS: 32).")
+  in
   let csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write per-second samples as CSV.")
@@ -338,7 +379,7 @@ let attack_cmd =
   in
   Cmd.v (Cmd.info "attack" ~doc:"Run the Fig. 3 end-to-end scenario")
     Term.(const attack $ variant_arg $ duration $ start $ offered $ every $ coarse
-          $ csv $ json)
+          $ shards $ batch $ csv $ json)
 
 let main_cmd =
   let doc = "policy injection: a cloud dataplane DoS attack (SIGCOMM'18 reproduction)" in

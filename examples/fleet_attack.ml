@@ -80,4 +80,35 @@ let () =
   Printf.printf
     "\none tenant, %d covert streams of ~0.1 Mb/s each: every hypervisor in\n\
      the fleet that hosts one of its pods is degraded simultaneously.\n"
-    n_servers
+    n_servers;
+
+  (* Multi-queue hosts fare no better: on a server running several PMD
+     threads, RSS spreads the covert flows across every core, so each
+     PMD's private megaflow cache inflates on its own. *)
+  let spec =
+    Policy_injection.Policy_gen.default_spec ~variant:Variant.Src_dport
+      ~allow_src:(ip "10.0.0.10") ()
+  in
+  let pmd =
+    Pi_ovs.Pmd.create
+      ~config:{ Pi_ovs.Pmd.default_config with Pi_ovs.Pmd.n_shards = 4 }
+      (Pi_pkt.Prng.create 7L) ()
+  in
+  Pi_ovs.Pmd.install_rules pmd
+    (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2)
+       (Policy_injection.Policy_gen.acl spec));
+  let covert =
+    Policy_injection.Packet_gen.flows ~seed:7L
+      (Policy_injection.Packet_gen.make ~spec ~dst:(ip "10.200.0.1") ())
+    |> List.map (fun f -> (f, 100))
+    |> Array.of_list
+  in
+  ignore (Pi_ovs.Pmd.process_batch pmd ~now:0. covert);
+  Printf.printf
+    "\na 4-PMD host after one covert round (one mask set per core):\n";
+  Array.iteri
+    (fun i m -> Printf.printf "  pmd-%d: %d megaflow masks\n" i m)
+    (Pi_ovs.Pmd.per_shard_masks pmd);
+  Printf.printf "  total: %d masks across %d batches of <=%d packets\n"
+    (Pi_ovs.Pmd.n_masks pmd) (Pi_ovs.Pmd.n_batches pmd)
+    (Pi_ovs.Pmd.config pmd).Pi_ovs.Pmd.batch_size

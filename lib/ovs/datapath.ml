@@ -93,14 +93,22 @@ let finish t outcome action =
   observe t.h_cycles c;
   (action, outcome)
 
+let mf_alive (e : Megaflow.entry) = e.Megaflow.alive
+
 let process t ~now flow ~pkt_len =
   t.n_processed <- t.n_processed + 1;
   (match t.c_packets with
    | Some c -> Pi_telemetry.Metrics.incr c
    | None -> ());
-  let emc_entry = if t.cfg.emc_enabled then Emc.lookup t.emc flow else None in
+  let emc_entry =
+    if t.cfg.emc_enabled then
+      (* [valid] makes a cached-but-dead megaflow reference count (and
+         evict) as a miss instead of inflating the EMC hit rate. *)
+      Emc.lookup ~valid:mf_alive t.emc flow
+    else None
+  in
   match emc_entry with
-  | Some e when e.Megaflow.alive ->
+  | Some e ->
     t.last_mf <- Some e;
     e.Megaflow.last_used <- now;
     e.Megaflow.n_packets <- e.Megaflow.n_packets + 1;
@@ -110,7 +118,7 @@ let process t ~now flow ~pkt_len =
       { Cost_model.emc_hit = true; mf_probes = 0; mf_hit = false;
         upcall = false; slow_probes = 0; pkt_len }
       e.Megaflow.action
-  | Some _ | None -> begin
+  | None -> begin
     let mf_lookup () =
       match t.mcache with
       | Some cache -> Megaflow.lookup_hinted t.mf cache flow ~now ~pkt_len
@@ -147,10 +155,7 @@ let process t ~now flow ~pkt_len =
         match t.cfg.mask_limit with
         | Some limit
           when Megaflow.n_masks t.mf >= limit
-               && not
-                    (List.exists
-                       (Pi_classifier.Mask.equal mask)
-                       (Megaflow.masks t.mf)) ->
+               && not (Megaflow.has_mask t.mf mask) ->
           Pi_classifier.Mask.exact
         | Some _ | None -> mask
       in

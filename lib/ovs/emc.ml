@@ -40,16 +40,29 @@ let bump = function
   | Some c -> Pi_telemetry.Metrics.incr c
   | None -> ()
 
-let lookup t flow =
-  match t.slots.(slot_of t flow) with
-  | Some s when Flow.equal s.key flow ->
-    t.hits <- t.hits + 1;
-    bump t.c_hit;
-    Some s.value
-  | Some _ | None ->
+let lookup ?valid t flow =
+  let i = slot_of t flow in
+  let miss () =
     t.misses <- t.misses + 1;
     bump t.c_miss;
     None
+  in
+  match t.slots.(i) with
+  | Some s when Flow.equal s.key flow -> begin
+    match valid with
+    | Some ok when not (ok s.value) ->
+      (* The cached value is dead (e.g. its megaflow was evicted): that
+         is a miss, not a hit — and the slot is reclaimed so the next
+         packet does not pay the dead probe again. *)
+      t.slots.(i) <- None;
+      t.occupied <- t.occupied - 1;
+      miss ()
+    | Some _ | None ->
+      t.hits <- t.hits + 1;
+      bump t.c_hit;
+      Some s.value
+  end
+  | Some _ | None -> miss ()
 
 let insert_forced t flow value =
   let i = slot_of t flow in

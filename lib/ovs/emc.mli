@@ -21,8 +21,12 @@ val create :
 
 val capacity : 'a t -> int
 
-val lookup : 'a t -> Pi_classifier.Flow.t -> 'a option
-(** Exact-match hit or nothing. Updates hit/miss counters. *)
+val lookup : ?valid:('a -> bool) -> 'a t -> Pi_classifier.Flow.t -> 'a option
+(** Exact-match hit or nothing. Updates hit/miss counters. When [valid]
+    is given and rejects the cached value (a stale reference to an
+    evicted megaflow), the lookup counts as a {e miss} — not a hit —
+    and the dead slot is evicted on the spot, so EMC hit-rate statistics
+    reflect only lookups that actually short-circuited classification. *)
 
 val insert : 'a t -> Pi_classifier.Flow.t -> 'a -> unit
 (** Probabilistic insert: with probability [1/insert_inv_prob] the

@@ -3,6 +3,9 @@ open Pi_classifier
 type t = {
   slots : int array;  (* -1 = empty, otherwise a mask index *)
   mask : int;
+  mutable generation : int;
+      (* the megaflow subtable-array generation the cached indices were
+         recorded against; see [sync_generation] *)
   mutable hits : int;
   mutable misses : int;
 }
@@ -14,7 +17,8 @@ let next_pow2 n =
 let create ?(capacity = 256) () =
   if capacity < 1 then invalid_arg "Mask_cache.create";
   let cap = next_pow2 capacity in
-  { slots = Array.make cap (-1); mask = cap - 1; hits = 0; misses = 0 }
+  { slots = Array.make cap (-1); mask = cap - 1; generation = 0;
+    hits = 0; misses = 0 }
 
 let capacity t = Array.length t.slots
 
@@ -27,6 +31,14 @@ let hint t flow =
 let record t flow idx = t.slots.(slot t flow) <- idx
 
 let clear t = Array.fill t.slots 0 (Array.length t.slots) (-1)
+
+let generation t = t.generation
+
+let sync_generation t gen =
+  if t.generation <> gen then begin
+    clear t;
+    t.generation <- gen
+  end
 
 let note_hit t = t.hits <- t.hits + 1
 let note_miss t = t.misses <- t.misses + 1

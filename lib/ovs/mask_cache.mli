@@ -27,6 +27,15 @@ val record : t -> Pi_classifier.Flow.t -> int -> unit
 
 val clear : t -> unit
 
+val generation : t -> int
+val sync_generation : t -> int -> unit
+(** [sync_generation t gen] empties the cache iff its recorded
+    generation differs from [gen] (then remembers [gen]). Used by
+    {!Megaflow.lookup_hinted}: whenever the megaflow subtable array is
+    reordered, every cached index may point at the wrong subtable — with
+    overlapping masks a stale hint could even return a {e different}
+    entry than the linear scan — so all hints are dropped wholesale. *)
+
 val note_hit : t -> unit
 val note_miss : t -> unit
 (** Counter hooks used by {!Megaflow.lookup_hinted}: a hint that led

@@ -28,11 +28,19 @@ type config = {
 
 let default_config = { max_entries = 200_000; idle_timeout = 10.0 }
 
+(* Subtables live in a growable array scanned in creation order, so the
+   per-packet bookkeeping is O(1): [n_tables] is the mask count (no list
+   walk), [by_mask] answers mask-membership in one probe, and a new mask
+   is an amortised-O(1) append. [generation] counts the reorderings
+   (resort, compaction, flush) that invalidate any previously handed-out
+   subtable index — the {!Mask_cache} hints — while plain appends leave
+   existing indices valid and do not bump it. *)
 type t = {
   cfg : config;
   by_mask : subtable Tables.Mask_tbl.t;
-  mutable scan : subtable list;  (* creation order: first created probed first *)
-  mutable arr : subtable array;  (* same content, for indexed (hinted) access *)
+  mutable arr : subtable array;     (* slots [0, n_tables) are live *)
+  mutable n_tables : int;
+  mutable generation : int;
   mutable n : int;
   mutable hits : int;
   mutable misses : int;
@@ -44,16 +52,13 @@ type t = {
   c_evicted : Pi_telemetry.Metrics.counter option;
 }
 
-let set_scan t l =
-  t.scan <- l;
-  t.arr <- Array.of_list l
-
 let create ?(config = default_config) ?metrics () =
   let c name = Option.map (fun m -> Pi_telemetry.Metrics.counter m name) metrics in
   { cfg = config;
     by_mask = Tables.Mask_tbl.create 64;
-    scan = [];
     arr = [||];
+    n_tables = 0;
+    generation = 0;
     n = 0;
     hits = 0;
     misses = 0;
@@ -63,6 +68,30 @@ let create ?(config = default_config) ?metrics () =
     c_probes = c "mf_probes";
     c_mask_created = c "mask_created";
     c_evicted = c "megaflow_evicted" }
+
+let generation t = t.generation
+
+let iter_subtables f t =
+  for i = 0 to t.n_tables - 1 do
+    f t.arr.(i)
+  done
+
+let push_subtable t st =
+  let cap = Array.length t.arr in
+  if t.n_tables = cap then begin
+    let arr = Array.make (max 8 (2 * cap)) st in
+    Array.blit t.arr 0 arr 0 cap;
+    t.arr <- arr
+  end;
+  t.arr.(t.n_tables) <- st;
+  t.n_tables <- t.n_tables + 1
+
+(* Replace the live prefix with [l]; any outstanding index is now stale,
+   so the generation advances. *)
+let set_tables t l =
+  t.arr <- Array.of_list l;
+  t.n_tables <- Array.length t.arr;
+  t.generation <- t.generation + 1
 
 let bump ?(by = 1) = function
   | Some c -> Pi_telemetry.Metrics.incr ~by c
@@ -75,67 +104,74 @@ let find_in_subtable st flow =
   | Some bucket ->
     List.find_opt (fun e -> Mask.equal_masked st.s_mask e.key flow) !bucket
 
+let hit_entry t st e ~now ~pkt_len ~probes =
+  e.last_used <- now;
+  e.n_packets <- e.n_packets + 1;
+  e.n_bytes <- e.n_bytes + pkt_len;
+  st.s_hits <- st.s_hits + 1;
+  t.hits <- t.hits + 1;
+  t.probes <- t.probes + probes;
+  bump t.c_hit;
+  bump ~by:probes t.c_probes
+
+let miss t ~probes =
+  t.misses <- t.misses + 1;
+  t.probes <- t.probes + probes;
+  bump t.c_miss;
+  bump ~by:probes t.c_probes
+
 let lookup t flow ~now ~pkt_len =
-  let rec go probes = function
-    | [] ->
-      t.misses <- t.misses + 1;
-      t.probes <- t.probes + probes;
-      bump t.c_miss;
-      bump ~by:probes t.c_probes;
+  let rec go i probes =
+    if i >= t.n_tables then begin
+      miss t ~probes;
       (None, probes)
-    | st :: rest -> begin
+    end
+    else begin
+      let st = t.arr.(i) in
       let probes = probes + 1 in
       match find_in_subtable st flow with
       | Some e ->
-        e.last_used <- now;
-        e.n_packets <- e.n_packets + 1;
-        e.n_bytes <- e.n_bytes + pkt_len;
-        st.s_hits <- st.s_hits + 1;
-        t.hits <- t.hits + 1;
-        t.probes <- t.probes + probes;
-        bump t.c_hit;
-        bump ~by:probes t.c_probes;
+        hit_entry t st e ~now ~pkt_len ~probes;
         (Some e, probes)
-      | None -> go probes rest
+      | None -> go (i + 1) probes
     end
   in
-  go 0 t.scan
+  go 0 0
 
 (* Kernel-style lookup: try the mask the flow's hash slot matched last
    time (one probe); fall back to the linear scan and refresh the hint.
    A correct hint makes a stable flow O(1) even with thousands of masks
-   — until the cache's few hundred slots are thrashed. *)
+   — until the cache's few hundred slots are thrashed.
+
+   The cache is synchronised with the subtable generation first: after a
+   resort/compaction every cached index may point at a different mask,
+   and with overlapping attack masks a stale hint could return a
+   different entry than the linear scan would. *)
 let lookup_hinted t cache flow ~now ~pkt_len =
-  let try_hint () =
+  Mask_cache.sync_generation cache t.generation;
+  (* [base]: probes already paid by a failed hint before the fallback
+     scan. Only an index that actually reached [find_in_subtable] counts;
+     an out-of-range hint never probed anything. *)
+  let hit, base =
     match Mask_cache.hint cache flow with
-    | Some i when i < Array.length t.arr -> begin
+    | Some i when i < t.n_tables -> begin
       let st = t.arr.(i) in
       match find_in_subtable st flow with
       | Some e ->
-        e.last_used <- now;
-        e.n_packets <- e.n_packets + 1;
-        e.n_bytes <- e.n_bytes + pkt_len;
-        st.s_hits <- st.s_hits + 1;
-        t.hits <- t.hits + 1;
-        t.probes <- t.probes + 1;
-        bump t.c_hit;
-        bump t.c_probes;
+        hit_entry t st e ~now ~pkt_len ~probes:1;
         Mask_cache.note_hit cache;
-        Some (Some e, 1)
-      | None -> None
+        (Some (Some e, 1), 0)
+      | None -> (None, 1)
     end
-    | Some _ | None -> None
+    | Some _ | None -> (None, 0)
   in
-  match try_hint () with
+  match hit with
   | Some r -> r
   | None ->
     Mask_cache.note_miss cache;
     let rec go i probes =
-      if i >= Array.length t.arr then begin
-        t.misses <- t.misses + 1;
-        t.probes <- t.probes + probes;
-        bump t.c_miss;
-        bump ~by:probes t.c_probes;
+      if i >= t.n_tables then begin
+        miss t ~probes;
         (None, probes)
       end
       else begin
@@ -143,30 +179,23 @@ let lookup_hinted t cache flow ~now ~pkt_len =
         let probes = probes + 1 in
         match find_in_subtable st flow with
         | Some e ->
-          e.last_used <- now;
-          e.n_packets <- e.n_packets + 1;
-          e.n_bytes <- e.n_bytes + pkt_len;
-          st.s_hits <- st.s_hits + 1;
-          t.hits <- t.hits + 1;
-          t.probes <- t.probes + probes;
-          bump t.c_hit;
-          bump ~by:probes t.c_probes;
+          hit_entry t st e ~now ~pkt_len ~probes;
           Mask_cache.record cache flow i;
           (Some e, probes)
         | None -> go (i + 1) probes
       end
     in
-    (* The failed hint probe counts too. *)
-    let base = match Mask_cache.hint cache flow with Some _ -> 1 | None -> 0 in
     go 0 base
 
 (* Userspace-dpcls-style ranking: periodically sort subtables so the
    most-hit masks are probed first (OVS's pvector). Decays counts so
    the ordering tracks recent traffic. *)
 let resort_by_hits t =
-  let l = List.stable_sort (fun a b -> Int.compare b.s_hits a.s_hits) t.scan in
+  let live = Array.sub t.arr 0 t.n_tables in
+  let l = List.stable_sort (fun a b -> Int.compare b.s_hits a.s_hits)
+      (Array.to_list live) in
   List.iter (fun st -> st.s_hits <- st.s_hits / 2) l;
-  set_scan t l
+  set_tables t l
 
 let remove_entry t st (e : entry) =
   let h = Mask.hash_masked st.s_mask e.key in
@@ -180,10 +209,16 @@ let remove_entry t st (e : entry) =
   t.n <- t.n - 1
 
 let drop_empty_subtables t =
-  let dead, live = List.partition (fun st -> st.s_count = 0) t.scan in
-  if dead <> [] then begin
-    List.iter (fun st -> Tables.Mask_tbl.remove t.by_mask st.s_mask) dead;
-    set_scan t live
+  let any_dead = ref false in
+  iter_subtables (fun st -> if st.s_count = 0 then any_dead := true) t;
+  if !any_dead then begin
+    let live = ref [] in
+    iter_subtables
+      (fun st ->
+        if st.s_count = 0 then Tables.Mask_tbl.remove t.by_mask st.s_mask
+        else live := st :: !live)
+      t;
+    set_tables t (List.rev !live)
   end
 
 (* LRU eviction used when the flow limit is hit: evict the oldest ~5% so
@@ -191,11 +226,11 @@ let drop_empty_subtables t =
    to flow-limit pressure. *)
 let evict_lru t =
   let all = ref [] in
-  List.iter
+  iter_subtables
     (fun st ->
       Hashtbl.iter (fun _ b -> List.iter (fun e -> all := (st, e) :: !all) !b)
         st.s_entries)
-    t.scan;
+    t;
   let sorted =
     List.sort (fun (_, a) (_, b) -> Float.compare a.last_used b.last_used) !all
   in
@@ -212,6 +247,8 @@ let evict_lru t =
   drop 0 sorted;
   drop_empty_subtables t
 
+let has_mask t mask = Tables.Mask_tbl.mem t.by_mask mask
+
 let insert t ~key ~mask ~action ~revision ~now =
   if t.n >= t.cfg.max_entries then evict_lru t;
   let st =
@@ -222,7 +259,7 @@ let insert t ~key ~mask ~action ~revision ~now =
         { s_mask = mask; s_entries = Hashtbl.create 16; s_count = 0; s_hits = 0 }
       in
       Tables.Mask_tbl.add t.by_mask mask st;
-      set_scan t (t.scan @ [ st ]);
+      push_subtable t st;
       bump t.c_mask_created;
       st
   in
@@ -244,7 +281,7 @@ let insert t ~key ~mask ~action ~revision ~now =
 
 let revalidate t ~now ?(keep = fun _ -> true) () =
   let evicted = ref 0 in
-  List.iter
+  iter_subtables
     (fun st ->
       let dead = ref [] in
       Hashtbl.iter
@@ -261,31 +298,34 @@ let revalidate t ~now ?(keep = fun _ -> true) () =
           bump t.c_evicted;
           incr evicted)
         !dead)
-    t.scan;
+    t;
   drop_empty_subtables t;
   !evicted
 
 let flush t =
-  List.iter
+  iter_subtables
     (fun st ->
       Hashtbl.iter (fun _ b -> List.iter (fun e -> e.alive <- false) !b)
         st.s_entries)
-    t.scan;
+    t;
   Tables.Mask_tbl.reset t.by_mask;
-  set_scan t [];
+  set_tables t [];
   t.n <- 0
 
 let n_entries t = t.n
-let n_masks t = List.length t.scan
-let masks t = List.map (fun st -> st.s_mask) t.scan
+let n_masks t = t.n_tables
+
+let masks t =
+  List.init t.n_tables (fun i -> t.arr.(i).s_mask)
 
 let entries t =
-  List.concat_map
-    (fun st ->
-      Hashtbl.fold (fun _ b acc -> !b @ acc) st.s_entries [])
-    t.scan
+  let acc = ref [] in
+  for i = t.n_tables - 1 downto 0 do
+    acc := Hashtbl.fold (fun _ b acc -> !b @ acc) t.arr.(i).s_entries !acc
+  done;
+  !acc
 
-let pp_entry ppf e =
+let pp_entry ~now ppf e =
   let first = ref true in
   List.iter
     (fun f ->
@@ -311,25 +351,29 @@ let pp_entry ppf e =
       end)
     Field.all;
   if !first then Format.pp_print_string ppf "match=any";
-  Format.fprintf ppf " packets:%d bytes:%d used:%.2fs actions:%s" e.n_packets
-    e.n_bytes e.last_used (Action.to_string e.action)
+  (* dpctl prints how long ago the entry was last hit, not an absolute
+     stamp; entries that never carried a packet show "never". *)
+  Format.fprintf ppf " packets:%d bytes:%d " e.n_packets e.n_bytes;
+  if e.n_packets = 0 then Format.pp_print_string ppf "used:never"
+  else Format.fprintf ppf "used:%.2fs" (Float.max 0. (now -. e.last_used));
+  Format.fprintf ppf " actions:%s" (Action.to_string e.action)
 
-let dump ?max ppf t =
+let dump ?max ~now ppf t =
   let printed = ref 0 in
   let limit = match max with Some m -> m | None -> max_int in
-  List.iter
+  iter_subtables
     (fun st ->
       Hashtbl.iter
         (fun _ b ->
           List.iter
             (fun e ->
               if !printed < limit then begin
-                Format.fprintf ppf "%a@." pp_entry e;
+                Format.fprintf ppf "%a@." (pp_entry ~now) e;
                 incr printed
               end)
             !b)
         st.s_entries)
-    t.scan;
+    t;
   if t.n > limit then Format.fprintf ppf "... (%d more)@." (t.n - limit)
 
 let hits t = t.hits

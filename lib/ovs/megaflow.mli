@@ -45,7 +45,20 @@ val lookup_hinted :
   entry option * int
 (** Kernel-datapath flavour: consult the {!Mask_cache} first (a correct
     hint costs one probe), fall back to the linear scan and refresh the
-    hint. Stale hints cost their probe, exactly as in the kernel. *)
+    hint. A stale in-range hint costs its probe, exactly as in the
+    kernel; a hint that never reached a subtable (out of range) costs
+    nothing. The cache is invalidated first if the subtable array has
+    been reordered since the hints were recorded (see {!generation}). *)
+
+val generation : t -> int
+(** Incremented whenever subtable indices are invalidated (ranking
+    resort, empty-subtable compaction, flush). Appending a new mask
+    leaves existing indices valid and does not change the generation.
+    {!lookup_hinted} uses this to drop stale {!Mask_cache} hints. *)
+
+val has_mask : t -> Pi_classifier.Mask.t -> bool
+(** O(1) mask-membership test (the [mask_limit] check), replacing a
+    linear walk over {!masks}. *)
 
 val resort_by_hits : t -> unit
 (** Userspace-dpcls flavour: reorder the subtable scan so the most-hit
@@ -68,19 +81,24 @@ val revalidate : t -> now:float -> ?keep:(entry -> bool) -> unit -> int
 val flush : t -> unit
 
 val n_entries : t -> int
+
 val n_masks : t -> int
+(** O(1): maintained as a counter, not a list length. *)
+
 val masks : t -> Pi_classifier.Mask.t list
 (** In scan order. *)
 
 val entries : t -> entry list
 
-val pp_entry : Format.formatter -> entry -> unit
+val pp_entry : now:float -> Format.formatter -> entry -> unit
 (** ovs-dpctl-style rendering:
-    [ip_src=10.0.0.0/9,tp_dst=80 packets:3 bytes:300 used:4.20s actions:drop]. *)
+    [ip_src=10.0.0.0/9,tp_dst=80 packets:3 bytes:300 used:4.20s actions:drop].
+    As in [ovs-appctl dpctl/dump-flows], [used] is the {e age} of the
+    last hit ([now - last_used]); entries never hit print [used:never]. *)
 
-val dump : ?max:int -> Format.formatter -> t -> unit
+val dump : ?max:int -> now:float -> Format.formatter -> t -> unit
 (** Print entries in scan order, one per line ([max] defaults to all) —
-    the equivalent of [ovs-dpctl dump-flows]. *)
+    the equivalent of [ovs-dpctl dump-flows] at time [now]. *)
 
 val hits : t -> int
 val misses : t -> int

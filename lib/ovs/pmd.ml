@@ -1,0 +1,188 @@
+(* A sharded datapath modelling OVS's poll-mode-driver (PMD) threads.
+
+   Real multi-queue OVS runs one PMD thread per core; the NIC's RSS hash
+   steers each flow to one queue, and every PMD owns a private EMC,
+   megaflow cache and (kernel flavour) mask cache. The mask explosion
+   therefore degrades *every shard that sees attack traffic* — the
+   per-core measurements of the TSE follow-up study (Csikor et al.,
+   arXiv:2011.09107).
+
+   Shards are fully independent: no locks, no shared mutable state. When
+   [parallel] is set and there is more than one shard, each shard's
+   slice of a batch runs on its own OCaml 5 domain; because the shards
+   never share state, the parallel run is bit-for-bit identical to the
+   deterministic sequential mode (enforced by the parity test suite). *)
+
+type config = {
+  n_shards : int;
+  batch_size : int;
+      (* rx burst size; OVS's NETDEV_MAX_BURST is 32 *)
+  parallel : bool;
+  batch_cycles : float;
+      (* fixed per-rx-batch cost (ring doorbell, prefetch setup),
+         amortised over the packets of the batch *)
+  dp : Datapath.config;
+}
+
+let default_config =
+  { n_shards = 1;
+    batch_size = 32;
+    parallel = true;
+    batch_cycles = 0.;
+    dp = Datapath.default_config }
+
+type shard = {
+  dp : Datapath.t;
+  metrics : Pi_telemetry.Metrics.t option;
+  mutable n_batches : int;
+  mutable overhead_cycles : float;
+}
+
+type t = {
+  cfg : config;
+  shards : shard array;
+}
+
+let create ?(config = default_config) ?tss_config ?metrics ?tracer rng () =
+  if config.n_shards < 1 then invalid_arg "Pmd.create: n_shards";
+  if config.batch_size < 1 then invalid_arg "Pmd.create: batch_size";
+  let mk_shard i =
+    (* A single shard IS the seed datapath: same PRNG stream, same
+       (shared) telemetry registry, same tracer — the 1-shard Pmd is
+       bit-for-bit the unsharded Datapath. With several shards each gets
+       an independent substream and a private registry, so domains never
+       touch shared instruments. *)
+    if config.n_shards = 1 then
+      { dp = Datapath.create ~config:config.dp ?tss_config ?metrics ?tracer rng ();
+        metrics;
+        n_batches = 0;
+        overhead_cycles = 0. }
+    else begin
+      ignore i;
+      let metrics = Option.map (fun _ -> Pi_telemetry.Metrics.create ()) metrics in
+      { dp = Datapath.create ~config:config.dp ?tss_config ?metrics
+               (Pi_pkt.Prng.split rng) ();
+        metrics;
+        n_batches = 0;
+        overhead_cycles = 0. }
+    end
+  in
+  { cfg = config; shards = Array.init config.n_shards mk_shard }
+
+let config t = t.cfg
+let n_shards t = Array.length t.shards
+let shard t i = t.shards.(i).dp
+let shard_metrics t i = t.shards.(i).metrics
+
+(* RSS-style steering. [Flow.hash]'s low bits already index the EMC and
+   the mask cache, so using them for shard choice too would strip
+   entropy from every shard's caches (all flows of shard s would share
+   their low hash bits). Remix through an xorshift-multiply first, as a
+   NIC's Toeplitz hash is likewise independent of the software hash. *)
+let remix h =
+  let h = h lxor (h lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h land max_int in
+  h lxor (h lsr 29)
+
+let shard_of t flow =
+  if Array.length t.shards = 1 then 0
+  else remix (Pi_classifier.Flow.hash flow) mod Array.length t.shards
+
+let shard_for t flow = (t.shards.(shard_of t flow)).dp
+
+let install_rules t rules =
+  Array.iter (fun s -> Datapath.install_rules s.dp rules) t.shards
+
+let remove_rules t pred =
+  Array.fold_left (fun acc s -> acc + Datapath.remove_rules s.dp pred) 0 t.shards
+
+let process t ~now flow ~pkt_len =
+  Datapath.process (shard_for t flow) ~now flow ~pkt_len
+
+let dummy_result =
+  ( Action.Drop,
+    { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
+      upcall = false; slow_probes = 0; pkt_len = 0 } )
+
+let process_batch t ~now pkts =
+  let n = Array.length pkts in
+  if n = 0 then [||]
+  else begin
+    let n_shards = Array.length t.shards in
+    let out = Array.make n dummy_result in
+    (* Steer: per-shard index lists in arrival order. *)
+    let idxs = Array.make n_shards [] in
+    for i = n - 1 downto 0 do
+      let s = shard_of t (fst pkts.(i)) in
+      idxs.(s) <- i :: idxs.(s)
+    done;
+    (* Process one shard's slice, in arrival order, chopped into rx
+       bursts of [batch_size]: each burst (the last one possibly short)
+       pays the fixed [batch_cycles] once — the amortised per-batch cost
+       accounting. Writes land at this shard's private indices of
+       [out]. *)
+    let run s =
+      let sh = t.shards.(s) in
+      let in_burst = ref 0 in
+      List.iter
+        (fun i ->
+          if !in_burst = 0 then begin
+            sh.n_batches <- sh.n_batches + 1;
+            sh.overhead_cycles <- sh.overhead_cycles +. t.cfg.batch_cycles
+          end;
+          let flow, pkt_len = pkts.(i) in
+          out.(i) <- Datapath.process sh.dp ~now flow ~pkt_len;
+          incr in_burst;
+          if !in_burst = t.cfg.batch_size then in_burst := 0)
+        idxs.(s)
+    in
+    if t.cfg.parallel && n_shards > 1 then begin
+      (* One domain per shard with work. Shards own disjoint state and
+         disjoint [out] indices, so this is data-race-free; joining
+         establishes the happens-before for the reads below. *)
+      let domains =
+        Array.to_list
+          (Array.mapi
+             (fun s idx ->
+               if idx = [] then None else Some (Domain.spawn (fun () -> run s)))
+             idxs)
+      in
+      List.iter (function Some d -> Domain.join d | None -> ()) domains
+    end
+    else
+      for s = 0 to n_shards - 1 do
+        run s
+      done;
+    out
+  end
+
+let revalidate t ~now =
+  Array.fold_left (fun acc s -> acc + Datapath.revalidate s.dp ~now) 0 t.shards
+
+let sum_int f t = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
+let sum_float f t = Array.fold_left (fun acc s -> acc +. f s) 0. t.shards
+
+let cycles_used t =
+  sum_float (fun s -> Datapath.cycles_used s.dp +. s.overhead_cycles) t
+
+let batch_overhead_cycles t = sum_float (fun s -> s.overhead_cycles) t
+let n_batches t = sum_int (fun s -> s.n_batches) t
+let n_processed t = sum_int (fun s -> Datapath.n_processed s.dp) t
+let n_upcalls t = sum_int (fun s -> Datapath.n_upcalls s.dp) t
+let n_masks t = sum_int (fun s -> Datapath.n_masks s.dp) t
+let n_megaflows t = sum_int (fun s -> Datapath.n_megaflows s.dp) t
+
+let per_shard_masks t =
+  Array.map (fun s -> Datapath.n_masks s.dp) t.shards
+
+let per_shard_cycles t =
+  Array.map (fun s -> Datapath.cycles_used s.dp +. s.overhead_cycles) t.shards
+
+let reset_stats t =
+  Array.iter
+    (fun s ->
+      Datapath.reset_stats s.dp;
+      s.n_batches <- 0;
+      s.overhead_cycles <- 0.)
+    t.shards

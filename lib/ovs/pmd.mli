@@ -1,0 +1,112 @@
+(** Sharded, batched datapath modelling OVS poll-mode-driver threads.
+
+    Multi-queue OVS runs one PMD thread per core; the NIC's RSS hash
+    steers each flow to exactly one queue, and every PMD owns a private
+    EMC, megaflow cache and mask cache. A [Pmd.t] is an array of
+    [n_shards] independent {!Datapath.t}s plus the steering function and
+    rx-batch cost accounting.
+
+    Determinism: a 1-shard Pmd is bit-for-bit the plain {!Datapath} it
+    wraps (same PRNG stream, same telemetry). With several shards,
+    sequential and parallel (OCaml 5 domains) execution are bit-for-bit
+    identical, because shards share no mutable state. *)
+
+type config = {
+  n_shards : int;  (** number of PMD threads / cores; >= 1 *)
+  batch_size : int;
+      (** rx burst size (OVS [NETDEV_MAX_BURST] = 32); >= 1 *)
+  parallel : bool;
+      (** run shards on domains when [n_shards > 1]; results are
+          identical either way, only wall-clock differs *)
+  batch_cycles : float;
+      (** fixed model cost charged once per rx burst, amortised over up
+          to [batch_size] packets; 0 disables batch accounting *)
+  dp : Datapath.config;  (** per-shard datapath configuration *)
+}
+
+val default_config : config
+(** [n_shards = 1], [batch_size = 32], [parallel = true],
+    [batch_cycles = 0.], [dp = Datapath.default_config]. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?tss_config:Pi_classifier.Tss.config ->
+  ?metrics:Pi_telemetry.Metrics.t ->
+  ?tracer:Pi_telemetry.Tracer.t ->
+  Pi_pkt.Prng.t ->
+  unit ->
+  t
+(** With one shard, [rng], [metrics] and [tracer] are handed to the
+    single datapath unchanged — the result is indistinguishable from
+    [Datapath.create]. With several shards each datapath gets an
+    independent PRNG substream ({!Pi_pkt.Prng.split}) and, when
+    [metrics] is given, a {e private} registry (see {!shard_metrics}) so
+    parallel shards never race on shared instruments; [tracer] is
+    ignored in that case. *)
+
+val config : t -> config
+val n_shards : t -> int
+
+val shard : t -> int -> Datapath.t
+(** The [i]th shard's datapath. Raises [Invalid_argument] out of range. *)
+
+val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
+(** The registry shard [i] reports into (the shared one when
+    [n_shards = 1], a private one otherwise, [None] if telemetry is
+    off). *)
+
+val shard_of : t -> Pi_classifier.Flow.t -> int
+(** RSS-style steering: which shard owns this flow. Uses a remixed hash
+    independent of [Flow.hash]'s low bits (which index the EMC), so
+    power-of-two shard counts do not strip cache entropy. *)
+
+val shard_for : t -> Pi_classifier.Flow.t -> Datapath.t
+(** [shard t (shard_of t flow)]. *)
+
+val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
+(** Install into every shard's slowpath (OpenFlow tables are shared
+    across PMDs). *)
+
+val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
+(** Remove from every shard; returns the summed removal count. *)
+
+val process :
+  t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
+  Action.t * Cost_model.outcome
+(** Steer one packet to its shard and process it there. No batch
+    overhead is charged — single-packet processing is the degenerate
+    burst used by the parity tests. *)
+
+val process_batch :
+  t -> now:float -> (Pi_classifier.Flow.t * int) array ->
+  (Action.t * Cost_model.outcome) array
+(** Process an array of [(flow, pkt_len)] in one rx round: packets are
+    steered to their shards (preserving arrival order within a shard),
+    chopped into bursts of [batch_size], and each burst — including a
+    short final one — is charged [batch_cycles] once. Result [i]
+    corresponds to packet [i]. An empty array is a no-op. Runs shards on
+    domains when [parallel && n_shards > 1]. *)
+
+val revalidate : t -> now:float -> int
+(** Run every shard's revalidator; returns total evictions. *)
+
+val cycles_used : t -> float
+(** Summed shard cycles, including amortised batch overhead. *)
+
+val batch_overhead_cycles : t -> float
+val n_batches : t -> int
+val n_processed : t -> int
+val n_upcalls : t -> int
+
+val n_masks : t -> int
+(** Total masks across shards (each PMD grows its own mask set under
+    attack). *)
+
+val n_megaflows : t -> int
+
+val per_shard_masks : t -> int array
+val per_shard_cycles : t -> float array
+
+val reset_stats : t -> unit

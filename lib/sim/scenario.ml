@@ -36,6 +36,9 @@ type params = {
          traffic; gives the cache its realistic pre-attack handful of
          megaflows (Fig. 3's y2 axis starts around 10, not 1) *)
   attack : attack option;
+  n_shards : int;
+  batch_size : int;
+  batch_cycles : float;
   datapath_config : Datapath.config;
   tss_config : Tss.config option;
   revalidate_period : float;
@@ -56,6 +59,9 @@ let default_params =
     victim_allowed_net = Ipv4_addr.Prefix.of_string "10.0.0.0/8";
     background_services = 8;
     attack = Some default_attack;
+    n_shards = 1;
+    batch_size = 32;
+    batch_cycles = 0.;
     datapath_config =
       (* The kernel datapath effectively caches every flow in its
          per-hash cache; insert on every miss. *)
@@ -72,6 +78,8 @@ type sample = {
   offered_gbps : float;
   n_masks : int;
   n_megaflows : int;
+  shard_masks : int array;
+  shard_gbps : float array;
   emc_hit_rate : float;
   victim_cycles_per_pkt : float;
   attacker_cycles_per_sec : float;
@@ -83,8 +91,10 @@ type report = {
   pre_attack_mean_gbps : float;
   post_attack_mean_gbps : float;
   peak_masks : int;
+  peak_shard_masks : int array;
   throughput_series : Timeseries.t;
   masks_series : Timeseries.t;
+  shard_masks_series : Timeseries.t array;
   scrape : Pi_telemetry.Scrape.t option;
 }
 
@@ -110,44 +120,76 @@ let flow_of_spec ~in_port (f : Traffic.flow_spec) =
     ~ip_proto:f.Traffic.proto ~tp_src:f.Traffic.src_port
     ~tp_dst:f.Traffic.dst_port ()
 
+let emc_hits pmd =
+  let n = ref 0 in
+  for s = 0 to Pmd.n_shards pmd - 1 do
+    n := !n + Emc.hits (Datapath.emc (Pmd.shard pmd s))
+  done;
+  !n
+
+let emc_misses pmd =
+  let n = ref 0 in
+  for s = 0 to Pmd.n_shards pmd - 1 do
+    n := !n + Emc.misses (Datapath.emc (Pmd.shard pmd s))
+  done;
+  !n
+
+let emc_occupancy pmd =
+  let n = ref 0 in
+  for s = 0 to Pmd.n_shards pmd - 1 do
+    n := !n + Emc.occupancy (Datapath.emc (Pmd.shard pmd s))
+  done;
+  !n
+
 let run p =
+  if p.n_shards < 1 then invalid_arg "Scenario.run: n_shards";
   let rng = Prng.create p.seed in
   let victim_ip = Ipv4_addr.of_string "10.1.0.2" in
   let attacker_ip = Ipv4_addr.of_string "10.1.0.3" in
-  let sw =
-    Switch.create ~config:p.datapath_config ?tss_config:p.tss_config
-      ?metrics:p.metrics ~name:"server-1" (Prng.split rng) ()
+  let pmd_config =
+    { Pmd.n_shards = p.n_shards;
+      batch_size = p.batch_size;
+      parallel = true;
+      batch_cycles = p.batch_cycles;
+      dp = p.datapath_config }
   in
-  let uplink = Switch.add_port sw ~name:"uplink" in
-  let victim_port = Switch.add_port sw ~name:"victim-pod" in
-  let attacker_port = Switch.add_port sw ~name:"attacker-pod" in
-  let dp = Switch.datapath sw in
+  let pmd =
+    Pmd.create ~config:pmd_config ?tss_config:p.tss_config ?metrics:p.metrics
+      (Prng.split rng) ()
+  in
+  let n_sh = Pmd.n_shards pmd in
+  (* Port numbering (same layout the Switch-based scenario used):
+     uplink=1, victim-pod=2, attacker-pod=3, svc-i=4+i. *)
+  let uplink_port = 1 and victim_port = 2 and attacker_port = 3 in
   (* Victim's own (benign) ingress whitelist. *)
   let victim_acl =
     Pi_cms.Acl.whitelist [ Pi_cms.Acl.entry ~src:p.victim_allowed_net () ]
   in
-  Switch.install_rules sw
+  Pmd.install_rules pmd
     (Pi_cms.Compile.compile
        ~dst:(Ipv4_addr.Prefix.make victim_ip 32)
-       ~allow:(Action.Output victim_port.Switch.id) victim_acl);
+       ~allow:(Action.Output victim_port) victim_acl);
   (* Background services on the same host: their policies and occasional
      traffic populate the cache with the usual handful of megaflows. *)
   let background_flows =
     List.init p.background_services (fun i ->
         let svc_ip = Ipv4_addr.add (Ipv4_addr.of_string "10.1.1.0") (i + 1) in
-        let port = Switch.add_port sw ~name:(Printf.sprintf "svc-%d" i) in
+        let port = 4 + i in
         let svc_port = 8000 + i in
-        Switch.install_rules sw
+        Pmd.install_rules pmd
           (Pi_cms.Compile.compile
              ~dst:(Ipv4_addr.Prefix.make svc_ip 32)
-             ~allow:(Action.Output port.Switch.id)
+             ~allow:(Action.Output port)
              (Pi_cms.Acl.whitelist
                 [ Pi_cms.Acl.entry ~src:p.victim_allowed_net
                     ~proto:Pi_cms.Acl.Tcp ~dst_port:(Pi_cms.Acl.Port svc_port) () ]));
-        Flow.make ~in_port:uplink.Switch.id
+        Flow.make ~in_port:uplink_port
           ~ip_src:(Ipv4_addr.add (Ipv4_addr.of_string "10.9.0.1") i)
           ~ip_dst:svc_ip ~ip_proto:Ipv4.proto_tcp ~tp_src:(41000 + i)
           ~tp_dst:svc_port ())
+  in
+  let background_pkts =
+    Array.of_list (List.map (fun f -> (f, 400)) background_flows)
   in
   (* Victim workload: client flows from the allowed net. *)
   let traffic_rng = Prng.split rng in
@@ -170,11 +212,11 @@ let run p =
         ~allow_src:a.trusted_src ()
     in
     let acl = Policy_injection.Policy_gen.acl spec in
-    Switch.install_rules sw
+    Pmd.install_rules pmd
       (Pi_cms.Compile.compile
          ~dst:(Ipv4_addr.Prefix.make attacker_ip 32)
-         ~allow:(Action.Output attacker_port.Switch.id) acl);
-    ignore (Switch.revalidate sw ~now);  (* policy change flushes caches *)
+         ~allow:(Action.Output attacker_port) acl);
+    ignore (Pmd.revalidate pmd ~now);  (* policy change flushes caches *)
     let gen =
       Policy_injection.Packet_gen.make ~pkt_len:a.covert_pkt_len ~spec
         ~dst:attacker_ip ()
@@ -182,7 +224,7 @@ let run p =
     let flows =
       Policy_injection.Packet_gen.flows ~seed:(Prng.int64 rng) gen
       |> List.map (fun f ->
-             Flow.with_field f Field.In_port (Int64.of_int uplink.Switch.id))
+             Flow.with_field f Field.In_port (Int64.of_int uplink_port))
       |> Array.of_list
     in
     let rate_pps = float_of_int (Array.length flows) /. a.refresh_period in
@@ -209,9 +251,10 @@ let run p =
     end
     | None, _ -> None
   in
+  (* Each shard models one PMD thread pinned to one core: per-shard
+     capacity is a full core's cycles per tick. *)
   let capacity_per_tick = p.datapath_config.Datapath.cost.Cost_model.cpu_hz *. p.tick in
   let samples = ref [] in
-  let emc = Datapath.emc dp in
   (* Telemetry: sample the cache-state gauges once per tick. *)
   let scrape =
     match p.metrics with
@@ -219,11 +262,16 @@ let run p =
     | Some _ ->
       let s = Pi_telemetry.Scrape.create () in
       Pi_telemetry.Scrape.register s ~name:"n_masks" (fun () ->
-          float_of_int (Datapath.n_masks dp));
+          float_of_int (Pmd.n_masks pmd));
       Pi_telemetry.Scrape.register s ~name:"n_megaflows" (fun () ->
-          float_of_int (Datapath.n_megaflows dp));
+          float_of_int (Pmd.n_megaflows pmd));
       Pi_telemetry.Scrape.register s ~name:"emc_occupancy" (fun () ->
-          float_of_int (Emc.occupancy emc));
+          float_of_int (emc_occupancy pmd));
+      for i = 0 to n_sh - 1 do
+        Pi_telemetry.Scrape.register s
+          ~name:(Printf.sprintf "shard%d/n_masks" i)
+          (fun () -> float_of_int (Datapath.n_masks (Pmd.shard pmd i)))
+      done;
       Some s
   in
   let n_ticks = int_of_float (ceil (p.duration /. p.tick)) in
@@ -231,6 +279,7 @@ let run p =
   for i = 0 to n_ticks - 1 do
     let now = float_of_int i *. p.tick in
     (* --- attacker --- *)
+    let attacker_shard_cycles = Array.make n_sh 0. in
     let attacker_cycles =
       match attack_active now with
       | None -> 0.
@@ -257,10 +306,14 @@ let run p =
         in
         let exact_count = ref 0 in
         let extrapolated = ref 0 in
-        let c0 = Datapath.cycles_used dp in
+        let exact_sh = Array.make n_sh 0 in
+        let extrap_sh = Array.make n_sh 0 in
+        let c0 = Pmd.cycles_used pmd in
+        let c0_sh = Pmd.per_shard_cycles pmd in
         for _ = 1 to due do
           let j = st.cursor in
           st.cursor <- (st.cursor + 1) mod n_flows;
+          let s = Pmd.shard_of pmd st.flows.(j) in
           let touchable =
             match st.entries.(j) with
             | Some e -> e.Megaflow.alive
@@ -270,17 +323,31 @@ let run p =
             (match st.entries.(j) with
              | Some e -> e.Megaflow.last_used <- now
              | None -> ());
-            incr extrapolated
+            incr extrapolated;
+            extrap_sh.(s) <- extrap_sh.(s) + 1
           end
           else begin
             decr exact_budget;
             incr exact_count;
-            ignore (Datapath.process dp ~now st.flows.(j) ~pkt_len:a.covert_pkt_len);
-            st.entries.(j) <- Datapath.last_megaflow dp
+            exact_sh.(s) <- exact_sh.(s) + 1;
+            ignore (Pmd.process pmd ~now st.flows.(j) ~pkt_len:a.covert_pkt_len);
+            st.entries.(j) <- Datapath.last_megaflow (Pmd.shard pmd s)
           end
         done;
-        let spent = Datapath.cycles_used dp -. c0 in
+        let spent = Pmd.cycles_used pmd -. c0 in
         let per_pkt = spent /. float_of_int (max 1 !exact_count) in
+        let spent_sh = Pmd.per_shard_cycles pmd in
+        for s = 0 to n_sh - 1 do
+          let spent_s = spent_sh.(s) -. c0_sh.(s) in
+          (* A shard with only extrapolated packets this tick borrows the
+             global per-packet sample. *)
+          let per_pkt_s =
+            if exact_sh.(s) > 0 then spent_s /. float_of_int exact_sh.(s)
+            else per_pkt
+          in
+          attacker_shard_cycles.(s) <-
+            spent_s +. (per_pkt_s *. float_of_int extrap_sh.(s))
+        done;
         (* Thrash the EMC at the covert stream's real insertion rate,
            not just the sampled one. *)
         let virtual_inserts =
@@ -290,37 +357,80 @@ let run p =
           let j = Prng.int rng n_flows in
           match st.entries.(j) with
           | Some e when e.Megaflow.alive ->
-            Emc.insert_forced emc st.flows.(j) e
+            Emc.insert_forced
+              (Datapath.emc (Pmd.shard_for pmd st.flows.(j)))
+              st.flows.(j) e
           | Some _ | None -> ()
         done;
         spent +. (per_pkt *. float_of_int !extrapolated)
     in
     (* --- background services --- *)
-    List.iter
-      (fun f -> ignore (Datapath.process dp ~now f ~pkt_len:400))
-      background_flows;
+    ignore (Pmd.process_batch pmd ~now background_pkts);
     (* --- victim --- *)
     ignore (Traffic.Flow_pool.churn pool traffic_rng ~fraction:(p.victim_churn *. p.tick));
-    let emc_h0 = Emc.hits emc and emc_m0 = Emc.misses emc in
-    let c0 = Datapath.cycles_used dp in
-    for _ = 1 to p.victim_samples_per_tick do
-      let spec = Traffic.Flow_pool.sample pool traffic_rng in
-      let f = flow_of_spec ~in_port:uplink.Switch.id spec in
-      ignore (Datapath.process dp ~now f ~pkt_len:p.victim_pkt_len)
-    done;
-    let victim_cpp =
-      (Datapath.cycles_used dp -. c0) /. float_of_int p.victim_samples_per_tick
+    let emc_h0 = emc_hits pmd and emc_m0 = emc_misses pmd in
+    let c0 = Pmd.cycles_used pmd in
+    let c0_sh = Pmd.per_shard_cycles pmd in
+    let victim_share = Array.make n_sh 0 in
+    let victim_pkts =
+      Array.init p.victim_samples_per_tick (fun _ ->
+          let spec = Traffic.Flow_pool.sample pool traffic_rng in
+          let f = flow_of_spec ~in_port:uplink_port spec in
+          let s = Pmd.shard_of pmd f in
+          victim_share.(s) <- victim_share.(s) + 1;
+          (f, p.victim_pkt_len))
     in
-    let emc_dh = Emc.hits emc - emc_h0 and emc_dm = Emc.misses emc - emc_m0 in
+    ignore (Pmd.process_batch pmd ~now victim_pkts);
+    let victim_cpp =
+      (Pmd.cycles_used pmd -. c0) /. float_of_int p.victim_samples_per_tick
+    in
+    let victim_sh = Pmd.per_shard_cycles pmd in
+    let emc_dh = emc_hits pmd - emc_h0 and emc_dm = emc_misses pmd - emc_m0 in
     let emc_hit_rate =
       if emc_dh + emc_dm = 0 then 0.
       else float_of_int emc_dh /. float_of_int (emc_dh + emc_dm)
     in
     (* --- CPU budget sharing and TCP response --- *)
-    let victim_demand = offered_pps *. p.tick *. victim_cpp in
-    let demand = attacker_cycles +. victim_demand in
-    let frac = if demand <= capacity_per_tick then 1. else capacity_per_tick /. demand in
-    let loss = 1. -. frac in
+    let shard_contrib = Array.make n_sh 1. in
+    let frac, loss =
+      if n_sh = 1 then begin
+        (* Single PMD: the exact formulas of the unsharded model. *)
+        let victim_demand = offered_pps *. p.tick *. victim_cpp in
+        let demand = attacker_cycles +. victim_demand in
+        let frac =
+          if demand <= capacity_per_tick then 1. else capacity_per_tick /. demand
+        in
+        shard_contrib.(0) <- frac;
+        (frac, 1. -. frac)
+      end
+      else begin
+        (* Per-PMD contention: each shard has its own core; the victim's
+           effective survival is its per-shard survival weighted by the
+           share of victim traffic steered to that shard. Each sampled
+           victim packet stands for [offered_pps*tick/samples] real
+           ones, so a shard's victim demand is its measured sample
+           cycles times that scale factor. *)
+        let pkts_per_sample =
+          offered_pps *. p.tick /. float_of_int p.victim_samples_per_tick
+        in
+        let frac = ref 0. in
+        for s = 0 to n_sh - 1 do
+          let victim_demand_s = (victim_sh.(s) -. c0_sh.(s)) *. pkts_per_sample in
+          let demand_s = attacker_shard_cycles.(s) +. victim_demand_s in
+          let frac_s =
+            if demand_s <= capacity_per_tick then 1.
+            else capacity_per_tick /. demand_s
+          in
+          let share_s =
+            float_of_int victim_share.(s)
+            /. float_of_int p.victim_samples_per_tick
+          in
+          shard_contrib.(s) <- share_s *. frac_s;
+          frac := !frac +. (share_s *. frac_s)
+        done;
+        (!frac, 1. -. !frac)
+      end
+    in
     let victim_gbps =
       if loss < 1e-6 then p.victim_offered_gbps
       else
@@ -328,9 +438,16 @@ let run p =
           (p.victim_offered_gbps *. frac)
           (mathis_gbps ~mss:p.mss ~rtt:p.rtt ~loss)
     in
+    (* Decompose the victim's goodput over the shards carrying it:
+       shard s survives frac_s of its victim share, so its slice of the
+       (Mathis-capped) goodput is proportional to share_s * frac_s. *)
+    let shard_gbps =
+      if frac <= 0. then Array.make n_sh 0.
+      else Array.map (fun c -> victim_gbps *. c /. frac) shard_contrib
+    in
     (* --- housekeeping --- *)
     if now +. p.tick >= !next_revalidate then begin
-      ignore (Switch.revalidate sw ~now);
+      ignore (Pmd.revalidate pmd ~now);
       next_revalidate := !next_revalidate +. p.revalidate_period
     end;
     (match scrape with
@@ -340,8 +457,10 @@ let run p =
       { time = now;
         victim_gbps;
         offered_gbps = p.victim_offered_gbps;
-        n_masks = Datapath.n_masks dp;
-        n_megaflows = Datapath.n_megaflows dp;
+        n_masks = Pmd.n_masks pmd;
+        n_megaflows = Pmd.n_megaflows pmd;
+        shard_masks = Pmd.per_shard_masks pmd;
+        shard_gbps;
         emc_hit_rate;
         victim_cycles_per_pkt = victim_cpp;
         attacker_cycles_per_sec = attacker_cycles /. p.tick;
@@ -369,17 +488,34 @@ let run p =
   in
   let throughput_series = Timeseries.create ~name:"victim-gbps" in
   let masks_series = Timeseries.create ~name:"megaflow-masks" in
+  let shard_masks_series =
+    Array.init n_sh (fun s ->
+        Timeseries.create ~name:(Printf.sprintf "shard%d-masks" s))
+  in
   List.iter
     (fun s ->
       Timeseries.add throughput_series ~time:s.time s.victim_gbps;
-      Timeseries.add masks_series ~time:s.time (float_of_int s.n_masks))
+      Timeseries.add masks_series ~time:s.time (float_of_int s.n_masks);
+      Array.iteri
+        (fun i m ->
+          Timeseries.add shard_masks_series.(i) ~time:s.time (float_of_int m))
+        s.shard_masks)
+    samples;
+  let peak_shard_masks = Array.make n_sh 0 in
+  List.iter
+    (fun s ->
+      Array.iteri
+        (fun i m -> if m > peak_shard_masks.(i) then peak_shard_masks.(i) <- m)
+        s.shard_masks)
     samples;
   { samples;
     pre_attack_mean_gbps = pre;
     post_attack_mean_gbps = post;
     peak_masks = List.fold_left (fun acc s -> max acc s.n_masks) 0 samples;
+    peak_shard_masks;
     throughput_series;
     masks_series;
+    shard_masks_series;
     scrape }
 
 let pp_sample_header ppf () =

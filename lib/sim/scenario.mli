@@ -4,14 +4,19 @@
     it a low-bandwidth covert stream, and a per-tick measurement of the
     victim's achievable throughput and the megaflow-cache state.
 
+    The datapath is a {!Pi_ovs.Pmd}: [n_shards] PMD threads (one core
+    each) with RSS steering and rx batching. With the default
+    [n_shards = 1] the model is the single-datapath one, bit-for-bit.
+
     Simulation method (see EXPERIMENTS.md for the fidelity discussion):
     every covert packet of the first refresh round, and per-tick samples
     of both the covert stream and the victim workload, run through the
     {e real} datapath (EMC, TSS megaflow cache, slow path); per-packet
     CPU costs come from {!Pi_ovs.Cost_model} applied to the observed
     cache behaviour. Victim goodput is then the offered load scaled by
-    the CPU share left by the attacker, passed through a Mathis-style
-    TCP loss response. *)
+    the CPU share left by the attacker — per shard when sharded, victim
+    traffic weighted by its steering shares — passed through a
+    Mathis-style TCP loss response. *)
 
 type attack = {
   variant : Policy_injection.Variant.t;
@@ -45,6 +50,10 @@ type params = {
           of traffic — gives the cache its realistic pre-attack handful
           of megaflows (default 8) *)
   attack : attack option;
+  n_shards : int;               (** PMD threads, one core each (default 1) *)
+  batch_size : int;             (** rx burst size (default 32) *)
+  batch_cycles : float;
+      (** fixed cycles charged once per rx burst (default 0) *)
   datapath_config : Pi_ovs.Datapath.config;
   tss_config : Pi_classifier.Tss.config option;
   revalidate_period : float;
@@ -57,14 +66,18 @@ type params = {
 
 val default_params : params
 (** 150 s, 1 s ticks, 1 Gb/s offered victim load (Fig. 3's scale),
-    default attack. *)
+    default attack, one shard. *)
 
 type sample = {
   time : float;
   victim_gbps : float;
   offered_gbps : float;
-  n_masks : int;
+  n_masks : int;                (** total across shards *)
   n_megaflows : int;
+  shard_masks : int array;      (** per-shard mask counts *)
+  shard_gbps : float array;
+      (** per-shard slice of [victim_gbps] (sums to it): the goodput of
+          the victim traffic RSS steered that shard's way *)
   emc_hit_rate : float;
   victim_cycles_per_pkt : float;
   attacker_cycles_per_sec : float;
@@ -80,11 +93,15 @@ type report = {
       (** mean from 10 s after the attack starts (ramp excluded) to its
           end; [nan] without an attack *)
   peak_masks : int;
+  peak_shard_masks : int array;
   throughput_series : Timeseries.t;  (** victim Gb/s over time *)
   masks_series : Timeseries.t;       (** megaflow mask count over time *)
+  shard_masks_series : Timeseries.t array;
+      (** one mask-count series per shard ([shard<i>-masks]) *)
   scrape : Pi_telemetry.Scrape.t option;
-      (** per-tick [n_masks]/[n_megaflows]/[emc_occupancy] series;
-          [Some] exactly when {!params.metrics} was given *)
+      (** per-tick [n_masks]/[n_megaflows]/[emc_occupancy] (plus
+          [shard<i>/n_masks] when sharded); [Some] exactly when
+          {!params.metrics} was given *)
 }
 
 val run : params -> report

@@ -76,6 +76,24 @@ let test_reset_stats () =
   Alcotest.(check int) "hits reset" 0 (Emc.hits e);
   Alcotest.(check int) "misses reset" 0 (Emc.misses e)
 
+let test_dead_entry_counts_as_miss () =
+  let e = mk () in
+  let f = flow 1 in
+  Emc.insert e f "dead";
+  (* A cached value the validity predicate rejects (a stale reference to
+     an evicted megaflow) must count as a miss, not a hit — and the dead
+     slot is reclaimed on the spot. *)
+  Alcotest.(check (option string)) "dead entry rejected" None
+    (Emc.lookup ~valid:(fun v -> v <> "dead") e f);
+  Alcotest.(check int) "no phantom hit" 0 (Emc.hits e);
+  Alcotest.(check int) "counted as miss" 1 (Emc.misses e);
+  Alcotest.(check int) "dead slot evicted" 0 (Emc.occupancy e);
+  (* The slot is free for reuse. *)
+  Emc.insert e f "live";
+  Alcotest.(check (option string)) "live value accepted" (Some "live")
+    (Emc.lookup ~valid:(fun v -> v = "live") e f);
+  Alcotest.(check int) "real hit counted" 1 (Emc.hits e)
+
 let test_invalid_args () =
   (match Emc.create ~capacity:0 (Pi_pkt.Prng.create 1L) () with
    | exception Invalid_argument _ -> ()
@@ -100,5 +118,6 @@ let suite =
     Alcotest.test_case "invalidate_if" `Quick test_invalidate_if;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "reset stats" `Quick test_reset_stats;
+    Alcotest.test_case "dead entry counts as miss" `Quick test_dead_entry_counts_as_miss;
     Alcotest.test_case "invalid args" `Quick test_invalid_args;
     prop_insert_then_lookup ]

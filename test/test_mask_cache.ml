@@ -63,6 +63,48 @@ let test_stale_hint_pays_extra_probe () =
   let _, probes = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check int) "stale probe + full scan" (1 + 8) probes
 
+let test_out_of_range_hint_not_charged () =
+  let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
+  let mf = deep_megaflow 8 flow in
+  let cache = Mask_cache.create () in
+  (* A hint beyond the subtable array probes nothing, so the fallback
+     scan must not be charged a phantom failed-hint probe: 8, not 9. *)
+  Mask_cache.record cache flow 100;
+  let e, probes = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  Alcotest.(check bool) "found" true (e <> None);
+  Alcotest.(check int) "no probe charged for the bogus index" 8 probes
+
+let test_resort_invalidates_hints () =
+  let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
+  (* The matching entry sits under the LAST of 8 masks. *)
+  let mf = deep_megaflow 8 flow in
+  let cache = Mask_cache.create () in
+  ignore (Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10);
+  let _, hinted = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  Alcotest.(check int) "hint serves before resort" 1 hinted;
+  (* Ranking moves the (only) hit subtable to the front and reorders the
+     array: every recorded index is now stale. The cache must be
+     invalidated — a stale hint would probe a cold subtable first and
+     pay 2 where a clean scan pays 1. *)
+  Megaflow.resort_by_hits mf;
+  let e, probes = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  Alcotest.(check bool) "still found" true (e <> None);
+  Alcotest.(check int) "no stale probe after resort" 1 probes;
+  Alcotest.(check int) "invalidated lookup counted as miss" 2
+    (Mask_cache.misses cache)
+
+let test_sync_generation () =
+  let c = Mask_cache.create () in
+  let f = Flow.make ~ip_src:(ip "10.0.0.1") () in
+  Mask_cache.record c f 3;
+  Mask_cache.sync_generation c (Mask_cache.generation c);
+  Alcotest.(check (option int)) "same generation keeps hints" (Some 3)
+    (Mask_cache.hint c f);
+  Mask_cache.sync_generation c 42;
+  Alcotest.(check (option int)) "new generation clears hints" None
+    (Mask_cache.hint c f);
+  Alcotest.(check int) "generation adopted" 42 (Mask_cache.generation c)
+
 let test_hinted_miss () =
   let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
   let mf = deep_megaflow 8 flow in
@@ -202,6 +244,9 @@ let suite =
     Alcotest.test_case "collision overwrites" `Quick test_collision_overwrites;
     Alcotest.test_case "hinted lookup is O(1)" `Quick test_hinted_lookup_o1;
     Alcotest.test_case "stale hint pays a probe" `Quick test_stale_hint_pays_extra_probe;
+    Alcotest.test_case "out-of-range hint not charged" `Quick test_out_of_range_hint_not_charged;
+    Alcotest.test_case "resort invalidates hints" `Quick test_resort_invalidates_hints;
+    Alcotest.test_case "sync_generation" `Quick test_sync_generation;
     Alcotest.test_case "hinted miss scans all" `Quick test_hinted_miss;
     Alcotest.test_case "resort_by_hits" `Quick test_resort_by_hits;
     Alcotest.test_case "datapath kernel flavour" `Quick test_datapath_kernel_flavour;

@@ -136,13 +136,27 @@ let test_pp_entry () =
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
   let e = Megaflow.insert mf ~key ~mask:(src_mask 9) ~action:Action.Drop ~revision:0 ~now:0. in
   ignore (Megaflow.lookup mf key ~now:4.2 ~pkt_len:100);
-  let s = Format.asprintf "%a" Megaflow.pp_entry e in
+  let s = Format.asprintf "%a" (Megaflow.pp_entry ~now:6.7) e in
   Alcotest.(check bool) "prefix rendered" true
     (Astring_like.contains s "ip_src=10.0.0.0/9");
   Alcotest.(check bool) "stats rendered" true
     (Astring_like.contains s "packets:1");
   Alcotest.(check bool) "action rendered" true
-    (Astring_like.contains s "actions:drop")
+    (Astring_like.contains s "actions:drop");
+  (* dpctl semantics: "used:" is the age since the last hit (6.7 - 4.2),
+     not the absolute stamp. *)
+  Alcotest.(check bool) "age rendered, not absolute stamp" true
+    (Astring_like.contains s "used:2.50s");
+  Alcotest.(check bool) "absolute stamp absent" false
+    (Astring_like.contains s "used:4.20s")
+
+let test_pp_entry_never_used () =
+  let mf = mk () in
+  let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
+  let e = Megaflow.insert mf ~key ~mask:(src_mask 9) ~action:Action.Drop ~revision:0 ~now:3. in
+  let s = Format.asprintf "%a" (Megaflow.pp_entry ~now:9.) e in
+  Alcotest.(check bool) "no traffic yet prints never" true
+    (Astring_like.contains s "used:never")
 
 let test_pp_entry_match_any () =
   let mf = mk () in
@@ -150,7 +164,7 @@ let test_pp_entry_match_any () =
     Megaflow.insert mf ~key:Flow.zero ~mask:Mask.empty ~action:(Action.Output 3)
       ~revision:0 ~now:0.
   in
-  let s = Format.asprintf "%a" Megaflow.pp_entry e in
+  let s = Format.asprintf "%a" (Megaflow.pp_entry ~now:0.) e in
   Alcotest.(check bool) "wildcard-all rendered" true
     (Astring_like.contains s "match=any")
 
@@ -162,10 +176,35 @@ let test_dump_limit () =
          ~mask:(Mask.with_exact Mask.empty Field.Ip_src) ~action:Action.Drop
          ~revision:0 ~now:0.)
   done;
-  let s = Format.asprintf "%a" (fun ppf () -> Megaflow.dump ~max:3 ppf mf) () in
+  let s = Format.asprintf "%a" (fun ppf () -> Megaflow.dump ~max:3 ~now:0. ppf mf) () in
   let lines = String.split_on_char '\n' s in
   Alcotest.(check bool) "truncation notice" true
     (List.exists (fun l -> Astring_like.contains l "7 more") lines)
+
+let test_has_mask () =
+  let mf = mk () in
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  Alcotest.(check bool) "present" true (Megaflow.has_mask mf (src_mask 8));
+  Alcotest.(check bool) "absent" false (Megaflow.has_mask mf (src_mask 9));
+  ignore (Megaflow.revalidate mf ~now:100. ());
+  Alcotest.(check bool) "gone after expiry" false (Megaflow.has_mask mf (src_mask 8))
+
+let test_generation_tracks_reorders () =
+  let mf = mk () in
+  let g0 = Megaflow.generation mf in
+  (* Appends keep existing subtable indices valid: no bump. *)
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 16) ~action:Action.Drop ~revision:0 ~now:0.);
+  Alcotest.(check int) "append keeps generation" g0 (Megaflow.generation mf);
+  (* Reordering the subtable array invalidates recorded indices. *)
+  Megaflow.resort_by_hits mf;
+  Alcotest.(check bool) "resort bumps generation" true
+    (Megaflow.generation mf > g0);
+  let g1 = Megaflow.generation mf in
+  (* Expiry that drops a subtable compacts the array: bump again. *)
+  ignore (Megaflow.revalidate mf ~now:100. ());
+  Alcotest.(check bool) "compaction bumps generation" true
+    (Megaflow.generation mf > g1)
 
 let suite =
   [ Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
@@ -181,5 +220,8 @@ let suite =
     Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "masks listing" `Quick test_masks_listing;
     Alcotest.test_case "pp_entry" `Quick test_pp_entry;
+    Alcotest.test_case "pp_entry never used" `Quick test_pp_entry_never_used;
     Alcotest.test_case "pp_entry wildcard-all" `Quick test_pp_entry_match_any;
-    Alcotest.test_case "dump limit" `Quick test_dump_limit ]
+    Alcotest.test_case "dump limit" `Quick test_dump_limit;
+    Alcotest.test_case "has_mask" `Quick test_has_mask;
+    Alcotest.test_case "generation tracks reorders" `Quick test_generation_tracks_reorders ]

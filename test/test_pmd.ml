@@ -1,0 +1,226 @@
+open Pi_ovs
+open Pi_classifier
+open Helpers
+
+module Prng = Pi_pkt.Prng
+
+(* A rule set exercising all three cache layers: an allow prefix, a port
+   rule and a default drop, so random traffic produces EMC hits,
+   megaflow hits across several masks, and upcalls. *)
+let rules =
+  [ Rule.make ~priority:10
+      ~pattern:(Pattern.with_ip_src Pattern.any (pfx "10.0.0.0/8"))
+      ~action:(Action.Output 1) ();
+    Rule.make ~priority:5
+      ~pattern:(Pattern.with_tp_dst Pattern.any 80)
+      ~action:(Action.Output 2) ();
+    Rule.make ~priority:1 ~pattern:Pattern.any ~action:Action.Drop () ]
+
+(* A small flow universe so the stream revisits flows (EMC hits) while
+   still minting several megaflow masks. *)
+let random_flow rng =
+  let ip_src =
+    if Prng.int rng 2 = 0 then
+      Int32.logor 0x0A000000l (Int32.of_int (Prng.int rng 64))
+    else Int32.of_int (Prng.int rng 64)
+  in
+  Flow.make ~in_port:(Prng.int rng 4) ~ip_src
+    ~ip_dst:(Int32.of_int (Prng.int rng 16))
+    ~ip_proto:(if Prng.int rng 2 = 0 then 6 else 17)
+    ~tp_src:(Prng.int rng 32)
+    ~tp_dst:(if Prng.int rng 3 = 0 then 80 else Prng.int rng 32)
+    ()
+
+let flow_stream ~seed n =
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> (random_flow rng, 64 + Prng.int rng 1400))
+
+let check_outcome i (a1, o1) (a2, o2) =
+  if not (Action.equal a1 a2) || o1 <> o2 then
+    Alcotest.failf "packet %d diverged: %s vs %s (probes %d vs %d)" i
+      (Action.to_string a1) (Action.to_string a2) o1.Cost_model.mf_probes
+      o2.Cost_model.mf_probes
+
+(* --- 1-shard parity: the Pmd IS the seed datapath, bit for bit --- *)
+
+let test_single_shard_parity () =
+  let dp = Datapath.create (Prng.create 42L) () in
+  let pmd =
+    Pmd.create
+      ~config:{ Pmd.default_config with Pmd.n_shards = 1; batch_size = 1 }
+      (Prng.create 42L) ()
+  in
+  Datapath.install_rules dp rules;
+  Pmd.install_rules pmd rules;
+  let pkts = flow_stream ~seed:7L 600 in
+  Array.iteri
+    (fun i (f, pkt_len) ->
+      let now = float_of_int i *. 0.01 in
+      let a = Datapath.process dp ~now f ~pkt_len in
+      let b = Pmd.process pmd ~now f ~pkt_len in
+      check_outcome i a b;
+      (* Revalidate both mid-stream: eviction behaviour must agree. *)
+      if i = 299 then begin
+        let ea = Datapath.revalidate dp ~now in
+        let eb = Pmd.revalidate pmd ~now in
+        Alcotest.(check int) "same evictions" ea eb
+      end)
+    pkts;
+  Alcotest.(check int) "n_masks" (Datapath.n_masks dp) (Pmd.n_masks pmd);
+  Alcotest.(check int) "n_megaflows" (Datapath.n_megaflows dp) (Pmd.n_megaflows pmd);
+  Alcotest.(check int) "n_upcalls" (Datapath.n_upcalls dp) (Pmd.n_upcalls pmd);
+  Alcotest.(check int) "n_processed" (Datapath.n_processed dp) (Pmd.n_processed pmd);
+  Alcotest.(check (float 0.)) "cycles bit-identical" (Datapath.cycles_used dp)
+    (Pmd.cycles_used pmd);
+  Alcotest.(check int) "emc hits" (Emc.hits (Datapath.emc dp))
+    (Emc.hits (Datapath.emc (Pmd.shard pmd 0)))
+
+let test_single_shard_batch_parity () =
+  (* Batched processing (default burst of 32, zero batch cost) must not
+     change a single result either. *)
+  let dp = Datapath.create (Prng.create 9L) () in
+  let pmd = Pmd.create (Prng.create 9L) () in
+  Datapath.install_rules dp rules;
+  Pmd.install_rules pmd rules;
+  let pkts = flow_stream ~seed:3L 500 in
+  let expected =
+    Array.map (fun (f, pkt_len) -> Datapath.process dp ~now:1. f ~pkt_len) pkts
+  in
+  let got = Pmd.process_batch pmd ~now:1. pkts in
+  Array.iteri (fun i e -> check_outcome i e got.(i)) expected;
+  Alcotest.(check (float 0.)) "cycles bit-identical" (Datapath.cycles_used dp)
+    (Pmd.cycles_used pmd);
+  Alcotest.(check int) "bursts of 32" ((500 + 31) / 32) (Pmd.n_batches pmd)
+
+(* --- sequential ≡ parallel with several shards --- *)
+
+let run_sharded ~parallel =
+  let pmd =
+    Pmd.create
+      ~config:{ Pmd.default_config with Pmd.n_shards = 4; parallel }
+      (Prng.create 42L) ()
+  in
+  Pmd.install_rules pmd rules;
+  let out1 = Pmd.process_batch pmd ~now:0. (flow_stream ~seed:7L 400) in
+  ignore (Pmd.revalidate pmd ~now:0.);
+  let out2 = Pmd.process_batch pmd ~now:20. (flow_stream ~seed:8L 400) in
+  (pmd, Array.append out1 out2)
+
+let test_parallel_parity () =
+  let pmd_seq, out_seq = run_sharded ~parallel:false in
+  let pmd_par, out_par = run_sharded ~parallel:true in
+  Array.iteri (fun i e -> check_outcome i e out_par.(i)) out_seq;
+  Alcotest.(check (float 0.)) "cycles bit-identical"
+    (Pmd.cycles_used pmd_seq) (Pmd.cycles_used pmd_par);
+  Alcotest.(check int) "n_masks" (Pmd.n_masks pmd_seq) (Pmd.n_masks pmd_par);
+  Alcotest.(check int) "n_upcalls" (Pmd.n_upcalls pmd_seq) (Pmd.n_upcalls pmd_par);
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d masks" i)
+        m
+        (Pmd.per_shard_masks pmd_par).(i))
+    (Pmd.per_shard_masks pmd_seq)
+
+(* --- steering --- *)
+
+let test_steering_spreads_and_is_stable () =
+  let pmd =
+    Pmd.create ~config:{ Pmd.default_config with Pmd.n_shards = 4 }
+      (Prng.create 1L) ()
+  in
+  let rng = Prng.create 11L in
+  let seen = Array.make 4 0 in
+  for _ = 1 to 512 do
+    let f = random_flow rng in
+    let s = Pmd.shard_of pmd f in
+    Alcotest.(check int) "stable" s (Pmd.shard_of pmd f);
+    seen.(s) <- seen.(s) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n = 0 then Alcotest.failf "shard %d never selected over 512 flows" i)
+    seen
+
+(* --- batch accounting edge cases --- *)
+
+let batch_config =
+  { Pmd.default_config with Pmd.batch_size = 32; batch_cycles = 100. }
+
+let test_empty_batch_is_noop () =
+  let pmd = Pmd.create ~config:batch_config (Prng.create 1L) () in
+  Pmd.install_rules pmd rules;
+  let out = Pmd.process_batch pmd ~now:0. [||] in
+  Alcotest.(check int) "no results" 0 (Array.length out);
+  Alcotest.(check int) "no bursts" 0 (Pmd.n_batches pmd);
+  Alcotest.(check (float 0.)) "no overhead" 0. (Pmd.batch_overhead_cycles pmd);
+  Alcotest.(check int) "nothing processed" 0 (Pmd.n_processed pmd)
+
+let test_short_final_burst_pays_once () =
+  (* 5 packets against a burst size of 32: one (short) burst, one fixed
+     charge. *)
+  let pmd = Pmd.create ~config:batch_config (Prng.create 1L) () in
+  Pmd.install_rules pmd rules;
+  ignore (Pmd.process_batch pmd ~now:0. (flow_stream ~seed:5L 5));
+  Alcotest.(check int) "one burst" 1 (Pmd.n_batches pmd);
+  Alcotest.(check (float 0.)) "one charge" 100. (Pmd.batch_overhead_cycles pmd)
+
+let test_burst_chopping () =
+  (* 70 packets, burst 32: 32 + 32 + 6 = 3 bursts. *)
+  let pmd = Pmd.create ~config:batch_config (Prng.create 1L) () in
+  Pmd.install_rules pmd rules;
+  ignore (Pmd.process_batch pmd ~now:0. (flow_stream ~seed:5L 70));
+  Alcotest.(check int) "three bursts" 3 (Pmd.n_batches pmd);
+  Alcotest.(check (float 0.)) "three charges" 300. (Pmd.batch_overhead_cycles pmd);
+  (* The amortised overhead is part of the shard's cycle account. *)
+  let dp_only = Datapath.cycles_used (Pmd.shard pmd 0) in
+  Alcotest.(check (float 0.)) "overhead included in cycles_used"
+    (dp_only +. 300.) (Pmd.cycles_used pmd)
+
+let test_invalid_config () =
+  (match
+     Pmd.create ~config:{ Pmd.default_config with Pmd.n_shards = 0 }
+       (Prng.create 1L) ()
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "n_shards 0 should raise");
+  match
+    Pmd.create ~config:{ Pmd.default_config with Pmd.batch_size = 0 }
+      (Prng.create 1L) ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "batch_size 0 should raise"
+
+(* --- per-shard telemetry --- *)
+
+let test_per_shard_metrics () =
+  let metrics = Pi_telemetry.Metrics.create () in
+  let pmd =
+    Pmd.create ~config:{ Pmd.default_config with Pmd.n_shards = 2 } ~metrics
+      (Prng.create 1L) ()
+  in
+  Pmd.install_rules pmd rules;
+  ignore (Pmd.process_batch pmd ~now:0. (flow_stream ~seed:5L 100));
+  (* Each shard reports into its own registry; packet counters across
+     the registries must account for every packet exactly once. *)
+  let total = ref 0 in
+  for s = 0 to 1 do
+    match Pmd.shard_metrics pmd s with
+    | Some m ->
+      (match Pi_telemetry.Metrics.find_counter m "packets" with
+       | Some v -> total := !total + v
+       | None -> Alcotest.failf "shard %d has no packets counter" s)
+    | None -> Alcotest.failf "shard %d has no registry" s
+  done;
+  Alcotest.(check int) "every packet counted once" 100 !total
+
+let suite =
+  [ Alcotest.test_case "1-shard parity with Datapath" `Quick test_single_shard_parity;
+    Alcotest.test_case "1-shard batched parity" `Quick test_single_shard_batch_parity;
+    Alcotest.test_case "sequential = parallel (4 shards)" `Quick test_parallel_parity;
+    Alcotest.test_case "steering spreads and is stable" `Quick test_steering_spreads_and_is_stable;
+    Alcotest.test_case "empty batch is a no-op" `Quick test_empty_batch_is_noop;
+    Alcotest.test_case "short final burst pays once" `Quick test_short_final_burst_pays_once;
+    Alcotest.test_case "burst chopping" `Quick test_burst_chopping;
+    Alcotest.test_case "invalid config" `Quick test_invalid_config;
+    Alcotest.test_case "per-shard metrics" `Quick test_per_shard_metrics ]
