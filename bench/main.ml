@@ -30,16 +30,14 @@ let section name =
 let run_fig2 () =
   section "fig2 — ACL and resultant non-overlapping megaflow entries (Fig. 2a/2b)";
   let bits x =
-    String.init 8 (fun i ->
-        if Int64.logand (Int64.shift_right_logical x (7 - i)) 1L = 1L then '1'
-        else '0')
+    String.init 8 (fun i -> if (x lsr (7 - i)) land 1 = 1 then '1' else '0')
   in
   Printf.printf "(a) Binary ACL representation of the single-field policy:\n\n";
   Printf.printf "      ip_src    action\n";
   Printf.printf "      00001010  allow\n";
   Printf.printf "      ********  deny\n\n";
   let trie = Pi_classifier.Trie.create ~width:8 in
-  Pi_classifier.Trie.insert trie ~value:0b00001010L ~len:8;
+  Pi_classifier.Trie.insert trie ~value:0b00001010 ~len:8;
   let rows = Pi_classifier.Trie.complement trie in
   Printf.printf "(b) Resultant non-overlapping megaflow entries:\n\n";
   Printf.printf "      %-10s %-10s %s\n" "Key" "Mask" "Action";
@@ -47,8 +45,7 @@ let run_fig2 () =
   List.iter
     (fun (v, len) ->
       let mask =
-        if len = 0 then 0L
-        else Int64.logand (Int64.shift_left (-1L) (8 - len)) 0xFFL
+        if len = 0 then 0 else ((-1) lsl (8 - len)) land 0xFF
       in
       Printf.printf "      %-10s %-10s %s\n" (bits v) (bits mask) "deny")
     rows;
@@ -110,14 +107,14 @@ let run_masks () =
     in
     Pi_ovs.Datapath.install_rules dp
       (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 1) acl);
-    let as64 (p : Pi_pkt.Ipv4_addr.Prefix.t) =
-      (Int64.logand (Int64.of_int32 p.Pi_pkt.Ipv4_addr.Prefix.base) 0xFFFFFFFFL,
+    let as_int (p : Pi_pkt.Ipv4_addr.Prefix.t) =
+      (Int32.to_int p.Pi_pkt.Ipv4_addr.Prefix.base land 0xFFFFFFFF,
        p.Pi_pkt.Ipv4_addr.Prefix.len)
     in
     let trie = Pi_classifier.Trie.create ~width:32 in
     List.iter
       (fun p ->
-        let v, len = as64 p in
+        let v, len = as_int p in
         if not (Pi_classifier.Trie.mem trie ~value:v ~len) then
           Pi_classifier.Trie.insert trie ~value:v ~len)
       prefixes;
@@ -125,12 +122,12 @@ let run_masks () =
       (fun (v, _) ->
         ignore
           (Pi_ovs.Datapath.process dp ~now:0.
-             (Pi_classifier.Flow.make ~ip_src:(Int64.to_int32 v) ())
+             (Pi_classifier.Flow.make ~ip_src:(Int32.of_int v) ())
              ~pkt_len:64))
       (Pi_classifier.Trie.complement trie);
     Printf.printf "  %-42s %10d %10d\n" name
       (Predict.whitelist_masks
-         [ (Pi_classifier.Field.Ip_src, List.map as64 prefixes) ])
+         [ (Pi_classifier.Field.Ip_src, List.map as_int prefixes) ])
       (Pi_ovs.Datapath.n_masks dp)
   in
   let pfx = Pi_pkt.Ipv4_addr.Prefix.of_string in
@@ -563,9 +560,9 @@ let micro_tests () =
   in
   let trie_lookup =
     let trie = Pi_classifier.Trie.create ~width:32 in
-    Pi_classifier.Trie.insert trie ~value:0x0A00000AL ~len:32;
+    Pi_classifier.Trie.insert trie ~value:0x0A00000A ~len:32;
     Test.make ~name:"trie-lookup"
-      (Staged.stage (fun () -> ignore (Pi_classifier.Trie.lookup trie 0x0B00000AL)))
+      (Staged.stage (fun () -> ignore (Pi_classifier.Trie.lookup trie 0x0B00000A)))
   in
   let upcall =
     let sp = Pi_ovs.Slowpath.create () in
@@ -680,6 +677,193 @@ let run_micro () =
    | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* hotpath: GC-aware hot-path cost and allocation measurements         *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike [micro] (Bechamel wall-clock), this experiment also counts
+   minor-heap words per packet: the TSS walk multiplies whatever the
+   per-probe cost is by the injected mask count, so a single boxed
+   intermediate per field turns into megabytes per packet at 8192
+   masks. The rows land in BENCH_hotpath.json (stable sorted keys, like
+   BENCH_fig3.json) — the perf trajectory future PRs are diffed against.
+
+   Env knobs:
+     PI_BENCH_QUICK=1            reduced iteration counts (CI smoke)
+     PI_BENCH_ASSERT_ZERO_ALLOC=1  exit 1 if the steady-state EMC-hit
+                                 regime allocates on the minor heap *)
+
+type hot_row = {
+  hr_ns_per_pkt : float;
+  hr_cycles_per_pkt : float;   (* wall-clock ns at the cost model's GHz *)
+  hr_minor_words_per_pkt : float;
+}
+
+let hot_quick () =
+  match Sys.getenv_opt "PI_BENCH_QUICK" with
+  | None | Some ("" | "0") -> false
+  | Some _ -> true
+
+let hot_measure ~iters f =
+  let iters = if hot_quick () then max 100 (iters / 50) else iters in
+  for _ = 1 to min 1000 iters do f () done;
+  let t0 = Unix.gettimeofday () in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do f () done;
+  let w1 = Gc.minor_words () in
+  let t1 = Unix.gettimeofday () in
+  let per v = v /. float_of_int iters in
+  (* The two counter reads themselves allocate a couple of boxed floats;
+     rounding to 1/1000 word hides that constant without hiding any real
+     per-packet allocation (the smallest possible is a 2-word block). *)
+  let words = Float.round (per (w1 -. w0) *. 1000.) /. 1000. in
+  let ns = per ((t1 -. t0) *. 1e9) in
+  { hr_ns_per_pkt = ns;
+    hr_cycles_per_pkt = ns *. (Pi_ovs.Cost_model.default.Pi_ovs.Cost_model.cpu_hz /. 1e9);
+    hr_minor_words_per_pkt = words }
+
+(* The slow-path analogue of [populated_megaflow]: n rules, each under a
+   distinct attack-shaped mask, none matching the probe flow. *)
+let attack_ruleset n =
+  let open Pi_classifier in
+  List.init n (fun i ->
+      let src_len = (i mod 32) + 1 in
+      let dport_len = (i / 32 mod 16) + 1 in
+      let sport_len = (i / 512 mod 16) + 1 in
+      let pat = Pattern.with_prefix Pattern.any Field.Ip_src ~len:src_len 0xFFFFFFFF in
+      let pat =
+        if n > 32 then Pattern.with_prefix pat Field.Tp_dst ~len:dport_len 0xFFFF
+        else pat
+      in
+      let pat =
+        if n > 512 then Pattern.with_prefix pat Field.Tp_src ~len:sport_len 0xFFFF
+        else pat
+      in
+      Rule.make ~priority:1 ~pattern:pat ~action:Pi_ovs.Action.Drop ())
+
+let run_hotpath () =
+  section
+    "hotpath — cycles, ns and minor-heap words per packet on the real\n\
+    \  fast-path regimes (GC-aware; the allocation budget future perf PRs\n\
+    \  are held to)";
+  let open Pi_classifier in
+  let row_fields r =
+    [ ("cycles_per_pkt", fun b -> Buffer.add_string b (Printf.sprintf "%.9g" r.hr_cycles_per_pkt));
+      ("minor_words_per_pkt", fun b -> Buffer.add_string b (Printf.sprintf "%.9g" r.hr_minor_words_per_pkt));
+      ("ns_per_pkt", fun b -> Buffer.add_string b (Printf.sprintf "%.9g" r.hr_ns_per_pkt)) ]
+  in
+  let buf = Buffer.create 4096 in
+  let add_obj b fields =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, add_v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "%S" k);
+        Buffer.add_char b ':';
+        add_v b)
+      fields;
+    Buffer.add_char b '}'
+  in
+  let print_row name n r =
+    Printf.printf "  %-16s %8s %14.1f %14.0f %18.3f\n" name
+      (match n with Some n -> string_of_int n | None -> "-")
+      r.hr_ns_per_pkt r.hr_cycles_per_pkt r.hr_minor_words_per_pkt
+  in
+  Printf.printf "  %-16s %8s %14s %14s %18s\n" "regime" "masks" "ns/pkt"
+    "cycles/pkt" "minor words/pkt";
+  (* 1. Steady-state EMC hit: the benign fast path. *)
+  let emc_hit =
+    let rng = Pi_pkt.Prng.create 1L in
+    let emc = Pi_ovs.Emc.create rng () in
+    Pi_ovs.Emc.insert_forced emc probe_flow 42;
+    hot_measure ~iters:2_000_000 (fun () ->
+        ignore (Pi_ovs.Emc.lookup emc probe_flow))
+  in
+  print_row "emc-hit" None emc_hit;
+  (* 2. Hinted megaflow hit: kernel-style mask cache, warm hint. *)
+  let mf_hit_hinted =
+    List.map
+      (fun n ->
+        let mf = populated_megaflow n in
+        ignore
+          (Pi_ovs.Megaflow.insert mf ~key:probe_flow ~mask:Mask.exact
+             ~action:Pi_ovs.Action.Drop ~revision:0 ~now:0.);
+        let cache = Pi_ovs.Mask_cache.create () in
+        ignore (Pi_ovs.Megaflow.lookup_hinted mf cache probe_flow ~now:0. ~pkt_len:100);
+        let r =
+          hot_measure ~iters:500_000 (fun () ->
+              ignore
+                (Pi_ovs.Megaflow.lookup_hinted mf cache probe_flow ~now:0.
+                   ~pkt_len:100))
+        in
+        print_row "mf-hit-hinted" (Some n) r;
+        (n, r))
+      mask_counts
+  in
+  (* 3. Full TSS walk: every injected mask probed, no hit (the attack's
+     per-packet cost on the victim). *)
+  let tss_walk =
+    List.map
+      (fun n ->
+        let mf = populated_megaflow n in
+        let r =
+          hot_measure ~iters:(max 200 (400_000 / n)) (fun () ->
+              ignore (Pi_ovs.Megaflow.lookup mf probe_flow ~now:0. ~pkt_len:100))
+        in
+        print_row "tss-walk" (Some n) r;
+        (n, r))
+      mask_counts
+  in
+  (* 4. Upcall: slow-path classification + megaflow synthesis. *)
+  let upcall =
+    List.map
+      (fun n ->
+        let sp = Pi_ovs.Slowpath.create () in
+        Pi_ovs.Slowpath.install sp (attack_ruleset n);
+        let r =
+          hot_measure ~iters:(max 100 (100_000 / n)) (fun () ->
+              ignore (Pi_ovs.Slowpath.upcall sp probe_flow))
+        in
+        print_row "upcall" (Some n) r;
+        (n, r))
+      mask_counts
+  in
+  (match List.assoc_opt 8192 tss_walk with
+   | Some r ->
+     Printf.printf
+       "\n  tss-walk @8192: %.2f ns/probe, %.4f minor words/probe\n"
+       (r.hr_ns_per_pkt /. 8192.) (r.hr_minor_words_per_pkt /. 8192.)
+   | None -> ());
+  let indexed rows =
+    fun b ->
+      add_obj b
+        (List.map
+           (fun (n, r) ->
+             (Printf.sprintf "%05d" n, fun b -> add_obj b (row_fields r)))
+           rows)
+  in
+  add_obj buf
+    [ ("emc_hit", fun b -> add_obj b (row_fields emc_hit));
+      ("mf_hit_hinted", indexed mf_hit_hinted);
+      ("tss_walk", indexed tss_walk);
+      ("upcall", indexed upcall) ];
+  let path = "BENCH_hotpath.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  hot-path trajectory written to %s\n" path;
+  (match Sys.getenv_opt "PI_BENCH_ASSERT_ZERO_ALLOC" with
+   | None | Some ("" | "0") -> ()
+   | Some _ ->
+     if emc_hit.hr_minor_words_per_pkt > 0. then begin
+       Printf.eprintf
+         "FAIL: steady-state EMC hit allocates %.3f minor words/packet (want 0)\n"
+         emc_hit.hr_minor_words_per_pkt;
+       exit 1
+     end
+     else Printf.printf "  zero-alloc EMC-hit assertion: OK\n")
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig2", run_fig2);
@@ -690,7 +874,8 @@ let experiments =
     ("mitigations", run_mitigations);
     ("ranking", run_ranking);
     ("sweep", run_sweep);
-    ("micro", run_micro) ]
+    ("micro", run_micro);
+    ("hotpath", run_hotpath) ]
 
 let () =
   let requested =

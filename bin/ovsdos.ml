@@ -46,7 +46,7 @@ let expand variant allow_src toy =
   if toy then begin
     (* The paper's 8-bit illustration (Fig. 2a/2b). *)
     let trie = Pi_classifier.Trie.create ~width:8 in
-    Pi_classifier.Trie.insert trie ~value:0b00001010L ~len:8;
+    Pi_classifier.Trie.insert trie ~value:0b00001010 ~len:8;
     Printf.printf "ACL (Fig. 2a):\n  ip_src    action\n  00001010  allow\n  ********  deny\n\n";
     Printf.printf "Non-overlapping megaflow entries (Fig. 2b):\n";
     Printf.printf "  %-10s %-10s %s\n" "Key" "Mask" "Action";
@@ -54,9 +54,9 @@ let expand variant allow_src toy =
     List.iter
       (fun (v, len) ->
         let bits x = String.init 8 (fun i ->
-            if Int64.logand (Int64.shift_right_logical x (7 - i)) 1L = 1L then '1' else '0')
+            if (x lsr (7 - i)) land 1 = 1 then '1' else '0')
         in
-        let mask = if len = 0 then 0L else Int64.logand (Int64.shift_left (-1L) (8 - len)) 0xFFL in
+        let mask = if len = 0 then 0 else ((-1) lsl (8 - len)) land 0xFF in
         Printf.printf "  %-10s %-10s %s\n" (bits v) (bits mask) "deny")
       (Pi_classifier.Trie.complement trie)
   end

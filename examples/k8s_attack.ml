@@ -47,7 +47,7 @@ let () =
     (float_of_int (List.length flows * 100 * 8) /. 1e6);
   List.iter
     (fun f ->
-      let f = Pi_classifier.Flow.with_field f Pi_classifier.Field.In_port 1L in
+      let f = Pi_classifier.Flow.with_field f Pi_classifier.Field.In_port 1 in
       ignore (Pi_cms.Cloud.process cloud ~now:0. ~server:"server-1" f ~pkt_len:100))
     flows;
   let dp = Pi_ovs.Switch.datapath (Pi_cms.Cloud.switch cloud "server-1") in

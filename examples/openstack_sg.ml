@@ -49,7 +49,7 @@ let () =
   let gen = Packet_gen.make ~spec ~dst:vm.Pi_cms.Cloud.ip () in
   List.iter
     (fun f ->
-      let f = Pi_classifier.Flow.with_field f Pi_classifier.Field.In_port 1L in
+      let f = Pi_classifier.Flow.with_field f Pi_classifier.Field.In_port 1 in
       ignore (Pi_cms.Cloud.process cloud ~now:0. ~server:"server-1" f ~pkt_len:100))
     (Packet_gen.flows gen);
   let dp = Pi_ovs.Switch.datapath (Pi_cms.Cloud.switch cloud "server-1") in

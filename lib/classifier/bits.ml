@@ -1,0 +1,36 @@
+(* Native-int bit utilities shared across the classifier.
+
+   Every classifier quantity (field value, mask word, hash state) lives
+   in an immediate OCaml [int]: the widest field is 48 bits
+   (Field.width), far inside the 63-bit native int, so all of this is
+   allocation-free — the property the hot-path invariants in DESIGN.md
+   rest on. *)
+
+(* The one multiplicative mixer behind Flow.hash, Mask.hash and
+   Mask.hash_masked. Keeping a single definition means the three hashes
+   agree by construction: [Mask.hash_masked m k = Flow.hash (apply m k)]
+   is structural, not a coincidence of three copies staying in sync. *)
+let[@inline] mix h v = (h lxor v) * 0x9E3779B1
+
+let[@inline] finalize h = (h lxor (h lsr 29)) land max_int
+
+(* Byte-table popcount: O(1) (eight bounded lookups), no dependency on
+   any processor intrinsic. Classifier words are at most 48 bits, but
+   the loop covers the full 62 value bits so the function is total on
+   non-negative ints. *)
+let pop8 =
+  let count_bits b =
+    let rec go n v = if v = 0 then n else go (n + (v land 1)) (v lsr 1) in
+    go 0 b
+  in
+  Array.init 256 count_bits
+
+let popcount v =
+  let rec go acc v =
+    if v = 0 then acc else go (acc + pop8.(v land 0xFF)) (v lsr 8)
+  in
+  go 0 v
+
+(* Number of trailing zero bits; [v] must be non-zero. The classic
+   isolate-lowest-set-bit trick turns it into a popcount. *)
+let[@inline] trailing_zeros v = popcount ((v land -v) - 1)

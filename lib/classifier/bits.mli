@@ -1,0 +1,16 @@
+(** Native-int bit utilities shared across the classifier: the single
+    multiplicative hash mixer (used by {!Flow.hash}, {!Mask.hash} and
+    {!Mask.hash_masked}) and O(1) popcount / trailing-zero counts used
+    for prefix analysis. All functions are allocation-free. *)
+
+val mix : int -> int -> int
+(** [mix h v] folds word [v] into hash state [h] (multiplicative). *)
+
+val finalize : int -> int
+(** Final avalanche; the result is non-negative. *)
+
+val popcount : int -> int
+(** Number of set bits; [v] must be non-negative. *)
+
+val trailing_zeros : int -> int
+(** Number of trailing zero bits; [v] must be non-zero. *)

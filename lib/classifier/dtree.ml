@@ -7,13 +7,13 @@ type 'a t = { root : 'a node; n_rules : int }
 (* Which way does a rule go at a (field, bit) test? *)
 type side = Zero | One | Both
 
-let bit_mask f bit = Int64.shift_left 1L (Field.width f - 1 - bit)
+let bit_mask f bit = 1 lsl (Field.width f - 1 - bit)
 
 let side_of (r : 'a Rule.t) f bit =
   let m = bit_mask f bit in
   let p = r.Rule.pattern in
-  if Int64.equal (Int64.logand (Mask.get p.Pattern.mask f) m) 0L then Both
-  else if Int64.equal (Int64.logand (Flow.get p.Pattern.key f) m) 0L then Zero
+  if Mask.get p.Pattern.mask f land m = 0 then Both
+  else if Flow.get p.Pattern.key f land m = 0 then Zero
   else One
 
 let candidates =
@@ -81,10 +81,7 @@ let lookup_counting t flow =
       scan steps rules
     | Node { field; bit; zero; one } ->
       let v = Flow.get flow field in
-      let next =
-        if Int64.equal (Int64.logand v (bit_mask field bit)) 0L then zero
-        else one
-      in
+      let next = if v land bit_mask field bit = 0 then zero else one in
       go next (steps + 1)
   in
   go t.root 0

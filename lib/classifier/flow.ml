@@ -1,34 +1,40 @@
-type t = int64 array
+(* Unboxed representation: one immediate int per field. Every field is
+   at most 48 bits wide (the MACs; see Field.width), so values — and the
+   mask words in Mask — always fit the 63-bit native int, and the whole
+   hot path runs on [land]/[lor]/[lxor] with zero allocation. The int64
+   world (Mac_addr) and int32 world (Ipv4_addr) are converted exactly
+   once, here at construction; nothing downstream ever boxes. *)
 
-let field_mask f =
-  let w = Field.width f in
-  Int64.sub (Int64.shift_left 1L w) 1L
+type t = int array
+
+let field_mask f = (1 lsl Field.width f) - 1
 
 let widths_mask = Array.init Field.count (fun i -> field_mask (Field.of_index i))
 
-let clamp i v = Int64.logand v widths_mask.(i)
+let clamp i v = v land widths_mask.(i)
 
-let zero = Array.make Field.count 0L
+let zero = Array.make Field.count 0
 
 let make ?(in_port = 0) ?(eth_src = Pi_pkt.Mac_addr.zero)
     ?(eth_dst = Pi_pkt.Mac_addr.zero) ?(eth_type = 0x0800) ?(vlan = 0)
     ?(ip_src = 0l) ?(ip_dst = 0l) ?(ip_proto = 0) ?(ip_tos = 0) ?(ip_ttl = 64)
     ?(tp_src = 0) ?(tp_dst = 0) ?(tcp_flags = 0) () =
-  let a = Array.make Field.count 0L in
+  let a = Array.make Field.count 0 in
   let set f v = a.(Field.index f) <- clamp (Field.index f) v in
-  set In_port (Int64.of_int in_port);
-  set Eth_src eth_src;
-  set Eth_dst eth_dst;
-  set Eth_type (Int64.of_int eth_type);
-  set Vlan (Int64.of_int vlan);
-  set Ip_src (Int64.logand (Int64.of_int32 ip_src) 0xFFFFFFFFL);
-  set Ip_dst (Int64.logand (Int64.of_int32 ip_dst) 0xFFFFFFFFL);
-  set Ip_proto (Int64.of_int ip_proto);
-  set Ip_tos (Int64.of_int ip_tos);
-  set Ip_ttl (Int64.of_int ip_ttl);
-  set Tp_src (Int64.of_int tp_src);
-  set Tp_dst (Int64.of_int tp_dst);
-  set Tcp_flags (Int64.of_int tcp_flags);
+  set In_port in_port;
+  (* MAC addresses are 48-bit, so [Int64.to_int] is lossless. *)
+  set Eth_src (Int64.to_int eth_src);
+  set Eth_dst (Int64.to_int eth_dst);
+  set Eth_type eth_type;
+  set Vlan vlan;
+  set Ip_src (Int32.to_int ip_src land 0xFFFFFFFF);
+  set Ip_dst (Int32.to_int ip_dst land 0xFFFFFFFF);
+  set Ip_proto ip_proto;
+  set Ip_tos ip_tos;
+  set Ip_ttl ip_ttl;
+  set Tp_src tp_src;
+  set Tp_dst tp_dst;
+  set Tcp_flags tcp_flags;
   a
 
 let get t f = t.(Field.index f)
@@ -38,21 +44,19 @@ let with_field t f v =
   a.(Field.index f) <- clamp (Field.index f) v;
   a
 
-let geti t f = Int64.to_int (get t f)
-
-let in_port t = geti t In_port
-let eth_src t = get t Eth_src
-let eth_dst t = get t Eth_dst
-let eth_type t = geti t Eth_type
-let vlan t = geti t Vlan
-let ip_src t = Int64.to_int32 (get t Ip_src)
-let ip_dst t = Int64.to_int32 (get t Ip_dst)
-let ip_proto t = geti t Ip_proto
-let ip_tos t = geti t Ip_tos
-let ip_ttl t = geti t Ip_ttl
-let tp_src t = geti t Tp_src
-let tp_dst t = geti t Tp_dst
-let tcp_flags t = geti t Tcp_flags
+let in_port t = get t In_port
+let eth_src t = Int64.of_int (get t Eth_src)
+let eth_dst t = Int64.of_int (get t Eth_dst)
+let eth_type t = get t Eth_type
+let vlan t = get t Vlan
+let ip_src t = Int32.of_int (get t Ip_src)
+let ip_dst t = Int32.of_int (get t Ip_dst)
+let ip_proto t = get t Ip_proto
+let ip_tos t = get t Ip_tos
+let ip_ttl t = get t Ip_ttl
+let tp_src t = get t Tp_src
+let tp_dst t = get t Tp_dst
+let tcp_flags t = get t Tcp_flags
 
 let of_packet ?(in_port = 0) (p : Pi_pkt.Packet.t) =
   let open Pi_pkt in
@@ -75,28 +79,30 @@ let of_packet ?(in_port = 0) (p : Pi_pkt.Packet.t) =
       ~ip_dst:ip.Ipv4.dst ~ip_proto:proto ~ip_tos:ip.Ipv4.tos
       ~ip_ttl:ip.Ipv4.ttl ~tp_src ~tp_dst ~tcp_flags ()
 
-let equal a b =
-  let rec go i = i = Field.count || (Int64.equal a.(i) b.(i) && go (i + 1)) in
-  go 0
+(* Loop helpers are top-level, not [let rec] closures inside the
+   comparison functions: a closure capturing the two arrays would be
+   heap-allocated on every call, and these run per probe. *)
+let rec equal_from (a : int array) (b : int array) i =
+  i = Field.count || (a.(i) = b.(i) && equal_from a b (i + 1))
 
-let compare a b =
-  let rec go i =
-    if i = Field.count then 0
-    else match Int64.unsigned_compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
-  in
-  go 0
+let equal a b = equal_from a b 0
 
-(* Multiplicative mix over the fields. Field values fit in 48 bits, so
-   [Int64.to_int] is lossless; native-int arithmetic keeps the hot path
-   allocation-free (boxed [Int64] operations would allocate per step). *)
+let rec compare_from a b i =
+  if i = Field.count then 0
+  else match Int.compare a.(i) b.(i) with
+    | 0 -> compare_from a b (i + 1)
+    | c -> c
+
+(* Field values are non-negative, so signed [Int.compare] gives the same
+   order the old unsigned 64-bit compare did. *)
+let compare a b = compare_from a b 0
+
 let hash t =
   let h = ref 0 in
   for i = 0 to Field.count - 1 do
-    let v = Int64.to_int t.(i) in
-    h := (!h lxor v) * 0x9E3779B1
+    h := Bits.mix !h t.(i)
   done;
-  let h = !h in
-  (h lxor (h lsr 29)) land max_int
+  Bits.finalize !h
 
 let pp ppf t =
   Format.fprintf ppf

@@ -1,8 +1,12 @@
 (** Flow keys: the parsed header fields of one packet, as seen by the
     classifier (the OVS "struct flow" analogue).
 
-    A flow key stores each field right-aligned in an [int64]; values are
-    always within the field's width (see {!Field.width}). *)
+    A flow key stores each field right-aligned in a native immediate
+    [int]; values are always within the field's width (see
+    {!Field.width}, at most 48 bits), so every per-field operation is
+    allocation-free. The boxed [int64]/[int32] types of the packet layer
+    ({!Pi_pkt.Mac_addr}, {!Pi_pkt.Ipv4_addr}) are converted exactly once
+    at construction. *)
 
 type t
 
@@ -30,11 +34,15 @@ val of_packet : ?in_port:int -> Pi_pkt.Packet.t -> t
 (** Extract the flow key of a packet. ICMP type/code are folded into
     [tp_src]/[tp_dst], as OVS does. *)
 
-val get : t -> Field.t -> int64
-val with_field : t -> Field.t -> int64 -> t
+val get : t -> Field.t -> int
+(** The field's value, right-aligned (always non-negative, at most
+    48 bits). *)
+
+val with_field : t -> Field.t -> int -> t
 (** Functional update; the value is masked to the field's width. *)
 
-(* Named accessors. *)
+(* Named accessors. The MAC/IP accessors convert back to the packet
+   layer's boxed types — boundary use only, never on the probe path. *)
 val in_port : t -> int
 val eth_src : t -> Pi_pkt.Mac_addr.t
 val eth_dst : t -> Pi_pkt.Mac_addr.t
@@ -52,14 +60,15 @@ val tcp_flags : t -> int
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
-(** Deterministic FNV-1a hash over all fields. *)
+(** Deterministic multiplicative hash over all fields (see
+    {!Bits.mix}); allocation-free. *)
 
 val pp : Format.formatter -> t -> unit
 
 (**/**)
 
-val unsafe_fields : t -> int64 array
+val unsafe_fields : t -> int array
 (** Internal: the backing array (do not mutate). Exposed for the sibling
     [Mask] module and performance-critical probing. *)
 
-val unsafe_of_fields : int64 array -> t
+val unsafe_of_fields : int array -> t

@@ -1,12 +1,14 @@
-type t = int64 array
+(* Same unboxed representation as Flow: one immediate int of mask bits
+   per field, so every probe-path operation below is a native [land]/
+   [lor] loop with zero allocation. *)
 
-let full_of_field i =
-  let w = Field.width (Field.of_index i) in
-  Int64.sub (Int64.shift_left 1L w) 1L
+type t = int array
+
+let full_of_field i = (1 lsl Field.width (Field.of_index i)) - 1
 
 let full = Array.init Field.count full_of_field
 
-let empty = Array.make Field.count 0L
+let empty = Array.make Field.count 0
 
 let exact = Array.copy full
 
@@ -15,98 +17,91 @@ let get t f = t.(Field.index f)
 let with_field t f v =
   let a = Array.copy t in
   let i = Field.index f in
-  a.(i) <- Int64.logand v full.(i);
+  a.(i) <- v land full.(i);
   a
 
-let with_exact t f = with_field t f (-1L)
+let with_exact t f = with_field t f (-1)
 
 let prefix_mask f n =
   let w = Field.width f in
   if n < 0 || n > w then invalid_arg "Mask.with_prefix";
-  if n = 0 then 0L
-  else Int64.logand (Int64.shift_left (-1L) (w - n)) full.(Field.index f)
+  if n = 0 then 0
+  else ((-1) lsl (w - n)) land full.(Field.index f)
 
 let with_prefix t f n = with_field t f (prefix_mask f n)
 
+(* A prefix mask is a contiguous run of ones anchored at the top of the
+   field, so the candidate length is width minus trailing zeros — one
+   popcount, not a linear scan over every possible length. *)
 let prefix_len t f =
-  let w = Field.width f in
   let v = get t f in
-  let rec go n = if n > w then None
-    else if Int64.equal (prefix_mask f n) v then Some n
-    else go (n + 1)
-  in
-  go 0
+  if v = 0 then Some 0
+  else begin
+    let n = Field.width f - Bits.trailing_zeros v in
+    if v = prefix_mask f n then Some n else None
+  end
 
-let union a b = Array.init Field.count (fun i -> Int64.logor a.(i) b.(i))
+let union a b = Array.init Field.count (fun i -> a.(i) lor b.(i))
 
-let is_subset a b =
-  let rec go i =
-    i = Field.count
-    || (Int64.equal (Int64.logand a.(i) b.(i)) a.(i) && go (i + 1))
-  in
-  go 0
+(* As in Flow: the per-field loops are top-level recursive functions
+   with explicit arguments, not closures — an inner [let rec] capturing
+   the arrays would allocate on every probe. *)
+let rec is_subset_from a b i =
+  i = Field.count || (a.(i) land b.(i) = a.(i) && is_subset_from a b (i + 1))
 
-let is_empty t =
-  let rec go i = i = Field.count || (Int64.equal t.(i) 0L && go (i + 1)) in
-  go 0
+let is_subset a b = is_subset_from a b 0
 
-let fields t =
-  List.filter (fun f -> not (Int64.equal (get t f) 0L)) Field.all
+let rec is_empty_from t i =
+  i = Field.count || (t.(i) = 0 && is_empty_from t (i + 1))
+
+let is_empty t = is_empty_from t 0
+
+let fields t = List.filter (fun f -> get t f <> 0) Field.all
 
 let apply t k =
   let kf = Flow.unsafe_fields k in
-  Flow.unsafe_of_fields (Array.init Field.count (fun i -> Int64.logand t.(i) kf.(i)))
+  Flow.unsafe_of_fields (Array.init Field.count (fun i -> t.(i) land kf.(i)))
+
+let rec masked_eq_from t af bf i =
+  i = Field.count
+  || (t.(i) land af.(i) = t.(i) land bf.(i) && masked_eq_from t af bf (i + 1))
 
 let matches t ~key flow =
-  let kf = Flow.unsafe_fields key and ff = Flow.unsafe_fields flow in
-  let rec go i =
-    i = Field.count
-    || (Int64.equal (Int64.logand kf.(i) t.(i)) (Int64.logand ff.(i) t.(i))
-        && go (i + 1))
-  in
-  go 0
+  masked_eq_from t (Flow.unsafe_fields key) (Flow.unsafe_fields flow) 0
 
-let equal a b =
-  let rec go i = i = Field.count || (Int64.equal a.(i) b.(i) && go (i + 1)) in
-  go 0
+let rec equal_from (a : int array) (b : int array) i =
+  i = Field.count || (a.(i) = b.(i) && equal_from a b (i + 1))
 
-let compare a b =
-  let rec go i =
-    if i = Field.count then 0
-    else match Int64.unsigned_compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
-  in
-  go 0
+let equal a b = equal_from a b 0
 
-(* Same mixing scheme as {!Flow.hash}: native-int, allocation-free, so
-   the per-subtable probes that dominate the attack's cost profile stay
-   cheap and measurable. *)
+let rec compare_from a b i =
+  if i = Field.count then 0
+  else match Int.compare a.(i) b.(i) with
+    | 0 -> compare_from a b (i + 1)
+    | c -> c
+
+let compare a b = compare_from a b 0
+
 let hash t =
   let h = ref 0 in
   for i = 0 to Field.count - 1 do
-    let v = Int64.to_int t.(i) in
-    h := (!h lxor v) * 0x9E3779B1
+    h := Bits.mix !h t.(i)
   done;
-  let h = !h in
-  (h lxor (h lsr 29)) land max_int
+  Bits.finalize !h
 
+(* [hash_masked m k = Flow.hash (apply m k)] fused into one pass: the
+   masked key is never materialised. This is the inner loop of every
+   megaflow subtable probe and TSS stage check. *)
 let hash_masked t k =
   let kf = Flow.unsafe_fields k in
   let h = ref 0 in
   for i = 0 to Field.count - 1 do
-    let v = Int64.to_int (Int64.logand t.(i) kf.(i)) in
-    h := (!h lxor v) * 0x9E3779B1
+    h := Bits.mix !h (t.(i) land kf.(i))
   done;
-  let h = !h in
-  (h lxor (h lsr 29)) land max_int
+  Bits.finalize !h
 
 let equal_masked t a b =
-  let af = Flow.unsafe_fields a and bf = Flow.unsafe_fields b in
-  let rec go i =
-    i = Field.count
-    || (Int64.equal (Int64.logand t.(i) af.(i)) (Int64.logand t.(i) bf.(i))
-        && go (i + 1))
-  in
-  go 0
+  masked_eq_from t (Flow.unsafe_fields a) (Flow.unsafe_fields b) 0
 
 let pp ppf t =
   if is_empty t then Format.pp_print_string ppf "any"
@@ -115,29 +110,31 @@ let pp ppf t =
     List.iter
       (fun f ->
         let v = get t f in
-        if not (Int64.equal v 0L) then begin
+        if v <> 0 then begin
           if not !first then Format.pp_print_char ppf ',';
           first := false;
           match prefix_len t f with
           | Some n -> Format.fprintf ppf "%s/%d" (Field.name f) n
-          | None -> Format.fprintf ppf "%s&0x%Lx" (Field.name f) v
+          | None -> Format.fprintf ppf "%s&0x%x" (Field.name f) v
         end)
       Field.all
   end
 
 module Builder = struct
-  type nonrec t = int64 array
+  type nonrec t = int array
 
-  let create () = Array.make Field.count 0L
+  let create () = Array.make Field.count 0
 
-  let add_mask t (m : int64 array) =
+  let reset t = Array.fill t 0 Field.count 0
+
+  let add_mask t (m : int array) =
     for i = 0 to Field.count - 1 do
-      t.(i) <- Int64.logor t.(i) m.(i)
+      t.(i) <- t.(i) lor m.(i)
     done
 
   let add_prefix t f n =
     let i = Field.index f in
-    t.(i) <- Int64.logor t.(i) (prefix_mask f n)
+    t.(i) <- t.(i) lor prefix_mask f n
 
   let add_exact t f =
     let i = Field.index f in

@@ -2,10 +2,12 @@
     "minimask" analogue).
 
     A mask holds, for each field, the set of bits that are matched
-    (1 = significant, 0 = wildcarded). Megaflow cache entries are
-    identified by [(key & mask, mask)]; the number of *distinct masks*
-    is what the tuple-space-search lookup cost is linear in — the
-    quantity the policy-injection attack inflates. *)
+    (1 = significant, 0 = wildcarded), in the same unboxed native-int
+    representation as {!Flow}: every probe-path operation below is
+    allocation-free. Megaflow cache entries are identified by
+    [(key & mask, mask)]; the number of *distinct masks* is what the
+    tuple-space-search lookup cost is linear in — the quantity the
+    policy-injection attack inflates. *)
 
 type t
 
@@ -15,10 +17,10 @@ val empty : t
 val exact : t
 (** Every bit of every field significant. *)
 
-val get : t -> Field.t -> int64
-(** The field's mask bits (right-aligned). *)
+val get : t -> Field.t -> int
+(** The field's mask bits (right-aligned, non-negative). *)
 
-val with_field : t -> Field.t -> int64 -> t
+val with_field : t -> Field.t -> int -> t
 (** Functional update; bits beyond the field width are discarded. *)
 
 val with_exact : t -> Field.t -> t
@@ -30,7 +32,8 @@ val with_prefix : t -> Field.t -> int -> t
     outside [\[0, width f\]]. *)
 
 val prefix_len : t -> Field.t -> int option
-(** [Some n] iff the field's mask is a contiguous [n]-bit prefix. *)
+(** [Some n] iff the field's mask is a contiguous [n]-bit prefix.
+    O(1) — a trailing-zero count, not a scan over lengths. *)
 
 val union : t -> t -> t
 (** Bitwise-or of two masks. *)
@@ -45,7 +48,8 @@ val fields : t -> Field.t list
 (** Fields with at least one significant bit. *)
 
 val apply : t -> Flow.t -> Flow.t
-(** [apply m k] zeroes the wildcarded bits of [k]. *)
+(** [apply m k] zeroes the wildcarded bits of [k]. Allocates the result;
+    probe paths use {!hash_masked}/{!equal_masked} instead. *)
 
 val matches : t -> key:Flow.t -> Flow.t -> bool
 (** [matches m ~key flow] iff [flow & m = key & m]. *)
@@ -55,7 +59,8 @@ val compare : t -> t -> int
 val hash : t -> int
 
 val hash_masked : t -> Flow.t -> int
-(** [hash_masked m k = Flow.hash (apply m k)] without allocating. *)
+(** [hash_masked m k = Flow.hash (apply m k)], fused into a single pass
+    with no intermediate masked key and no allocation. *)
 
 val equal_masked : t -> Flow.t -> Flow.t -> bool
 (** [equal_masked m a b] iff [a & m = b & m], without allocating. *)
@@ -72,6 +77,10 @@ module Builder : sig
   type t
 
   val create : unit -> t
+  val reset : t -> unit
+  (** Clear back to the empty mask, so one scratch builder can be reused
+      across lookups without allocating. *)
+
   val add_mask : t -> mask -> unit
   val add_prefix : t -> Field.t -> int -> unit
   val add_exact : t -> Field.t -> unit

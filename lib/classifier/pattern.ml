@@ -9,32 +9,32 @@ let matches t flow = Mask.matches t.mask ~key:t.key flow
 (* Adding a constraint replaces any previously constrained bits that fall
    inside the new field mask. *)
 let with_field_mask t f v fm =
-  let mask = Mask.with_field t.mask f (Int64.logor (Mask.get t.mask f) fm) in
+  let mask = Mask.with_field t.mask f (Mask.get t.mask f lor fm) in
   let old_k = Flow.get t.key f in
-  let k = Int64.logor (Int64.logand old_k (Int64.lognot fm)) (Int64.logand v fm) in
+  let k = (old_k land lnot fm) lor (v land fm) in
   let key = Flow.with_field t.key f k in
   create ~key ~mask
 
-let with_exact t f v = with_field_mask t f v (-1L)
+let with_exact t f v = with_field_mask t f v (-1)
 
 let with_prefix t f ~len v =
   let w = Field.width f in
   if len < 0 || len > w then invalid_arg "Pattern.with_prefix";
-  let fm = if len = 0 then 0L else Int64.shift_left (-1L) (w - len) in
+  let fm = if len = 0 then 0 else (-1) lsl (w - len) in
   with_field_mask t f v fm
 
-let with_in_port t p = with_exact t In_port (Int64.of_int p)
-let with_eth_type t v = with_exact t Eth_type (Int64.of_int v)
-let with_ip_proto t v = with_exact t Ip_proto (Int64.of_int v)
+let with_in_port t p = with_exact t In_port p
+let with_eth_type t v = with_exact t Eth_type v
+let with_ip_proto t v = with_exact t Ip_proto v
 
 let with_ip_prefix t f (p : Pi_pkt.Ipv4_addr.Prefix.t) =
   with_prefix t f ~len:p.Pi_pkt.Ipv4_addr.Prefix.len
-    (Int64.logand (Int64.of_int32 p.Pi_pkt.Ipv4_addr.Prefix.base) 0xFFFFFFFFL)
+    (Int32.to_int p.Pi_pkt.Ipv4_addr.Prefix.base land 0xFFFFFFFF)
 
 let with_ip_src t p = with_ip_prefix t Ip_src p
 let with_ip_dst t p = with_ip_prefix t Ip_dst p
-let with_tp_src t v = with_exact t Tp_src (Int64.of_int v)
-let with_tp_dst t v = with_exact t Tp_dst (Int64.of_int v)
+let with_tp_src t v = with_exact t Tp_src v
+let with_tp_dst t v = with_exact t Tp_dst v
 
 let is_exact_match t = Mask.equal t.mask Mask.exact
 
@@ -43,11 +43,8 @@ let overlaps a b =
   let rec go = function
     | [] -> true
     | f :: rest ->
-      let common = Int64.logand (Mask.get a.mask f) (Mask.get b.mask f) in
-      Int64.equal
-        (Int64.logand common (Flow.get a.key f))
-        (Int64.logand common (Flow.get b.key f))
-      && go rest
+      let common = Mask.get a.mask f land Mask.get b.mask f in
+      common land Flow.get a.key f = common land Flow.get b.key f && go rest
   in
   go Field.all
 
@@ -71,15 +68,15 @@ let pp ppf t =
     List.iter
       (fun f ->
         let m = Mask.get t.mask f in
-        if not (Int64.equal m 0L) then begin
+        if m <> 0 then begin
           if not !first then Format.pp_print_char ppf ' ';
           first := false;
           let v = Flow.get t.key f in
           match Mask.prefix_len t.mask f with
           | Some n when n = Field.width f ->
-            Format.fprintf ppf "%s=%Ld" (Field.name f) v
-          | Some n -> Format.fprintf ppf "%s=%Ld/%d" (Field.name f) v n
-          | None -> Format.fprintf ppf "%s=%Ld&0x%Lx" (Field.name f) v m
+            Format.fprintf ppf "%s=%d" (Field.name f) v
+          | Some n -> Format.fprintf ppf "%s=%d/%d" (Field.name f) v n
+          | None -> Format.fprintf ppf "%s=%d&0x%x" (Field.name f) v m
         end)
       Field.all
   end

@@ -14,10 +14,10 @@ val create : key:Flow.t -> mask:Mask.t -> t
 
 val matches : t -> Flow.t -> bool
 
-val with_exact : t -> Field.t -> int64 -> t
+val with_exact : t -> Field.t -> int -> t
 (** Add an exact-match constraint on a field. *)
 
-val with_prefix : t -> Field.t -> len:int -> int64 -> t
+val with_prefix : t -> Field.t -> len:int -> int -> t
 (** Add a prefix constraint of [len] bits on a field. *)
 
 (* Typed convenience constructors for the common ACL fields. *)

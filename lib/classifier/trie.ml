@@ -9,14 +9,18 @@ type t = { width : int; root : node }
 
 let new_node () = { n_end = 0; below = 0; zero = None; one = None }
 
+(* Values are immediate ints, like Flow/Mask fields: 62 bits is the
+   widest non-negative prefix value a native int holds, and far beyond
+   the 48-bit classifier fields the tries are built over. *)
+let max_width = 62
+
 let create ~width =
-  if width < 1 || width > 64 then invalid_arg "Trie.create";
+  if width < 1 || width > max_width then invalid_arg "Trie.create";
   { width; root = new_node () }
 
 let width t = t.width
 
-let bit_at t value d =
-  Int64.logand (Int64.shift_right_logical value (t.width - 1 - d)) 1L
+let bit_at t value d = (value lsr (t.width - 1 - d)) land 1
 
 let check_len t len name =
   if len < 0 || len > t.width then invalid_arg name
@@ -28,7 +32,7 @@ let insert t ~value ~len =
     if d = len then node.n_end <- node.n_end + 1
     else begin
       let child =
-        if Int64.equal (bit_at t value d) 0L then
+        if bit_at t value d = 0 then
           match node.zero with
           | Some c -> c
           | None -> let c = new_node () in node.zero <- Some c; c
@@ -47,9 +51,7 @@ let mem t ~value ~len =
   let rec go node d =
     if d = len then node.n_end > 0
     else
-      let child =
-        if Int64.equal (bit_at t value d) 0L then node.zero else node.one
-      in
+      let child = if bit_at t value d = 0 then node.zero else node.one in
       match child with None -> false | Some c -> go c (d + 1)
   in
   go t.root 0
@@ -61,7 +63,7 @@ let remove t ~value ~len =
     node.below <- node.below - 1;
     if d = len then node.n_end <- node.n_end - 1
     else begin
-      let zero_side = Int64.equal (bit_at t value d) 0L in
+      let zero_side = bit_at t value d = 0 in
       let child =
         match (if zero_side then node.zero else node.one) with
         | Some c -> c
@@ -86,9 +88,7 @@ let lookup t value =
     if node.n_end > 0 then plens.(d) <- true;
     if d = t.width then t.width
     else begin
-      let child =
-        if Int64.equal (bit_at t value d) 0L then node.zero else node.one
-      in
+      let child = if bit_at t value d = 0 then node.zero else node.one in
       match child with
       | None -> min t.width (d + 1)
       | Some c -> go c (d + 1)
@@ -105,15 +105,14 @@ let sort_prefixes l =
   List.sort
     (fun (v1, l1) (v2, l2) ->
       match Int.compare l1 l2 with
-      | 0 -> Int64.unsigned_compare v1 v2
+      | 0 -> Int.compare v1 v2
       | c -> c)
     l
 
 let complement t =
   let acc = ref [] in
   let set_bit value d b =
-    if Int64.equal b 0L then value
-    else Int64.logor value (Int64.shift_left 1L (t.width - 1 - d))
+    if b = 0 then value else value lor (1 lsl (t.width - 1 - d))
   in
   let rec go node value d =
     if node.n_end > 0 then ()        (* this whole prefix is covered *)
@@ -122,32 +121,31 @@ let complement t =
       (* Some descendant stores a prefix, so descend; an absent child
          subtree is entirely uncovered and maximal. *)
       (match node.zero with
-       | None -> acc := (set_bit value d 0L, d + 1) :: !acc
-       | Some c -> go c (set_bit value d 0L) (d + 1));
+       | None -> acc := (set_bit value d 0, d + 1) :: !acc
+       | Some c -> go c (set_bit value d 0) (d + 1));
       match node.one with
-      | None -> acc := (set_bit value d 1L, d + 1) :: !acc
-      | Some c -> go c (set_bit value d 1L) (d + 1)
+      | None -> acc := (set_bit value d 1, d + 1) :: !acc
+      | Some c -> go c (set_bit value d 1) (d + 1)
     end
   in
-  go t.root 0L 0;
+  go t.root 0 0;
   sort_prefixes !acc
 
 let prefixes t =
   let acc = ref [] in
   let set_bit value d b =
-    if Int64.equal b 0L then value
-    else Int64.logor value (Int64.shift_left 1L (t.width - 1 - d))
+    if b = 0 then value else value lor (1 lsl (t.width - 1 - d))
   in
   let rec go node value d =
     if node.n_end > 0 then acc := (value, d) :: !acc;
     (match node.zero with
      | None -> ()
-     | Some c -> go c (set_bit value d 0L) (d + 1));
+     | Some c -> go c (set_bit value d 0) (d + 1));
     match node.one with
     | None -> ()
-    | Some c -> go c (set_bit value d 1L) (d + 1)
+    | Some c -> go c (set_bit value d 1) (d + 1)
   in
-  go t.root 0L 0;
+  go t.root 0 0;
   sort_prefixes !acc
 
 let pp ppf t =

@@ -16,19 +16,20 @@
 type t
 
 val create : width:int -> t
-(** An empty trie over values of [width] bits, [1 <= width <= 64]. *)
+(** An empty trie over values of [width] bits, [1 <= width <= 62]
+    (values are immediate native ints). *)
 
 val width : t -> int
 
-val insert : t -> value:int64 -> len:int -> unit
+val insert : t -> value:int -> len:int -> unit
 (** Add a prefix of [len] leading bits of [value] (reference counted:
     inserting the same prefix twice requires removing it twice). *)
 
-val remove : t -> value:int64 -> len:int -> unit
+val remove : t -> value:int -> len:int -> unit
 (** Remove one reference of a prefix. Raises [Invalid_argument] if the
     prefix is not present. *)
 
-val mem : t -> value:int64 -> len:int -> bool
+val mem : t -> value:int -> len:int -> bool
 
 val is_empty : t -> bool
 
@@ -45,18 +46,18 @@ type lookup_result = {
           prefix length OVS installs. *)
 }
 
-val lookup : t -> int64 -> lookup_result
+val lookup : t -> int -> lookup_result
 
 val longest_match : lookup_result -> int
 (** Largest [n] with [plens.(n)], or [-1] if none (not even [/0]). *)
 
-val complement : t -> (int64 * int) list
+val complement : t -> (int * int) list
 (** Maximal prefixes [(value, len)] covering the complement of the union
     of stored prefixes, ordered by increasing length then value. Empty
     if the trie covers everything; the full list partitions the
     complement exactly (property-tested). *)
 
-val prefixes : t -> (int64 * int) list
+val prefixes : t -> (int * int) list
 (** The stored prefixes (without multiplicity), sorted. *)
 
 val pp : Format.formatter -> t -> unit

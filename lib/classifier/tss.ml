@@ -14,15 +14,19 @@ let ovs_default_config =
     check_all_tries = false;
     staged_lookup = true }
 
-module Flow_tbl = Tables.Flow_tbl
 module Mask_tbl = Tables.Mask_tbl
 
+(* Entries are bucketed by the masked-key hash and verified with
+   [Mask.equal_masked], so the full-key probe never materialises a
+   masked flow (the old [Flow_tbl] keyed on [Mask.apply st.mask flow]
+   allocated one per probe, per subtable, per upcall). *)
 type 'a subtable = {
   mask : Mask.t;
   stage_masks : Mask.t array;      (* cumulative: stages 0..i *)
   stage_used : bool array;         (* stage i adds bits of its own *)
   stage_sets : (int, int ref) Hashtbl.t array;  (* per-stage hash multiset *)
-  entries : 'a Rule.t list ref Flow_tbl.t;      (* masked key -> rules, best first *)
+  entries : (int, (Flow.t * 'a Rule.t list ref) list ref) Hashtbl.t;
+      (* masked-key hash -> (masked key, rules best-first) candidates *)
   plen : int array;                (* per field index: trie prefix length, 0 = no trie *)
   mutable max_prio : int;
   mutable n : int;
@@ -61,7 +65,7 @@ let stage_masks_of mask =
         (fun f ->
           if Field.Stage.equal (Field.Stage.of_field f) stage then begin
             let bits = Mask.get mask f in
-            if not (Int64.equal bits 0L) then begin
+            if bits <> 0 then begin
               used.(si) <- true;
               acc := Mask.with_field !acc f bits
             end
@@ -89,7 +93,7 @@ let new_subtable t mask =
     stage_masks;
     stage_used;
     stage_sets = Array.init Field.Stage.count (fun _ -> Hashtbl.create 16);
-    entries = Flow_tbl.create 16;
+    entries = Hashtbl.create 16;
     plen = plen_of t mask;
     max_prio = min_int;
     n = 0 }
@@ -110,6 +114,13 @@ let stage_set_remove st si h =
   | None -> assert false
 
 let last_stage = Field.Stage.count - 1
+
+(* The candidate list under one hash; keys are pre-masked, so plain
+   [Flow.equal] identifies the cell. *)
+let rec find_cell key = function
+  | [] -> None
+  | (k, bucket) :: rest ->
+    if Flow.equal k key then Some bucket else find_cell key rest
 
 let insert t (rule : 'a Rule.t) =
   let mask = rule.Rule.pattern.Pattern.mask in
@@ -134,9 +145,14 @@ let insert t (rule : 'a Rule.t) =
     if st.stage_used.(si) then
       stage_set_add st si (Mask.hash_masked st.stage_masks.(si) key)
   done;
-  (match Flow_tbl.find_opt st.entries key with
-   | Some bucket -> bucket := List.sort Rule.compare_precedence (rule :: !bucket)
-   | None -> Flow_tbl.add st.entries key (ref [ rule ]));
+  let h = Flow.hash key in
+  (match Hashtbl.find_opt st.entries h with
+   | Some cell -> begin
+     match find_cell key !cell with
+     | Some bucket -> bucket := List.sort Rule.compare_precedence (rule :: !bucket)
+     | None -> cell := (key, ref [ rule ]) :: !cell
+   end
+   | None -> Hashtbl.add st.entries h (ref [ (key, ref [ rule ]) ]));
   st.n <- st.n + 1;
   if rule.Rule.priority > st.max_prio then st.max_prio <- rule.Rule.priority;
   t.n_rules <- t.n_rules + 1;
@@ -147,41 +163,55 @@ let remove t pred =
   let dead_subtables = ref [] in
   Mask_tbl.iter
     (fun _mask st ->
-      let dead_keys = ref [] in
-      Flow_tbl.iter
-        (fun key bucket ->
-          let keep, drop = List.partition (fun r -> not (pred r)) !bucket in
-          if drop <> [] then begin
-            List.iter
-              (fun (r : 'a Rule.t) ->
-                ignore r;
-                Array.iteri
-                  (fun i plen ->
-                    if plen > 0 then
-                      Trie.remove t.tries.(i)
-                        ~value:(Flow.get key (Field.of_index i)) ~len:plen)
-                  st.plen;
-                for si = 0 to last_stage - 1 do
-                  if st.stage_used.(si) then
-                    stage_set_remove st si (Mask.hash_masked st.stage_masks.(si) key)
-                done)
-              drop;
-            let n_drop = List.length drop in
-            removed := !removed + n_drop;
-            st.n <- st.n - n_drop;
-            t.n_rules <- t.n_rules - n_drop;
-            if keep = [] then dead_keys := key :: !dead_keys
-            else bucket := keep
-          end)
+      let dead_hashes = ref [] in
+      Hashtbl.iter
+        (fun h cell ->
+          List.iter
+            (fun (key, bucket) ->
+              let keep, drop = List.partition (fun r -> not (pred r)) !bucket in
+              if drop <> [] then begin
+                List.iter
+                  (fun (r : 'a Rule.t) ->
+                    ignore r;
+                    Array.iteri
+                      (fun i plen ->
+                        if plen > 0 then
+                          Trie.remove t.tries.(i)
+                            ~value:(Flow.get key (Field.of_index i)) ~len:plen)
+                      st.plen;
+                    for si = 0 to last_stage - 1 do
+                      if st.stage_used.(si) then
+                        stage_set_remove st si
+                          (Mask.hash_masked st.stage_masks.(si) key)
+                    done)
+                  drop;
+                let n_drop = List.length drop in
+                removed := !removed + n_drop;
+                st.n <- st.n - n_drop;
+                t.n_rules <- t.n_rules - n_drop;
+                bucket := keep
+              end)
+            !cell;
+          let live =
+            List.filter (fun (_, bucket) -> !bucket <> []) !cell
+          in
+          if live = [] then dead_hashes := h :: !dead_hashes
+          else cell := live)
         st.entries;
-      List.iter (fun k -> Flow_tbl.remove st.entries k) !dead_keys;
+      List.iter (fun h -> Hashtbl.remove st.entries h) !dead_hashes;
       if st.n = 0 then dead_subtables := st.mask :: !dead_subtables
       else begin
         (* Recompute max priority after removals. *)
         let mp = ref min_int in
-        Flow_tbl.iter
-          (fun _ bucket ->
-            List.iter (fun (r : 'a Rule.t) -> if r.Rule.priority > !mp then mp := r.Rule.priority) !bucket)
+        Hashtbl.iter
+          (fun _ cell ->
+            List.iter
+              (fun (_, bucket) ->
+                List.iter
+                  (fun (r : 'a Rule.t) ->
+                    if r.Rule.priority > !mp then mp := r.Rule.priority)
+                  !bucket)
+              !cell)
           st.entries;
         st.max_prio <- !mp
       end)
@@ -260,14 +290,23 @@ let lookup_impl t flow ~wc =
         (* Genuinely absent at stage [si]: only stages 0..si examined. *)
         add_mask st.stage_masks.(si)
       | None ->
-        (* 3. Full-key probe. *)
-        (match Flow_tbl.find_opt st.entries (Mask.apply st.mask flow) with
-         | Some bucket ->
-           add_mask st.mask;
-           (match !bucket with
-            | r :: _ -> if better r then best := Some r
-            | [] -> ())
-         | None -> add_mask st.mask)
+        (* 3. Full-key probe: masked hash + masked equality, fused — no
+           masked flow is built. *)
+        add_mask st.mask;
+        (match Hashtbl.find_opt st.entries (Mask.hash_masked st.mask flow) with
+         | Some cell ->
+           let rec scan = function
+             | [] -> ()
+             | (k, bucket) :: rest ->
+               if Mask.equal_masked st.mask k flow then begin
+                 match !bucket with
+                 | r :: _ -> if better r then best := Some r
+                 | [] -> ()
+               end
+               else scan rest
+           in
+           scan !cell
+         | None -> ())
     end
   in
   let rec go = function
@@ -291,10 +330,15 @@ let lookup_impl t flow ~wc =
 
 let find t flow = fst (lookup_impl t flow ~wc:None)
 
-let find_wc t flow =
-  let b = Mask.Builder.create () in
+(* [find_wc_with] reuses the caller's scratch builder, so a steady
+   stream of upcalls allocates no accumulator per packet ([freeze] still
+   copies: the megaflow mask is retained by the caller). *)
+let find_wc_with t b flow =
+  Mask.Builder.reset b;
   let rule, probes = lookup_impl t flow ~wc:(Some b) in
   { rule; megaflow = Mask.Builder.freeze b; probes }
+
+let find_wc t flow = find_wc_with t (Mask.Builder.create ()) flow
 
 let n_rules t = t.n_rules
 
@@ -305,7 +349,11 @@ let subtable_masks t = List.map (fun st -> st.mask) (sorted_subtables t)
 let rules t =
   let acc = ref [] in
   Mask_tbl.iter
-    (fun _ st -> Flow_tbl.iter (fun _ b -> acc := !b @ !acc) st.entries)
+    (fun _ st ->
+      Hashtbl.iter
+        (fun _ cell ->
+          List.iter (fun (_, bucket) -> acc := List.rev_append !bucket !acc) !cell)
+        st.entries)
     t.subtables;
   List.sort Rule.compare_precedence !acc
 

@@ -61,6 +61,11 @@ type 'a result = {
 
 val find_wc : 'a t -> Flow.t -> 'a result
 
+val find_wc_with : 'a t -> Mask.Builder.t -> Flow.t -> 'a result
+(** [find_wc] with a caller-owned scratch builder: the builder is reset,
+    used as the un-wildcarding accumulator, and left reusable — no
+    accumulator allocation per lookup. *)
+
 val n_rules : 'a t -> int
 val n_subtables : 'a t -> int
 val subtable_masks : 'a t -> Mask.t list

@@ -85,9 +85,7 @@ let apply_acl t ~pod ~tenant acl =
     Error (Printf.sprintf "tenant %s does not own pod %s" tenant pod.pod_name)
   else begin
     let sw = switch t pod.server in
-    let pod_ip64 =
-      Int64.logand (Int64.of_int32 pod.ip) 0xFFFFFFFFL
-    in
+    let pod_ip = Int32.to_int pod.ip land 0xFFFFFFFF in
     (* Replace the pod's previous ingress policy: its rules are the ones
        pinned to the pod's address. *)
     ignore
@@ -95,14 +93,12 @@ let apply_acl t ~pod ~tenant acl =
          (Pi_ovs.Datapath.slowpath (Pi_ovs.Switch.datapath sw))
          (fun r ->
            let p = r.Pi_classifier.Rule.pattern in
-           Int64.equal
-             (Pi_classifier.Flow.get p.Pi_classifier.Pattern.key
-                Pi_classifier.Field.Ip_dst)
-             pod_ip64
-           && Int64.equal
-                (Pi_classifier.Mask.get p.Pi_classifier.Pattern.mask
-                   Pi_classifier.Field.Ip_dst)
-                0xFFFFFFFFL));
+           Pi_classifier.Flow.get p.Pi_classifier.Pattern.key
+             Pi_classifier.Field.Ip_dst
+           = pod_ip
+           && Pi_classifier.Mask.get p.Pi_classifier.Pattern.mask
+                Pi_classifier.Field.Ip_dst
+              = 0xFFFFFFFF));
     let rules =
       Compile.compile
         ~dst:(Pi_pkt.Ipv4_addr.Prefix.make pod.ip 32)
@@ -171,8 +167,7 @@ type hop = {
 
 let deliver t ~now ~src_pod flow ~pkt_len =
   let flow_at in_port =
-    Pi_classifier.Flow.with_field flow Pi_classifier.Field.In_port
-      (Int64.of_int in_port)
+    Pi_classifier.Flow.with_field flow Pi_classifier.Field.In_port in_port
   in
   let hop server in_port =
     let action, outcome =

@@ -60,7 +60,7 @@ let patterns_of_entry ?in_port ?dst (e : Acl.entry) =
   in
   let with_port field pat = function
     | None -> pat
-    | Some (v, len) -> Pattern.with_prefix pat field ~len (Int64.of_int v)
+    | Some (v, len) -> Pattern.with_prefix pat field ~len v
   in
   let ports_irrelevant proto =
     match proto with Some p when p = Pi_pkt.Ipv4.proto_icmp -> true | _ -> false

@@ -43,12 +43,12 @@ let block_prefixes b =
     List.iter
       (fun (e : Ipv4_addr.Prefix.t) ->
         Pi_classifier.Trie.insert trie
-          ~value:(Int64.logand (Int64.of_int32 e.Ipv4_addr.Prefix.base) 0xFFFFFFFFL)
+          ~value:(Int32.to_int e.Ipv4_addr.Prefix.base land 0xFFFFFFFF)
           ~len:e.Ipv4_addr.Prefix.len)
       b.except;
     Pi_classifier.Trie.complement trie
     |> List.filter_map (fun (v, len) ->
-           let addr = Int64.to_int32 v in
+           let addr = Int32.of_int v in
            let p = Ipv4_addr.Prefix.make addr len in
            if Ipv4_addr.Prefix.subset p b.cidr then Some (p.Ipv4_addr.Prefix.base, p.Ipv4_addr.Prefix.len)
            else if Ipv4_addr.Prefix.subset b.cidr p then

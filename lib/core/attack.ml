@@ -67,8 +67,7 @@ let feed t cloud ~upto events =
       if ts >= upto then fun () -> Seq.Cons ((ts, flow), rest)
       else begin
         let flow =
-          Pi_classifier.Flow.with_field flow Pi_classifier.Field.In_port
-            (Int64.of_int uplink)
+          Pi_classifier.Flow.with_field flow Pi_classifier.Field.In_port uplink
         in
         ignore
           (Pi_cms.Cloud.process cloud ~now:ts

@@ -10,22 +10,15 @@ let make ?(pkt_len = 100) ~spec ~dst () = { spec; dst; pkt_len }
 
 let divergent_value ~width ~allowed ~depth ~rand =
   if depth < 1 || depth > width then invalid_arg "Packet_gen.divergent_value";
-  let full = Int64.sub (Int64.shift_left 1L width) 1L in
+  let full = (1 lsl width) - 1 in
   let keep = depth - 1 in
   (* high [keep] bits from [allowed], flipped bit at position [depth],
      low bits from [rand] *)
-  let high_mask =
-    if keep = 0 then 0L
-    else Int64.logand (Int64.shift_left (-1L) (width - keep)) full
-  in
-  let flip_bit = Int64.shift_left 1L (width - depth) in
-  let low_mask = Int64.sub flip_bit 1L in
-  let flipped =
-    Int64.logxor (Int64.logand allowed flip_bit) flip_bit
-  in
-  Int64.logor
-    (Int64.logand allowed high_mask)
-    (Int64.logor flipped (Int64.logand rand low_mask))
+  let high_mask = if keep = 0 then 0 else ((-1) lsl (width - keep)) land full in
+  let flip_bit = 1 lsl (width - depth) in
+  let low_mask = flip_bit - 1 in
+  let flipped = (allowed land flip_bit) lxor flip_bit in
+  (allowed land high_mask) lor flipped lor (rand land low_mask)
 
 let proto_number spec =
   match spec.Policy_gen.proto with
@@ -36,10 +29,9 @@ let proto_number spec =
 (* The allowed (exact) value of each targeted field. *)
 let allowed_value spec f =
   match f with
-  | Field.Ip_src ->
-    Int64.logand (Int64.of_int32 spec.Policy_gen.allow_src) 0xFFFFFFFFL
-  | Field.Tp_src -> Int64.of_int spec.Policy_gen.allow_sport
-  | Field.Tp_dst -> Int64.of_int spec.Policy_gen.allow_dport
+  | Field.Ip_src -> Int32.to_int spec.Policy_gen.allow_src land 0xFFFFFFFF
+  | Field.Tp_src -> spec.Policy_gen.allow_sport
+  | Field.Tp_dst -> spec.Policy_gen.allow_dport
   | _ -> invalid_arg "Packet_gen.allowed_value: unsupported field"
 
 let base_flow t =
@@ -72,9 +64,12 @@ let flows ?(seed = 0xC0FFEEL) t =
       List.fold_left
         (fun flow (f, depth) ->
           let v =
+            (* [Int64.to_int] keeps the low 62 bits and only the low
+               [width − depth] bits are used, so the randomised tails are
+               bit-identical to the previous int64 implementation. *)
             divergent_value ~width:(Field.width f)
               ~allowed:(allowed_value t.spec f) ~depth
-              ~rand:(Pi_pkt.Prng.int64 rng)
+              ~rand:(Int64.to_int (Pi_pkt.Prng.int64 rng) land max_int)
           in
           Flow.with_field flow f v)
         (base_flow t) tuple)

@@ -19,7 +19,7 @@ type t = {
 val make :
   ?pkt_len:int -> spec:Policy_gen.spec -> dst:Pi_pkt.Ipv4_addr.t -> unit -> t
 
-val divergent_value : width:int -> allowed:int64 -> depth:int -> rand:int64 -> int64
+val divergent_value : width:int -> allowed:int -> depth:int -> rand:int -> int
 (** [divergent_value ~width ~allowed ~depth ~rand] agrees with [allowed]
     on bits [1..depth−1], differs at bit [depth] (1-indexed from the
     MSB) and takes the remaining low bits from [rand]. *)

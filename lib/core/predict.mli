@@ -32,7 +32,7 @@ val deny_masks :
 val variant_masks : ?config:Pi_classifier.Tss.config -> Variant.t -> int
 (** The paper's numbers: 32 / 512 / 8192 under the default config. *)
 
-val prefix_set_depths : width:int -> (int64 * int) list -> int
+val prefix_set_depths : width:int -> (int * int) list -> int
 (** Generalisation beyond single-value whitelists: given the set of
     prefixes a whitelist pins on one field, the number of distinct
     megaflow prefix lengths an adversary can force on that field — the
@@ -42,7 +42,7 @@ val prefix_set_depths : width:int -> (int64 * int) list -> int
 
 val whitelist_masks :
   ?config:Pi_classifier.Tss.config ->
-  (Pi_classifier.Field.t * (int64 * int) list) list -> int
+  (Pi_classifier.Field.t * (int * int) list) list -> int
 (** Deny-side mask count for a whitelist whose entries all pin the same
     field set: per field, the prefixes pinned across all entries;
     multiplied across trie-checked fields (or summed, short-circuit),

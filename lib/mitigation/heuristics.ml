@@ -5,7 +5,7 @@ let round_up_prefix ~granularity m =
   List.fold_left
     (fun acc f ->
       let bits = Mask.get acc f in
-      if Int64.equal bits 0L then acc
+      if bits = 0 then acc
       else
         match Mask.prefix_len acc f with
         | None -> acc  (* scattered mask: leave it *)
@@ -18,7 +18,7 @@ let round_up_prefix ~granularity m =
 let exact_fields ~fields m =
   List.fold_left
     (fun acc f ->
-      if Int64.equal (Mask.get acc f) 0L then acc else Mask.with_exact acc f)
+      if Mask.get acc f = 0 then acc else Mask.with_exact acc f)
     m fields
 
 let max_masks_per_field width ~granularity =

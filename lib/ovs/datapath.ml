@@ -46,14 +46,19 @@ type t = {
   h_upcall : Pi_telemetry.Histogram.t option;
 }
 
+let mf_alive (e : Megaflow.entry) = e.Megaflow.alive
+
 let create ?(config = default_config) ?tss_config ?metrics ?tracer rng () =
   let hist name =
     Option.map (fun m -> Pi_telemetry.Metrics.histogram m name) metrics
   in
   { cfg = config;
     emc =
+      (* [valid] makes a cached-but-dead megaflow reference count (and
+         evict) as a miss instead of inflating the EMC hit rate. *)
       Emc.create ~capacity:config.emc_capacity
-        ~insert_inv_prob:config.emc_insert_inv_prob ?metrics rng ();
+        ~insert_inv_prob:config.emc_insert_inv_prob ~valid:mf_alive ?metrics
+        rng ();
     mf = Megaflow.create ~config:config.megaflow ?metrics ();
     mcache =
       (match config.mask_cache_capacity with
@@ -93,19 +98,13 @@ let finish t outcome action =
   observe t.h_cycles c;
   (action, outcome)
 
-let mf_alive (e : Megaflow.entry) = e.Megaflow.alive
-
 let process t ~now flow ~pkt_len =
   t.n_processed <- t.n_processed + 1;
   (match t.c_packets with
    | Some c -> Pi_telemetry.Metrics.incr c
    | None -> ());
   let emc_entry =
-    if t.cfg.emc_enabled then
-      (* [valid] makes a cached-but-dead megaflow reference count (and
-         evict) as a miss instead of inflating the EMC hit rate. *)
-      Emc.lookup ~valid:mf_alive t.emc flow
-    else None
+    if t.cfg.emc_enabled then Emc.lookup t.emc flow else None
   in
   match emc_entry with
   | Some e ->

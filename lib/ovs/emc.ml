@@ -1,11 +1,15 @@
 open Pi_classifier
 
-type 'a slot = { key : Flow.t; value : 'a }
-
+(* Parallel-array slots: [values.(i)] is the stored (already-boxed)
+   [Some v] for an occupied slot, so a hit returns it as-is — the
+   steady-state EMC-hit path allocates nothing. [keys.(i)] is only
+   meaningful while [values.(i)] is [Some _]. *)
 type 'a t = {
-  slots : 'a slot option array;
+  keys : Flow.t array;
+  values : 'a option array;
   mask : int;  (* capacity - 1 *)
   insert_inv_prob : int;
+  valid : 'a -> bool;
   rng : Pi_pkt.Prng.t;
   mutable occupied : int;
   mutable hits : int;
@@ -18,13 +22,18 @@ let next_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let create ?(capacity = 8192) ?(insert_inv_prob = 4) ?metrics rng () =
+let always_valid _ = true
+
+let create ?(capacity = 8192) ?(insert_inv_prob = 4) ?(valid = always_valid)
+    ?metrics rng () =
   if capacity < 1 then invalid_arg "Emc.create: capacity";
   if insert_inv_prob < 1 then invalid_arg "Emc.create: insert_inv_prob";
   let cap = next_pow2 capacity in
-  { slots = Array.make cap None;
+  { keys = Array.make cap Flow.zero;
+    values = Array.make cap None;
     mask = cap - 1;
     insert_inv_prob;
+    valid;
     rng;
     occupied = 0;
     hits = 0;
@@ -32,7 +41,7 @@ let create ?(capacity = 8192) ?(insert_inv_prob = 4) ?metrics rng () =
     c_hit = Option.map (fun m -> Pi_telemetry.Metrics.counter m "emc_hit") metrics;
     c_miss = Option.map (fun m -> Pi_telemetry.Metrics.counter m "emc_miss") metrics }
 
-let capacity t = Array.length t.slots
+let capacity t = Array.length t.values
 
 let slot_of t flow = Flow.hash flow land t.mask
 
@@ -40,34 +49,38 @@ let bump = function
   | Some c -> Pi_telemetry.Metrics.incr c
   | None -> ()
 
-let lookup ?valid t flow =
+(* Top-level (not a closure inside [lookup]): an inner [let miss () =]
+   helper would be heap-allocated on every call, breaking the zero-
+   allocation guarantee of the steady-state hit path. *)
+let record_miss t =
+  t.misses <- t.misses + 1;
+  bump t.c_miss;
+  None
+
+let lookup t flow =
   let i = slot_of t flow in
-  let miss () =
-    t.misses <- t.misses + 1;
-    bump t.c_miss;
-    None
-  in
-  match t.slots.(i) with
-  | Some s when Flow.equal s.key flow -> begin
-    match valid with
-    | Some ok when not (ok s.value) ->
+  match t.values.(i) with
+  | Some v as r when Flow.equal t.keys.(i) flow ->
+    if t.valid v then begin
+      t.hits <- t.hits + 1;
+      bump t.c_hit;
+      r
+    end
+    else begin
       (* The cached value is dead (e.g. its megaflow was evicted): that
          is a miss, not a hit — and the slot is reclaimed so the next
          packet does not pay the dead probe again. *)
-      t.slots.(i) <- None;
+      t.values.(i) <- None;
       t.occupied <- t.occupied - 1;
-      miss ()
-    | Some _ | None ->
-      t.hits <- t.hits + 1;
-      bump t.c_hit;
-      Some s.value
-  end
-  | Some _ | None -> miss ()
+      record_miss t
+    end
+  | Some _ | None -> record_miss t
 
 let insert_forced t flow value =
   let i = slot_of t flow in
-  if t.slots.(i) = None then t.occupied <- t.occupied + 1;
-  t.slots.(i) <- Some { key = flow; value }
+  (match t.values.(i) with None -> t.occupied <- t.occupied + 1 | Some _ -> ());
+  t.keys.(i) <- flow;
+  t.values.(i) <- Some value
 
 let insert t flow value =
   if t.insert_inv_prob = 1 || Pi_pkt.Prng.int t.rng t.insert_inv_prob = 0 then
@@ -78,16 +91,16 @@ let invalidate_if t pred =
   Array.iteri
     (fun i slot ->
       match slot with
-      | Some s when pred s.value ->
-        t.slots.(i) <- None;
+      | Some v when pred v ->
+        t.values.(i) <- None;
         t.occupied <- t.occupied - 1;
         incr n
       | Some _ | None -> ())
-    t.slots;
+    t.values;
   !n
 
 let clear t =
-  Array.fill t.slots 0 (Array.length t.slots) None;
+  Array.fill t.values 0 (Array.length t.values) None;
   t.occupied <- 0
 
 let occupancy t = t.occupied

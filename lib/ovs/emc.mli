@@ -12,18 +12,22 @@
 type 'a t
 
 val create :
-  ?capacity:int -> ?insert_inv_prob:int -> ?metrics:Pi_telemetry.Metrics.t ->
-  Pi_pkt.Prng.t -> unit -> 'a t
+  ?capacity:int -> ?insert_inv_prob:int -> ?valid:('a -> bool) ->
+  ?metrics:Pi_telemetry.Metrics.t -> Pi_pkt.Prng.t -> unit -> 'a t
 (** [capacity] (default 8192) is rounded up to a power of two;
     [insert_inv_prob] (default 4) is the [1/p] insertion probability
-    denominator — 1 inserts always. When [metrics] is given, every
-    lookup also bumps the registry's [emc_hit]/[emc_miss] counters. *)
+    denominator — 1 inserts always. [valid] (default: accept all) is
+    the cached-value validity predicate consulted on every hit; it
+    lives here rather than on {!lookup} so the per-packet call carries
+    no closure-option allocation. When [metrics] is given, every lookup
+    also bumps the registry's [emc_hit]/[emc_miss] counters. *)
 
 val capacity : 'a t -> int
 
-val lookup : ?valid:('a -> bool) -> 'a t -> Pi_classifier.Flow.t -> 'a option
-(** Exact-match hit or nothing. Updates hit/miss counters. When [valid]
-    is given and rejects the cached value (a stale reference to an
+val lookup : 'a t -> Pi_classifier.Flow.t -> 'a option
+(** Exact-match hit or nothing; allocation-free (the returned option is
+    the stored one). Updates hit/miss counters. When the create-time
+    [valid] predicate rejects the cached value (a stale reference to an
     evicted megaflow), the lookup counts as a {e miss} — not a hit —
     and the dead slot is evicted on the spot, so EMC hit-rate statistics
     reflect only lookups that actually short-circuited classification. *)

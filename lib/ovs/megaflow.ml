@@ -120,23 +120,26 @@ let miss t ~probes =
   bump t.c_miss;
   bump ~by:probes t.c_probes
 
-let lookup t flow ~now ~pkt_len =
-  let rec go i probes =
-    if i >= t.n_tables then begin
-      miss t ~probes;
-      (None, probes)
-    end
-    else begin
-      let st = t.arr.(i) in
-      let probes = probes + 1 in
-      match find_in_subtable st flow with
-      | Some e ->
-        hit_entry t st e ~now ~pkt_len ~probes;
-        (Some e, probes)
-      | None -> go (i + 1) probes
-    end
-  in
-  go 0 0
+(* The linear scans are top-level recursive functions, not closures
+   inside [lookup]/[lookup_hinted]: an inner [let rec go] captures its
+   environment and is heap-allocated per call, which dominated the
+   per-packet allocation of the miss path (the attack's victim regime). *)
+let rec scan_tables t flow ~now ~pkt_len i probes =
+  if i >= t.n_tables then begin
+    miss t ~probes;
+    (None, probes)
+  end
+  else begin
+    let st = t.arr.(i) in
+    let probes = probes + 1 in
+    match find_in_subtable st flow with
+    | Some e ->
+      hit_entry t st e ~now ~pkt_len ~probes;
+      (Some e, probes)
+    | None -> scan_tables t flow ~now ~pkt_len (i + 1) probes
+  end
+
+let lookup t flow ~now ~pkt_len = scan_tables t flow ~now ~pkt_len 0 0
 
 (* Kernel-style lookup: try the mask the flow's hash slot matched last
    time (one probe); fall back to the linear scan and refresh the hint.
@@ -147,45 +150,42 @@ let lookup t flow ~now ~pkt_len =
    resort/compaction every cached index may point at a different mask,
    and with overlapping attack masks a stale hint could return a
    different entry than the linear scan would. *)
+let rec scan_tables_record t cache flow ~now ~pkt_len i probes =
+  if i >= t.n_tables then begin
+    miss t ~probes;
+    (None, probes)
+  end
+  else begin
+    let st = t.arr.(i) in
+    let probes = probes + 1 in
+    match find_in_subtable st flow with
+    | Some e ->
+      hit_entry t st e ~now ~pkt_len ~probes;
+      Mask_cache.record cache flow i;
+      (Some e, probes)
+    | None -> scan_tables_record t cache flow ~now ~pkt_len (i + 1) probes
+  end
+
 let lookup_hinted t cache flow ~now ~pkt_len =
   Mask_cache.sync_generation cache t.generation;
-  (* [base]: probes already paid by a failed hint before the fallback
-     scan. Only an index that actually reached [find_in_subtable] counts;
-     an out-of-range hint never probed anything. *)
-  let hit, base =
-    match Mask_cache.hint cache flow with
-    | Some i when i < t.n_tables -> begin
-      let st = t.arr.(i) in
-      match find_in_subtable st flow with
-      | Some e ->
-        hit_entry t st e ~now ~pkt_len ~probes:1;
-        Mask_cache.note_hit cache;
-        (Some (Some e, 1), 0)
-      | None -> (None, 1)
-    end
-    | Some _ | None -> (None, 0)
-  in
-  match hit with
-  | Some r -> r
-  | None ->
+  (* A failed hint costs one probe before the fallback scan. Only an
+     index that actually reached [find_in_subtable] counts; an
+     out-of-range hint never probed anything. *)
+  match Mask_cache.hint cache flow with
+  | Some i when i < t.n_tables -> begin
+    let st = t.arr.(i) in
+    match find_in_subtable st flow with
+    | Some e ->
+      hit_entry t st e ~now ~pkt_len ~probes:1;
+      Mask_cache.note_hit cache;
+      (Some e, 1)
+    | None ->
+      Mask_cache.note_miss cache;
+      scan_tables_record t cache flow ~now ~pkt_len 0 1
+  end
+  | Some _ | None ->
     Mask_cache.note_miss cache;
-    let rec go i probes =
-      if i >= t.n_tables then begin
-        miss t ~probes;
-        (None, probes)
-      end
-      else begin
-        let st = t.arr.(i) in
-        let probes = probes + 1 in
-        match find_in_subtable st flow with
-        | Some e ->
-          hit_entry t st e ~now ~pkt_len ~probes;
-          Mask_cache.record cache flow i;
-          (Some e, probes)
-        | None -> go (i + 1) probes
-      end
-    in
-    go 0 base
+    scan_tables_record t cache flow ~now ~pkt_len 0 0
 
 (* Userspace-dpcls-style ranking: periodically sort subtables so the
    most-hit masks are probed first (OVS's pvector). Decays counts so
@@ -223,28 +223,61 @@ let drop_empty_subtables t =
 
 (* LRU eviction used when the flow limit is hit: evict the oldest ~5% so
    insertion stays amortised-cheap, mimicking the revalidator's reaction
-   to flow-limit pressure. *)
+   to flow-limit pressure.
+
+   Bounded selection: a size-k max-heap over [last_used] (root = the
+   youngest of the k candidates) scanned once over the live entries —
+   O(n log k) and O(k) space, instead of materialising an (st, e) pair
+   per entry and full-sorting all n to drop 5%. *)
 let evict_lru t =
-  let all = ref [] in
+  let k = max 1 (t.n / 20) in
+  let heap_t = Array.make k 0. in             (* last_used, heap-ordered *)
+  let heap_st = Array.make k None in          (* owning subtable *)
+  let heap_e : entry option array = Array.make k None in
+  let size = ref 0 in
+  let swap i j =
+    let tt = heap_t.(i) and st = heap_st.(i) and e = heap_e.(i) in
+    heap_t.(i) <- heap_t.(j); heap_st.(i) <- heap_st.(j); heap_e.(i) <- heap_e.(j);
+    heap_t.(j) <- tt; heap_st.(j) <- st; heap_e.(j) <- e
+  in
+  let rec sift_up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if heap_t.(p) < heap_t.(i) then begin swap p i; sift_up p end
+    end
+  in
+  let rec sift_down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = if l < !size && heap_t.(l) > heap_t.(i) then l else i in
+    let m = if r < !size && heap_t.(r) > heap_t.(m) then r else m in
+    if m <> i then begin swap i m; sift_down m end
+  in
+  let offer st e =
+    if !size < k then begin
+      heap_t.(!size) <- e.last_used;
+      heap_st.(!size) <- Some st;
+      heap_e.(!size) <- Some e;
+      incr size;
+      sift_up (!size - 1)
+    end
+    else if e.last_used < heap_t.(0) then begin
+      heap_t.(0) <- e.last_used;
+      heap_st.(0) <- Some st;
+      heap_e.(0) <- Some e;
+      sift_down 0
+    end
+  in
   iter_subtables
     (fun st ->
-      Hashtbl.iter (fun _ b -> List.iter (fun e -> all := (st, e) :: !all) !b)
-        st.s_entries)
+      Hashtbl.iter (fun _ b -> List.iter (fun e -> offer st e) !b) st.s_entries)
     t;
-  let sorted =
-    List.sort (fun (_, a) (_, b) -> Float.compare a.last_used b.last_used) !all
-  in
-  let k = max 1 (t.n / 20) in
-  let rec drop i = function
-    | [] -> ()
-    | (st, e) :: rest ->
-      if i < k then begin
-        remove_entry t st e;
-        bump t.c_evicted;
-        drop (i + 1) rest
-      end
-  in
-  drop 0 sorted;
+  for i = 0 to !size - 1 do
+    match (heap_st.(i), heap_e.(i)) with
+    | Some st, Some e ->
+      remove_entry t st e;
+      bump t.c_evicted
+    | _ -> ()
+  done;
   drop_empty_subtables t
 
 let has_mask t mask = Tables.Mask_tbl.mem t.by_mask mask
@@ -321,7 +354,7 @@ let masks t =
 let entries t =
   let acc = ref [] in
   for i = t.n_tables - 1 downto 0 do
-    acc := Hashtbl.fold (fun _ b acc -> !b @ acc) t.arr.(i).s_entries !acc
+    acc := Hashtbl.fold (fun _ b acc -> List.rev_append !b acc) t.arr.(i).s_entries !acc
   done;
   !acc
 
@@ -330,24 +363,24 @@ let pp_entry ~now ppf e =
   List.iter
     (fun f ->
       let m = Mask.get e.mask f in
-      if not (Int64.equal m 0L) then begin
+      if m <> 0 then begin
         if not !first then Format.pp_print_char ppf ',';
         first := false;
         let v = Flow.get e.key f in
         let pp_value ppf v =
           match f with
           | Field.Ip_src | Field.Ip_dst ->
-            Pi_pkt.Ipv4_addr.pp ppf (Int64.to_int32 v)
+            Pi_pkt.Ipv4_addr.pp ppf (Int32.of_int v)
           | Field.In_port | Field.Eth_src | Field.Eth_dst | Field.Eth_type
           | Field.Vlan | Field.Ip_proto | Field.Ip_tos | Field.Ip_ttl
           | Field.Tp_src | Field.Tp_dst | Field.Tcp_flags ->
-            Format.fprintf ppf "%Ld" v
+            Format.fprintf ppf "%d" v
         in
         match Mask.prefix_len e.mask f with
         | Some n when n = Field.width f ->
           Format.fprintf ppf "%s=%a" (Field.name f) pp_value v
         | Some n -> Format.fprintf ppf "%s=%a/%d" (Field.name f) pp_value v n
-        | None -> Format.fprintf ppf "%s=%a&0x%Lx" (Field.name f) pp_value v m
+        | None -> Format.fprintf ppf "%s=%a&0x%x" (Field.name f) pp_value v m
       end)
     Field.all;
   if !first then Format.pp_print_string ppf "match=any";

@@ -2,6 +2,9 @@ open Pi_classifier
 
 type t = {
   cls : Action.t Tss.t;
+  scratch : Mask.Builder.t;
+      (* Reusable un-wildcarding accumulator: one builder per slow path
+         instead of one allocation per upcall. *)
   mutable revision : int;
   c_upcall : Pi_telemetry.Metrics.counter option;
   c_probes : Pi_telemetry.Metrics.counter option;
@@ -14,7 +17,8 @@ let create ?config ?metrics () =
     | None -> Tss.create ()
   in
   let c name = Option.map (fun m -> Pi_telemetry.Metrics.counter m name) metrics in
-  { cls; revision = 0; c_upcall = c "upcall"; c_probes = c "slow_probes" }
+  { cls; scratch = Mask.Builder.create (); revision = 0;
+    c_upcall = c "upcall"; c_probes = c "slow_probes" }
 
 let config t = Tss.config t.cls
 
@@ -37,7 +41,7 @@ type verdict = {
 }
 
 let upcall t flow =
-  let r = Tss.find_wc t.cls flow in
+  let r = Tss.find_wc_with t.cls t.scratch flow in
   (match t.c_upcall with
    | Some c -> Pi_telemetry.Metrics.incr c
    | None -> ());

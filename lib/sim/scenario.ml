@@ -224,7 +224,7 @@ let run p =
     let flows =
       Policy_injection.Packet_gen.flows ~seed:(Prng.int64 rng) gen
       |> List.map (fun f ->
-             Flow.with_field f Field.In_port (Int64.of_int uplink_port))
+             Flow.with_field f Field.In_port uplink_port)
       |> Array.of_list
     in
     let rate_pps = float_of_int (Array.length flows) /. a.refresh_period in

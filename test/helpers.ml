@@ -52,22 +52,22 @@ let gen_small_pattern =
     | 0 ->
       let* v = int_range 0 15 in
       let* len = if exact then return 32 else int_range 0 32 in
-      return (Pattern.with_prefix pat Field.Ip_src ~len (Int64.of_int v))
+      return (Pattern.with_prefix pat Field.Ip_src ~len v)
     | 1 ->
       let* v = int_range 0 15 in
       let* len = if exact then return 32 else int_range 0 32 in
-      return (Pattern.with_prefix pat Field.Ip_dst ~len (Int64.of_int v))
+      return (Pattern.with_prefix pat Field.Ip_dst ~len v)
     | 2 ->
       let* v = oneofl [ 6; 17 ] in
-      return (Pattern.with_exact pat Field.Ip_proto (Int64.of_int v))
+      return (Pattern.with_exact pat Field.Ip_proto v)
     | 3 ->
       let* v = int_range 0 7 in
       let* len = if exact then return 16 else int_range 0 16 in
-      return (Pattern.with_prefix pat Field.Tp_src ~len (Int64.of_int v))
+      return (Pattern.with_prefix pat Field.Tp_src ~len v)
     | _ ->
       let* v = int_range 0 7 in
       let* len = if exact then return 16 else int_range 0 16 in
-      return (Pattern.with_prefix pat Field.Tp_dst ~len (Int64.of_int v))
+      return (Pattern.with_prefix pat Field.Tp_dst ~len v)
   in
   let* n = int_range 0 3 in
   let rec go pat k = if k = 0 then return pat else bind (constrain pat) (fun p -> go p (k - 1)) in

@@ -55,10 +55,10 @@ let test_rounds_share_masks () =
       (* Same divergence depth = same leading-bit agreement with the
          whitelisted source. *)
       let depth v =
-        let allowed = Int64.logand (Int64.of_int32 (ip "10.0.0.10")) 0xFFFFFFFFL in
-        let x = Int64.logxor allowed (Pi_classifier.Flow.get v Pi_classifier.Field.Ip_src) in
+        let allowed = Int32.to_int (ip "10.0.0.10") land 0xFFFFFFFF in
+        let x = allowed lxor Pi_classifier.Flow.get v Pi_classifier.Field.Ip_src in
         let rec go i = if i >= 32 then 32
-          else if Int64.logand (Int64.shift_right_logical x (31 - i)) 1L = 1L then i
+          else if (x lsr (31 - i)) land 1 = 1 then i
           else go (i + 1)
         in
         go 0

@@ -78,7 +78,7 @@ let test_policy_enforced_end_to_end () =
     Flow.make ~in_port:1 ~ip_src:(ip "10.9.9.9") ~ip_dst:victim.Cloud.ip
       ~ip_proto:6 ~tp_src:1234 ~tp_dst:80 ()
   in
-  let denied = Flow.with_field allowed Field.Ip_src 0x0B000001L (* 11.0.0.1 *) in
+  let denied = Flow.with_field allowed Field.Ip_src 0x0B000001 (* 11.0.0.1 *) in
   let a1, _ = Cloud.process cloud ~now:0. ~server:"server-1" allowed ~pkt_len:100 in
   let a2, _ = Cloud.process cloud ~now:0. ~server:"server-1" denied ~pkt_len:100 in
   Alcotest.(check action_t) "allowed forwarded"

@@ -77,21 +77,24 @@ let test_reset_stats () =
   Alcotest.(check int) "misses reset" 0 (Emc.misses e)
 
 let test_dead_entry_counts_as_miss () =
-  let e = mk () in
+  let e =
+    Emc.create ~capacity:8 ~insert_inv_prob:1 ~valid:(fun v -> v <> "dead")
+      (Pi_pkt.Prng.create 1L) ()
+  in
   let f = flow 1 in
   Emc.insert e f "dead";
-  (* A cached value the validity predicate rejects (a stale reference to
-     an evicted megaflow) must count as a miss, not a hit — and the dead
-     slot is reclaimed on the spot. *)
+  (* A cached value the create-time validity predicate rejects (a stale
+     reference to an evicted megaflow) must count as a miss, not a hit —
+     and the dead slot is reclaimed on the spot. *)
   Alcotest.(check (option string)) "dead entry rejected" None
-    (Emc.lookup ~valid:(fun v -> v <> "dead") e f);
+    (Emc.lookup e f);
   Alcotest.(check int) "no phantom hit" 0 (Emc.hits e);
   Alcotest.(check int) "counted as miss" 1 (Emc.misses e);
   Alcotest.(check int) "dead slot evicted" 0 (Emc.occupancy e);
   (* The slot is free for reuse. *)
   Emc.insert e f "live";
   Alcotest.(check (option string)) "live value accepted" (Some "live")
-    (Emc.lookup ~valid:(fun v -> v = "live") e f);
+    (Emc.lookup e f);
   Alcotest.(check int) "real hit counted" 1 (Emc.hits e)
 
 let test_invalid_args () =

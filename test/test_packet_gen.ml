@@ -10,29 +10,29 @@ let gen variant =
 
 let test_divergent_value_basics () =
   (* width 8, allowed 00001010 *)
-  let allowed = 0b00001010L in
+  let allowed = 0b00001010 in
   for depth = 1 to 8 do
     let v =
-      Packet_gen.divergent_value ~width:8 ~allowed ~depth ~rand:0xFFL
+      Packet_gen.divergent_value ~width:8 ~allowed ~depth ~rand:0xFF
     in
     (* Shares depth-1 leading bits... *)
     let shift = 8 - (depth - 1) in
     if depth > 1 then begin
-      let hi x = Int64.shift_right_logical x shift in
-      Alcotest.(check int64)
+      let hi x = x lsr shift in
+      Alcotest.(check int)
         (Printf.sprintf "depth %d: shares prefix" depth)
         (hi allowed) (hi v)
     end;
     (* ...and differs exactly at bit [depth]. *)
-    let bit x = Int64.logand (Int64.shift_right_logical x (8 - depth)) 1L in
+    let bit x = (x lsr (8 - depth)) land 1 in
     Alcotest.(check bool)
       (Printf.sprintf "depth %d: flips bit" depth)
       true
-      (not (Int64.equal (bit allowed) (bit v)))
+      (bit allowed <> bit v)
   done
 
 let test_divergent_value_invalid () =
-  match Packet_gen.divergent_value ~width:8 ~allowed:0L ~depth:9 ~rand:0L with
+  match Packet_gen.divergent_value ~width:8 ~allowed:0 ~depth:9 ~rand:0 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "depth beyond width should raise"
 
@@ -45,10 +45,9 @@ let prop_divergent_never_allowed =
       return (allowed, depth, rand))
     (fun (allowed, depth, rand) ->
       let v =
-        Packet_gen.divergent_value ~width:16 ~allowed:(Int64.of_int allowed)
-          ~depth ~rand:(Int64.of_int rand)
+        Packet_gen.divergent_value ~width:16 ~allowed ~depth ~rand
       in
-      not (Int64.equal v (Int64.of_int allowed)))
+      v <> allowed)
 
 let test_flow_counts () =
   List.iter

@@ -38,7 +38,7 @@ let test_is_exact_match () =
   Alcotest.(check bool) "any not exact" false (Pattern.is_exact_match Pattern.any);
   let all_exact =
     List.fold_left
-      (fun p f -> Pattern.with_exact p f 0L)
+      (fun p f -> Pattern.with_exact p f 0)
       Pattern.any Field.all
   in
   Alcotest.(check bool) "fully pinned" true (Pattern.is_exact_match all_exact)

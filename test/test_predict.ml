@@ -70,17 +70,17 @@ let test_variant_metadata () =
 let test_prefix_set_depths_single () =
   (* One exact value: the classic width-many depths. *)
   Alcotest.(check int) "exact /32" 32
-    (Predict.prefix_set_depths ~width:32 [ (5L, 32) ]);
+    (Predict.prefix_set_depths ~width:32 [ (5, 32) ]);
   Alcotest.(check int) "one /8" 8
-    (Predict.prefix_set_depths ~width:32 [ (0x0A000000L, 8) ]);
+    (Predict.prefix_set_depths ~width:32 [ (0x0A000000, 8) ]);
   Alcotest.(check int) "allow-all leaves nothing" 0
-    (Predict.prefix_set_depths ~width:32 [ (0L, 0) ])
+    (Predict.prefix_set_depths ~width:32 [ (0, 0) ])
 
 let test_whitelist_masks_multi_field () =
   Alcotest.(check int) "src exact x dport exact" 512
     (Predict.whitelist_masks
-       [ (Field.Ip_src, [ (0x0A00000AL, 32) ]);
-         (Field.Tp_dst, [ (80L, 16) ]) ])
+       [ (Field.Ip_src, [ (0x0A00000A, 32) ]);
+         (Field.Tp_dst, [ (80, 16) ]) ])
 
 (* The generalised predictor against the real switch: for any whitelist
    of source prefixes, driving one packet per complement prefix must
@@ -91,7 +91,7 @@ let gen_prefix_set =
     let* len = int_range 1 32 in
     let* v = map Int32.of_int int in
     let p = Pi_pkt.Ipv4_addr.Prefix.make v len in
-    return (p, (Int64.logand (Int64.of_int32 p.Pi_pkt.Ipv4_addr.Prefix.base) 0xFFFFFFFFL,
+    return (p, (Int32.to_int p.Pi_pkt.Ipv4_addr.Prefix.base land 0xFFFFFFFF,
                 len))
   in
   list_size (int_range 1 5) gen_prefix
@@ -118,7 +118,7 @@ let prop_whitelist_predictor =
         prefixes;
       List.iter
         (fun (v, _) ->
-          let f = Flow.make ~ip_src:(Int64.to_int32 v) () in
+          let f = Flow.make ~ip_src:(Int32.of_int v) () in
           ignore (Pi_ovs.Datapath.process dp ~now:0. f ~pkt_len:64))
         (Trie.complement trie);
       let predicted =

@@ -1,0 +1,209 @@
+(* Representation-parity tests for the unboxed immediate-int migration.
+
+   [Flow.t]/[Mask.t] moved from boxed [int64 array] to plain [int array]
+   (every field is at most 48 bits wide, so values are always immediate).
+   These properties pin the new implementation against an explicit int64
+   reference model of the old semantics: masked application, match,
+   masked equality, the masked hash (which must stay bit-identical — EMC
+   slots, subtable buckets and the test_pmd steering goldens all depend
+   on it) and prefix-length recovery. *)
+
+open Pi_classifier
+open Helpers
+
+(* --- int64 reference model (the pre-migration semantics) --- *)
+
+module Ref64 = struct
+  let full_of_field i =
+    let w = Field.width (Field.of_index i) in
+    Int64.sub (Int64.shift_left 1L w) 1L
+
+  let full = Array.init Field.count full_of_field
+
+  let prefix_mask f n =
+    let w = Field.width f in
+    if n = 0 then 0L
+    else Int64.logand (Int64.shift_left (-1L) (w - n)) full.(Field.index f)
+
+  let prefix_len w v =
+    let rec go n =
+      if n > w then None
+      else if
+        Int64.equal
+          (if n = 0 then 0L
+           else
+             Int64.logand (Int64.shift_left (-1L) (w - n))
+               (Int64.sub (Int64.shift_left 1L w) 1L))
+          v
+      then Some n
+      else go (n + 1)
+    in
+    go 0
+
+  let apply mask flow = Array.map2 Int64.logand mask flow
+
+  let matches mask ~key flow =
+    let ok = ref true in
+    Array.iteri
+      (fun i m ->
+        if not (Int64.equal (Int64.logand key.(i) m) (Int64.logand flow.(i) m))
+        then ok := false)
+      mask;
+    !ok
+
+  let equal_masked mask a b =
+    let ok = ref true in
+    Array.iteri
+      (fun i m ->
+        if not (Int64.equal (Int64.logand a.(i) m) (Int64.logand b.(i) m))
+        then ok := false)
+      mask;
+    !ok
+
+  let hash_masked mask flow =
+    let h = ref 0 in
+    for i = 0 to Field.count - 1 do
+      let v = Int64.to_int (Int64.logand mask.(i) flow.(i)) in
+      h := (!h lxor v) * 0x9E3779B1
+    done;
+    let h = !h in
+    (h lxor (h lsr 29)) land max_int
+end
+
+(* Random per-field values/masks wide enough to exercise the 48-bit MAC
+   fields, built in both representations from the same int source. *)
+
+let gen_fieldvals =
+  QCheck2.Gen.(array_size (return Field.count) (int_bound ((1 lsl 48) - 1)))
+
+let clamp_int i v = v land ((1 lsl Field.width (Field.of_index i)) - 1)
+
+let flow_of_ints vals =
+  let f = ref (Flow.make ()) in
+  (* Flow.make defaults eth_type/ip_ttl to non-zero: overwrite all. *)
+  Array.iteri
+    (fun i v -> f := Flow.with_field !f (Field.of_index i) v)
+    vals;
+  !f
+
+let mask_of_ints vals =
+  let m = ref Mask.empty in
+  Array.iteri
+    (fun i v -> m := Mask.with_field !m (Field.of_index i) v)
+    vals;
+  !m
+
+let to64 vals = Array.mapi (fun i v -> Int64.of_int (clamp_int i v)) vals
+
+let gen_pair = QCheck2.Gen.pair gen_fieldvals gen_fieldvals
+let gen_triple = QCheck2.Gen.triple gen_fieldvals gen_fieldvals gen_fieldvals
+
+let prop_apply_parity =
+  qtest ~count:500 "apply parity vs int64 reference" gen_pair
+    (fun (mv, fv) ->
+      let applied = Mask.apply (mask_of_ints mv) (flow_of_ints fv) in
+      let expect = Ref64.apply (to64 mv) (to64 fv) in
+      List.for_all
+        (fun f ->
+          Int64.of_int (Flow.get applied f) = expect.(Field.index f))
+        Field.all)
+
+let prop_matches_parity =
+  qtest ~count:500 "matches parity vs int64 reference" gen_triple
+    (fun (mv, kv, fv) ->
+      Mask.matches (mask_of_ints mv) ~key:(flow_of_ints kv) (flow_of_ints fv)
+      = Ref64.matches (to64 mv) ~key:(to64 kv) (to64 fv))
+
+let prop_equal_masked_parity =
+  qtest ~count:500 "equal_masked parity vs int64 reference" gen_triple
+    (fun (mv, av, bv) ->
+      Mask.equal_masked (mask_of_ints mv) (flow_of_ints av) (flow_of_ints bv)
+      = Ref64.equal_masked (to64 mv) (to64 av) (to64 bv))
+
+let prop_hash_masked_parity =
+  (* Bit-identical, not merely consistent: cache steering (EMC slot,
+     subtable bucket) must not move across the representation change. *)
+  qtest ~count:500 "hash_masked bit-identical to int64 reference" gen_pair
+    (fun (mv, fv) ->
+      Mask.hash_masked (mask_of_ints mv) (flow_of_ints fv)
+      = Ref64.hash_masked (to64 mv) (to64 fv))
+
+let prop_hash_masked_is_hash_of_apply =
+  qtest ~count:500 "hash_masked = hash ∘ apply (fused probe is sound)"
+    gen_pair
+    (fun (mv, fv) ->
+      let m = mask_of_ints mv and f = flow_of_ints fv in
+      Mask.hash_masked m f = Flow.hash (Mask.apply m f))
+
+let prop_prefix_len_parity =
+  qtest ~count:500 "prefix_len (O(1) popcount) parity vs linear scan"
+    QCheck2.Gen.(
+      pair (int_range 0 (Field.count - 1)) (int_bound ((1 lsl 48) - 1)))
+    (fun (i, v) ->
+      let f = Field.of_index i in
+      let m = Mask.with_field Mask.empty f v in
+      Mask.prefix_len m f
+      = Ref64.prefix_len (Field.width f) (Int64.of_int (clamp_int i v)))
+
+let prop_prefix_len_roundtrip =
+  qtest ~count:500 "prefix_len inverts with_prefix"
+    QCheck2.Gen.(
+      let* i = int_range 0 (Field.count - 1) in
+      let* n = int_range 0 (Field.width (Field.of_index i)) in
+      return (i, n))
+    (fun (i, n) ->
+      let f = Field.of_index i in
+      Mask.prefix_len (Mask.with_prefix Mask.empty f n) f = Some n)
+
+let test_width_clamp () =
+  (* Out-of-width bits must be dropped at construction, exactly as the
+     int64 representation clamped against its per-field full mask. *)
+  List.iter
+    (fun f ->
+      let w = Field.width f in
+      let fl = Flow.with_field (Flow.make ()) f (-1) in
+      Alcotest.(check int)
+        (Field.name f ^ " flow clamped")
+        ((1 lsl w) - 1) (Flow.get fl f);
+      let m = Mask.with_field Mask.empty f (-1) in
+      Alcotest.(check int)
+        (Field.name f ^ " mask clamped")
+        ((1 lsl w) - 1) (Mask.get m f))
+    Field.all;
+  (* The widest field (48-bit MAC) round-trips through the boxed
+     boundary type without loss. *)
+  let mac = 0xFEDC_BA98_7654L in
+  let fl = Flow.make ~eth_src:mac () in
+  Alcotest.(check int64) "48-bit MAC round-trip" mac (Flow.eth_src fl)
+
+let test_hash_spot_values () =
+  (* Two fixed flows whose hashes were computed with the pre-migration
+     int64 implementation: guards against accidental mixer changes. *)
+  let f1 = Flow.make () in
+  let f2 =
+    Flow.make ~ip_src:(ip "10.0.0.10") ~ip_dst:(ip "10.1.0.3") ~ip_proto:17
+      ~tp_src:53 ~tp_dst:80 ()
+  in
+  let h_ref64 fields =
+    let h = ref 0 in
+    Array.iter (fun v -> h := (!h lxor Int64.to_int v) * 0x9E3779B1) fields;
+    let h = !h in
+    (h lxor (h lsr 29)) land max_int
+  in
+  let as64 fl =
+    Array.init Field.count (fun i ->
+        Int64.of_int (Flow.get fl (Field.of_index i)))
+  in
+  Alcotest.(check int) "default flow hash" (h_ref64 (as64 f1)) (Flow.hash f1);
+  Alcotest.(check int) "dns flow hash" (h_ref64 (as64 f2)) (Flow.hash f2)
+
+let suite =
+  [ prop_apply_parity;
+    prop_matches_parity;
+    prop_equal_masked_parity;
+    prop_hash_masked_parity;
+    prop_hash_masked_is_hash_of_apply;
+    prop_prefix_len_parity;
+    prop_prefix_len_roundtrip;
+    Alcotest.test_case "width clamping" `Quick test_width_clamp;
+    Alcotest.test_case "hash spot values" `Quick test_hash_spot_values ]

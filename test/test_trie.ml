@@ -4,26 +4,26 @@ open Helpers
 let test_insert_mem_remove () =
   let t = Trie.create ~width:8 in
   Alcotest.(check bool) "empty" true (Trie.is_empty t);
-  Trie.insert t ~value:0x0AL ~len:8;
-  Alcotest.(check bool) "member" true (Trie.mem t ~value:0x0AL ~len:8);
-  Alcotest.(check bool) "other absent" false (Trie.mem t ~value:0x0BL ~len:8);
-  Alcotest.(check bool) "shorter absent" false (Trie.mem t ~value:0x0AL ~len:7);
-  Trie.remove t ~value:0x0AL ~len:8;
+  Trie.insert t ~value:0x0A ~len:8;
+  Alcotest.(check bool) "member" true (Trie.mem t ~value:0x0A ~len:8);
+  Alcotest.(check bool) "other absent" false (Trie.mem t ~value:0x0B ~len:8);
+  Alcotest.(check bool) "shorter absent" false (Trie.mem t ~value:0x0A ~len:7);
+  Trie.remove t ~value:0x0A ~len:8;
   Alcotest.(check bool) "empty again" true (Trie.is_empty t)
 
 let test_refcount () =
   let t = Trie.create ~width:8 in
-  Trie.insert t ~value:0x0AL ~len:8;
-  Trie.insert t ~value:0x0AL ~len:8;
+  Trie.insert t ~value:0x0A ~len:8;
+  Trie.insert t ~value:0x0A ~len:8;
   Alcotest.(check int) "size 2" 2 (Trie.size t);
-  Trie.remove t ~value:0x0AL ~len:8;
-  Alcotest.(check bool) "still member" true (Trie.mem t ~value:0x0AL ~len:8);
-  Trie.remove t ~value:0x0AL ~len:8;
-  Alcotest.(check bool) "gone" false (Trie.mem t ~value:0x0AL ~len:8)
+  Trie.remove t ~value:0x0A ~len:8;
+  Alcotest.(check bool) "still member" true (Trie.mem t ~value:0x0A ~len:8);
+  Trie.remove t ~value:0x0A ~len:8;
+  Alcotest.(check bool) "gone" false (Trie.mem t ~value:0x0A ~len:8)
 
 let test_remove_absent () =
   let t = Trie.create ~width:8 in
-  match Trie.remove t ~value:1L ~len:8 with
+  match Trie.remove t ~value:1 ~len:8 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "removing absent prefix should raise"
 
@@ -32,22 +32,22 @@ let test_remove_absent () =
    un-wildcarded bits. *)
 let test_fig2_divergence () =
   let t = Trie.create ~width:8 in
-  Trie.insert t ~value:0b00001010L ~len:8;
+  Trie.insert t ~value:0b00001010 ~len:8;
   for k = 1 to 8 do
-    let v = Int64.logxor 0b00001010L (Int64.shift_left 1L (8 - k)) in
+    let v = 0b00001010 lxor (1 lsl (8 - k)) in
     let r = Trie.lookup t v in
     Alcotest.(check int) (Printf.sprintf "diverge at bit %d" k) k r.Trie.checked;
     Alcotest.(check int) "no match" (-1) (Trie.longest_match r)
   done;
-  let r = Trie.lookup t 0b00001010L in
+  let r = Trie.lookup t 0b00001010 in
   Alcotest.(check int) "exact match checks all" 8 r.Trie.checked;
   Alcotest.(check int) "match length" 8 (Trie.longest_match r)
 
 let test_plens_multiple () =
   let t = Trie.create ~width:8 in
-  Trie.insert t ~value:0b10000000L ~len:1;   (* 1/1 *)
-  Trie.insert t ~value:0b10100000L ~len:3;   (* 101/3 *)
-  let r = Trie.lookup t 0b10100001L in
+  Trie.insert t ~value:0b10000000 ~len:1;   (* 1/1 *)
+  Trie.insert t ~value:0b10100000 ~len:3;   (* 101/3 *)
+  let r = Trie.lookup t 0b10100001 in
   Alcotest.(check bool) "len1 matches" true r.Trie.plens.(1);
   Alcotest.(check bool) "len2 no" false r.Trie.plens.(2);
   Alcotest.(check bool) "len3 matches" true r.Trie.plens.(3);
@@ -55,45 +55,43 @@ let test_plens_multiple () =
 
 let test_root_prefix () =
   let t = Trie.create ~width:8 in
-  Trie.insert t ~value:0L ~len:0;
-  let r = Trie.lookup t 0xFFL in
+  Trie.insert t ~value:0 ~len:0;
+  let r = Trie.lookup t 0xFF in
   Alcotest.(check bool) "/0 covers all" true r.Trie.plens.(0);
   Alcotest.(check int) "longest 0" 0 (Trie.longest_match r)
 
 (* Fig. 2b verbatim: complement of {00001010} over 8 bits. *)
 let test_fig2b_complement () =
   let t = Trie.create ~width:8 in
-  Trie.insert t ~value:0b00001010L ~len:8;
+  Trie.insert t ~value:0b00001010 ~len:8;
   let expected =
-    [ (0b10000000L, 1);
-      (0b01000000L, 2);
-      (0b00100000L, 3);
-      (0b00010000L, 4);
-      (0b00000000L, 5);
-      (0b00001100L, 6);
-      (0b00001000L, 7);
-      (0b00001011L, 8) ]
+    [ (0b10000000, 1);
+      (0b01000000, 2);
+      (0b00100000, 3);
+      (0b00010000, 4);
+      (0b00000000, 5);
+      (0b00001100, 6);
+      (0b00001000, 7);
+      (0b00001011, 8) ]
   in
-  Alcotest.(check (list (pair int64 int))) "Fig. 2b deny rows" expected
+  Alcotest.(check (list (pair int int))) "Fig. 2b deny rows" expected
     (Trie.complement t)
 
 let test_complement_empty () =
   let t = Trie.create ~width:8 in
-  Alcotest.(check (list (pair int64 int))) "everything" [ (0L, 0) ]
+  Alcotest.(check (list (pair int int))) "everything" [ (0, 0) ]
     (Trie.complement t)
 
 let test_complement_full () =
   let t = Trie.create ~width:8 in
-  Trie.insert t ~value:0L ~len:0;
-  Alcotest.(check (list (pair int64 int))) "nothing" [] (Trie.complement t)
+  Trie.insert t ~value:0 ~len:0;
+  Alcotest.(check (list (pair int int))) "nothing" [] (Trie.complement t)
 
 let covers prefixes v =
   List.exists
     (fun (p, len) ->
       len = 0
-      || Int64.equal
-           (Int64.shift_right_logical p (8 - len))
-           (Int64.shift_right_logical v (8 - len)))
+      || p lsr (8 - len) = v lsr (8 - len))
     prefixes
 
 (* Exhaustive at 8 bits: complement ∪ stored = everything, disjointly. *)
@@ -105,16 +103,13 @@ let test_complement_partition_exhaustive () =
     let n = 1 + Pi_pkt.Prng.int rng 4 in
     for _ = 1 to n do
       let len = Pi_pkt.Prng.int rng 9 in
-      let v =
-        Int64.of_int
-          (Pi_pkt.Prng.int rng 256 land (0xFF lsl (8 - len)) land 0xFF)
-      in
+      let v = Pi_pkt.Prng.int rng 256 land (0xFF lsl (8 - len)) land 0xFF in
       Trie.insert t ~value:v ~len;
       stored := (v, len) :: !stored
     done;
     let comp = Trie.complement t in
     for x = 0 to 255 do
-      let v = Int64.of_int x in
+      let v = x in
       let in_stored = covers !stored v in
       let in_comp = covers comp v in
       if in_stored && in_comp then
@@ -130,7 +125,7 @@ let test_complement_count_exact_value () =
   List.iter
     (fun w ->
       let t = Trie.create ~width:w in
-      Trie.insert t ~value:5L ~len:w;
+      Trie.insert t ~value:5 ~len:w;
       Alcotest.(check int)
         (Printf.sprintf "width %d" w)
         w
@@ -147,20 +142,20 @@ let prop_lookup_checked_sound =
       return (vals, probe, other))
     (fun (vals, probe, other) ->
       let t = Trie.create ~width:8 in
-      List.iter (fun v -> Trie.insert t ~value:(Int64.of_int v) ~len:8) vals;
-      let r = Trie.lookup t (Int64.of_int probe) in
+      List.iter (fun v -> Trie.insert t ~value:v ~len:8) vals;
+      let r = Trie.lookup t probe in
       let c = r.Trie.checked in
       let mask = if c = 0 then 0 else 0xFF lsl (8 - c) land 0xFF in
       let other = (other land lnot mask) lor (probe land mask) in
-      let r' = Trie.lookup t (Int64.of_int other) in
+      let r' = Trie.lookup t other in
       Trie.longest_match r = Trie.longest_match r')
 
 let test_prefixes_listing () =
   let t = Trie.create ~width:8 in
-  Trie.insert t ~value:0b11000000L ~len:2;
-  Trie.insert t ~value:0b00001010L ~len:8;
-  Alcotest.(check (list (pair int64 int))) "sorted prefixes"
-    [ (0b11000000L, 2); (0b00001010L, 8) ]
+  Trie.insert t ~value:0b11000000 ~len:2;
+  Trie.insert t ~value:0b00001010 ~len:8;
+  Alcotest.(check (list (pair int int))) "sorted prefixes"
+    [ (0b11000000, 2); (0b00001010, 8) ]
     (Trie.prefixes t)
 
 let suite =

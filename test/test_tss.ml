@@ -75,12 +75,11 @@ let count_masks config fields =
             let v =
               match f with
               | Field.Ip_src ->
-                Int64.logand
-                  (Int64.of_int32 (Int32.logxor base (Int32.shift_left 1l (32 - d))))
-                  0xFFFFFFFFL
-              | Field.Tp_src -> Int64.of_int (53 lxor (1 lsl (16 - d)))
-              | Field.Tp_dst -> Int64.of_int (80 lxor (1 lsl (16 - d)))
-              | _ -> 0L
+                Int32.to_int (Int32.logxor base (Int32.shift_left 1l (32 - d)))
+                land 0xFFFFFFFF
+              | Field.Tp_src -> 53 lxor (1 lsl (16 - d))
+              | Field.Tp_dst -> 80 lxor (1 lsl (16 - d))
+              | _ -> 0
             in
             Flow.with_field fl f v)
           (Flow.make ~ip_src:base ~tp_src:53 ~tp_dst:80 ())
@@ -165,9 +164,8 @@ let prop_megaflow_soundness =
               (fun acc field ->
                 let m = Mask.get r.Tss.megaflow field in
                 let v =
-                  Int64.logor
-                    (Int64.logand (Flow.get probe field) m)
-                    (Int64.logand (Flow.get other field) (Int64.lognot m))
+                  Flow.get probe field land m
+                  lor (Flow.get other field land lnot m)
                 in
                 Flow.with_field acc field v)
               other Field.all
