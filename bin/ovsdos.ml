@@ -114,28 +114,32 @@ let predict_cmd =
 
 let masks variant allow_src seed telemetry =
   let spec = spec_of variant allow_src in
-  let metrics = if telemetry then Some (Pi_telemetry.Metrics.create ()) else None in
-  let tracer = if telemetry then Some (Pi_telemetry.Tracer.create ()) else None in
-  let dp =
-    Pi_ovs.Datapath.create ?metrics ?tracer
-      (Pi_pkt.Prng.create (Int64.of_int seed)) ()
+  let ctx =
+    if telemetry then Pi_telemetry.Ctx.full () else Pi_telemetry.Ctx.empty
   in
-  Pi_ovs.Datapath.install_rules dp
+  let dp =
+    Pi_ovs.Dataplane.create ~telemetry:ctx
+      (Pi_ovs.Dataplane.datapath ())
+      (Pi_pkt.Prng.create (Int64.of_int seed))
+  in
+  Pi_ovs.Dataplane.install_rules dp
     (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2) (Policy_gen.acl spec));
   let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
   let flows = Packet_gen.flows ~seed:(Int64.of_int seed) gen in
   List.iter
-    (fun f -> ignore (Pi_ovs.Datapath.process dp ~now:0. f ~pkt_len:100))
+    (fun f -> ignore (Pi_ovs.Dataplane.process dp ~now:0. f ~pkt_len:100))
     flows;
+  let st = Pi_ovs.Dataplane.stats dp in
   Printf.printf "covert packets sent: %d\n" (List.length flows);
   Printf.printf "megaflow masks:      %d (predicted %d)\n"
-    (Pi_ovs.Datapath.n_masks dp) (Predict.variant_masks variant);
-  Printf.printf "megaflow entries:    %d\n" (Pi_ovs.Datapath.n_megaflows dp);
-  Printf.printf "upcalls:             %d\n" (Pi_ovs.Datapath.n_upcalls dp);
-  match metrics with
+    st.Pi_ovs.Dataplane.masks (Predict.variant_masks variant);
+  Printf.printf "megaflow entries:    %d\n" st.Pi_ovs.Dataplane.megaflows;
+  Printf.printf "upcalls:             %d\n" st.Pi_ovs.Dataplane.upcalls;
+  match Pi_telemetry.Ctx.metrics ctx with
   | Some m ->
     print_newline ();
-    print_endline (Pi_telemetry.Export.text_report ?tracer m)
+    print_endline
+      (Pi_telemetry.Export.text_report ?tracer:(Pi_telemetry.Ctx.tracer ctx) m)
   | None -> ()
 
 let masks_cmd =
@@ -265,7 +269,8 @@ let write_csv path samples =
             s.Pi_sim.Scenario.loss)
         samples)
 
-let attack variant duration start offered every coarse shards batch csv json =
+let attack variant duration start offered every coarse shards batch backend
+    upcall_queue csv json =
   let open Pi_sim in
   let a = { Scenario.default_attack with Scenario.variant; start } in
   let dc =
@@ -274,6 +279,21 @@ let attack variant duration start offered every coarse shards batch csv json =
         Pi_ovs.Datapath.megaflow_transform =
           Some (Pi_mitigation.Heuristics.round_up_prefix ~granularity:8) }
     else Scenario.default_params.Scenario.datapath_config
+  in
+  let dc =
+    match upcall_queue with
+    | None -> dc
+    | Some depth ->
+      { dc with Pi_ovs.Datapath.upcall_queue = Pi_ovs.Upcall_queue.bounded depth }
+  in
+  let backend =
+    (* [`Pmd] is Scenario's own default construction (from
+       shards/batch/datapath_config) — leave it None so the default run
+       stays bit-for-bit the historical one. *)
+    match backend with
+    | `Pmd -> None
+    | `Datapath -> Some (Pi_ovs.Dataplane.datapath ~config:dc ())
+    | `Cacheless -> Some (Pi_mitigation.Cacheless.dataplane ())
   in
   let metrics =
     match json with Some _ -> Some (Pi_telemetry.Metrics.create ()) | None -> None
@@ -285,6 +305,7 @@ let attack variant duration start offered every coarse shards batch csv json =
       attack = Some a;
       n_shards = shards;
       batch_size = batch;
+      backend;
       datapath_config = dc;
       metrics }
   in
@@ -298,6 +319,11 @@ let attack variant duration start offered every coarse shards batch csv json =
   Format.printf "@.pre-attack mean: %.3f Gbps, post-attack mean: %.3f Gbps, peak masks: %d@."
     r.Scenario.pre_attack_mean_gbps r.Scenario.post_attack_mean_gbps
     r.Scenario.peak_masks;
+  let fs = r.Scenario.final_stats in
+  Format.printf
+    "upcalls: %d, upcall drops: %d (pending %d), handler cycles: %.0f@."
+    fs.Pi_ovs.Dataplane.upcalls fs.Pi_ovs.Dataplane.upcall_drops
+    fs.Pi_ovs.Dataplane.pending_upcalls fs.Pi_ovs.Dataplane.handler_cycles;
   if shards > 1 then begin
     (* Per-PMD blast radius: every shard the covert flows hash onto
        grows its own mask set and loses its own core. *)
@@ -367,6 +393,25 @@ let attack_cmd =
     Arg.(value & opt int 32
          & info [ "batch" ] ~docv:"B" ~doc:"Rx burst size per PMD (OVS: 32).")
   in
+  let backend =
+    Arg.(value
+         & opt (enum [ ("pmd", `Pmd); ("datapath", `Datapath);
+                       ("cacheless", `Cacheless) ])
+             `Pmd
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Dataplane backend: $(b,pmd) (default; sharded, honours \
+                   --shards/--batch), $(b,datapath) (single thread), or \
+                   $(b,cacheless) (no flow cache — the attack-immune \
+                   baseline). All run through the same scenario code.")
+  in
+  let upcall_queue =
+    Arg.(value & opt (some int) None
+         & info [ "upcall-queue" ] ~docv:"N"
+             ~doc:"Bound the fast-path-to-slow-path upcall queue at $(docv) \
+                   entries (per shard): cache misses defer to handler \
+                   threads and overflow is dropped and counted. Default: \
+                   unbounded synchronous upcalls, the historical model.")
+  in
   let csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write per-second samples as CSV.")
@@ -379,7 +424,7 @@ let attack_cmd =
   in
   Cmd.v (Cmd.info "attack" ~doc:"Run the Fig. 3 end-to-end scenario")
     Term.(const attack $ variant_arg $ duration $ start $ offered $ every $ coarse
-          $ shards $ batch $ csv $ json)
+          $ shards $ batch $ backend $ upcall_queue $ csv $ json)
 
 let main_cmd =
   let doc = "policy injection: a cloud dataplane DoS attack (SIGCOMM'18 reproduction)" in

@@ -54,9 +54,10 @@ let () =
         let (_ : (float * Pi_classifier.Flow.t) Seq.t) =
           Attack.feed t cloud ~upto:5. (Campaign.events t.Attack.campaign)
         in
-        let dp = Pi_ovs.Switch.datapath (Pi_cms.Cloud.switch cloud server) in
+        let dp = Pi_ovs.Switch.dataplane (Pi_cms.Cloud.switch_exn cloud server) in
         Printf.printf "  %s: %d megaflow masks (expected %d)\n" server
-          (Pi_ovs.Datapath.n_masks dp) (Attack.expected_masks t)
+          (Pi_ovs.Dataplane.stats dp).Pi_ovs.Dataplane.masks
+          (Attack.expected_masks t)
       | Error e -> Format.printf "  %s: launch failed: %a@." server Attack.pp_error e)
     (Pi_cms.Cloud.servers cloud);
 
@@ -89,12 +90,13 @@ let () =
     Policy_injection.Policy_gen.default_spec ~variant:Variant.Src_dport
       ~allow_src:(ip "10.0.0.10") ()
   in
-  let pmd =
-    Pi_ovs.Pmd.create
+  let backend =
+    Pi_ovs.Dataplane.pmd
       ~config:{ Pi_ovs.Pmd.default_config with Pi_ovs.Pmd.n_shards = 4 }
-      (Pi_pkt.Prng.create 7L) ()
+      ()
   in
-  Pi_ovs.Pmd.install_rules pmd
+  let pmd = Pi_ovs.Dataplane.create backend (Pi_pkt.Prng.create 7L) in
+  Pi_ovs.Dataplane.install_rules pmd
     (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2)
        (Policy_injection.Policy_gen.acl spec));
   let covert =
@@ -103,12 +105,12 @@ let () =
     |> List.map (fun f -> (f, 100))
     |> Array.of_list
   in
-  ignore (Pi_ovs.Pmd.process_batch pmd ~now:0. covert);
+  ignore (Pi_ovs.Dataplane.process_burst pmd ~now:0. covert);
   Printf.printf
     "\na 4-PMD host after one covert round (one mask set per core):\n";
   Array.iteri
     (fun i m -> Printf.printf "  pmd-%d: %d megaflow masks\n" i m)
-    (Pi_ovs.Pmd.per_shard_masks pmd);
-  Printf.printf "  total: %d masks across %d batches of <=%d packets\n"
-    (Pi_ovs.Pmd.n_masks pmd) (Pi_ovs.Pmd.n_batches pmd)
-    (Pi_ovs.Pmd.config pmd).Pi_ovs.Pmd.batch_size
+    (Pi_ovs.Dataplane.shard_masks pmd);
+  Printf.printf "  total: %d masks on the %S backend\n"
+    (Pi_ovs.Dataplane.stats pmd).Pi_ovs.Dataplane.masks
+    (Pi_ovs.Dataplane.name pmd)

@@ -24,7 +24,15 @@ type t = {
   mutable pod_order : string list;
 }
 
-let create ?(flavour = Kubernetes) ?switch_config ?tss_config ~seed ~n_servers () =
+exception Unknown_server of string
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_server s -> Some (Printf.sprintf "Pi_cms.Cloud.Unknown_server %S" s)
+    | _ -> None)
+
+let create ?(flavour = Kubernetes) ?backend ?switch_config ?tss_config ~seed
+    ~n_servers () =
   if n_servers < 1 then invalid_arg "Cloud.create";
   let rng = Pi_pkt.Prng.create seed in
   let switches = Hashtbl.create 8 in
@@ -34,7 +42,7 @@ let create ?(flavour = Kubernetes) ?switch_config ?tss_config ~seed ~n_servers (
   List.iter
     (fun name ->
       let sw =
-        Pi_ovs.Switch.create ?config:switch_config ?tss_config ~name
+        Pi_ovs.Switch.create ?backend ?config:switch_config ?tss_config ~name
           (Pi_pkt.Prng.split rng) ()
       in
       (* Port 1 of every server is the fabric uplink; traffic that no
@@ -53,15 +61,17 @@ let flavour t = t.flavour
 
 let servers t = t.server_names
 
-let switch t name =
+let switch_opt t name = Hashtbl.find_opt t.switches name
+
+let switch_exn t name =
   match Hashtbl.find_opt t.switches name with
   | Some sw -> sw
-  | None -> raise Not_found
+  | None -> raise (Unknown_server name)
 
 let deploy_pod t ~tenant ~name ?(labels = []) ~server ~ip () =
   if Hashtbl.mem t.pods_tbl name then
     invalid_arg (Printf.sprintf "Cloud.deploy_pod: pod %s exists" name);
-  let sw = switch t server in
+  let sw = switch_exn t server in
   let port = Pi_ovs.Switch.add_port sw ~name in
   let p = { pod_name = name; tenant; ip; server; port; labels } in
   Hashtbl.replace t.pods_tbl name p;
@@ -84,13 +94,12 @@ let apply_acl t ~pod ~tenant acl =
   if not (String.equal pod.tenant tenant) then
     Error (Printf.sprintf "tenant %s does not own pod %s" tenant pod.pod_name)
   else begin
-    let sw = switch t pod.server in
+    let sw = switch_exn t pod.server in
     let pod_ip = Int32.to_int pod.ip land 0xFFFFFFFF in
     (* Replace the pod's previous ingress policy: its rules are the ones
        pinned to the pod's address. *)
     ignore
-      (Pi_ovs.Slowpath.remove
-         (Pi_ovs.Datapath.slowpath (Pi_ovs.Switch.datapath sw))
+      (Pi_ovs.Switch.remove_rules sw
          (fun r ->
            let p = r.Pi_classifier.Rule.pattern in
            Pi_classifier.Flow.get p.Pi_classifier.Pattern.key
@@ -157,7 +166,7 @@ let apply_calico_policy t ~tenant (pol : Calico_policy.t) =
   | Openstack -> Error "Calico policy is not available on an OpenStack cloud"
 
 let process t ~now ~server flow ~pkt_len =
-  Pi_ovs.Switch.process_flow (switch t server) ~now flow ~pkt_len
+  Pi_ovs.Switch.process_flow (switch_exn t server) ~now flow ~pkt_len
 
 type hop = {
   hop_server : string;
@@ -171,7 +180,7 @@ let deliver t ~now ~src_pod flow ~pkt_len =
   in
   let hop server in_port =
     let action, outcome =
-      Pi_ovs.Switch.process_flow (switch t server) ~now (flow_at in_port)
+      Pi_ovs.Switch.process_flow (switch_exn t server) ~now (flow_at in_port)
         ~pkt_len
     in
     { hop_server = server; hop_action = action; hop_outcome = outcome }

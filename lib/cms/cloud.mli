@@ -25,16 +25,26 @@ type pod = {
 
 type t
 
+exception Unknown_server of string
+(** Raised by {!switch_exn} for a server name not in {!servers}. *)
+
 val create :
-  ?flavour:flavour -> ?switch_config:Pi_ovs.Datapath.config ->
+  ?flavour:flavour -> ?backend:Pi_ovs.Dataplane.backend ->
+  ?switch_config:Pi_ovs.Datapath.config ->
   ?tss_config:Pi_classifier.Tss.config ->
   seed:int64 -> n_servers:int -> unit -> t
+(** Every server runs the same switch backend; [backend] defaults to the
+    plain datapath (see {!Pi_ovs.Switch.create}, which also explains why
+    [switch_config]/[tss_config] are ignored when [backend] is given). *)
 
 val flavour : t -> flavour
 
 val servers : t -> string list
-val switch : t -> string -> Pi_ovs.Switch.t
-(** Raises [Not_found] for an unknown server. *)
+
+val switch_opt : t -> string -> Pi_ovs.Switch.t option
+
+val switch_exn : t -> string -> Pi_ovs.Switch.t
+(** Raises {!Unknown_server} for an unknown server name. *)
 
 val deploy_pod :
   t -> tenant:string -> name:string -> ?labels:string list ->

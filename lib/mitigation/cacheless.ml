@@ -90,3 +90,55 @@ let n_subtables t =
 let reset_stats t =
   t.cycles <- 0.;
   t.n_processed <- 0
+
+(* A conforming {!Pi_ovs.Dataplane} backend: one shard, no EMC, no
+   megaflow cache, no upcall queue — every cache-shaped statistic is
+   honestly zero, which is the point of the design. *)
+let dataplane ?engine ?config ?cost () : Pi_ovs.Dataplane.backend =
+  (module struct
+    type nonrec t = { cl : t; ctx : Pi_telemetry.Ctx.t }
+
+    let name = "cacheless"
+
+    let create ?telemetry _rng () =
+      { cl = create ?engine ?config ?cost ();
+        ctx = Option.value telemetry ~default:Pi_telemetry.Ctx.empty }
+
+    let install_rules d rules = install_rules d.cl rules
+    let remove_rules d pred = remove_rules d.cl pred
+    let process d ~now:_ flow ~pkt_len = process d.cl flow ~pkt_len
+
+    let process_burst d ~now pkts =
+      Array.map (fun (flow, pkt_len) -> process d ~now flow ~pkt_len) pkts
+
+    let service_upcalls _ ~now:_ = 0
+    let revalidate _ ~now:_ = 0
+
+    let stats d =
+      { Pi_ovs.Dataplane.packets = n_processed d.cl;
+        upcalls = 0;
+        upcall_drops = 0;
+        pending_upcalls = 0;
+        masks = 0;
+        megaflows = 0;
+        cycles = cycles_used d.cl;
+        handler_cycles = 0.;
+        emc_hits = 0;
+        emc_misses = 0;
+        emc_occupancy = 0 }
+
+    let cycles_used d = cycles_used d.cl
+    let telemetry d = d.ctx
+    let reset_stats d = reset_stats d.cl
+    let n_shards _ = 1
+    let shard_of _ _ = 0
+    let shard_masks _ = [| 0 |]
+    let shard_cycles d = [| cycles_used d |]
+
+    let shard_metrics d i =
+      if i <> 0 then invalid_arg "Cacheless.shard_metrics";
+      Pi_telemetry.Ctx.metrics d.ctx
+
+    let last_megaflow _ ~shard:_ = None
+    let emc_insert_forced _ _ _ = ()
+  end)

@@ -44,3 +44,12 @@ val n_subtables : t -> int
 (** TSS engine: subtables; decision-tree engine: tree nodes. *)
 
 val reset_stats : t -> unit
+
+val dataplane :
+  ?engine:engine -> ?config:Pi_classifier.Tss.config ->
+  ?cost:Pi_ovs.Cost_model.t -> unit -> Pi_ovs.Dataplane.backend
+(** A conforming {!Pi_ovs.Dataplane} backend (name ["cacheless"]): one
+    shard, [~now] ignored, [revalidate] and [service_upcalls] are no-ops
+    and every cache statistic (masks, megaflows, EMC, upcall queue)
+    reports 0 — there is nothing for policy injection to poison. The
+    PRNG handed to [create] is unused. *)

@@ -12,6 +12,7 @@ type config = {
   megaflow_transform : (Pi_classifier.Mask.t -> Pi_classifier.Mask.t) option;
   mask_cache_capacity : int option;
   rank_subtables : bool;
+  upcall_queue : Upcall_queue.config;
 }
 
 let default_config =
@@ -23,7 +24,13 @@ let default_config =
     mask_limit = None;
     megaflow_transform = None;
     mask_cache_capacity = None;
-    rank_subtables = false }
+    rank_subtables = false;
+    upcall_queue = Upcall_queue.default_config }
+
+type upcall_item = {
+  ui_flow : Pi_classifier.Flow.t;
+  ui_pkt_len : int;
+}
 
 type t = {
   cfg : config;
@@ -31,16 +38,24 @@ type t = {
   mf : Megaflow.t;
   mcache : Mask_cache.t option;
   slow : Slowpath.t;
+  uq : upcall_item Upcall_queue.t;
+  sync_upcalls : bool;
+      (* default: unbounded queue with no handler budget — misses are
+         serviced inline, bit-for-bit the pre-queue datapath *)
   mutable cycles : float;
+  mutable handler_cycles : float;
   mutable n_processed : int;
   mutable n_upcalls : int;
+  mutable n_upcall_drops : int;
   mutable last_mf : Megaflow.entry option;
   (* Optional telemetry: counters/histograms report into a shared
      registry, the tracer records the event stream. All [None] when
      telemetry is disabled — the datapath then behaves exactly as
      before. *)
+  ctx : Pi_telemetry.Ctx.t;
   tracer : Pi_telemetry.Tracer.t option;
   c_packets : Pi_telemetry.Metrics.counter option;
+  c_upcall_drops : Pi_telemetry.Metrics.counter option;
   h_cycles : Pi_telemetry.Histogram.t option;
   h_probes : Pi_telemetry.Histogram.t option;
   h_upcall : Pi_telemetry.Histogram.t option;
@@ -48,10 +63,21 @@ type t = {
 
 let mf_alive (e : Megaflow.entry) = e.Megaflow.alive
 
-let create ?(config = default_config) ?tss_config ?metrics ?tracer rng () =
+let create ?(config = default_config) ?tss_config ?metrics ?tracer ?telemetry
+    rng () =
+  (* [telemetry] is the one context a backend is handed; the bare
+     [?metrics]/[?tracer] arguments remain as deprecated wrappers. *)
+  let ctx =
+    match telemetry with
+    | Some c -> c
+    | None -> Pi_telemetry.Ctx.v ?metrics ?tracer ()
+  in
+  let metrics = Pi_telemetry.Ctx.metrics ctx in
+  let tracer = Pi_telemetry.Ctx.tracer ctx in
   let hist name =
     Option.map (fun m -> Pi_telemetry.Metrics.histogram m name) metrics
   in
+  let sync = Upcall_queue.synchronous config.upcall_queue in
   { cfg = config;
     emc =
       (* [valid] makes a cached-but-dead megaflow reference count (and
@@ -65,13 +91,23 @@ let create ?(config = default_config) ?tss_config ?metrics ?tracer rng () =
        | Some capacity -> Some (Mask_cache.create ~capacity ())
        | None -> None);
     slow = Slowpath.create ?config:tss_config ?metrics ();
+    uq = Upcall_queue.create config.upcall_queue;
+    sync_upcalls = sync;
     cycles = 0.;
+    handler_cycles = 0.;
     n_processed = 0;
     n_upcalls = 0;
+    n_upcall_drops = 0;
     last_mf = None;
+    ctx;
     tracer;
     c_packets =
       Option.map (fun m -> Pi_telemetry.Metrics.counter m "packets") metrics;
+    c_upcall_drops =
+      (* Registered only in deferred mode so that a default (synchronous)
+         datapath exports exactly the pre-queue snapshot keys. *)
+      (if sync then None
+       else Option.map (fun m -> Pi_telemetry.Metrics.counter m "upcall_drops") metrics);
     h_cycles = hist "cycles_per_packet";
     h_probes = hist "mf_probes_per_lookup";
     h_upcall = hist "upcall_cycles" }
@@ -97,6 +133,44 @@ let finish t outcome action =
   t.cycles <- t.cycles +. c;
   observe t.h_cycles c;
   (action, outcome)
+
+(* Slow-path verdict → cached state: apply the mitigation hooks
+   (narrowing transform, mask cap), install the megaflow, trace mask
+   growth and refresh the EMC. Shared by the synchronous upcall path and
+   the deferred handler. *)
+let install_verdict t ~now flow (v : Slowpath.verdict) =
+  observe t.h_upcall
+    (t.cfg.cost.Cost_model.upcall
+     +. (float_of_int v.Slowpath.probes *. t.cfg.cost.Cost_model.slow_probe));
+  trace t ~now (Pi_telemetry.Tracer.Upcall { slow_probes = v.Slowpath.probes });
+  (* Mitigation hooks: optionally narrow the megaflow (still sound —
+     more significant bits can only make the cached flow more
+     specific) and cap the number of distinct masks by falling back
+     to an exact-match megaflow once the cap is reached. *)
+  let mask =
+    match t.cfg.megaflow_transform with
+    | None -> v.Slowpath.megaflow
+    | Some f -> f v.Slowpath.megaflow
+  in
+  let mask =
+    match t.cfg.mask_limit with
+    | Some limit
+      when Megaflow.n_masks t.mf >= limit
+           && not (Megaflow.has_mask t.mf mask) ->
+      Pi_classifier.Mask.exact
+    | Some _ | None -> mask
+  in
+  let masks_before = Megaflow.n_masks t.mf in
+  let e =
+    Megaflow.insert t.mf ~key:flow ~mask
+      ~action:v.Slowpath.action ~revision:(Slowpath.revision t.slow) ~now
+  in
+  let n_masks = Megaflow.n_masks t.mf in
+  if n_masks > masks_before then
+    trace t ~now (Pi_telemetry.Tracer.Mask_created { n_masks });
+  t.last_mf <- Some e;
+  if t.cfg.emc_enabled then Emc.insert t.emc flow e;
+  e
 
 let process t ~now flow ~pkt_len =
   t.n_processed <- t.n_processed + 1;
@@ -134,45 +208,69 @@ let process t ~now flow ~pkt_len =
           upcall = false; slow_probes = 0; pkt_len }
         e.Megaflow.action
     | None, probes ->
-      t.n_upcalls <- t.n_upcalls + 1;
       observe t.h_probes (float_of_int probes);
-      let v = Slowpath.upcall t.slow flow in
-      observe t.h_upcall
-        (t.cfg.cost.Cost_model.upcall
-         +. (float_of_int v.Slowpath.probes *. t.cfg.cost.Cost_model.slow_probe));
-      trace t ~now (Pi_telemetry.Tracer.Upcall { slow_probes = v.Slowpath.probes });
-      (* Mitigation hooks: optionally narrow the megaflow (still sound —
-         more significant bits can only make the cached flow more
-         specific) and cap the number of distinct masks by falling back
-         to an exact-match megaflow once the cap is reached. *)
-      let mask =
-        match t.cfg.megaflow_transform with
-        | None -> v.Slowpath.megaflow
-        | Some f -> f v.Slowpath.megaflow
-      in
-      let mask =
-        match t.cfg.mask_limit with
-        | Some limit
-          when Megaflow.n_masks t.mf >= limit
-               && not (Megaflow.has_mask t.mf mask) ->
-          Pi_classifier.Mask.exact
-        | Some _ | None -> mask
-      in
-      let masks_before = Megaflow.n_masks t.mf in
-      let e =
-        Megaflow.insert t.mf ~key:flow ~mask
-          ~action:v.Slowpath.action ~revision:(Slowpath.revision t.slow) ~now
-      in
-      let n_masks = Megaflow.n_masks t.mf in
-      if n_masks > masks_before then
-        trace t ~now (Pi_telemetry.Tracer.Mask_created { n_masks });
-      t.last_mf <- Some e;
-      if t.cfg.emc_enabled then Emc.insert t.emc flow e;
-      finish t
-        { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
-          upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
-        v.Slowpath.action
+      if t.sync_upcalls then begin
+        (* Synchronous model: classify inline, exactly the behaviour
+           (and cost accounting) of the pre-queue datapath. *)
+        t.n_upcalls <- t.n_upcalls + 1;
+        let v = Slowpath.upcall t.slow flow in
+        ignore (install_verdict t ~now flow v);
+        finish t
+          { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
+            upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
+          v.Slowpath.action
+      end
+      else begin
+        (* Deferred model: the miss posts an upcall (one per packet,
+           duplicates included — the kernel's per-packet Netlink queue)
+           and the packet itself is not forwarded this tick; the handler
+           resolves the flow in {!service_upcalls}. A full queue means
+           the packet — and its upcall — is dropped on the floor. *)
+        (if Upcall_queue.push t.uq { ui_flow = flow; ui_pkt_len = pkt_len }
+         then
+           trace t ~now
+             (Pi_telemetry.Tracer.Upcall_enqueued
+                { queued = Upcall_queue.length t.uq })
+         else begin
+           t.n_upcall_drops <- t.n_upcall_drops + 1;
+           (match t.c_upcall_drops with
+            | Some c -> Pi_telemetry.Metrics.incr c
+            | None -> ());
+           trace t ~now
+             (Pi_telemetry.Tracer.Upcall_dropped
+                { queued = Upcall_queue.length t.uq })
+         end);
+        finish t
+          { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
+            upcall = false; slow_probes = 0; pkt_len }
+          Action.Drop
+      end
   end
+
+(* Drain up to the configured handler budget of pending upcalls: the
+   per-tick slice of ovs-vswitchd's handler threads. Handler work is
+   charged to [handler_cycles] — handler threads run beside the PMD, so
+   deferred classification does not consume fast-path budget. *)
+let service_upcalls t ~now =
+  let budget = Upcall_queue.budget t.uq in
+  let serviced = ref 0 in
+  let continue = ref true in
+  while !continue && !serviced < budget do
+    match Upcall_queue.pop t.uq with
+    | None -> continue := false
+    | Some { ui_flow; ui_pkt_len } ->
+      incr serviced;
+      t.n_upcalls <- t.n_upcalls + 1;
+      let v = Slowpath.upcall t.slow ui_flow in
+      ignore (install_verdict t ~now ui_flow v);
+      t.handler_cycles <-
+        t.handler_cycles
+        +. Cost_model.cycles t.cfg.cost
+             { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
+               upcall = true; slow_probes = v.Slowpath.probes;
+               pkt_len = ui_pkt_len }
+  done;
+  !serviced
 
 let mask_cache t = t.mcache
 
@@ -199,15 +297,22 @@ let revalidate t ~now =
 
 let last_megaflow t = t.last_mf
 
+let telemetry t = t.ctx
 let cycles_used t = t.cycles
+let handler_cycles_used t = t.handler_cycles
 let n_processed t = t.n_processed
 let n_upcalls t = t.n_upcalls
+let upcall_drops t = t.n_upcall_drops
+let pending_upcalls t = Upcall_queue.length t.uq
 let n_masks t = Megaflow.n_masks t.mf
 let n_megaflows t = Megaflow.n_entries t.mf
 
 let reset_stats t =
   t.cycles <- 0.;
+  t.handler_cycles <- 0.;
   t.n_processed <- 0;
   t.n_upcalls <- 0;
+  t.n_upcall_drops <- 0;
+  Upcall_queue.reset_stats t.uq;
   Megaflow.reset_stats t.mf;
   Emc.reset_stats t.emc

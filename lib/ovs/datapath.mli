@@ -26,6 +26,12 @@ type config = {
   rank_subtables : bool;
       (** userspace-dpcls flavour: each revalidation reorders the
           megaflow subtables by hit count (OVS's pvector ranking) *)
+  upcall_queue : Upcall_queue.config;
+      (** the fast-path→slow-path channel. The default (unbounded, no
+          handler budget) services every upcall inline — bit-for-bit
+          the historical synchronous datapath. A bounded depth defers
+          misses to {!service_upcalls} and drops packets on overflow
+          (see {!Upcall_queue}). *)
 }
 
 val default_config : config
@@ -35,18 +41,25 @@ type t
 val create :
   ?config:config -> ?tss_config:Pi_classifier.Tss.config ->
   ?metrics:Pi_telemetry.Metrics.t -> ?tracer:Pi_telemetry.Tracer.t ->
+  ?telemetry:Pi_telemetry.Ctx.t ->
   Pi_pkt.Prng.t -> unit -> t
 (** [tss_config] configures the slow-path classifier's un-wildcarding
     behaviour (see {!Pi_classifier.Tss.config}).
 
-    [metrics] attaches a telemetry registry: every cache stage then
-    reports into it — counters [packets], [emc_hit]/[emc_miss],
-    [mf_hit]/[mf_miss]/[mf_probes], [mask_created]/[megaflow_evicted],
-    [upcall]/[slow_probes]; histograms [cycles_per_packet],
-    [mf_probes_per_lookup] and [upcall_cycles]. [tracer] additionally
-    records per-event traces (EMC/megaflow hits, upcalls, mask creation,
-    evictions, revalidator sweeps). Both default to off, with no change
-    in behaviour or cost accounting. *)
+    [telemetry] attaches a {!Pi_telemetry.Ctx.t}: with a registry, every
+    cache stage reports into it — counters [packets],
+    [emc_hit]/[emc_miss], [mf_hit]/[mf_miss]/[mf_probes],
+    [mask_created]/[megaflow_evicted], [upcall]/[slow_probes] (plus
+    [upcall_drops] when the upcall queue is bounded); histograms
+    [cycles_per_packet], [mf_probes_per_lookup] and [upcall_cycles].
+    With a tracer it additionally records per-event traces (EMC/megaflow
+    hits, upcalls, queue overflow drops, mask creation, evictions,
+    revalidator sweeps). Defaults to off, with no change in behaviour or
+    cost accounting.
+
+    [metrics]/[tracer] are the pre-{!Pi_telemetry.Ctx} spelling, kept
+    for one release; they are ignored when [telemetry] is given.
+    @deprecated pass [?telemetry] instead of [?metrics]/[?tracer]. *)
 
 val config : t -> config
 val slowpath : t -> Slowpath.t
@@ -64,7 +77,23 @@ val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
 val process :
   t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
   Action.t * Cost_model.outcome
-(** Classify one packet through the cache hierarchy. *)
+(** Classify one packet through the cache hierarchy.
+
+    With the default synchronous upcall queue, a double miss classifies
+    in the slow path inline and returns its verdict. With a bounded
+    queue the miss instead posts an upcall (one per packet, duplicates
+    included — the kernel's per-packet Netlink channel) and returns
+    [Action.Drop] with an outcome charging only the fast-path work; if
+    the queue is full the upcall itself is dropped and counted in
+    {!upcall_drops}. Deferred upcalls resolve in {!service_upcalls}. *)
+
+val service_upcalls : t -> now:float -> int
+(** Run the slow-path handler: drain up to the configured per-tick
+    handler budget of pending upcalls, classifying each and installing
+    its megaflow (and EMC entry). Returns the number serviced. Handler
+    work is charged to {!handler_cycles_used}, not {!cycles_used} —
+    handler threads run beside the fast path. A no-op (returns 0) under
+    the default synchronous configuration. *)
 
 val last_megaflow : t -> Megaflow.entry option
 (** The megaflow entry the most recent {!process} call hit or installed
@@ -81,8 +110,24 @@ val cycles_used : t -> float
 (** Cumulative CPU cycles consumed by [process] calls since the last
     {!reset_stats}, per the cost model. *)
 
+val handler_cycles_used : t -> float
+(** Cycles spent servicing deferred upcalls ({!service_upcalls}); always
+    0 under the synchronous default, where upcall cost lands in
+    {!cycles_used} with the packet that triggered it. *)
+
+val telemetry : t -> Pi_telemetry.Ctx.t
+(** The context the datapath was created with ({!Pi_telemetry.Ctx.empty}
+    when telemetry is off). *)
+
 val n_processed : t -> int
 val n_upcalls : t -> int
+
+val upcall_drops : t -> int
+(** Packets dropped because the bounded upcall queue was full. *)
+
+val pending_upcalls : t -> int
+(** Upcalls queued and not yet serviced. *)
+
 val n_masks : t -> int
 val n_megaflows : t -> int
 

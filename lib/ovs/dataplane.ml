@@ -1,0 +1,194 @@
+type stats = {
+  packets : int;
+  upcalls : int;
+  upcall_drops : int;
+  pending_upcalls : int;
+  masks : int;
+  megaflows : int;
+  cycles : float;
+  handler_cycles : float;
+  emc_hits : int;
+  emc_misses : int;
+  emc_occupancy : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>packets        %d@,upcalls        %d@,upcall-drops   %d@,\
+     pending        %d@,masks          %d@,megaflows      %d@,\
+     cycles         %.0f@,handler-cycles %.0f@,\
+     emc hit/miss   %d/%d@,emc occupancy  %d@]"
+    s.packets s.upcalls s.upcall_drops s.pending_upcalls s.masks s.megaflows
+    s.cycles s.handler_cycles s.emc_hits s.emc_misses s.emc_occupancy
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : ?telemetry:Pi_telemetry.Ctx.t -> Pi_pkt.Prng.t -> unit -> t
+  val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
+  val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
+
+  val process :
+    t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
+    Action.t * Cost_model.outcome
+
+  val process_burst :
+    t -> now:float -> (Pi_classifier.Flow.t * int) array ->
+    (Action.t * Cost_model.outcome) array
+
+  val service_upcalls : t -> now:float -> int
+  val revalidate : t -> now:float -> int
+  val stats : t -> stats
+  val cycles_used : t -> float
+  val telemetry : t -> Pi_telemetry.Ctx.t
+  val reset_stats : t -> unit
+  val n_shards : t -> int
+  val shard_of : t -> Pi_classifier.Flow.t -> int
+  val shard_masks : t -> int array
+  val shard_cycles : t -> float array
+  val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
+  val last_megaflow : t -> shard:int -> Megaflow.entry option
+  val emc_insert_forced : t -> Pi_classifier.Flow.t -> Megaflow.entry -> unit
+end
+
+type backend = (module S)
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+let pack (type a) (m : (module S with type t = a)) (d : a) = Packed (m, d)
+
+let create ?telemetry (module B : S) rng =
+  Packed ((module B), B.create ?telemetry rng ())
+
+let name (Packed ((module B), _)) = B.name
+let install_rules (Packed ((module B), d)) rules = B.install_rules d rules
+let remove_rules (Packed ((module B), d)) pred = B.remove_rules d pred
+
+let process (Packed ((module B), d)) ~now flow ~pkt_len =
+  B.process d ~now flow ~pkt_len
+
+let process_burst (Packed ((module B), d)) ~now pkts =
+  B.process_burst d ~now pkts
+
+let service_upcalls (Packed ((module B), d)) ~now = B.service_upcalls d ~now
+let revalidate (Packed ((module B), d)) ~now = B.revalidate d ~now
+let stats (Packed ((module B), d)) = B.stats d
+let cycles_used (Packed ((module B), d)) = B.cycles_used d
+let telemetry (Packed ((module B), d)) = B.telemetry d
+let reset_stats (Packed ((module B), d)) = B.reset_stats d
+let n_shards (Packed ((module B), d)) = B.n_shards d
+let shard_of (Packed ((module B), d)) flow = B.shard_of d flow
+let shard_masks (Packed ((module B), d)) = B.shard_masks d
+let shard_cycles (Packed ((module B), d)) = B.shard_cycles d
+let shard_metrics (Packed ((module B), d)) i = B.shard_metrics d i
+let last_megaflow (Packed ((module B), d)) ~shard = B.last_megaflow d ~shard
+
+let emc_insert_forced (Packed ((module B), d)) flow e =
+  B.emc_insert_forced d flow e
+
+(* --- backends --- *)
+
+let datapath ?config ?tss_config () : backend =
+  (module struct
+    type t = Datapath.t
+
+    let name = "datapath"
+    let create ?telemetry rng () =
+      Datapath.create ?config ?tss_config ?telemetry rng ()
+
+    let install_rules = Datapath.install_rules
+    let remove_rules = Datapath.remove_rules
+    let process = Datapath.process
+
+    let process_burst d ~now pkts =
+      Array.map
+        (fun (flow, pkt_len) -> Datapath.process d ~now flow ~pkt_len)
+        pkts
+
+    let service_upcalls = Datapath.service_upcalls
+    let revalidate = Datapath.revalidate
+
+    let stats d =
+      let emc = Datapath.emc d in
+      { packets = Datapath.n_processed d;
+        upcalls = Datapath.n_upcalls d;
+        upcall_drops = Datapath.upcall_drops d;
+        pending_upcalls = Datapath.pending_upcalls d;
+        masks = Datapath.n_masks d;
+        megaflows = Datapath.n_megaflows d;
+        cycles = Datapath.cycles_used d;
+        handler_cycles = Datapath.handler_cycles_used d;
+        emc_hits = Emc.hits emc;
+        emc_misses = Emc.misses emc;
+        emc_occupancy = Emc.occupancy emc }
+
+    let cycles_used = Datapath.cycles_used
+    let telemetry = Datapath.telemetry
+    let reset_stats = Datapath.reset_stats
+    let n_shards _ = 1
+    let shard_of _ _ = 0
+    let shard_masks d = [| Datapath.n_masks d |]
+    let shard_cycles d = [| Datapath.cycles_used d |]
+
+    let shard_metrics d i =
+      if i <> 0 then invalid_arg "Dataplane.shard_metrics";
+      Pi_telemetry.Ctx.metrics (Datapath.telemetry d)
+
+    let last_megaflow d ~shard =
+      if shard <> 0 then invalid_arg "Dataplane.last_megaflow";
+      Datapath.last_megaflow d
+
+    let emc_insert_forced d flow e =
+      Emc.insert_forced (Datapath.emc d) flow e
+  end)
+
+let pmd ?config ?tss_config () : backend =
+  (module struct
+    type t = Pmd.t
+
+    let name = "pmd"
+    let create ?telemetry rng () =
+      Pmd.create ?config ?tss_config ?telemetry rng ()
+
+    let install_rules = Pmd.install_rules
+    let remove_rules = Pmd.remove_rules
+    let process = Pmd.process
+    let process_burst = Pmd.process_batch
+    let service_upcalls = Pmd.service_upcalls
+    let revalidate = Pmd.revalidate
+
+    let emc_fold f d =
+      let n = ref 0 in
+      for s = 0 to Pmd.n_shards d - 1 do
+        n := !n + f (Datapath.emc (Pmd.shard d s))
+      done;
+      !n
+
+    let stats d =
+      { packets = Pmd.n_processed d;
+        upcalls = Pmd.n_upcalls d;
+        upcall_drops = Pmd.upcall_drops d;
+        pending_upcalls = Pmd.pending_upcalls d;
+        masks = Pmd.n_masks d;
+        megaflows = Pmd.n_megaflows d;
+        cycles = Pmd.cycles_used d;
+        handler_cycles = Pmd.handler_cycles_used d;
+        emc_hits = emc_fold Emc.hits d;
+        emc_misses = emc_fold Emc.misses d;
+        emc_occupancy = emc_fold Emc.occupancy d }
+
+    let cycles_used = Pmd.cycles_used
+    let telemetry = Pmd.telemetry
+    let reset_stats = Pmd.reset_stats
+    let n_shards = Pmd.n_shards
+    let shard_of = Pmd.shard_of
+    let shard_masks = Pmd.per_shard_masks
+    let shard_cycles = Pmd.per_shard_cycles
+    let shard_metrics = Pmd.shard_metrics
+
+    let last_megaflow d ~shard = Datapath.last_megaflow (Pmd.shard d shard)
+
+    let emc_insert_forced d flow e =
+      Emc.insert_forced (Datapath.emc (Pmd.shard_for d flow)) flow e
+  end)

@@ -1,0 +1,152 @@
+(** One dataplane interface, many backends.
+
+    A {!S} value is a complete fast path: create it, install rules,
+    push packets, service deferred upcalls, revalidate, read stats.
+    {!Datapath} (single run-to-completion thread), {!Pmd} (sharded
+    poll-mode threads) and the cache-less mitigation baseline
+    ({!Pi_mitigation.Cacheless.dataplane}) all conform, so a scenario,
+    benchmark or CLI written against this interface runs any of them
+    unchanged — the [--backend] flag of [ovsdos attack] is exactly
+    that.
+
+    Backends are first-class module values ({!backend}) produced by
+    constructor functions that close over their configuration; {!create}
+    then instantiates one and packs it with its module into an
+    existential {!t} on which the forwarders below operate. *)
+
+(** Cumulative counters every backend exports. Backends without a given
+    structure (the cache-less classifier has no EMC, no megaflow cache
+    and no upcall queue) report 0 for its fields. *)
+type stats = {
+  packets : int;  (** packets processed *)
+  upcalls : int;  (** slow-path classifications (inline or deferred) *)
+  upcall_drops : int;
+      (** packets dropped on a full bounded upcall queue *)
+  pending_upcalls : int;  (** queued and not yet serviced *)
+  masks : int;  (** distinct megaflow masks — the paper's attack gauge *)
+  megaflows : int;
+  cycles : float;  (** fast-path cycles per the cost model *)
+  handler_cycles : float;
+      (** deferred upcall-handler cycles (beside the fast path) *)
+  emc_hits : int;
+  emc_misses : int;
+  emc_occupancy : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** The dataplane interface proper. *)
+module type S = sig
+  type t
+
+  val name : string
+  (** Stable identifier ([datapath], [pmd], [cacheless], ...). *)
+
+  val create : ?telemetry:Pi_telemetry.Ctx.t -> Pi_pkt.Prng.t -> unit -> t
+  (** Configuration is closed over by the backend constructor; creation
+      only binds the run-specific inputs — PRNG stream and telemetry
+      context. *)
+
+  val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
+  val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
+
+  val process :
+    t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
+    Action.t * Cost_model.outcome
+
+  val process_burst :
+    t -> now:float -> (Pi_classifier.Flow.t * int) array ->
+    (Action.t * Cost_model.outcome) array
+  (** One rx round; result [i] corresponds to packet [i]. Backends with
+      batch accounting charge their per-burst overhead here. *)
+
+  val service_upcalls : t -> now:float -> int
+  (** Drain deferred upcalls up to the handler budget; 0 for backends
+      (or configurations) without an upcall queue. *)
+
+  val revalidate : t -> now:float -> int
+
+  val stats : t -> stats
+  val cycles_used : t -> float
+  (** [ (stats t).cycles ] without building the record — hot in
+      per-tick simulation loops. *)
+
+  val telemetry : t -> Pi_telemetry.Ctx.t
+  val reset_stats : t -> unit
+
+  (** {2 Shard and simulation hooks}
+
+      What {!Pi_sim.Scenario} needs to model per-core contention and
+      pace an attack stream without backend-specific code. Unsharded
+      backends behave as a single shard 0. *)
+
+  val n_shards : t -> int
+  val shard_of : t -> Pi_classifier.Flow.t -> int
+  val shard_masks : t -> int array
+  val shard_cycles : t -> float array
+
+  val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
+  (** The registry shard [i] reports into ([None] when telemetry is
+      off). Raises [Invalid_argument] out of range. *)
+
+  val last_megaflow : t -> shard:int -> Megaflow.entry option
+  (** The megaflow entry shard [shard] most recently hit or installed;
+      [None] for backends without a megaflow cache. *)
+
+  val emc_insert_forced : t -> Pi_classifier.Flow.t -> Megaflow.entry -> unit
+  (** Unconditionally insert into the owning shard's EMC (bypassing
+      probabilistic insertion) — the simulator's virtual-insert hook.
+      A no-op for backends without an EMC. *)
+end
+
+type backend = (module S)
+(** A backend with its configuration baked in, ready to instantiate. *)
+
+(** An instantiated dataplane packed with its module. *)
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+val pack : (module S with type t = 'a) -> 'a -> t
+
+val create : ?telemetry:Pi_telemetry.Ctx.t -> backend -> Pi_pkt.Prng.t -> t
+
+(** {2 Forwarders} — {!S}'s operations on a packed {!t}. *)
+
+val name : t -> string
+val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
+val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
+
+val process :
+  t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
+  Action.t * Cost_model.outcome
+
+val process_burst :
+  t -> now:float -> (Pi_classifier.Flow.t * int) array ->
+  (Action.t * Cost_model.outcome) array
+
+val service_upcalls : t -> now:float -> int
+val revalidate : t -> now:float -> int
+val stats : t -> stats
+val cycles_used : t -> float
+val telemetry : t -> Pi_telemetry.Ctx.t
+val reset_stats : t -> unit
+val n_shards : t -> int
+val shard_of : t -> Pi_classifier.Flow.t -> int
+val shard_masks : t -> int array
+val shard_cycles : t -> float array
+val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
+val last_megaflow : t -> shard:int -> Megaflow.entry option
+val emc_insert_forced : t -> Pi_classifier.Flow.t -> Megaflow.entry -> unit
+
+(** {2 Built-in backends} *)
+
+val datapath :
+  ?config:Datapath.config -> ?tss_config:Pi_classifier.Tss.config ->
+  unit -> backend
+(** The single-threaded {!Datapath}. [process_burst] is a plain loop —
+    no batch overhead — so it is bit-for-bit a 1-shard {!pmd} with
+    [batch_cycles = 0]. *)
+
+val pmd :
+  ?config:Pmd.config -> ?tss_config:Pi_classifier.Tss.config ->
+  unit -> backend
+(** The sharded {!Pmd}. *)

@@ -41,11 +41,19 @@ type shard = {
 type t = {
   cfg : config;
   shards : shard array;
+  ctx : Pi_telemetry.Ctx.t;
 }
 
-let create ?(config = default_config) ?tss_config ?metrics ?tracer rng () =
+let create ?(config = default_config) ?tss_config ?metrics ?tracer ?telemetry
+    rng () =
   if config.n_shards < 1 then invalid_arg "Pmd.create: n_shards";
   if config.batch_size < 1 then invalid_arg "Pmd.create: batch_size";
+  let ctx =
+    match telemetry with
+    | Some c -> c
+    | None -> Pi_telemetry.Ctx.v ?metrics ?tracer ()
+  in
+  let metrics = Pi_telemetry.Ctx.metrics ctx in
   let mk_shard i =
     (* A single shard IS the seed datapath: same PRNG stream, same
        (shared) telemetry registry, same tracer — the 1-shard Pmd is
@@ -53,21 +61,22 @@ let create ?(config = default_config) ?tss_config ?metrics ?tracer rng () =
        an independent substream and a private registry, so domains never
        touch shared instruments. *)
     if config.n_shards = 1 then
-      { dp = Datapath.create ~config:config.dp ?tss_config ?metrics ?tracer rng ();
+      { dp = Datapath.create ~config:config.dp ?tss_config ~telemetry:ctx rng ();
         metrics;
         n_batches = 0;
         overhead_cycles = 0. }
     else begin
       ignore i;
       let metrics = Option.map (fun _ -> Pi_telemetry.Metrics.create ()) metrics in
-      { dp = Datapath.create ~config:config.dp ?tss_config ?metrics
+      { dp = Datapath.create ~config:config.dp ?tss_config
+               ~telemetry:(Pi_telemetry.Ctx.v ?metrics ())
                (Pi_pkt.Prng.split rng) ();
         metrics;
         n_batches = 0;
         overhead_cycles = 0. }
     end
   in
-  { cfg = config; shards = Array.init config.n_shards mk_shard }
+  { cfg = config; shards = Array.init config.n_shards mk_shard; ctx }
 
 let config t = t.cfg
 let n_shards t = Array.length t.shards
@@ -95,7 +104,9 @@ let install_rules t rules =
   Array.iter (fun s -> Datapath.install_rules s.dp rules) t.shards
 
 let remove_rules t pred =
-  Array.fold_left (fun acc s -> acc + Datapath.remove_rules s.dp pred) 0 t.shards
+  (* Rules are replicated to every shard: the logical removed-count is
+     the per-shard count, not the sum. *)
+  Array.fold_left (fun acc s -> max acc (Datapath.remove_rules s.dp pred)) 0 t.shards
 
 let process t ~now flow ~pkt_len =
   Datapath.process (shard_for t flow) ~now flow ~pkt_len
@@ -160,6 +171,10 @@ let process_batch t ~now pkts =
 let revalidate t ~now =
   Array.fold_left (fun acc s -> acc + Datapath.revalidate s.dp ~now) 0 t.shards
 
+let service_upcalls t ~now =
+  Array.fold_left (fun acc s -> acc + Datapath.service_upcalls s.dp ~now) 0
+    t.shards
+
 let sum_int f t = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
 let sum_float f t = Array.fold_left (fun acc s -> acc +. f s) 0. t.shards
 
@@ -167,11 +182,16 @@ let cycles_used t =
   sum_float (fun s -> Datapath.cycles_used s.dp +. s.overhead_cycles) t
 
 let batch_overhead_cycles t = sum_float (fun s -> s.overhead_cycles) t
+let handler_cycles_used t = sum_float (fun s -> Datapath.handler_cycles_used s.dp) t
 let n_batches t = sum_int (fun s -> s.n_batches) t
 let n_processed t = sum_int (fun s -> Datapath.n_processed s.dp) t
 let n_upcalls t = sum_int (fun s -> Datapath.n_upcalls s.dp) t
+let upcall_drops t = sum_int (fun s -> Datapath.upcall_drops s.dp) t
+let pending_upcalls t = sum_int (fun s -> Datapath.pending_upcalls s.dp) t
 let n_masks t = sum_int (fun s -> Datapath.n_masks s.dp) t
 let n_megaflows t = sum_int (fun s -> Datapath.n_megaflows s.dp) t
+
+let telemetry t = t.ctx
 
 let per_shard_masks t =
   Array.map (fun s -> Datapath.n_masks s.dp) t.shards

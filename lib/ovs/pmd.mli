@@ -35,16 +35,21 @@ val create :
   ?tss_config:Pi_classifier.Tss.config ->
   ?metrics:Pi_telemetry.Metrics.t ->
   ?tracer:Pi_telemetry.Tracer.t ->
+  ?telemetry:Pi_telemetry.Ctx.t ->
   Pi_pkt.Prng.t ->
   unit ->
   t
-(** With one shard, [rng], [metrics] and [tracer] are handed to the
+(** With one shard, [rng] and the [telemetry] context are handed to the
     single datapath unchanged — the result is indistinguishable from
     [Datapath.create]. With several shards each datapath gets an
-    independent PRNG substream ({!Pi_pkt.Prng.split}) and, when
-    [metrics] is given, a {e private} registry (see {!shard_metrics}) so
-    parallel shards never race on shared instruments; [tracer] is
-    ignored in that case. *)
+    independent PRNG substream ({!Pi_pkt.Prng.split}) and, when the
+    context carries a registry, a {e private} registry (see
+    {!shard_metrics}) so parallel shards never race on shared
+    instruments; the context's tracer is ignored in that case.
+
+    [metrics]/[tracer] are the pre-{!Pi_telemetry.Ctx} spelling, kept
+    for one release; they are ignored when [telemetry] is given.
+    @deprecated pass [?telemetry] instead of [?metrics]/[?tracer]. *)
 
 val config : t -> config
 val n_shards : t -> int
@@ -70,7 +75,9 @@ val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
     across PMDs). *)
 
 val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
-(** Remove from every shard; returns the summed removal count. *)
+(** Remove from every shard; returns the count of distinct logical
+    rules removed (rules are replicated per shard, so the per-shard
+    count, not the sum). *)
 
 val process :
   t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
@@ -92,13 +99,30 @@ val process_batch :
 val revalidate : t -> now:float -> int
 (** Run every shard's revalidator; returns total evictions. *)
 
+val service_upcalls : t -> now:float -> int
+(** Run every shard's upcall handler ({!Datapath.service_upcalls});
+    returns the total serviced. Each shard has its own bounded queue and
+    its own handler budget. *)
+
 val cycles_used : t -> float
 (** Summed shard cycles, including amortised batch overhead. *)
+
+val handler_cycles_used : t -> float
+(** Summed deferred-upcall handler cycles across shards. *)
+
+val telemetry : t -> Pi_telemetry.Ctx.t
+(** The context given at creation (the shared one — per-shard private
+    registries are reached through {!shard_metrics}). *)
 
 val batch_overhead_cycles : t -> float
 val n_batches : t -> int
 val n_processed : t -> int
 val n_upcalls : t -> int
+
+val upcall_drops : t -> int
+(** Total packets dropped on full upcall queues across shards. *)
+
+val pending_upcalls : t -> int
 
 val n_masks : t -> int
 (** Total masks across shards (each PMD grows its own mask set under

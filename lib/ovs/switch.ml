@@ -8,23 +8,43 @@ type port_stats = {
   mutable dropped : int;
 }
 
+exception Unknown_port of int
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_port id -> Some (Printf.sprintf "Pi_ovs.Switch.Unknown_port %d" id)
+    | _ -> None)
+
 type t = {
   name : string;
-  dp : Datapath.t;
+  dp : Dataplane.t;
   mutable ports_rev : port list;  (* newest first: O(1) insert *)
   stats : (int, port_stats) Hashtbl.t;
   mutable next_port : int;
 }
 
-let create ?config ?tss_config ?metrics ?tracer ~name rng () =
+let create ?backend ?config ?tss_config ?metrics ?tracer ?telemetry ~name rng
+    () =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> Dataplane.datapath ?config ?tss_config ()
+  in
+  let telemetry =
+    match telemetry with
+    | Some _ as c -> c
+    | None ->
+      if metrics = None && tracer = None then None
+      else Some (Pi_telemetry.Ctx.v ?metrics ?tracer ())
+  in
   { name;
-    dp = Datapath.create ?config ?tss_config ?metrics ?tracer rng ();
+    dp = Dataplane.create ?telemetry backend rng;
     ports_rev = [];
     stats = Hashtbl.create 8;
     next_port = 1 }
 
 let name t = t.name
-let datapath t = t.dp
+let dataplane t = t.dp
 
 let new_stats () =
   { rx_packets = 0; rx_bytes = 0; tx_packets = 0; tx_bytes = 0; dropped = 0 }
@@ -41,12 +61,15 @@ let port_by_name t name =
 
 let ports t = List.rev t.ports_rev
 
-let install_rules t rules = Datapath.install_rules t.dp rules
+let install_rules t rules = Dataplane.install_rules t.dp rules
+let remove_rules t pred = Dataplane.remove_rules t.dp pred
 
-let port_stats t id =
+let port_stats_opt t id = Hashtbl.find_opt t.stats id
+
+let port_stats_exn t id =
   match Hashtbl.find_opt t.stats id with
   | Some s -> s
-  | None -> raise Not_found
+  | None -> raise (Unknown_port id)
 
 let account t ~in_port ~pkt_len action =
   (match Hashtbl.find_opt t.stats in_port with
@@ -69,7 +92,7 @@ let account t ~in_port ~pkt_len action =
   end
 
 let process_flow t ~now flow ~pkt_len =
-  let action, outcome = Datapath.process t.dp ~now flow ~pkt_len in
+  let action, outcome = Dataplane.process t.dp ~now flow ~pkt_len in
   account t ~in_port:(Pi_classifier.Flow.in_port flow) ~pkt_len action;
   (action, outcome)
 
@@ -77,4 +100,5 @@ let process_packet t ~now ~in_port pkt =
   let flow = Pi_classifier.Flow.of_packet ~in_port pkt in
   process_flow t ~now flow ~pkt_len:(Pi_pkt.Packet.size pkt)
 
-let revalidate t ~now = Datapath.revalidate t.dp ~now
+let revalidate t ~now = Dataplane.revalidate t.dp ~now
+let service_upcalls t ~now = Dataplane.service_upcalls t.dp ~now

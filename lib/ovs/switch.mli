@@ -1,10 +1,12 @@
 (** A hypervisor switch: named virtual ports (one per pod/VM vNIC, plus
     an uplink to the data-center fabric) in front of a shared
-    {!Datapath} — the per-server component of the paper's Fig. 1.
+    {!Dataplane} — the per-server component of the paper's Fig. 1.
 
     The flow cache (and thus the attack surface) is shared across all
     ports of a server: a tenant's malicious ACL degrades every other
-    tenant on the same host. *)
+    tenant on the same host. The switch is backend-agnostic: hand
+    {!create} any {!Dataplane.backend} (sharded PMD, cache-less
+    baseline, ...) and everything above it is unchanged. *)
 
 type port = {
   id : int;
@@ -13,14 +15,30 @@ type port = {
 
 type t
 
+exception Unknown_port of int
+(** Raised by {!port_stats_exn} for a port id never returned by
+    {!add_port}. *)
+
 val create :
+  ?backend:Dataplane.backend ->
   ?config:Datapath.config -> ?tss_config:Pi_classifier.Tss.config ->
   ?metrics:Pi_telemetry.Metrics.t -> ?tracer:Pi_telemetry.Tracer.t ->
+  ?telemetry:Pi_telemetry.Ctx.t ->
   name:string -> Pi_pkt.Prng.t -> unit -> t
-(** [metrics]/[tracer] are forwarded to {!Datapath.create}. *)
+(** [backend] defaults to {!Dataplane.datapath}[ ?config ?tss_config ()];
+    [config]/[tss_config] are ignored when an explicit [backend] is
+    given (its constructor already closed over its configuration).
+
+    [telemetry] is handed to the backend at creation. [metrics]/[tracer]
+    are the pre-{!Pi_telemetry.Ctx} spelling, kept for one release; they
+    are ignored when [telemetry] is given.
+    @deprecated pass [?telemetry] instead of [?metrics]/[?tracer]. *)
 
 val name : t -> string
-val datapath : t -> Datapath.t
+
+val dataplane : t -> Dataplane.t
+(** The packed dataplane behind the ports — use {!Dataplane.stats} and
+    friends for cache state. *)
 
 val add_port : t -> name:string -> port
 (** Port ids are assigned densely from 1. *)
@@ -31,6 +49,10 @@ val ports : t -> port list
 (** In creation order. *)
 
 val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
+
+val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
+(** Remove slow-path rules matching the predicate (from every shard of a
+    sharded backend); returns the number removed. *)
 
 val process_packet :
   t -> now:float -> in_port:int -> Pi_pkt.Packet.t ->
@@ -45,6 +67,10 @@ val process_flow :
 
 val revalidate : t -> now:float -> int
 
+val service_upcalls : t -> now:float -> int
+(** Drain the backend's deferred upcalls (see
+    {!Dataplane.S.service_upcalls}); 0 under synchronous backends. *)
+
 (** Per-port counters. *)
 type port_stats = {
   mutable rx_packets : int;
@@ -54,5 +80,7 @@ type port_stats = {
   mutable dropped : int;
 }
 
-val port_stats : t -> int -> port_stats
-(** Raises [Not_found] for an unknown port id. *)
+val port_stats_opt : t -> int -> port_stats option
+
+val port_stats_exn : t -> int -> port_stats
+(** Raises {!Unknown_port} for an unknown port id. *)

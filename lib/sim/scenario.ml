@@ -39,6 +39,12 @@ type params = {
   n_shards : int;
   batch_size : int;
   batch_cycles : float;
+  backend : Dataplane.backend option;
+      (* None: a Pmd backend built from n_shards/batch_size/batch_cycles/
+         datapath_config — the historical scenario, bit for bit. Some b:
+         run b instead; the fields above are then ignored except for
+         [datapath_config.cost.cpu_hz], which still sets the per-core
+         budget. *)
   datapath_config : Datapath.config;
   tss_config : Tss.config option;
   revalidate_period : float;
@@ -62,6 +68,7 @@ let default_params =
     n_shards = 1;
     batch_size = 32;
     batch_cycles = 0.;
+    backend = None;
     datapath_config =
       (* The kernel datapath effectively caches every flow in its
          per-hash cache; insert on every miss. *)
@@ -96,6 +103,7 @@ type report = {
   masks_series : Timeseries.t;
   shard_masks_series : Timeseries.t array;
   scrape : Pi_telemetry.Scrape.t option;
+  final_stats : Dataplane.stats;
 }
 
 (* Mathis et al. TCP response: rate ≈ (MSS/RTT) * 1.22/sqrt(p). *)
@@ -120,44 +128,29 @@ let flow_of_spec ~in_port (f : Traffic.flow_spec) =
     ~ip_proto:f.Traffic.proto ~tp_src:f.Traffic.src_port
     ~tp_dst:f.Traffic.dst_port ()
 
-let emc_hits pmd =
-  let n = ref 0 in
-  for s = 0 to Pmd.n_shards pmd - 1 do
-    n := !n + Emc.hits (Datapath.emc (Pmd.shard pmd s))
-  done;
-  !n
-
-let emc_misses pmd =
-  let n = ref 0 in
-  for s = 0 to Pmd.n_shards pmd - 1 do
-    n := !n + Emc.misses (Datapath.emc (Pmd.shard pmd s))
-  done;
-  !n
-
-let emc_occupancy pmd =
-  let n = ref 0 in
-  for s = 0 to Pmd.n_shards pmd - 1 do
-    n := !n + Emc.occupancy (Datapath.emc (Pmd.shard pmd s))
-  done;
-  !n
-
 let run p =
   if p.n_shards < 1 then invalid_arg "Scenario.run: n_shards";
   let rng = Prng.create p.seed in
   let victim_ip = Ipv4_addr.of_string "10.1.0.2" in
   let attacker_ip = Ipv4_addr.of_string "10.1.0.3" in
-  let pmd_config =
-    { Pmd.n_shards = p.n_shards;
-      batch_size = p.batch_size;
-      parallel = true;
-      batch_cycles = p.batch_cycles;
-      dp = p.datapath_config }
+  let backend =
+    match p.backend with
+    | Some b -> b
+    | None ->
+      Dataplane.pmd
+        ~config:
+          { Pmd.n_shards = p.n_shards;
+            batch_size = p.batch_size;
+            parallel = true;
+            batch_cycles = p.batch_cycles;
+            dp = p.datapath_config }
+        ?tss_config:p.tss_config ()
   in
-  let pmd =
-    Pmd.create ~config:pmd_config ?tss_config:p.tss_config ?metrics:p.metrics
-      (Prng.split rng) ()
+  let telemetry =
+    Option.map (fun m -> Pi_telemetry.Ctx.v ~metrics:m ()) p.metrics
   in
-  let n_sh = Pmd.n_shards pmd in
+  let dp = Dataplane.create ?telemetry backend (Prng.split rng) in
+  let n_sh = Dataplane.n_shards dp in
   (* Port numbering (same layout the Switch-based scenario used):
      uplink=1, victim-pod=2, attacker-pod=3, svc-i=4+i. *)
   let uplink_port = 1 and victim_port = 2 and attacker_port = 3 in
@@ -165,7 +158,7 @@ let run p =
   let victim_acl =
     Pi_cms.Acl.whitelist [ Pi_cms.Acl.entry ~src:p.victim_allowed_net () ]
   in
-  Pmd.install_rules pmd
+  Dataplane.install_rules dp
     (Pi_cms.Compile.compile
        ~dst:(Ipv4_addr.Prefix.make victim_ip 32)
        ~allow:(Action.Output victim_port) victim_acl);
@@ -176,7 +169,7 @@ let run p =
         let svc_ip = Ipv4_addr.add (Ipv4_addr.of_string "10.1.1.0") (i + 1) in
         let port = 4 + i in
         let svc_port = 8000 + i in
-        Pmd.install_rules pmd
+        Dataplane.install_rules dp
           (Pi_cms.Compile.compile
              ~dst:(Ipv4_addr.Prefix.make svc_ip 32)
              ~allow:(Action.Output port)
@@ -212,11 +205,11 @@ let run p =
         ~allow_src:a.trusted_src ()
     in
     let acl = Policy_injection.Policy_gen.acl spec in
-    Pmd.install_rules pmd
+    Dataplane.install_rules dp
       (Pi_cms.Compile.compile
          ~dst:(Ipv4_addr.Prefix.make attacker_ip 32)
          ~allow:(Action.Output attacker_port) acl);
-    ignore (Pmd.revalidate pmd ~now);  (* policy change flushes caches *)
+    ignore (Dataplane.revalidate dp ~now);  (* policy change flushes caches *)
     let gen =
       Policy_injection.Packet_gen.make ~pkt_len:a.covert_pkt_len ~spec
         ~dst:attacker_ip ()
@@ -262,15 +255,15 @@ let run p =
     | Some _ ->
       let s = Pi_telemetry.Scrape.create () in
       Pi_telemetry.Scrape.register s ~name:"n_masks" (fun () ->
-          float_of_int (Pmd.n_masks pmd));
+          float_of_int (Dataplane.stats dp).Dataplane.masks);
       Pi_telemetry.Scrape.register s ~name:"n_megaflows" (fun () ->
-          float_of_int (Pmd.n_megaflows pmd));
+          float_of_int (Dataplane.stats dp).Dataplane.megaflows);
       Pi_telemetry.Scrape.register s ~name:"emc_occupancy" (fun () ->
-          float_of_int (emc_occupancy pmd));
+          float_of_int (Dataplane.stats dp).Dataplane.emc_occupancy);
       for i = 0 to n_sh - 1 do
         Pi_telemetry.Scrape.register s
           ~name:(Printf.sprintf "shard%d/n_masks" i)
-          (fun () -> float_of_int (Datapath.n_masks (Pmd.shard pmd i)))
+          (fun () -> float_of_int (Dataplane.shard_masks dp).(i))
       done;
       Some s
   in
@@ -308,12 +301,12 @@ let run p =
         let extrapolated = ref 0 in
         let exact_sh = Array.make n_sh 0 in
         let extrap_sh = Array.make n_sh 0 in
-        let c0 = Pmd.cycles_used pmd in
-        let c0_sh = Pmd.per_shard_cycles pmd in
+        let c0 = Dataplane.cycles_used dp in
+        let c0_sh = Dataplane.shard_cycles dp in
         for _ = 1 to due do
           let j = st.cursor in
           st.cursor <- (st.cursor + 1) mod n_flows;
-          let s = Pmd.shard_of pmd st.flows.(j) in
+          let s = Dataplane.shard_of dp st.flows.(j) in
           let touchable =
             match st.entries.(j) with
             | Some e -> e.Megaflow.alive
@@ -330,13 +323,13 @@ let run p =
             decr exact_budget;
             incr exact_count;
             exact_sh.(s) <- exact_sh.(s) + 1;
-            ignore (Pmd.process pmd ~now st.flows.(j) ~pkt_len:a.covert_pkt_len);
-            st.entries.(j) <- Datapath.last_megaflow (Pmd.shard pmd s)
+            ignore (Dataplane.process dp ~now st.flows.(j) ~pkt_len:a.covert_pkt_len);
+            st.entries.(j) <- Dataplane.last_megaflow dp ~shard:s
           end
         done;
-        let spent = Pmd.cycles_used pmd -. c0 in
+        let spent = Dataplane.cycles_used dp -. c0 in
         let per_pkt = spent /. float_of_int (max 1 !exact_count) in
-        let spent_sh = Pmd.per_shard_cycles pmd in
+        let spent_sh = Dataplane.shard_cycles dp in
         for s = 0 to n_sh - 1 do
           let spent_s = spent_sh.(s) -. c0_sh.(s) in
           (* A shard with only extrapolated packets this tick borrows the
@@ -357,35 +350,36 @@ let run p =
           let j = Prng.int rng n_flows in
           match st.entries.(j) with
           | Some e when e.Megaflow.alive ->
-            Emc.insert_forced
-              (Datapath.emc (Pmd.shard_for pmd st.flows.(j)))
-              st.flows.(j) e
+            Dataplane.emc_insert_forced dp st.flows.(j) e
           | Some _ | None -> ()
         done;
         spent +. (per_pkt *. float_of_int !extrapolated)
     in
     (* --- background services --- *)
-    ignore (Pmd.process_batch pmd ~now background_pkts);
+    ignore (Dataplane.process_burst dp ~now background_pkts);
     (* --- victim --- *)
     ignore (Traffic.Flow_pool.churn pool traffic_rng ~fraction:(p.victim_churn *. p.tick));
-    let emc_h0 = emc_hits pmd and emc_m0 = emc_misses pmd in
-    let c0 = Pmd.cycles_used pmd in
-    let c0_sh = Pmd.per_shard_cycles pmd in
+    let st0 = Dataplane.stats dp in
+    let emc_h0 = st0.Dataplane.emc_hits and emc_m0 = st0.Dataplane.emc_misses in
+    let c0 = Dataplane.cycles_used dp in
+    let c0_sh = Dataplane.shard_cycles dp in
     let victim_share = Array.make n_sh 0 in
     let victim_pkts =
       Array.init p.victim_samples_per_tick (fun _ ->
           let spec = Traffic.Flow_pool.sample pool traffic_rng in
           let f = flow_of_spec ~in_port:uplink_port spec in
-          let s = Pmd.shard_of pmd f in
+          let s = Dataplane.shard_of dp f in
           victim_share.(s) <- victim_share.(s) + 1;
           (f, p.victim_pkt_len))
     in
-    ignore (Pmd.process_batch pmd ~now victim_pkts);
+    ignore (Dataplane.process_burst dp ~now victim_pkts);
     let victim_cpp =
-      (Pmd.cycles_used pmd -. c0) /. float_of_int p.victim_samples_per_tick
+      (Dataplane.cycles_used dp -. c0) /. float_of_int p.victim_samples_per_tick
     in
-    let victim_sh = Pmd.per_shard_cycles pmd in
-    let emc_dh = emc_hits pmd - emc_h0 and emc_dm = emc_misses pmd - emc_m0 in
+    let victim_sh = Dataplane.shard_cycles dp in
+    let st1 = Dataplane.stats dp in
+    let emc_dh = st1.Dataplane.emc_hits - emc_h0
+    and emc_dm = st1.Dataplane.emc_misses - emc_m0 in
     let emc_hit_rate =
       if emc_dh + emc_dm = 0 then 0.
       else float_of_int emc_dh /. float_of_int (emc_dh + emc_dm)
@@ -446,8 +440,9 @@ let run p =
       else Array.map (fun c -> victim_gbps *. c /. frac) shard_contrib
     in
     (* --- housekeeping --- *)
+    ignore (Dataplane.service_upcalls dp ~now);
     if now +. p.tick >= !next_revalidate then begin
-      ignore (Pmd.revalidate pmd ~now);
+      ignore (Dataplane.revalidate dp ~now);
       next_revalidate := !next_revalidate +. p.revalidate_period
     end;
     (match scrape with
@@ -457,9 +452,9 @@ let run p =
       { time = now;
         victim_gbps;
         offered_gbps = p.victim_offered_gbps;
-        n_masks = Pmd.n_masks pmd;
-        n_megaflows = Pmd.n_megaflows pmd;
-        shard_masks = Pmd.per_shard_masks pmd;
+        n_masks = (Dataplane.stats dp).Dataplane.masks;
+        n_megaflows = (Dataplane.stats dp).Dataplane.megaflows;
+        shard_masks = Dataplane.shard_masks dp;
         shard_gbps;
         emc_hit_rate;
         victim_cycles_per_pkt = victim_cpp;
@@ -516,7 +511,8 @@ let run p =
     throughput_series;
     masks_series;
     shard_masks_series;
-    scrape }
+    scrape;
+    final_stats = Dataplane.stats dp }
 
 let pp_sample_header ppf () =
   Format.fprintf ppf "%8s %12s %10s %12s %10s %10s"

@@ -4,9 +4,12 @@
     it a low-bandwidth covert stream, and a per-tick measurement of the
     victim's achievable throughput and the megaflow-cache state.
 
-    The datapath is a {!Pi_ovs.Pmd}: [n_shards] PMD threads (one core
-    each) with RSS steering and rx batching. With the default
-    [n_shards = 1] the model is the single-datapath one, bit-for-bit.
+    The scenario drives a {!Pi_ovs.Dataplane} — any conforming backend
+    runs unchanged via {!params.backend}. The default is a {!Pi_ovs.Pmd}
+    built from [n_shards]/[batch_size]/[batch_cycles]/[datapath_config]:
+    PMD threads (one core each) with RSS steering and rx batching. With
+    the default [n_shards = 1] the model is the single-datapath one,
+    bit-for-bit.
 
     Simulation method (see EXPERIMENTS.md for the fidelity discussion):
     every covert packet of the first refresh round, and per-tick samples
@@ -54,6 +57,13 @@ type params = {
   batch_size : int;             (** rx burst size (default 32) *)
   batch_cycles : float;
       (** fixed cycles charged once per rx burst (default 0) *)
+  backend : Pi_ovs.Dataplane.backend option;
+      (** the dataplane to drive. [None] (default): a {!Pi_ovs.Pmd}
+          backend built from the four fields above — the historical
+          scenario, bit for bit. [Some b]: run [b] instead; those fields
+          are then ignored, though [datapath_config.cost.cpu_hz] still
+          sets the per-core cycle budget, so keep the backend's cost
+          model consistent with it *)
   datapath_config : Pi_ovs.Datapath.config;
   tss_config : Pi_classifier.Tss.config option;
   revalidate_period : float;
@@ -102,6 +112,9 @@ type report = {
       (** per-tick [n_masks]/[n_megaflows]/[emc_occupancy] (plus
           [shard<i>/n_masks] when sharded); [Some] exactly when
           {!params.metrics} was given *)
+  final_stats : Pi_ovs.Dataplane.stats;
+      (** the dataplane's cumulative counters at the end of the run —
+          includes [upcall_drops] under a bounded upcall queue *)
 }
 
 val run : params -> report

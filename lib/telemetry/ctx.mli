@@ -1,0 +1,35 @@
+(** Telemetry context: the one value a dataplane backend is handed at
+    creation time.
+
+    Historically every module took its own [?metrics]/[?tracer] optional
+    arguments and threaded them down by hand; a [Ctx.t] bundles both so
+    a backend constructor receives telemetry exactly once and passes the
+    same context to every stage it builds. The legacy optional arguments
+    remain as thin deprecated wrappers for one release. *)
+
+type t = {
+  metrics : Metrics.t option;
+  tracer : Tracer.t option;
+}
+
+val empty : t
+(** No telemetry: both fields [None]. Backends given [empty] must behave
+    bit-for-bit as if telemetry had never been wired in. *)
+
+val v : ?metrics:Metrics.t -> ?tracer:Tracer.t -> unit -> t
+(** Bundle whatever instruments are given. [v ()] is {!empty}. *)
+
+val full : unit -> t
+(** A fresh registry and a fresh (default-capacity) tracer — the usual
+    "turn everything on" context for CLI runs. *)
+
+val metrics : t -> Metrics.t option
+val tracer : t -> Tracer.t option
+
+val enabled : t -> bool
+(** [true] iff at least one instrument is attached. *)
+
+val with_metrics : t -> Metrics.t -> t
+val without_tracer : t -> t
+(** Drop the tracer (e.g. for parallel shards that must not share a
+    ring buffer). *)

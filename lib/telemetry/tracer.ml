@@ -2,6 +2,8 @@ type kind =
   | Emc_hit
   | Mf_hit of { probes : int }
   | Upcall of { slow_probes : int }
+  | Upcall_enqueued of { queued : int }
+  | Upcall_dropped of { queued : int }
   | Mask_created of { n_masks : int }
   | Megaflow_evicted of { count : int }
   | Revalidate of { evicted : int; n_masks : int }
@@ -52,6 +54,8 @@ let kind_name = function
   | Emc_hit -> "emc_hit"
   | Mf_hit _ -> "mf_hit"
   | Upcall _ -> "upcall"
+  | Upcall_enqueued _ -> "upcall_enqueued"
+  | Upcall_dropped _ -> "upcall_dropped"
   | Mask_created _ -> "mask_created"
   | Megaflow_evicted _ -> "megaflow_evicted"
   | Revalidate _ -> "revalidate"
@@ -70,6 +74,8 @@ let pp_kind ppf = function
   | Emc_hit -> Format.pp_print_string ppf "emc_hit"
   | Mf_hit { probes } -> Format.fprintf ppf "mf_hit probes:%d" probes
   | Upcall { slow_probes } -> Format.fprintf ppf "upcall slow_probes:%d" slow_probes
+  | Upcall_enqueued { queued } -> Format.fprintf ppf "upcall_enqueued queued:%d" queued
+  | Upcall_dropped { queued } -> Format.fprintf ppf "upcall_dropped queued:%d" queued
   | Mask_created { n_masks } -> Format.fprintf ppf "mask_created n_masks:%d" n_masks
   | Megaflow_evicted { count } -> Format.fprintf ppf "megaflow_evicted count:%d" count
   | Revalidate { evicted; n_masks } ->

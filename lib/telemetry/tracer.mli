@@ -10,6 +10,8 @@ type kind =
   | Emc_hit
   | Mf_hit of { probes : int }           (** megaflow hit after [probes] subtable probes *)
   | Upcall of { slow_probes : int }      (** slow-path upcall, classifier probe count *)
+  | Upcall_enqueued of { queued : int }  (** miss deferred to the bounded upcall queue *)
+  | Upcall_dropped of { queued : int }   (** upcall queue full: packet dropped *)
   | Mask_created of { n_masks : int }    (** new megaflow mask; total now [n_masks] *)
   | Megaflow_evicted of { count : int }
   | Revalidate of { evicted : int; n_masks : int }

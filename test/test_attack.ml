@@ -67,8 +67,9 @@ let test_feed_materialises_masks () =
     let events = Campaign.events t.Attack.campaign in
     (* Feed the first round... *)
     let rest = Attack.feed t cloud ~upto:1. events in
-    let dp = Pi_ovs.Switch.datapath (Pi_cms.Cloud.switch cloud "server-1") in
-    Alcotest.(check int) "32 masks after round one" 32 (Pi_ovs.Datapath.n_masks dp);
+    let dp = Pi_ovs.Switch.dataplane (Pi_cms.Cloud.switch_exn cloud "server-1") in
+    Alcotest.(check int) "32 masks after round one" 32
+      (Pi_ovs.Dataplane.stats dp).Pi_ovs.Dataplane.masks;
     (* ...and the remainder resumes where we stopped. *)
     (match rest () with
      | Seq.Cons ((ts, _), _) ->
@@ -78,7 +79,7 @@ let test_feed_materialises_masks () =
       Attack.feed t cloud ~upto:2. rest
     in
     Alcotest.(check int) "still 32 masks after refresh" 32
-      (Pi_ovs.Datapath.n_masks dp)
+      (Pi_ovs.Dataplane.stats dp).Pi_ovs.Dataplane.masks
 
 let test_campaign_rate () =
   let cloud, pod = mk_cloud Pi_cms.Cloud.Kubernetes_calico in
@@ -118,10 +119,10 @@ let test_multi_server_blast_radius () =
     pods;
   List.iter
     (fun server ->
-      let dp = Pi_ovs.Switch.datapath (Pi_cms.Cloud.switch cloud server) in
+      let dp = Pi_ovs.Switch.dataplane (Pi_cms.Cloud.switch_exn cloud server) in
       Alcotest.(check int)
         (Printf.sprintf "%s infected" server)
-        32 (Pi_ovs.Datapath.n_masks dp))
+        32 (Pi_ovs.Dataplane.stats dp).Pi_ovs.Dataplane.masks)
     [ "server-1"; "server-2" ]
 
 let suite =

@@ -104,8 +104,10 @@ let test_policy_replacement () =
 
 let test_unknown_server () =
   let cloud, _, _ = mk () in
-  match Cloud.switch cloud "server-99" with
-  | exception Not_found -> ()
+  Alcotest.(check bool) "opt is None" true
+    (Cloud.switch_opt cloud "server-99" = None);
+  match Cloud.switch_exn cloud "server-99" with
+  | exception Cloud.Unknown_server "server-99" -> ()
   | _ -> Alcotest.fail "unknown server should raise"
 
 let test_revalidate_all () =

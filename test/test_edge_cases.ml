@@ -161,7 +161,7 @@ let test_switch_output_unknown_port () =
   let action, _ = Pi_ovs.Switch.process_flow sw ~now:0. f ~pkt_len:50 in
   Alcotest.(check action_t) "action preserved" (Pi_ovs.Action.Output 99) action;
   Alcotest.(check int) "rx accounted" 1
-    (Pi_ovs.Switch.port_stats sw p1.Pi_ovs.Switch.id).Pi_ovs.Switch.rx_packets
+    (Pi_ovs.Switch.port_stats_exn sw p1.Pi_ovs.Switch.id).Pi_ovs.Switch.rx_packets
 
 (* --- Campaign pacing gap --- *)
 

@@ -34,8 +34,8 @@ let test_forwarding_and_stats () =
   in
   let action, _ = Switch.process_packet sw ~now:0. ~in_port:up.Switch.id pkt in
   Alcotest.(check action_t) "forwarded" (Action.Output pod.Switch.id) action;
-  let s_up = Switch.port_stats sw up.Switch.id in
-  let s_pod = Switch.port_stats sw pod.Switch.id in
+  let s_up = Switch.port_stats_exn sw up.Switch.id in
+  let s_pod = Switch.port_stats_exn sw pod.Switch.id in
   Alcotest.(check int) "rx on uplink" 1 s_up.Switch.rx_packets;
   Alcotest.(check int) "tx on pod" 1 s_pod.Switch.tx_packets;
   Alcotest.(check int) "bytes counted" (Pi_pkt.Packet.size pkt) s_pod.Switch.tx_bytes
@@ -49,13 +49,14 @@ let test_drop_stats () =
   let action, _ = Switch.process_packet sw ~now:0. ~in_port:up.Switch.id pkt in
   Alcotest.(check action_t) "dropped" Action.Drop action;
   Alcotest.(check int) "drop counted" 1
-    (Switch.port_stats sw up.Switch.id).Switch.dropped
+    (Switch.port_stats_exn sw up.Switch.id).Switch.dropped
 
 let test_unknown_port_stats () =
   let sw, _, _ = mk () in
-  match Switch.port_stats sw 99 with
-  | exception Not_found -> ()
-  | _ -> Alcotest.fail "expected Not_found"
+  Alcotest.(check bool) "opt is None" true (Switch.port_stats_opt sw 99 = None);
+  match Switch.port_stats_exn sw 99 with
+  | exception Switch.Unknown_port 99 -> ()
+  | _ -> Alcotest.fail "expected Unknown_port"
 
 let test_revalidate_passthrough () =
   let sw, up, _ = mk () in
