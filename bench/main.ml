@@ -511,7 +511,7 @@ let populated_megaflow n =
     let key = Flow.make ~ip_src:0xFFFFFFFFl ~tp_src:0xFFFF ~tp_dst:0xFFFF () in
     ignore
       (Pi_ovs.Megaflow.insert mf ~key ~mask ~action:Pi_ovs.Action.Drop
-         ~revision:0 ~now:0.)
+         ~revision:0 ~now:0. ())
   done;
   mf
 
@@ -547,7 +547,7 @@ let micro_tests () =
         ignore
           (Pi_ovs.Megaflow.insert mf ~key:probe_flow
              ~mask:Pi_classifier.Mask.exact ~action:Pi_ovs.Action.Drop
-             ~revision:0 ~now:0.);
+             ~revision:0 ~now:0. ());
         Staged.stage (fun () ->
             ignore (Pi_ovs.Megaflow.lookup mf probe_flow ~now:0. ~pkt_len:100)))
   in
@@ -786,7 +786,7 @@ let run_hotpath () =
         let mf = populated_megaflow n in
         ignore
           (Pi_ovs.Megaflow.insert mf ~key:probe_flow ~mask:Mask.exact
-             ~action:Pi_ovs.Action.Drop ~revision:0 ~now:0.);
+             ~action:Pi_ovs.Action.Drop ~revision:0 ~now:0. ());
         let cache = Pi_ovs.Mask_cache.create () in
         ignore (Pi_ovs.Megaflow.lookup_hinted mf cache probe_flow ~now:0. ~pkt_len:100);
         let r =

@@ -5,6 +5,8 @@
      predict  closed-form mask counts and covert-stream budget
      masks    drive the covert sequence through a real datapath
      pcap     export one covert round as a .pcap file
+     detect   run the attack under the provider-side detector
+     dpctl    ovs-appctl-style introspection of a live dataplane
      attack   run the Fig. 3 end-to-end scenario *)
 
 open Cmdliner
@@ -201,6 +203,103 @@ let pcap_cmd =
   Cmd.v (Cmd.info "pcap" ~doc:"Export one covert round as a pcap capture")
     Term.(const pcap $ variant_arg $ allow_src_arg $ seed_arg $ rate $ out)
 
+(* --- dpctl --- *)
+
+let backend_arg =
+  Arg.(value
+       & opt (enum [ ("pmd", `Pmd); ("datapath", `Datapath);
+                     ("cacheless", `Cacheless) ])
+           `Datapath
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Dataplane backend to introspect: $(b,datapath) (default), \
+                 $(b,pmd) (sharded, honours --shards) or $(b,cacheless).")
+
+let shards_arg =
+  Arg.(value & opt int 2
+       & info [ "shards" ] ~docv:"N" ~doc:"PMD threads for the pmd backend.")
+
+(* A small live dataplane for the introspection views: the attacked
+   pod's policy bound to tenant 3, one covert round plus a trickle of
+   trusted traffic, everything entering on uplink port 1. *)
+let dpctl_dataplane variant allow_src seed backend shards =
+  let spec = spec_of variant allow_src in
+  let backend =
+    match backend with
+    | `Datapath -> Pi_ovs.Dataplane.datapath ()
+    | `Pmd ->
+      Pi_ovs.Dataplane.pmd
+        ~config:{ Pi_ovs.Pmd.default_config with Pi_ovs.Pmd.n_shards = shards }
+        ()
+    | `Cacheless -> Pi_mitigation.Cacheless.dataplane ()
+  in
+  let reg = Pi_ovs.Provenance.registry () in
+  let metrics = Pi_telemetry.Metrics.create () in
+  let dp =
+    Pi_ovs.Dataplane.create
+      ~telemetry:(Pi_telemetry.Ctx.v ~metrics ())
+      ~provenance:reg backend
+      (Pi_pkt.Prng.create (Int64.of_int seed))
+  in
+  let rules =
+    Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 3) (Policy_gen.acl spec)
+  in
+  Pi_ovs.Provenance.bind reg ~tenant:3
+    ~acl_rule:Pi_cms.Compile.acl_rule_index rules;
+  Pi_ovs.Dataplane.install_rules dp rules;
+  let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  List.iter
+    (fun f ->
+      let f = Pi_classifier.Flow.with_field f Pi_classifier.Field.In_port 1 in
+      ignore (Pi_ovs.Dataplane.process dp ~now:0. f ~pkt_len:100))
+    (Packet_gen.flows ~seed:(Int64.of_int seed) gen);
+  let trusted =
+    Pi_classifier.Flow.make ~in_port:1 ~ip_src:(ip allow_src)
+      ~ip_dst:(ip "10.1.0.3") ~ip_proto:Pi_pkt.Ipv4.proto_tcp ~tp_src:40000
+      ~tp_dst:443 ()
+  in
+  for _ = 1 to 16 do
+    ignore (Pi_ovs.Dataplane.process dp ~now:0. trusted ~pkt_len:1500)
+  done;
+  ignore (Pi_ovs.Dataplane.service_upcalls dp ~now:0.);
+  dp
+
+let dpctl_view view variant allow_src seed backend shards max =
+  let dp = dpctl_dataplane variant allow_src seed backend shards in
+  let ppf = Format.std_formatter in
+  (match view with
+   | `Flows -> Pi_ovs.Dpctl.dump_flows ~max ~now:0. ppf dp
+   | `Masks -> Pi_ovs.Dpctl.dump_masks ppf dp
+   | `Ports -> Pi_ovs.Dpctl.port_stats ppf dp
+   | `Perf -> Pi_ovs.Dpctl.pmd_perf ppf dp
+   | `Attribution -> Pi_ovs.Dpctl.attribution ppf dp);
+  Format.pp_print_flush ppf ()
+
+let dpctl_sub name doc view =
+  let max =
+    Arg.(value & opt int 40
+         & info [ "max" ] ~docv:"N"
+             ~doc:"Maximum flows to print per shard (dump-flows only).")
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (dpctl_view view) $ variant_arg $ allow_src_arg $ seed_arg
+          $ backend_arg $ shards_arg $ max)
+
+let dpctl_cmd =
+  Cmd.group
+    (Cmd.info "dpctl"
+       ~doc:"ovs-appctl-style introspection of a live dataplane after one \
+             covert round")
+    [ dpctl_sub "dump-flows"
+        "Dump every megaflow entry, with provenance stamps" `Flows;
+      dpctl_sub "dump-masks"
+        "One line per subtable: entries, hits and first minter" `Masks;
+      dpctl_sub "port-stats"
+        "Per-ingress-port packet/cycle accounting" `Ports;
+      dpctl_sub "pmd-perf-show"
+        "Per-shard hit rates, lookup cost and cycle totals" `Perf;
+      dpctl_sub "attribution"
+        "Ranked per-tenant mask/cycle attribution report" `Attribution ]
+
 (* --- detect --- *)
 
 let detect variant duration start =
@@ -213,17 +312,23 @@ let detect variant duration start =
       Scenario.duration;
       victim_flows = 3000;
       victim_samples_per_tick = 300;
-      attack = Some a }
+      attack = Some a;
+      provenance = true }
   in
   let r = Scenario.run p in
+  (* The attribution report names the tenant behind the masks; attach
+     its top row to every alarm the detector raises. *)
+  let suspect =
+    Option.bind r.Scenario.attribution Pi_ovs.Provenance.top_suspect
+  in
   let det = Pi_mitigation.Detector.create () in
   let first_alarm = ref None in
   List.iter
     (fun s ->
       match
-        Pi_mitigation.Detector.observe det ~now:s.Scenario.time
+        Pi_mitigation.Detector.observe det ~now:s.Scenario.time ?suspect
           ~n_masks:s.Scenario.n_masks
-          ~avg_probes:(s.Scenario.victim_cycles_per_pkt /. 100.)
+          ~avg_probes:(s.Scenario.victim_cycles_per_pkt /. 100.) ()
       with
       | Some alarm when !first_alarm = None -> first_alarm := Some alarm
       | Some _ | None -> ())
@@ -270,7 +375,7 @@ let write_csv path samples =
         samples)
 
 let attack variant duration start offered every coarse shards batch backend
-    upcall_queue csv json =
+    upcall_queue attribution csv json =
   let open Pi_sim in
   let a = { Scenario.default_attack with Scenario.variant; start } in
   let dc =
@@ -307,7 +412,8 @@ let attack variant duration start offered every coarse shards batch backend
       batch_size = batch;
       backend;
       datapath_config = dc;
-      metrics }
+      metrics;
+      provenance = attribution }
   in
   let r = Scenario.run p in
   Format.printf "%a@." Scenario.pp_sample_header ();
@@ -351,6 +457,12 @@ let attack variant duration start offered every coarse shards batch backend
           (mean_gbps i))
       r.Scenario.peak_shard_masks
   end;
+  (match r.Scenario.attribution with
+   | Some s ->
+     Format.printf "@.attribution (tenants ranked by induced masks):@.%a@."
+       Pi_ovs.Provenance.pp_summary s;
+     Format.printf "@.%a@." Pi_ovs.Provenance.pp_ports s
+   | None -> ());
   (match csv with
    | Some path ->
      write_csv path r.Scenario.samples;
@@ -358,7 +470,12 @@ let attack variant duration start offered every coarse shards batch backend
    | None -> ());
   match json, metrics with
   | Some path, Some m ->
-    Pi_telemetry.Export.write_json_file ?scrape:r.Scenario.scrape ~path m;
+    let extra =
+      match r.Scenario.attribution with
+      | Some s -> [ ("attribution", Pi_ovs.Provenance.summary_json s) ]
+      | None -> []
+    in
+    Pi_telemetry.Export.write_json_file ?scrape:r.Scenario.scrape ~extra ~path m;
     Format.printf "telemetry snapshot written to %s@." path
   | _ -> ()
 
@@ -412,6 +529,14 @@ let attack_cmd =
                    threads and overflow is dropped and counted. Default: \
                    unbounded synchronous upcalls, the historical model.")
   in
+  let attribution =
+    Arg.(value & flag
+         & info [ "attribution" ]
+             ~doc:"Enable mask provenance: bind every installed policy to \
+                   its tenant, stamp minted masks with their origin, and \
+                   print the ranked per-tenant attribution and per-port \
+                   accounting after the run (also embedded in --json).")
+  in
   let csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write per-second samples as CSV.")
@@ -424,12 +549,12 @@ let attack_cmd =
   in
   Cmd.v (Cmd.info "attack" ~doc:"Run the Fig. 3 end-to-end scenario")
     Term.(const attack $ variant_arg $ duration $ start $ offered $ every $ coarse
-          $ shards $ batch $ backend $ upcall_queue $ csv $ json)
+          $ shards $ batch $ backend $ upcall_queue $ attribution $ csv $ json)
 
 let main_cmd =
   let doc = "policy injection: a cloud dataplane DoS attack (SIGCOMM'18 reproduction)" in
   Cmd.group (Cmd.info "ovsdos" ~version:"1.0.0" ~doc)
-    [ expand_cmd; predict_cmd; masks_cmd; dump_cmd; pcap_cmd; detect_cmd;
-      attack_cmd ]
+    [ expand_cmd; predict_cmd; masks_cmd; dump_cmd; pcap_cmd; dpctl_cmd;
+      detect_cmd; attack_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -75,7 +75,7 @@ let () =
         match
           Pi_mitigation.Detector.observe det
             ~now:(float_of_int i *. 0.001)
-            ~n_masks:(Datapath.n_masks dp) ~avg_probes:1.
+            ~n_masks:(Datapath.n_masks dp) ~avg_probes:1. ()
         with
         | Some alarm when List.length (Pi_mitigation.Detector.alarms det) = 1 ->
           Format.printf "  first alarm: %a@." Pi_mitigation.Detector.pp_alarm alarm

@@ -83,6 +83,13 @@ let patterns_of_entry ?in_port ?dst (e : Acl.entry) =
           (port_prefixes e.Acl.src_port))
     (protocols_of_entry e)
 
+(* The lowering above is injective on priorities: ACL entry [i] compiles
+   at [base_priority - i] and nothing else uses that range, so the entry
+   index is recoverable from any compiled rule. *)
+let acl_rule_index (r : _ Rule.t) =
+  let p = r.Rule.priority in
+  if p > default_priority && p <= base_priority then base_priority - p else -1
+
 let compile ?in_port ?dst ~allow ?(deny = Pi_ovs.Action.Drop) (acl : Acl.t) =
   let action_of = function Acl.Allow -> allow | Acl.Deny -> deny in
   let rules = ref [] in

@@ -19,6 +19,13 @@ val range_prefixes : int -> int -> (int * int) list
     order. Raises [Invalid_argument] on an empty or out-of-range
     interval. *)
 
+val acl_rule_index : 'a Pi_classifier.Rule.t -> int
+(** Recover the 0-based ACL entry index a compiled rule came from
+    (entry [i] is lowered at priority [base_priority - i]); [-1] for the
+    catch-all or any rule outside the compiled-priority range. Feeds
+    provenance bindings ({!Pi_ovs.Provenance.bind}) so attribution
+    reports can name the offending ACL line. *)
+
 val patterns_of_entry :
   ?in_port:int -> ?dst:Pi_pkt.Ipv4_addr.Prefix.t ->
   Acl.entry -> Pi_classifier.Pattern.t list

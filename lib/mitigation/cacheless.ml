@@ -100,7 +100,12 @@ let dataplane ?engine ?config ?cost () : Pi_ovs.Dataplane.backend =
 
     let name = "cacheless"
 
-    let create ?telemetry _rng () =
+    let create ?telemetry ?provenance _rng () =
+      (* No cache means nothing to attribute: there are no megaflows,
+         no masks and no upcalls, so a provenance registry has nothing
+         to record and is accepted-and-ignored (the conformance suite
+         checks enabling it changes nothing). *)
+      ignore (provenance : Pi_ovs.Provenance.registry option);
       { cl = create ?engine ?config ?cost ();
         ctx = Option.value telemetry ~default:Pi_telemetry.Ctx.empty }
 
@@ -141,4 +146,13 @@ let dataplane ?engine ?config ?cost () : Pi_ovs.Dataplane.backend =
 
     let last_megaflow _ ~shard:_ = None
     let emc_insert_forced _ _ _ = ()
+    let provenance _ = []
+
+    let shard_flows _ i =
+      if i <> 0 then invalid_arg "Cacheless.shard_flows";
+      []
+
+    let shard_mask_stats _ i =
+      if i <> 0 then invalid_arg "Cacheless.shard_mask_stats";
+      []
   end)

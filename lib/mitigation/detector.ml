@@ -7,6 +7,7 @@ type alarm = {
   reason : string;
   n_masks : int;
   avg_probes : float;
+  suspect : Pi_ovs.Provenance.row option;
 }
 
 type t = {
@@ -27,7 +28,7 @@ let raise_alarm t a =
   Log.warn (fun m -> m "%s (masks=%d)" a.reason a.n_masks);
   Some a
 
-let observe t ~now ~n_masks ~avg_probes =
+let observe t ~now ?suspect ~n_masks ~avg_probes () =
   let growth = n_masks - t.last_masks in
   t.last_masks <- n_masks;
   if n_masks >= t.mask_threshold then
@@ -36,19 +37,19 @@ let observe t ~now ~n_masks ~avg_probes =
         reason =
           Printf.sprintf "megaflow mask count %d exceeds threshold %d"
             n_masks t.mask_threshold;
-        n_masks; avg_probes }
+        n_masks; avg_probes; suspect }
   else if growth >= t.growth_threshold then
     raise_alarm t
       { at = now;
         reason = Printf.sprintf "mask burst: +%d masks in one observation" growth;
-        n_masks; avg_probes }
+        n_masks; avg_probes; suspect }
   else if avg_probes >= t.probes_threshold then
     raise_alarm t
       { at = now;
         reason =
           Printf.sprintf "average lookup cost %.1f subtables exceeds %.1f"
             avg_probes t.probes_threshold;
-        n_masks; avg_probes }
+        n_masks; avg_probes; suspect }
   else None
 
 let alarms t = t.alarms
@@ -76,4 +77,7 @@ let suspect_masks ?(max_entries_per_mask = 4) mf =
 
 let pp_alarm ppf a =
   Format.fprintf ppf "[%.1fs] %s (masks=%d, avg probes=%.1f)" a.at a.reason
-    a.n_masks a.avg_probes
+    a.n_masks a.avg_probes;
+  match a.suspect with
+  | Some s -> Format.fprintf ppf " suspect: %a" Pi_ovs.Provenance.pp_row s
+  | None -> ()

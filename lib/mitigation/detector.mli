@@ -4,14 +4,21 @@
     distinct megaflow masks explodes while the per-mask entry count
     stays ~1 and the new subtables attract almost no hits. The detector
     watches mask count and average lookup cost over a sliding window and
-    raises alarms; {!suspect_masks} points at the offending subtables so
-    the provider can trace them to a tenant's policy. *)
+    raises alarms; {!suspect_masks} points at the offending subtables,
+    and with provenance enabled the alarm itself carries the {e trace to
+    the tenant}: the top-ranked {!Pi_ovs.Provenance.row}, naming the
+    suspect tenant, the ports its traffic entered on and the ACL rules
+    whose un-wildcarding minted the masks. *)
 
 type alarm = {
   at : float;
   reason : string;
   n_masks : int;
   avg_probes : float;
+  suspect : Pi_ovs.Provenance.row option;
+      (** the attribution report's #1 tenant at alarm time (tenant id,
+          ingress ports, offending ACL rule ids) — [None] when the
+          observer has no provenance data *)
 }
 
 type t
@@ -24,9 +31,14 @@ val create :
 (** Defaults: alarm at 128 masks, at an average lookup cost of 32
     subtables, or at a burst of +64 masks between observations. *)
 
-val observe : t -> now:float -> n_masks:int -> avg_probes:float -> alarm option
+val observe :
+  t -> now:float -> ?suspect:Pi_ovs.Provenance.row ->
+  n_masks:int -> avg_probes:float -> unit -> alarm option
 (** Feed one measurement (e.g. once per second); returns the alarm it
-    raised, if any. Alarms are also accumulated in {!alarms}. *)
+    raised, if any. Alarms are also accumulated in {!alarms}. [suspect]
+    (typically {!Pi_ovs.Provenance.top_suspect} of the current
+    attribution report) is attached to any alarm this observation
+    raises. *)
 
 val alarms : t -> alarm list
 (** Most recent first. *)

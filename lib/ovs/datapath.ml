@@ -48,6 +48,9 @@ type t = {
   mutable n_upcalls : int;
   mutable n_upcall_drops : int;
   mutable last_mf : Megaflow.entry option;
+  (* Optional attribution: per-port accounting and mask provenance.
+     [None] (the default) leaves every path bit-for-bit as before. *)
+  prov : Provenance.store option;
   (* Optional telemetry: counters/histograms report into a shared
      registry, the tracer records the event stream. All [None] when
      telemetry is disabled — the datapath then behaves exactly as
@@ -63,15 +66,9 @@ type t = {
 
 let mf_alive (e : Megaflow.entry) = e.Megaflow.alive
 
-let create ?(config = default_config) ?tss_config ?metrics ?tracer ?telemetry
-    rng () =
-  (* [telemetry] is the one context a backend is handed; the bare
-     [?metrics]/[?tracer] arguments remain as deprecated wrappers. *)
-  let ctx =
-    match telemetry with
-    | Some c -> c
-    | None -> Pi_telemetry.Ctx.v ?metrics ?tracer ()
-  in
+let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
+    () =
+  let ctx = Option.value telemetry ~default:Pi_telemetry.Ctx.empty in
   let metrics = Pi_telemetry.Ctx.metrics ctx in
   let tracer = Pi_telemetry.Ctx.tracer ctx in
   let hist name =
@@ -99,6 +96,7 @@ let create ?(config = default_config) ?tss_config ?metrics ?tracer ?telemetry
     n_upcalls = 0;
     n_upcall_drops = 0;
     last_mf = None;
+    prov = Option.map (fun reg -> Provenance.store ?metrics reg) provenance;
     ctx;
     tracer;
     c_packets =
@@ -128,10 +126,15 @@ let trace t ~now kind =
   | Some tr -> Pi_telemetry.Tracer.record tr ~at:now kind
   | None -> ()
 
-let finish t outcome action =
+let finish t flow outcome action =
   let c = Cost_model.cycles t.cfg.cost outcome in
   t.cycles <- t.cycles +. c;
   observe t.h_cycles c;
+  (match t.prov with
+   | Some p ->
+     Provenance.account p ~port:(Pi_classifier.Flow.in_port flow) ~outcome
+       ~cycles:c
+   | None -> ());
   (action, outcome)
 
 (* Slow-path verdict → cached state: apply the mitigation hooks
@@ -139,9 +142,11 @@ let finish t outcome action =
    growth and refresh the EMC. Shared by the synchronous upcall path and
    the deferred handler. *)
 let install_verdict t ~now flow (v : Slowpath.verdict) =
-  observe t.h_upcall
-    (t.cfg.cost.Cost_model.upcall
-     +. (float_of_int v.Slowpath.probes *. t.cfg.cost.Cost_model.slow_probe));
+  let upcall_cycles =
+    t.cfg.cost.Cost_model.upcall
+    +. (float_of_int v.Slowpath.probes *. t.cfg.cost.Cost_model.slow_probe)
+  in
+  observe t.h_upcall upcall_cycles;
   trace t ~now (Pi_telemetry.Tracer.Upcall { slow_probes = v.Slowpath.probes });
   (* Mitigation hooks: optionally narrow the megaflow (still sound —
      more significant bits can only make the cached flow more
@@ -161,13 +166,27 @@ let install_verdict t ~now flow (v : Slowpath.verdict) =
     | Some _ | None -> mask
   in
   let masks_before = Megaflow.n_masks t.mf in
+  let origin =
+    match t.prov with
+    | Some p ->
+      Some
+        (Provenance.origin_for p ~port:(Pi_classifier.Flow.in_port flow)
+           ~rule_seq:v.Slowpath.rule_seq)
+    | None -> None
+  in
   let e =
     Megaflow.insert t.mf ~key:flow ~mask
       ~action:v.Slowpath.action ~revision:(Slowpath.revision t.slow) ~now
+      ?origin ()
   in
   let n_masks = Megaflow.n_masks t.mf in
   if n_masks > masks_before then
     trace t ~now (Pi_telemetry.Tracer.Mask_created { n_masks });
+  (match (t.prov, origin) with
+   | Some p, Some o ->
+     Provenance.note_install p o ~mask ~new_mask:(n_masks > masks_before)
+       ~upcall_cycles
+   | _ -> ());
   t.last_mf <- Some e;
   if t.cfg.emc_enabled then Emc.insert t.emc flow e;
   e
@@ -187,7 +206,7 @@ let process t ~now flow ~pkt_len =
     e.Megaflow.n_packets <- e.Megaflow.n_packets + 1;
     e.Megaflow.n_bytes <- e.Megaflow.n_bytes + pkt_len;
     trace t ~now Pi_telemetry.Tracer.Emc_hit;
-    finish t
+    finish t flow
       { Cost_model.emc_hit = true; mf_probes = 0; mf_hit = false;
         upcall = false; slow_probes = 0; pkt_len }
       e.Megaflow.action
@@ -203,7 +222,7 @@ let process t ~now flow ~pkt_len =
       if t.cfg.emc_enabled then Emc.insert t.emc flow e;
       observe t.h_probes (float_of_int probes);
       trace t ~now (Pi_telemetry.Tracer.Mf_hit { probes });
-      finish t
+      finish t flow
         { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = true;
           upcall = false; slow_probes = 0; pkt_len }
         e.Megaflow.action
@@ -215,7 +234,7 @@ let process t ~now flow ~pkt_len =
         t.n_upcalls <- t.n_upcalls + 1;
         let v = Slowpath.upcall t.slow flow in
         ignore (install_verdict t ~now flow v);
-        finish t
+        finish t flow
           { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
             upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
           v.Slowpath.action
@@ -240,7 +259,7 @@ let process t ~now flow ~pkt_len =
              (Pi_telemetry.Tracer.Upcall_dropped
                 { queued = Upcall_queue.length t.uq })
          end);
-        finish t
+        finish t flow
           { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
             upcall = false; slow_probes = 0; pkt_len }
           Action.Drop
@@ -263,12 +282,19 @@ let service_upcalls t ~now =
       t.n_upcalls <- t.n_upcalls + 1;
       let v = Slowpath.upcall t.slow ui_flow in
       ignore (install_verdict t ~now ui_flow v);
-      t.handler_cycles <-
-        t.handler_cycles
-        +. Cost_model.cycles t.cfg.cost
-             { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
-               upcall = true; slow_probes = v.Slowpath.probes;
-               pkt_len = ui_pkt_len }
+      let c =
+        Cost_model.cycles t.cfg.cost
+          { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
+            upcall = true; slow_probes = v.Slowpath.probes;
+            pkt_len = ui_pkt_len }
+      in
+      t.handler_cycles <- t.handler_cycles +. c;
+      (match t.prov with
+       | Some p ->
+         Provenance.account_handler p
+           ~port:(Pi_classifier.Flow.in_port ui_flow)
+           ~slow_probes:v.Slowpath.probes ~cycles:c
+       | None -> ())
   done;
   !serviced
 
@@ -297,6 +323,7 @@ let revalidate t ~now =
 
 let last_megaflow t = t.last_mf
 
+let provenance t = t.prov
 let telemetry t = t.ctx
 let cycles_used t = t.cycles
 let handler_cycles_used t = t.handler_cycles

@@ -40,8 +40,7 @@ type t
 
 val create :
   ?config:config -> ?tss_config:Pi_classifier.Tss.config ->
-  ?metrics:Pi_telemetry.Metrics.t -> ?tracer:Pi_telemetry.Tracer.t ->
-  ?telemetry:Pi_telemetry.Ctx.t ->
+  ?telemetry:Pi_telemetry.Ctx.t -> ?provenance:Provenance.registry ->
   Pi_pkt.Prng.t -> unit -> t
 (** [tss_config] configures the slow-path classifier's un-wildcarding
     behaviour (see {!Pi_classifier.Tss.config}).
@@ -50,16 +49,22 @@ val create :
     cache stage reports into it — counters [packets],
     [emc_hit]/[emc_miss], [mf_hit]/[mf_miss]/[mf_probes],
     [mask_created]/[megaflow_evicted], [upcall]/[slow_probes] (plus
-    [upcall_drops] when the upcall queue is bounded); histograms
-    [cycles_per_packet], [mf_probes_per_lookup] and [upcall_cycles].
-    With a tracer it additionally records per-event traces (EMC/megaflow
-    hits, upcalls, queue overflow drops, mask creation, evictions,
-    revalidator sweeps). Defaults to off, with no change in behaviour or
-    cost accounting.
+    [upcall_drops] when the upcall queue is bounded); gauges [n_masks]
+    and [n_megaflows]; histograms [cycles_per_packet],
+    [mf_probes_per_lookup] and [upcall_cycles]. With a tracer it
+    additionally records per-event traces (EMC/megaflow hits, upcalls,
+    queue overflow drops, mask creation, evictions, revalidator sweeps).
+    Defaults to off, with no change in behaviour or cost accounting.
 
-    [metrics]/[tracer] are the pre-{!Pi_telemetry.Ctx} spelling, kept
-    for one release; they are ignored when [telemetry] is given.
-    @deprecated pass [?telemetry] instead of [?metrics]/[?tracer]. *)
+    [provenance] attaches a rule registry and builds a private
+    {!Provenance.store}: upcalls stamp their megaflows (and minted
+    masks) with an {!Provenance.origin}, and every packet is charged to
+    its ingress port (with [port<i>/...] instruments when [telemetry]
+    carries a registry). Defaults to off, with no change in behaviour,
+    cost accounting or the allocation profile of the EMC hit path.
+
+    The pre-0.5 [?metrics]/[?tracer] arguments were removed, as
+    CHANGES.md 0.5.0 announced; pass a [telemetry] context instead. *)
 
 val config : t -> config
 val slowpath : t -> Slowpath.t
@@ -118,6 +123,10 @@ val handler_cycles_used : t -> float
 val telemetry : t -> Pi_telemetry.Ctx.t
 (** The context the datapath was created with ({!Pi_telemetry.Ctx.empty}
     when telemetry is off). *)
+
+val provenance : t -> Provenance.store option
+(** The attribution store ([Some] exactly when [create] was given a
+    [provenance] registry). *)
 
 val n_processed : t -> int
 val n_upcalls : t -> int

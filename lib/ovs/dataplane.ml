@@ -25,7 +25,10 @@ module type S = sig
   type t
 
   val name : string
-  val create : ?telemetry:Pi_telemetry.Ctx.t -> Pi_pkt.Prng.t -> unit -> t
+
+  val create :
+    ?telemetry:Pi_telemetry.Ctx.t -> ?provenance:Provenance.registry ->
+    Pi_pkt.Prng.t -> unit -> t
   val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
   val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
 
@@ -50,6 +53,9 @@ module type S = sig
   val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
   val last_megaflow : t -> shard:int -> Megaflow.entry option
   val emc_insert_forced : t -> Pi_classifier.Flow.t -> Megaflow.entry -> unit
+  val provenance : t -> Provenance.store list
+  val shard_flows : t -> int -> Megaflow.entry list
+  val shard_mask_stats : t -> int -> Megaflow.mask_stat list
 end
 
 type backend = (module S)
@@ -58,8 +64,8 @@ type t = Packed : (module S with type t = 'a) * 'a -> t
 
 let pack (type a) (m : (module S with type t = a)) (d : a) = Packed (m, d)
 
-let create ?telemetry (module B : S) rng =
-  Packed ((module B), B.create ?telemetry rng ())
+let create ?telemetry ?provenance (module B : S) rng =
+  Packed ((module B), B.create ?telemetry ?provenance rng ())
 
 let name (Packed ((module B), _)) = B.name
 let install_rules (Packed ((module B), d)) rules = B.install_rules d rules
@@ -87,6 +93,11 @@ let last_megaflow (Packed ((module B), d)) ~shard = B.last_megaflow d ~shard
 let emc_insert_forced (Packed ((module B), d)) flow e =
   B.emc_insert_forced d flow e
 
+let provenance (Packed ((module B), d)) = B.provenance d
+let attribution t = Provenance.report (provenance t)
+let shard_flows (Packed ((module B), d)) i = B.shard_flows d i
+let shard_mask_stats (Packed ((module B), d)) i = B.shard_mask_stats d i
+
 (* --- backends --- *)
 
 let datapath ?config ?tss_config () : backend =
@@ -94,8 +105,8 @@ let datapath ?config ?tss_config () : backend =
     type t = Datapath.t
 
     let name = "datapath"
-    let create ?telemetry rng () =
-      Datapath.create ?config ?tss_config ?telemetry rng ()
+    let create ?telemetry ?provenance rng () =
+      Datapath.create ?config ?tss_config ?telemetry ?provenance rng ()
 
     let install_rules = Datapath.install_rules
     let remove_rules = Datapath.remove_rules
@@ -141,6 +152,16 @@ let datapath ?config ?tss_config () : backend =
 
     let emc_insert_forced d flow e =
       Emc.insert_forced (Datapath.emc d) flow e
+
+    let provenance d = Option.to_list (Datapath.provenance d)
+
+    let shard_flows d i =
+      if i <> 0 then invalid_arg "Dataplane.shard_flows";
+      Megaflow.entries (Datapath.megaflow d)
+
+    let shard_mask_stats d i =
+      if i <> 0 then invalid_arg "Dataplane.shard_mask_stats";
+      Megaflow.subtable_stats (Datapath.megaflow d)
   end)
 
 let pmd ?config ?tss_config () : backend =
@@ -148,8 +169,8 @@ let pmd ?config ?tss_config () : backend =
     type t = Pmd.t
 
     let name = "pmd"
-    let create ?telemetry rng () =
-      Pmd.create ?config ?tss_config ?telemetry rng ()
+    let create ?telemetry ?provenance rng () =
+      Pmd.create ?config ?tss_config ?telemetry ?provenance rng ()
 
     let install_rules = Pmd.install_rules
     let remove_rules = Pmd.remove_rules
@@ -191,4 +212,10 @@ let pmd ?config ?tss_config () : backend =
 
     let emc_insert_forced d flow e =
       Emc.insert_forced (Datapath.emc (Pmd.shard_for d flow)) flow e
+
+    let provenance = Pmd.provenance
+    let shard_flows d i = Megaflow.entries (Datapath.megaflow (Pmd.shard d i))
+
+    let shard_mask_stats d i =
+      Megaflow.subtable_stats (Datapath.megaflow (Pmd.shard d i))
   end)

@@ -42,10 +42,13 @@ module type S = sig
   val name : string
   (** Stable identifier ([datapath], [pmd], [cacheless], ...). *)
 
-  val create : ?telemetry:Pi_telemetry.Ctx.t -> Pi_pkt.Prng.t -> unit -> t
+  val create :
+    ?telemetry:Pi_telemetry.Ctx.t -> ?provenance:Provenance.registry ->
+    Pi_pkt.Prng.t -> unit -> t
   (** Configuration is closed over by the backend constructor; creation
-      only binds the run-specific inputs — PRNG stream and telemetry
-      context. *)
+      only binds the run-specific inputs — PRNG stream, telemetry
+      context and provenance rule registry. Both options default to off
+      with no change in behaviour. *)
 
   val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
   val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
@@ -97,6 +100,25 @@ module type S = sig
   (** Unconditionally insert into the owning shard's EMC (bypassing
       probabilistic insertion) — the simulator's virtual-insert hook.
       A no-op for backends without an EMC. *)
+
+  (** {2 Introspection hooks}
+
+      What the dpctl-style CLI renders. All per-shard; unsharded
+      backends answer for shard 0, cache-less backends answer empty. *)
+
+  val provenance : t -> Provenance.store list
+  (** Per-shard attribution stores, in shard order; empty when
+      provenance is off (or the backend keeps none). *)
+
+  val shard_flows : t -> int -> Megaflow.entry list
+  (** Shard [i]'s live megaflow entries, in scan order ([dpctl
+      dump-flows]). Raises [Invalid_argument] out of range; empty for
+      backends without a megaflow cache. *)
+
+  val shard_mask_stats : t -> int -> Megaflow.mask_stat list
+  (** Shard [i]'s subtables with entry/hit counts ([dpctl dump-masks]).
+      Raises [Invalid_argument] out of range; empty for backends without
+      a megaflow cache. *)
 end
 
 type backend = (module S)
@@ -107,7 +129,9 @@ type t = Packed : (module S with type t = 'a) * 'a -> t
 
 val pack : (module S with type t = 'a) -> 'a -> t
 
-val create : ?telemetry:Pi_telemetry.Ctx.t -> backend -> Pi_pkt.Prng.t -> t
+val create :
+  ?telemetry:Pi_telemetry.Ctx.t -> ?provenance:Provenance.registry ->
+  backend -> Pi_pkt.Prng.t -> t
 
 (** {2 Forwarders} — {!S}'s operations on a packed {!t}. *)
 
@@ -136,6 +160,15 @@ val shard_cycles : t -> float array
 val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
 val last_megaflow : t -> shard:int -> Megaflow.entry option
 val emc_insert_forced : t -> Pi_classifier.Flow.t -> Megaflow.entry -> unit
+val provenance : t -> Provenance.store list
+
+val attribution : t -> Provenance.summary
+(** [Provenance.report (provenance t)] — the ranked tenant/port
+    attribution of everything this dataplane processed (empty when
+    provenance is off). *)
+
+val shard_flows : t -> int -> Megaflow.entry list
+val shard_mask_stats : t -> int -> Megaflow.mask_stat list
 
 (** {2 Built-in backends} *)
 

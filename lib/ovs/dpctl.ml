@@ -1,0 +1,109 @@
+(* ovs-appctl-style introspection rendered from any live dataplane.
+
+   Each renderer mirrors one of the tools an operator would point at a
+   real OVS under attack: [dpctl/dump-flows] (the megaflow cache),
+   [dpctl/dump-flows -m]-ish per-mask stats, per-port stats and
+   [dpif-netdev/pmd-perf-show]. Everything reads through the
+   {!Dataplane.S} introspection hooks, so every backend — datapath,
+   sharded pmd, cache-less baseline — renders with the same code. *)
+
+let shard_header ppf dp s =
+  if Dataplane.n_shards dp > 1 then
+    Format.fprintf ppf "pmd thread numa_id 0 core_id %d:@," s
+
+let dump_flows ?max ~now ppf dp =
+  let limit = match max with Some m -> m | None -> max_int in
+  Format.fprintf ppf "@[<v>";
+  for s = 0 to Dataplane.n_shards dp - 1 do
+    shard_header ppf dp s;
+    let flows = Dataplane.shard_flows dp s in
+    let printed = ref 0 in
+    List.iter
+      (fun e ->
+        if !printed < limit then begin
+          Format.fprintf ppf "%a@," (Megaflow.pp_entry ~now) e;
+          incr printed
+        end)
+      flows;
+    let n = List.length flows in
+    if n > limit then Format.fprintf ppf "... (%d more)@," (n - limit)
+  done;
+  let st = Dataplane.stats dp in
+  Format.fprintf ppf "flows: %d (masks: %d)@,@]" st.Dataplane.megaflows
+    st.Dataplane.masks
+
+let dump_masks ppf dp =
+  let stores = Dataplane.provenance dp in
+  Format.fprintf ppf "@[<v>";
+  for s = 0 to Dataplane.n_shards dp - 1 do
+    shard_header ppf dp s;
+    let store = List.nth_opt stores s in
+    List.iter
+      (fun (m : Megaflow.mask_stat) ->
+        Format.fprintf ppf "mask: %a entries:%d hits:%d" Pi_classifier.Mask.pp
+          m.Megaflow.ms_mask m.Megaflow.ms_entries m.Megaflow.ms_hits;
+        (match store with
+         | Some store -> begin
+           match Provenance.mask_origin store m.Megaflow.ms_mask with
+           | Some o -> Format.fprintf ppf " origin(%a)" Provenance.pp_origin o
+           | None -> ()
+         end
+         | None -> ());
+        Format.fprintf ppf "@,")
+      (Dataplane.shard_mask_stats dp s)
+  done;
+  Format.fprintf ppf "masks: %d@,@]" (Dataplane.stats dp).Dataplane.masks
+
+let port_stats ppf dp =
+  match Dataplane.provenance dp with
+  | [] ->
+    Format.fprintf ppf
+      "@[<v>per-port accounting needs provenance (create the dataplane \
+       with a Provenance registry)@,@]"
+  | stores -> Provenance.pp_ports ppf (Provenance.report stores)
+
+let pmd_perf ppf dp =
+  let masks = Dataplane.shard_masks dp in
+  let cycles = Dataplane.shard_cycles dp in
+  Format.fprintf ppf "@[<v>";
+  for s = 0 to Dataplane.n_shards dp - 1 do
+    Format.fprintf ppf "pmd thread %d (%s):@," s (Dataplane.name dp);
+    Format.fprintf ppf "  masks:          %d@," masks.(s);
+    Format.fprintf ppf "  cycles:         %.0f@," cycles.(s);
+    match Dataplane.shard_metrics dp s with
+    | None -> ()
+    | Some m ->
+      let c name =
+        Option.value ~default:0 (Pi_telemetry.Metrics.find_counter m name)
+      in
+      let packets = c "packets" in
+      let pct v =
+        if packets = 0 then 0. else 100. *. float_of_int v /. float_of_int packets
+      in
+      Format.fprintf ppf "  packets:        %d@," packets;
+      Format.fprintf ppf "  emc hits:       %d (%.1f %%)@," (c "emc_hit")
+        (pct (c "emc_hit"));
+      Format.fprintf ppf "  megaflow hits:  %d (%.1f %%)@," (c "mf_hit")
+        (pct (c "mf_hit"));
+      Format.fprintf ppf "  upcalls:        %d (%.1f %%)@," (c "upcall")
+        (pct (c "upcall"));
+      Format.fprintf ppf "  avg subtable lookups/hit: %.2f@,"
+        (let hits = c "mf_hit" in
+         if hits = 0 then 0.
+         else float_of_int (c "mf_probes") /. float_of_int hits)
+  done;
+  let st = Dataplane.stats dp in
+  Format.fprintf ppf
+    "total: packets:%d upcalls:%d drops:%d masks:%d megaflows:%d \
+     cycles:%.0f handler-cycles:%.0f@,@]"
+    st.Dataplane.packets st.Dataplane.upcalls st.Dataplane.upcall_drops
+    st.Dataplane.masks st.Dataplane.megaflows st.Dataplane.cycles
+    st.Dataplane.handler_cycles
+
+let attribution ppf dp =
+  match Dataplane.provenance dp with
+  | [] ->
+    Format.fprintf ppf
+      "@[<v>attribution needs provenance (create the dataplane with a \
+       Provenance registry)@,@]"
+  | stores -> Provenance.pp_summary ppf (Provenance.report stores)

@@ -6,6 +6,7 @@ type entry = {
   action : Action.t;
   revision : int;
   created : float;
+  origin : Provenance.origin option;
   mutable last_used : float;
   mutable n_packets : int;
   mutable n_bytes : int;
@@ -50,10 +51,15 @@ type t = {
   c_probes : Pi_telemetry.Metrics.counter option;
   c_mask_created : Pi_telemetry.Metrics.counter option;
   c_evicted : Pi_telemetry.Metrics.counter option;
+  (* Live sizes, distinct from the cumulative [mask_created] counter —
+     evictions decrease these but never the counter. *)
+  g_masks : Pi_telemetry.Metrics.gauge option;
+  g_megaflows : Pi_telemetry.Metrics.gauge option;
 }
 
 let create ?(config = default_config) ?metrics () =
   let c name = Option.map (fun m -> Pi_telemetry.Metrics.counter m name) metrics in
+  let g name = Option.map (fun m -> Pi_telemetry.Metrics.gauge m name) metrics in
   { cfg = config;
     by_mask = Tables.Mask_tbl.create 64;
     arr = [||];
@@ -67,7 +73,17 @@ let create ?(config = default_config) ?metrics () =
     c_miss = c "mf_miss";
     c_probes = c "mf_probes";
     c_mask_created = c "mask_created";
-    c_evicted = c "megaflow_evicted" }
+    c_evicted = c "megaflow_evicted";
+    g_masks = g "n_masks";
+    g_megaflows = g "n_megaflows" }
+
+let sync_gauges t =
+  (match t.g_masks with
+   | Some g -> Pi_telemetry.Metrics.set g (float_of_int t.n_tables)
+   | None -> ());
+  match t.g_megaflows with
+  | Some g -> Pi_telemetry.Metrics.set g (float_of_int t.n)
+  | None -> ()
 
 let generation t = t.generation
 
@@ -91,7 +107,8 @@ let push_subtable t st =
 let set_tables t l =
   t.arr <- Array.of_list l;
   t.n_tables <- Array.length t.arr;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  sync_gauges t
 
 let bump ?(by = 1) = function
   | Some c -> Pi_telemetry.Metrics.incr ~by c
@@ -206,7 +223,8 @@ let remove_entry t st (e : entry) =
    | None -> ());
   st.s_count <- st.s_count - 1;
   e.alive <- false;
-  t.n <- t.n - 1
+  t.n <- t.n - 1;
+  sync_gauges t
 
 let drop_empty_subtables t =
   let any_dead = ref false in
@@ -282,7 +300,7 @@ let evict_lru t =
 
 let has_mask t mask = Tables.Mask_tbl.mem t.by_mask mask
 
-let insert t ~key ~mask ~action ~revision ~now =
+let insert t ~key ~mask ~action ~revision ~now ?origin () =
   if t.n >= t.cfg.max_entries then evict_lru t;
   let st =
     match Tables.Mask_tbl.find_opt t.by_mask mask with
@@ -301,7 +319,7 @@ let insert t ~key ~mask ~action ~revision ~now =
    | Some old -> remove_entry t st old
    | None -> ());
   let e =
-    { key; mask; action; revision; created = now; last_used = now;
+    { key; mask; action; revision; created = now; origin; last_used = now;
       n_packets = 0; n_bytes = 0; alive = true }
   in
   let h = Mask.hash_masked st.s_mask key in
@@ -310,6 +328,7 @@ let insert t ~key ~mask ~action ~revision ~now =
    | None -> Hashtbl.add st.s_entries h (ref [ e ]));
   st.s_count <- st.s_count + 1;
   t.n <- t.n + 1;
+  sync_gauges t;
   e
 
 let revalidate t ~now ?(keep = fun _ -> true) () =
@@ -342,14 +361,25 @@ let flush t =
         st.s_entries)
     t;
   Tables.Mask_tbl.reset t.by_mask;
-  set_tables t [];
-  t.n <- 0
+  t.n <- 0;
+  set_tables t []
 
 let n_entries t = t.n
 let n_masks t = t.n_tables
 
 let masks t =
   List.init t.n_tables (fun i -> t.arr.(i).s_mask)
+
+type mask_stat = {
+  ms_mask : Mask.t;
+  ms_entries : int;
+  ms_hits : int;
+}
+
+let subtable_stats t =
+  List.init t.n_tables (fun i ->
+      let st = t.arr.(i) in
+      { ms_mask = st.s_mask; ms_entries = st.s_count; ms_hits = st.s_hits })
 
 let entries t =
   let acc = ref [] in
@@ -389,7 +419,10 @@ let pp_entry ~now ppf e =
   Format.fprintf ppf " packets:%d bytes:%d " e.n_packets e.n_bytes;
   if e.n_packets = 0 then Format.pp_print_string ppf "used:never"
   else Format.fprintf ppf "used:%.2fs" (Float.max 0. (now -. e.last_used));
-  Format.fprintf ppf " actions:%s" (Action.to_string e.action)
+  Format.fprintf ppf " actions:%s" (Action.to_string e.action);
+  match e.origin with
+  | Some o -> Format.fprintf ppf " origin(%a)" Provenance.pp_origin o
+  | None -> ()
 
 let dump ?max ~now ppf t =
   let printed = ref 0 in

@@ -13,6 +13,9 @@ type entry = {
   action : Action.t;
   revision : int;               (** slow-path revision that produced it *)
   created : float;
+  origin : Provenance.origin option;
+      (** who minted it — port / tenant / rule of the upcall that
+          installed the entry ([None] when provenance is off) *)
   mutable last_used : float;
   mutable n_packets : int;
   mutable n_bytes : int;
@@ -33,7 +36,9 @@ val default_config : config
 val create : ?config:config -> ?metrics:Pi_telemetry.Metrics.t -> unit -> t
 (** When [metrics] is given, lookups/inserts/evictions also report into
     the registry's [mf_hit], [mf_miss], [mf_probes], [mask_created] and
-    [megaflow_evicted] counters. *)
+    [megaflow_evicted] counters, and the {e live} [n_masks] and
+    [n_megaflows] gauges track the current sizes (unlike the cumulative
+    [mask_created] counter, which evictions never decrease). *)
 
 val lookup : t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int -> entry option * int
 (** [(entry, probes)]: the matching entry, if any, and the number of
@@ -68,10 +73,12 @@ val resort_by_hits : t -> unit
 
 val insert :
   t -> key:Pi_classifier.Flow.t -> mask:Pi_classifier.Mask.t ->
-  action:Action.t -> revision:int -> now:float -> entry
+  action:Action.t -> revision:int -> now:float ->
+  ?origin:Provenance.origin -> unit -> entry
 (** Install a megaflow produced by a slow-path upcall. If the flow limit
     is exceeded, least-recently-used entries are evicted first. If an
-    entry with the same masked key exists it is replaced. *)
+    entry with the same masked key exists it is replaced. [origin]
+    stamps the entry with its provenance. *)
 
 val revalidate : t -> now:float -> ?keep:(entry -> bool) -> unit -> int
 (** Evict idle entries ([now - last_used > idle_timeout]) and entries
@@ -88,13 +95,26 @@ val n_masks : t -> int
 val masks : t -> Pi_classifier.Mask.t list
 (** In scan order. *)
 
+type mask_stat = {
+  ms_mask : Pi_classifier.Mask.t;
+  ms_entries : int;   (** live entries under this mask *)
+  ms_hits : int;
+      (** subtable hit count — decayed by {!resort_by_hits}, so it
+          tracks recent traffic, like OVS's pvector priorities *)
+}
+
+val subtable_stats : t -> mask_stat list
+(** One {!mask_stat} per subtable, in scan order — the per-mask view of
+    [ovs-appctl dpctl/dump-flows -m] / subtable ranking. *)
+
 val entries : t -> entry list
 
 val pp_entry : now:float -> Format.formatter -> entry -> unit
 (** ovs-dpctl-style rendering:
     [ip_src=10.0.0.0/9,tp_dst=80 packets:3 bytes:300 used:4.20s actions:drop].
     As in [ovs-appctl dpctl/dump-flows], [used] is the {e age} of the
-    last hit ([now - last_used]); entries never hit print [used:never]. *)
+    last hit ([now - last_used]); entries never hit print [used:never].
+    Entries carrying provenance append [origin(port:.. tenant:.. ..)]. *)
 
 val dump : ?max:int -> now:float -> Format.formatter -> t -> unit
 (** Print entries in scan order, one per line ([max] defaults to all) —

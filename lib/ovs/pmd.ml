@@ -44,24 +44,23 @@ type t = {
   ctx : Pi_telemetry.Ctx.t;
 }
 
-let create ?(config = default_config) ?tss_config ?metrics ?tracer ?telemetry
-    rng () =
+let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
+    () =
   if config.n_shards < 1 then invalid_arg "Pmd.create: n_shards";
   if config.batch_size < 1 then invalid_arg "Pmd.create: batch_size";
-  let ctx =
-    match telemetry with
-    | Some c -> c
-    | None -> Pi_telemetry.Ctx.v ?metrics ?tracer ()
-  in
+  let ctx = Option.value telemetry ~default:Pi_telemetry.Ctx.empty in
   let metrics = Pi_telemetry.Ctx.metrics ctx in
   let mk_shard i =
     (* A single shard IS the seed datapath: same PRNG stream, same
        (shared) telemetry registry, same tracer — the 1-shard Pmd is
        bit-for-bit the unsharded Datapath. With several shards each gets
-       an independent substream and a private registry, so domains never
-       touch shared instruments. *)
+       an independent substream, a private registry and a private
+       provenance store (built by its datapath from the shared rule
+       registry), so domains never touch shared mutable instruments. *)
     if config.n_shards = 1 then
-      { dp = Datapath.create ~config:config.dp ?tss_config ~telemetry:ctx rng ();
+      { dp =
+          Datapath.create ~config:config.dp ?tss_config ~telemetry:ctx
+            ?provenance rng ();
         metrics;
         n_batches = 0;
         overhead_cycles = 0. }
@@ -70,6 +69,7 @@ let create ?(config = default_config) ?tss_config ?metrics ?tracer ?telemetry
       let metrics = Option.map (fun _ -> Pi_telemetry.Metrics.create ()) metrics in
       { dp = Datapath.create ~config:config.dp ?tss_config
                ~telemetry:(Pi_telemetry.Ctx.v ?metrics ())
+               ?provenance
                (Pi_pkt.Prng.split rng) ();
         metrics;
         n_batches = 0;
@@ -82,6 +82,13 @@ let config t = t.cfg
 let n_shards t = Array.length t.shards
 let shard t i = t.shards.(i).dp
 let shard_metrics t i = t.shards.(i).metrics
+let shard_provenance t i = Datapath.provenance t.shards.(i).dp
+
+let provenance t =
+  Array.fold_right
+    (fun s acc ->
+      match Datapath.provenance s.dp with Some p -> p :: acc | None -> acc)
+    t.shards []
 
 (* RSS-style steering. [Flow.hash]'s low bits already index the EMC and
    the mask cache, so using them for shard choice too would strip

@@ -33,9 +33,8 @@ type t
 val create :
   ?config:config ->
   ?tss_config:Pi_classifier.Tss.config ->
-  ?metrics:Pi_telemetry.Metrics.t ->
-  ?tracer:Pi_telemetry.Tracer.t ->
   ?telemetry:Pi_telemetry.Ctx.t ->
+  ?provenance:Provenance.registry ->
   Pi_pkt.Prng.t ->
   unit ->
   t
@@ -47,9 +46,13 @@ val create :
     {!shard_metrics}) so parallel shards never race on shared
     instruments; the context's tracer is ignored in that case.
 
-    [metrics]/[tracer] are the pre-{!Pi_telemetry.Ctx} spelling, kept
-    for one release; they are ignored when [telemetry] is given.
-    @deprecated pass [?telemetry] instead of [?metrics]/[?tracer]. *)
+    [provenance] hands every shard the same (read-during-processing)
+    rule registry; each shard's datapath builds its own private
+    {!Provenance.store} (see {!shard_provenance}), so attribution is
+    domain-safe exactly like the metrics registries.
+
+    The pre-0.5 [?metrics]/[?tracer] arguments were removed, as
+    CHANGES.md 0.5.0 announced; pass a [telemetry] context instead. *)
 
 val config : t -> config
 val n_shards : t -> int
@@ -61,6 +64,14 @@ val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
 (** The registry shard [i] reports into (the shared one when
     [n_shards = 1], a private one otherwise, [None] if telemetry is
     off). *)
+
+val shard_provenance : t -> int -> Provenance.store option
+(** Shard [i]'s private attribution store ([None] when provenance is
+    off). Raises [Invalid_argument] out of range. *)
+
+val provenance : t -> Provenance.store list
+(** All shard stores, in shard order (empty when provenance is off) —
+    feed to {!Provenance.report}. *)
 
 val shard_of : t -> Pi_classifier.Flow.t -> int
 (** RSS-style steering: which shard owns this flow. Uses a remixed hash

@@ -38,6 +38,7 @@ type verdict = {
   megaflow : Mask.t;
   probes : int;
   rule_found : bool;
+  rule_seq : int;
 }
 
 let upcall t flow =
@@ -53,12 +54,14 @@ let upcall t flow =
     { action = rule.Rule.action;
       megaflow = r.Tss.megaflow;
       probes = r.Tss.probes;
-      rule_found = true }
+      rule_found = true;
+      rule_seq = rule.Rule.seq }
   | None ->
     { action = Action.Drop;
       megaflow = r.Tss.megaflow;
       probes = r.Tss.probes;
-      rule_found = false }
+      rule_found = false;
+      rule_seq = Provenance.no_rule }
 
 let revision t = t.revision
 let n_rules t = Tss.n_rules t.cls

@@ -33,6 +33,9 @@ type verdict = {
   megaflow : Pi_classifier.Mask.t;
   probes : int;           (** subtables the slow-path lookup examined *)
   rule_found : bool;      (** false = table miss (default drop) *)
+  rule_seq : int;
+      (** sequence number of the matched rule — provenance resolves it
+          to a tenant/ACL rule; {!Provenance.no_rule} on a table miss *)
 }
 
 val upcall : t -> Pi_classifier.Flow.t -> verdict

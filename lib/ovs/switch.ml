@@ -23,22 +23,14 @@ type t = {
   mutable next_port : int;
 }
 
-let create ?backend ?config ?tss_config ?metrics ?tracer ?telemetry ~name rng
-    () =
+let create ?backend ?config ?tss_config ?telemetry ?provenance ~name rng () =
   let backend =
     match backend with
     | Some b -> b
     | None -> Dataplane.datapath ?config ?tss_config ()
   in
-  let telemetry =
-    match telemetry with
-    | Some _ as c -> c
-    | None ->
-      if metrics = None && tracer = None then None
-      else Some (Pi_telemetry.Ctx.v ?metrics ?tracer ())
-  in
   { name;
-    dp = Dataplane.create ?telemetry backend rng;
+    dp = Dataplane.create ?telemetry ?provenance backend rng;
     ports_rev = [];
     stats = Hashtbl.create 8;
     next_port = 1 }

@@ -22,17 +22,17 @@ exception Unknown_port of int
 val create :
   ?backend:Dataplane.backend ->
   ?config:Datapath.config -> ?tss_config:Pi_classifier.Tss.config ->
-  ?metrics:Pi_telemetry.Metrics.t -> ?tracer:Pi_telemetry.Tracer.t ->
-  ?telemetry:Pi_telemetry.Ctx.t ->
+  ?telemetry:Pi_telemetry.Ctx.t -> ?provenance:Provenance.registry ->
   name:string -> Pi_pkt.Prng.t -> unit -> t
 (** [backend] defaults to {!Dataplane.datapath}[ ?config ?tss_config ()];
     [config]/[tss_config] are ignored when an explicit [backend] is
     given (its constructor already closed over its configuration).
 
-    [telemetry] is handed to the backend at creation. [metrics]/[tracer]
-    are the pre-{!Pi_telemetry.Ctx} spelling, kept for one release; they
-    are ignored when [telemetry] is given.
-    @deprecated pass [?telemetry] instead of [?metrics]/[?tracer]. *)
+    [telemetry] and [provenance] are handed to the backend at creation
+    (see {!Dataplane.S.create}).
+
+    The pre-0.5 [?metrics]/[?tracer] arguments were removed, as
+    CHANGES.md 0.5.0 announced; pass a [telemetry] context instead. *)
 
 val name : t -> string
 

@@ -51,6 +51,9 @@ type params = {
   rtt : float;
   mss : int;
   metrics : Pi_telemetry.Metrics.t option;
+  provenance : bool;
+      (* stamp megaflows/masks with their origin and account per-port /
+         per-tenant attribution; the report then carries {!report.attribution} *)
 }
 
 let default_params =
@@ -77,7 +80,8 @@ let default_params =
     revalidate_period = 1.;
     rtt = 1e-3;
     mss = 1460;
-    metrics = None }
+    metrics = None;
+    provenance = false }
 
 type sample = {
   time : float;
@@ -104,6 +108,7 @@ type report = {
   shard_masks_series : Timeseries.t array;
   scrape : Pi_telemetry.Scrape.t option;
   final_stats : Dataplane.stats;
+  attribution : Provenance.summary option;
 }
 
 (* Mathis et al. TCP response: rate ≈ (MSS/RTT) * 1.22/sqrt(p). *)
@@ -149,19 +154,31 @@ let run p =
   let telemetry =
     Option.map (fun m -> Pi_telemetry.Ctx.v ~metrics:m ()) p.metrics
   in
-  let dp = Dataplane.create ?telemetry backend (Prng.split rng) in
+  let prov_reg = if p.provenance then Some (Provenance.registry ()) else None in
+  let dp =
+    Dataplane.create ?telemetry ?provenance:prov_reg backend (Prng.split rng)
+  in
   let n_sh = Dataplane.n_shards dp in
   (* Port numbering (same layout the Switch-based scenario used):
-     uplink=1, victim-pod=2, attacker-pod=3, svc-i=4+i. *)
+     uplink=1, victim-pod=2, attacker-pod=3, svc-i=4+i. Tenants are
+     identified by their pod port. *)
   let uplink_port = 1 and victim_port = 2 and attacker_port = 3 in
+  let bind_tenant tenant rules =
+    (match prov_reg with
+     | Some reg ->
+       Provenance.bind reg ~tenant ~acl_rule:Pi_cms.Compile.acl_rule_index rules
+     | None -> ());
+    rules
+  in
   (* Victim's own (benign) ingress whitelist. *)
   let victim_acl =
     Pi_cms.Acl.whitelist [ Pi_cms.Acl.entry ~src:p.victim_allowed_net () ]
   in
   Dataplane.install_rules dp
-    (Pi_cms.Compile.compile
-       ~dst:(Ipv4_addr.Prefix.make victim_ip 32)
-       ~allow:(Action.Output victim_port) victim_acl);
+    (bind_tenant victim_port
+       (Pi_cms.Compile.compile
+          ~dst:(Ipv4_addr.Prefix.make victim_ip 32)
+          ~allow:(Action.Output victim_port) victim_acl));
   (* Background services on the same host: their policies and occasional
      traffic populate the cache with the usual handful of megaflows. *)
   let background_flows =
@@ -170,12 +187,13 @@ let run p =
         let port = 4 + i in
         let svc_port = 8000 + i in
         Dataplane.install_rules dp
-          (Pi_cms.Compile.compile
-             ~dst:(Ipv4_addr.Prefix.make svc_ip 32)
-             ~allow:(Action.Output port)
-             (Pi_cms.Acl.whitelist
-                [ Pi_cms.Acl.entry ~src:p.victim_allowed_net
-                    ~proto:Pi_cms.Acl.Tcp ~dst_port:(Pi_cms.Acl.Port svc_port) () ]));
+          (bind_tenant port
+             (Pi_cms.Compile.compile
+                ~dst:(Ipv4_addr.Prefix.make svc_ip 32)
+                ~allow:(Action.Output port)
+                (Pi_cms.Acl.whitelist
+                   [ Pi_cms.Acl.entry ~src:p.victim_allowed_net
+                       ~proto:Pi_cms.Acl.Tcp ~dst_port:(Pi_cms.Acl.Port svc_port) () ])));
         Flow.make ~in_port:uplink_port
           ~ip_src:(Ipv4_addr.add (Ipv4_addr.of_string "10.9.0.1") i)
           ~ip_dst:svc_ip ~ip_proto:Ipv4.proto_tcp ~tp_src:(41000 + i)
@@ -206,9 +224,10 @@ let run p =
     in
     let acl = Policy_injection.Policy_gen.acl spec in
     Dataplane.install_rules dp
-      (Pi_cms.Compile.compile
-         ~dst:(Ipv4_addr.Prefix.make attacker_ip 32)
-         ~allow:(Action.Output attacker_port) acl);
+      (bind_tenant attacker_port
+         (Pi_cms.Compile.compile
+            ~dst:(Ipv4_addr.Prefix.make attacker_ip 32)
+            ~allow:(Action.Output attacker_port) acl));
     ignore (Dataplane.revalidate dp ~now);  (* policy change flushes caches *)
     let gen =
       Policy_injection.Packet_gen.make ~pkt_len:a.covert_pkt_len ~spec
@@ -512,7 +531,9 @@ let run p =
     masks_series;
     shard_masks_series;
     scrape;
-    final_stats = Dataplane.stats dp }
+    final_stats = Dataplane.stats dp;
+    attribution =
+      (if p.provenance then Some (Dataplane.attribution dp) else None) }
 
 let pp_sample_header ppf () =
   Format.fprintf ppf "%8s %12s %10s %12s %10s %10s"

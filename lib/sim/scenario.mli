@@ -72,6 +72,12 @@ type params = {
   metrics : Pi_telemetry.Metrics.t option;
       (** attach a telemetry registry to the datapath; enables the
           per-tick gauge scrape reported in {!report.scrape} *)
+  provenance : bool;
+      (** bind every installed policy to its tenant (pod port ids: victim
+          2, attacker 3, services 4+i) in a {!Pi_ovs.Provenance.registry}
+          and attach per-shard stores, so masks carry origins and the
+          report carries {!report.attribution}. Default [false];
+          disabled runs are bit-for-bit the historical scenario *)
 }
 
 val default_params : params
@@ -115,6 +121,11 @@ type report = {
   final_stats : Pi_ovs.Dataplane.stats;
       (** the dataplane's cumulative counters at the end of the run —
           includes [upcall_drops] under a bounded upcall queue *)
+  attribution : Pi_ovs.Provenance.summary option;
+      (** ranked per-tenant/per-port attribution at the end of the run;
+          [Some] exactly when {!params.provenance} — under the Fig. 3
+          attack its top row names the attacker tenant, ingress ports
+          and offending ACL rules *)
 }
 
 val run : params -> report

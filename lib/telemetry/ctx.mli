@@ -5,7 +5,7 @@
     arguments and threaded them down by hand; a [Ctx.t] bundles both so
     a backend constructor receives telemetry exactly once and passes the
     same context to every stage it builds. The legacy optional arguments
-    remain as thin deprecated wrappers for one release. *)
+    went through one deprecation release and are now gone. *)
 
 type t = {
   metrics : Metrics.t option;

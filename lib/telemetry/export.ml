@@ -57,19 +57,22 @@ let add_series b ts =
   Buffer.add_char b ']'
 
 let add_tracer b tr =
+  let kind_counts counts b =
+    add_fields b
+      (List.map
+         (fun (k, n) -> (k, fun b -> Buffer.add_string b (string_of_int n)))
+         counts)
+  in
   add_fields b
     [ ("capacity", fun b -> Buffer.add_string b (string_of_int (Tracer.capacity tr)));
       ("recorded", fun b -> Buffer.add_string b (string_of_int (Tracer.total tr)));
       ("dropped", fun b -> Buffer.add_string b (string_of_int (Tracer.dropped tr)));
-      ( "by_kind",
-        fun b ->
-          add_fields b
-            (List.map
-               (fun (k, n) ->
-                 (k, fun b -> Buffer.add_string b (string_of_int n)))
-               (Tracer.counts_by_kind tr)) ) ]
+      (* [by_kind] counts only what the ring retains; [by_kind_total]
+         is cumulative and survives wrap-around. *)
+      ("by_kind", kind_counts (Tracer.counts_by_kind tr));
+      ("by_kind_total", kind_counts (Tracer.total_by_kind tr)) ]
 
-let json_snapshot ?scrape ?tracer metrics =
+let json_snapshot ?scrape ?tracer ?(extra = []) metrics =
   let b = Buffer.create 4096 in
   let sections =
     [ ( "counters",
@@ -108,16 +111,20 @@ let json_snapshot ?scrape ?tracer metrics =
     @ (match tracer with
        | None -> []
        | Some tr -> [ ("trace", fun b -> add_tracer b tr) ])
+    @ List.map
+        (fun (name, raw) ->
+          (name, fun b -> Buffer.add_string b (raw : string)))
+        extra
   in
   add_fields b sections;
   Buffer.add_char b '\n';
   Buffer.contents b
 
-let write_json_file ?scrape ?tracer ~path metrics =
+let write_json_file ?scrape ?tracer ?extra ~path metrics =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (json_snapshot ?scrape ?tracer metrics))
+    (fun () -> output_string oc (json_snapshot ?scrape ?tracer ?extra metrics))
 
 (* ovs-appctl dpctl/show-style text dump. *)
 let pp_text ?scrape ?tracer ppf metrics =
@@ -127,7 +134,13 @@ let pp_text ?scrape ?tracer ppf metrics =
   let hit = c "emc_hit" + c "mf_hit" in
   let missed = c "upcall" in
   Format.fprintf ppf "@[<v>lookups: hit:%d missed:%d lost:0@," hit missed;
-  Format.fprintf ppf "masks: total:%d hit/pkt:%.2f@,"
+  (* [mask_created] is cumulative (evictions never decrease it); the
+     current subtable count is the live [n_masks] gauge, when the
+     producer maintains one. *)
+  (match Metrics.find_gauge metrics "n_masks" with
+   | Some v -> Format.fprintf ppf "masks: current:%.0f" v
+   | None -> Format.fprintf ppf "masks: current:?");
+  Format.fprintf ppf " created-total:%d hit/pkt:%.2f@,"
     (c "mask_created")
     (if packets = 0 then 0.
      else float_of_int (c "mf_probes") /. float_of_int packets);
@@ -164,9 +177,14 @@ let pp_text ?scrape ?tracer ppf metrics =
    | Some tr ->
      Format.fprintf ppf "trace: %d recorded, %d retained, %d dropped@,"
        (Tracer.total tr) (Tracer.length tr) (Tracer.dropped tr);
+     let retained = Tracer.counts_by_kind tr in
      List.iter
-       (fun (k, n) -> Format.fprintf ppf "  %s: %d@," k n)
-       (Tracer.counts_by_kind tr));
+       (fun (k, total) ->
+         let r =
+           Option.value ~default:0 (List.assoc_opt k retained)
+         in
+         Format.fprintf ppf "  %s: %d (retained %d)@," k total r)
+       (Tracer.total_by_kind tr));
   Format.fprintf ppf "@]"
 
 let text_report ?scrape ?tracer metrics =

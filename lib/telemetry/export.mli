@@ -6,19 +6,28 @@
     snapshots of identical telemetry are byte-identical and benchmark
     outputs ([BENCH_*.json]) diff cleanly across runs and PRs. *)
 
-val json_snapshot : ?scrape:Scrape.t -> ?tracer:Tracer.t -> Metrics.t -> string
+val json_snapshot :
+  ?scrape:Scrape.t -> ?tracer:Tracer.t -> ?extra:(string * string) list ->
+  Metrics.t -> string
 (** One JSON object (newline-terminated) with sections [counters],
     [gauges], [histograms] (summaries: count/mean/min/max/p50/p99), and
     — when given — [timeseries] (scraped [[time, value]] pairs) and
-    [trace] (ring statistics and per-kind tallies). *)
+    [trace] (ring statistics; [by_kind] tallies the retained events,
+    [by_kind_total] the cumulative counts that survive wrap-around).
+    Each [(name, json)] pair in [extra] is appended as a trailing
+    top-level section: [json] must already be valid JSON (e.g.
+    {!Pi_ovs.Provenance.summary_json}) and is emitted verbatim. *)
 
 val write_json_file :
-  ?scrape:Scrape.t -> ?tracer:Tracer.t -> path:string -> Metrics.t -> unit
+  ?scrape:Scrape.t -> ?tracer:Tracer.t -> ?extra:(string * string) list ->
+  path:string -> Metrics.t -> unit
 
 val pp_text :
   ?scrape:Scrape.t -> ?tracer:Tracer.t -> Format.formatter -> Metrics.t -> unit
-(** dpctl-flavoured human dump: [lookups: hit:… missed:…], mask totals,
-    then every counter, gauge, histogram summary, series and trace
-    tally. *)
+(** dpctl-flavoured human dump: [lookups: hit:… missed:…], the mask
+    line ([current:] is the live [n_masks] gauge when the producer
+    maintains one, [created-total:] the cumulative [mask_created]
+    counter), then every counter, gauge, histogram summary, series and
+    trace tally (cumulative, with retained counts in parentheses). *)
 
 val text_report : ?scrape:Scrape.t -> ?tracer:Tracer.t -> Metrics.t -> string

@@ -10,17 +10,34 @@ type kind =
 
 type event = { at : float; kind : kind }
 
+(* Dense per-kind index for the cumulative tallies ([n_kinds] slots). *)
+let kind_index = function
+  | Emc_hit -> 0
+  | Mf_hit _ -> 1
+  | Upcall _ -> 2
+  | Upcall_enqueued _ -> 3
+  | Upcall_dropped _ -> 4
+  | Mask_created _ -> 5
+  | Megaflow_evicted _ -> 6
+  | Revalidate _ -> 7
+
+let n_kinds = 8
+
 type t = {
   ring : event option array;
   mutable head : int;  (* next write slot *)
   mutable len : int;
   mutable dropped : int;
   mutable total : int;
+  totals : int array;
+      (* cumulative per-kind counts, indexed by [kind_index]: unlike a
+         walk of the ring, these survive wrap-around *)
 }
 
 let create ?(capacity = 4096) () =
   if capacity < 1 then invalid_arg "Tracer.create: capacity";
-  { ring = Array.make capacity None; head = 0; len = 0; dropped = 0; total = 0 }
+  { ring = Array.make capacity None; head = 0; len = 0; dropped = 0;
+    total = 0; totals = Array.make n_kinds 0 }
 
 let capacity t = Array.length t.ring
 
@@ -29,7 +46,9 @@ let record t ~at kind =
   if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
   t.ring.(t.head) <- Some { at; kind };
   t.head <- (t.head + 1) mod cap;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  let i = kind_index kind in
+  t.totals.(i) <- t.totals.(i) + 1
 
 let length t = t.len
 let dropped t = t.dropped
@@ -48,7 +67,8 @@ let clear t =
   t.head <- 0;
   t.len <- 0;
   t.dropped <- 0;
-  t.total <- 0
+  t.total <- 0;
+  Array.fill t.totals 0 n_kinds 0
 
 let kind_name = function
   | Emc_hit -> "emc_hit"
@@ -69,6 +89,21 @@ let counts_by_kind t =
     (to_list t);
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* [kind_index]-ordered exemplars, purely to name the slots. *)
+let kind_exemplars =
+  [| Emc_hit; Mf_hit { probes = 0 }; Upcall { slow_probes = 0 };
+     Upcall_enqueued { queued = 0 }; Upcall_dropped { queued = 0 };
+     Mask_created { n_masks = 0 }; Megaflow_evicted { count = 0 };
+     Revalidate { evicted = 0; n_masks = 0 } |]
+
+let total_by_kind t =
+  let acc = ref [] in
+  for i = n_kinds - 1 downto 0 do
+    if t.totals.(i) > 0 then
+      acc := (kind_name kind_exemplars.(i), t.totals.(i)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let pp_kind ppf = function
   | Emc_hit -> Format.pp_print_string ppf "emc_hit"

@@ -41,7 +41,15 @@ val to_list : t -> event list
 (** Retained events, oldest first. *)
 
 val counts_by_kind : t -> (string * int) list
-(** Tally of retained events per {!kind_name}, sorted by name. *)
+(** Tally of {e retained} events per {!kind_name}, sorted by name —
+    only what the ring still holds; once it wraps, overwritten events
+    are no longer counted here. Use {!total_by_kind} for lifetime
+    tallies. *)
+
+val total_by_kind : t -> (string * int) list
+(** Cumulative per-kind tally since creation/clear, sorted by name —
+    maintained in {!record}, so ring wrap-around never loses counts
+    (kinds never recorded are omitted). *)
 
 val clear : t -> unit
 

@@ -36,8 +36,11 @@ module type CASE = sig
 end
 
 module Conformance (C : CASE) = struct
-  let mk ?telemetry () =
-    let dp = Dataplane.create ?telemetry (C.backend ()) (Pi_pkt.Prng.create 7L) in
+  let mk ?telemetry ?provenance () =
+    let dp =
+      Dataplane.create ?telemetry ?provenance (C.backend ())
+        (Pi_pkt.Prng.create 7L)
+    in
     Dataplane.install_rules dp rules;
     dp
 
@@ -153,6 +156,76 @@ module Conformance (C : CASE) = struct
     Alcotest.(check bool) "ctx carries metrics" true
       (Pi_telemetry.Ctx.metrics (Dataplane.telemetry dp) <> None)
 
+  let drive dp =
+    Array.init 17 (fun i ->
+        let f = if i = 0 then trusted else covert (i - 1) in
+        fst (Dataplane.process dp ~now:(float_of_int i *. 0.01) f ~pkt_len:100))
+
+  let test_provenance_off_parity () =
+    (* Attaching a provenance registry must not change what the
+       dataplane does — same verdicts, same counters, same cycles. *)
+    let reg = Provenance.registry () in
+    Provenance.bind reg ~tenant:2 rules;
+    let plain = mk () and attributed = mk ~provenance:reg () in
+    let a = drive plain and b = drive attributed in
+    Array.iteri
+      (fun i action ->
+        Alcotest.(check action_t) (Printf.sprintf "action %d" i) action b.(i))
+      a;
+    let sp = Dataplane.stats plain and sa = Dataplane.stats attributed in
+    Alcotest.(check int) "packets" sp.Dataplane.packets sa.Dataplane.packets;
+    Alcotest.(check int) "upcalls" sp.Dataplane.upcalls sa.Dataplane.upcalls;
+    Alcotest.(check int) "masks" sp.Dataplane.masks sa.Dataplane.masks;
+    Alcotest.(check int) "megaflows" sp.Dataplane.megaflows sa.Dataplane.megaflows;
+    Alcotest.(check (float 1e-9)) "cycles" sp.Dataplane.cycles sa.Dataplane.cycles
+
+  let test_provenance_attribution () =
+    let reg = Provenance.registry () in
+    Provenance.bind reg ~tenant:2 rules;
+    let dp = mk ~provenance:reg () in
+    ignore (drive dp);
+    let summary = Dataplane.attribution dp in
+    if C.cached then begin
+      Alcotest.(check bool) "one store per shard" true
+        (List.length (Dataplane.provenance dp) = Dataplane.n_shards dp);
+      match summary.Provenance.rows with
+      | row :: _ ->
+        Alcotest.(check int) "upcalls attributed to the bound tenant" 2
+          row.Provenance.t_tenant;
+        Alcotest.(check bool) "masks attributed" true (row.Provenance.t_masks > 0);
+        Alcotest.(check bool) "offending rules recorded" true
+          (row.Provenance.t_rules <> [])
+      | [] -> Alcotest.fail "cached backend produced no attribution rows"
+    end
+    else begin
+      Alcotest.(check int) "no stores without caches" 0
+        (List.length (Dataplane.provenance dp));
+      Alcotest.(check bool) "empty summary" true (summary.Provenance.rows = [])
+    end
+
+  let test_introspection_hooks () =
+    let dp = mk () in
+    ignore (drive dp);
+    let n = Dataplane.n_shards dp in
+    let flows = ref 0 and stat_entries = ref 0 in
+    for s = 0 to n - 1 do
+      flows := !flows + List.length (Dataplane.shard_flows dp s);
+      List.iter
+        (fun ms -> stat_entries := !stat_entries + ms.Megaflow.ms_entries)
+        (Dataplane.shard_mask_stats dp s)
+    done;
+    let st = Dataplane.stats dp in
+    Alcotest.(check int) "shard_flows covers every megaflow"
+      st.Dataplane.megaflows !flows;
+    Alcotest.(check int) "mask stats cover every entry"
+      st.Dataplane.megaflows !stat_entries;
+    (match Dataplane.shard_flows dp n with
+     | exception Invalid_argument _ -> ()
+     | _ -> Alcotest.fail "shard_flows out of range must raise");
+    match Dataplane.shard_mask_stats dp n with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "shard_mask_stats out of range must raise"
+
   let suite =
     List.map
       (fun (name, f) -> Alcotest.test_case (C.label ^ ": " ^ name) `Quick f)
@@ -163,7 +236,10 @@ module Conformance (C : CASE) = struct
         ("mask monotonicity under attack", test_mask_monotone_under_attack);
         ("shard hooks", test_shard_hooks);
         ("service and reset", test_service_and_reset);
-        ("telemetry roundtrip", test_telemetry_roundtrip) ]
+        ("telemetry roundtrip", test_telemetry_roundtrip);
+        ("provenance off = on, minus the report", test_provenance_off_parity);
+        ("provenance attribution", test_provenance_attribution);
+        ("introspection hooks", test_introspection_hooks) ]
 end
 
 module Datapath_case = Conformance (struct

@@ -32,11 +32,11 @@ let deep_megaflow n flow =
   let mf = Megaflow.create () in
   for i = 1 to n - 1 do
     let key = Flow.make ~ip_src:0xFFFFFFFFl () in
-    ignore (Megaflow.insert mf ~key ~mask:(src_mask i) ~action:Action.Drop ~revision:0 ~now:0.)
+    ignore (Megaflow.insert mf ~key ~mask:(src_mask i) ~action:Action.Drop ~revision:0 ~now:0. ())
   done;
   ignore
     (Megaflow.insert mf ~key:flow ~mask:Mask.exact ~action:(Action.Output 1)
-       ~revision:0 ~now:0.);
+       ~revision:0 ~now:0. ());
   mf
 
 let test_hinted_lookup_o1 () =
@@ -117,9 +117,9 @@ let test_hinted_miss () =
 let test_resort_by_hits () =
   let mf = Megaflow.create () in
   let cold_key = Flow.make ~ip_src:0xFFFFFFFFl () in
-  ignore (Megaflow.insert mf ~key:cold_key ~mask:(src_mask 1) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:cold_key ~mask:(src_mask 1) ~action:Action.Drop ~revision:0 ~now:0. ());
   let hot = Flow.make ~ip_src:(ip "10.0.0.9") () in
-  ignore (Megaflow.insert mf ~key:hot ~mask:Mask.exact ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:hot ~mask:Mask.exact ~action:Action.Drop ~revision:0 ~now:0. ());
   (* Hot flow hits the second subtable repeatedly... *)
   for _ = 1 to 10 do
     ignore (Megaflow.lookup mf hot ~now:0. ~pkt_len:10)

@@ -13,7 +13,7 @@ let test_insert_lookup () =
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
   let _e =
     Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0
-      ~now:0.
+      ~now:0. ()
   in
   match Megaflow.lookup mf (Flow.make ~ip_src:(ip "10.9.9.9") ()) ~now:1. ~pkt_len:100 with
   | Some e, probes ->
@@ -27,7 +27,7 @@ let test_miss_probes_all_masks () =
   let mf = mk () in
   for i = 1 to 5 do
     let key = Flow.make ~ip_src:(Int32.shift_left 1l (32 - i)) () in
-    ignore (Megaflow.insert mf ~key ~mask:(src_mask i) ~action:Action.Drop ~revision:0 ~now:0.)
+    ignore (Megaflow.insert mf ~key ~mask:(src_mask i) ~action:Action.Drop ~revision:0 ~now:0. ())
   done;
   match Megaflow.lookup mf (Flow.make ~ip_src:0l ()) ~now:0. ~pkt_len:1 with
   | None, probes -> Alcotest.(check int) "probed all 5 masks" 5 probes
@@ -38,9 +38,9 @@ let test_scan_order_is_creation_order () =
   (* Broad mask first, narrower later; a flow matching both masked keys
      must hit the first-created. *)
   let k1 = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  ignore (Megaflow.insert mf ~key:k1 ~mask:(src_mask 8) ~action:(Action.Output 1) ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:k1 ~mask:(src_mask 8) ~action:(Action.Output 1) ~revision:0 ~now:0. ());
   let k2 = Flow.make ~ip_src:(ip "10.0.0.1") () in
-  ignore (Megaflow.insert mf ~key:k2 ~mask:(src_mask 32) ~action:(Action.Output 2) ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:k2 ~mask:(src_mask 32) ~action:(Action.Output 2) ~revision:0 ~now:0. ());
   match Megaflow.lookup mf (Flow.make ~ip_src:(ip "10.0.0.1") ()) ~now:0. ~pkt_len:1 with
   | Some e, probes ->
     Alcotest.(check action_t) "first mask wins" (Action.Output 1) e.Megaflow.action;
@@ -50,8 +50,8 @@ let test_scan_order_is_creation_order () =
 let test_replace_same_key () =
   let mf = mk () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
-  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:(Action.Output 3) ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:(Action.Output 3) ~revision:0 ~now:0. ());
   Alcotest.(check int) "still one entry" 1 (Megaflow.n_entries mf);
   match Megaflow.lookup mf key ~now:0. ~pkt_len:1 with
   | Some e, _ -> Alcotest.(check action_t) "replaced" (Action.Output 3) e.Megaflow.action
@@ -60,7 +60,7 @@ let test_replace_same_key () =
 let test_idle_expiry () =
   let mf = mk ~config:{ Megaflow.max_entries = 100; idle_timeout = 10. } () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
   Alcotest.(check int) "nothing expires early" 0 (Megaflow.revalidate mf ~now:5. ());
   Alcotest.(check int) "expires after timeout" 1 (Megaflow.revalidate mf ~now:20. ());
   Alcotest.(check int) "no entries" 0 (Megaflow.n_entries mf);
@@ -69,7 +69,7 @@ let test_idle_expiry () =
 let test_usage_refreshes_idle () =
   let mf = mk ~config:{ Megaflow.max_entries = 100; idle_timeout = 10. } () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
   ignore (Megaflow.lookup mf key ~now:8. ~pkt_len:1);
   Alcotest.(check int) "refreshed by traffic" 0 (Megaflow.revalidate mf ~now:15. ())
 
@@ -77,8 +77,8 @@ let test_revision_keep () =
   let mf = mk () in
   let k1 = Flow.make ~ip_src:(ip "10.0.0.0") () in
   let k2 = Flow.make ~ip_src:(ip "11.0.0.0") () in
-  ignore (Megaflow.insert mf ~key:k1 ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
-  ignore (Megaflow.insert mf ~key:k2 ~mask:(src_mask 8) ~action:Action.Drop ~revision:1 ~now:0.);
+  ignore (Megaflow.insert mf ~key:k1 ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
+  ignore (Megaflow.insert mf ~key:k2 ~mask:(src_mask 8) ~action:Action.Drop ~revision:1 ~now:0. ());
   let evicted =
     Megaflow.revalidate mf ~now:1. ~keep:(fun e -> e.Megaflow.revision = 1) ()
   in
@@ -88,7 +88,7 @@ let test_revision_keep () =
 let test_alive_flag () =
   let mf = mk () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  let e = Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. in
+  let e = Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. () in
   Alcotest.(check bool) "alive" true e.Megaflow.alive;
   ignore (Megaflow.revalidate mf ~now:100. ());
   Alcotest.(check bool) "dead after eviction" false e.Megaflow.alive
@@ -99,14 +99,14 @@ let test_flow_limit_eviction () =
     let key = Flow.make ~ip_src:(Int32.of_int i) () in
     ignore
       (Megaflow.insert mf ~key ~mask:(Mask.with_exact Mask.empty Field.Ip_src)
-         ~action:Action.Drop ~revision:0 ~now:(float_of_int i))
+         ~action:Action.Drop ~revision:0 ~now:(float_of_int i) ())
   done;
   Alcotest.(check bool) "bounded" true (Megaflow.n_entries mf <= 51)
 
 let test_flush () =
   let mf = mk () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  let e = Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. in
+  let e = Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. () in
   Megaflow.flush mf;
   Alcotest.(check int) "empty" 0 (Megaflow.n_entries mf);
   Alcotest.(check int) "no masks" 0 (Megaflow.n_masks mf);
@@ -115,7 +115,7 @@ let test_flush () =
 let test_counters () =
   let mf = mk () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
   ignore (Megaflow.lookup mf key ~now:0. ~pkt_len:1);
   ignore (Megaflow.lookup mf (Flow.make ~ip_src:(ip "99.0.0.1") ()) ~now:0. ~pkt_len:1);
   Alcotest.(check int) "hits" 1 (Megaflow.hits mf);
@@ -126,15 +126,15 @@ let test_counters () =
 
 let test_masks_listing () =
   let mf = mk () in
-  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
-  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 16) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 16) ~action:Action.Drop ~revision:0 ~now:0. ());
   Alcotest.(check (list mask_t)) "creation order" [ src_mask 8; src_mask 16 ]
     (Megaflow.masks mf)
 
 let test_pp_entry () =
   let mf = mk () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  let e = Megaflow.insert mf ~key ~mask:(src_mask 9) ~action:Action.Drop ~revision:0 ~now:0. in
+  let e = Megaflow.insert mf ~key ~mask:(src_mask 9) ~action:Action.Drop ~revision:0 ~now:0. () in
   ignore (Megaflow.lookup mf key ~now:4.2 ~pkt_len:100);
   let s = Format.asprintf "%a" (Megaflow.pp_entry ~now:6.7) e in
   Alcotest.(check bool) "prefix rendered" true
@@ -153,7 +153,7 @@ let test_pp_entry () =
 let test_pp_entry_never_used () =
   let mf = mk () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
-  let e = Megaflow.insert mf ~key ~mask:(src_mask 9) ~action:Action.Drop ~revision:0 ~now:3. in
+  let e = Megaflow.insert mf ~key ~mask:(src_mask 9) ~action:Action.Drop ~revision:0 ~now:3. () in
   let s = Format.asprintf "%a" (Megaflow.pp_entry ~now:9.) e in
   Alcotest.(check bool) "no traffic yet prints never" true
     (Astring_like.contains s "used:never")
@@ -162,7 +162,7 @@ let test_pp_entry_match_any () =
   let mf = mk () in
   let e =
     Megaflow.insert mf ~key:Flow.zero ~mask:Mask.empty ~action:(Action.Output 3)
-      ~revision:0 ~now:0.
+      ~revision:0 ~now:0. ()
   in
   let s = Format.asprintf "%a" (Megaflow.pp_entry ~now:0.) e in
   Alcotest.(check bool) "wildcard-all rendered" true
@@ -174,7 +174,7 @@ let test_dump_limit () =
     ignore
       (Megaflow.insert mf ~key:(Flow.make ~ip_src:(Int32.of_int i) ())
          ~mask:(Mask.with_exact Mask.empty Field.Ip_src) ~action:Action.Drop
-         ~revision:0 ~now:0.)
+         ~revision:0 ~now:0. ())
   done;
   let s = Format.asprintf "%a" (fun ppf () -> Megaflow.dump ~max:3 ~now:0. ppf mf) () in
   let lines = String.split_on_char '\n' s in
@@ -183,7 +183,7 @@ let test_dump_limit () =
 
 let test_has_mask () =
   let mf = mk () in
-  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
   Alcotest.(check bool) "present" true (Megaflow.has_mask mf (src_mask 8));
   Alcotest.(check bool) "absent" false (Megaflow.has_mask mf (src_mask 9));
   ignore (Megaflow.revalidate mf ~now:100. ());
@@ -193,8 +193,8 @@ let test_generation_tracks_reorders () =
   let mf = mk () in
   let g0 = Megaflow.generation mf in
   (* Appends keep existing subtable indices valid: no bump. *)
-  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0.);
-  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 16) ~action:Action.Drop ~revision:0 ~now:0.);
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
+  ignore (Megaflow.insert mf ~key:(Flow.make ~ip_src:(ip "10.0.0.0") ()) ~mask:(src_mask 16) ~action:Action.Drop ~revision:0 ~now:0. ());
   Alcotest.(check int) "append keeps generation" g0 (Megaflow.generation mf);
   (* Reordering the subtable array invalidates recorded indices. *)
   Megaflow.resort_by_hits mf;

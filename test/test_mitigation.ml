@@ -188,15 +188,15 @@ let test_cacheless_dtree_remove_recompiles () =
 let test_detector_mask_threshold () =
   let d = Detector.create ~mask_threshold:100 () in
   Alcotest.(check bool) "quiet below" true
-    (Detector.observe d ~now:1. ~n_masks:50 ~avg_probes:2. = None);
+    (Detector.observe d ~now:1. ~n_masks:50 ~avg_probes:2. () = None);
   Alcotest.(check bool) "alarms above" true
-    (Detector.observe d ~now:2. ~n_masks:150 ~avg_probes:2. <> None);
+    (Detector.observe d ~now:2. ~n_masks:150 ~avg_probes:2. () <> None);
   Alcotest.(check bool) "triggered" true (Detector.triggered d)
 
 let test_detector_burst () =
   let d = Detector.create ~mask_threshold:10_000 ~growth_threshold:64 () in
-  ignore (Detector.observe d ~now:1. ~n_masks:10 ~avg_probes:2.);
-  match Detector.observe d ~now:2. ~n_masks:500 ~avg_probes:2. with
+  ignore (Detector.observe d ~now:1. ~n_masks:10 ~avg_probes:2. ());
+  match Detector.observe d ~now:2. ~n_masks:500 ~avg_probes:2. () with
   | Some a -> Alcotest.(check bool) "burst reason" true
                 (String.length a.Detector.reason > 0)
   | None -> Alcotest.fail "burst not detected"
@@ -204,7 +204,7 @@ let test_detector_burst () =
 let test_detector_probes () =
   let d = Detector.create ~mask_threshold:10_000 ~growth_threshold:10_000 ~probes_threshold:32. () in
   Alcotest.(check bool) "probes alarm" true
-    (Detector.observe d ~now:1. ~n_masks:10 ~avg_probes:100. <> None)
+    (Detector.observe d ~now:1. ~n_masks:10 ~avg_probes:100. () <> None)
 
 let test_detector_suspect_masks () =
   (* Drive a real attack, then ask the detector who did it. *)

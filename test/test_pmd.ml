@@ -196,8 +196,8 @@ let test_invalid_config () =
 let test_per_shard_metrics () =
   let metrics = Pi_telemetry.Metrics.create () in
   let pmd =
-    Pmd.create ~config:{ Pmd.default_config with Pmd.n_shards = 2 } ~metrics
-      (Prng.create 1L) ()
+    Pmd.create ~config:{ Pmd.default_config with Pmd.n_shards = 2 }
+      ~telemetry:(Pi_telemetry.Ctx.v ~metrics ()) (Prng.create 1L) ()
   in
   Pmd.install_rules pmd rules;
   ignore (Pmd.process_batch pmd ~now:0. (flow_stream ~seed:5L 100));

@@ -118,6 +118,81 @@ let test_mitigated_scenario () =
     true
     (r.Scenario.post_attack_mean_gbps > 0.8 *. r.Scenario.pre_attack_mean_gbps)
 
+let test_attribution_names_the_attacker () =
+  (* Fig. 3 with provenance on: attacker pod (tenant 3) plus the victim
+     and 8 background tenants all share the host — attribution must rank
+     the attacker #1 by induced masks, and a detector alarm fed the top
+     suspect must carry its port and offending rules. *)
+  let p =
+    { (small_params ~attack:(small_attack Variant.Src_dport) ()) with
+      Scenario.provenance = true }
+  in
+  let r = Scenario.run p in
+  let summary =
+    match r.Scenario.attribution with
+    | Some s -> s
+    | None -> Alcotest.fail "provenance on but no attribution report"
+  in
+  let suspect =
+    match Pi_ovs.Provenance.top_suspect summary with
+    | Some row -> row
+    | None -> Alcotest.fail "no suspect under an active attack"
+  in
+  Alcotest.(check int) "attacker tenant ranked #1" 3
+    suspect.Pi_ovs.Provenance.t_tenant;
+  (match summary.Pi_ovs.Provenance.rows with
+   | _ :: runner_up :: _ ->
+     Alcotest.(check bool) "attacker dominates the mask count" true
+       (suspect.Pi_ovs.Provenance.t_masks
+        > 10 * max 1 runner_up.Pi_ovs.Provenance.t_masks)
+   | _ -> Alcotest.fail "benign tenants missing from the report");
+  Alcotest.(check (list Alcotest.int)) "covert stream entered on the uplink"
+    [ 1 ] suspect.Pi_ovs.Provenance.t_ports;
+  Alcotest.(check bool) "offending ACL rule ids recorded" true
+    (suspect.Pi_ovs.Provenance.t_rules <> []);
+  let det = Pi_mitigation.Detector.create () in
+  let alarm =
+    match
+      Pi_mitigation.Detector.observe det ~now:p.Scenario.duration ~suspect
+        ~n_masks:r.Scenario.peak_masks ~avg_probes:1. ()
+    with
+    | Some a -> a
+    | None -> Alcotest.fail "peak mask count must raise an alarm"
+  in
+  match alarm.Pi_mitigation.Detector.suspect with
+  | Some s ->
+    Alcotest.(check int) "alarm names the tenant" 3 s.Pi_ovs.Provenance.t_tenant;
+    Alcotest.(check (list Alcotest.int)) "alarm carries the port ids" [ 1 ]
+      s.Pi_ovs.Provenance.t_ports;
+    Alcotest.(check bool) "alarm carries the rule ids" true
+      (List.for_all
+         (fun (rs : Pi_ovs.Provenance.rule_share) ->
+           rs.Pi_ovs.Provenance.r_rule >= 0)
+         s.Pi_ovs.Provenance.t_rules
+       && s.Pi_ovs.Provenance.t_rules <> [])
+  | None -> Alcotest.fail "alarm lost its suspect"
+
+let test_provenance_parity () =
+  (* Turning provenance on must not move a single sample: same masks,
+     same throughput, same final stats. *)
+  let p = small_params ~attack:(small_attack Variant.Src_only) () in
+  let off = Scenario.run p
+  and on = Scenario.run { p with Scenario.provenance = true } in
+  List.iter2
+    (fun (x : Scenario.sample) (y : Scenario.sample) ->
+      if x.Scenario.victim_gbps <> y.Scenario.victim_gbps
+         || x.Scenario.n_masks <> y.Scenario.n_masks
+         || x.Scenario.n_megaflows <> y.Scenario.n_megaflows
+         || x.Scenario.victim_cycles_per_pkt <> y.Scenario.victim_cycles_per_pkt
+      then Alcotest.failf "provenance changed t=%.1f" x.Scenario.time)
+    off.Scenario.samples on.Scenario.samples;
+  Alcotest.(check int) "same final upcalls"
+    off.Scenario.final_stats.Pi_ovs.Dataplane.upcalls
+    on.Scenario.final_stats.Pi_ovs.Dataplane.upcalls;
+  Alcotest.(check (float 1e-9)) "same final cycles"
+    off.Scenario.final_stats.Pi_ovs.Dataplane.cycles
+    on.Scenario.final_stats.Pi_ovs.Dataplane.cycles
+
 let test_deterministic () =
   let p = small_params ~attack:(small_attack Variant.Src_only) () in
   let a = Scenario.run p and b = Scenario.run p in
@@ -136,4 +211,7 @@ let suite =
     Alcotest.test_case "full attack collapses victim" `Slow test_full_attack_collapses;
     Alcotest.test_case "masks decay after attack stops" `Slow test_attack_stop_recovers_masks;
     Alcotest.test_case "coarsening mitigation holds" `Slow test_mitigated_scenario;
+    Alcotest.test_case "attribution names the attacker" `Slow
+      test_attribution_names_the_attacker;
+    Alcotest.test_case "provenance on/off parity" `Slow test_provenance_parity;
     Alcotest.test_case "deterministic given the seed" `Slow test_deterministic ]

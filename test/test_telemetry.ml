@@ -184,7 +184,8 @@ let test_json_shape () =
 let mk_dp ?metrics ?tracer () =
   let open Pi_ovs in
   let config = { Datapath.default_config with Datapath.emc_insert_inv_prob = 1 } in
-  let dp = Datapath.create ~config ?metrics ?tracer (Pi_pkt.Prng.create 3L) () in
+  let telemetry = Pi_telemetry.Ctx.v ?metrics ?tracer () in
+  let dp = Datapath.create ~config ~telemetry (Pi_pkt.Prng.create 3L) () in
   Datapath.install_rules dp
     [ Pi_classifier.Rule.make ~priority:100
         ~pattern:
