@@ -7,7 +7,8 @@
      pcap     export one covert round as a .pcap file
      detect   run the attack under the provider-side detector
      dpctl    ovs-appctl-style introspection of a live dataplane
-     attack   run the Fig. 3 end-to-end scenario *)
+     attack   run the Fig. 3 end-to-end scenario
+     run      interpret a .pis scenario file *)
 
 open Cmdliner
 open Policy_injection
@@ -32,15 +33,28 @@ let variant_arg =
            ~doc:"Attack variant: src-only (32 masks), src-dport (512), \
                  src-sport-dport (8192, needs Calico).")
 
+(* A malformed --allow-src is a usage error, not a raised exception. *)
+let ipv4_conv =
+  let parse s =
+    match Pi_pkt.Ipv4_addr.of_string_opt s with
+    | Some a -> Ok a
+    | None ->
+      Error (`Msg (Printf.sprintf
+                     "invalid IPv4 address %S (expected dotted quad, e.g. \
+                      10.0.0.10)" s))
+  in
+  Arg.conv
+    (parse, fun ppf a -> Format.pp_print_string ppf (Pi_pkt.Ipv4_addr.to_string a))
+
 let allow_src_arg =
-  Arg.(value & opt string "10.0.0.10"
+  Arg.(value & opt ipv4_conv (ip "10.0.0.10")
        & info [ "allow-src" ] ~docv:"IP" ~doc:"Whitelisted source address.")
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
 
 let spec_of variant allow_src =
-  Policy_gen.default_spec ~variant ~allow_src:(ip allow_src) ()
+  Policy_gen.default_spec ~variant ~allow_src ()
 
 (* --- expand --- *)
 
@@ -253,7 +267,7 @@ let dpctl_dataplane variant allow_src seed backend shards =
       ignore (Pi_ovs.Dataplane.process dp ~now:0. f ~pkt_len:100))
     (Packet_gen.flows ~seed:(Int64.of_int seed) gen);
   let trusted =
-    Pi_classifier.Flow.make ~in_port:1 ~ip_src:(ip allow_src)
+    Pi_classifier.Flow.make ~in_port:1 ~ip_src:allow_src
       ~ip_dst:(ip "10.1.0.3") ~ip_proto:Pi_pkt.Ipv4.proto_tcp ~tp_src:40000
       ~tp_dst:443 ()
   in
@@ -480,16 +494,20 @@ let attack variant duration start offered every coarse shards batch backend
   | _ -> ()
 
 let attack_cmd =
+  (* Flag defaults come from the scenario's own defaults, so the CLI and
+     the library cannot drift apart. *)
+  let dp = Pi_sim.Scenario.default_params in
+  let da = Pi_sim.Scenario.default_attack in
   let duration =
-    Arg.(value & opt float 150.
+    Arg.(value & opt float dp.Pi_sim.Scenario.duration
          & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
   in
   let start =
-    Arg.(value & opt float 60.
+    Arg.(value & opt float da.Pi_sim.Scenario.start
          & info [ "start" ] ~docv:"SECONDS" ~doc:"Attack start time.")
   in
   let offered =
-    Arg.(value & opt float 1.0
+    Arg.(value & opt float dp.Pi_sim.Scenario.victim_offered_gbps
          & info [ "offered" ] ~docv:"GBPS" ~doc:"Victim offered load.")
   in
   let every =
@@ -500,14 +518,14 @@ let attack_cmd =
     Arg.(value & flag & info [ "mitigate" ] ~doc:"Enable the coarsened un-wildcarding mitigation.")
   in
   let shards =
-    Arg.(value & opt int 1
+    Arg.(value & opt int dp.Pi_sim.Scenario.n_shards
          & info [ "shards" ] ~docv:"N"
              ~doc:"PMD threads (one core each); covert and victim flows are \
                    RSS-steered across them. 1 reproduces the single-datapath \
                    model exactly.")
   in
   let batch =
-    Arg.(value & opt int 32
+    Arg.(value & opt int dp.Pi_sim.Scenario.batch_size
          & info [ "batch" ] ~docv:"B" ~doc:"Rx burst size per PMD (OVS: 32).")
   in
   let backend =
@@ -551,10 +569,69 @@ let attack_cmd =
     Term.(const attack $ variant_arg $ duration $ start $ offered $ every $ coarse
           $ shards $ batch $ backend $ upcall_queue $ attribution $ csv $ json)
 
+(* --- run --- *)
+
+let run_pis file json check pretty =
+  match Pi_dsl.Parser.parse_file file with
+  | Error d ->
+    Format.eprintf "%a@." Pi_dsl.Diag.pp d;
+    exit 2
+  | Ok prog ->
+    match Pi_dsl.Validate.check prog with
+    | Error ds ->
+      Format.eprintf "%a@." Pi_dsl.Diag.pp_list ds;
+      exit 2
+    | Ok v ->
+      if pretty then print_string (Pi_dsl.Pretty.to_string prog)
+      else if check then
+        Printf.printf "%s: ok (%d run%s)\n" file
+          (List.length v.Pi_dsl.Validate.runs)
+          (if List.length v.Pi_dsl.Validate.runs = 1 then "" else "s")
+      else begin
+        let oc = Pi_dsl.Interp.run v in
+        if json then print_string (Pi_dsl.Interp.json oc)
+        else Format.printf "%a" Pi_dsl.Interp.pp_text oc;
+        if not (Pi_dsl.Interp.passed oc) then exit 1
+      end
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE.pis" ~doc:"Scenario file to interpret.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the machine-readable report (stable key order and \
+                   float formatting — suitable for golden tests) instead of \
+                   the text summary.")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Parse and validate only; do not run the scenario.")
+  in
+  let pretty =
+    Arg.(value & flag
+         & info [ "pretty" ]
+             ~doc:"Print the canonical formatting of the (validated) file \
+                   and exit.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Interpret a .pis scenario file: lower it onto the simulator, \
+             run every run block and evaluate its assertions. Exits 1 on a \
+             failed assertion, 2 on parse or validation diagnostics."
+       ~man:
+         [ `S Manpage.s_examples;
+           `P "ovsdos run examples/fig3.pis";
+           `P "ovsdos run --json examples/fig3.pis > fig3.json" ])
+    Term.(const run_pis $ file $ json $ check $ pretty)
+
 let main_cmd =
   let doc = "policy injection: a cloud dataplane DoS attack (SIGCOMM'18 reproduction)" in
   Cmd.group (Cmd.info "ovsdos" ~version:"1.0.0" ~doc)
     [ expand_cmd; predict_cmd; masks_cmd; dump_cmd; pcap_cmd; dpctl_cmd;
-      detect_cmd; attack_cmd ]
+      detect_cmd; attack_cmd; run_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,12 @@
+type t = { at : Loc.t; msg : string }
+
+let v at msg = { at; msg }
+
+let f at fmt = Printf.ksprintf (fun msg -> { at; msg }) fmt
+
+let to_string t = Printf.sprintf "%s: %s" (Loc.to_string t.at) t.msg
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let pp_list ppf ds =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf ds

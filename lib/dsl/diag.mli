@@ -1,0 +1,21 @@
+(** Diagnostics: located error messages, reported as values.
+
+    Nothing in the DSL front end raises on user input — lexing, parsing
+    and validation all return [Diag.t]s ([result]-typed APIs), each
+    rendering as the conventional [file:line:col: message] line. *)
+
+type t = { at : Loc.t; msg : string }
+
+val v : Loc.t -> string -> t
+
+val f : Loc.t -> ('a, unit, string, t) format4 -> 'a
+(** [f at fmt ...] builds a diagnostic with a formatted message. *)
+
+val to_string : t -> string
+(** ["file:line:col: message"] — the exact strings the diagnostics
+    tests pin. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_list : Format.formatter -> t list -> unit
+(** One diagnostic per line. *)

@@ -1,0 +1,35 @@
+(** Hand-written lexer for [.pis] files.
+
+    Keywords are contextual — everything word-shaped is an {!Ident} and
+    the parser decides what it means — so tenant or policy names may
+    freely reuse words like [allow] or [tenant]. Numeric literals are
+    classified by shape: [42] and [0x2a] are integers, [1.5] and [2e9]
+    floats, [10.0.0.1] an address and [10.0.0.0/8] a CIDR prefix, with
+    octet, prefix-length and host-bit violations reported as located
+    diagnostics right here. [#] comments run to end of line. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Addr of Pi_pkt.Ipv4_addr.t
+  | Cidr of Pi_pkt.Ipv4_addr.Prefix.t
+  | Lbrace
+  | Rbrace
+  | Dotdot   (** [..] — port ranges *)
+  | Cmp_le
+  | Cmp_ge
+  | Cmp_lt
+  | Cmp_gt
+  | Cmp_eq   (** [==] *)
+  | Eof
+
+type t = { tok : token; at : Loc.t }
+
+val tokenize : file:string -> string -> (t array, Diag.t) result
+(** Lex a whole source buffer. The final element is always {!Eof}
+    (carrying the end-of-input position), so parsers may peek without
+    bounds checks. Returns the first lexical error as a diagnostic. *)
+
+val pp_token : Format.formatter -> token -> unit
+(** For "expected ..., got ..." parser messages. *)

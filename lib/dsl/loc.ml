@@ -1,0 +1,9 @@
+type t = { file : string; line : int; col : int }
+
+let v ~file ~line ~col = { file; line; col }
+
+let dummy = { file = "<none>"; line = 0; col = 0 }
+
+let to_string t = Printf.sprintf "%s:%d:%d" t.file t.line t.col
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

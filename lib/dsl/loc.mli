@@ -1,0 +1,23 @@
+(** Source positions for [.pis] scenario files.
+
+    Every token the lexer produces, and every node diagnostics may point
+    at, carries one of these. Lines and columns are 1-based, the way
+    editors (and the [file:line:col] convention) count. *)
+
+type t = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 1-based *)
+}
+
+val v : file:string -> line:int -> col:int -> t
+
+val dummy : t
+(** [<none>:0:0] — for programmatically built ASTs (generators, tests).
+    Structural AST equality ignores locations, so dummy-located trees
+    compare equal to parsed ones. *)
+
+val to_string : t -> string
+(** ["file:line:col"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+(** Recursive-descent parser for [.pis] programs.
+
+    Produces the typed {!Ast.program} with source locations, or the
+    first syntax error as a {!Diag.t} — never an exception. Duplicate
+    fields within a block ([duration] twice, two [dialect] lines, ...)
+    are syntax errors here; name resolution, range checking and
+    cross-block consistency live in {!Validate}. *)
+
+val parse : file:string -> string -> (Ast.program, Diag.t) result
+(** [parse ~file src] parses the buffer [src], reporting diagnostics
+    against [file]. *)
+
+val parse_file : string -> (Ast.program, Diag.t) result
+(** Reads and parses a [.pis] file; I/O failures (missing file,
+    permission) are reported as a diagnostic at [file:0:0]. *)

@@ -1,0 +1,85 @@
+(** Semantic analysis of parsed [.pis] programs.
+
+    [check] resolves names (tenants, policies, runs, assert metrics),
+    enforces ranges and the engine's pinned topology (uplink port 1,
+    victim pod port 2, attacker pod port 3 — see {!Pi_sim.Scenario}),
+    derives the attack {!Policy_injection.Variant.t} from the shape of
+    the injected policy's clauses, and checks the CMS dialect can
+    express that shape (a [sport] clause under [k8s] or
+    [security_group] is an error — the paper's point). All problems are
+    collected and returned together as {!Diag.t} values, never raised.
+
+    The result is the fully-resolved scenario model {!t} that {!Interp}
+    lowers onto {!Pi_sim.Scenario} — every field defaulted from
+    [Scenario.default_params]/[default_attack] when the program leaves
+    it unset, so a [.pis] file and the OCaml API agree on defaults by
+    construction. *)
+
+(** A resolved assertion. *)
+type metric =
+  | Peak_masks
+  | Final_masks
+  | Final_megaflows
+  | Pre_gbps
+  | Post_gbps
+  | Upcalls
+  | Upcall_drops
+  | Packets
+
+val metric_name : metric -> string
+val metric_names : string list
+(** Valid [assert] metric names, in declaration order. *)
+
+type check = {
+  c_metric : metric;
+  c_cmp : Ast.cmp;
+  c_value : float;
+  c_at : Loc.t;  (** for failure messages *)
+}
+
+(** One [run] block, resolved. *)
+type run_cfg = {
+  rc_name : string;
+  rc_backend : Ast.backend;
+  rc_shards : int;
+  rc_batch : int;
+  rc_upcall_queue : int option;  (** [Some n] = bounded queue, depth [n] *)
+  rc_mask_limit : int option;
+  rc_coarsen : int option;       (** round-up-prefix granularity, bits *)
+  rc_emc : bool;
+  rc_checks : check list;
+}
+
+(** The injected policy, resolved to engine terms. *)
+type attack_cfg = {
+  ac_variant : Policy_injection.Variant.t;
+  ac_trusted_src : Pi_pkt.Ipv4_addr.t;
+  ac_sport : int;
+  ac_dport : int;
+  ac_proto : Pi_cms.Acl.protocol;
+  ac_start : float;
+  ac_stop : float option;
+  ac_refresh : float;
+  ac_pkt_len : int;
+  ac_exact_per_tick : int;
+}
+
+type t = {
+  scenario : string;
+  seed : int64;
+  duration : float;
+  tick : float;
+  offered_gbps : float;
+  victim_pkt_len : int;
+  victim_flows : int;
+  victim_churn : float;
+  victim_samples_per_tick : int;
+  victim_allowed_net : Pi_pkt.Ipv4_addr.Prefix.t;
+  background_services : int;
+  attack : attack_cfg option;
+  runs : run_cfg list;  (** in source order; never empty *)
+}
+
+val check : Ast.program -> (t, Diag.t list) result
+(** All diagnostics are collected — a program with five mistakes gets
+    five [file:line:col] messages, not just the first. *)

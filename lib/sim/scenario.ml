@@ -7,6 +7,9 @@ type attack = {
   start : float;
   stop : float option;
   trusted_src : Ipv4_addr.t;
+  allow_sport : int;
+  allow_dport : int;
+  proto : Pi_cms.Acl.protocol;
   covert_pkt_len : int;
   refresh_period : float;
   attacker_exact_per_tick : int;
@@ -17,6 +20,9 @@ let default_attack =
     start = 60.;
     stop = None;
     trusted_src = Ipv4_addr.of_string "10.0.0.10";
+    allow_sport = 53;
+    allow_dport = 80;
+    proto = Pi_cms.Acl.Udp;
     covert_pkt_len = 100;
     refresh_period = 5.;
     attacker_exact_per_tick = 64 }
@@ -219,8 +225,12 @@ let run p =
   let attack_state = ref None in
   let arm_attack (a : attack) now =
     let spec =
-      Policy_injection.Policy_gen.default_spec ~variant:a.variant
-        ~allow_src:a.trusted_src ()
+      { (Policy_injection.Policy_gen.default_spec ~variant:a.variant
+           ~allow_src:a.trusted_src ())
+        with
+        Policy_injection.Policy_gen.allow_sport = a.allow_sport;
+        allow_dport = a.allow_dport;
+        proto = a.proto }
     in
     let acl = Policy_injection.Policy_gen.acl spec in
     Dataplane.install_rules dp

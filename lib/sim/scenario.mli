@@ -26,6 +26,10 @@ type attack = {
   start : float;
   stop : float option;        (** [None] = runs to the end *)
   trusted_src : Pi_pkt.Ipv4_addr.t;  (** the whitelisted source *)
+  allow_sport : int;  (** whitelisted L4 source port ([Src_sport_dport]) *)
+  allow_dport : int;  (** whitelisted L4 destination port *)
+  proto : Pi_cms.Acl.protocol;
+      (** protocol the malicious whitelist pins ([Tcp] or [Udp]) *)
   covert_pkt_len : int;
   refresh_period : float;
   attacker_exact_per_tick : int;
