@@ -827,6 +827,40 @@ let run_hotpath () =
         (n, r))
       mask_counts
   in
+  (* 5. Sharded batch fast path: RSS steering into the per-shard scratch
+     plus an EMC hit per packet. The steering scratch is preallocated
+     int arrays (not a cons cell per packet), so the per-packet budget
+     here is the EMC hit plus the result array — independent of batch
+     size and shard count. *)
+  let pmd_batch =
+    let config =
+      { Pi_ovs.Pmd.default_config with
+        Pi_ovs.Pmd.n_shards = 4;
+        parallel = false }
+    in
+    let pmd = Pi_ovs.Pmd.create ~config (Pi_pkt.Prng.create 7L) () in
+    let rng = Pi_pkt.Prng.create 9L in
+    let batch =
+      Array.init 256 (fun _ ->
+          (Flow.make ~ip_src:(Pi_pkt.Prng.int32 rng) ~ip_proto:17
+             ~tp_src:(Pi_pkt.Prng.int rng 65536)
+             ~tp_dst:(Pi_pkt.Prng.int rng 65536) (),
+           100))
+    in
+    (* warm: first pass installs the (tiny) megaflow set and fills the
+       EMCs; afterwards every packet is an EMC hit on its shard *)
+    ignore (Pi_ovs.Pmd.process_batch pmd ~now:0. batch);
+    ignore (Pi_ovs.Pmd.process_batch pmd ~now:0. batch);
+    let r =
+      hot_measure ~iters:5_000 (fun () ->
+          ignore (Pi_ovs.Pmd.process_batch pmd ~now:0. batch))
+    in
+    let per v = v /. float_of_int (Array.length batch) in
+    { hr_ns_per_pkt = per r.hr_ns_per_pkt;
+      hr_cycles_per_pkt = per r.hr_cycles_per_pkt;
+      hr_minor_words_per_pkt = per r.hr_minor_words_per_pkt }
+  in
+  print_row "pmd-batch" None pmd_batch;
   (match List.assoc_opt 8192 tss_walk with
    | Some r ->
      Printf.printf
@@ -844,6 +878,7 @@ let run_hotpath () =
   add_obj buf
     [ ("emc_hit", fun b -> add_obj b (row_fields emc_hit));
       ("mf_hit_hinted", indexed mf_hit_hinted);
+      ("pmd_batch", fun b -> add_obj b (row_fields pmd_batch));
       ("tss_walk", indexed tss_walk);
       ("upcall", indexed upcall) ];
   let path = "BENCH_hotpath.json" in
@@ -864,6 +899,218 @@ let run_hotpath () =
      else Printf.printf "  zero-alloc EMC-hit assertion: OK\n")
 
 (* ------------------------------------------------------------------ *)
+(* wallclock: real pkts/sec of the two PMD execution engines            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every experiment above reports the *model's* cycle accounting; this
+   one measures wall-clock packet rates of the execution engines on the
+   host CPU (bechamel's monotonic clock, CLOCK_MONOTONIC ns):
+
+     det-parallel    deterministic mode, one throwaway domain per shard
+                     per rx round (the historical engine)
+     pipe-sync       pipeline mode, persistent worker domains behind
+                     SPSC rings, synchronous upcalls (DESIGN.md §14)
+     pipe-deferred   pipeline mode with a bounded upcall queue and the
+                     dedicated handler domain
+
+   on 1/2/4/8 shards under two warmed-up loads: a benign EMC-friendly
+   victim workload, and the Fig. 3-style covert stream scanning the
+   injected mask set (EMC off, so every packet pays the TSS walk).
+   Both engines compute bit-identical results on the synchronous
+   configurations — this experiment exists to price the engines, not
+   the attack. Rows land in BENCH_wallclock.json (stable sorted keys).
+
+   Env knobs: PI_BENCH_QUICK=1 (reduced rounds, CI smoke). *)
+
+type wc_row = { wc_pkts : int; wc_ns : float; wc_masks : int }
+
+let wc_mpps r = float_of_int r.wc_pkts /. (r.wc_ns /. 1e9) /. 1e6
+let wc_ns_per_pkt r = r.wc_ns /. float_of_int r.wc_pkts
+
+let wallclock_shards = [ 1; 2; 4; 8 ]
+
+(* rx rounds of 256 packets, mirroring the scenario driver's tick *)
+let wallclock_chop pool =
+  let n = Array.length pool and batch = 256 in
+  Array.init ((n + batch - 1) / batch) (fun i ->
+      Array.sub pool (i * batch) (min batch (n - i * batch)))
+
+let wallclock_measure ~rounds ~config ~rules pool =
+  let pmd = Pi_ovs.Pmd.create ~config (Pi_pkt.Prng.create 11L) () in
+  Fun.protect ~finally:(fun () -> Pi_ovs.Pmd.close pmd) @@ fun () ->
+  Pi_ovs.Pmd.install_rules pmd rules;
+  let batches = wallclock_chop pool in
+  let pass () =
+    Array.iter
+      (fun b -> ignore (Pi_ovs.Pmd.process_batch pmd ~now:0. b))
+      batches
+  in
+  (* Warm up: the first pass resolves every miss (megaflow installs),
+     the second settles the EMCs, so the timed window is steady-state. *)
+  pass ();
+  ignore (Pi_ovs.Pmd.service_upcalls pmd ~now:0.);
+  pass ();
+  ignore (Pi_ovs.Pmd.service_upcalls pmd ~now:0.);
+  let t0 = Monotonic_clock.now () in
+  for _ = 1 to rounds do pass () done;
+  ignore (Pi_ovs.Pmd.service_upcalls pmd ~now:0.);
+  let t1 = Monotonic_clock.now () in
+  { wc_pkts = rounds * Array.length pool;
+    wc_ns = Int64.to_float (Int64.sub t1 t0);
+    wc_masks = Pi_ovs.Pmd.n_masks pmd }
+
+let run_wallclock () =
+  section
+    "wallclock — real pkts/sec: persistent pipeline domains vs\n\
+    \  spawn-per-batch deterministic parallelism (monotonic clock)";
+  let quick = hot_quick () in
+  (* benign: 4096 distinct victim-like flows, tiny whitelist, EMC on —
+     after warm-up every packet is an EMC hit on its shard *)
+  let pfx = Pi_pkt.Ipv4_addr.Prefix.of_string in
+  let benign_rules =
+    Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 1)
+      (Pi_cms.Acl.whitelist [ Pi_cms.Acl.entry ~src:(pfx "10.0.0.0/8") () ])
+  in
+  let benign_pool =
+    let rng = Pi_pkt.Prng.create 3L in
+    Array.init 4096 (fun _ ->
+        (Pi_classifier.Flow.make ~ip_src:(Pi_pkt.Prng.int32 rng)
+           ~ip_dst:0x0A010003l ~ip_proto:6
+           ~tp_src:(Pi_pkt.Prng.int rng 65536) ~tp_dst:443 (),
+         1500))
+  in
+  (* attack: the covert stream of the src+dport variant (512 masks),
+     EMC off — every packet walks its shard's injected mask set *)
+  let spec =
+    Policy_gen.default_spec ~variant:Variant.Src_dport
+      ~allow_src:(ip "10.0.0.10") ()
+  in
+  let attack_rules =
+    Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2) (Policy_gen.acl spec)
+  in
+  let attack_pool =
+    Array.of_list
+      (List.map
+         (fun f -> (f, 100))
+         (Packet_gen.flows (Packet_gen.make ~spec ~dst:(ip "10.1.0.3") ())))
+  in
+  let emc_off =
+    { Pi_ovs.Datapath.default_config with Pi_ovs.Datapath.emc_enabled = false }
+  in
+  let loads =
+    [ ("benign", benign_rules, benign_pool, Pi_ovs.Datapath.default_config,
+       if quick then 3 else 30);
+      ("attack", attack_rules, attack_pool, emc_off, if quick then 2 else 15) ]
+  in
+  let modes dp =
+    [ ("det-parallel", Pi_ovs.Pmd.Deterministic, dp);
+      ("pipe-sync", Pi_ovs.Pmd.Pipeline, dp);
+      ("pipe-deferred", Pi_ovs.Pmd.Pipeline,
+       { dp with Pi_ovs.Datapath.upcall_queue = Pi_ovs.Upcall_queue.bounded 65536 }) ]
+  in
+  (* rows: (mode, load, shards) -> wc_row, computed load-major so the
+     table prints as it is measured *)
+  let results = ref [] in
+  List.iter
+    (fun (load, rules, pool, dp, rounds) ->
+      Printf.printf "  %s load (%d flows, %d rounds):\n\n" load
+        (Array.length pool) rounds;
+      Printf.printf "    %-8s %14s %14s %14s %10s\n" "shards" "det[Mpps]"
+        "sync[Mpps]" "defer[Mpps]" "sync/det";
+      List.iter
+        (fun n_shards ->
+          let per_mode =
+            List.map
+              (fun (mode_name, mode, dp) ->
+                let config =
+                  { Pi_ovs.Pmd.default_config with
+                    Pi_ovs.Pmd.n_shards;
+                    parallel = true;
+                    mode;
+                    dp }
+                in
+                let r = wallclock_measure ~rounds ~config ~rules pool in
+                results := ((mode_name, load, n_shards), r) :: !results;
+                (mode_name, r))
+              (modes dp)
+          in
+          let mpps name = wc_mpps (List.assoc name per_mode) in
+          Printf.printf "    %-8d %14.3f %14.3f %14.3f %9.2fx\n" n_shards
+            (mpps "det-parallel") (mpps "pipe-sync") (mpps "pipe-deferred")
+            (mpps "pipe-sync" /. mpps "det-parallel"))
+        wallclock_shards;
+      Printf.printf "\n")
+    loads;
+  (* the headline claim: persistent domains beat spawn-per-batch once
+     the spawn tax is paid several times per rx round *)
+  List.iter
+    (fun n_shards ->
+      let find m l =
+        List.assoc_opt (m, l, n_shards) !results
+        |> Option.map wc_mpps |> Option.value ~default:nan
+      in
+      let det = find "det-parallel" "benign"
+      and pipe = find "pipe-sync" "benign" in
+      Printf.printf
+        "  benign @%d shards: pipeline %.3f Mpps vs det-parallel %.3f Mpps (%.2fx)%s\n"
+        n_shards pipe det (pipe /. det)
+        (if n_shards >= 4 && pipe <= det then
+           "  (!) expected the persistent domains to win here"
+         else ""))
+    wallclock_shards;
+  (* BENCH_wallclock.json: mode -> load -> shards, stable sorted keys *)
+  let buf = Buffer.create 4096 in
+  let add_obj b fields =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, add_v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "%S" k);
+        Buffer.add_char b ':';
+        add_v b)
+      fields;
+    Buffer.add_char b '}'
+  in
+  let num f = fun b -> Buffer.add_string b (Printf.sprintf "%.9g" f) in
+  let cell r =
+    fun b ->
+      add_obj b
+        [ ("masks", num (float_of_int r.wc_masks));
+          ("ns_per_pkt", num (wc_ns_per_pkt r));
+          ("pkts", num (float_of_int r.wc_pkts));
+          ("pkts_per_sec", num (wc_mpps r *. 1e6)) ]
+  in
+  let mode_names = [ "det-parallel"; "pipe-deferred"; "pipe-sync" ] in
+  add_obj buf
+    [ ("modes",
+       fun b ->
+         add_obj b
+           (List.map
+              (fun m ->
+                (m,
+                 fun b ->
+                   add_obj b
+                     (List.map
+                        (fun l ->
+                          (l,
+                           fun b ->
+                             add_obj b
+                               (List.map
+                                  (fun n ->
+                                    (string_of_int n,
+                                     cell (List.assoc (m, l, n) !results)))
+                                  wallclock_shards)))
+                        [ "attack"; "benign" ])))
+              mode_names));
+      ("quick", fun b -> Buffer.add_string b (if quick then "true" else "false")) ];
+  let path = "BENCH_wallclock.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  wall-clock trajectory written to %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("fig2", run_fig2);
@@ -875,7 +1122,8 @@ let experiments =
     ("ranking", run_ranking);
     ("sweep", run_sweep);
     ("micro", run_micro);
-    ("hotpath", run_hotpath) ]
+    ("hotpath", run_hotpath);
+    ("wallclock", run_wallclock) ]
 
 let () =
   let requested =

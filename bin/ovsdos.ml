@@ -388,8 +388,8 @@ let write_csv path samples =
             s.Pi_sim.Scenario.loss)
         samples)
 
-let attack variant duration start offered every coarse shards batch backend
-    upcall_queue attribution csv json =
+let attack variant duration start offered every coarse shards batch pipeline
+    backend upcall_queue attribution csv json =
   let open Pi_sim in
   let a = { Scenario.default_attack with Scenario.variant; start } in
   let dc =
@@ -424,6 +424,7 @@ let attack variant duration start offered every coarse shards batch backend
       attack = Some a;
       n_shards = shards;
       batch_size = batch;
+      pipeline;
       backend;
       datapath_config = dc;
       metrics;
@@ -528,6 +529,16 @@ let attack_cmd =
     Arg.(value & opt int dp.Pi_sim.Scenario.batch_size
          & info [ "batch" ] ~docv:"B" ~doc:"Rx burst size per PMD (OVS: 32).")
   in
+  let pipeline =
+    Arg.(value & flag
+         & info [ "pipeline" ]
+             ~doc:"Run the pmd backend in run-to-completion pipeline mode: \
+                   persistent worker domains (one per shard, plus a handler \
+                   thread under --upcall-queue) fed through SPSC rings, \
+                   instead of the deterministic spawn-per-batch engine. \
+                   Results are unchanged — only wall-clock execution \
+                   differs.")
+  in
   let backend =
     Arg.(value
          & opt (enum [ ("pmd", `Pmd); ("datapath", `Datapath);
@@ -567,7 +578,8 @@ let attack_cmd =
   in
   Cmd.v (Cmd.info "attack" ~doc:"Run the Fig. 3 end-to-end scenario")
     Term.(const attack $ variant_arg $ duration $ start $ offered $ every $ coarse
-          $ shards $ batch $ backend $ upcall_queue $ attribution $ csv $ json)
+          $ shards $ batch $ pipeline $ backend $ upcall_queue $ attribution
+          $ csv $ json)
 
 (* --- run --- *)
 

@@ -118,6 +118,7 @@ let dataplane ?engine ?config ?cost () : Pi_ovs.Dataplane.backend =
 
     let service_upcalls _ ~now:_ = 0
     let revalidate _ ~now:_ = 0
+    let close _ = ()
 
     let stats d =
       { Pi_ovs.Dataplane.packets = n_processed d.cl;

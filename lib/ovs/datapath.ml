@@ -30,6 +30,8 @@ let default_config =
 type upcall_item = {
   ui_flow : Pi_classifier.Flow.t;
   ui_pkt_len : int;
+  ui_at : float;  (* enqueue time; the pipeline handler classifies at
+                     this timestamp since it has no tick clock *)
 }
 
 type t = {
@@ -245,7 +247,9 @@ let process t ~now flow ~pkt_len =
            and the packet itself is not forwarded this tick; the handler
            resolves the flow in {!service_upcalls}. A full queue means
            the packet — and its upcall — is dropped on the floor. *)
-        (if Upcall_queue.push t.uq { ui_flow = flow; ui_pkt_len = pkt_len }
+        (if
+           Upcall_queue.push t.uq
+             { ui_flow = flow; ui_pkt_len = pkt_len; ui_at = now }
          then
            trace t ~now
              (Pi_telemetry.Tracer.Upcall_enqueued
@@ -266,6 +270,31 @@ let process t ~now flow ~pkt_len =
       end
   end
 
+let pop_pending_upcall t =
+  match Upcall_queue.pop t.uq with
+  | None -> None
+  | Some { ui_flow; ui_pkt_len; ui_at } -> Some (ui_flow, ui_pkt_len, ui_at)
+
+(* Handler-side half of a deferred upcall: account the resolution,
+   install the megaflow + EMC entry, and charge handler cycles. The
+   verdict comes from {!Slowpath.upcall} — inline in [service_upcalls],
+   or on the handler domain in the PMD pipeline (which then ships the
+   verdict back so the shard owner applies it to its own caches). *)
+let apply_verdict t ~now flow ~pkt_len (v : Slowpath.verdict) =
+  t.n_upcalls <- t.n_upcalls + 1;
+  ignore (install_verdict t ~now flow v);
+  let c =
+    Cost_model.cycles t.cfg.cost
+      { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
+        upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
+  in
+  t.handler_cycles <- t.handler_cycles +. c;
+  match t.prov with
+  | Some p ->
+    Provenance.account_handler p ~port:(Pi_classifier.Flow.in_port flow)
+      ~slow_probes:v.Slowpath.probes ~cycles:c
+  | None -> ()
+
 (* Drain up to the configured handler budget of pending upcalls: the
    per-tick slice of ovs-vswitchd's handler threads. Handler work is
    charged to [handler_cycles] — handler threads run beside the PMD, so
@@ -277,24 +306,10 @@ let service_upcalls t ~now =
   while !continue && !serviced < budget do
     match Upcall_queue.pop t.uq with
     | None -> continue := false
-    | Some { ui_flow; ui_pkt_len } ->
+    | Some { ui_flow; ui_pkt_len; ui_at = _ } ->
       incr serviced;
-      t.n_upcalls <- t.n_upcalls + 1;
       let v = Slowpath.upcall t.slow ui_flow in
-      ignore (install_verdict t ~now ui_flow v);
-      let c =
-        Cost_model.cycles t.cfg.cost
-          { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
-            upcall = true; slow_probes = v.Slowpath.probes;
-            pkt_len = ui_pkt_len }
-      in
-      t.handler_cycles <- t.handler_cycles +. c;
-      (match t.prov with
-       | Some p ->
-         Provenance.account_handler p
-           ~port:(Pi_classifier.Flow.in_port ui_flow)
-           ~slow_probes:v.Slowpath.probes ~cycles:c
-       | None -> ())
+      apply_verdict t ~now ui_flow ~pkt_len:ui_pkt_len v
   done;
   !serviced
 
@@ -340,6 +355,10 @@ let reset_stats t =
   t.n_processed <- 0;
   t.n_upcalls <- 0;
   t.n_upcall_drops <- 0;
-  Upcall_queue.reset_stats t.uq;
+  (* Drain, don't keep: stale queued misses from before the measurement
+     window would otherwise be serviced inside it and charge their
+     handler work to the wrong window. The drained items are not counted
+     as drops — they belong to no window any more. *)
+  Upcall_queue.reset t.uq;
   Megaflow.reset_stats t.mf;
   Emc.reset_stats t.emc

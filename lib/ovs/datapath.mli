@@ -92,6 +92,24 @@ val process :
     the queue is full the upcall itself is dropped and counted in
     {!upcall_drops}. Deferred upcalls resolve in {!service_upcalls}. *)
 
+val pop_pending_upcall : t -> (Pi_classifier.Flow.t * int * float) option
+(** Dequeue the oldest deferred upcall as [(flow, pkt_len, enqueued_at)]
+    without servicing it. The PMD pipeline's forwarding hook: the shard
+    worker moves items from this queue onto the SPSC ring feeding the
+    dedicated handler domain, preserving {!Upcall_queue}'s depth bound
+    and drop accounting at the enqueue side. *)
+
+val apply_verdict :
+  t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
+  Slowpath.verdict -> unit
+(** Apply a slow-path verdict obtained for a deferred upcall: count the
+    upcall, install the megaflow (mitigation hooks included) and EMC
+    entry, and charge handler cycles — everything {!service_upcalls}
+    does after {!Slowpath.upcall} returns. Lets the pipeline split the
+    halves across domains: the handler domain classifies (it owns the
+    slow path), the shard worker applies the verdict (it owns the
+    caches). *)
+
 val service_upcalls : t -> now:float -> int
 (** Run the slow-path handler: drain up to the configured per-tick
     handler budget of pending upcalls, classifying each and installing
@@ -141,4 +159,8 @@ val n_masks : t -> int
 val n_megaflows : t -> int
 
 val reset_stats : t -> unit
-(** Resets cycle/packet/hit counters; cache contents are untouched. *)
+(** Resets cycle/packet/hit counters; cache contents are untouched.
+    Pending deferred upcalls are {e drained} (discarded without being
+    serviced and without counting as drops): a reset opens a fresh
+    measurement window, and stale queued misses from before it must not
+    have their handler work attributed inside it. *)

@@ -42,6 +42,7 @@ module type S = sig
 
   val service_upcalls : t -> now:float -> int
   val revalidate : t -> now:float -> int
+  val close : t -> unit
   val stats : t -> stats
   val cycles_used : t -> float
   val telemetry : t -> Pi_telemetry.Ctx.t
@@ -79,6 +80,7 @@ let process_burst (Packed ((module B), d)) ~now pkts =
 
 let service_upcalls (Packed ((module B), d)) ~now = B.service_upcalls d ~now
 let revalidate (Packed ((module B), d)) ~now = B.revalidate d ~now
+let close (Packed ((module B), d)) = B.close d
 let stats (Packed ((module B), d)) = B.stats d
 let cycles_used (Packed ((module B), d)) = B.cycles_used d
 let telemetry (Packed ((module B), d)) = B.telemetry d
@@ -119,6 +121,7 @@ let datapath ?config ?tss_config () : backend =
 
     let service_upcalls = Datapath.service_upcalls
     let revalidate = Datapath.revalidate
+    let close _ = ()
 
     let stats d =
       let emc = Datapath.emc d in
@@ -178,6 +181,7 @@ let pmd ?config ?tss_config () : backend =
     let process_burst = Pmd.process_batch
     let service_upcalls = Pmd.service_upcalls
     let revalidate = Pmd.revalidate
+    let close = Pmd.close
 
     let emc_fold f d =
       let n = ref 0 in

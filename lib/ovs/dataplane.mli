@@ -69,6 +69,12 @@ module type S = sig
 
   val revalidate : t -> now:float -> int
 
+  val close : t -> unit
+  (** Release any execution resources the backend owns — the pipeline
+      {!Pmd} joins its persistent worker/handler domains here. Must be
+      idempotent; a no-op for backends without background execution.
+      Statistics stay readable after [close]. *)
+
   val stats : t -> stats
   val cycles_used : t -> float
   (** [ (stats t).cycles ] without building the record — hot in
@@ -149,6 +155,12 @@ val process_burst :
 
 val service_upcalls : t -> now:float -> int
 val revalidate : t -> now:float -> int
+
+val close : t -> unit
+(** Shut down the backend's execution resources (idempotent); see
+    {!S.close}. Call when done with a dataplane that may run a pipeline
+    {!Pmd} — its domains otherwise keep spinning. *)
+
 val stats : t -> stats
 val cycles_used : t -> float
 val telemetry : t -> Pi_telemetry.Ctx.t

@@ -7,11 +7,29 @@
    per-core measurements of the TSE follow-up study (Csikor et al.,
    arXiv:2011.09107).
 
-   Shards are fully independent: no locks, no shared mutable state. When
-   [parallel] is set and there is more than one shard, each shard's
-   slice of a batch runs on its own OCaml 5 domain; because the shards
-   never share state, the parallel run is bit-for-bit identical to the
-   deterministic sequential mode (enforced by the parity test suite). *)
+   Shards are fully independent: no locks, no shared mutable state
+   between shards. Two execution modes:
+
+   - [Deterministic] (the conformance oracle): each [process_batch]
+     call runs every shard's slice to completion before returning —
+     sequentially, or with one freshly spawned domain per shard per
+     batch when [parallel]. Because the shards never share state, the
+     parallel run is bit-for-bit identical to the sequential one
+     (enforced by the parity test suite).
+
+   - [Pipeline] (run to completion, real concurrency): one persistent
+     worker domain per shard, created at [create] time and fed through
+     a fixed-capacity SPSC ring of packet indices; deferred upcalls
+     flow over a second SPSC ring to one dedicated handler domain
+     (ovs-vswitchd's handler thread) that classifies in the shard's
+     slow path and ships the verdict back on a completion ring, where
+     the owning worker installs it — every cache stays single-writer.
+     [process_batch] keeps its barrier contract (steer, enqueue, wait
+     for the shards to drain), so results are positionally identical
+     to deterministic mode; only wall-clock differs. This is the mode
+     `bench wallclock` measures. *)
+
+type mode = Deterministic | Pipeline
 
 type config = {
   n_shards : int;
@@ -21,6 +39,13 @@ type config = {
   batch_cycles : float;
       (* fixed per-rx-batch cost (ring doorbell, prefetch setup),
          amortised over the packets of the batch *)
+  mode : mode;
+  rx_ring : int;
+      (* per-shard rx ring capacity (pipeline mode); clamped so one
+         burst plus its header always fits *)
+  upcall_ring : int;
+      (* per-shard worker→handler (and handler→worker completion) ring
+         capacity (pipeline mode) *)
   dp : Datapath.config;
 }
 
@@ -29,6 +54,9 @@ let default_config =
     batch_size = 32;
     parallel = true;
     batch_cycles = 0.;
+    mode = Deterministic;
+    rx_ring = 1024;
+    upcall_ring = 256;
     dp = Datapath.default_config }
 
 type shard = {
@@ -38,11 +66,215 @@ type shard = {
   mutable overhead_cycles : float;
 }
 
+(* worker → handler: one deferred upcall, carried off the shard's
+   {!Upcall_queue} (depth bound and drop accounting already applied at
+   enqueue time by [Datapath.process]). *)
+type upcall_msg = {
+  um_shard : int;
+  um_flow : Pi_classifier.Flow.t;
+  um_pkt_len : int;
+  um_at : float;
+}
+
+(* handler → worker: the slow-path verdict, for the shard owner to
+   apply to its own caches ([Datapath.apply_verdict]). *)
+type completion = {
+  cm_flow : Pi_classifier.Flow.t;
+  cm_pkt_len : int;
+  cm_at : float;
+  cm_verdict : Slowpath.verdict;
+}
+
+(* Per-shard pipeline plumbing. Ownership: [w_rx] producer is the main
+   domain, consumer the worker; [w_ucr] producer the worker, consumer
+   the handler; [w_cmp] producer the handler, consumer the worker.
+   [w_submitted] and [w_forwarded]/[w_applied_local] are plain fields
+   owned by their single writer; cross-domain visibility goes through
+   the atomics ([w_done], [w_applied], [w_quiet]) and the rings. *)
+type worker = {
+  w_rx : int Spsc_ring.t;
+  w_ucr : upcall_msg option Spsc_ring.t;
+  w_cmp : completion option Spsc_ring.t;
+  w_done : int Atomic.t;        (* packets fully processed (worker) *)
+  w_applied : int Atomic.t;     (* verdicts installed (worker) *)
+  w_quiet : bool Atomic.t;
+      (* worker is idle with no queued, in-flight or unapplied upcall
+         work; set by the worker, the main domain's quiesce signal *)
+  mutable w_submitted : int;    (* packets enqueued (main domain) *)
+  mutable w_forwarded : int;    (* upcalls moved uq → w_ucr (worker) *)
+  mutable w_domain : unit Domain.t option;
+}
+
+type pipeline = {
+  workers : worker array;
+  stop : bool Atomic.t;
+  mutable handler : unit Domain.t option;
+  (* The in-flight batch, published to the workers by the ring pushes
+     (plain writes ordered before the SC tail update; the worker's pop
+     reads the tail first). Only valid between submit and barrier —
+     [process_batch] never returns with these still being read. *)
+  mutable cur_pkts : (Pi_classifier.Flow.t * int) array;
+  mutable cur_out : (Action.t * Cost_model.outcome) array;
+  mutable cur_now : float;
+  mutable last_applied : int;   (* for service_upcalls deltas *)
+  mutable closed : bool;
+}
+
 type t = {
   cfg : config;
   shards : shard array;
   ctx : Pi_telemetry.Ctx.t;
+  pl : pipeline option;
+  (* Steering scratch: per-shard index arrays + fill counts, grown
+     geometrically and reused across batches so steering allocates
+     nothing in the steady state. *)
+  mutable sc_idx : int array array;
+  sc_len : int array;
 }
+
+(* Progressive backoff for every spin-wait: brief [cpu_relax] bursts,
+   then escalating short sleeps so a waiting domain yields its core —
+   this must stay live even when domains outnumber cores. *)
+let pause spins =
+  if spins < 128 then Domain.cpu_relax ()
+  else Unix.sleepf (Float.min 0.0005 (1e-6 *. float_of_int (spins - 127)))
+
+let deferred_upcalls (cfg : config) =
+  not (Upcall_queue.synchronous cfg.dp.Datapath.upcall_queue)
+
+(* ---------- worker & handler loops (pipeline mode) ---------- *)
+
+(* [min_int] never appears on an rx ring (headers are [k] or [-k] with
+   1 <= k, indices are >= 0), so it doubles as the empty default. *)
+let no_msg = min_int
+
+(* Apply every completion the handler has shipped back: install the
+   verdict into this shard's caches and publish the progress. *)
+let apply_completions sh w =
+  let continue = ref true in
+  while !continue do
+    match Spsc_ring.pop_or w.w_cmp ~default:None with
+    | None -> continue := false
+    | Some c ->
+      Datapath.apply_verdict sh.dp ~now:c.cm_at c.cm_flow
+        ~pkt_len:c.cm_pkt_len c.cm_verdict;
+      Atomic.incr w.w_applied
+  done
+
+(* Move deferred upcalls from the shard's bounded queue onto the
+   handler ring. [is_full] is checked {e before} popping — a SPSC
+   producer seeing space keeps it, so no item is ever popped and then
+   stranded with nowhere to go. *)
+let forward_upcalls s sh w =
+  let continue = ref true in
+  while !continue do
+    if Spsc_ring.is_full w.w_ucr then continue := false
+    else
+      match Datapath.pop_pending_upcall sh.dp with
+      | None -> continue := false
+      | Some (um_flow, um_pkt_len, um_at) ->
+        ignore
+          (Spsc_ring.push w.w_ucr
+             (Some { um_shard = s; um_flow; um_pkt_len; um_at }));
+        w.w_forwarded <- w.w_forwarded + 1
+  done
+
+let worker_body t pl s =
+  let sh = t.shards.(s) in
+  let w = pl.workers.(s) in
+  let quiet = ref true in
+  let idle = ref 0 in
+  let running = ref true in
+  while !running do
+    let h = Spsc_ring.pop_or w.w_rx ~default:no_msg in
+    if h <> no_msg then begin
+      if !quiet then begin
+        Atomic.set w.w_quiet false;
+        quiet := false
+      end;
+      idle := 0;
+      let k = abs h in
+      if h > 0 then begin
+        (* a charged rx burst: the fixed per-burst cost, exactly as the
+           deterministic mode's chopping charges it *)
+        sh.n_batches <- sh.n_batches + 1;
+        sh.overhead_cycles <- sh.overhead_cycles +. t.cfg.batch_cycles
+      end;
+      let pkts = pl.cur_pkts and out = pl.cur_out in
+      let now = pl.cur_now in
+      for _ = 1 to k do
+        (* the producer pushes header-then-indices, so a just-popped
+           header may race ahead of its last indices — spin them in *)
+        let i = ref (Spsc_ring.pop_or w.w_rx ~default:no_msg) in
+        let spins = ref 0 in
+        while !i = no_msg do
+          pause !spins;
+          incr spins;
+          i := Spsc_ring.pop_or w.w_rx ~default:no_msg
+        done;
+        let flow, pkt_len = pkts.(!i) in
+        out.(!i) <- Datapath.process sh.dp ~now flow ~pkt_len
+      done;
+      forward_upcalls s sh w;
+      ignore (Atomic.fetch_and_add w.w_done k)
+    end
+    else begin
+      apply_completions sh w;
+      forward_upcalls s sh w;
+      let q =
+        Datapath.pending_upcalls sh.dp = 0
+        && w.w_forwarded = Atomic.get w.w_applied
+      in
+      if q <> !quiet then begin
+        Atomic.set w.w_quiet q;
+        quiet := q
+      end;
+      if q && Atomic.get pl.stop && Spsc_ring.is_empty w.w_rx then
+        running := false
+      else begin
+        pause !idle;
+        incr idle
+      end
+    end
+  done
+
+(* The dedicated handler domain: round-robin the shard upcall rings,
+   classify in the owning shard's slow path (this domain is the slow
+   paths' only user while the pipeline runs — the shared scratch in
+   {!Slowpath.t} stays single-writer), ship the verdict back. *)
+let handler_body t pl =
+  let idle = ref 0 in
+  let running = ref true in
+  while !running do
+    let did = ref false in
+    Array.iter
+      (fun w ->
+        match Spsc_ring.pop_or w.w_ucr ~default:None with
+        | None -> ()
+        | Some m ->
+          did := true;
+          let sh = t.shards.(m.um_shard) in
+          let v = Slowpath.upcall (Datapath.slowpath sh.dp) m.um_flow in
+          let c =
+            Some
+              { cm_flow = m.um_flow; cm_pkt_len = m.um_pkt_len;
+                cm_at = m.um_at; cm_verdict = v }
+          in
+          let spins = ref 0 in
+          while not (Spsc_ring.push w.w_cmp c) do
+            pause !spins;
+            incr spins
+          done)
+      pl.workers;
+    if !did then idle := 0
+    else if Atomic.get pl.stop then running := false
+    else begin
+      pause !idle;
+      incr idle
+    end
+  done
+
+(* ---------- construction ---------- *)
 
 let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
     () =
@@ -56,7 +288,9 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
        bit-for-bit the unsharded Datapath. With several shards each gets
        an independent substream, a private registry and a private
        provenance store (built by its datapath from the shared rule
-       registry), so domains never touch shared mutable instruments. *)
+       registry), so domains never touch shared mutable instruments.
+       Identical in both modes, so a pipeline shard's caches evolve
+       bit-for-bit as the deterministic oracle's do. *)
     if config.n_shards = 1 then
       { dp =
           Datapath.create ~config:config.dp ?tss_config ~telemetry:ctx
@@ -76,7 +310,48 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
         overhead_cycles = 0. }
     end
   in
-  { cfg = config; shards = Array.init config.n_shards mk_shard; ctx }
+  let shards = Array.init config.n_shards mk_shard in
+  let pl =
+    match config.mode with
+    | Deterministic -> None
+    | Pipeline ->
+      let rx_cap = max config.rx_ring (2 * (config.batch_size + 1)) in
+      let uc_cap = max config.upcall_ring 1 in
+      let mk_worker _ =
+        { w_rx = Spsc_ring.create ~capacity:rx_cap ~dummy:no_msg;
+          w_ucr = Spsc_ring.create ~capacity:uc_cap ~dummy:None;
+          w_cmp = Spsc_ring.create ~capacity:uc_cap ~dummy:None;
+          w_done = Atomic.make 0;
+          w_applied = Atomic.make 0;
+          w_quiet = Atomic.make true;
+          w_submitted = 0;
+          w_forwarded = 0;
+          w_domain = None }
+      in
+      Some
+        { workers = Array.init config.n_shards mk_worker;
+          stop = Atomic.make false;
+          handler = None;
+          cur_pkts = [||];
+          cur_out = [||];
+          cur_now = 0.;
+          last_applied = 0;
+          closed = false }
+  in
+  let t =
+    { cfg = config; shards; ctx; pl;
+      sc_idx = Array.init config.n_shards (fun _ -> [||]);
+      sc_len = Array.make config.n_shards 0 }
+  in
+  (match t.pl with
+   | None -> ()
+   | Some pl ->
+     Array.iteri
+       (fun s w -> w.w_domain <- Some (Domain.spawn (fun () -> worker_body t pl s)))
+       pl.workers;
+     if deferred_upcalls config then
+       pl.handler <- Some (Domain.spawn (fun () -> handler_body t pl)));
+  t
 
 let config t = t.cfg
 let n_shards t = Array.length t.shards
@@ -107,80 +382,199 @@ let shard_of t flow =
 
 let shard_for t flow = (t.shards.(shard_of t flow)).dp
 
-let install_rules t rules =
-  Array.iter (fun s -> Datapath.install_rules s.dp rules) t.shards
+(* ---------- pipeline control (quiesce / submit / barrier) ---------- *)
 
-let remove_rules t pred =
-  (* Rules are replicated to every shard: the logical removed-count is
-     the per-shard count, not the sum. *)
-  Array.fold_left (fun acc s -> max acc (Datapath.remove_rules s.dp pred)) 0 t.shards
+let spin_until cond =
+  if not (cond ()) then begin
+    let spins = ref 0 in
+    while not (cond ()) do
+      pause !spins;
+      incr spins
+    done
+  end
 
-let process t ~now flow ~pkt_len =
-  Datapath.process (shard_for t flow) ~now flow ~pkt_len
+(* Wait until every worker has processed all submitted packets and has
+   no queued, in-flight or unapplied upcall work. The [w_quiet] read
+   also carries the happens-before: the main domain sees every cache
+   write the worker made before declaring itself quiet. *)
+let quiesce pl =
+  Array.iter
+    (fun w ->
+      spin_until (fun () ->
+          Atomic.get w.w_done = w.w_submitted && Atomic.get w.w_quiet))
+    pl.workers
+
+let push_spin r x =
+  if not (Spsc_ring.push r x) then
+    spin_until (fun () -> Spsc_ring.push r x)
+
+let ensure_scratch t n =
+  if n > 0 && Array.length t.sc_idx.(0) < n then begin
+    let cap = max n (2 * Array.length t.sc_idx.(0)) in
+    t.sc_idx <- Array.init (Array.length t.shards) (fun _ -> Array.make cap 0)
+  end
+
+(* Steer a batch into the per-shard scratch arrays, preserving arrival
+   order within each shard. Allocation-free once the scratch is warm. *)
+let steer t pkts n =
+  ensure_scratch t n;
+  Array.fill t.sc_len 0 (Array.length t.sc_len) 0;
+  for i = 0 to n - 1 do
+    let s = shard_of t (fst pkts.(i)) in
+    let l = t.sc_len.(s) in
+    t.sc_idx.(s).(l) <- i;
+    t.sc_len.(s) <- l + 1
+  done
 
 let dummy_result =
   ( Action.Drop,
     { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
       upcall = false; slow_probes = 0; pkt_len = 0 } )
 
+(* Enqueue a steered batch to the workers — per shard: chop into rx
+   bursts of [batch_size], each pushed as a header ([k] charged, [-k]
+   uncharged) followed by its [k] packet indices — then barrier until
+   every worker has drained its share. The barrier makes the result
+   array safe to read and keeps [process_batch]'s contract identical
+   across modes. *)
+let run_pipeline t pl ~now pkts ~charged =
+  if pl.closed then invalid_arg "Pmd: pipeline is closed";
+  let n = Array.length pkts in
+  let out = Array.make n dummy_result in
+  steer t pkts n;
+  pl.cur_pkts <- pkts;
+  pl.cur_out <- out;
+  pl.cur_now <- now;
+  for s = 0 to Array.length t.shards - 1 do
+    let len = t.sc_len.(s) and idx = t.sc_idx.(s) in
+    if len > 0 then begin
+      let w = pl.workers.(s) in
+      let pos = ref 0 in
+      while !pos < len do
+        let k = min t.cfg.batch_size (len - !pos) in
+        push_spin w.w_rx (if charged then k else -k);
+        for j = !pos to !pos + k - 1 do
+          push_spin w.w_rx idx.(j)
+        done;
+        pos := !pos + k
+      done;
+      w.w_submitted <- w.w_submitted + len
+    end
+  done;
+  Array.iter
+    (fun w -> spin_until (fun () -> Atomic.get w.w_done = w.w_submitted))
+    pl.workers;
+  out
+
+(* ---------- the Dataplane surface ---------- *)
+
+let install_rules t rules =
+  Option.iter quiesce t.pl;
+  Array.iter (fun s -> Datapath.install_rules s.dp rules) t.shards
+
+let remove_rules t pred =
+  Option.iter quiesce t.pl;
+  (* Rules are replicated to every shard: the logical removed-count is
+     the per-shard count, not the sum. *)
+  Array.fold_left (fun acc s -> max acc (Datapath.remove_rules s.dp pred)) 0 t.shards
+
+let process t ~now flow ~pkt_len =
+  match t.pl with
+  | None -> Datapath.process (shard_for t flow) ~now flow ~pkt_len
+  | Some pl ->
+    (* the degenerate uncharged burst: same packet, same shard, same
+       PRNG stream as the deterministic path — only the executing
+       domain differs *)
+    let out = run_pipeline t pl ~now [| (flow, pkt_len) |] ~charged:false in
+    out.(0)
+
 let process_batch t ~now pkts =
   let n = Array.length pkts in
   if n = 0 then [||]
-  else begin
-    let n_shards = Array.length t.shards in
-    let out = Array.make n dummy_result in
-    (* Steer: per-shard index lists in arrival order. *)
-    let idxs = Array.make n_shards [] in
-    for i = n - 1 downto 0 do
-      let s = shard_of t (fst pkts.(i)) in
-      idxs.(s) <- i :: idxs.(s)
-    done;
-    (* Process one shard's slice, in arrival order, chopped into rx
-       bursts of [batch_size]: each burst (the last one possibly short)
-       pays the fixed [batch_cycles] once — the amortised per-batch cost
-       accounting. Writes land at this shard's private indices of
-       [out]. *)
-    let run s =
-      let sh = t.shards.(s) in
-      let in_burst = ref 0 in
-      List.iter
-        (fun i ->
+  else
+    match t.pl with
+    | Some pl -> run_pipeline t pl ~now pkts ~charged:true
+    | None ->
+      let n_shards = Array.length t.shards in
+      let out = Array.make n dummy_result in
+      steer t pkts n;
+      (* Process one shard's slice, in arrival order, chopped into rx
+         bursts of [batch_size]: each burst (the last one possibly
+         short) pays the fixed [batch_cycles] once — the amortised
+         per-batch cost accounting. Writes land at this shard's private
+         indices of [out]. *)
+      let run s =
+        let sh = t.shards.(s) in
+        let idx = t.sc_idx.(s) and len = t.sc_len.(s) in
+        let in_burst = ref 0 in
+        for j = 0 to len - 1 do
           if !in_burst = 0 then begin
             sh.n_batches <- sh.n_batches + 1;
             sh.overhead_cycles <- sh.overhead_cycles +. t.cfg.batch_cycles
           end;
+          let i = idx.(j) in
           let flow, pkt_len = pkts.(i) in
           out.(i) <- Datapath.process sh.dp ~now flow ~pkt_len;
           incr in_burst;
-          if !in_burst = t.cfg.batch_size then in_burst := 0)
-        idxs.(s)
-    in
-    if t.cfg.parallel && n_shards > 1 then begin
-      (* One domain per shard with work. Shards own disjoint state and
-         disjoint [out] indices, so this is data-race-free; joining
-         establishes the happens-before for the reads below. *)
-      let domains =
-        Array.to_list
-          (Array.mapi
-             (fun s idx ->
-               if idx = [] then None else Some (Domain.spawn (fun () -> run s)))
-             idxs)
+          if !in_burst = t.cfg.batch_size then in_burst := 0
+        done
       in
-      List.iter (function Some d -> Domain.join d | None -> ()) domains
-    end
-    else
-      for s = 0 to n_shards - 1 do
-        run s
-      done;
-    out
-  end
+      if t.cfg.parallel && n_shards > 1 then begin
+        (* One domain per shard with work. Shards own disjoint state and
+           disjoint [out] indices, so this is data-race-free; joining
+           establishes the happens-before for the reads below. *)
+        let domains =
+          Array.to_list
+            (Array.init n_shards (fun s ->
+                 if t.sc_len.(s) = 0 then None
+                 else Some (Domain.spawn (fun () -> run s))))
+        in
+        List.iter (function Some d -> Domain.join d | None -> ()) domains
+      end
+      else
+        for s = 0 to n_shards - 1 do
+          run s
+        done;
+      out
 
 let revalidate t ~now =
+  Option.iter quiesce t.pl;
   Array.fold_left (fun acc s -> acc + Datapath.revalidate s.dp ~now) 0 t.shards
 
 let service_upcalls t ~now =
-  Array.fold_left (fun acc s -> acc + Datapath.service_upcalls s.dp ~now) 0
-    t.shards
+  match t.pl with
+  | None ->
+    Array.fold_left (fun acc s -> acc + Datapath.service_upcalls s.dp ~now) 0
+      t.shards
+  | Some pl ->
+    (* Run to completion: the handler domain is always draining, so
+       "servicing" means waiting for every deferred upcall to resolve
+       and reporting how many landed since the last call. Handler
+       budgets do not apply in pipeline mode. *)
+    quiesce pl;
+    let total =
+      Array.fold_left (fun acc w -> acc + Atomic.get w.w_applied) 0 pl.workers
+    in
+    let d = total - pl.last_applied in
+    pl.last_applied <- total;
+    d
+
+let close t =
+  match t.pl with
+  | None -> ()
+  | Some pl ->
+    if not pl.closed then begin
+      quiesce pl;
+      pl.closed <- true;
+      Atomic.set pl.stop true;
+      Array.iter
+        (fun w ->
+          Option.iter Domain.join w.w_domain;
+          w.w_domain <- None)
+        pl.workers;
+      Option.iter Domain.join pl.handler;
+      pl.handler <- None
+    end
 
 let sum_int f t = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
 let sum_float f t = Array.fold_left (fun acc s -> acc +. f s) 0. t.shards
@@ -207,6 +601,7 @@ let per_shard_cycles t =
   Array.map (fun s -> Datapath.cycles_used s.dp +. s.overhead_cycles) t.shards
 
 let reset_stats t =
+  Option.iter quiesce t.pl;
   Array.iter
     (fun s ->
       Datapath.reset_stats s.dp;

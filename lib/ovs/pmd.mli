@@ -6,27 +6,62 @@
     [n_shards] independent {!Datapath.t}s plus the steering function and
     rx-batch cost accounting.
 
-    Determinism: a 1-shard Pmd is bit-for-bit the plain {!Datapath} it
-    wraps (same PRNG stream, same telemetry). With several shards,
-    sequential and parallel (OCaml 5 domains) execution are bit-for-bit
-    identical, because shards share no mutable state. *)
+    Two execution modes ({!mode}):
+
+    - {!Deterministic} — the conformance oracle. A 1-shard Pmd is
+      bit-for-bit the plain {!Datapath} it wraps (same PRNG stream,
+      same telemetry). With several shards, sequential and parallel
+      (one short-lived OCaml 5 domain per shard {e per batch})
+      execution are bit-for-bit identical, because shards share no
+      mutable state.
+
+    - {!Pipeline} — run to completion. Persistent worker domains (one
+      per shard) are created at {!create} time and fed through
+      fixed-capacity {!Spsc_ring}s; with a deferred upcall queue, a
+      dedicated handler domain classifies misses in the shards' slow
+      paths and ships verdicts back over completion rings. Shard caches
+      evolve bit-for-bit as in deterministic mode (same PRNG
+      substreams, same steering, same burst chopping), so
+      {!process_batch} results are positionally identical under a
+      synchronous upcall configuration; only wall-clock differs. See
+      DESIGN.md §14 for the ordering contract and the deferred-mode
+      caveats. *)
+
+type mode =
+  | Deterministic
+      (** every batch runs to completion inside {!process_batch},
+          spawning throwaway domains when [parallel] *)
+  | Pipeline
+      (** persistent per-shard worker domains behind SPSC rings; the
+          real-time mode measured by [bench wallclock] *)
 
 type config = {
   n_shards : int;  (** number of PMD threads / cores; >= 1 *)
   batch_size : int;
       (** rx burst size (OVS [NETDEV_MAX_BURST] = 32); >= 1 *)
   parallel : bool;
-      (** run shards on domains when [n_shards > 1]; results are
-          identical either way, only wall-clock differs *)
+      (** deterministic mode only: run shards on domains when
+          [n_shards > 1]; results are identical either way, only
+          wall-clock differs. Ignored by {!Pipeline} (always
+          concurrent). *)
   batch_cycles : float;
       (** fixed model cost charged once per rx burst, amortised over up
           to [batch_size] packets; 0 disables batch accounting *)
+  mode : mode;  (** execution engine; {!Deterministic} is the default *)
+  rx_ring : int;
+      (** pipeline only: per-shard rx ring capacity (rounded up to a
+          power of two, clamped so a full burst always fits);
+          default 1024 *)
+  upcall_ring : int;
+      (** pipeline only: capacity of each worker→handler upcall ring
+          and its handler→worker completion ring; default 256 *)
   dp : Datapath.config;  (** per-shard datapath configuration *)
 }
 
 val default_config : config
 (** [n_shards = 1], [batch_size = 32], [parallel = true],
-    [batch_cycles = 0.], [dp = Datapath.default_config]. *)
+    [batch_cycles = 0.], [mode = Deterministic], [rx_ring = 1024],
+    [upcall_ring = 256], [dp = Datapath.default_config]. *)
 
 type t
 
@@ -51,6 +86,14 @@ val create :
     {!Provenance.store} (see {!shard_provenance}), so attribution is
     domain-safe exactly like the metrics registries.
 
+    Under [mode = Pipeline] this also spawns the persistent worker
+    domains (and, with a deferred upcall queue, the handler domain);
+    call {!close} when done with the Pmd or the domains spin forever.
+    All pipeline entry points ({!process}, {!process_batch},
+    {!service_upcalls}, {!install_rules}, {!revalidate},
+    {!reset_stats}, {!close}) must be called from one driving domain —
+    the SPSC rings assume a single producer.
+
     The pre-0.5 [?metrics]/[?tracer] arguments were removed, as
     CHANGES.md 0.5.0 announced; pass a [telemetry] context instead. *)
 
@@ -58,7 +101,10 @@ val config : t -> config
 val n_shards : t -> int
 
 val shard : t -> int -> Datapath.t
-(** The [i]th shard's datapath. Raises [Invalid_argument] out of range. *)
+(** The [i]th shard's datapath. Raises [Invalid_argument] out of range.
+    In pipeline mode, only inspect it while the pipeline is quiescent
+    (after {!process_batch} plus, under a deferred queue,
+    {!service_upcalls}). *)
 
 val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
 (** The registry shard [i] reports into (the shared one when
@@ -83,7 +129,7 @@ val shard_for : t -> Pi_classifier.Flow.t -> Datapath.t
 
 val install_rules : t -> Action.t Pi_classifier.Rule.t list -> unit
 (** Install into every shard's slowpath (OpenFlow tables are shared
-    across PMDs). *)
+    across PMDs). In pipeline mode, quiesces the workers first. *)
 
 val remove_rules : t -> (Action.t Pi_classifier.Rule.t -> bool) -> int
 (** Remove from every shard; returns the count of distinct logical
@@ -95,7 +141,9 @@ val process :
   Action.t * Cost_model.outcome
 (** Steer one packet to its shard and process it there. No batch
     overhead is charged — single-packet processing is the degenerate
-    burst used by the parity tests. *)
+    burst used by the parity tests. In pipeline mode the packet runs on
+    the shard's worker domain (same caches, same PRNG stream) and the
+    call blocks until it completes. *)
 
 val process_batch :
   t -> now:float -> (Pi_classifier.Flow.t * int) array ->
@@ -104,16 +152,36 @@ val process_batch :
     steered to their shards (preserving arrival order within a shard),
     chopped into bursts of [batch_size], and each burst — including a
     short final one — is charged [batch_cycles] once. Result [i]
-    corresponds to packet [i]. An empty array is a no-op. Runs shards on
-    domains when [parallel && n_shards > 1]. *)
+    corresponds to packet [i]. An empty array is a no-op.
+
+    Deterministic mode runs shards inline (on fresh domains when
+    [parallel && n_shards > 1]). Pipeline mode enqueues the bursts on
+    the worker rings and blocks until every packet is processed — the
+    same barrier contract, so the result array is always complete; with
+    a deferred upcall queue, misses may still be resolving on the
+    handler domain when this returns (see {!service_upcalls}). *)
 
 val revalidate : t -> now:float -> int
-(** Run every shard's revalidator; returns total evictions. *)
+(** Run every shard's revalidator; returns total evictions. Pipeline
+    mode quiesces first — revalidation never races packet
+    processing. *)
 
 val service_upcalls : t -> now:float -> int
-(** Run every shard's upcall handler ({!Datapath.service_upcalls});
-    returns the total serviced. Each shard has its own bounded queue and
-    its own handler budget. *)
+(** Deterministic mode: run every shard's upcall handler
+    ({!Datapath.service_upcalls}); returns the total serviced, each
+    shard bounded by its own handler budget.
+
+    Pipeline mode: the dedicated handler domain drains continuously
+    (handler budgets do not apply); this call waits until every
+    deferred upcall has been resolved {e and installed} and returns how
+    many landed since the previous call — the quiescence point after
+    which mask/megaflow counts are exact. *)
+
+val close : t -> unit
+(** Shut the pipeline down: quiesce, stop and join the worker and
+    handler domains. Idempotent; a no-op in deterministic mode. Using
+    {!process}/{!process_batch} after [close] raises
+    [Invalid_argument]. *)
 
 val cycles_used : t -> float
 (** Summed shard cycles, including amortised batch overhead. *)
@@ -145,3 +213,7 @@ val per_shard_masks : t -> int array
 val per_shard_cycles : t -> float array
 
 val reset_stats : t -> unit
+(** Zero every shard's counters and the batch accounting. Pipeline mode
+    quiesces first, so no in-flight work leaks into the next
+    measurement window; per {!Datapath.reset_stats}, pending deferred
+    upcalls are drained, not carried over. *)

@@ -1,0 +1,90 @@
+(* SPSC ring: free-running head/tail counters over a power-of-two slot
+   array. [tail] is written only by the producer, [head] only by the
+   consumer; each side keeps a plain-field cache of the other's counter
+   and refreshes it only when the ring looks full/empty, so the steady
+   state costs one atomic load of its own counter per operation.
+
+   Publication: the producer's plain write to [slots] happens before its
+   [Atomic.set tail] (release); the consumer's [Atomic.get tail]
+   (acquire) therefore sees the slot contents. Symmetrically the
+   consumer clears the slot to [dummy] before advancing [head], so the
+   producer never overwrites a slot the consumer still reads, and the
+   ring never retains the last reference to a consumed item. *)
+
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  head : int Atomic.t;            (* next slot to pop; consumer-owned *)
+  tail : int Atomic.t;            (* next slot to fill; producer-owned *)
+  mutable cached_head : int;      (* producer's view of [head] *)
+  mutable cached_tail : int;      (* consumer's view of [tail] *)
+  dummy : 'a;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Spsc_ring.create: capacity < 1";
+  let cap = next_pow2 capacity in
+  {
+    slots = Array.make cap dummy;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    cached_head = 0;
+    cached_tail = 0;
+    dummy;
+  }
+
+let capacity t = Array.length t.slots
+
+let is_full t =
+  let tail = Atomic.get t.tail in
+  tail - t.cached_head > t.mask
+  && begin
+    t.cached_head <- Atomic.get t.head;
+    tail - t.cached_head > t.mask
+  end
+
+let push t x =
+  if is_full t then false
+  else begin
+    let tail = Atomic.get t.tail in
+    t.slots.(tail land t.mask) <- x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let is_empty t =
+  let head = Atomic.get t.head in
+  head = t.cached_tail
+  && begin
+    t.cached_tail <- Atomic.get t.tail;
+    head = t.cached_tail
+  end
+
+let pop_or t ~default =
+  if is_empty t then default
+  else begin
+    let head = Atomic.get t.head in
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let head = Atomic.get t.head in
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    Some x
+  end
+
+let length t = Atomic.get t.tail - Atomic.get t.head

@@ -1,0 +1,51 @@
+(** Single-producer/single-consumer ring for the pipeline PMD mode.
+
+    A fixed-capacity circular buffer connecting exactly one producer
+    domain to exactly one consumer domain, in the style of a DPDK rx
+    ring: power-of-two capacity, free-running head/tail counters, and a
+    cached view of the opposite index on each side so the steady state
+    reads one atomic (its own counter) per operation and touches the
+    other side's only when the ring looks full (producer) or empty
+    (consumer).
+
+    Safety: calling producer operations ({!push}, {!is_full}) from one
+    domain and consumer operations ({!pop}, {!pop_or}, {!is_empty})
+    from one other domain is data-race-free — slot contents are
+    published by the atomic tail write and reclaimed after the atomic
+    head write. No operation blocks; both sides report failure
+    ([false]/[None]/default) and let the caller decide how to wait. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** [create ~capacity ~dummy] is an empty ring holding at most
+    [capacity] items, rounded up to the next power of two. [dummy]
+    fills empty slots (and replaces popped ones, so the ring never
+    retains the last reference to a consumed item). Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** The rounded (power-of-two) capacity. *)
+
+val push : 'a t -> 'a -> bool
+(** Producer: enqueue one item; [false] when the ring is full. *)
+
+val pop : 'a t -> 'a option
+(** Consumer: dequeue the oldest item; [None] when the ring is empty. *)
+
+val pop_or : 'a t -> default:'a -> 'a
+(** Consumer: {!pop} without the option allocation — returns [default]
+    when empty. The hot-path variant for rings of immediates (the
+    pipeline's index rings): no allocation on either outcome. *)
+
+val is_full : 'a t -> bool
+(** Producer-side fullness. [false] is definitive for the producer (a
+    SPSC consumer only ever frees slots, so a subsequent {!push} from
+    the same domain succeeds). *)
+
+val is_empty : 'a t -> bool
+(** Consumer-side emptiness. [false] is definitive for the consumer. *)
+
+val length : 'a t -> int
+(** Items currently queued. Exact only when both sides are quiescent;
+    a racing snapshot otherwise. *)

@@ -51,8 +51,18 @@ let pushes t = t.pushes
 let budget t =
   match t.cfg.handler_budget with Some b -> b | None -> max_int
 
-let clear t = Queue.clear t.q
+let clear t =
+  (* Each pending item is a packet the fast path handed off and the
+     slow path will now never classify — on the wire that packet is
+     gone, so discarding counts as drops. *)
+  t.drops <- t.drops + Queue.length t.q;
+  Queue.clear t.q
 
 let reset_stats t =
+  t.drops <- 0;
+  t.pushes <- 0
+
+let reset t =
+  Queue.clear t.q;
   t.drops <- 0;
   t.pushes <- 0

@@ -63,7 +63,16 @@ val budget : 'a t -> int
     unlimited. *)
 
 val clear : 'a t -> unit
-(** Discard pending upcalls (does not count as drops). *)
+(** Discard pending upcalls. Each discarded item is a missed packet the
+    slow path will now never resolve, so they are counted in {!drops} —
+    a clear is a drop burst, not an amnesty. *)
 
 val reset_stats : 'a t -> unit
 (** Zero {!drops} and {!pushes}; pending items stay queued. *)
+
+val reset : 'a t -> unit
+(** Return the queue to its freshly-created state: discard pending items
+    {e and} zero the counters, without counting the discarded items as
+    drops. This is the measurement-window reset ({!Datapath.reset_stats}
+    uses it): stale queued work from before the window must neither be
+    serviced inside it nor show up in its drop count. *)

@@ -45,6 +45,10 @@ type params = {
   n_shards : int;
   batch_size : int;
   batch_cycles : float;
+  pipeline : bool;
+      (* run the default Pmd backend in run-to-completion pipeline mode
+         (persistent worker domains behind SPSC rings) instead of the
+         deterministic oracle; ignored when [backend] is given *)
   backend : Dataplane.backend option;
       (* None: a Pmd backend built from n_shards/batch_size/batch_cycles/
          datapath_config — the historical scenario, bit for bit. Some b:
@@ -77,6 +81,7 @@ let default_params =
     n_shards = 1;
     batch_size = 32;
     batch_cycles = 0.;
+    pipeline = false;
     backend = None;
     datapath_config =
       (* The kernel datapath effectively caches every flow in its
@@ -150,10 +155,12 @@ let run p =
     | None ->
       Dataplane.pmd
         ~config:
-          { Pmd.n_shards = p.n_shards;
+          { Pmd.default_config with
+            Pmd.n_shards = p.n_shards;
             batch_size = p.batch_size;
             parallel = true;
             batch_cycles = p.batch_cycles;
+            mode = (if p.pipeline then Pmd.Pipeline else Pmd.Deterministic);
             dp = p.datapath_config }
         ?tss_config:p.tss_config ()
   in
@@ -164,6 +171,9 @@ let run p =
   let dp =
     Dataplane.create ?telemetry ?provenance:prov_reg backend (Prng.split rng)
   in
+  (* A pipeline backend owns spawned domains; always release them, even
+     when a tick raises. *)
+  Fun.protect ~finally:(fun () -> Dataplane.close dp) @@ fun () ->
   let n_sh = Dataplane.n_shards dp in
   (* Port numbering (same layout the Switch-based scenario used):
      uplink=1, victim-pod=2, attacker-pod=3, svc-i=4+i. Tenants are

@@ -61,6 +61,13 @@ type params = {
   batch_size : int;             (** rx burst size (default 32) *)
   batch_cycles : float;
       (** fixed cycles charged once per rx burst (default 0) *)
+  pipeline : bool;
+      (** run the default {!Pi_ovs.Pmd} backend in run-to-completion
+          pipeline mode (persistent per-shard worker domains behind
+          SPSC rings, see {!Pi_ovs.Pmd.mode}) instead of the
+          deterministic oracle. Default [false]; ignored when
+          [backend] is given. Cycle-model results are unchanged —
+          only wall-clock execution differs *)
   backend : Pi_ovs.Dataplane.backend option;
       (** the dataplane to drive. [None] (default): a {!Pi_ovs.Pmd}
           backend built from the four fields above — the historical

@@ -291,13 +291,36 @@ let test_queue_config () =
       ignore (Upcall_queue.bounded 0))
 
 let test_queue_clear () =
+  (* Regression: clear used to silently discard pending upcalls — the
+     packets vanished from every counter. Each cleared-pending item is a
+     missed packet the slow path will never resolve: a drop. *)
   let q = Upcall_queue.create (Upcall_queue.bounded 4) in
   ignore (Upcall_queue.push q 1);
   ignore (Upcall_queue.push q 2);
   Upcall_queue.clear q;
   Alcotest.(check int) "cleared" 0 (Upcall_queue.length q);
-  Alcotest.(check int) "clear is not a drop" 0 (Upcall_queue.drops q);
-  Alcotest.(check bool) "usable after clear" true (Upcall_queue.push q 3)
+  Alcotest.(check int) "cleared-pending items count as drops" 2
+    (Upcall_queue.drops q);
+  Alcotest.(check bool) "usable after clear" true (Upcall_queue.push q 3);
+  Upcall_queue.clear q;
+  Alcotest.(check int) "drops accumulate across clears" 3
+    (Upcall_queue.drops q)
+
+let test_queue_reset () =
+  (* [reset] opens a fresh measurement window: pending items are
+     drained (not serviced later, not counted as drops) and the
+     counters start from zero. *)
+  let q = Upcall_queue.create (Upcall_queue.bounded 2) in
+  ignore (Upcall_queue.push q 1);
+  ignore (Upcall_queue.push q 2);
+  ignore (Upcall_queue.push q 3);
+  Alcotest.(check int) "overflow dropped" 1 (Upcall_queue.drops q);
+  Upcall_queue.reset q;
+  Alcotest.(check int) "pending drained" 0 (Upcall_queue.length q);
+  Alcotest.(check int) "drops zeroed, drained items not counted" 0
+    (Upcall_queue.drops q);
+  Alcotest.(check int) "pushes zeroed" 0 (Upcall_queue.pushes q);
+  Alcotest.(check bool) "usable after reset" true (Upcall_queue.push q 4)
 
 (* --- Bounded queue through the datapath ----------------------------- *)
 
@@ -376,10 +399,36 @@ let test_deferred_trusted_flow_resolves () =
   let a1, _ = Dataplane.process dp ~now:1. trusted ~pkt_len:100 in
   Alcotest.(check action_t) "resolved: forwarded" (Action.Output 2) a1
 
+let test_reset_drains_pending () =
+  (* Regression: [reset_stats] used to leave pending upcalls queued, so
+     a mid-run reset (the bench measurement-window pattern) attributed
+     stale queue work to the next window. Chosen semantics: drain. *)
+  let dp = Dataplane.create (deferred_backend ~depth:8 ()) (Pi_pkt.Prng.create 7L) in
+  Dataplane.install_rules dp rules;
+  for k = 0 to 3 do
+    ignore (Dataplane.process dp ~now:0. (covert k) ~pkt_len:100)
+  done;
+  Alcotest.(check int) "four pending before reset" 4
+    (Dataplane.stats dp).Dataplane.pending_upcalls;
+  Dataplane.reset_stats dp;
+  let st = Dataplane.stats dp in
+  Alcotest.(check int) "reset drains pending upcalls" 0
+    st.Dataplane.pending_upcalls;
+  Alcotest.(check int) "drained items are not drops" 0 st.Dataplane.upcall_drops;
+  Alcotest.(check int) "nothing to service in the new window" 0
+    (Dataplane.service_upcalls dp ~now:1.);
+  Alcotest.(check int) "no stale handler work attributed" 0
+    (Dataplane.stats dp).Dataplane.upcalls;
+  Alcotest.(check (float 0.)) "no stale handler cycles" 0.
+    (Dataplane.stats dp).Dataplane.handler_cycles
+
 let queue_suite =
   [ Alcotest.test_case "queue: bounds and fifo" `Quick test_queue_bounds;
     Alcotest.test_case "queue: config" `Quick test_queue_config;
     Alcotest.test_case "queue: clear" `Quick test_queue_clear;
+    Alcotest.test_case "queue: reset" `Quick test_queue_reset;
+    Alcotest.test_case "deferred: reset drains pending" `Quick
+      test_reset_drains_pending;
     Alcotest.test_case "deferred: overflow drops" `Quick
       test_deferred_overflow_drops;
     Alcotest.test_case "deferred: handler budget" `Quick

@@ -191,6 +191,177 @@ let test_invalid_config () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "batch_size 0 should raise"
 
+(* --- pipeline ≡ deterministic: the differential property --- *)
+
+(* Fig. 3-style traffic: a benign pool the caches absorb, interleaved
+   with covert bursts whose distinct source/destination ports mint a
+   fresh megaflow mask shape per packet — the policy-injection load. *)
+let fig3_stream ~seed n =
+  let rng = Prng.create seed in
+  Array.init n (fun _ ->
+      if Prng.int rng 3 = 0 then
+        (* covert packet: hits the tp_dst rule region with churning
+           ports, driving upcalls and mask growth *)
+        ( Flow.make ~in_port:(Prng.int rng 4)
+            ~ip_src:(Int32.logor 0x0A000000l (Int32.of_int (Prng.int rng 1024)))
+            ~ip_dst:3l ~ip_proto:17
+            ~tp_src:(Prng.int rng 4096)
+            ~tp_dst:(Prng.int rng 4096) (),
+          100 )
+      else (random_flow rng, 64 + Prng.int rng 1400))
+
+let mk_pmd ~mode ?(dp = Datapath.default_config) () =
+  Pmd.create
+    ~config:
+      { Pmd.default_config with
+        Pmd.n_shards = 4; batch_cycles = 100.; mode; dp }
+    (Prng.create 42L) ()
+
+(* Drive both engines through the same schedule of random bursts (with
+   revalidation and a mid-run policy change) and insist on identical
+   per-packet results and identical final accounting. *)
+let run_differential ~rounds ~per_round ~dp ~check_packets =
+  let det = mk_pmd ~mode:Pmd.Deterministic ~dp () in
+  let pipe = mk_pmd ~mode:Pmd.Pipeline ~dp () in
+  Fun.protect ~finally:(fun () -> Pmd.close pipe) @@ fun () ->
+  Pmd.install_rules det rules;
+  Pmd.install_rules pipe rules;
+  for r = 0 to rounds - 1 do
+    let now = float_of_int r in
+    let pkts = fig3_stream ~seed:(Int64.of_int (100 + r)) per_round in
+    let a = Pmd.process_batch det ~now pkts in
+    let b = Pmd.process_batch pipe ~now pkts in
+    ignore (Pmd.service_upcalls det ~now);
+    ignore (Pmd.service_upcalls pipe ~now);
+    if check_packets then
+      Array.iteri (fun i e -> check_outcome i e b.(i)) a;
+    if r = rounds / 2 then begin
+      (* policy change mid-run: install quiesces the pipeline, and the
+         next revalidation must evict identically in both engines *)
+      Pmd.install_rules det rules;
+      Pmd.install_rules pipe rules;
+      let ea = Pmd.revalidate det ~now in
+      let eb = Pmd.revalidate pipe ~now in
+      Alcotest.(check int) "same evictions" ea eb
+    end
+  done;
+  (det, pipe)
+
+(* What must always converge: the cache state and the batch accounting.
+   [exact] additionally pins upcall counts and cycles — true only under
+   synchronous upcalls, where the pipeline is per-packet bit-for-bit;
+   with deferral the handler may resolve a miss before its duplicates
+   arrive, legitimately shrinking the upcall count (DESIGN.md §14). *)
+let check_converged ?(exact = false) det pipe =
+  Alcotest.(check int) "n_masks" (Pmd.n_masks det) (Pmd.n_masks pipe);
+  Alcotest.(check int) "n_megaflows" (Pmd.n_megaflows det)
+    (Pmd.n_megaflows pipe);
+  if exact then begin
+    Alcotest.(check int) "n_upcalls" (Pmd.n_upcalls det) (Pmd.n_upcalls pipe);
+    Alcotest.(check (float 0.)) "cycles bit-identical" (Pmd.cycles_used det)
+      (Pmd.cycles_used pipe)
+  end;
+  Alcotest.(check int) "n_processed" (Pmd.n_processed det)
+    (Pmd.n_processed pipe);
+  Alcotest.(check int) "n_batches" (Pmd.n_batches det) (Pmd.n_batches pipe);
+  Alcotest.(check (float 0.)) "batch overhead bit-identical"
+    (Pmd.batch_overhead_cycles det)
+    (Pmd.batch_overhead_cycles pipe);
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check int) (Printf.sprintf "shard %d masks" i) m
+        (Pmd.per_shard_masks pipe).(i))
+    (Pmd.per_shard_masks det)
+
+let test_pipeline_parity_sync () =
+  (* Synchronous upcalls: misses classify inline on the worker, so the
+     pipeline is per-packet bit-for-bit the deterministic oracle. *)
+  let det, pipe =
+    run_differential ~rounds:6 ~per_round:300 ~dp:Datapath.default_config
+      ~check_packets:true
+  in
+  check_converged ~exact:true det pipe
+
+let test_pipeline_parity_deferred () =
+  (* Deferred upcalls: the handler domain interleaves with the workers,
+     so per-packet outcomes legitimately differ (a miss may resolve
+     before a later duplicate arrives). The converged state after
+     service_upcalls must still agree — deep queue, no budget, so
+     neither engine drops. *)
+  let dp =
+    { Datapath.default_config with
+      Datapath.upcall_queue = Upcall_queue.bounded 65536 }
+  in
+  let det, pipe =
+    run_differential ~rounds:6 ~per_round:300 ~dp ~check_packets:false
+  in
+  Alcotest.(check int) "no deterministic drops" 0 (Pmd.upcall_drops det);
+  Alcotest.(check int) "no pipeline drops" 0 (Pmd.upcall_drops pipe);
+  Alcotest.(check int) "nothing pending (det)" 0 (Pmd.pending_upcalls det);
+  Alcotest.(check int) "nothing pending (pipe)" 0 (Pmd.pending_upcalls pipe);
+  check_converged det pipe
+
+let test_pipeline_single_packet_and_close () =
+  let det = mk_pmd ~mode:Pmd.Deterministic () in
+  let pipe = mk_pmd ~mode:Pmd.Pipeline () in
+  Pmd.install_rules det rules;
+  Pmd.install_rules pipe rules;
+  let pkts = flow_stream ~seed:21L 200 in
+  Array.iteri
+    (fun i (f, pkt_len) ->
+      let now = float_of_int i *. 0.01 in
+      let a = Pmd.process det ~now f ~pkt_len in
+      let b = Pmd.process pipe ~now f ~pkt_len in
+      check_outcome i a b)
+    pkts;
+  Alcotest.(check int) "process charges no bursts" 0 (Pmd.n_batches pipe);
+  Alcotest.(check (float 0.)) "cycles bit-identical" (Pmd.cycles_used det)
+    (Pmd.cycles_used pipe);
+  Pmd.close pipe;
+  Pmd.close pipe;  (* idempotent *)
+  Alcotest.(check bool) "stats readable after close" true
+    (Pmd.n_processed pipe = 200);
+  (match Pmd.process_batch pipe ~now:99. pkts with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "process_batch after close should raise");
+  Pmd.close det  (* no-op in deterministic mode *)
+
+let test_pipeline_reset_stats () =
+  (* reset_stats quiesces, drains and zeroes: the next window starts
+     clean and the engines stay in lockstep afterwards. *)
+  let dp =
+    { Datapath.default_config with
+      Datapath.upcall_queue = Upcall_queue.bounded 65536 }
+  in
+  let det = mk_pmd ~mode:Pmd.Deterministic ~dp () in
+  let pipe = mk_pmd ~mode:Pmd.Pipeline ~dp () in
+  Fun.protect ~finally:(fun () -> Pmd.close pipe) @@ fun () ->
+  Pmd.install_rules det rules;
+  Pmd.install_rules pipe rules;
+  let pkts = fig3_stream ~seed:77L 200 in
+  ignore (Pmd.process_batch det ~now:0. pkts);
+  ignore (Pmd.process_batch pipe ~now:0. pkts);
+  (* converge the caches before resetting, so the second window starts
+     from identical state in both engines *)
+  ignore (Pmd.service_upcalls det ~now:0.);
+  ignore (Pmd.service_upcalls pipe ~now:0.);
+  Pmd.reset_stats det;
+  Pmd.reset_stats pipe;
+  Alcotest.(check int) "pipe counters zeroed" 0 (Pmd.n_processed pipe);
+  Alcotest.(check int) "pipe pending drained" 0 (Pmd.pending_upcalls pipe);
+  Alcotest.(check (float 0.)) "pipe cycles zeroed" 0. (Pmd.cycles_used pipe);
+  let pkts2 = fig3_stream ~seed:78L 200 in
+  ignore (Pmd.process_batch det ~now:1. pkts2);
+  ignore (Pmd.process_batch pipe ~now:1. pkts2);
+  ignore (Pmd.service_upcalls det ~now:1.);
+  ignore (Pmd.service_upcalls pipe ~now:1.);
+  Alcotest.(check int) "windows agree: processed" (Pmd.n_processed det)
+    (Pmd.n_processed pipe);
+  Alcotest.(check int) "windows agree: masks" (Pmd.n_masks det)
+    (Pmd.n_masks pipe);
+  Alcotest.(check int) "windows agree: megaflows" (Pmd.n_megaflows det)
+    (Pmd.n_megaflows pipe)
+
 (* --- per-shard telemetry --- *)
 
 let test_per_shard_metrics () =
@@ -223,4 +394,11 @@ let suite =
     Alcotest.test_case "short final burst pays once" `Quick test_short_final_burst_pays_once;
     Alcotest.test_case "burst chopping" `Quick test_burst_chopping;
     Alcotest.test_case "invalid config" `Quick test_invalid_config;
+    Alcotest.test_case "pipeline = deterministic (sync upcalls)" `Quick
+      test_pipeline_parity_sync;
+    Alcotest.test_case "pipeline converges (deferred upcalls)" `Quick
+      test_pipeline_parity_deferred;
+    Alcotest.test_case "pipeline single-packet parity and close" `Quick
+      test_pipeline_single_packet_and_close;
+    Alcotest.test_case "pipeline reset_stats" `Quick test_pipeline_reset_stats;
     Alcotest.test_case "per-shard metrics" `Quick test_per_shard_metrics ]

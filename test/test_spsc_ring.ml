@@ -1,0 +1,130 @@
+open Pi_ovs
+
+(* --- capacity rounding ---------------------------------------------- *)
+
+let test_capacity_rounding () =
+  List.iter
+    (fun (req, expect) ->
+      let r = Spsc_ring.create ~capacity:req ~dummy:0 in
+      Alcotest.(check int)
+        (Printf.sprintf "capacity %d rounds to %d" req expect)
+        expect (Spsc_ring.capacity r))
+    [ (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (7, 8); (8, 8); (9, 16);
+      (1000, 1024); (1024, 1024) ];
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Spsc_ring.create: capacity < 1") (fun () ->
+      ignore (Spsc_ring.create ~capacity:0 ~dummy:0));
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Spsc_ring.create: capacity < 1") (fun () ->
+      ignore (Spsc_ring.create ~capacity:(-3) ~dummy:0))
+
+(* --- empty / full semantics ----------------------------------------- *)
+
+let test_empty_full () =
+  let r = Spsc_ring.create ~capacity:4 ~dummy:(-1) in
+  Alcotest.(check bool) "new ring empty" true (Spsc_ring.is_empty r);
+  Alcotest.(check bool) "new ring not full" false (Spsc_ring.is_full r);
+  Alcotest.(check int) "length 0" 0 (Spsc_ring.length r);
+  Alcotest.(check (option int)) "pop on empty" None (Spsc_ring.pop r);
+  Alcotest.(check int) "pop_or default on empty" (-99)
+    (Spsc_ring.pop_or r ~default:(-99));
+  for i = 1 to 4 do
+    Alcotest.(check bool) (Printf.sprintf "push %d accepted" i) true
+      (Spsc_ring.push r i)
+  done;
+  Alcotest.(check bool) "full after capacity pushes" true (Spsc_ring.is_full r);
+  Alcotest.(check int) "length = capacity" 4 (Spsc_ring.length r);
+  Alcotest.(check bool) "push on full refused" false (Spsc_ring.push r 5);
+  Alcotest.(check (option int)) "fifo head survives overflow attempt"
+    (Some 1) (Spsc_ring.pop r);
+  Alcotest.(check bool) "space again after pop" false (Spsc_ring.is_full r);
+  Alcotest.(check bool) "push fits again" true (Spsc_ring.push r 5);
+  Alcotest.(check (option int)) "order kept" (Some 2) (Spsc_ring.pop r)
+
+(* --- wraparound: FIFO order across many index wraps ------------------ *)
+
+let test_wraparound () =
+  let r = Spsc_ring.create ~capacity:4 ~dummy:(-1) in
+  let next_out = ref 0 in
+  (* Staggered push/pop so head and tail cross the slot-array boundary
+     dozens of times; order must stay exactly FIFO throughout. *)
+  for i = 0 to 199 do
+    Alcotest.(check bool) "push" true (Spsc_ring.push r i);
+    if i mod 3 <> 0 then begin
+      Alcotest.(check (option int)) "fifo across wrap" (Some !next_out)
+        (Spsc_ring.pop r);
+      incr next_out
+    end;
+    (* drain a little extra whenever we are about to overflow *)
+    while Spsc_ring.is_full r do
+      Alcotest.(check (option int)) "fifo while draining" (Some !next_out)
+        (Spsc_ring.pop r);
+      incr next_out
+    done
+  done;
+  let rec drain () =
+    match Spsc_ring.pop r with
+    | Some v ->
+      Alcotest.(check int) "fifo tail" !next_out v;
+      incr next_out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "every pushed item popped exactly once" 200 !next_out;
+  Alcotest.(check bool) "empty at the end" true (Spsc_ring.is_empty r)
+
+(* --- popped slots drop their references ------------------------------ *)
+
+let test_slot_clearing () =
+  (* After a pop, the slot must hold the dummy again — the ring never
+     retains the last reference to a consumed (heap-allocated) item.
+     Observable via pop_or's default on the emptied ring. *)
+  let r = Spsc_ring.create ~capacity:2 ~dummy:None in
+  Alcotest.(check bool) "push" true (Spsc_ring.push r (Some "x"));
+  (match Spsc_ring.pop_or r ~default:None with
+   | Some s -> Alcotest.(check string) "payload" "x" s
+   | None -> Alcotest.fail "lost the payload");
+  Alcotest.(check bool) "empty" true (Spsc_ring.is_empty r);
+  (match Spsc_ring.pop_or r ~default:None with
+   | None -> ()
+   | Some _ -> Alcotest.fail "emptied slot still holds a value")
+
+(* --- producer / consumer across two domains -------------------------- *)
+
+let test_two_domains () =
+  let n = 20_000 in
+  let r = Spsc_ring.create ~capacity:64 ~dummy:(-1) in
+  let consumer =
+    Domain.spawn (fun () ->
+        let sum = ref 0 and got = ref 0 and ok = ref true in
+        while !got < n do
+          match Spsc_ring.pop_or r ~default:(-1) with
+          | -1 -> Domain.cpu_relax ()
+          | v ->
+            (* items must arrive in push order: 0,1,2,... *)
+            if v <> !got then ok := false;
+            sum := !sum + v;
+            incr got
+        done;
+        (!ok, !sum))
+  in
+  for i = 0 to n - 1 do
+    while not (Spsc_ring.push r i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  let ok, sum = Domain.join consumer in
+  Alcotest.(check bool) "in-order delivery across domains" true ok;
+  Alcotest.(check int) "no item lost or duplicated" (n * (n - 1) / 2) sum;
+  Alcotest.(check bool) "ring drained" true (Spsc_ring.is_empty r)
+
+let suite =
+  [ Alcotest.test_case "capacity rounds to powers of two" `Quick
+      test_capacity_rounding;
+    Alcotest.test_case "empty/full semantics" `Quick test_empty_full;
+    Alcotest.test_case "wraparound keeps FIFO order" `Quick test_wraparound;
+    Alcotest.test_case "popped slots drop references" `Quick
+      test_slot_clearing;
+    Alcotest.test_case "producer/consumer across domains" `Quick
+      test_two_domains ]
