@@ -1,0 +1,156 @@
+(* Flat open-addressing table: two parallel int arrays, linear probing,
+   backward-shift deletion. See flat_tbl.mli for the contract.
+
+   Hashes are stored normalised to non-negative ([land max_int] — the
+   classifier's hashes already are, via Bits.finalize) so [-1] can mark
+   an empty slot without a separate occupancy bitmap: one array load
+   answers "empty?", "mine?", and "keep probing?" at once.
+
+   The probe loops are top-level recursive functions with explicit
+   arguments — an inner [let rec] closing over the table would allocate
+   a closure per call, and these run on the per-packet path. *)
+
+type t = {
+  mutable hashes : int array;   (* -1 = empty slot *)
+  mutable values : int array;
+  mutable mask : int;           (* capacity - 1; capacity is a power of two *)
+  mutable n : int;
+}
+
+let empty = -1
+
+let[@inline] norm h = h land max_int
+
+let min_capacity = 8
+
+let rec pow2_at_least c n = if n >= c then n else pow2_at_least c (n * 2)
+
+let create ?(capacity = min_capacity) () =
+  let cap = pow2_at_least (max min_capacity capacity) min_capacity in
+  { hashes = Array.make cap empty; values = Array.make cap 0;
+    mask = cap - 1; n = 0 }
+
+let length t = t.n
+let capacity t = t.mask + 1
+
+let rec probe_from hashes mask h i =
+  let k = Array.unsafe_get hashes i in
+  if k = empty then -1
+  else if k = h then i
+  else probe_from hashes mask h ((i + 1) land mask)
+
+let[@inline] find_first t h =
+  let h = norm h in
+  probe_from t.hashes t.mask h (h land t.mask)
+
+let[@inline] next t h slot =
+  probe_from t.hashes t.mask (norm h) ((slot + 1) land t.mask)
+
+let[@inline] mem t h = find_first t h >= 0
+
+let value t slot = t.values.(slot)
+let set_value t slot v = t.values.(slot) <- v
+
+let rec free_from hashes mask i =
+  if Array.unsafe_get hashes i = empty then i
+  else free_from hashes mask ((i + 1) land mask)
+
+let unchecked_add t h v =
+  let i = free_from t.hashes t.mask (h land t.mask) in
+  t.hashes.(i) <- h;
+  t.values.(i) <- v;
+  t.n <- t.n + 1
+
+let resize t cap =
+  let old_h = t.hashes and old_v = t.values in
+  t.hashes <- Array.make cap empty;
+  t.values <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.n <- 0;
+  Array.iteri (fun i h -> if h <> empty then unchecked_add t h old_v.(i)) old_h
+
+let add t h v =
+  (* Grow at 3/4 load so probe runs stay short and never wrap a full
+     table (termination of the probe loops relies on a free slot). *)
+  if (t.n + 1) * 4 > (t.mask + 1) * 3 then resize t ((t.mask + 1) * 2);
+  unchecked_add t (norm h) v
+
+let remove_slot t slot =
+  let hashes = t.hashes and values = t.values and mask = t.mask in
+  (* Backward-shift deletion: walk the probe run after [slot]; any
+     element whose home position lies at or before the hole (cyclically)
+     is moved into it, re-opening the hole further down. Stops at the
+     first empty slot. No tombstones, ever. *)
+  let i = ref slot in
+  let j = ref slot in
+  let scanning = ref true in
+  while !scanning do
+    hashes.(!i) <- empty;
+    let shifted = ref false in
+    while not !shifted do
+      j := (!j + 1) land mask;
+      let hj = hashes.(!j) in
+      if hj = empty then begin
+        shifted := true;
+        scanning := false
+      end
+      else begin
+        let home = hj land mask in
+        (* [hj] may move to the hole at [i] unless its home position
+           lies cyclically within (i, j] — moving it would then place
+           it before its home and break its probe chain. *)
+        let home_in_range =
+          if !i < !j then home > !i && home <= !j
+          else home > !i || home <= !j
+        in
+        if not home_in_range then begin
+          hashes.(!i) <- hj;
+          values.(!i) <- values.(!j);
+          i := !j;
+          shifted := true
+        end
+      end
+    done
+  done;
+  t.n <- t.n - 1;
+  if t.mask + 1 > min_capacity && t.n * 8 < t.mask + 1 then
+    resize t ((t.mask + 1) / 2)
+
+let incr t h =
+  let i = find_first t h in
+  if i >= 0 then t.values.(i) <- t.values.(i) + 1
+  else add t h 1
+
+let decr t h =
+  let i = find_first t h in
+  if i < 0 then invalid_arg "Flat_tbl.decr: hash not present"
+  else begin
+    let c = t.values.(i) - 1 in
+    if c <= 0 then remove_slot t i else t.values.(i) <- c
+  end
+
+let iter f t =
+  let hashes = t.hashes and values = t.values in
+  for i = 0 to t.mask do
+    if hashes.(i) <> empty then f hashes.(i) values.(i)
+  done
+
+let clear t =
+  Array.fill t.hashes 0 (t.mask + 1) empty;
+  t.n <- 0
+
+let probe_stats t =
+  if t.n = 0 then (0., 0)
+  else begin
+    let total = ref 0 and maxp = ref 0 in
+    let mask = t.mask in
+    for i = 0 to mask do
+      let h = t.hashes.(i) in
+      if h <> empty then begin
+        let d = (i - (h land mask)) land mask in
+        total := !total + d + 1;
+        if d + 1 > !maxp then maxp := d + 1
+      end
+    done;
+    (float_of_int !total /. float_of_int t.n, !maxp)
+  end

@@ -1,0 +1,83 @@
+(** Open-addressing hash table over parallel int arrays.
+
+    This is the flat store behind the classifier subtables: a
+    power-of-two capacity, linear probing, and tombstone-free
+    (backward-shift) deletion, so a long-lived table never degrades
+    into a tombstone crawl no matter how much rule churn it sees.
+
+    The table maps an [int] hash to an [int] payload — typically an
+    index into a contiguous entry arena owned by the caller. Duplicate
+    hashes are allowed ([add] never overwrites); lookups therefore use
+    a cursor protocol: [find_first] returns the first slot holding the
+    hash, [next] the following one, [-1] when exhausted. The caller
+    verifies the actual key at each slot, exactly like walking a
+    bucket list — except the "bucket" is a run of adjacent array
+    slots, one cache line instead of a pointer chain.
+
+    None of the probe operations ([find_first], [next], [value],
+    [mem]) allocate. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ?capacity ()] makes an empty table. [capacity] is rounded
+    up to a power of two, minimum 8. *)
+
+val length : t -> int
+(** Number of occupied slots. *)
+
+val capacity : t -> int
+(** Current number of slots (a power of two). *)
+
+val find_first : t -> int -> int
+(** [find_first t h] is the first slot whose stored hash equals [h],
+    or [-1]. Allocation-free. *)
+
+val next : t -> int -> int -> int
+(** [next t h slot] is the next slot after [slot] whose stored hash
+    equals [h], or [-1]. [slot] must come from a previous
+    [find_first]/[next] with the same [h]. Allocation-free. *)
+
+val mem : t -> int -> bool
+(** [mem t h] is [find_first t h >= 0], allocation-free. *)
+
+val value : t -> int -> int
+(** Payload stored at an occupied slot. Allocation-free. *)
+
+val set_value : t -> int -> int -> unit
+(** [set_value t slot v] replaces the payload at an occupied slot. *)
+
+val add : t -> int -> int -> unit
+(** [add t h v] inserts a new (hash, payload) pair, growing the table
+    when load exceeds 3/4. Duplicate hashes coexist; [add] never
+    replaces. *)
+
+val remove_slot : t -> int -> unit
+(** [remove_slot t slot] deletes the pair at [slot] by backward-shift
+    deletion: subsequent slots of the probe run are moved up so no
+    tombstone is left behind. Slots previously obtained from
+    [find_first]/[next] are invalidated. Shrinks at 1/8 load (with
+    growth at 3/4, churn cannot thrash resizes). *)
+
+val incr : t -> int -> unit
+(** Multiset view: bump the count stored under [h], inserting the
+    hash with count 1 if absent. Do not mix with [add] on one table —
+    [incr]/[decr] assume each hash occupies at most one slot. *)
+
+val decr : t -> int -> unit
+(** Multiset view: decrement the count under [h], removing the slot
+    when it reaches zero. Raises [Invalid_argument] if [h] is absent
+    — the caller's bookkeeping is broken. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+(** [iter f t] applies [f hash payload] to every occupied slot, in
+    unspecified order. *)
+
+val clear : t -> unit
+(** Empty the table, keeping its current capacity. *)
+
+val probe_stats : t -> float * int
+(** [(mean, max)] displacement-based probe length over occupied slots
+    (1 = sitting in its home slot). [(0., 0)] when empty. Diagnostic
+    for [dpctl dump-masks]; the displacement is an upper bound on the
+    probes a successful lookup of that slot's hash performs. *)

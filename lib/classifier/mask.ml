@@ -64,7 +64,9 @@ let apply t k =
 
 let rec masked_eq_from t af bf i =
   i = Field.count
-  || (t.(i) land af.(i) = t.(i) land bf.(i) && masked_eq_from t af bf (i + 1))
+  || (let m = Array.unsafe_get t i in
+      m land Array.unsafe_get af i = m land Array.unsafe_get bf i
+      && masked_eq_from t af bf (i + 1))
 
 let matches t ~key flow =
   masked_eq_from t (Flow.unsafe_fields key) (Flow.unsafe_fields flow) 0
@@ -91,17 +93,59 @@ let hash t =
 
 (* [hash_masked m k = Flow.hash (apply m k)] fused into one pass: the
    masked key is never materialised. This is the inner loop of every
-   megaflow subtable probe and TSS stage check. *)
+   megaflow subtable probe and TSS stage check. Every Mask.t and Flow
+   field array has length [Field.count] by construction, so the unsafe
+   accesses are bounded. *)
 let hash_masked t k =
   let kf = Flow.unsafe_fields k in
   let h = ref 0 in
   for i = 0 to Field.count - 1 do
-    h := Bits.mix !h (t.(i) land kf.(i))
+    h := Bits.mix !h (Array.unsafe_get t i land Array.unsafe_get kf i)
   done;
   Bits.finalize !h
 
 let equal_masked t a b =
   masked_eq_from t (Flow.unsafe_fields a) (Flow.unsafe_fields b) 0
+
+(* Support-restricted probe operations: a subtable computes [support]
+   of its mask once, and every probe then touches only the set fields.
+   The resulting hash is deliberately NOT [hash_masked] (skipped fields
+   would have mixed zeros) — it only has to agree between the inserts
+   and the probes of one subtable, and it does by construction. *)
+let support t =
+  let n = ref 0 in
+  for i = 0 to Field.count - 1 do
+    if t.(i) <> 0 then incr n
+  done;
+  let s = Array.make !n 0 in
+  let j = ref 0 in
+  for i = 0 to Field.count - 1 do
+    if t.(i) <> 0 then begin
+      s.(!j) <- i;
+      incr j
+    end
+  done;
+  s
+
+let hash_masked_on s t k =
+  let kf = Flow.unsafe_fields k in
+  let h = ref 0 in
+  for j = 0 to Array.length s - 1 do
+    let i = Array.unsafe_get s j in
+    h := Bits.mix !h (Array.unsafe_get t i land Array.unsafe_get kf i)
+  done;
+  Bits.finalize !h
+
+let rec masked_eq_on s t af bf j =
+  j < 0
+  || (let i = Array.unsafe_get s j in
+      let m = Array.unsafe_get t i in
+      m land Array.unsafe_get af i = m land Array.unsafe_get bf i
+      && masked_eq_on s t af bf (j - 1))
+
+let equal_masked_on s t a b =
+  masked_eq_on s t (Flow.unsafe_fields a) (Flow.unsafe_fields b)
+    (Array.length s - 1)
 
 let pp ppf t =
   if is_empty t then Format.pp_print_string ppf "any"

@@ -65,6 +65,25 @@ val hash_masked : t -> Flow.t -> int
 val equal_masked : t -> Flow.t -> Flow.t -> bool
 (** [equal_masked m a b] iff [a & m = b & m], without allocating. *)
 
+val support : t -> int array
+(** Indices of the fields with at least one significant bit, ascending.
+    Precomputed once per subtable so the probe-path variants below touch
+    only the set fields — attack-shaped masks set 1–3 of the
+    {!Field.count} fields, so this is the difference between mixing 13
+    words and mixing 3 on every probe. *)
+
+val hash_masked_on : int array -> t -> Flow.t -> int
+(** [hash_masked_on (support m) m k]: like {!hash_masked} but mixing
+    only the support fields. NOT equal to [hash_masked m k] — callers
+    must pair inserts and probes through the same support array (a
+    per-subtable invariant, which is the only way these hashes are
+    used). Allocation-free. *)
+
+val equal_masked_on : int array -> t -> Flow.t -> Flow.t -> bool
+(** [equal_masked_on (support m) m a b = equal_masked m a b]: fields
+    outside the support are fully wildcarded, so comparing the support
+    alone is exact, not an approximation. Allocation-free. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints e.g. [ip_src/8,tp_dst/16] (prefix notation when contiguous,
     hex otherwise); [any] for the empty mask. *)

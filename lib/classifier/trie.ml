@@ -80,22 +80,33 @@ let is_empty t = t.root.below = 0
 
 let size t = t.root.below
 
-type lookup_result = { plens : bool array; checked : int }
+type lookup_result = { plens : bool array; mutable checked : int }
+
+let result ~width = { plens = Array.make (width + 1) false; checked = 0 }
+
+(* Top-level recursion with explicit arguments: an inner [let rec]
+   closing over [plens] would allocate a closure per lookup, and
+   [lookup_into] runs once per (field, upcall) on the slow path. *)
+let rec lookup_go t value plens node d =
+  if node.n_end > 0 then plens.(d) <- true;
+  if d = t.width then t.width
+  else begin
+    let child = if bit_at t value d = 0 then node.zero else node.one in
+    match child with
+    | None -> min t.width (d + 1)
+    | Some c -> lookup_go t value plens c (d + 1)
+  end
+
+(* Fill a caller-owned scratch result: zero allocation. *)
+let lookup_into t value r =
+  if Array.length r.plens <> t.width + 1 then invalid_arg "Trie.lookup_into";
+  Array.fill r.plens 0 (t.width + 1) false;
+  r.checked <- lookup_go t value r.plens t.root 0
 
 let lookup t value =
-  let plens = Array.make (t.width + 1) false in
-  let rec go node d =
-    if node.n_end > 0 then plens.(d) <- true;
-    if d = t.width then t.width
-    else begin
-      let child = if bit_at t value d = 0 then node.zero else node.one in
-      match child with
-      | None -> min t.width (d + 1)
-      | Some c -> go c (d + 1)
-    end
-  in
-  let checked = go t.root 0 in
-  { plens; checked }
+  let r = result ~width:t.width in
+  lookup_into t value r;
+  r
 
 let longest_match r =
   let rec go n = if n < 0 then -1 else if r.plens.(n) then n else go (n - 1) in

@@ -40,13 +40,23 @@ type lookup_result = {
   plens : bool array;
       (** [plens.(n)] iff some stored prefix of length [n] covers the
           value; length [width + 1] (index 0 = the empty prefix). *)
-  checked : int;
+  mutable checked : int;
       (** Number of leading bits that must be un-wildcarded so that any
           value sharing them yields the same [plens] — the megaflow
           prefix length OVS installs. *)
 }
 
 val lookup : t -> int -> lookup_result
+
+val result : width:int -> lookup_result
+(** A blank result sized for tries of [width], for reuse with
+    {!lookup_into}. *)
+
+val lookup_into : t -> int -> lookup_result -> unit
+(** [lookup_into t v r] performs {!lookup} into the caller-owned
+    scratch [r] (sized via {!result} for this trie's width) without
+    allocating. The slow path keeps one scratch per field per
+    classifier and reuses it across upcalls. *)
 
 val longest_match : lookup_result -> int
 (** Largest [n] with [plens.(n)], or [-1] if none (not even [/0]). *)

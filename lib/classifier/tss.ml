@@ -16,17 +16,25 @@ let ovs_default_config =
 
 module Mask_tbl = Tables.Mask_tbl
 
-(* Entries are bucketed by the masked-key hash and verified with
-   [Mask.equal_masked], so the full-key probe never materialises a
-   masked flow (the old [Flow_tbl] keyed on [Mask.apply st.mask flow]
-   allocated one per probe, per subtable, per upcall). *)
+(* A subtable is a flat store: [tbl] maps the masked-key hash to an
+   index into the contiguous [e_keys]/[e_rules] arena (Flat_tbl allows
+   duplicate hashes; the probe verifies with [Mask.equal_masked], so no
+   masked flow is ever materialised). Stage sets are Flat_tbl multisets:
+   absence of a hash proves absence of a key (no false negatives);
+   collisions only cost an extra probe. The last stage has no set — the
+   full entry table plays that role. Deleted arena cells are compacted
+   by swap-with-last, so a walk over [0, e_n) visits every live cell. *)
 type 'a subtable = {
   mask : Mask.t;
+  support : int array;             (* Mask.support mask *)
   stage_masks : Mask.t array;      (* cumulative: stages 0..i *)
+  stage_support : int array array; (* per stage: Mask.support stage_masks.(i) *)
   stage_used : bool array;         (* stage i adds bits of its own *)
-  stage_sets : (int, int ref) Hashtbl.t array;  (* per-stage hash multiset *)
-  entries : (int, (Flow.t * 'a Rule.t list ref) list ref) Hashtbl.t;
-      (* masked-key hash -> (masked key, rules best-first) candidates *)
+  stage_sets : Flat_tbl.t array;   (* per-stage hash multiset *)
+  tbl : Flat_tbl.t;                (* masked-key hash -> arena index *)
+  mutable e_keys : Flow.t array;   (* arena: rule pattern keys *)
+  mutable e_rules : 'a Rule.t list array;  (* arena: buckets, best-first *)
+  mutable e_n : int;
   plen : int array;                (* per field index: trie prefix length, 0 = no trie *)
   mutable max_prio : int;
   mutable n : int;
@@ -37,9 +45,13 @@ type 'a t = {
   subtables : 'a subtable Mask_tbl.t;
   tries : Trie.t array;            (* per field index; unused entries stay empty *)
   trie_on : bool array;            (* field index participates in trie checks *)
-  mutable sorted : 'a subtable list;
+  scratch_trie : Trie.lookup_result array;  (* per field, reused across lookups *)
+  scratch_trie_ok : bool array;    (* scratch entry valid for current lookup *)
+  find_scratch : Mask.Builder.t;   (* un-wildcarding sink for plain finds *)
+  mutable sorted : 'a subtable array;  (* dense, decreasing max_prio *)
   mutable dirty : bool;
   mutable n_rules : int;
+  mutable last_probes : int;       (* subtables examined by the last lookup *)
 }
 
 let create ?(config = default_config) () =
@@ -49,9 +61,15 @@ let create ?(config = default_config) () =
     subtables = Mask_tbl.create 16;
     tries = Array.init Field.count (fun i -> Trie.create ~width:(Field.width (Field.of_index i)));
     trie_on;
-    sorted = [];
+    scratch_trie =
+      Array.init Field.count (fun i ->
+          Trie.result ~width:(Field.width (Field.of_index i)));
+    scratch_trie_ok = Array.make Field.count false;
+    find_scratch = Mask.Builder.create ();
+    sorted = [||];
     dirty = false;
-    n_rules = 0 }
+    n_rules = 0;
+    last_probes = 0 }
 
 let config t = t.cfg
 
@@ -90,37 +108,44 @@ let plen_of t mask =
 let new_subtable t mask =
   let stage_masks, stage_used = stage_masks_of mask in
   { mask;
+    support = Mask.support mask;
     stage_masks;
+    stage_support = Array.map Mask.support stage_masks;
     stage_used;
-    stage_sets = Array.init Field.Stage.count (fun _ -> Hashtbl.create 16);
-    entries = Hashtbl.create 16;
+    stage_sets = Array.init Field.Stage.count (fun _ -> Flat_tbl.create ());
+    tbl = Flat_tbl.create ();
+    e_keys = [||];
+    e_rules = [||];
+    e_n = 0;
     plen = plen_of t mask;
     max_prio = min_int;
     n = 0 }
 
-(* Stage sets are hash multisets: absence of a hash proves absence of a
-   key (no false negatives); collisions only cost an extra probe. The
-   last stage has no set — the full entry table plays that role. *)
-let stage_set_add st si h =
-  match Hashtbl.find_opt st.stage_sets.(si) h with
-  | Some r -> incr r
-  | None -> Hashtbl.add st.stage_sets.(si) h (ref 1)
-
-let stage_set_remove st si h =
-  match Hashtbl.find_opt st.stage_sets.(si) h with
-  | Some r ->
-    decr r;
-    if !r <= 0 then Hashtbl.remove st.stage_sets.(si) h
-  | None -> assert false
-
 let last_stage = Field.Stage.count - 1
 
-(* The candidate list under one hash; keys are pre-masked, so plain
-   [Flow.equal] identifies the cell. *)
-let rec find_cell key = function
-  | [] -> None
-  | (k, bucket) :: rest ->
-    if Flow.equal k key then Some bucket else find_cell key rest
+(* Grow the arena, seeding fresh key slots with the key being inserted
+   (so no dummy flow value is ever needed). *)
+let ensure_arena st key =
+  let cap = Array.length st.e_keys in
+  if st.e_n = cap then begin
+    let ncap = max 4 (cap * 2) in
+    let nk = Array.make ncap key in
+    Array.blit st.e_keys 0 nk 0 cap;
+    st.e_keys <- nk;
+    let nr = Array.make ncap [] in
+    Array.blit st.e_rules 0 nr 0 cap;
+    st.e_rules <- nr
+  end
+
+(* Arena index of the cell holding exactly [key] (keys are pre-masked,
+   so plain [Flow.equal] identifies the cell), or -1. *)
+let rec cell_index st h slot key =
+  if slot < 0 then -1
+  else begin
+    let idx = Flat_tbl.value st.tbl slot in
+    if Flow.equal st.e_keys.(idx) key then idx
+    else cell_index st h (Flat_tbl.next st.tbl h slot) key
+  end
 
 let insert t (rule : 'a Rule.t) =
   let mask = rule.Rule.pattern.Pattern.mask in
@@ -143,76 +168,98 @@ let insert t (rule : 'a Rule.t) =
     st.plen;
   for si = 0 to last_stage - 1 do
     if st.stage_used.(si) then
-      stage_set_add st si (Mask.hash_masked st.stage_masks.(si) key)
+      Flat_tbl.incr st.stage_sets.(si)
+        (Mask.hash_masked_on st.stage_support.(si) st.stage_masks.(si) key)
   done;
-  let h = Flow.hash key in
-  (match Hashtbl.find_opt st.entries h with
-   | Some cell -> begin
-     match find_cell key !cell with
-     | Some bucket -> bucket := List.sort Rule.compare_precedence (rule :: !bucket)
-     | None -> cell := (key, ref [ rule ]) :: !cell
-   end
-   | None -> Hashtbl.add st.entries h (ref [ (key, ref [ rule ]) ]));
+  let h = Mask.hash_masked_on st.support st.mask key in
+  let idx = cell_index st h (Flat_tbl.find_first st.tbl h) key in
+  if idx >= 0 then
+    st.e_rules.(idx) <- List.sort Rule.compare_precedence (rule :: st.e_rules.(idx))
+  else begin
+    ensure_arena st key;
+    let idx = st.e_n in
+    st.e_keys.(idx) <- key;
+    st.e_rules.(idx) <- [ rule ];
+    st.e_n <- idx + 1;
+    Flat_tbl.add st.tbl h idx
+  end;
   st.n <- st.n + 1;
   if rule.Rule.priority > st.max_prio then st.max_prio <- rule.Rule.priority;
   t.n_rules <- t.n_rules + 1;
   t.dirty <- true
+
+(* Delete arena cell [i]: unhook its hash slot (backward-shift, no
+   tombstone), then compact by moving the last cell into the hole and
+   redirecting that cell's hash slot to the new index. *)
+let remove_cell st i =
+  let h = Mask.hash_masked_on st.support st.mask st.e_keys.(i) in
+  let rec find_slot slot =
+    if slot < 0 then assert false
+    else if Flat_tbl.value st.tbl slot = i then slot
+    else find_slot (Flat_tbl.next st.tbl h slot)
+  in
+  Flat_tbl.remove_slot st.tbl (find_slot (Flat_tbl.find_first st.tbl h));
+  let last = st.e_n - 1 in
+  if i <> last then begin
+    let moved_key = st.e_keys.(last) in
+    st.e_keys.(i) <- moved_key;
+    st.e_rules.(i) <- st.e_rules.(last);
+    let hm = Mask.hash_masked_on st.support st.mask moved_key in
+    let rec fix slot =
+      if slot < 0 then assert false
+      else if Flat_tbl.value st.tbl slot = last then Flat_tbl.set_value st.tbl slot i
+      else fix (Flat_tbl.next st.tbl hm slot)
+    in
+    fix (Flat_tbl.find_first st.tbl hm)
+  end;
+  st.e_rules.(last) <- [];
+  st.e_n <- last
 
 let remove t pred =
   let removed = ref 0 in
   let dead_subtables = ref [] in
   Mask_tbl.iter
     (fun _mask st ->
-      let dead_hashes = ref [] in
-      Hashtbl.iter
-        (fun h cell ->
+      (* Downward so a swap-with-last compaction only moves cells we
+         have already visited. *)
+      for i = st.e_n - 1 downto 0 do
+        let key = st.e_keys.(i) in
+        let keep, drop = List.partition (fun r -> not (pred r)) st.e_rules.(i) in
+        if drop <> [] then begin
           List.iter
-            (fun (key, bucket) ->
-              let keep, drop = List.partition (fun r -> not (pred r)) !bucket in
-              if drop <> [] then begin
-                List.iter
-                  (fun (r : 'a Rule.t) ->
-                    ignore r;
-                    Array.iteri
-                      (fun i plen ->
-                        if plen > 0 then
-                          Trie.remove t.tries.(i)
-                            ~value:(Flow.get key (Field.of_index i)) ~len:plen)
-                      st.plen;
-                    for si = 0 to last_stage - 1 do
-                      if st.stage_used.(si) then
-                        stage_set_remove st si
-                          (Mask.hash_masked st.stage_masks.(si) key)
-                    done)
-                  drop;
-                let n_drop = List.length drop in
-                removed := !removed + n_drop;
-                st.n <- st.n - n_drop;
-                t.n_rules <- t.n_rules - n_drop;
-                bucket := keep
-              end)
-            !cell;
-          let live =
-            List.filter (fun (_, bucket) -> !bucket <> []) !cell
-          in
-          if live = [] then dead_hashes := h :: !dead_hashes
-          else cell := live)
-        st.entries;
-      List.iter (fun h -> Hashtbl.remove st.entries h) !dead_hashes;
+            (fun (r : 'a Rule.t) ->
+              ignore r;
+              Array.iteri
+                (fun fi plen ->
+                  if plen > 0 then
+                    Trie.remove t.tries.(fi)
+                      ~value:(Flow.get key (Field.of_index fi)) ~len:plen)
+                st.plen;
+              for si = 0 to last_stage - 1 do
+                if st.stage_used.(si) then
+                  Flat_tbl.decr st.stage_sets.(si)
+                    (Mask.hash_masked_on st.stage_support.(si)
+                       st.stage_masks.(si) key)
+              done)
+            drop;
+          let n_drop = List.length drop in
+          removed := !removed + n_drop;
+          st.n <- st.n - n_drop;
+          t.n_rules <- t.n_rules - n_drop;
+          if keep = [] then remove_cell st i
+          else st.e_rules.(i) <- keep
+        end
+      done;
       if st.n = 0 then dead_subtables := st.mask :: !dead_subtables
       else begin
         (* Recompute max priority after removals. *)
         let mp = ref min_int in
-        Hashtbl.iter
-          (fun _ cell ->
-            List.iter
-              (fun (_, bucket) ->
-                List.iter
-                  (fun (r : 'a Rule.t) ->
-                    if r.Rule.priority > !mp then mp := r.Rule.priority)
-                  !bucket)
-              !cell)
-          st.entries;
+        for i = 0 to st.e_n - 1 do
+          List.iter
+            (fun (r : 'a Rule.t) ->
+              if r.Rule.priority > !mp then mp := r.Rule.priority)
+            st.e_rules.(i)
+        done;
         st.max_prio <- !mp
       end)
     t.subtables;
@@ -220,14 +267,14 @@ let remove t pred =
   if !removed > 0 then t.dirty <- true;
   !removed
 
-let sorted_subtables t =
+let refresh_sorted t =
   if t.dirty then begin
     let l = Mask_tbl.fold (fun _ st acc -> st :: acc) t.subtables [] in
-    t.sorted <-
-      List.sort (fun a b -> Int.compare b.max_prio a.max_prio) l;
+    let arr = Array.of_list l in
+    Array.sort (fun a b -> Int.compare b.max_prio a.max_prio) arr;
+    t.sorted <- arr;
     t.dirty <- false
-  end;
-  t.sorted
+  end
 
 type 'a result = {
   rule : 'a Rule.t option;
@@ -235,108 +282,128 @@ type 'a result = {
   probes : int;
 }
 
-(* The core lookup. [wc] is the un-wildcarding accumulator ([None] for
-   plain finds, where only the verdict matters). *)
-let lookup_impl t flow ~wc =
-  let probes = ref 0 in
-  (* Per-field trie lookups are lazy and shared across subtables. *)
-  let trie_cache : Trie.lookup_result option array = Array.make Field.count None in
-  let trie_res i =
-    match trie_cache.(i) with
-    | Some r -> r
-    | None ->
-      let r = Trie.lookup t.tries.(i) (Flow.get flow (Field.of_index i)) in
-      trie_cache.(i) <- Some r;
-      r
-  in
-  let add_mask m = match wc with None -> () | Some b -> Mask.Builder.add_mask b m in
-  let add_prefix f n = match wc with None -> () | Some b -> Mask.Builder.add_prefix b f n in
-  let best : 'a Rule.t option ref = ref None in
-  let better (r : 'a Rule.t) =
-    match !best with None -> true | Some b -> Rule.wins r b
-  in
-  let examine st =
-    incr probes;
-    (* 1. Trie checks: can any rule of this subtable match at all? *)
-    let skip = ref false in
-    Array.iteri
-      (fun i plen ->
-        if plen > 0 && ((not !skip) || t.cfg.check_all_tries) then begin
-          let r = trie_res i in
-          if not r.Trie.plens.(plen) then begin
-            (* No stored prefix of the subtable's length covers the
-               packet: un-wildcard just enough leading bits to prove it
-               and skip the subtable. *)
-            add_prefix (Field.of_index i) r.Trie.checked;
-            skip := true
-          end
-        end)
-      st.plen;
-    if not !skip then begin
-      (* 2. Staged hash lookup. *)
-      let stage_miss = ref None in
-      if t.cfg.staged_lookup then begin
-        let si = ref 0 in
-        while !stage_miss = None && !si < last_stage do
-          if st.stage_used.(!si)
-             && not (Hashtbl.mem st.stage_sets.(!si)
-                       (Mask.hash_masked st.stage_masks.(!si) flow))
-          then stage_miss := Some !si;
-          incr si
-        done
-      end;
-      match !stage_miss with
-      | Some si ->
-        (* Genuinely absent at stage [si]: only stages 0..si examined. *)
-        add_mask st.stage_masks.(si)
-      | None ->
-        (* 3. Full-key probe: masked hash + masked equality, fused — no
-           masked flow is built. *)
-        add_mask st.mask;
-        (match Hashtbl.find_opt st.entries (Mask.hash_masked st.mask flow) with
-         | Some cell ->
-           let rec scan = function
-             | [] -> ()
-             | (k, bucket) :: rest ->
-               if Mask.equal_masked st.mask k flow then begin
-                 match !bucket with
-                 | r :: _ -> if better r then best := Some r
-                 | [] -> ()
-               end
-               else scan rest
-           in
-           scan !cell
-         | None -> ())
-    end
-  in
-  let rec go = function
-    | [] -> ()
-    | st :: rest ->
-      (* Strictly-lower subtables cannot beat [best]; equal-max-priority
-         subtables must still be examined because ties go to the rule
-         added first. *)
-      let stop =
-        match !best with
-        | Some b -> b.Rule.priority > st.max_prio
-        | None -> false
-      in
-      if not stop then begin
-        examine st;
-        go rest
-      end
-  in
-  go (sorted_subtables t);
-  (!best, !probes)
+(* The lookup below is the per-packet slow path: every helper is a
+   top-level recursive function with explicit arguments (an inner
+   [let rec] would allocate a closure per call) and every "is it
+   there?" answer is an int sentinel, not an option. The only
+   allocation in steady state is the [Some rule] built when a probe
+   actually improves the best match. *)
 
-let find t flow = fst (lookup_impl t flow ~wc:None)
+(* Per-field trie lookups are lazy and shared across subtables; the
+   results live in per-classifier scratch invalidated per lookup. *)
+let trie_res t flow i =
+  if not t.scratch_trie_ok.(i) then begin
+    Trie.lookup_into t.tries.(i) (Flow.get flow (Field.of_index i))
+      t.scratch_trie.(i);
+    t.scratch_trie_ok.(i) <- true
+  end;
+  t.scratch_trie.(i)
+
+(* 1. Trie checks: can any rule of this subtable match at all? Returns
+   [true] if the subtable is proven unmatchable; proof prefixes are
+   accumulated into [b] ("un-wildcard just enough leading bits"). *)
+let rec trie_check t st flow b i skipped =
+  if i >= Field.count then skipped
+  else begin
+    let plen = st.plen.(i) in
+    let skipped =
+      if plen > 0 && ((not skipped) || t.cfg.check_all_tries) then begin
+        let r = trie_res t flow i in
+        if not r.Trie.plens.(plen) then begin
+          Mask.Builder.add_prefix b (Field.of_index i) r.Trie.checked;
+          true
+        end
+        else skipped
+      end
+      else skipped
+    in
+    trie_check t st flow b (i + 1) skipped
+  end
+
+(* 2. Staged hash lookup: first stage whose set proves absence, -1 if
+   every stage passes. *)
+let rec stage_check st flow si =
+  if si >= last_stage then -1
+  else if
+    st.stage_used.(si)
+    && not
+         (Flat_tbl.mem st.stage_sets.(si)
+            (Mask.hash_masked_on st.stage_support.(si) st.stage_masks.(si)
+               flow))
+  then si
+  else stage_check st flow (si + 1)
+
+(* 3. Full-key probe: masked hash + masked equality, fused — no masked
+   flow is built. At most one arena cell's key can be masked-equal. *)
+let rec entry_probe st flow h slot best =
+  if slot < 0 then best
+  else begin
+    let idx = Flat_tbl.value st.tbl slot in
+    if Mask.equal_masked_on st.support st.mask st.e_keys.(idx) flow then
+      match st.e_rules.(idx) with
+      | r :: _ ->
+        (match best with
+         | Some b when not (Rule.wins r b) -> best
+         | _ -> Some r)
+      | [] -> best
+    else entry_probe st flow h (Flat_tbl.next st.tbl h slot) best
+  end
+
+let examine t st flow b best =
+  if trie_check t st flow b 0 false then best
+  else begin
+    let si = if t.cfg.staged_lookup then stage_check st flow 0 else -1 in
+    if si >= 0 then begin
+      (* Genuinely absent at stage [si]: only stages 0..si examined. *)
+      Mask.Builder.add_mask b st.stage_masks.(si);
+      best
+    end
+    else begin
+      Mask.Builder.add_mask b st.mask;
+      let h = Mask.hash_masked_on st.support st.mask flow in
+      entry_probe st flow h (Flat_tbl.find_first st.tbl h) best
+    end
+  end
+
+let rec walk t flow b best i =
+  let arr = t.sorted in
+  if i >= Array.length arr then best
+  else begin
+    let st = Array.unsafe_get arr i in
+    (* Strictly-lower subtables cannot beat [best]; equal-max-priority
+       subtables must still be examined because ties go to the rule
+       added first. *)
+    let stop =
+      match best with
+      | Some b -> b.Rule.priority > st.max_prio
+      | None -> false
+    in
+    if stop then best
+    else begin
+      t.last_probes <- t.last_probes + 1;
+      let best = examine t st flow b best in
+      walk t flow b best (i + 1)
+    end
+  end
+
+(* The core lookup. [b] is the un-wildcarding accumulator; plain finds
+   pass the classifier's own scratch builder (its contents are simply
+   never read). *)
+let lookup_impl t flow b =
+  refresh_sorted t;
+  t.last_probes <- 0;
+  Array.fill t.scratch_trie_ok 0 Field.count false;
+  walk t flow b None 0
+
+let find t flow = lookup_impl t flow t.find_scratch
 
 (* [find_wc_with] reuses the caller's scratch builder, so a steady
    stream of upcalls allocates no accumulator per packet ([freeze] still
    copies: the megaflow mask is retained by the caller). *)
 let find_wc_with t b flow =
   Mask.Builder.reset b;
-  let rule, probes = lookup_impl t flow ~wc:(Some b) in
-  { rule; megaflow = Mask.Builder.freeze b; probes }
+  let rule = lookup_impl t flow b in
+  { rule; megaflow = Mask.Builder.freeze b; probes = t.last_probes }
 
 let find_wc t flow = find_wc_with t (Mask.Builder.create ()) flow
 
@@ -344,16 +411,17 @@ let n_rules t = t.n_rules
 
 let n_subtables t = Mask_tbl.length t.subtables
 
-let subtable_masks t = List.map (fun st -> st.mask) (sorted_subtables t)
+let subtable_masks t =
+  refresh_sorted t;
+  Array.to_list (Array.map (fun st -> st.mask) t.sorted)
 
 let rules t =
   let acc = ref [] in
   Mask_tbl.iter
     (fun _ st ->
-      Hashtbl.iter
-        (fun _ cell ->
-          List.iter (fun (_, bucket) -> acc := List.rev_append !bucket !acc) !cell)
-        st.entries)
+      for i = 0 to st.e_n - 1 do
+        acc := List.rev_append st.e_rules.(i) !acc
+      done)
     t.subtables;
   List.sort Rule.compare_precedence !acc
 

@@ -213,13 +213,14 @@ let process t ~now flow ~pkt_len =
         upcall = false; slow_probes = 0; pkt_len }
       e.Megaflow.action
   | None -> begin
-    let mf_lookup () =
+    let mf_entry =
       match t.mcache with
       | Some cache -> Megaflow.lookup_hinted t.mf cache flow ~now ~pkt_len
       | None -> Megaflow.lookup t.mf flow ~now ~pkt_len
     in
-    match mf_lookup () with
-    | Some e, probes ->
+    let probes = Megaflow.last_probes t.mf in
+    match mf_entry with
+    | Some e ->
       t.last_mf <- Some e;
       if t.cfg.emc_enabled then Emc.insert t.emc flow e;
       observe t.h_probes (float_of_int probes);
@@ -228,7 +229,7 @@ let process t ~now flow ~pkt_len =
         { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = true;
           upcall = false; slow_probes = 0; pkt_len }
         e.Megaflow.action
-    | None, probes ->
+    | None ->
       observe t.h_probes (float_of_int probes);
       if t.sync_upcalls then begin
         (* Synchronous model: classify inline, exactly the behaviour

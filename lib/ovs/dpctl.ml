@@ -40,8 +40,13 @@ let dump_masks ppf dp =
     let store = List.nth_opt stores s in
     List.iter
       (fun (m : Megaflow.mask_stat) ->
-        Format.fprintf ppf "mask: %a entries:%d hits:%d" Pi_classifier.Mask.pp
-          m.Megaflow.ms_mask m.Megaflow.ms_entries m.Megaflow.ms_hits;
+        (* Flat-table health per subtable: live/capacity occupancy and
+           the mean/worst open-addressing probe run. *)
+        Format.fprintf ppf
+          "mask: %a entries:%d hits:%d occupancy:%d/%d probe-len:%.2f/%d"
+          Pi_classifier.Mask.pp m.Megaflow.ms_mask m.Megaflow.ms_entries
+          m.Megaflow.ms_hits m.Megaflow.ms_entries m.Megaflow.ms_capacity
+          m.Megaflow.ms_mean_probe m.Megaflow.ms_max_probe;
         (match store with
          | Some store -> begin
            match Provenance.mask_origin store m.Megaflow.ms_mask with

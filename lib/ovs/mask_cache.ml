@@ -24,9 +24,10 @@ let capacity t = Array.length t.slots
 
 let slot t flow = Flow.hash flow land t.mask
 
-let hint t flow =
-  let v = t.slots.(slot t flow) in
-  if v < 0 then None else Some v
+(* Sentinel result (-1 = no hint) rather than an option: the hint is
+   consulted on every hinted lookup and a [Some] would be the last
+   allocation on the megaflow hit path. *)
+let hint t flow = t.slots.(slot t flow)
 
 let record t flow idx = t.slots.(slot t flow) <- idx
 

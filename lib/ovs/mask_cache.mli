@@ -19,8 +19,10 @@ val create : ?capacity:int -> unit -> t
 
 val capacity : t -> int
 
-val hint : t -> Pi_classifier.Flow.t -> int option
-(** The mask index recorded for this flow's hash slot, if any. *)
+val hint : t -> Pi_classifier.Flow.t -> int
+(** The mask index recorded for this flow's hash slot, or [-1] if none
+    (an int sentinel, not an option — the hint is read on every hinted
+    lookup and must not allocate). *)
 
 val record : t -> Pi_classifier.Flow.t -> int -> unit
 (** Remember which mask index matched the flow. *)

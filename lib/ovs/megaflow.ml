@@ -13,11 +13,17 @@ type entry = {
   mutable alive : bool;
 }
 
-(* Entries are bucketed by the masked-key hash (no allocation on the
-   probe path); candidates are verified with [Mask.equal_masked]. *)
+(* A subtable is a flat store: [s_tbl] maps the masked-key hash to an
+   index into the [s_arena] of [entry option]s ([Some] for every slot
+   below [s_count]; the option box is what a hit returns, so the probe
+   path allocates nothing — the EMC "stored Some" trick). Deleted cells
+   are compacted by swap-with-last; candidates are verified with
+   [Mask.equal_masked], so no masked flow is built either. *)
 type subtable = {
   s_mask : Mask.t;
-  s_entries : (int, entry list ref) Hashtbl.t;
+  s_support : int array;                  (* Mask.support s_mask *)
+  s_tbl : Flat_tbl.t;                     (* masked-key hash -> arena index *)
+  mutable s_arena : entry option array;   (* slots [0, s_count) are Some *)
   mutable s_count : int;
   mutable s_hits : int;
 }
@@ -46,6 +52,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable probes : int;
+  mutable last_probes : int;        (* subtables probed by the last lookup *)
   c_hit : Pi_telemetry.Metrics.counter option;
   c_miss : Pi_telemetry.Metrics.counter option;
   c_probes : Pi_telemetry.Metrics.counter option;
@@ -69,6 +76,7 @@ let create ?(config = default_config) ?metrics () =
     hits = 0;
     misses = 0;
     probes = 0;
+    last_probes = 0;
     c_hit = c "mf_hit";
     c_miss = c "mf_miss";
     c_probes = c "mf_probes";
@@ -87,9 +95,20 @@ let sync_gauges t =
 
 let generation t = t.generation
 
+let last_probes t = t.last_probes
+
 let iter_subtables f t =
   for i = 0 to t.n_tables - 1 do
     f t.arr.(i)
+  done
+
+(* Apply [f] to every live entry of [st]; the arena prefix is dense, so
+   this is a straight array walk. *)
+let iter_entries f st =
+  for i = 0 to st.s_count - 1 do
+    match st.s_arena.(i) with
+    | Some e -> f e
+    | None -> assert false
   done
 
 let push_subtable t st =
@@ -114,12 +133,24 @@ let bump ?(by = 1) = function
   | Some c -> Pi_telemetry.Metrics.incr ~by c
   | None -> ()
 
+(* The probe returns the arena's stored [Some] — nothing is allocated
+   on a hit (or a miss: [None] is immediate). Top-level recursion, not
+   an inner closure, for the same reason. *)
+let rec probe_entries st flow h slot =
+  if slot < 0 then None
+  else begin
+    match st.s_arena.(Flat_tbl.value st.s_tbl slot) with
+    | Some e as r when Mask.equal_masked_on st.s_support st.s_mask e.key flow -> r
+    | _ -> probe_entries st flow h (Flat_tbl.next st.s_tbl h slot)
+  end
+
 let find_in_subtable st flow =
-  let h = Mask.hash_masked st.s_mask flow in
-  match Hashtbl.find_opt st.s_entries h with
-  | None -> None
-  | Some bucket ->
-    List.find_opt (fun e -> Mask.equal_masked st.s_mask e.key flow) !bucket
+  let h = Mask.hash_masked_on st.s_support st.s_mask flow in
+  let slot = Flat_tbl.find_first st.s_tbl h in
+  (* The common attack-regime outcome — no entry under this mask — must
+     not pay a call: [probe_entries] is only entered on a hash match.
+     On the 8192-mask walk that call was a measurable per-probe tax. *)
+  if slot < 0 then None else probe_entries st flow h slot
 
 let hit_entry t st e ~now ~pkt_len ~probes =
   e.last_used <- now;
@@ -140,19 +171,23 @@ let miss t ~probes =
 (* The linear scans are top-level recursive functions, not closures
    inside [lookup]/[lookup_hinted]: an inner [let rec go] captures its
    environment and is heap-allocated per call, which dominated the
-   per-packet allocation of the miss path (the attack's victim regime). *)
+   per-packet allocation of the miss path (the attack's victim regime).
+   The probe count is reported via [last_probes] rather than a result
+   tuple so a hit (and a miss) allocates no pair. *)
 let rec scan_tables t flow ~now ~pkt_len i probes =
   if i >= t.n_tables then begin
     miss t ~probes;
-    (None, probes)
+    t.last_probes <- probes;
+    None
   end
   else begin
     let st = t.arr.(i) in
     let probes = probes + 1 in
     match find_in_subtable st flow with
-    | Some e ->
+    | Some e as r ->
       hit_entry t st e ~now ~pkt_len ~probes;
-      (Some e, probes)
+      t.last_probes <- probes;
+      r
     | None -> scan_tables t flow ~now ~pkt_len (i + 1) probes
   end
 
@@ -170,16 +205,18 @@ let lookup t flow ~now ~pkt_len = scan_tables t flow ~now ~pkt_len 0 0
 let rec scan_tables_record t cache flow ~now ~pkt_len i probes =
   if i >= t.n_tables then begin
     miss t ~probes;
-    (None, probes)
+    t.last_probes <- probes;
+    None
   end
   else begin
     let st = t.arr.(i) in
     let probes = probes + 1 in
     match find_in_subtable st flow with
-    | Some e ->
+    | Some e as r ->
       hit_entry t st e ~now ~pkt_len ~probes;
       Mask_cache.record cache flow i;
-      (Some e, probes)
+      t.last_probes <- probes;
+      r
     | None -> scan_tables_record t cache flow ~now ~pkt_len (i + 1) probes
   end
 
@@ -187,22 +224,25 @@ let lookup_hinted t cache flow ~now ~pkt_len =
   Mask_cache.sync_generation cache t.generation;
   (* A failed hint costs one probe before the fallback scan. Only an
      index that actually reached [find_in_subtable] counts; an
-     out-of-range hint never probed anything. *)
-  match Mask_cache.hint cache flow with
-  | Some i when i < t.n_tables -> begin
+     out-of-range hint (or the -1 "no hint" sentinel) never probed
+     anything. *)
+  let i = Mask_cache.hint cache flow in
+  if i >= 0 && i < t.n_tables then begin
     let st = t.arr.(i) in
     match find_in_subtable st flow with
-    | Some e ->
+    | Some e as r ->
       hit_entry t st e ~now ~pkt_len ~probes:1;
       Mask_cache.note_hit cache;
-      (Some e, 1)
+      t.last_probes <- 1;
+      r
     | None ->
       Mask_cache.note_miss cache;
       scan_tables_record t cache flow ~now ~pkt_len 0 1
   end
-  | Some _ | None ->
+  else begin
     Mask_cache.note_miss cache;
     scan_tables_record t cache flow ~now ~pkt_len 0 0
+  end
 
 (* Userspace-dpcls-style ranking: periodically sort subtables so the
    most-hit masks are probed first (OVS's pvector). Decays counts so
@@ -215,13 +255,39 @@ let resort_by_hits t =
   set_tables t l
 
 let remove_entry t st (e : entry) =
-  let h = Mask.hash_masked st.s_mask e.key in
-  (match Hashtbl.find_opt st.s_entries h with
-   | Some bucket ->
-     bucket := List.filter (fun x -> x != e) !bucket;
-     if !bucket = [] then Hashtbl.remove st.s_entries h
-   | None -> ());
-  st.s_count <- st.s_count - 1;
+  let h = Mask.hash_masked_on st.s_support st.s_mask e.key in
+  (* Locate the hash slot pointing at [e] (physical identity — several
+     arena cells can share a hash). *)
+  let rec find_slot slot =
+    if slot < 0 then assert false
+    else begin
+      match st.s_arena.(Flat_tbl.value st.s_tbl slot) with
+      | Some x when x == e -> slot
+      | _ -> find_slot (Flat_tbl.next st.s_tbl h slot)
+    end
+  in
+  let slot = find_slot (Flat_tbl.find_first st.s_tbl h) in
+  let idx = Flat_tbl.value st.s_tbl slot in
+  Flat_tbl.remove_slot st.s_tbl slot;
+  let last = st.s_count - 1 in
+  if idx <> last then begin
+    (* Swap-with-last compaction: redirect the moved entry's hash slot
+       to its new arena index. *)
+    match st.s_arena.(last) with
+    | Some moved as m ->
+      st.s_arena.(idx) <- m;
+      let hm = Mask.hash_masked_on st.s_support st.s_mask moved.key in
+      let rec fix s =
+        if s < 0 then assert false
+        else if Flat_tbl.value st.s_tbl s = last then
+          Flat_tbl.set_value st.s_tbl s idx
+        else fix (Flat_tbl.next st.s_tbl hm s)
+      in
+      fix (Flat_tbl.find_first st.s_tbl hm)
+    | None -> assert false
+  end;
+  st.s_arena.(last) <- None;
+  st.s_count <- last;
   e.alive <- false;
   t.n <- t.n - 1;
   sync_gauges t
@@ -285,10 +351,7 @@ let evict_lru t =
       sift_down 0
     end
   in
-  iter_subtables
-    (fun st ->
-      Hashtbl.iter (fun _ b -> List.iter (fun e -> offer st e) !b) st.s_entries)
-    t;
+  iter_subtables (fun st -> iter_entries (fun e -> offer st e) st) t;
   for i = 0 to !size - 1 do
     match (heap_st.(i), heap_e.(i)) with
     | Some st, Some e ->
@@ -307,7 +370,9 @@ let insert t ~key ~mask ~action ~revision ~now ?origin () =
     | Some st -> st
     | None ->
       let st =
-        { s_mask = mask; s_entries = Hashtbl.create 16; s_count = 0; s_hits = 0 }
+        { s_mask = mask; s_support = Mask.support mask;
+          s_tbl = Flat_tbl.create (); s_arena = [||];
+          s_count = 0; s_hits = 0 }
       in
       Tables.Mask_tbl.add t.by_mask mask st;
       push_subtable t st;
@@ -322,10 +387,14 @@ let insert t ~key ~mask ~action ~revision ~now ?origin () =
     { key; mask; action; revision; created = now; origin; last_used = now;
       n_packets = 0; n_bytes = 0; alive = true }
   in
-  let h = Mask.hash_masked st.s_mask key in
-  (match Hashtbl.find_opt st.s_entries h with
-   | Some bucket -> bucket := e :: !bucket
-   | None -> Hashtbl.add st.s_entries h (ref [ e ]));
+  let cap = Array.length st.s_arena in
+  if st.s_count = cap then begin
+    let na = Array.make (max 8 (cap * 2)) None in
+    Array.blit st.s_arena 0 na 0 cap;
+    st.s_arena <- na
+  end;
+  st.s_arena.(st.s_count) <- Some e;
+  Flat_tbl.add st.s_tbl (Mask.hash_masked_on st.s_support st.s_mask key) st.s_count;
   st.s_count <- st.s_count + 1;
   t.n <- t.n + 1;
   sync_gauges t;
@@ -336,14 +405,11 @@ let revalidate t ~now ?(keep = fun _ -> true) () =
   iter_subtables
     (fun st ->
       let dead = ref [] in
-      Hashtbl.iter
-        (fun _ b ->
-          List.iter
-            (fun e ->
-              if now -. e.last_used > t.cfg.idle_timeout || not (keep e) then
-                dead := e :: !dead)
-            !b)
-        st.s_entries;
+      iter_entries
+        (fun e ->
+          if now -. e.last_used > t.cfg.idle_timeout || not (keep e) then
+            dead := e :: !dead)
+        st;
       List.iter
         (fun e ->
           remove_entry t st e;
@@ -355,11 +421,7 @@ let revalidate t ~now ?(keep = fun _ -> true) () =
   !evicted
 
 let flush t =
-  iter_subtables
-    (fun st ->
-      Hashtbl.iter (fun _ b -> List.iter (fun e -> e.alive <- false) !b)
-        st.s_entries)
-    t;
+  iter_subtables (fun st -> iter_entries (fun e -> e.alive <- false) st) t;
   Tables.Mask_tbl.reset t.by_mask;
   t.n <- 0;
   set_tables t []
@@ -374,17 +436,28 @@ type mask_stat = {
   ms_mask : Mask.t;
   ms_entries : int;
   ms_hits : int;
+  ms_capacity : int;
+  ms_mean_probe : float;
+  ms_max_probe : int;
 }
 
 let subtable_stats t =
   List.init t.n_tables (fun i ->
       let st = t.arr.(i) in
-      { ms_mask = st.s_mask; ms_entries = st.s_count; ms_hits = st.s_hits })
+      let mean, maxp = Flat_tbl.probe_stats st.s_tbl in
+      { ms_mask = st.s_mask; ms_entries = st.s_count; ms_hits = st.s_hits;
+        ms_capacity = Flat_tbl.capacity st.s_tbl;
+        ms_mean_probe = mean; ms_max_probe = maxp })
 
 let entries t =
   let acc = ref [] in
   for i = t.n_tables - 1 downto 0 do
-    acc := Hashtbl.fold (fun _ b acc -> List.rev_append !b acc) t.arr.(i).s_entries !acc
+    let st = t.arr.(i) in
+    for j = st.s_count - 1 downto 0 do
+      match st.s_arena.(j) with
+      | Some e -> acc := e :: !acc
+      | None -> ()
+    done
   done;
   !acc
 
@@ -429,16 +502,13 @@ let dump ?max ~now ppf t =
   let limit = match max with Some m -> m | None -> max_int in
   iter_subtables
     (fun st ->
-      Hashtbl.iter
-        (fun _ b ->
-          List.iter
-            (fun e ->
-              if !printed < limit then begin
-                Format.fprintf ppf "%a@." (pp_entry ~now) e;
-                incr printed
-              end)
-            !b)
-        st.s_entries)
+      iter_entries
+        (fun e ->
+          if !printed < limit then begin
+            Format.fprintf ppf "%a@." (pp_entry ~now) e;
+            incr printed
+          end)
+        st)
     t;
   if t.n > limit then Format.fprintf ppf "... (%d more)@." (t.n - limit)
 

@@ -40,20 +40,28 @@ val create : ?config:config -> ?metrics:Pi_telemetry.Metrics.t -> unit -> t
     [n_megaflows] gauges track the current sizes (unlike the cumulative
     [mask_created] counter, which evictions never decrease). *)
 
-val lookup : t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int -> entry option * int
-(** [(entry, probes)]: the matching entry, if any, and the number of
-    subtable hash probes performed (= position of the matching mask, or
-    the total mask count on a miss). Hit statistics are updated. *)
+val lookup : t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int -> entry option
+(** The matching entry, if any; hit statistics are updated. The result
+    is the stored option of the entry arena and a miss is the immediate
+    [None], so lookup allocates nothing. The number of subtable hash
+    probes performed (= position of the matching mask, or the total
+    mask count on a miss) is available from {!last_probes} until the
+    next lookup on this cache. *)
 
 val lookup_hinted :
   t -> Mask_cache.t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int ->
-  entry option * int
+  entry option
 (** Kernel-datapath flavour: consult the {!Mask_cache} first (a correct
     hint costs one probe), fall back to the linear scan and refresh the
     hint. A stale in-range hint costs its probe, exactly as in the
     kernel; a hint that never reached a subtable (out of range) costs
     nothing. The cache is invalidated first if the subtable array has
-    been reordered since the hints were recorded (see {!generation}). *)
+    been reordered since the hints were recorded (see {!generation}).
+    Allocation-free, like {!lookup}; probes via {!last_probes}. *)
+
+val last_probes : t -> int
+(** Subtable hash probes performed by the most recent {!lookup} /
+    {!lookup_hinted} on this cache (valid until the next one). *)
 
 val generation : t -> int
 (** Incremented whenever subtable indices are invalidated (ranking
@@ -101,6 +109,13 @@ type mask_stat = {
   ms_hits : int;
       (** subtable hit count — decayed by {!resort_by_hits}, so it
           tracks recent traffic, like OVS's pvector priorities *)
+  ms_capacity : int;
+      (** slots in the subtable's flat hash table (a power of two) *)
+  ms_mean_probe : float;
+  ms_max_probe : int;
+      (** mean / worst displacement-based probe length over the live
+          entries (1 = every entry sits in its home slot) — the
+          open-addressing health of this subtable *)
 }
 
 val subtable_stats : t -> mask_stat list

@@ -211,9 +211,23 @@ module Conformance (C : CASE) = struct
     for s = 0 to n - 1 do
       flows := !flows + List.length (Dataplane.shard_flows dp s);
       List.iter
-        (fun ms -> stat_entries := !stat_entries + ms.Megaflow.ms_entries)
+        (fun ms ->
+          stat_entries := !stat_entries + ms.Megaflow.ms_entries;
+          if ms.Megaflow.ms_entries > 0 then begin
+            Alcotest.(check bool) "flat table has headroom" true
+              (ms.Megaflow.ms_capacity > ms.Megaflow.ms_entries);
+            Alcotest.(check bool) "probe stats sane" true
+              (ms.Megaflow.ms_max_probe >= 1 && ms.Megaflow.ms_mean_probe >= 1.)
+          end)
         (Dataplane.shard_mask_stats dp s)
     done;
+    (* dump-masks surfaces the flat-table health per subtable. *)
+    (if (Dataplane.stats dp).Dataplane.masks > 0 then
+       let text = Format.asprintf "%a" Dpctl.dump_masks dp in
+       Alcotest.(check bool) "dump-masks reports occupancy" true
+         (Astring_like.contains text "occupancy:");
+       Alcotest.(check bool) "dump-masks reports probe length" true
+         (Astring_like.contains text "probe-len:"));
     let st = Dataplane.stats dp in
     Alcotest.(check int) "shard_flows covers every megaflow"
       st.Dataplane.megaflows !flows;

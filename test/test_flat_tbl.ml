@@ -1,0 +1,167 @@
+(* Flat_tbl: the open-addressing store under the classifier subtables.
+   Unit tests pin the cursor protocol and the resize policy; the qcheck
+   property runs random op sequences against a Hashtbl-backed reference
+   multimap and demands identical observable contents throughout — the
+   backward-shift deletion is only correct if every surviving (hash,
+   value) pair stays reachable through find_first/next after any
+   interleaving of adds and removes. *)
+
+open Pi_classifier
+
+let collect t h =
+  let rec go slot acc =
+    if slot < 0 then List.rev acc
+    else go (Flat_tbl.next t h slot) (Flat_tbl.value t slot :: acc)
+  in
+  go (Flat_tbl.find_first t h) []
+
+let test_empty () =
+  let t = Flat_tbl.create () in
+  Alcotest.(check int) "length" 0 (Flat_tbl.length t);
+  Alcotest.(check int) "capacity" 8 (Flat_tbl.capacity t);
+  Alcotest.(check int) "find_first" (-1) (Flat_tbl.find_first t 42);
+  Alcotest.(check bool) "mem" false (Flat_tbl.mem t 42)
+
+let test_add_find () =
+  let t = Flat_tbl.create () in
+  Flat_tbl.add t 5 100;
+  Flat_tbl.add t 13 200;   (* collides with 5 mod 8 *)
+  Flat_tbl.add t 5 300;    (* duplicate hash *)
+  Alcotest.(check int) "length" 3 (Flat_tbl.length t);
+  Alcotest.(check (list int)) "both values under 5" [ 100; 300 ]
+    (List.sort compare (collect t 5));
+  Alcotest.(check (list int)) "collider intact" [ 200 ] (collect t 13);
+  Alcotest.(check (list int)) "absent hash" [] (collect t 6)
+
+let test_remove_backward_shift () =
+  (* Force one probe run: hashes 1, 9, 17 all home to slot 1 (cap 8).
+     Removing the head of the run must keep the tail reachable. *)
+  let t = Flat_tbl.create () in
+  Flat_tbl.add t 1 10;
+  Flat_tbl.add t 9 20;
+  Flat_tbl.add t 17 30;
+  let s = Flat_tbl.find_first t 1 in
+  Flat_tbl.remove_slot t s;
+  Alcotest.(check int) "length" 2 (Flat_tbl.length t);
+  Alcotest.(check (list int)) "removed hash gone" [] (collect t 1);
+  Alcotest.(check (list int)) "shifted survivor 9" [ 20 ] (collect t 9);
+  Alcotest.(check (list int)) "shifted survivor 17" [ 30 ] (collect t 17)
+
+let test_grow_shrink () =
+  let t = Flat_tbl.create () in
+  for i = 0 to 99 do
+    Flat_tbl.add t i i
+  done;
+  Alcotest.(check int) "all present" 100 (Flat_tbl.length t);
+  let cap = Flat_tbl.capacity t in
+  Alcotest.(check bool) "grew past load factor" true (cap * 3 >= 100 * 4);
+  for i = 0 to 99 do
+    Alcotest.(check (list int)) "value survives growth" [ i ] (collect t i)
+  done;
+  for i = 0 to 97 do
+    Flat_tbl.remove_slot t (Flat_tbl.find_first t i)
+  done;
+  Alcotest.(check bool) "shrank at low load" true (Flat_tbl.capacity t < cap);
+  Alcotest.(check (list int)) "survivor 98" [ 98 ] (collect t 98);
+  Alcotest.(check (list int)) "survivor 99" [ 99 ] (collect t 99)
+
+let test_multiset () =
+  let t = Flat_tbl.create () in
+  Flat_tbl.incr t 7;
+  Flat_tbl.incr t 7;
+  Flat_tbl.incr t 7;
+  Flat_tbl.incr t 15;
+  Alcotest.(check bool) "present" true (Flat_tbl.mem t 7);
+  Flat_tbl.decr t 7;
+  Flat_tbl.decr t 7;
+  Alcotest.(check bool) "still present at count 1" true (Flat_tbl.mem t 7);
+  Flat_tbl.decr t 7;
+  Alcotest.(check bool) "gone at count 0" false (Flat_tbl.mem t 7);
+  Alcotest.(check bool) "other key untouched" true (Flat_tbl.mem t 15);
+  Alcotest.check_raises "decr of absent raises"
+    (Invalid_argument "Flat_tbl.decr: hash not present") (fun () ->
+      Flat_tbl.decr t 7)
+
+let test_probe_stats () =
+  let t = Flat_tbl.create () in
+  Alcotest.(check (pair (float 0.) int)) "empty" (0., 0) (Flat_tbl.probe_stats t);
+  Flat_tbl.add t 0 1;
+  Flat_tbl.add t 1 2;
+  let mean, maxp = Flat_tbl.probe_stats t in
+  Alcotest.(check (float 0.001)) "home slots only" 1. mean;
+  Alcotest.(check int) "max" 1 maxp;
+  (* Three keys homing to one slot: displacements 0, 1, 2. *)
+  Flat_tbl.add t 8 3;
+  Flat_tbl.add t 16 4;
+  let _, maxp = Flat_tbl.probe_stats t in
+  Alcotest.(check bool) "collision run visible" true (maxp >= 3)
+
+let test_clear () =
+  let t = Flat_tbl.create () in
+  for i = 0 to 20 do Flat_tbl.add t i i done;
+  let cap = Flat_tbl.capacity t in
+  Flat_tbl.clear t;
+  Alcotest.(check int) "empty" 0 (Flat_tbl.length t);
+  Alcotest.(check int) "capacity kept" cap (Flat_tbl.capacity t);
+  Alcotest.(check int) "nothing found" (-1) (Flat_tbl.find_first t 3)
+
+(* Differential property against a Hashtbl reference multimap. Ops:
+   add / remove-one-value-of-hash / noop-lookup, over a small hash
+   domain so collisions and probe runs actually happen (capacity stays
+   at 8–32 while hashes span 0..47: dense runs, frequent shifts). *)
+let gen_ops =
+  let open QCheck2.Gen in
+  list_size (int_range 1 400)
+    (let* tag = int_range 0 2 in
+     let* h = int_range 0 47 in
+     let* v = int_range 0 9 in
+     return (tag, h, v))
+
+let prop_matches_reference =
+  Helpers.qtest ~count:300 "flat_tbl ≡ Hashtbl multimap" gen_ops (fun ops ->
+      let t = Flat_tbl.create () in
+      let r : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+      let ref_get h = Option.value ~default:[] (Hashtbl.find_opt r h) in
+      let agree h =
+        List.sort compare (collect t h) = List.sort compare (ref_get h)
+      in
+      List.for_all
+        (fun (tag, h, v) ->
+          (match tag with
+           | 0 ->
+             Flat_tbl.add t h v;
+             Hashtbl.replace r h (v :: ref_get h)
+           | 1 -> begin
+             (* Remove one slot holding (h, v), if any. *)
+             let rec find slot =
+               if slot < 0 then -1
+               else if Flat_tbl.value t slot = v then slot
+               else find (Flat_tbl.next t h slot)
+             in
+             let slot = find (Flat_tbl.find_first t h) in
+             if slot >= 0 then begin
+               Flat_tbl.remove_slot t slot;
+               let rec drop_one = function
+                 | [] -> []
+                 | x :: rest -> if x = v then rest else x :: drop_one rest
+               in
+               let l = drop_one (ref_get h) in
+               if l = [] then Hashtbl.remove r h else Hashtbl.replace r h l
+             end
+           end
+           | _ -> ());
+          (* Observable agreement on the touched hash, its neighbours
+             in probe order, and the totals. *)
+          agree h && agree ((h + 8) mod 48) && agree ((h + 40) mod 48)
+          && Flat_tbl.length t = Hashtbl.fold (fun _ l n -> List.length l + n) r 0)
+        ops)
+
+let suite =
+  [ Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add/find cursor" `Quick test_add_find;
+    Alcotest.test_case "backward-shift removal" `Quick test_remove_backward_shift;
+    Alcotest.test_case "grow and shrink" `Quick test_grow_shrink;
+    Alcotest.test_case "multiset incr/decr" `Quick test_multiset;
+    Alcotest.test_case "probe stats" `Quick test_probe_stats;
+    Alcotest.test_case "clear" `Quick test_clear;
+    prop_matches_reference ]

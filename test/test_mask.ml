@@ -102,6 +102,32 @@ let prop_matches_vs_equal_masked =
     (fun (m, key, f) ->
       Mask.matches m ~key f = Mask.equal_masked m key f)
 
+(* The support-restricted probe variants: support lists exactly the set
+   fields, restricting equality to the support is exact, and the
+   restricted hash is self-consistent (insert/probe agreement is all
+   its subtable users need — it is deliberately NOT hash_masked). *)
+let prop_support =
+  qtest "support = set field indices" gen_mask (fun m ->
+      Array.to_list (Mask.support m)
+      = List.filter_map
+          (fun f ->
+            if Mask.get m f <> 0 then Some (Field.index f) else None)
+          Field.all)
+
+let prop_equal_masked_on =
+  qtest "equal_masked_on = equal_masked"
+    QCheck2.Gen.(triple gen_mask gen_flow gen_flow)
+    (fun (m, a, b) ->
+      Mask.equal_masked_on (Mask.support m) m a b = Mask.equal_masked m a b)
+
+let prop_hash_masked_on =
+  qtest "hash_masked_on consistent under masked equality"
+    QCheck2.Gen.(triple gen_mask gen_flow gen_flow)
+    (fun (m, a, b) ->
+      let s = Mask.support m in
+      (not (Mask.equal_masked m a b))
+      || Mask.hash_masked_on s m a = Mask.hash_masked_on s m b)
+
 let suite =
   [ Alcotest.test_case "empty/exact" `Quick test_empty_exact;
     Alcotest.test_case "with_prefix" `Quick test_with_prefix;
@@ -119,4 +145,7 @@ let suite =
     prop_apply_idempotent;
     prop_hash_masked;
     prop_equal_masked;
-    prop_matches_vs_equal_masked ]
+    prop_matches_vs_equal_masked;
+    prop_support;
+    prop_equal_masked_on;
+    prop_hash_masked_on ]

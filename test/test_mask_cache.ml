@@ -12,11 +12,11 @@ let test_capacity_pow2 () =
 let test_hint_record () =
   let c = Mask_cache.create () in
   let f = Flow.make ~ip_src:(ip "10.0.0.1") () in
-  Alcotest.(check (option int)) "empty" None (Mask_cache.hint c f);
+  Alcotest.(check int) "empty" (-1) (Mask_cache.hint c f);
   Mask_cache.record c f 7;
-  Alcotest.(check (option int)) "recorded" (Some 7) (Mask_cache.hint c f);
+  Alcotest.(check int) "recorded" 7 (Mask_cache.hint c f);
   Mask_cache.clear c;
-  Alcotest.(check (option int)) "cleared" None (Mask_cache.hint c f)
+  Alcotest.(check int) "cleared" (-1) (Mask_cache.hint c f)
 
 let test_collision_overwrites () =
   let c = Mask_cache.create ~capacity:1 () in
@@ -24,7 +24,7 @@ let test_collision_overwrites () =
   let f2 = Flow.make ~ip_src:(ip "10.0.0.2") () in
   Mask_cache.record c f1 3;
   Mask_cache.record c f2 9;
-  Alcotest.(check (option int)) "overwritten" (Some 9) (Mask_cache.hint c f1)
+  Alcotest.(check int) "overwritten" 9 (Mask_cache.hint c f1)
 
 (* A megaflow cache with [n] masks; an entry matching [flow] sits under
    the LAST mask, so unhinted lookups pay n probes. *)
@@ -44,13 +44,13 @@ let test_hinted_lookup_o1 () =
   let mf = deep_megaflow 32 flow in
   let cache = Mask_cache.create () in
   (* First lookup: full scan, hint recorded. *)
-  let e1, probes1 = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  let e1 = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "found" true (e1 <> None);
-  Alcotest.(check int) "cold lookup scans" 32 probes1;
+  Alcotest.(check int) "cold lookup scans" 32 (Megaflow.last_probes mf);
   (* Second lookup: one probe via the hint. *)
-  let e2, probes2 = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  let e2 = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "found again" true (e2 <> None);
-  Alcotest.(check int) "hinted lookup is one probe" 1 probes2;
+  Alcotest.(check int) "hinted lookup is one probe" 1 (Megaflow.last_probes mf);
   Alcotest.(check int) "cache hit counted" 1 (Mask_cache.hits cache);
   Alcotest.(check int) "cold counted as miss" 1 (Mask_cache.misses cache)
 
@@ -60,8 +60,8 @@ let test_stale_hint_pays_extra_probe () =
   let cache = Mask_cache.create () in
   (* Poison the slot with a wrong index. *)
   Mask_cache.record cache flow 2;
-  let _, probes = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
-  Alcotest.(check int) "stale probe + full scan" (1 + 8) probes
+  ignore (Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10);
+  Alcotest.(check int) "stale probe + full scan" (1 + 8) (Megaflow.last_probes mf)
 
 let test_out_of_range_hint_not_charged () =
   let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
@@ -70,9 +70,9 @@ let test_out_of_range_hint_not_charged () =
   (* A hint beyond the subtable array probes nothing, so the fallback
      scan must not be charged a phantom failed-hint probe: 8, not 9. *)
   Mask_cache.record cache flow 100;
-  let e, probes = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  let e = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "found" true (e <> None);
-  Alcotest.(check int) "no probe charged for the bogus index" 8 probes
+  Alcotest.(check int) "no probe charged for the bogus index" 8 (Megaflow.last_probes mf)
 
 let test_resort_invalidates_hints () =
   let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
@@ -80,16 +80,16 @@ let test_resort_invalidates_hints () =
   let mf = deep_megaflow 8 flow in
   let cache = Mask_cache.create () in
   ignore (Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10);
-  let _, hinted = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
-  Alcotest.(check int) "hint serves before resort" 1 hinted;
+  ignore (Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10);
+  Alcotest.(check int) "hint serves before resort" 1 (Megaflow.last_probes mf);
   (* Ranking moves the (only) hit subtable to the front and reorders the
      array: every recorded index is now stale. The cache must be
      invalidated — a stale hint would probe a cold subtable first and
      pay 2 where a clean scan pays 1. *)
   Megaflow.resort_by_hits mf;
-  let e, probes = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  let e = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "still found" true (e <> None);
-  Alcotest.(check int) "no stale probe after resort" 1 probes;
+  Alcotest.(check int) "no stale probe after resort" 1 (Megaflow.last_probes mf);
   Alcotest.(check int) "invalidated lookup counted as miss" 2
     (Mask_cache.misses cache)
 
@@ -98,11 +98,9 @@ let test_sync_generation () =
   let f = Flow.make ~ip_src:(ip "10.0.0.1") () in
   Mask_cache.record c f 3;
   Mask_cache.sync_generation c (Mask_cache.generation c);
-  Alcotest.(check (option int)) "same generation keeps hints" (Some 3)
-    (Mask_cache.hint c f);
+  Alcotest.(check int) "same generation keeps hints" 3 (Mask_cache.hint c f);
   Mask_cache.sync_generation c 42;
-  Alcotest.(check (option int)) "new generation clears hints" None
-    (Mask_cache.hint c f);
+  Alcotest.(check int) "new generation clears hints" (-1) (Mask_cache.hint c f);
   Alcotest.(check int) "generation adopted" 42 (Mask_cache.generation c)
 
 let test_hinted_miss () =
@@ -110,9 +108,9 @@ let test_hinted_miss () =
   let mf = deep_megaflow 8 flow in
   let cache = Mask_cache.create () in
   let stranger = Flow.make ~ip_src:(ip "99.0.0.1") ~tp_dst:7 () in
-  let e, probes = Megaflow.lookup_hinted mf cache stranger ~now:0. ~pkt_len:10 in
+  let e = Megaflow.lookup_hinted mf cache stranger ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "miss" true (e = None);
-  Alcotest.(check int) "scanned everything" 8 probes
+  Alcotest.(check int) "scanned everything" 8 (Megaflow.last_probes mf)
 
 let test_resort_by_hits () =
   let mf = Megaflow.create () in
@@ -124,11 +122,11 @@ let test_resort_by_hits () =
   for _ = 1 to 10 do
     ignore (Megaflow.lookup mf hot ~now:0. ~pkt_len:10)
   done;
-  let _, before = Megaflow.lookup mf hot ~now:0. ~pkt_len:10 in
-  Alcotest.(check int) "second position before ranking" 2 before;
+  ignore (Megaflow.lookup mf hot ~now:0. ~pkt_len:10);
+  Alcotest.(check int) "second position before ranking" 2 (Megaflow.last_probes mf);
   Megaflow.resort_by_hits mf;
-  let _, after = Megaflow.lookup mf hot ~now:0. ~pkt_len:10 in
-  Alcotest.(check int) "first position after ranking" 1 after
+  ignore (Megaflow.lookup mf hot ~now:0. ~pkt_len:10);
+  Alcotest.(check int) "first position after ranking" 1 (Megaflow.last_probes mf)
 
 let test_datapath_kernel_flavour () =
   let config =
@@ -219,9 +217,9 @@ let prop_hinted_equiv =
       List.for_all
         (fun f ->
           (* Look each flow up twice so hints are exercised. *)
-          let a1 = entry_action (fst (Megaflow.lookup mf_a f ~now:0. ~pkt_len:1)) in
-          let b1 = entry_action (fst (Megaflow.lookup_hinted mf_b cache f ~now:0. ~pkt_len:1)) in
-          let b2 = entry_action (fst (Megaflow.lookup_hinted mf_b cache f ~now:0. ~pkt_len:1)) in
+          let a1 = entry_action (Megaflow.lookup mf_a f ~now:0. ~pkt_len:1) in
+          let b1 = entry_action (Megaflow.lookup_hinted mf_b cache f ~now:0. ~pkt_len:1) in
+          let b2 = entry_action (Megaflow.lookup_hinted mf_b cache f ~now:0. ~pkt_len:1) in
           a1 = b1 && b1 = b2)
         flows)
 
@@ -230,11 +228,11 @@ let prop_resort_preserves =
     (fun (rules, warm, flows) ->
       let mf = build_mf rules warm in
       let before =
-        List.map (fun f -> entry_action (fst (Megaflow.lookup mf f ~now:0. ~pkt_len:1))) flows
+        List.map (fun f -> entry_action (Megaflow.lookup mf f ~now:0. ~pkt_len:1)) flows
       in
       Megaflow.resort_by_hits mf;
       let after =
-        List.map (fun f -> entry_action (fst (Megaflow.lookup mf f ~now:0. ~pkt_len:1))) flows
+        List.map (fun f -> entry_action (Megaflow.lookup mf f ~now:0. ~pkt_len:1)) flows
       in
       before = after)
 

@@ -16,12 +16,12 @@ let test_insert_lookup () =
       ~now:0. ()
   in
   match Megaflow.lookup mf (Flow.make ~ip_src:(ip "10.9.9.9") ()) ~now:1. ~pkt_len:100 with
-  | Some e, probes ->
+  | Some e ->
     Alcotest.(check action_t) "action" Action.Drop e.Megaflow.action;
-    Alcotest.(check int) "one probe" 1 probes;
+    Alcotest.(check int) "one probe" 1 (Megaflow.last_probes mf);
     Alcotest.(check int) "stats pkts" 1 e.Megaflow.n_packets;
     Alcotest.(check int) "stats bytes" 100 e.Megaflow.n_bytes
-  | None, _ -> Alcotest.fail "expected hit"
+  | None -> Alcotest.fail "expected hit"
 
 let test_miss_probes_all_masks () =
   let mf = mk () in
@@ -30,8 +30,8 @@ let test_miss_probes_all_masks () =
     ignore (Megaflow.insert mf ~key ~mask:(src_mask i) ~action:Action.Drop ~revision:0 ~now:0. ())
   done;
   match Megaflow.lookup mf (Flow.make ~ip_src:0l ()) ~now:0. ~pkt_len:1 with
-  | None, probes -> Alcotest.(check int) "probed all 5 masks" 5 probes
-  | Some _, _ -> Alcotest.fail "expected miss"
+  | None -> Alcotest.(check int) "probed all 5 masks" 5 (Megaflow.last_probes mf)
+  | Some _ -> Alcotest.fail "expected miss"
 
 let test_scan_order_is_creation_order () =
   let mf = mk () in
@@ -42,10 +42,10 @@ let test_scan_order_is_creation_order () =
   let k2 = Flow.make ~ip_src:(ip "10.0.0.1") () in
   ignore (Megaflow.insert mf ~key:k2 ~mask:(src_mask 32) ~action:(Action.Output 2) ~revision:0 ~now:0. ());
   match Megaflow.lookup mf (Flow.make ~ip_src:(ip "10.0.0.1") ()) ~now:0. ~pkt_len:1 with
-  | Some e, probes ->
+  | Some e ->
     Alcotest.(check action_t) "first mask wins" (Action.Output 1) e.Megaflow.action;
-    Alcotest.(check int) "one probe" 1 probes
-  | None, _ -> Alcotest.fail "expected hit"
+    Alcotest.(check int) "one probe" 1 (Megaflow.last_probes mf)
+  | None -> Alcotest.fail "expected hit"
 
 let test_replace_same_key () =
   let mf = mk () in
@@ -54,8 +54,8 @@ let test_replace_same_key () =
   ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:(Action.Output 3) ~revision:0 ~now:0. ());
   Alcotest.(check int) "still one entry" 1 (Megaflow.n_entries mf);
   match Megaflow.lookup mf key ~now:0. ~pkt_len:1 with
-  | Some e, _ -> Alcotest.(check action_t) "replaced" (Action.Output 3) e.Megaflow.action
-  | None, _ -> Alcotest.fail "expected hit"
+  | Some e -> Alcotest.(check action_t) "replaced" (Action.Output 3) e.Megaflow.action
+  | None -> Alcotest.fail "expected hit"
 
 let test_idle_expiry () =
   let mf = mk ~config:{ Megaflow.max_entries = 100; idle_timeout = 10. } () in
@@ -206,6 +206,66 @@ let test_generation_tracks_reorders () =
   Alcotest.(check bool) "compaction bumps generation" true
     (Megaflow.generation mf > g1)
 
+let test_subtable_stats_probe_health () =
+  let mf = mk () in
+  for i = 1 to 100 do
+    ignore
+      (Megaflow.insert mf ~key:(Flow.make ~ip_src:(Int32.of_int i) ())
+         ~mask:(Mask.with_exact Mask.empty Field.Ip_src) ~action:Action.Drop
+         ~revision:0 ~now:0. ())
+  done;
+  match Megaflow.subtable_stats mf with
+  | [ s ] ->
+    Alcotest.(check int) "entries" 100 s.Megaflow.ms_entries;
+    Alcotest.(check bool) "capacity is a power of two" true
+      (s.Megaflow.ms_capacity land (s.Megaflow.ms_capacity - 1) = 0);
+    Alcotest.(check bool) "capacity holds the entries" true
+      (s.Megaflow.ms_capacity > s.Megaflow.ms_entries);
+    Alcotest.(check bool) "mean probe sane" true
+      (s.Megaflow.ms_mean_probe >= 1.
+       && s.Megaflow.ms_mean_probe <= float_of_int s.Megaflow.ms_max_probe);
+    Alcotest.(check bool) "max probe bounded by entries" true
+      (s.Megaflow.ms_max_probe >= 1 && s.Megaflow.ms_max_probe <= 100)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 subtable, got %d" (List.length l))
+
+(* Heavy interleaved insert/remove churn: every removal exercises
+   backward-shift deletion and swap-with-last arena compaction; the
+   survivors must stay reachable with their own actions. *)
+let test_churn_keeps_survivors_reachable () =
+  let mf = mk ~config:{ Megaflow.max_entries = 100_000; idle_timeout = 1e9 } () in
+  let mask = Mask.with_exact Mask.empty Field.Ip_src in
+  let key i = Flow.make ~ip_src:(Int32.of_int i) () in
+  for i = 0 to 499 do
+    ignore
+      (Megaflow.insert mf ~key:(key i) ~mask ~action:(Action.Output i)
+         ~revision:(i mod 2) ~now:0. ())
+  done;
+  (* Evict every odd-revision entry (every second one). *)
+  let evicted =
+    Megaflow.revalidate mf ~now:0. ~keep:(fun e -> e.Megaflow.revision = 0) ()
+  in
+  Alcotest.(check int) "half evicted" 250 evicted;
+  for i = 0 to 499 do
+    match Megaflow.lookup mf (key i) ~now:0. ~pkt_len:1 with
+    | Some e when i mod 2 = 0 ->
+      Alcotest.(check action_t) "survivor action" (Action.Output i) e.Megaflow.action
+    | None when i mod 2 = 1 -> ()
+    | Some _ -> Alcotest.fail (Printf.sprintf "evicted %d still reachable" i)
+    | None -> Alcotest.fail (Printf.sprintf "survivor %d lost" i)
+  done;
+  (* Re-fill the holes and drain completely: the table must come back
+     to exactly the survivors' shape, then to empty. *)
+  for i = 0 to 499 do
+    if i mod 2 = 1 then
+      ignore
+        (Megaflow.insert mf ~key:(key i) ~mask ~action:(Action.Output i)
+           ~revision:0 ~now:0. ())
+  done;
+  Alcotest.(check int) "refilled" 500 (Megaflow.n_entries mf);
+  ignore (Megaflow.revalidate mf ~now:0. ~keep:(fun _ -> false) ());
+  Alcotest.(check int) "drained" 0 (Megaflow.n_entries mf);
+  Alcotest.(check int) "no masks left" 0 (Megaflow.n_masks mf)
+
 let suite =
   [ Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
     Alcotest.test_case "miss probes all masks" `Quick test_miss_probes_all_masks;
@@ -224,4 +284,6 @@ let suite =
     Alcotest.test_case "pp_entry wildcard-all" `Quick test_pp_entry_match_any;
     Alcotest.test_case "dump limit" `Quick test_dump_limit;
     Alcotest.test_case "has_mask" `Quick test_has_mask;
+    Alcotest.test_case "subtable stats probe health" `Quick test_subtable_stats_probe_health;
+    Alcotest.test_case "churn keeps survivors reachable" `Quick test_churn_keeps_survivors_reachable;
     Alcotest.test_case "generation tracks reorders" `Quick test_generation_tracks_reorders ]

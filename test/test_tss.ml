@@ -134,6 +134,74 @@ let prop_oracle_equivalence =
           | Some _, None | None, Some _ -> false)
         flows)
 
+(* Differential churn: the same interleaved insert/remove stream drives
+   TSS and the linear oracle, with find-agreement checked after every
+   round. This is the property that pins the flat-store migration: a
+   backward-shift deletion bug, a stale stage-set count, a leaked trie
+   reference or a mis-compacted arena all surface as a verdict
+   divergence under churn. A final round compares [find_wc] megaflow
+   masks against a classifier freshly rebuilt from the survivors — the
+   churned structures must leave no residue that narrows or widens
+   un-wildcarding. *)
+let gen_churn_setting =
+  QCheck2.Gen.(
+    triple
+      (list_size (int_range 2 5) gen_rules)   (* insertion rounds *)
+      (list_size (return 15) gen_small_flow)
+      bool)
+
+let prop_churn_equivalence =
+  qtest ~count:300 "TSS ≡ linear under insert/remove churn" gen_churn_setting
+    (fun (rounds, flows, staged) ->
+      let config = { Tss.default_config with Tss.staged_lookup = staged } in
+      let tss = Tss.create ~config () in
+      let lin = Linear.create () in
+      let agree () =
+        List.for_all
+          (fun f ->
+            match (Tss.find tss f, Linear.lookup lin f) with
+            | None, None -> true
+            | Some x, Some y -> x.Rule.seq = y.Rule.seq
+            | Some _, None | None, Some _ -> false)
+          flows
+      in
+      let ok =
+        List.for_all
+          (fun rules ->
+            List.iter
+              (fun r ->
+                Tss.insert tss r;
+                Linear.insert lin r)
+              rules;
+            if not (agree ()) then false
+            else begin
+              (* Remove a deterministic slice (every rule with an even
+                 seq) from both sides, then re-check. *)
+              let pred (r : string Rule.t) = r.Rule.seq mod 2 = 0 in
+              let a = Tss.remove tss pred in
+              let b = Linear.remove lin pred in
+              a = b && Tss.n_rules tss = Linear.length lin && agree ()
+            end)
+          rounds
+      in
+      ok
+      &&
+      (* Megaflow agreement with a pristine rebuild from the survivors:
+         churn must not change what un-wildcarding produces. *)
+      let fresh = Tss.create ~config () in
+      List.iter (fun r -> Tss.insert fresh r) (Tss.rules tss);
+      List.for_all
+        (fun f ->
+          let a = Tss.find_wc tss f in
+          let b = Tss.find_wc fresh f in
+          Mask.equal a.Tss.megaflow b.Tss.megaflow
+          &&
+          match (a.Tss.rule, b.Tss.rule) with
+          | None, None -> true
+          | Some x, Some y -> x.Rule.seq = y.Rule.seq
+          | Some _, None | None, Some _ -> false)
+        flows)
+
 (* Megaflow soundness — the invariant that makes flow caching correct
    and whose maximal-wildcarding instantiation the attack exploits: any
    flow agreeing with the looked-up flow on the generated megaflow mask
@@ -233,6 +301,7 @@ let suite =
     Alcotest.test_case "8192 masks (src+sport+dport)" `Slow test_multiplicative_8192;
     Alcotest.test_case "stock-OVS ablation: 32 masks" `Quick test_short_circuit_ablation;
     prop_oracle_equivalence;
+    prop_churn_equivalence;
     prop_megaflow_soundness;
     Alcotest.test_case "remove updates structures" `Quick test_remove_updates_structures;
     Alcotest.test_case "remove resets trie narrowing" `Quick test_remove_then_masks_reset;
