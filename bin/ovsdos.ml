@@ -142,9 +142,9 @@ let masks variant allow_src seed telemetry =
     (Pi_cms.Compile.compile ~allow:(Pi_ovs.Action.Output 2) (Policy_gen.acl spec));
   let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
   let flows = Packet_gen.flows ~seed:(Int64.of_int seed) gen in
-  List.iter
-    (fun f -> ignore (Pi_ovs.Dataplane.process dp ~now:0. f ~pkt_len:100))
-    flows;
+  let b = Pi_ovs.Batch.create ~capacity:(max 1 (List.length flows)) in
+  List.iter (fun f -> Pi_ovs.Batch.push b f ~pkt_len:100) flows;
+  Pi_ovs.Dataplane.process_batch dp b ~now:0.;
   let st = Pi_ovs.Dataplane.stats dp in
   Printf.printf "covert packets sent: %d\n" (List.length flows);
   Printf.printf "megaflow masks:      %d (predicted %d)\n"
@@ -261,19 +261,24 @@ let dpctl_dataplane variant allow_src seed backend shards =
     ~acl_rule:Pi_cms.Compile.acl_rule_index rules;
   Pi_ovs.Dataplane.install_rules dp rules;
   let gen = Packet_gen.make ~spec ~dst:(ip "10.1.0.3") () in
+  let covert = Packet_gen.flows ~seed:(Int64.of_int seed) gen in
+  let b = Pi_ovs.Batch.create ~capacity:(max 16 (List.length covert)) in
   List.iter
     (fun f ->
       let f = Pi_classifier.Flow.with_field f Pi_classifier.Field.In_port 1 in
-      ignore (Pi_ovs.Dataplane.process dp ~now:0. f ~pkt_len:100))
-    (Packet_gen.flows ~seed:(Int64.of_int seed) gen);
+      Pi_ovs.Batch.push b f ~pkt_len:100)
+    covert;
+  Pi_ovs.Dataplane.process_batch dp b ~now:0.;
   let trusted =
     Pi_classifier.Flow.make ~in_port:1 ~ip_src:allow_src
       ~ip_dst:(ip "10.1.0.3") ~ip_proto:Pi_pkt.Ipv4.proto_tcp ~tp_src:40000
       ~tp_dst:443 ()
   in
+  Pi_ovs.Batch.clear b;
   for _ = 1 to 16 do
-    ignore (Pi_ovs.Dataplane.process dp ~now:0. trusted ~pkt_len:1500)
+    Pi_ovs.Batch.push b trusted ~pkt_len:1500
   done;
+  Pi_ovs.Dataplane.process_batch dp b ~now:0.;
   ignore (Pi_ovs.Dataplane.service_upcalls dp ~now:0.);
   dp
 

@@ -40,6 +40,14 @@ type 'a subtable = {
   mutable n : int;
 }
 
+(* Caller-owned probe reporting (the classifier keeps one as scratch for
+   the lookups whose result record already carries the count). Replaces
+   the old [last_probes] field on [t], which was a single-slot
+   side-channel only valid until the next lookup. *)
+type lookup_stats = { mutable lp_probes : int }
+
+let lookup_stats () = { lp_probes = 0 }
+
 type 'a t = {
   cfg : config;
   subtables : 'a subtable Mask_tbl.t;
@@ -48,10 +56,10 @@ type 'a t = {
   scratch_trie : Trie.lookup_result array;  (* per field, reused across lookups *)
   scratch_trie_ok : bool array;    (* scratch entry valid for current lookup *)
   find_scratch : Mask.Builder.t;   (* un-wildcarding sink for plain finds *)
+  stats : lookup_stats;            (* probe-count scratch for own lookups *)
   mutable sorted : 'a subtable array;  (* dense, decreasing max_prio *)
   mutable dirty : bool;
   mutable n_rules : int;
-  mutable last_probes : int;       (* subtables examined by the last lookup *)
 }
 
 let create ?(config = default_config) () =
@@ -66,10 +74,10 @@ let create ?(config = default_config) () =
           Trie.result ~width:(Field.width (Field.of_index i)));
     scratch_trie_ok = Array.make Field.count false;
     find_scratch = Mask.Builder.create ();
+    stats = lookup_stats ();
     sorted = [||];
     dirty = false;
-    n_rules = 0;
-    last_probes = 0 }
+    n_rules = 0 }
 
 let config t = t.cfg
 
@@ -290,25 +298,26 @@ type 'a result = {
    actually improves the best match. *)
 
 (* Per-field trie lookups are lazy and shared across subtables; the
-   results live in per-classifier scratch invalidated per lookup. *)
-let trie_res t flow i =
-  if not t.scratch_trie_ok.(i) then begin
-    Trie.lookup_into t.tries.(i) (Flow.get flow (Field.of_index i))
-      t.scratch_trie.(i);
-    t.scratch_trie_ok.(i) <- true
+   results live in caller-supplied scratch rows ([tr]/[ok]) invalidated
+   per lookup — the classifier's own row for scalar lookups, a per-slot
+   row for each packet of a batch. *)
+let trie_res t flow tr ok i =
+  if not ok.(i) then begin
+    Trie.lookup_into t.tries.(i) (Flow.get flow (Field.of_index i)) tr.(i);
+    ok.(i) <- true
   end;
-  t.scratch_trie.(i)
+  tr.(i)
 
 (* 1. Trie checks: can any rule of this subtable match at all? Returns
    [true] if the subtable is proven unmatchable; proof prefixes are
    accumulated into [b] ("un-wildcard just enough leading bits"). *)
-let rec trie_check t st flow b i skipped =
+let rec trie_check t st flow b tr ok i skipped =
   if i >= Field.count then skipped
   else begin
     let plen = st.plen.(i) in
     let skipped =
       if plen > 0 && ((not skipped) || t.cfg.check_all_tries) then begin
-        let r = trie_res t flow i in
+        let r = trie_res t flow tr ok i in
         if not r.Trie.plens.(plen) then begin
           Mask.Builder.add_prefix b (Field.of_index i) r.Trie.checked;
           true
@@ -317,7 +326,7 @@ let rec trie_check t st flow b i skipped =
       end
       else skipped
     in
-    trie_check t st flow b (i + 1) skipped
+    trie_check t st flow b tr ok (i + 1) skipped
   end
 
 (* 2. Staged hash lookup: first stage whose set proves absence, -1 if
@@ -349,8 +358,8 @@ let rec entry_probe st flow h slot best =
     else entry_probe st flow h (Flat_tbl.next st.tbl h slot) best
   end
 
-let examine t st flow b best =
-  if trie_check t st flow b 0 false then best
+let examine t st flow b tr ok best =
+  if trie_check t st flow b tr ok 0 false then best
   else begin
     let si = if t.cfg.staged_lookup then stage_check st flow 0 else -1 in
     if si >= 0 then begin
@@ -365,7 +374,7 @@ let examine t st flow b best =
     end
   end
 
-let rec walk t flow b best i =
+let rec walk t flow b s best i =
   let arr = t.sorted in
   if i >= Array.length arr then best
   else begin
@@ -380,32 +389,138 @@ let rec walk t flow b best i =
     in
     if stop then best
     else begin
-      t.last_probes <- t.last_probes + 1;
-      let best = examine t st flow b best in
-      walk t flow b best (i + 1)
+      s.lp_probes <- s.lp_probes + 1;
+      let best = examine t st flow b t.scratch_trie t.scratch_trie_ok best in
+      walk t flow b s best (i + 1)
     end
   end
 
 (* The core lookup. [b] is the un-wildcarding accumulator; plain finds
    pass the classifier's own scratch builder (its contents are simply
-   never read). *)
-let lookup_impl t flow b =
+   never read). [s] receives the probe count. *)
+let lookup_impl t flow b s =
   refresh_sorted t;
-  t.last_probes <- 0;
+  s.lp_probes <- 0;
   Array.fill t.scratch_trie_ok 0 Field.count false;
-  walk t flow b None 0
+  walk t flow b s None 0
 
-let find t flow = lookup_impl t flow t.find_scratch
+let find t flow = lookup_impl t flow t.find_scratch t.stats
+
+(* [find] with caller-owned probe reporting and no result-record or
+   megaflow-mask allocation — the cheapest probe-counted lookup (the
+   cacheless dataplane's per-packet path). *)
+let find_counted t s flow = lookup_impl t flow t.find_scratch s
 
 (* [find_wc_with] reuses the caller's scratch builder, so a steady
    stream of upcalls allocates no accumulator per packet ([freeze] still
    copies: the megaflow mask is retained by the caller). *)
 let find_wc_with t b flow =
   Mask.Builder.reset b;
-  let rule = lookup_impl t flow b in
-  { rule; megaflow = Mask.Builder.freeze b; probes = t.last_probes }
+  let rule = lookup_impl t flow b t.stats in
+  { rule; megaflow = Mask.Builder.freeze b; probes = t.stats.lp_probes }
 
 let find_wc t flow = find_wc_with t (Mask.Builder.create ()) flow
+
+(* --- Subtable-major batch lookup ----------------------------------- *)
+
+(* Reused per-batch scratch: one un-wildcarding builder, one trie-memo
+   row and one result slot per packet position. Created once, reused for
+   every batch — the walk itself allocates only what the scalar walk
+   would ([Some rule] when a probe improves a packet's best match, and
+   the frozen megaflow masks, which the caller retains). *)
+type 'a batch = {
+  bs_cap : int;
+  bs_builders : Mask.Builder.t array;
+  bs_trie : Trie.lookup_result array array;   (* slot × field *)
+  bs_trie_ok : bool array array;
+  bs_rule : 'a Rule.t option array;
+  bs_megaflow : Mask.t array;
+  bs_probes : int array;
+  bs_done : bool array;                       (* early-stop latch *)
+}
+
+let batch ~capacity =
+  if capacity < 1 then invalid_arg "Tss.batch: capacity";
+  { bs_cap = capacity;
+    bs_builders = Array.init capacity (fun _ -> Mask.Builder.create ());
+    bs_trie =
+      Array.init capacity (fun _ ->
+          Array.init Field.count (fun i ->
+              Trie.result ~width:(Field.width (Field.of_index i))));
+    bs_trie_ok = Array.init capacity (fun _ -> Array.make Field.count false);
+    bs_rule = Array.make capacity None;
+    bs_megaflow = Array.make capacity Mask.empty;
+    bs_probes = Array.make capacity 0;
+    bs_done = Array.make capacity false }
+
+let batch_capacity bs = bs.bs_cap
+let batch_rule bs j = bs.bs_rule.(j)
+let batch_megaflow bs j = bs.bs_megaflow.(j)
+let batch_probes bs j = bs.bs_probes.(j)
+
+(* One subtable over every still-active packet; returns the updated
+   count of active packets. The per-packet early stop is re-evaluated
+   against this subtable's [max_prio]: [sorted] is decreasing in
+   [max_prio], so once a packet stops it stays stopped — the probe
+   counts come out exactly as in the scalar walk. *)
+let rec batch_examine t bs flows idx n st j remaining =
+  if j >= n then remaining
+  else begin
+    let remaining =
+      if bs.bs_done.(j) then remaining
+      else begin
+        let stop =
+          match bs.bs_rule.(j) with
+          | Some r -> r.Rule.priority > st.max_prio
+          | None -> false
+        in
+        if stop then begin
+          bs.bs_done.(j) <- true;
+          remaining - 1
+        end
+        else begin
+          bs.bs_probes.(j) <- bs.bs_probes.(j) + 1;
+          bs.bs_rule.(j) <-
+            examine t st flows.(idx.(j)) bs.bs_builders.(j) bs.bs_trie.(j)
+              bs.bs_trie_ok.(j) bs.bs_rule.(j);
+          remaining
+        end
+      end
+    in
+    batch_examine t bs flows idx n st (j + 1) remaining
+  end
+
+let rec batch_walk t bs flows idx n ti remaining =
+  if remaining > 0 && ti < Array.length t.sorted then begin
+    let remaining =
+      batch_examine t bs flows idx n (Array.unsafe_get t.sorted ti) 0 remaining
+    in
+    batch_walk t bs flows idx n (ti + 1) remaining
+  end
+
+(* Subtable-major wildcard lookup over the [n] packets
+   [flows.(idx.(0)) .. flows.(idx.(n-1))]: for each subtable (in probe
+   order), examine every still-active packet, then move to the next —
+   each subtable's mask, stage sets and entry table are loaded once per
+   batch instead of once per packet. Per-packet results land in the
+   scratch ({!batch_rule} / {!batch_megaflow} / {!batch_probes}) and are
+   bit-for-bit those of [n] scalar {!find_wc_with} calls: the classifier
+   is read-only during the walk and every per-packet accumulator (best
+   rule, builder, trie memo, early-stop) is private to its slot. *)
+let find_wc_batch t bs flows ~idx ~n =
+  if n > bs.bs_cap then invalid_arg "Tss.find_wc_batch: batch overflow";
+  refresh_sorted t;
+  for j = 0 to n - 1 do
+    Mask.Builder.reset bs.bs_builders.(j);
+    Array.fill bs.bs_trie_ok.(j) 0 Field.count false;
+    bs.bs_rule.(j) <- None;
+    bs.bs_probes.(j) <- 0;
+    bs.bs_done.(j) <- false
+  done;
+  batch_walk t bs flows idx n 0 n;
+  for j = 0 to n - 1 do
+    bs.bs_megaflow.(j) <- Mask.Builder.freeze bs.bs_builders.(j)
+  done
 
 let n_rules t = t.n_rules
 

@@ -50,6 +50,17 @@ val remove : 'a t -> ('a Rule.t -> bool) -> int
 val find : 'a t -> Flow.t -> 'a Rule.t option
 (** Highest-precedence matching rule. *)
 
+type lookup_stats = { mutable lp_probes : int }
+(** Caller-owned probe reporting: a counted lookup writes the number of
+    subtables it examined into the record the caller passed, instead of
+    a classifier-global "valid until the next lookup" slot. *)
+
+val lookup_stats : unit -> lookup_stats
+
+val find_counted : 'a t -> lookup_stats -> Flow.t -> 'a Rule.t option
+(** {!find} with probe reporting and no result-record or megaflow-mask
+    allocation — the cheapest probe-counted lookup. *)
+
 type 'a result = {
   rule : 'a Rule.t option;
   megaflow : Mask.t;
@@ -65,6 +76,37 @@ val find_wc_with : 'a t -> Mask.Builder.t -> Flow.t -> 'a result
 (** [find_wc] with a caller-owned scratch builder: the builder is reset,
     used as the un-wildcarding accumulator, and left reusable — no
     accumulator allocation per lookup. *)
+
+(** {2 Batch (subtable-major) lookup}
+
+    For each subtable, in probe order, examine every still-active packet
+    of the batch before moving to the next subtable — each subtable's
+    mask, stage sets and entry table are loaded once per batch instead
+    of once per packet. *)
+
+type 'a batch
+(** Reused per-batch scratch: one un-wildcarding builder, one trie-memo
+    row and one result slot per packet position. *)
+
+val batch : capacity:int -> 'a batch
+
+val batch_capacity : 'a batch -> int
+
+val find_wc_batch : 'a t -> 'a batch -> Flow.t array -> idx:int array -> n:int -> unit
+(** Wildcard-lookup the [n] packets [flows.(idx.(0)) ..
+    flows.(idx.(n-1))] subtable-major. Results are read back with
+    {!batch_rule} / {!batch_megaflow} / {!batch_probes} and are
+    bit-for-bit those of [n] scalar {!find_wc_with} calls (the
+    classifier is read-only during the walk; every per-packet
+    accumulator is private to its slot).
+
+    @raise Invalid_argument if [n] exceeds the scratch capacity. *)
+
+val batch_rule : 'a batch -> int -> 'a Rule.t option
+(** Slot [j]'s best rule (the stored option — no allocation). *)
+
+val batch_megaflow : 'a batch -> int -> Mask.t
+val batch_probes : 'a batch -> int -> int
 
 val n_rules : 'a t -> int
 val n_subtables : 'a t -> int

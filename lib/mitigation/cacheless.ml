@@ -18,6 +18,9 @@ type t = {
   engine : engine;
   backend : backend;
   cost : Pi_ovs.Cost_model.t;
+  tss_stats : Tss.lookup_stats;
+      (* caller-owned probe counter for the Tss engine — the classifier
+         itself keeps no lookup side-channel *)
   mutable cycles : float;
   mutable n_processed : int;
 }
@@ -36,7 +39,8 @@ let create ?(engine = Tss_engine) ?config ?(cost = Pi_ovs.Cost_model.default)
     | Dtree_engine leaf_size ->
       Dtree { leaf_size; rules = []; tree = Dtree.build ~leaf_size [] }
   in
-  { engine; backend; cost; cycles = 0.; n_processed = 0 }
+  { engine; backend; cost; tss_stats = Tss.lookup_stats ();
+    cycles = 0.; n_processed = 0 }
 
 let engine t = t.engine
 
@@ -63,8 +67,10 @@ let process t flow ~pkt_len =
   let rule, work =
     match t.backend with
     | Tss cls ->
-      let r = Tss.find_wc cls flow in
-      (r.Tss.rule, r.Tss.probes)
+      (* plain counted lookup: no wildcard tracking, no megaflow mask —
+         nothing here caches, so none of that machinery is needed *)
+      let r = Tss.find_counted cls t.tss_stats flow in
+      (r, t.tss_stats.Tss.lp_probes)
     | Dtree d -> Dtree.lookup_counting d.tree flow
   in
   let action =
@@ -113,8 +119,30 @@ let dataplane ?engine ?config ?cost () : Pi_ovs.Dataplane.backend =
     let remove_rules d pred = remove_rules d.cl pred
     let process d ~now:_ flow ~pkt_len = process d.cl flow ~pkt_len
 
+    (* No cache hierarchy to vectorise: the batch entry is the scalar
+       classifier applied per slot, writing the columns in place. *)
+    let process_batch d (b : Pi_ovs.Batch.t) ~now =
+      for i = 0 to b.Pi_ovs.Batch.n - 1 do
+        let action, o =
+          process d ~now b.Pi_ovs.Batch.flows.(i)
+            ~pkt_len:b.Pi_ovs.Batch.pkt_lens.(i)
+        in
+        Pi_ovs.Batch.set_result b i action ~emc_hit:o.Pi_ovs.Cost_model.emc_hit
+          ~mf_probes:o.Pi_ovs.Cost_model.mf_probes
+          ~mf_hit:o.Pi_ovs.Cost_model.mf_hit
+          ~upcall:o.Pi_ovs.Cost_model.upcall
+          ~slow_probes:o.Pi_ovs.Cost_model.slow_probes
+      done
+
     let process_burst d ~now pkts =
-      Array.map (fun (flow, pkt_len) -> process d ~now flow ~pkt_len) pkts
+      let n = Array.length pkts in
+      if n = 0 then [||]
+      else begin
+        let b = Pi_ovs.Batch.create ~capacity:n in
+        Pi_ovs.Batch.fill b pkts;
+        process_batch d b ~now;
+        Array.init n (Pi_ovs.Batch.result b)
+      end
 
     let service_upcalls _ ~now:_ = 0
     let revalidate _ ~now:_ = 0

@@ -31,15 +31,33 @@ type outcome = {
   pkt_len : int;
 }
 
-let cycles t o =
+(* Labeled-argument variant for the batch path: no [outcome] record has
+   to exist — booleans and ints arrive in registers and the float result
+   stays unboxed on direct calls, so charging a packet allocates
+   nothing. *)
+let[@inline] cycles_of t ~emc_hit ~mf_probes ~mf_hit ~upcall ~slow_probes ~pkt_len =
   let c = t.emc_lookup in
-  let c = c +. (float_of_int o.mf_probes *. t.mf_probe) in
-  let c = if o.mf_hit || o.emc_hit then c +. t.mf_hit_fixed else c in
+  let c = c +. (float_of_int mf_probes *. t.mf_probe) in
+  let c = if mf_hit || emc_hit then c +. t.mf_hit_fixed else c in
   let c =
-    if o.upcall then c +. t.upcall +. (float_of_int o.slow_probes *. t.slow_probe)
+    if upcall then c +. t.upcall +. (float_of_int slow_probes *. t.slow_probe)
     else c
   in
-  c +. (float_of_int o.pkt_len *. t.per_byte)
+  c +. (float_of_int pkt_len *. t.per_byte)
+
+(* [cycles_of] accumulated straight into [cell.(0)]: the float result
+   never leaves a float context (the inlined arithmetic feeds a float
+   array store), so the per-packet charge of the batch completion path
+   allocates nothing even when the caller sits in another module, where
+   a returned float would have to be boxed. *)
+let add_cycles t cell ~emc_hit ~mf_probes ~mf_hit ~upcall ~slow_probes ~pkt_len =
+  cell.(0) <-
+    cell.(0)
+    +. cycles_of t ~emc_hit ~mf_probes ~mf_hit ~upcall ~slow_probes ~pkt_len
+
+let cycles t o =
+  cycles_of t ~emc_hit:o.emc_hit ~mf_probes:o.mf_probes ~mf_hit:o.mf_hit
+    ~upcall:o.upcall ~slow_probes:o.slow_probes ~pkt_len:o.pkt_len
 
 let seconds t o = cycles t o /. t.cpu_hz
 

@@ -34,6 +34,21 @@ type outcome = {
 val cycles : t -> outcome -> float
 (** CPU cycles consumed by one packet with the given outcome. *)
 
+val cycles_of :
+  t -> emc_hit:bool -> mf_probes:int -> mf_hit:bool -> upcall:bool ->
+  slow_probes:int -> pkt_len:int -> float
+(** {!cycles} without the record: identical arithmetic over unpacked
+    fields, for the batch path where no [outcome] is materialised.
+    Allocation-free on direct calls. *)
+
+val add_cycles :
+  t -> float array -> emc_hit:bool -> mf_probes:int -> mf_hit:bool ->
+  upcall:bool -> slow_probes:int -> pkt_len:int -> unit
+(** [add_cycles t cell ...] adds {!cycles_of} to [cell.(0)]. The float
+    never crosses a function boundary, so charging a packet allocates
+    nothing even without cross-module inlining (a returned float must
+    be boxed at the caller). The batch completion path's accumulator. *)
+
 val seconds : t -> outcome -> float
 
 val pps_capacity : t -> avg_cycles:float -> float

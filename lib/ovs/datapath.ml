@@ -44,8 +44,22 @@ type t = {
   sync_upcalls : bool;
       (* default: unbounded queue with no handler budget — misses are
          serviced inline, bit-for-bit the pre-queue datapath *)
-  mutable cycles : float;
-  mutable handler_cycles : float;
+  cy : float array;
+      (* cy.(0) = fast-path cycles, cy.(1) = handler cycles. A float
+         array, not two mutable float fields: in a mixed record every
+         [t.cycles <- t.cycles +. c] store boxes a fresh float, which
+         alone busts the batch path's zero-allocation budget; float
+         array stores are unboxed. *)
+  mf_stats : Megaflow.lookup_stats;
+      (* caller-owned probe reporting for this datapath's own megaflow
+         lookups (replaces reading the deprecated [Megaflow.last_probes]
+         side-channel) *)
+  (* Batched handler scratch for {!service_upcalls}: one chunk of popped
+     items, an identity index row, and the verdicts. *)
+  su_flows : Pi_classifier.Flow.t array;
+  su_lens : int array;
+  su_idx : int array;
+  su_verd : Slowpath.verdict array;
   mutable n_processed : int;
   mutable n_upcalls : int;
   mutable n_upcall_drops : int;
@@ -67,6 +81,9 @@ type t = {
 }
 
 let mf_alive (e : Megaflow.entry) = e.Megaflow.alive
+
+(* Upcalls popped and classified per handler drain round. *)
+let service_chunk = 64
 
 let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
     () =
@@ -92,8 +109,12 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
     slow = Slowpath.create ?config:tss_config ?metrics ();
     uq = Upcall_queue.create config.upcall_queue;
     sync_upcalls = sync;
-    cycles = 0.;
-    handler_cycles = 0.;
+    cy = Array.make 2 0.;
+    mf_stats = Megaflow.lookup_stats ();
+    su_flows = Array.make service_chunk Pi_classifier.Flow.zero;
+    su_lens = Array.make service_chunk 0;
+    su_idx = Array.init service_chunk (fun i -> i);
+    su_verd = Array.make service_chunk Slowpath.no_verdict;
     n_processed = 0;
     n_upcalls = 0;
     n_upcall_drops = 0;
@@ -120,7 +141,9 @@ let emc t = t.emc
 let install_rules t rules = Slowpath.install t.slow rules
 let remove_rules t pred = Slowpath.remove t.slow pred
 
-let observe h v =
+(* [@inline] so the disabled-telemetry branch never boxes the float
+   argument — the batch completion path charges cycles per packet. *)
+let[@inline] observe h v =
   match h with Some h -> Pi_telemetry.Histogram.observe h v | None -> ()
 
 let trace t ~now kind =
@@ -130,7 +153,7 @@ let trace t ~now kind =
 
 let finish t flow outcome action =
   let c = Cost_model.cycles t.cfg.cost outcome in
-  t.cycles <- t.cycles +. c;
+  t.cy.(0) <- t.cy.(0) +. c;
   observe t.h_cycles c;
   (match t.prov with
    | Some p ->
@@ -193,6 +216,70 @@ let install_verdict t ~now flow (v : Slowpath.verdict) =
   if t.cfg.emc_enabled then Emc.insert t.emc flow e;
   e
 
+(* Everything after an EMC miss: megaflow lookup, then hit / upcall /
+   deferred enqueue. Top-level so the batch completion's dirty-state
+   fallback can re-enter the live per-packet path mid-batch without
+   duplicating it (the packet counters have already been bumped by
+   then). *)
+let miss_path t ~now flow ~pkt_len =
+  let mf_entry =
+    match t.mcache with
+    | Some cache ->
+      Megaflow.lookup_hinted_s t.mf t.mf_stats cache flow ~now ~pkt_len
+    | None -> Megaflow.lookup_s t.mf t.mf_stats flow ~now ~pkt_len
+  in
+  let probes = t.mf_stats.Megaflow.s_probes in
+  match mf_entry with
+  | Some e ->
+    t.last_mf <- mf_entry;
+    if t.cfg.emc_enabled then Emc.insert t.emc flow e;
+    observe t.h_probes (float_of_int probes);
+    trace t ~now (Pi_telemetry.Tracer.Mf_hit { probes });
+    finish t flow
+      { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = true;
+        upcall = false; slow_probes = 0; pkt_len }
+      e.Megaflow.action
+  | None ->
+    observe t.h_probes (float_of_int probes);
+    if t.sync_upcalls then begin
+      (* Synchronous model: classify inline, exactly the behaviour
+         (and cost accounting) of the pre-queue datapath. *)
+      t.n_upcalls <- t.n_upcalls + 1;
+      let v = Slowpath.upcall t.slow flow in
+      ignore (install_verdict t ~now flow v);
+      finish t flow
+        { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
+          upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
+        v.Slowpath.action
+    end
+    else begin
+      (* Deferred model: the miss posts an upcall (one per packet,
+         duplicates included — the kernel's per-packet Netlink queue)
+         and the packet itself is not forwarded this tick; the handler
+         resolves the flow in {!service_upcalls}. A full queue means
+         the packet — and its upcall — is dropped on the floor. *)
+      (if
+         Upcall_queue.push t.uq
+           { ui_flow = flow; ui_pkt_len = pkt_len; ui_at = now }
+       then
+         trace t ~now
+           (Pi_telemetry.Tracer.Upcall_enqueued
+              { queued = Upcall_queue.length t.uq })
+       else begin
+         t.n_upcall_drops <- t.n_upcall_drops + 1;
+         (match t.c_upcall_drops with
+          | Some c -> Pi_telemetry.Metrics.incr c
+          | None -> ());
+         trace t ~now
+           (Pi_telemetry.Tracer.Upcall_dropped
+              { queued = Upcall_queue.length t.uq })
+       end);
+      finish t flow
+        { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
+          upcall = false; slow_probes = 0; pkt_len }
+        Action.Drop
+    end
+
 let process t ~now flow ~pkt_len =
   t.n_processed <- t.n_processed + 1;
   (match t.c_packets with
@@ -203,7 +290,7 @@ let process t ~now flow ~pkt_len =
   in
   match emc_entry with
   | Some e ->
-    t.last_mf <- Some e;
+    t.last_mf <- emc_entry;
     e.Megaflow.last_used <- now;
     e.Megaflow.n_packets <- e.Megaflow.n_packets + 1;
     e.Megaflow.n_bytes <- e.Megaflow.n_bytes + pkt_len;
@@ -212,63 +299,235 @@ let process t ~now flow ~pkt_len =
       { Cost_model.emc_hit = true; mf_probes = 0; mf_hit = false;
         upcall = false; slow_probes = 0; pkt_len }
       e.Megaflow.action
-  | None -> begin
-    let mf_entry =
-      match t.mcache with
-      | Some cache -> Megaflow.lookup_hinted t.mf cache flow ~now ~pkt_len
-      | None -> Megaflow.lookup t.mf flow ~now ~pkt_len
-    in
-    let probes = Megaflow.last_probes t.mf in
-    match mf_entry with
-    | Some e ->
-      t.last_mf <- Some e;
-      if t.cfg.emc_enabled then Emc.insert t.emc flow e;
-      observe t.h_probes (float_of_int probes);
-      trace t ~now (Pi_telemetry.Tracer.Mf_hit { probes });
-      finish t flow
-        { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = true;
-          upcall = false; slow_probes = 0; pkt_len }
-        e.Megaflow.action
+  | None -> miss_path t ~now flow ~pkt_len
+
+(* --- Batch processing ----------------------------------------------
+
+   [process_batch] runs the hierarchy in two phases.
+
+   Phase P (pure, vectorised): probe the EMC for every packet — no
+   counters, no eviction, no RNG — to carve out the miss set, then one
+   subtable-major {!Megaflow.walk_batch} over the miss set precomputes
+   each miss packet's (entry, probes, subtable). This is where the
+   batch's cache locality comes from: each subtable is loaded once per
+   batch, not once per packet.
+
+   Phase C (completion): replay the per-packet bookkeeping in strict
+   packet order, so counters, entry stamps, EMC insertion RNG draws,
+   upcalls and traces are bit-for-bit those of the per-packet fold. Two
+   flags guard the precomputed results. [emc_clean]: no EMC write has
+   happened since the probes ran — a pure hit can be committed directly
+   ({!Emc.commit_hit}); after any insert, the slot is re-read with a
+   real {!Emc.lookup} (which also counts the miss, or the hit if an
+   in-batch insert landed the flow — exactly what the fold would see).
+   [mf_dirty]: a synchronous upcall installed a megaflow (possibly
+   appending a subtable or evicting entries), so the remaining packets'
+   precomputed walk results are stale and fall back to the live scalar
+   miss path. Deferred-upcall mode never installs mid-batch, so the
+   attack/pipeline regime keeps the whole batch vectorised. *)
+
+let finish_b t (b : Batch.t) i action ~emc_hit ~mf_probes ~mf_hit ~upcall
+    ~slow_probes =
+  Batch.set_result b i action ~emc_hit ~mf_probes ~mf_hit ~upcall
+    ~slow_probes;
+  (* The cycle charge is accumulated by [add_cycles], and the cost is
+     recomputed inside the telemetry branches below rather than
+     let-bound here: a float with even one use as a plain function
+     argument is boxed at its binding, which would put 2 minor words on
+     every packet of the batch hit path. *)
+  Cost_model.add_cycles t.cfg.cost t.cy ~emc_hit ~mf_probes ~mf_hit ~upcall
+    ~slow_probes ~pkt_len:b.Batch.pkt_lens.(i);
+  (match t.h_cycles with
+   | Some h ->
+     Pi_telemetry.Histogram.observe h
+       (Cost_model.cycles_of t.cfg.cost ~emc_hit ~mf_probes ~mf_hit ~upcall
+          ~slow_probes ~pkt_len:b.Batch.pkt_lens.(i))
+   | None -> ());
+  match t.prov with
+  | Some p ->
+    Provenance.account p
+      ~port:(Pi_classifier.Flow.in_port b.Batch.flows.(i))
+      ~outcome:
+        { Cost_model.emc_hit; mf_probes; mf_hit; upcall; slow_probes;
+          pkt_len = b.Batch.pkt_lens.(i) }
+      ~cycles:
+        (Cost_model.cycles_of t.cfg.cost ~emc_hit ~mf_probes ~mf_hit ~upcall
+           ~slow_probes ~pkt_len:b.Batch.pkt_lens.(i))
+  | None -> ()
+
+(* Commit an EMC hit for packet [i]: [r] is the stored [Some entry],
+   whose hit has already been counted (by {!Emc.commit_hit} on the pure
+   path or by the real {!Emc.lookup}). *)
+let commit_emc_hit t (b : Batch.t) ~now i r =
+  match r with
+  | Some e ->
+    t.last_mf <- r;
+    e.Megaflow.last_used <- now;
+    e.Megaflow.n_packets <- e.Megaflow.n_packets + 1;
+    e.Megaflow.n_bytes <- e.Megaflow.n_bytes + b.Batch.pkt_lens.(i);
+    trace t ~now Pi_telemetry.Tracer.Emc_hit;
+    finish_b t b i e.Megaflow.action ~emc_hit:true ~mf_probes:0
+      ~mf_hit:false ~upcall:false ~slow_probes:0
+  | None -> assert false
+
+(* Live fallback once the megaflow has been mutated mid-batch: run the
+   real per-packet miss path (the EMC has already been consulted) and
+   copy its outcome into the batch columns — [miss_path] has done the
+   charging. Returns the dirty-state delta: 0 = no cache write,
+   1 = EMC possibly written, 2 = megaflow mutated. *)
+let scalar_miss t (b : Batch.t) ~now i =
+  let action, o =
+    miss_path t ~now b.Batch.flows.(i) ~pkt_len:b.Batch.pkt_lens.(i)
+  in
+  Batch.set_result b i action ~emc_hit:o.Cost_model.emc_hit
+    ~mf_probes:o.Cost_model.mf_probes ~mf_hit:o.Cost_model.mf_hit
+    ~upcall:o.Cost_model.upcall ~slow_probes:o.Cost_model.slow_probes;
+  if o.Cost_model.upcall then 2
+  else if o.Cost_model.mf_hit && t.cfg.emc_enabled then 1
+  else 0
+
+(* Commit the precomputed walk result of miss-set slot [j] (packet [i]).
+   Only sound while the megaflow is unmutated since phase P. Same
+   dirty-delta return as [scalar_miss]. *)
+let complete_miss t (b : Batch.t) ~now i j =
+  let flow = b.Batch.flows.(i) in
+  let pkt_len = b.Batch.pkt_lens.(i) in
+  let pre = b.Batch.sc_entry.(j) in
+  let entry =
+    match t.mcache with
+    | Some cache ->
+      Megaflow.commit_walk_hinted t.mf t.mf_stats cache flow pre ~now
+        ~pkt_len ~probes:b.Batch.sc_probes.(j) ~tbl:b.Batch.sc_tbl.(j)
     | None ->
-      observe t.h_probes (float_of_int probes);
-      if t.sync_upcalls then begin
-        (* Synchronous model: classify inline, exactly the behaviour
-           (and cost accounting) of the pre-queue datapath. *)
-        t.n_upcalls <- t.n_upcalls + 1;
-        let v = Slowpath.upcall t.slow flow in
-        ignore (install_verdict t ~now flow v);
-        finish t flow
-          { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
-            upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
-          v.Slowpath.action
+      Megaflow.commit_walk t.mf t.mf_stats pre ~now ~pkt_len
+        ~probes:b.Batch.sc_probes.(j) ~tbl:b.Batch.sc_tbl.(j);
+      pre
+  in
+  let probes = t.mf_stats.Megaflow.s_probes in
+  match entry with
+  | Some e ->
+    t.last_mf <- entry;
+    if t.cfg.emc_enabled then Emc.insert t.emc flow e;
+    (* explicit match, not [observe]: the eagerly evaluated
+       [float_of_int] argument would be boxed even with no histogram *)
+    (match t.h_probes with
+     | Some h -> Pi_telemetry.Histogram.observe h (float_of_int probes)
+     | None -> ());
+    (match t.tracer with
+     | Some tr ->
+       Pi_telemetry.Tracer.record tr ~at:now
+         (Pi_telemetry.Tracer.Mf_hit { probes })
+     | None -> ());
+    finish_b t b i e.Megaflow.action ~emc_hit:false ~mf_probes:probes
+      ~mf_hit:true ~upcall:false ~slow_probes:0;
+    if t.cfg.emc_enabled then 1 else 0
+  | None ->
+    (match t.h_probes with
+     | Some h -> Pi_telemetry.Histogram.observe h (float_of_int probes)
+     | None -> ());
+    if t.sync_upcalls then begin
+      t.n_upcalls <- t.n_upcalls + 1;
+      let v = Slowpath.upcall t.slow flow in
+      ignore (install_verdict t ~now flow v);
+      finish_b t b i v.Slowpath.action ~emc_hit:false ~mf_probes:probes
+        ~mf_hit:false ~upcall:true ~slow_probes:v.Slowpath.probes;
+      2
+    end
+    else begin
+      (if
+         Upcall_queue.push t.uq
+           { ui_flow = flow; ui_pkt_len = pkt_len; ui_at = now }
+       then
+         trace t ~now
+           (Pi_telemetry.Tracer.Upcall_enqueued
+              { queued = Upcall_queue.length t.uq })
+       else begin
+         t.n_upcall_drops <- t.n_upcall_drops + 1;
+         (match t.c_upcall_drops with
+          | Some c -> Pi_telemetry.Metrics.incr c
+          | None -> ());
+         trace t ~now
+           (Pi_telemetry.Tracer.Upcall_dropped
+              { queued = Upcall_queue.length t.uq })
+       end);
+      finish_b t b i Action.Drop ~emc_hit:false ~mf_probes:probes
+        ~mf_hit:false ~upcall:false ~slow_probes:0;
+      0
+    end
+
+(* Phase C. [i] is the packet position, [j] its position in the miss
+   set. Top-level tail recursion with the flags as parameters — local
+   [ref] cells would allocate per batch. *)
+let rec complete_batch t (b : Batch.t) ~now i n j emc_clean mf_dirty =
+  if i < n then begin
+    t.n_processed <- t.n_processed + 1;
+    (match t.c_packets with
+     | Some c -> Pi_telemetry.Metrics.incr c
+     | None -> ());
+    if not t.cfg.emc_enabled then begin
+      let d =
+        if mf_dirty then scalar_miss t b ~now i
+        else complete_miss t b ~now i j
+      in
+      complete_batch t b ~now (i + 1) n (j + 1) emc_clean (mf_dirty || d = 2)
+    end
+    else
+      match b.Batch.sc_emc.(i) with
+      | Some _ as r when emc_clean && not mf_dirty ->
+        Emc.commit_hit t.emc;
+        commit_emc_hit t b ~now i r;
+        complete_batch t b ~now (i + 1) n j emc_clean mf_dirty
+      | Some _ -> begin
+        (* The pure hit may be stale (slot overwritten, entry killed):
+           re-read for real — the lookup's own counting is exactly what
+           the per-packet fold would have done here. *)
+        match Emc.lookup t.emc b.Batch.flows.(i) with
+        | Some _ as r ->
+          commit_emc_hit t b ~now i r;
+          complete_batch t b ~now (i + 1) n j emc_clean mf_dirty
+        | None ->
+          let d = scalar_miss t b ~now i in
+          complete_batch t b ~now (i + 1) n j (emc_clean && d = 0)
+            (mf_dirty || d = 2)
       end
+      | None -> begin
+        (* A pure miss can have become a hit if an in-batch insert
+           landed this flow; the real lookup answers (and counts)
+           authoritatively. *)
+        match Emc.lookup t.emc b.Batch.flows.(i) with
+        | Some _ as r ->
+          commit_emc_hit t b ~now i r;
+          complete_batch t b ~now (i + 1) n (j + 1) emc_clean mf_dirty
+        | None ->
+          let d =
+            if mf_dirty then scalar_miss t b ~now i
+            else complete_miss t b ~now i j
+          in
+          complete_batch t b ~now (i + 1) n (j + 1) (emc_clean && d = 0)
+            (mf_dirty || d = 2)
+      end
+  end
+
+let process_batch t (b : Batch.t) ~now =
+  let n = b.Batch.n in
+  if n > 0 then begin
+    let k =
+      if t.cfg.emc_enabled then
+        Emc.lookup_batch t.emc b.Batch.flows ~n ~out:b.Batch.sc_emc
+          ~miss_idx:b.Batch.sc_miss
       else begin
-        (* Deferred model: the miss posts an upcall (one per packet,
-           duplicates included — the kernel's per-packet Netlink queue)
-           and the packet itself is not forwarded this tick; the handler
-           resolves the flow in {!service_upcalls}. A full queue means
-           the packet — and its upcall — is dropped on the floor. *)
-        (if
-           Upcall_queue.push t.uq
-             { ui_flow = flow; ui_pkt_len = pkt_len; ui_at = now }
-         then
-           trace t ~now
-             (Pi_telemetry.Tracer.Upcall_enqueued
-                { queued = Upcall_queue.length t.uq })
-         else begin
-           t.n_upcall_drops <- t.n_upcall_drops + 1;
-           (match t.c_upcall_drops with
-            | Some c -> Pi_telemetry.Metrics.incr c
-            | None -> ());
-           trace t ~now
-             (Pi_telemetry.Tracer.Upcall_dropped
-                { queued = Upcall_queue.length t.uq })
-         end);
-        finish t flow
-          { Cost_model.emc_hit = false; mf_probes = probes; mf_hit = false;
-            upcall = false; slow_probes = 0; pkt_len }
-          Action.Drop
+        (* No EMC: every packet is in the miss set. *)
+        for i = 0 to n - 1 do
+          b.Batch.sc_miss.(i) <- i;
+          b.Batch.sc_emc.(i) <- None
+        done;
+        n
       end
+    in
+    Megaflow.walk_batch t.mf b.Batch.flows ~idx:b.Batch.sc_miss ~n:k
+      ~out_entry:b.Batch.sc_entry ~out_probes:b.Batch.sc_probes
+      ~out_tbl:b.Batch.sc_tbl;
+    complete_batch t b ~now 0 n 0 true false
   end
 
 let pop_pending_upcall t =
@@ -289,7 +548,7 @@ let apply_verdict t ~now flow ~pkt_len (v : Slowpath.verdict) =
       { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
         upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
   in
-  t.handler_cycles <- t.handler_cycles +. c;
+  t.cy.(1) <- t.cy.(1) +. c;
   match t.prov with
   | Some p ->
     Provenance.account_handler p ~port:(Pi_classifier.Flow.in_port flow)
@@ -298,19 +557,40 @@ let apply_verdict t ~now flow ~pkt_len (v : Slowpath.verdict) =
 
 (* Drain up to the configured handler budget of pending upcalls: the
    per-tick slice of ovs-vswitchd's handler threads. Handler work is
-   charged to [handler_cycles] — handler threads run beside the PMD, so
-   deferred classification does not consume fast-path budget. *)
+   charged to handler cycles — handler threads run beside the PMD, so
+   deferred classification does not consume fast-path budget.
+
+   The drain is batched: pop a chunk, classify the whole chunk with one
+   subtable-major walk ({!Slowpath.upcall_batch}), then apply the
+   verdicts in pop order. Bit-for-bit the sequential drain: the
+   classifier is read-only while the chunk is classified (verdict
+   installs touch only the megaflow/EMC), so each verdict equals the one
+   the item would have received one-at-a-time. *)
 let service_upcalls t ~now =
   let budget = Upcall_queue.budget t.uq in
   let serviced = ref 0 in
   let continue = ref true in
   while !continue && !serviced < budget do
-    match Upcall_queue.pop t.uq with
-    | None -> continue := false
-    | Some { ui_flow; ui_pkt_len; ui_at = _ } ->
-      incr serviced;
-      let v = Slowpath.upcall t.slow ui_flow in
-      apply_verdict t ~now ui_flow ~pkt_len:ui_pkt_len v
+    let want = min (budget - !serviced) service_chunk in
+    let k = ref 0 in
+    while !k < want && !continue do
+      match Upcall_queue.pop t.uq with
+      | None -> continue := false
+      | Some { ui_flow; ui_pkt_len; ui_at = _ } ->
+        t.su_flows.(!k) <- ui_flow;
+        t.su_lens.(!k) <- ui_pkt_len;
+        incr k
+    done;
+    let k = !k in
+    if k > 0 then begin
+      Slowpath.upcall_batch t.slow t.su_flows ~idx:t.su_idx ~n:k
+        ~out:t.su_verd;
+      for m = 0 to k - 1 do
+        apply_verdict t ~now t.su_flows.(m) ~pkt_len:t.su_lens.(m)
+          t.su_verd.(m)
+      done;
+      serviced := !serviced + k
+    end
   done;
   !serviced
 
@@ -341,8 +621,8 @@ let last_megaflow t = t.last_mf
 
 let provenance t = t.prov
 let telemetry t = t.ctx
-let cycles_used t = t.cycles
-let handler_cycles_used t = t.handler_cycles
+let cycles_used t = t.cy.(0)
+let handler_cycles_used t = t.cy.(1)
 let n_processed t = t.n_processed
 let n_upcalls t = t.n_upcalls
 let upcall_drops t = t.n_upcall_drops
@@ -351,8 +631,8 @@ let n_masks t = Megaflow.n_masks t.mf
 let n_megaflows t = Megaflow.n_entries t.mf
 
 let reset_stats t =
-  t.cycles <- 0.;
-  t.handler_cycles <- 0.;
+  t.cy.(0) <- 0.;
+  t.cy.(1) <- 0.;
   t.n_processed <- 0;
   t.n_upcalls <- 0;
   t.n_upcall_drops <- 0;

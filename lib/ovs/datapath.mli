@@ -92,6 +92,24 @@ val process :
     the queue is full the upcall itself is dropped and counted in
     {!upcall_drops}. Deferred upcalls resolve in {!service_upcalls}. *)
 
+val process_batch : t -> Batch.t -> now:float -> unit
+(** Classify a whole {!Batch} through the cache hierarchy, writing each
+    packet's action and outcome columns back into the batch.
+
+    The walk is subtable-major, OVS dpcls style: one vectorised EMC
+    probe pass carves out the miss set, one {!Megaflow.lookup_batch}
+    walk resolves it loading each subtable once per batch, and a
+    completion pass replays the per-packet bookkeeping in strict packet
+    order. Results are bit-for-bit those of [n] {!process} calls — same
+    actions and outcomes, same megaflows minted, same mask counts, same
+    EMC insertion RNG draws, same traces; a mid-batch synchronous
+    upcall falls the remaining packets back to the live scalar path to
+    keep that guarantee. With deferred upcalls, misses enqueue exactly
+    as in {!process} and resolve at the next {!service_upcalls}, which
+    classifies queued misses in slow-path batches of its own.
+
+    The batch hit and walk paths allocate nothing on the minor heap. *)
+
 val pop_pending_upcall : t -> (Pi_classifier.Flow.t * int * float) option
 (** Dequeue the oldest deferred upcall as [(flow, pkt_len, enqueued_at)]
     without servicing it. The PMD pipeline's forwarding hook: the shard

@@ -36,6 +36,8 @@ module type S = sig
     t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
     Action.t * Cost_model.outcome
 
+  val process_batch : t -> Batch.t -> now:float -> unit
+
   val process_burst :
     t -> now:float -> (Pi_classifier.Flow.t * int) array ->
     (Action.t * Cost_model.outcome) array
@@ -75,6 +77,8 @@ let remove_rules (Packed ((module B), d)) pred = B.remove_rules d pred
 let process (Packed ((module B), d)) ~now flow ~pkt_len =
   B.process d ~now flow ~pkt_len
 
+let process_batch (Packed ((module B), d)) b ~now = B.process_batch d b ~now
+
 let process_burst (Packed ((module B), d)) ~now pkts =
   B.process_burst d ~now pkts
 
@@ -102,6 +106,19 @@ let shard_mask_stats (Packed ((module B), d)) i = B.shard_mask_stats d i
 
 (* --- backends --- *)
 
+(* Tuple-array burst on top of a backend's batch entry point: a fresh
+   batch per call — this is the allocating convenience surface, not the
+   hot path. *)
+let burst_via process_batch d ~now pkts =
+  let n = Array.length pkts in
+  if n = 0 then [||]
+  else begin
+    let b = Batch.create ~capacity:n in
+    Batch.fill b pkts;
+    process_batch d b ~now;
+    Array.init n (Batch.result b)
+  end
+
 let datapath ?config ?tss_config () : backend =
   (module struct
     type t = Datapath.t
@@ -113,11 +130,8 @@ let datapath ?config ?tss_config () : backend =
     let install_rules = Datapath.install_rules
     let remove_rules = Datapath.remove_rules
     let process = Datapath.process
-
-    let process_burst d ~now pkts =
-      Array.map
-        (fun (flow, pkt_len) -> Datapath.process d ~now flow ~pkt_len)
-        pkts
+    let process_batch = Datapath.process_batch
+    let process_burst d ~now pkts = burst_via Datapath.process_batch d ~now pkts
 
     let service_upcalls = Datapath.service_upcalls
     let revalidate = Datapath.revalidate
@@ -178,7 +192,8 @@ let pmd ?config ?tss_config () : backend =
     let install_rules = Pmd.install_rules
     let remove_rules = Pmd.remove_rules
     let process = Pmd.process
-    let process_burst = Pmd.process_batch
+    let process_batch = Pmd.process_batch
+    let process_burst = Pmd.process_burst
     let service_upcalls = Pmd.service_upcalls
     let revalidate = Pmd.revalidate
     let close = Pmd.close

@@ -56,12 +56,24 @@ module type S = sig
   val process :
     t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
     Action.t * Cost_model.outcome
+  (** Classify one packet — the 1-length batch special case, kept
+      per-packet for parity oracles and single-flow probes. Hot callers
+      should fill a {!Batch.t} and use {!process_batch}. *)
+
+  val process_batch : t -> Batch.t -> now:float -> unit
+  (** One rx round over a {!Batch}: classify packets [0 .. length - 1],
+      writing each packet's action and outcome columns back into the
+      batch in place. Backends with batch accounting charge their
+      per-burst overhead here; cache-hierarchy backends run their
+      vectorised subtable-major walk. Results are bit-for-bit those of
+      [length] {!process} calls. *)
 
   val process_burst :
     t -> now:float -> (Pi_classifier.Flow.t * int) array ->
     (Action.t * Cost_model.outcome) array
-  (** One rx round; result [i] corresponds to packet [i]. Backends with
-      batch accounting charge their per-burst overhead here. *)
+  (** Tuple-array convenience over {!process_batch}; result [i]
+      corresponds to packet [i]. Allocates the result array and outcome
+      records per call. *)
 
   val service_upcalls : t -> now:float -> int
   (** Drain deferred upcalls up to the handler budget; 0 for backends
@@ -149,6 +161,8 @@ val process :
   t -> now:float -> Pi_classifier.Flow.t -> pkt_len:int ->
   Action.t * Cost_model.outcome
 
+val process_batch : t -> Batch.t -> now:float -> unit
+
 val process_burst :
   t -> now:float -> (Pi_classifier.Flow.t * int) array ->
   (Action.t * Cost_model.outcome) array
@@ -187,9 +201,9 @@ val shard_mask_stats : t -> int -> Megaflow.mask_stat list
 val datapath :
   ?config:Datapath.config -> ?tss_config:Pi_classifier.Tss.config ->
   unit -> backend
-(** The single-threaded {!Datapath}. [process_burst] is a plain loop —
-    no batch overhead — so it is bit-for-bit a 1-shard {!pmd} with
-    [batch_cycles = 0]. *)
+(** The single-threaded {!Datapath}. [process_batch] is the vectorised
+    walk with no batch-overhead accounting, so it is bit-for-bit a
+    1-shard {!pmd} with [batch_cycles = 0]. *)
 
 val pmd :
   ?config:Pmd.config -> ?tss_config:Pi_classifier.Tss.config ->

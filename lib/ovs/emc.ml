@@ -76,6 +76,46 @@ let lookup t flow =
     end
   | Some _ | None -> record_miss t
 
+(* Pure probe: no hit/miss statistics, no dead-slot reclamation. The
+   batch path probes the whole burst first (to carve out the miss set
+   for the subtable-major megaflow walk) and replays the statistics at
+   completion time in packet order, so the probe itself must leave the
+   cache untouched. A dead slot answers [None], like [lookup] — the
+   completion-time [lookup] then reclaims it and counts the miss. *)
+let probe t flow =
+  let i = slot_of t flow in
+  match t.values.(i) with
+  | Some v as r when Flow.equal t.keys.(i) flow && t.valid v -> r
+  | Some _ | None -> None
+
+(* Completion-time half of a pure {!probe} hit: apply exactly the
+   bookkeeping [lookup] would have performed on the hit path. Only valid
+   while no insert has run since the probe (the caller's [emc_clean]
+   discipline); otherwise re-run [lookup] for the authoritative answer. *)
+let commit_hit t =
+  t.hits <- t.hits + 1;
+  bump t.c_hit
+
+(* Pure probe over packets [0, n): [out.(i)] receives the stored hit
+   option, the miss positions land densely in [miss_idx], and the miss
+   count is returned. Allocation-free (top-level recursion; the hit
+   options are the stored ones). *)
+let rec probe_batch t flows n out miss_idx i k =
+  if i >= n then k
+  else begin
+    match probe t flows.(i) with
+    | Some _ as r ->
+      out.(i) <- r;
+      probe_batch t flows n out miss_idx (i + 1) k
+    | None ->
+      out.(i) <- None;
+      miss_idx.(k) <- i;
+      probe_batch t flows n out miss_idx (i + 1) (k + 1)
+  end
+
+let lookup_batch t flows ~n ~out ~miss_idx =
+  probe_batch t flows n out miss_idx 0 0
+
 let insert_forced t flow value =
   let i = slot_of t flow in
   (match t.values.(i) with None -> t.occupied <- t.occupied + 1 | Some _ -> ());

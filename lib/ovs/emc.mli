@@ -32,6 +32,25 @@ val lookup : 'a t -> Pi_classifier.Flow.t -> 'a option
     and the dead slot is evicted on the spot, so EMC hit-rate statistics
     reflect only lookups that actually short-circuited classification. *)
 
+val probe : 'a t -> Pi_classifier.Flow.t -> 'a option
+(** Pure {!lookup}: same answer (a dead slot is [None]), but no hit/miss
+    statistics and no dead-slot reclamation — the cache is untouched.
+    The batch path probes the whole burst up front and replays the
+    bookkeeping in packet order at completion ({!commit_hit}, or a real
+    {!lookup} once the cache may have been written). Allocation-free. *)
+
+val commit_hit : 'a t -> unit
+(** Count one hit (statistics only) — the completion-time half of a pure
+    {!probe} hit. Only a faithful replay while no insert has run since
+    the probe; after a write, re-run {!lookup} instead. *)
+
+val lookup_batch :
+  'a t -> Pi_classifier.Flow.t array -> n:int -> out:'a option array ->
+  miss_idx:int array -> int
+(** Pure probe of packets [0, n): [out.(i)] receives {!probe}'s answer,
+    the miss positions land densely in [miss_idx], and the miss count is
+    returned. Allocation-free. *)
+
 val insert : 'a t -> Pi_classifier.Flow.t -> 'a -> unit
 (** Probabilistic insert: with probability [1/insert_inv_prob] the
     key's slot is overwritten (evicting any previous occupant). *)

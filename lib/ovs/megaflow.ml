@@ -53,6 +53,10 @@ type t = {
   mutable misses : int;
   mutable probes : int;
   mutable last_probes : int;        (* subtables probed by the last lookup *)
+  mutable w_remaining : int;
+      (* walk scratch: packets of the current batch still unresolved.
+         A field, not a [ref], so the per-subtable walk loop allocates
+         nothing; only meaningful while [walk_batch] runs. *)
   c_hit : Pi_telemetry.Metrics.counter option;
   c_miss : Pi_telemetry.Metrics.counter option;
   c_probes : Pi_telemetry.Metrics.counter option;
@@ -77,6 +81,7 @@ let create ?(config = default_config) ?metrics () =
     misses = 0;
     probes = 0;
     last_probes = 0;
+    w_remaining = 0;
     c_hit = c "mf_hit";
     c_miss = c "mf_miss";
     c_probes = c "mf_probes";
@@ -243,6 +248,144 @@ let lookup_hinted t cache flow ~now ~pkt_len =
     Mask_cache.note_miss cache;
     scan_tables_record t cache flow ~now ~pkt_len 0 0
   end
+
+(* Caller-owned probe reporting: the explicit record replaces the old
+   [last_probes] "valid until the next lookup" side-channel, which broke
+   down as soon as two lookups were in flight per batch. [t.last_probes]
+   is still maintained so the deprecated accessor keeps answering during
+   its final release. *)
+type lookup_stats = { mutable s_probes : int }
+
+let lookup_stats () = { s_probes = 0 }
+
+let lookup_s t s flow ~now ~pkt_len =
+  let r = scan_tables t flow ~now ~pkt_len 0 0 in
+  s.s_probes <- t.last_probes;
+  r
+
+let lookup_hinted_s t s cache flow ~now ~pkt_len =
+  let r = lookup_hinted t cache flow ~now ~pkt_len in
+  s.s_probes <- t.last_probes;
+  r
+
+(* --- Subtable-major batch walk ------------------------------------- *)
+
+(* Pure walk of one subtable over the still-unclassified packets of the
+   batch ([out_tbl.(j) < 0]). The probe count is NOT tallied per probe:
+   a packet resolved under mask [ti] paid [ti + 1] probes and one that
+   survives the whole walk paid [n_tables], both derivable after the
+   fact — dropping the per-probe read-modify-write is what lets this
+   loop beat the sequential scan even at 512 masks, where every
+   subtable header still fits in cache and the dpcls amortisation alone
+   has nothing to amortise. Unresolved count lives in [t.w_remaining]
+   (a [ref] here would be heap-allocated per subtable, and the
+   zero-alloc gate rounds at 1/1000 word per packet). *)
+let walk_table t st flows idx n out_entry out_probes out_tbl ti =
+  for j = 0 to n - 1 do
+    if out_tbl.(j) < 0 then begin
+      match find_in_subtable st flows.(idx.(j)) with
+      | Some _ as r ->
+        out_entry.(j) <- r;
+        out_probes.(j) <- ti + 1;
+        out_tbl.(j) <- ti;
+        t.w_remaining <- t.w_remaining - 1
+      | None -> ()
+    end
+  done
+
+let rec walk_tables t flows idx n out_entry out_probes out_tbl ti =
+  if t.w_remaining > 0 && ti < t.n_tables then begin
+    walk_table t t.arr.(ti) flows idx n out_entry out_probes out_tbl ti;
+    walk_tables t flows idx n out_entry out_probes out_tbl (ti + 1)
+  end
+
+(* Pure subtable-major walk: for each mask, probe every unresolved
+   packet of the miss set, then move to the next mask — the dpcls
+   amortisation (each subtable's mask, support and table are loaded once
+   per batch, not once per packet). Touches no statistics and mutates
+   nothing: [out_entry.(j)] is the stored arena option (or [None]),
+   [out_probes.(j)] the probe count the sequential scan would have paid,
+   [out_tbl.(j)] the matching subtable index (-1 on a miss). The caller
+   replays hit/miss bookkeeping per packet with {!commit_walk} /
+   {!commit_walk_hinted}; while the cache is unmutated the replay is
+   bit-for-bit what per-packet {!lookup} would have produced, because
+   entries are non-overlapping so probe order across packets cannot
+   change which entry wins. *)
+let walk_batch t flows ~idx ~n ~out_entry ~out_probes ~out_tbl =
+  for j = 0 to n - 1 do
+    out_entry.(j) <- None;
+    (* overwritten with the hit position on a hit; a packet that walks
+       every subtable and misses paid them all, like the scan *)
+    out_probes.(j) <- t.n_tables;
+    out_tbl.(j) <- -1
+  done;
+  t.w_remaining <- n;
+  walk_tables t flows idx n out_entry out_probes out_tbl 0
+
+let commit_walk t s entry ~now ~pkt_len ~probes ~tbl =
+  (match entry with
+   | Some e -> hit_entry t t.arr.(tbl) e ~now ~pkt_len ~probes
+   | None -> miss t ~probes);
+  s.s_probes <- probes;
+  t.last_probes <- probes
+
+let commit_scan_record t s cache flow entry ~now ~pkt_len ~probes ~tbl =
+  (match entry with
+   | Some e ->
+     hit_entry t t.arr.(tbl) e ~now ~pkt_len ~probes;
+     Mask_cache.record cache flow tbl
+   | None -> miss t ~probes);
+  s.s_probes <- probes;
+  t.last_probes <- probes
+
+(* Hinted (kernel-flavour) commit of a precomputed walk result. The hint
+   is read {e live}, in packet order, so the hint/hit/miss accounting is
+   exactly what per-packet {!lookup_hinted} would have done; on a hint
+   hit the hint's entry is authoritative and returned (it is the same
+   entry the walk found — entries are non-overlapping — but the probe
+   count differs: 1, not the scan position). A failed in-range hint adds
+   its one probe to the precomputed scan count, as in
+   [scan_tables_record ... 0 1]. Only valid while the cache has not been
+   mutated since {!walk_batch} ran. *)
+let commit_walk_hinted t s cache flow entry ~now ~pkt_len ~probes ~tbl =
+  Mask_cache.sync_generation cache t.generation;
+  let h = Mask_cache.hint cache flow in
+  if h >= 0 && h < t.n_tables then begin
+    let st = t.arr.(h) in
+    match find_in_subtable st flow with
+    | Some e as r ->
+      hit_entry t st e ~now ~pkt_len ~probes:1;
+      Mask_cache.note_hit cache;
+      s.s_probes <- 1;
+      t.last_probes <- 1;
+      r
+    | None ->
+      Mask_cache.note_miss cache;
+      commit_scan_record t s cache flow entry ~now ~pkt_len
+        ~probes:(probes + 1) ~tbl;
+      entry
+  end
+  else begin
+    Mask_cache.note_miss cache;
+    commit_scan_record t s cache flow entry ~now ~pkt_len ~probes ~tbl;
+    entry
+  end
+
+let rec commit_batch t idx pkt_lens n out_entry out_probes out_tbl ~now j =
+  if j < n then begin
+    (match out_entry.(j) with
+     | Some e ->
+       hit_entry t t.arr.(out_tbl.(j)) e ~now
+         ~pkt_len:pkt_lens.(idx.(j)) ~probes:out_probes.(j)
+     | None -> miss t ~probes:out_probes.(j));
+    commit_batch t idx pkt_lens n out_entry out_probes out_tbl ~now (j + 1)
+  end
+
+(* Batch lookup = pure walk + per-packet commit. Statistics end up
+   identical to [n] sequential {!lookup} calls; allocation-free. *)
+let lookup_batch t flows ~idx ~n ~pkt_lens ~now ~out_entry ~out_probes ~out_tbl =
+  walk_batch t flows ~idx ~n ~out_entry ~out_probes ~out_tbl;
+  commit_batch t idx pkt_lens n out_entry out_probes out_tbl ~now 0
 
 (* Userspace-dpcls-style ranking: periodically sort subtables so the
    most-hit masks are probed first (OVS's pvector). Decays counts so

@@ -59,9 +59,86 @@ val lookup_hinted :
     been reordered since the hints were recorded (see {!generation}).
     Allocation-free, like {!lookup}; probes via {!last_probes}. *)
 
+type lookup_stats = { mutable s_probes : int }
+(** Caller-owned probe reporting. A lookup writes the number of subtable
+    hash probes it performed into the record the caller passed, so two
+    concurrent walks (e.g. the batch path interleaving with a hinted
+    commit) cannot clobber each other the way the old cache-global
+    {!last_probes} accessor could. *)
+
+val lookup_stats : unit -> lookup_stats
+
+val lookup_s :
+  t -> lookup_stats -> Pi_classifier.Flow.t -> now:float -> pkt_len:int ->
+  entry option
+(** {!lookup}, reporting the probe count into the caller's record. *)
+
+val lookup_hinted_s :
+  t -> lookup_stats -> Mask_cache.t -> Pi_classifier.Flow.t -> now:float ->
+  pkt_len:int -> entry option
+(** {!lookup_hinted}, reporting the probe count into the caller's
+    record. *)
+
 val last_probes : t -> int
+[@@alert retiring
+    "last_probes is a single-slot side-channel; pass a caller-owned \
+     Megaflow.lookup_stats record to lookup_s/lookup_hinted_s instead. \
+     This accessor will be removed next release."]
 (** Subtable hash probes performed by the most recent {!lookup} /
-    {!lookup_hinted} on this cache (valid until the next one). *)
+    {!lookup_hinted} on this cache (valid until the next one).
+
+    @deprecated Use {!lookup_s} / {!lookup_hinted_s} with a caller-owned
+    {!lookup_stats} record. *)
+
+(** {2 Batch (subtable-major) lookup}
+
+    OVS dpcls probes one subtable for a whole packet burst before
+    touching the next, amortising the mask/support/table loads across
+    the batch — the amortisation the Tuple Space Explosion attack tries
+    to defeat. The walk is split in two so {!Datapath.process_batch} can
+    interleave EMC bookkeeping: a {e pure} vectorised walk
+    ({!walk_batch}) followed by a per-packet, packet-ordered commit
+    ({!commit_walk} / {!commit_walk_hinted}) that replays exactly the
+    statistics the sequential lookups would have produced. *)
+
+val walk_batch :
+  t -> Pi_classifier.Flow.t array -> idx:int array -> n:int ->
+  out_entry:entry option array -> out_probes:int array ->
+  out_tbl:int array -> unit
+(** Pure subtable-major walk over the [n] packets [flows.(idx.(0)) ..
+    flows.(idx.(n-1))]. For each packet slot [j]: [out_entry.(j)] is the
+    matching entry (the stored arena option — nothing is allocated),
+    [out_probes.(j)] the probes a sequential scan would have paid, and
+    [out_tbl.(j)] the matching subtable index, or [-1] on a miss. No
+    statistics are touched and nothing is mutated; commit each packet
+    with {!commit_walk} (or {!commit_walk_hinted}) before the cache is
+    mutated, or the precomputed results are stale. *)
+
+val commit_walk :
+  t -> lookup_stats -> entry option -> now:float -> pkt_len:int ->
+  probes:int -> tbl:int -> unit
+(** Replay the hit/miss bookkeeping of one packet's {!walk_batch} result
+    ([entry], [probes], [tbl]) — entry usage stamps, hit/miss/probe
+    counters — exactly as {!lookup} would have. *)
+
+val commit_walk_hinted :
+  t -> lookup_stats -> Mask_cache.t -> Pi_classifier.Flow.t ->
+  entry option -> now:float -> pkt_len:int -> probes:int -> tbl:int ->
+  entry option
+(** Kernel-flavour commit: consults the {!Mask_cache} {e live}, in
+    packet order, so hint hits/misses and recorded hints are exactly
+    those of per-packet {!lookup_hinted}. Returns the authoritative
+    entry (the hint's on a hint hit — with [s_probes = 1] — otherwise
+    the precomputed one, with the failed in-range hint's extra probe
+    added). *)
+
+val lookup_batch :
+  t -> Pi_classifier.Flow.t array -> idx:int array -> n:int ->
+  pkt_lens:int array -> now:float -> out_entry:entry option array ->
+  out_probes:int array -> out_tbl:int array -> unit
+(** {!walk_batch} + per-packet commit: statistics identical to [n]
+    sequential {!lookup} calls, allocation-free. [pkt_lens] is indexed
+    by [idx.(j)], like [flows]. *)
 
 val generation : t -> int
 (** Incremented whenever subtable indices are invalidated (ranking

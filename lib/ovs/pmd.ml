@@ -62,8 +62,15 @@ let default_config =
 type shard = {
   dp : Datapath.t;
   metrics : Pi_telemetry.Metrics.t option;
+  b : Batch.t;
+      (* private rx-burst scratch (capacity [batch_size]): each burst of
+         the shard's slice is gathered here, run through
+         [Datapath.process_batch], and scattered back *)
   mutable n_batches : int;
-  mutable overhead_cycles : float;
+  oc : float array;
+      (* overhead cycles, as a 1-slot float array: a [mutable float]
+         field in this mixed record would box a fresh float on every
+         burst charge *)
 }
 
 (* worker → handler: one deferred upcall, carried off the shard's
@@ -93,6 +100,9 @@ type completion = {
    the atomics ([w_done], [w_applied], [w_quiet]) and the rings. *)
 type worker = {
   w_rx : int Spsc_ring.t;
+  w_idx : int array;
+      (* burst index scratch (capacity [batch_size]), worker-private:
+         the parent-batch positions of the burst being gathered *)
   w_ucr : upcall_msg option Spsc_ring.t;
   w_cmp : completion option Spsc_ring.t;
   w_done : int Atomic.t;        (* packets fully processed (worker) *)
@@ -112,9 +122,10 @@ type pipeline = {
   (* The in-flight batch, published to the workers by the ring pushes
      (plain writes ordered before the SC tail update; the worker's pop
      reads the tail first). Only valid between submit and barrier —
-     [process_batch] never returns with these still being read. *)
-  mutable cur_pkts : (Pi_classifier.Flow.t * int) array;
-  mutable cur_out : (Action.t * Cost_model.outcome) array;
+     [process_batch] never returns with it still being read. Workers
+     write result columns at disjoint parent-batch indices (each index
+     is enqueued to exactly one shard), so the writes never race. *)
+  mutable cur_b : Batch.t;
   mutable cur_now : float;
   mutable last_applied : int;   (* for service_upcalls deltas *)
   mutable closed : bool;
@@ -130,6 +141,10 @@ type t = {
      nothing in the steady state. *)
   mutable sc_idx : int array array;
   sc_len : int array;
+  mutable cb : Batch.t;
+      (* reusable compat batch backing the legacy tuple-array
+         [process_burst] surface and the pipeline's single-packet
+         [process]; grown geometrically *)
 }
 
 (* Progressive backoff for every spin-wait: brief [cpu_relax] bursts,
@@ -198,11 +213,11 @@ let worker_body t pl s =
         (* a charged rx burst: the fixed per-burst cost, exactly as the
            deterministic mode's chopping charges it *)
         sh.n_batches <- sh.n_batches + 1;
-        sh.overhead_cycles <- sh.overhead_cycles +. t.cfg.batch_cycles
+        sh.oc.(0) <- sh.oc.(0) +. t.cfg.batch_cycles
       end;
-      let pkts = pl.cur_pkts and out = pl.cur_out in
+      let b = pl.cur_b in
       let now = pl.cur_now in
-      for _ = 1 to k do
+      for j = 0 to k - 1 do
         (* the producer pushes header-then-indices, so a just-popped
            header may race ahead of its last indices — spin them in *)
         let i = ref (Spsc_ring.pop_or w.w_rx ~default:no_msg) in
@@ -212,8 +227,20 @@ let worker_body t pl s =
           incr spins;
           i := Spsc_ring.pop_or w.w_rx ~default:no_msg
         done;
-        let flow, pkt_len = pkts.(!i) in
-        out.(!i) <- Datapath.process sh.dp ~now flow ~pkt_len
+        w.w_idx.(j) <- !i
+      done;
+      (* gather the burst into the shard's private batch, run the
+         vectorised walk, scatter the results back to the parent *)
+      let sb = sh.b in
+      for j = 0 to k - 1 do
+        let i = w.w_idx.(j) in
+        sb.Batch.flows.(j) <- b.Batch.flows.(i);
+        sb.Batch.pkt_lens.(j) <- b.Batch.pkt_lens.(i)
+      done;
+      sb.Batch.n <- k;
+      Datapath.process_batch sh.dp sb ~now;
+      for j = 0 to k - 1 do
+        Batch.blit_result sb j b w.w_idx.(j)
       done;
       forward_upcalls s sh w;
       ignore (Atomic.fetch_and_add w.w_done k)
@@ -296,8 +323,9 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
           Datapath.create ~config:config.dp ?tss_config ~telemetry:ctx
             ?provenance rng ();
         metrics;
+        b = Batch.create ~capacity:config.batch_size;
         n_batches = 0;
-        overhead_cycles = 0. }
+        oc = Array.make 1 0. }
     else begin
       ignore i;
       let metrics = Option.map (fun _ -> Pi_telemetry.Metrics.create ()) metrics in
@@ -306,8 +334,9 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
                ?provenance
                (Pi_pkt.Prng.split rng) ();
         metrics;
+        b = Batch.create ~capacity:config.batch_size;
         n_batches = 0;
-        overhead_cycles = 0. }
+        oc = Array.make 1 0. }
     end
   in
   let shards = Array.init config.n_shards mk_shard in
@@ -319,6 +348,7 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
       let uc_cap = max config.upcall_ring 1 in
       let mk_worker _ =
         { w_rx = Spsc_ring.create ~capacity:rx_cap ~dummy:no_msg;
+          w_idx = Array.make config.batch_size 0;
           w_ucr = Spsc_ring.create ~capacity:uc_cap ~dummy:None;
           w_cmp = Spsc_ring.create ~capacity:uc_cap ~dummy:None;
           w_done = Atomic.make 0;
@@ -332,8 +362,7 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
         { workers = Array.init config.n_shards mk_worker;
           stop = Atomic.make false;
           handler = None;
-          cur_pkts = [||];
-          cur_out = [||];
+          cur_b = Batch.create ~capacity:1;
           cur_now = 0.;
           last_applied = 0;
           closed = false }
@@ -341,7 +370,8 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
   let t =
     { cfg = config; shards; ctx; pl;
       sc_idx = Array.init config.n_shards (fun _ -> [||]);
-      sc_len = Array.make config.n_shards 0 }
+      sc_len = Array.make config.n_shards 0;
+      cb = Batch.create ~capacity:config.batch_size }
   in
   (match t.pl with
    | None -> ()
@@ -416,34 +446,27 @@ let ensure_scratch t n =
 
 (* Steer a batch into the per-shard scratch arrays, preserving arrival
    order within each shard. Allocation-free once the scratch is warm. *)
-let steer t pkts n =
+let steer t (b : Batch.t) n =
   ensure_scratch t n;
   Array.fill t.sc_len 0 (Array.length t.sc_len) 0;
   for i = 0 to n - 1 do
-    let s = shard_of t (fst pkts.(i)) in
+    let s = shard_of t b.Batch.flows.(i) in
     let l = t.sc_len.(s) in
     t.sc_idx.(s).(l) <- i;
     t.sc_len.(s) <- l + 1
   done
 
-let dummy_result =
-  ( Action.Drop,
-    { Cost_model.emc_hit = false; mf_probes = 0; mf_hit = false;
-      upcall = false; slow_probes = 0; pkt_len = 0 } )
-
 (* Enqueue a steered batch to the workers — per shard: chop into rx
    bursts of [batch_size], each pushed as a header ([k] charged, [-k]
    uncharged) followed by its [k] packet indices — then barrier until
    every worker has drained its share. The barrier makes the result
-   array safe to read and keeps [process_batch]'s contract identical
+   columns safe to read and keeps [process_batch]'s contract identical
    across modes. *)
-let run_pipeline t pl ~now pkts ~charged =
+let run_pipeline t pl ~now (b : Batch.t) ~charged =
   if pl.closed then invalid_arg "Pmd: pipeline is closed";
-  let n = Array.length pkts in
-  let out = Array.make n dummy_result in
-  steer t pkts n;
-  pl.cur_pkts <- pkts;
-  pl.cur_out <- out;
+  let n = b.Batch.n in
+  steer t b n;
+  pl.cur_b <- b;
   pl.cur_now <- now;
   for s = 0 to Array.length t.shards - 1 do
     let len = t.sc_len.(s) and idx = t.sc_idx.(s) in
@@ -463,8 +486,35 @@ let run_pipeline t pl ~now pkts ~charged =
   done;
   Array.iter
     (fun w -> spin_until (fun () -> Atomic.get w.w_done = w.w_submitted))
-    pl.workers;
-  out
+    pl.workers
+
+(* Run one shard's slice of the parent batch, in arrival order, chopped
+   into rx bursts of [batch_size]: each burst (the last one possibly
+   short) pays the fixed [batch_cycles] once, fills the shard's private
+   batch from the parent's columns, runs the vectorised walk, and
+   scatters the results back at this shard's private indices. Top-level
+   tail recursion: a closure over the loop state would allocate per
+   batch. *)
+let rec det_run_chunks t (b : Batch.t) ~now s pos =
+  let len = t.sc_len.(s) in
+  if pos < len then begin
+    let sh = t.shards.(s) in
+    let k = min t.cfg.batch_size (len - pos) in
+    sh.n_batches <- sh.n_batches + 1;
+    sh.oc.(0) <- sh.oc.(0) +. t.cfg.batch_cycles;
+    let sb = sh.b and idx = t.sc_idx.(s) in
+    for j = 0 to k - 1 do
+      let i = idx.(pos + j) in
+      sb.Batch.flows.(j) <- b.Batch.flows.(i);
+      sb.Batch.pkt_lens.(j) <- b.Batch.pkt_lens.(i)
+    done;
+    sb.Batch.n <- k;
+    Datapath.process_batch sh.dp sb ~now;
+    for j = 0 to k - 1 do
+      Batch.blit_result sb j b idx.(pos + j)
+    done;
+    det_run_chunks t b ~now s (pos + k)
+  end
 
 (* ---------- the Dataplane surface ---------- *)
 
@@ -478,6 +528,10 @@ let remove_rules t pred =
      the per-shard count, not the sum. *)
   Array.fold_left (fun acc s -> max acc (Datapath.remove_rules s.dp pred)) 0 t.shards
 
+let ensure_cb t n =
+  if Batch.capacity t.cb < n then
+    t.cb <- Batch.create ~capacity:(max n (2 * Batch.capacity t.cb))
+
 let process t ~now flow ~pkt_len =
   match t.pl with
   | None -> Datapath.process (shard_for t flow) ~now flow ~pkt_len
@@ -485,57 +539,46 @@ let process t ~now flow ~pkt_len =
     (* the degenerate uncharged burst: same packet, same shard, same
        PRNG stream as the deterministic path — only the executing
        domain differs *)
-    let out = run_pipeline t pl ~now [| (flow, pkt_len) |] ~charged:false in
-    out.(0)
+    Batch.clear t.cb;
+    Batch.push t.cb flow ~pkt_len;
+    run_pipeline t pl ~now t.cb ~charged:false;
+    Batch.result t.cb 0
 
-let process_batch t ~now pkts =
-  let n = Array.length pkts in
-  if n = 0 then [||]
-  else
+let process_batch t (b : Batch.t) ~now =
+  let n = b.Batch.n in
+  if n > 0 then
     match t.pl with
-    | Some pl -> run_pipeline t pl ~now pkts ~charged:true
+    | Some pl -> run_pipeline t pl ~now b ~charged:true
     | None ->
       let n_shards = Array.length t.shards in
-      let out = Array.make n dummy_result in
-      steer t pkts n;
-      (* Process one shard's slice, in arrival order, chopped into rx
-         bursts of [batch_size]: each burst (the last one possibly
-         short) pays the fixed [batch_cycles] once — the amortised
-         per-batch cost accounting. Writes land at this shard's private
-         indices of [out]. *)
-      let run s =
-        let sh = t.shards.(s) in
-        let idx = t.sc_idx.(s) and len = t.sc_len.(s) in
-        let in_burst = ref 0 in
-        for j = 0 to len - 1 do
-          if !in_burst = 0 then begin
-            sh.n_batches <- sh.n_batches + 1;
-            sh.overhead_cycles <- sh.overhead_cycles +. t.cfg.batch_cycles
-          end;
-          let i = idx.(j) in
-          let flow, pkt_len = pkts.(i) in
-          out.(i) <- Datapath.process sh.dp ~now flow ~pkt_len;
-          incr in_burst;
-          if !in_burst = t.cfg.batch_size then in_burst := 0
-        done
-      in
+      steer t b n;
       if t.cfg.parallel && n_shards > 1 then begin
         (* One domain per shard with work. Shards own disjoint state and
-           disjoint [out] indices, so this is data-race-free; joining
-           establishes the happens-before for the reads below. *)
+           disjoint parent-batch indices, so this is data-race-free;
+           joining establishes the happens-before for the reads below. *)
         let domains =
           Array.to_list
             (Array.init n_shards (fun s ->
                  if t.sc_len.(s) = 0 then None
-                 else Some (Domain.spawn (fun () -> run s))))
+                 else
+                   Some (Domain.spawn (fun () -> det_run_chunks t b ~now s 0))))
         in
         List.iter (function Some d -> Domain.join d | None -> ()) domains
       end
       else
         for s = 0 to n_shards - 1 do
-          run s
-        done;
-      out
+          det_run_chunks t b ~now s 0
+        done
+
+let process_burst t ~now pkts =
+  let n = Array.length pkts in
+  if n = 0 then [||]
+  else begin
+    ensure_cb t n;
+    Batch.fill t.cb pkts;
+    process_batch t t.cb ~now;
+    Array.init n (Batch.result t.cb)
+  end
 
 let revalidate t ~now =
   Option.iter quiesce t.pl;
@@ -580,9 +623,9 @@ let sum_int f t = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
 let sum_float f t = Array.fold_left (fun acc s -> acc +. f s) 0. t.shards
 
 let cycles_used t =
-  sum_float (fun s -> Datapath.cycles_used s.dp +. s.overhead_cycles) t
+  sum_float (fun s -> Datapath.cycles_used s.dp +. s.oc.(0)) t
 
-let batch_overhead_cycles t = sum_float (fun s -> s.overhead_cycles) t
+let batch_overhead_cycles t = sum_float (fun s -> s.oc.(0)) t
 let handler_cycles_used t = sum_float (fun s -> Datapath.handler_cycles_used s.dp) t
 let n_batches t = sum_int (fun s -> s.n_batches) t
 let n_processed t = sum_int (fun s -> Datapath.n_processed s.dp) t
@@ -598,7 +641,7 @@ let per_shard_masks t =
   Array.map (fun s -> Datapath.n_masks s.dp) t.shards
 
 let per_shard_cycles t =
-  Array.map (fun s -> Datapath.cycles_used s.dp +. s.overhead_cycles) t.shards
+  Array.map (fun s -> Datapath.cycles_used s.dp +. s.oc.(0)) t.shards
 
 let reset_stats t =
   Option.iter quiesce t.pl;
@@ -606,5 +649,5 @@ let reset_stats t =
     (fun s ->
       Datapath.reset_stats s.dp;
       s.n_batches <- 0;
-      s.overhead_cycles <- 0.)
+      s.oc.(0) <- 0.)
     t.shards

@@ -145,21 +145,31 @@ val process :
     the shard's worker domain (same caches, same PRNG stream) and the
     call blocks until it completes. *)
 
-val process_batch :
-  t -> now:float -> (Pi_classifier.Flow.t * int) array ->
-  (Action.t * Cost_model.outcome) array
-(** Process an array of [(flow, pkt_len)] in one rx round: packets are
-    steered to their shards (preserving arrival order within a shard),
-    chopped into bursts of [batch_size], and each burst — including a
-    short final one — is charged [batch_cycles] once. Result [i]
-    corresponds to packet [i]. An empty array is a no-op.
+val process_batch : t -> Batch.t -> now:float -> unit
+(** Process a {!Batch} in one rx round: packets are steered to their
+    shards (preserving arrival order within a shard), chopped into
+    bursts of [batch_size], and each burst — including a short final
+    one — is charged [batch_cycles] once and classified with the
+    shard's vectorised subtable-major walk
+    ({!Datapath.process_batch}). Result columns are written back at
+    each packet's batch position. An empty batch is a no-op; the walk
+    and scatter allocate nothing on the minor heap.
 
     Deterministic mode runs shards inline (on fresh domains when
     [parallel && n_shards > 1]). Pipeline mode enqueues the bursts on
     the worker rings and blocks until every packet is processed — the
-    same barrier contract, so the result array is always complete; with
-    a deferred upcall queue, misses may still be resolving on the
+    same barrier contract, so the result columns are always complete;
+    with a deferred upcall queue, misses may still be resolving on the
     handler domain when this returns (see {!service_upcalls}). *)
+
+val process_burst :
+  t -> now:float -> (Pi_classifier.Flow.t * int) array ->
+  (Action.t * Cost_model.outcome) array
+(** Tuple-array compatibility surface over {!process_batch}: fill a
+    reusable internal batch, process it, and materialise result [i] for
+    packet [i]. Allocates the result array and outcome records —
+    callers on the hot path should hold a {!Batch.t} and call
+    {!process_batch} directly. *)
 
 val revalidate : t -> now:float -> int
 (** Run every shard's revalidator; returns total evictions. Pipeline

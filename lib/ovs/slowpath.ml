@@ -5,6 +5,9 @@ type t = {
   scratch : Mask.Builder.t;
       (* Reusable un-wildcarding accumulator: one builder per slow path
          instead of one allocation per upcall. *)
+  mutable bs : Action.t Tss.batch;
+      (* Reusable subtable-major batch scratch for {!upcall_batch};
+         grown geometrically on demand. *)
   mutable revision : int;
   c_upcall : Pi_telemetry.Metrics.counter option;
   c_probes : Pi_telemetry.Metrics.counter option;
@@ -17,8 +20,8 @@ let create ?config ?metrics () =
     | None -> Tss.create ()
   in
   let c name = Option.map (fun m -> Pi_telemetry.Metrics.counter m name) metrics in
-  { cls; scratch = Mask.Builder.create (); revision = 0;
-    c_upcall = c "upcall"; c_probes = c "slow_probes" }
+  { cls; scratch = Mask.Builder.create (); bs = Tss.batch ~capacity:8;
+    revision = 0; c_upcall = c "upcall"; c_probes = c "slow_probes" }
 
 let config t = Tss.config t.cls
 
@@ -62,6 +65,43 @@ let upcall t flow =
       probes = r.Tss.probes;
       rule_found = false;
       rule_seq = Provenance.no_rule }
+
+let no_verdict =
+  { action = Action.Drop; megaflow = Mask.empty; probes = 0;
+    rule_found = false; rule_seq = Provenance.no_rule }
+
+(* Batched upcalls: classify the whole miss set subtable-major
+   ({!Tss.find_wc_batch}), then build the verdicts in packet order. The
+   classifier is read-only during the walk and verdicts only depend on
+   it, so the results are bit-for-bit those of [n] sequential {!upcall}
+   calls — only the counter-bumping order changes, and counters are
+   order-independent totals. *)
+let upcall_batch t flows ~idx ~n ~out =
+  if Tss.batch_capacity t.bs < n then
+    t.bs <- Tss.batch ~capacity:(max n (2 * Tss.batch_capacity t.bs));
+  Tss.find_wc_batch t.cls t.bs flows ~idx ~n;
+  for j = 0 to n - 1 do
+    (match t.c_upcall with
+     | Some c -> Pi_telemetry.Metrics.incr c
+     | None -> ());
+    (match t.c_probes with
+     | Some c -> Pi_telemetry.Metrics.incr ~by:(Tss.batch_probes t.bs j) c
+     | None -> ());
+    out.(j) <-
+      (match Tss.batch_rule t.bs j with
+       | Some rule ->
+         { action = rule.Rule.action;
+           megaflow = Tss.batch_megaflow t.bs j;
+           probes = Tss.batch_probes t.bs j;
+           rule_found = true;
+           rule_seq = rule.Rule.seq }
+       | None ->
+         { action = Action.Drop;
+           megaflow = Tss.batch_megaflow t.bs j;
+           probes = Tss.batch_probes t.bs j;
+           rule_found = false;
+           rule_seq = Provenance.no_rule })
+  done
 
 let revision t = t.revision
 let n_rules t = Tss.n_rules t.cls

@@ -42,6 +42,20 @@ val upcall : t -> Pi_classifier.Flow.t -> verdict
 (** Classify a missed flow. A table miss yields [Drop] with the
     accumulated megaflow mask, so misses are cached too. *)
 
+val no_verdict : verdict
+(** A drop/no-rule placeholder — the initial element for caller-owned
+    verdict scratch arrays. *)
+
+val upcall_batch :
+  t -> Pi_classifier.Flow.t array -> idx:int array -> n:int ->
+  out:verdict array -> unit
+(** Classify the [n] missed flows [flows.(idx.(0)) ..
+    flows.(idx.(n-1))] with one subtable-major batch walk
+    ({!Pi_classifier.Tss.find_wc_batch}), writing [out.(j)] for slot
+    [j]. Verdicts (and counter totals) are bit-for-bit those of [n]
+    sequential {!upcall} calls: the classifier is read-only during the
+    walk. *)
+
 val revision : t -> int
 val n_rules : t -> int
 val n_subtables : t -> int

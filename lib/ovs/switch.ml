@@ -92,5 +92,13 @@ let process_packet t ~now ~in_port pkt =
   let flow = Pi_classifier.Flow.of_packet ~in_port pkt in
   process_flow t ~now flow ~pkt_len:(Pi_pkt.Packet.size pkt)
 
+let process_batch t (b : Batch.t) ~now =
+  Dataplane.process_batch t.dp b ~now;
+  for i = 0 to b.Batch.n - 1 do
+    account t
+      ~in_port:(Pi_classifier.Flow.in_port b.Batch.flows.(i))
+      ~pkt_len:b.Batch.pkt_lens.(i) b.Batch.actions.(i)
+  done
+
 let revalidate t ~now = Dataplane.revalidate t.dp ~now
 let service_upcalls t ~now = Dataplane.service_upcalls t.dp ~now

@@ -65,6 +65,12 @@ val process_flow :
 (** Same without packet parsing — the fast path for simulations that
     pre-compute flow keys. *)
 
+val process_batch : t -> Batch.t -> now:float -> unit
+(** Classify a filled {!Batch} through the dataplane's vectorised walk
+    ({!Dataplane.S.process_batch}) and account every packet to its
+    ingress port (flow keys carry the port). The batch entry point for
+    bulk traffic. *)
+
 val revalidate : t -> now:float -> int
 
 val service_upcalls : t -> now:float -> int

@@ -218,6 +218,13 @@ let run p =
   let background_pkts =
     Array.of_list (List.map (fun f -> (f, 400)) background_flows)
   in
+  (* Reusable rx batches: filled (or refilled) per tick, never
+     reallocated. The background set is constant, so it is filled once
+     — [process_batch] only writes the result columns. *)
+  let background_b =
+    Batch.create ~capacity:(max 1 (Array.length background_pkts))
+  in
+  Batch.fill background_b background_pkts;
   (* Victim workload: client flows from the allowed net. *)
   let traffic_rng = Prng.split rng in
   let pool =
@@ -306,6 +313,7 @@ let run p =
       done;
       Some s
   in
+  let victim_b = Batch.create ~capacity:(max 1 p.victim_samples_per_tick) in
   let n_ticks = int_of_float (ceil (p.duration /. p.tick)) in
   let next_revalidate = ref p.revalidate_period in
   for i = 0 to n_ticks - 1 do
@@ -395,7 +403,8 @@ let run p =
         spent +. (per_pkt *. float_of_int !extrapolated)
     in
     (* --- background services --- *)
-    ignore (Dataplane.process_burst dp ~now background_pkts);
+    if Array.length background_pkts > 0 then
+      Dataplane.process_batch dp background_b ~now;
     (* --- victim --- *)
     ignore (Traffic.Flow_pool.churn pool traffic_rng ~fraction:(p.victim_churn *. p.tick));
     let st0 = Dataplane.stats dp in
@@ -403,15 +412,15 @@ let run p =
     let c0 = Dataplane.cycles_used dp in
     let c0_sh = Dataplane.shard_cycles dp in
     let victim_share = Array.make n_sh 0 in
-    let victim_pkts =
-      Array.init p.victim_samples_per_tick (fun _ ->
-          let spec = Traffic.Flow_pool.sample pool traffic_rng in
-          let f = flow_of_spec ~in_port:uplink_port spec in
-          let s = Dataplane.shard_of dp f in
-          victim_share.(s) <- victim_share.(s) + 1;
-          (f, p.victim_pkt_len))
-    in
-    ignore (Dataplane.process_burst dp ~now victim_pkts);
+    Batch.clear victim_b;
+    for _ = 1 to p.victim_samples_per_tick do
+      let spec = Traffic.Flow_pool.sample pool traffic_rng in
+      let f = flow_of_spec ~in_port:uplink_port spec in
+      let s = Dataplane.shard_of dp f in
+      victim_share.(s) <- victim_share.(s) + 1;
+      Batch.push victim_b f ~pkt_len:p.victim_pkt_len
+    done;
+    Dataplane.process_batch dp victim_b ~now;
     let victim_cpp =
       (Dataplane.cycles_used dp -. c0) /. float_of_int p.victim_samples_per_tick
     in

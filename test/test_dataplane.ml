@@ -76,6 +76,40 @@ module Conformance (C : CASE) = struct
     Alcotest.(check action_t) "r2" (Action.Output 2) (fst rs.(2));
     Alcotest.(check int) "burst counted" 3 (Dataplane.stats dp).Dataplane.packets
 
+  let test_batch_columns () =
+    (* The batch entry point proper: results land in the Batch's own
+       columns, the length is untouched, and a refilled batch can be
+       reused. *)
+    let dp = mk () in
+    let b = Batch.create ~capacity:8 in
+    Batch.push b trusted ~pkt_len:100;
+    Batch.push b (covert 3) ~pkt_len:64;
+    Batch.push b trusted ~pkt_len:1500;
+    Dataplane.process_batch dp b ~now:0.;
+    Alcotest.(check int) "length untouched" 3 (Batch.length b);
+    Alcotest.(check action_t) "r0" (Action.Output 2) (Batch.action b 0);
+    Alcotest.(check action_t) "r1" Action.Drop (Batch.action b 1);
+    Alcotest.(check action_t) "r2" (Action.Output 2) (Batch.action b 2);
+    let o = Batch.outcome b 2 in
+    (* Cached backends serve the repeat flow from EMC/megaflow; the
+       cache-less baseline re-walks its classifier every time (priced as
+       [mf_hit] with the walk's probe count) but never upcalls twice. *)
+    if C.cached then
+      Alcotest.(check bool) "repeat flow served from a cache" true
+        (o.Cost_model.emc_hit || o.Cost_model.mf_hit)
+    else Alcotest.(check bool) "no upcall on repeat" false o.Cost_model.upcall;
+    Alcotest.(check int) "pkt_len in the outcome" 1500 o.Cost_model.pkt_len;
+    Alcotest.(check int) "batch counted" 3
+      (Dataplane.stats dp).Dataplane.packets;
+    (* Reuse: clear + refill is the rx-ring pattern the API is for. *)
+    Batch.clear b;
+    Batch.push b (covert 7) ~pkt_len:100;
+    Dataplane.process_batch dp b ~now:0.1;
+    Alcotest.(check action_t) "reused batch classifies" Action.Drop
+      (Batch.action b 0);
+    Alcotest.(check int) "running total" 4
+      (Dataplane.stats dp).Dataplane.packets
+
   let test_rule_change_takes_effect () =
     let dp = mk () in
     ignore (Dataplane.process dp ~now:0. trusted ~pkt_len:100);
@@ -245,6 +279,7 @@ module Conformance (C : CASE) = struct
       (fun (name, f) -> Alcotest.test_case (C.label ^ ": " ^ name) `Quick f)
       [ ("classify and account", test_classify_and_account);
         ("burst alignment", test_burst_alignment);
+        ("batch columns", test_batch_columns);
         ("rule change takes effect", test_rule_change_takes_effect);
         ("remove rules", test_remove_rules);
         ("mask monotonicity under attack", test_mask_monotone_under_attack);

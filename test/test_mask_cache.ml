@@ -43,14 +43,15 @@ let test_hinted_lookup_o1 () =
   let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
   let mf = deep_megaflow 32 flow in
   let cache = Mask_cache.create () in
+  let s = Megaflow.lookup_stats () in
   (* First lookup: full scan, hint recorded. *)
-  let e1 = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  let e1 = Megaflow.lookup_hinted_s mf s cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "found" true (e1 <> None);
-  Alcotest.(check int) "cold lookup scans" 32 (Megaflow.last_probes mf);
+  Alcotest.(check int) "cold lookup scans" 32 s.Megaflow.s_probes;
   (* Second lookup: one probe via the hint. *)
-  let e2 = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  let e2 = Megaflow.lookup_hinted_s mf s cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "found again" true (e2 <> None);
-  Alcotest.(check int) "hinted lookup is one probe" 1 (Megaflow.last_probes mf);
+  Alcotest.(check int) "hinted lookup is one probe" 1 s.Megaflow.s_probes;
   Alcotest.(check int) "cache hit counted" 1 (Mask_cache.hits cache);
   Alcotest.(check int) "cold counted as miss" 1 (Mask_cache.misses cache)
 
@@ -58,38 +59,41 @@ let test_stale_hint_pays_extra_probe () =
   let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
   let mf = deep_megaflow 8 flow in
   let cache = Mask_cache.create () in
+  let s = Megaflow.lookup_stats () in
   (* Poison the slot with a wrong index. *)
   Mask_cache.record cache flow 2;
-  ignore (Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10);
-  Alcotest.(check int) "stale probe + full scan" (1 + 8) (Megaflow.last_probes mf)
+  ignore (Megaflow.lookup_hinted_s mf s cache flow ~now:0. ~pkt_len:10);
+  Alcotest.(check int) "stale probe + full scan" (1 + 8) s.Megaflow.s_probes
 
 let test_out_of_range_hint_not_charged () =
   let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
   let mf = deep_megaflow 8 flow in
   let cache = Mask_cache.create () in
+  let s = Megaflow.lookup_stats () in
   (* A hint beyond the subtable array probes nothing, so the fallback
      scan must not be charged a phantom failed-hint probe: 8, not 9. *)
   Mask_cache.record cache flow 100;
-  let e = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  let e = Megaflow.lookup_hinted_s mf s cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "found" true (e <> None);
-  Alcotest.(check int) "no probe charged for the bogus index" 8 (Megaflow.last_probes mf)
+  Alcotest.(check int) "no probe charged for the bogus index" 8 s.Megaflow.s_probes
 
 let test_resort_invalidates_hints () =
   let flow = Flow.make ~ip_src:(ip "10.0.0.9") () in
   (* The matching entry sits under the LAST of 8 masks. *)
   let mf = deep_megaflow 8 flow in
   let cache = Mask_cache.create () in
-  ignore (Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10);
-  ignore (Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10);
-  Alcotest.(check int) "hint serves before resort" 1 (Megaflow.last_probes mf);
+  let s = Megaflow.lookup_stats () in
+  ignore (Megaflow.lookup_hinted_s mf s cache flow ~now:0. ~pkt_len:10);
+  ignore (Megaflow.lookup_hinted_s mf s cache flow ~now:0. ~pkt_len:10);
+  Alcotest.(check int) "hint serves before resort" 1 s.Megaflow.s_probes;
   (* Ranking moves the (only) hit subtable to the front and reorders the
      array: every recorded index is now stale. The cache must be
      invalidated — a stale hint would probe a cold subtable first and
      pay 2 where a clean scan pays 1. *)
   Megaflow.resort_by_hits mf;
-  let e = Megaflow.lookup_hinted mf cache flow ~now:0. ~pkt_len:10 in
+  let e = Megaflow.lookup_hinted_s mf s cache flow ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "still found" true (e <> None);
-  Alcotest.(check int) "no stale probe after resort" 1 (Megaflow.last_probes mf);
+  Alcotest.(check int) "no stale probe after resort" 1 s.Megaflow.s_probes;
   Alcotest.(check int) "invalidated lookup counted as miss" 2
     (Mask_cache.misses cache)
 
@@ -108,9 +112,10 @@ let test_hinted_miss () =
   let mf = deep_megaflow 8 flow in
   let cache = Mask_cache.create () in
   let stranger = Flow.make ~ip_src:(ip "99.0.0.1") ~tp_dst:7 () in
-  let e = Megaflow.lookup_hinted mf cache stranger ~now:0. ~pkt_len:10 in
+  let s = Megaflow.lookup_stats () in
+  let e = Megaflow.lookup_hinted_s mf s cache stranger ~now:0. ~pkt_len:10 in
   Alcotest.(check bool) "miss" true (e = None);
-  Alcotest.(check int) "scanned everything" 8 (Megaflow.last_probes mf)
+  Alcotest.(check int) "scanned everything" 8 s.Megaflow.s_probes
 
 let test_resort_by_hits () =
   let mf = Megaflow.create () in
@@ -122,11 +127,12 @@ let test_resort_by_hits () =
   for _ = 1 to 10 do
     ignore (Megaflow.lookup mf hot ~now:0. ~pkt_len:10)
   done;
-  ignore (Megaflow.lookup mf hot ~now:0. ~pkt_len:10);
-  Alcotest.(check int) "second position before ranking" 2 (Megaflow.last_probes mf);
+  let s = Megaflow.lookup_stats () in
+  ignore (Megaflow.lookup_s mf s hot ~now:0. ~pkt_len:10);
+  Alcotest.(check int) "second position before ranking" 2 s.Megaflow.s_probes;
   Megaflow.resort_by_hits mf;
-  ignore (Megaflow.lookup mf hot ~now:0. ~pkt_len:10);
-  Alcotest.(check int) "first position after ranking" 1 (Megaflow.last_probes mf)
+  ignore (Megaflow.lookup_s mf s hot ~now:0. ~pkt_len:10);
+  Alcotest.(check int) "first position after ranking" 1 s.Megaflow.s_probes
 
 let test_datapath_kernel_flavour () =
   let config =

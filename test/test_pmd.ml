@@ -86,7 +86,7 @@ let test_single_shard_batch_parity () =
   let expected =
     Array.map (fun (f, pkt_len) -> Datapath.process dp ~now:1. f ~pkt_len) pkts
   in
-  let got = Pmd.process_batch pmd ~now:1. pkts in
+  let got = Pmd.process_burst pmd ~now:1. pkts in
   Array.iteri (fun i e -> check_outcome i e got.(i)) expected;
   Alcotest.(check (float 0.)) "cycles bit-identical" (Datapath.cycles_used dp)
     (Pmd.cycles_used pmd);
@@ -101,9 +101,9 @@ let run_sharded ~parallel =
       (Prng.create 42L) ()
   in
   Pmd.install_rules pmd rules;
-  let out1 = Pmd.process_batch pmd ~now:0. (flow_stream ~seed:7L 400) in
+  let out1 = Pmd.process_burst pmd ~now:0. (flow_stream ~seed:7L 400) in
   ignore (Pmd.revalidate pmd ~now:0.);
-  let out2 = Pmd.process_batch pmd ~now:20. (flow_stream ~seed:8L 400) in
+  let out2 = Pmd.process_burst pmd ~now:20. (flow_stream ~seed:8L 400) in
   (pmd, Array.append out1 out2)
 
 let test_parallel_parity () =
@@ -150,7 +150,7 @@ let batch_config =
 let test_empty_batch_is_noop () =
   let pmd = Pmd.create ~config:batch_config (Prng.create 1L) () in
   Pmd.install_rules pmd rules;
-  let out = Pmd.process_batch pmd ~now:0. [||] in
+  let out = Pmd.process_burst pmd ~now:0. [||] in
   Alcotest.(check int) "no results" 0 (Array.length out);
   Alcotest.(check int) "no bursts" 0 (Pmd.n_batches pmd);
   Alcotest.(check (float 0.)) "no overhead" 0. (Pmd.batch_overhead_cycles pmd);
@@ -161,7 +161,7 @@ let test_short_final_burst_pays_once () =
      charge. *)
   let pmd = Pmd.create ~config:batch_config (Prng.create 1L) () in
   Pmd.install_rules pmd rules;
-  ignore (Pmd.process_batch pmd ~now:0. (flow_stream ~seed:5L 5));
+  ignore (Pmd.process_burst pmd ~now:0. (flow_stream ~seed:5L 5));
   Alcotest.(check int) "one burst" 1 (Pmd.n_batches pmd);
   Alcotest.(check (float 0.)) "one charge" 100. (Pmd.batch_overhead_cycles pmd)
 
@@ -169,7 +169,7 @@ let test_burst_chopping () =
   (* 70 packets, burst 32: 32 + 32 + 6 = 3 bursts. *)
   let pmd = Pmd.create ~config:batch_config (Prng.create 1L) () in
   Pmd.install_rules pmd rules;
-  ignore (Pmd.process_batch pmd ~now:0. (flow_stream ~seed:5L 70));
+  ignore (Pmd.process_burst pmd ~now:0. (flow_stream ~seed:5L 70));
   Alcotest.(check int) "three bursts" 3 (Pmd.n_batches pmd);
   Alcotest.(check (float 0.)) "three charges" 300. (Pmd.batch_overhead_cycles pmd);
   (* The amortised overhead is part of the shard's cycle account. *)
@@ -229,8 +229,8 @@ let run_differential ~rounds ~per_round ~dp ~check_packets =
   for r = 0 to rounds - 1 do
     let now = float_of_int r in
     let pkts = fig3_stream ~seed:(Int64.of_int (100 + r)) per_round in
-    let a = Pmd.process_batch det ~now pkts in
-    let b = Pmd.process_batch pipe ~now pkts in
+    let a = Pmd.process_burst det ~now pkts in
+    let b = Pmd.process_burst pipe ~now pkts in
     ignore (Pmd.service_upcalls det ~now);
     ignore (Pmd.service_upcalls pipe ~now);
     if check_packets then
@@ -321,9 +321,9 @@ let test_pipeline_single_packet_and_close () =
   Pmd.close pipe;  (* idempotent *)
   Alcotest.(check bool) "stats readable after close" true
     (Pmd.n_processed pipe = 200);
-  (match Pmd.process_batch pipe ~now:99. pkts with
+  (match Pmd.process_burst pipe ~now:99. pkts with
    | exception Invalid_argument _ -> ()
-   | _ -> Alcotest.fail "process_batch after close should raise");
+   | _ -> Alcotest.fail "process_burst after close should raise");
   Pmd.close det  (* no-op in deterministic mode *)
 
 let test_pipeline_reset_stats () =
@@ -339,8 +339,8 @@ let test_pipeline_reset_stats () =
   Pmd.install_rules det rules;
   Pmd.install_rules pipe rules;
   let pkts = fig3_stream ~seed:77L 200 in
-  ignore (Pmd.process_batch det ~now:0. pkts);
-  ignore (Pmd.process_batch pipe ~now:0. pkts);
+  ignore (Pmd.process_burst det ~now:0. pkts);
+  ignore (Pmd.process_burst pipe ~now:0. pkts);
   (* converge the caches before resetting, so the second window starts
      from identical state in both engines *)
   ignore (Pmd.service_upcalls det ~now:0.);
@@ -351,8 +351,8 @@ let test_pipeline_reset_stats () =
   Alcotest.(check int) "pipe pending drained" 0 (Pmd.pending_upcalls pipe);
   Alcotest.(check (float 0.)) "pipe cycles zeroed" 0. (Pmd.cycles_used pipe);
   let pkts2 = fig3_stream ~seed:78L 200 in
-  ignore (Pmd.process_batch det ~now:1. pkts2);
-  ignore (Pmd.process_batch pipe ~now:1. pkts2);
+  ignore (Pmd.process_burst det ~now:1. pkts2);
+  ignore (Pmd.process_burst pipe ~now:1. pkts2);
   ignore (Pmd.service_upcalls det ~now:1.);
   ignore (Pmd.service_upcalls pipe ~now:1.);
   Alcotest.(check int) "windows agree: processed" (Pmd.n_processed det)
@@ -371,7 +371,7 @@ let test_per_shard_metrics () =
       ~telemetry:(Pi_telemetry.Ctx.v ~metrics ()) (Prng.create 1L) ()
   in
   Pmd.install_rules pmd rules;
-  ignore (Pmd.process_batch pmd ~now:0. (flow_stream ~seed:5L 100));
+  ignore (Pmd.process_burst pmd ~now:0. (flow_stream ~seed:5L 100));
   (* Each shard reports into its own registry; packet counters across
      the registries must account for every packet exactly once. *)
   let total = ref 0 in
