@@ -222,9 +222,12 @@ let run_fig3 () =
      /. 1e6)
     attack.Pi_sim.Scenario.refresh_period;
   let metrics = Pi_telemetry.Metrics.create () in
+  let sample_log = Pi_telemetry.Sample_log.create ~capacity:4096 () in
   let r =
     Pi_sim.Scenario.run
-      { Pi_sim.Scenario.default_params with Pi_sim.Scenario.metrics = Some metrics }
+      { Pi_sim.Scenario.default_params with
+        Pi_sim.Scenario.metrics = Some metrics;
+        sample_log = Some sample_log }
   in
   Format.printf "  %a@." Pi_sim.Scenario.pp_sample_header ();
   List.iter
@@ -249,7 +252,11 @@ let run_fig3 () =
   let path = "BENCH_fig3.json" in
   Pi_telemetry.Export.write_json_file ?scrape:r.Pi_sim.Scenario.scrape ~path
     metrics;
-  Printf.printf "  telemetry snapshot written to %s\n" path
+  Printf.printf "  telemetry snapshot written to %s\n" path;
+  let jsonl = "BENCH_fig3_samples.jsonl" in
+  Pi_telemetry.Sample_log.write sample_log ~path:jsonl;
+  Printf.printf "  per-tick sample log written to %s (%d lines)\n" jsonl
+    (Pi_telemetry.Sample_log.retained sample_log)
 
 (* ------------------------------------------------------------------ *)
 (* shards: the attack against a multi-PMD (multi-core) datapath        *)
@@ -1018,6 +1025,95 @@ let run_hotpath () =
           miss_flows;
         (mf, miss_flows))
   in
+  (* 10. Profiler observation overhead: the same batch fast paths with a
+     per-stage Pi_telemetry.Perf profiler attached. The hot recorders
+     take only immediate int/bool arguments (coefficients are installed
+     once at creation), so the profiled rows must stay allocation-free
+     — they join the zero-alloc gate — and within a few percent of the
+     unprofiled run (PI_BENCH_ASSERT_OBS_OVERHEAD=1 enforces <= 5 %).
+     Measured through the batch entry points: the per-packet [process]
+     wrapper materialises a result tuple profiled or not, so it cannot
+     expose the profiler's own cost. *)
+  let obs_overhead =
+    let mk_pkts () =
+      let rng = Pi_pkt.Prng.create 9L in
+      Array.init 256 (fun _ ->
+          (Flow.make ~ip_src:(Pi_pkt.Prng.int32 rng) ~ip_proto:17
+             ~tp_src:(Pi_pkt.Prng.int rng 65536)
+             ~tp_dst:(Pi_pkt.Prng.int rng 65536) (),
+           100))
+    in
+    let telemetry profiled =
+      if profiled then
+        Some (Pi_telemetry.Ctx.v ~perf:(Pi_telemetry.Perf.create ()) ())
+      else None
+    in
+    let warmed_batch process =
+      let pkts = mk_pkts () in
+      let batch = Pi_ovs.Batch.create ~capacity:(Array.length pkts) in
+      Pi_ovs.Batch.fill batch pkts;
+      (* first pass installs megaflows / fills the EMC; second confirms
+         the steady state *)
+      process batch;
+      process batch;
+      fun () -> process batch
+    in
+    (* All three regimes ride the sharded batch path of the pmd-batch
+       row (the same flow set split 4 ways keeps the EMCs free of 2-way
+       collision thrash): EMC hits, megaflow hits (EMC off, every
+       packet walks its subtables), and per-burst batch accounting
+       (exercises the record_batch recorder on every charged burst). *)
+    let pmd_regime ~emc ~batch_cycles profiled =
+      let config =
+        { Pi_ovs.Pmd.default_config with
+          Pi_ovs.Pmd.n_shards = 4;
+          parallel = false;
+          batch_cycles;
+          dp =
+            { Pi_ovs.Datapath.default_config with
+              Pi_ovs.Datapath.emc_enabled = emc } }
+      in
+      let pmd =
+        Pi_ovs.Pmd.create ~config ?telemetry:(telemetry profiled)
+          (Pi_pkt.Prng.create 7L) ()
+      in
+      warmed_batch (fun b -> Pi_ovs.Pmd.process_batch pmd b ~now:0.)
+    in
+    let regimes =
+      [ ("emc-hit", pmd_regime ~emc:true ~batch_cycles:0.);
+        ("mf-hit", pmd_regime ~emc:false ~batch_cycles:0.);
+        ("batch", pmd_regime ~emc:true ~batch_cycles:100.) ]
+    in
+    List.map
+      (fun (name, mk) ->
+        let sample profiled =
+          let f = mk profiled in
+          (* no reduced quick floor here: the on/off gap this feeds the
+             1.05x CI gate with is a few percent, and 100-iteration
+             samples flake past it on scheduler noise alone *)
+          let r = hot_measure ~iters:5_000 f in
+          let d v = v /. 256. in
+          { hr_ns_per_pkt = d r.hr_ns_per_pkt;
+            hr_cycles_per_pkt = d r.hr_cycles_per_pkt;
+            hr_minor_words_per_pkt = d r.hr_minor_words_per_pkt }
+        in
+        (* Interleaved best-of-6, same rationale as batch-vs-scalar: the
+           on/off gap is a few percent, below run-level drift, so
+           alternate the measurements and keep each variant's best. Six
+           alternations (not three) because the ratio feeds a hard CI
+           gate: one unluckily slow set of profiler-on samples must not
+           fail the build. *)
+        let best a b = if b.hr_ns_per_pkt < a.hr_ns_per_pkt then b else a in
+        let rec reps k (boff, bon) =
+          if k = 0 then (boff, bon)
+          else reps (k - 1) (best boff (sample false), best bon (sample true))
+        in
+        let off, on = reps 5 (sample false, sample true) in
+        print_row (name ^ "-prof-off") None off;
+        print_row (name ^ "-prof-on") None on;
+        (name, (off, on)))
+      regimes
+  in
   (match List.assoc_opt 8192 tss_walk with
    | Some r ->
      Printf.printf
@@ -1044,11 +1140,24 @@ let run_hotpath () =
                     ("scalar", fun b -> add_obj b (row_fields sr)) ]))
            rows)
   in
+  let by_profile rows =
+    fun b ->
+      add_obj b
+        (List.map
+           (fun (name, (off, on)) ->
+             (name,
+              fun b ->
+                add_obj b
+                  [ ("off", fun b -> add_obj b (row_fields off));
+                    ("on", fun b -> add_obj b (row_fields on)) ]))
+           rows)
+  in
   add_obj buf
     [ ("emc_hit", fun b -> add_obj b (row_fields emc_hit));
       ("mf_churn", indexed mf_churn);
       ("mf_hit_batch", indexed2 mf_hit_batch);
       ("mf_hit_hinted", indexed mf_hit_hinted);
+      ("obs_overhead", by_profile obs_overhead);
       ("pmd_batch", fun b -> add_obj b (row_fields pmd_batch));
       ("tss_churn", indexed tss_churn);
       ("tss_walk", indexed tss_walk);
@@ -1100,11 +1209,42 @@ let run_hotpath () =
          demand_zero "mf-hit-batch" (Some n) b.hr_minor_words_per_pkt;
          demand_zero "mf-hit-scalar" (Some n) s.hr_minor_words_per_pkt)
        mf_hit_batch;
+     (* Profiled rows are held to the same budget: observation must not
+        put a single word on the minor heap per packet. *)
+     List.iter
+       (fun (name, (off, on)) ->
+         demand_zero (name ^ "-prof-off") None off.hr_minor_words_per_pkt;
+         demand_zero (name ^ "-prof-on") None on.hr_minor_words_per_pkt)
+       obs_overhead;
      if !failed then exit 1
      else
        Printf.printf
          "  zero-alloc assertion (emc-hit, mf-hit-hinted, tss-walk,\n\
-         \  pmd-batch, tss-walk-batch, mf-hit-batch): OK\n");
+         \  pmd-batch, tss-walk-batch, mf-hit-batch, profiler on/off): OK\n");
+  (match Sys.getenv_opt "PI_BENCH_ASSERT_OBS_OVERHEAD" with
+   | None | Some ("" | "0") -> ()
+   | Some _ ->
+     (* The observability tax: profiler-on fast-path rows must price
+        within 5 % of profiler-off. *)
+     let failed = ref false in
+     List.iter
+       (fun (name, (off, on)) ->
+         let ratio = on.hr_ns_per_pkt /. off.hr_ns_per_pkt in
+         if ratio > 1.05 then begin
+           Printf.eprintf
+             "FAIL: profiler-on %s costs %.1f%% over profiler-off\n\
+             \      (%.2f vs %.2f ns/pkt, want <= 5%%)\n"
+             name
+             ((ratio -. 1.) *. 100.)
+             on.hr_ns_per_pkt off.hr_ns_per_pkt;
+           failed := true
+         end)
+       obs_overhead;
+     if !failed then exit 1
+     else
+       Printf.printf
+         "  observability overhead assertion (profiler-on <= 1.05x on\n\
+         \  emc-hit, mf-hit, batch): OK\n");
   (match Sys.getenv_opt "PI_BENCH_ASSERT_BATCH" with
    | None | Some ("" | "0") -> ()
    | Some _ ->

@@ -249,8 +249,12 @@ let dpctl_dataplane variant allow_src seed backend shards =
   let reg = Pi_ovs.Provenance.registry () in
   let metrics = Pi_telemetry.Metrics.create () in
   let dp =
+    (* a perf in the context makes every backend profile per stage, so
+       pmd-perf-show renders the cycles breakdown (each PMD shard
+       creates its own Perf.t from this seed context) *)
     Pi_ovs.Dataplane.create
-      ~telemetry:(Pi_telemetry.Ctx.v ~metrics ())
+      ~telemetry:
+        (Pi_telemetry.Ctx.v ~metrics ~perf:(Pi_telemetry.Perf.create ()) ())
       ~provenance:reg backend
       (Pi_pkt.Prng.create (Int64.of_int seed))
   in
@@ -586,6 +590,116 @@ let attack_cmd =
           $ shards $ batch $ pipeline $ backend $ upcall_queue $ attribution
           $ csv $ json)
 
+(* --- monitor --- *)
+
+let monitor variant duration start offered shards every use_json attribution =
+  let open Pi_sim in
+  let a = { Scenario.default_attack with Scenario.variant; start } in
+  let metrics = Pi_telemetry.Metrics.create () in
+  (* The monitor needs the live dataplane, which only exists inside the
+     run — create it lazily on the first tick. *)
+  let mon = ref None in
+  let on_sample dp (s : Scenario.sample) =
+    let m =
+      match !mon with
+      | Some m -> m
+      | None ->
+        let m = Monitor.create dp in
+        mon := Some m;
+        m
+    in
+    Monitor.observe m dp s;
+    if int_of_float s.Scenario.time mod every = 0 then begin
+      if use_json then print_string (Monitor.json m dp s)
+      else begin
+        (* top-like refresh: cursor home + clear to end, then the frame *)
+        print_string "\x1b[H\x1b[2J";
+        print_string (Monitor.frame m dp s);
+        print_newline ()
+      end;
+      flush stdout
+    end
+  in
+  let p =
+    { Scenario.default_params with
+      Scenario.duration;
+      victim_offered_gbps = offered;
+      attack = Some a;
+      n_shards = shards;
+      metrics = Some metrics;
+      provenance = attribution;
+      profile = true;
+      on_sample = Some on_sample }
+  in
+  let r = Scenario.run p in
+  if not use_json then begin
+    Format.printf
+      "@.pre-attack mean: %.3f Gbps, post-attack mean: %.3f Gbps, peak masks: %d@."
+      r.Scenario.pre_attack_mean_gbps r.Scenario.post_attack_mean_gbps
+      r.Scenario.peak_masks;
+    match r.Scenario.perf with
+    | Some p ->
+      let module P = Pi_telemetry.Perf in
+      let total = P.total_cycles p in
+      Format.printf "per-stage cycles (all shards):@.";
+      for st = 0 to P.n_stages - 1 do
+        let c = P.stage_cycles p st in
+        Format.printf "  %-12s %14.0f (%5.1f %%)@."
+          (P.stage_name st ^ ":") c
+          (if total = 0. then 0. else 100. *. c /. total)
+      done
+    | None -> ()
+  end
+
+let monitor_cmd =
+  let dp = Pi_sim.Scenario.default_params in
+  let da = Pi_sim.Scenario.default_attack in
+  let duration =
+    Arg.(value & opt float dp.Pi_sim.Scenario.duration
+         & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let start =
+    Arg.(value & opt float da.Pi_sim.Scenario.start
+         & info [ "start" ] ~docv:"SECONDS" ~doc:"Attack start time.")
+  in
+  let offered =
+    Arg.(value & opt float dp.Pi_sim.Scenario.victim_offered_gbps
+         & info [ "offered" ] ~docv:"GBPS" ~doc:"Victim offered load.")
+  in
+  let shards =
+    Arg.(value & opt int dp.Pi_sim.Scenario.n_shards
+         & info [ "shards" ] ~docv:"N" ~doc:"PMD threads (one core each).")
+  in
+  let every =
+    Arg.(value & opt int 1
+         & info [ "every" ] ~docv:"SECONDS"
+             ~doc:"Refresh the view once per N simulated seconds.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Instead of the live view, print one byte-stable JSON \
+                   snapshot line per refresh (sorted keys, fixed float \
+                   format — suitable for goldens and scripted polling).")
+  in
+  let attribution =
+    Arg.(value & opt bool true
+         & info [ "attribution" ] ~docv:"BOOL"
+             ~doc:"Rank suspect tenants from mask provenance (default on).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Watch the attack live: a top-like per-tick view of shard \
+             masks, upcall queue depth and drops, windowed p50/p99 cycles \
+             per packet, per-stage cycle shares and the prime suspect \
+             tenant."
+       ~man:
+         [ `S Manpage.s_examples;
+           `P "ovsdos monitor --shards 4";
+           `P "ovsdos monitor --json --duration 90 > monitor.jsonl" ])
+    Term.(const monitor $ variant_arg $ duration $ start $ offered $ shards
+          $ every $ json $ attribution)
+
 (* --- run --- *)
 
 let run_pis file json check pretty =
@@ -649,6 +763,6 @@ let main_cmd =
   let doc = "policy injection: a cloud dataplane DoS attack (SIGCOMM'18 reproduction)" in
   Cmd.group (Cmd.info "ovsdos" ~version:"1.0.0" ~doc)
     [ expand_cmd; predict_cmd; masks_cmd; dump_cmd; pcap_cmd; dpctl_cmd;
-      detect_cmd; attack_cmd; run_cmd ]
+      detect_cmd; attack_cmd; monitor_cmd; run_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -173,6 +173,12 @@ let dataplane ?engine ?config ?cost () : Pi_ovs.Dataplane.backend =
       if i <> 0 then invalid_arg "Cacheless.shard_metrics";
       Pi_telemetry.Ctx.metrics d.ctx
 
+    (* No cache stages to decompose: the per-packet charge is one flat
+       classifier walk, so this backend does not profile. *)
+    let shard_perf _ i =
+      if i <> 0 then invalid_arg "Cacheless.shard_perf";
+      None
+
     let last_megaflow _ ~shard:_ = None
     let emc_insert_forced _ _ _ = ()
     let provenance _ = []

@@ -73,6 +73,10 @@ type t = {
      before. *)
   ctx : Pi_telemetry.Ctx.t;
   tracer : Pi_telemetry.Tracer.t option;
+  perf : Pi_telemetry.Perf.t option;
+      (* per-stage cycle profiler; its cost coefficients are installed
+         once at creation so the hot recorders take only immediate
+         arguments (a float argument would box per packet) *)
   c_packets : Pi_telemetry.Metrics.counter option;
   c_upcall_drops : Pi_telemetry.Metrics.counter option;
   h_cycles : Pi_telemetry.Histogram.t option;
@@ -90,6 +94,16 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
   let ctx = Option.value telemetry ~default:Pi_telemetry.Ctx.empty in
   let metrics = Pi_telemetry.Ctx.metrics ctx in
   let tracer = Pi_telemetry.Ctx.tracer ctx in
+  let perf = Pi_telemetry.Ctx.perf ctx in
+  (match perf with
+   | Some p ->
+     Pi_telemetry.Perf.configure ~emc_lookup:config.cost.Cost_model.emc_lookup
+       ~mf_probe:config.cost.Cost_model.mf_probe
+       ~mf_hit_fixed:config.cost.Cost_model.mf_hit_fixed
+       ~upcall:config.cost.Cost_model.upcall
+       ~slow_probe:config.cost.Cost_model.slow_probe
+       ~per_byte:config.cost.Cost_model.per_byte p
+   | None -> ());
   let hist name =
     Option.map (fun m -> Pi_telemetry.Metrics.histogram m name) metrics
   in
@@ -122,6 +136,7 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
     prov = Option.map (fun reg -> Provenance.store ?metrics reg) provenance;
     ctx;
     tracer;
+    perf;
     c_packets =
       Option.map (fun m -> Pi_telemetry.Metrics.counter m "packets") metrics;
     c_upcall_drops =
@@ -155,6 +170,15 @@ let finish t flow outcome action =
   let c = Cost_model.cycles t.cfg.cost outcome in
   t.cy.(0) <- t.cy.(0) +. c;
   observe t.h_cycles c;
+  (match t.perf with
+   | Some p ->
+     Pi_telemetry.Perf.record p ~pkt_len:outcome.Cost_model.pkt_len
+       ~emc_hit:outcome.Cost_model.emc_hit
+       ~mf_probes:outcome.Cost_model.mf_probes
+       ~mf_hit:outcome.Cost_model.mf_hit
+       ~upcalled:outcome.Cost_model.upcall
+       ~slow_probes:outcome.Cost_model.slow_probes
+   | None -> ());
   (match t.prov with
    | Some p ->
      Provenance.account p ~port:(Pi_classifier.Flow.in_port flow) ~outcome
@@ -337,6 +361,11 @@ let finish_b t (b : Batch.t) i action ~emc_hit ~mf_probes ~mf_hit ~upcall
      every packet of the batch hit path. *)
   Cost_model.add_cycles t.cfg.cost t.cy ~emc_hit ~mf_probes ~mf_hit ~upcall
     ~slow_probes ~pkt_len:b.Batch.pkt_lens.(i);
+  (match t.perf with
+   | Some p ->
+     Pi_telemetry.Perf.record p ~pkt_len:b.Batch.pkt_lens.(i) ~emc_hit
+       ~mf_probes ~mf_hit ~upcalled:upcall ~slow_probes
+   | None -> ());
   (match t.h_cycles with
    | Some h ->
      Pi_telemetry.Histogram.observe h
@@ -549,6 +578,11 @@ let apply_verdict t ~now flow ~pkt_len (v : Slowpath.verdict) =
         upcall = true; slow_probes = v.Slowpath.probes; pkt_len }
   in
   t.cy.(1) <- t.cy.(1) +. c;
+  (match t.perf with
+   | Some p ->
+     Pi_telemetry.Perf.record_handler p ~pkt_len
+       ~slow_probes:v.Slowpath.probes
+   | None -> ());
   match t.prov with
   | Some p ->
     Provenance.account_handler p ~port:(Pi_classifier.Flow.in_port flow)
@@ -606,6 +640,9 @@ let revalidate t ~now =
   in
   if t.cfg.emc_enabled then
     ignore (Emc.invalidate_if t.emc (fun e -> not e.Megaflow.alive));
+  (match t.perf with
+   | Some p -> Pi_telemetry.Perf.record_reval p ~evicted
+   | None -> ());
   if evicted > 0 then
     trace t ~now (Pi_telemetry.Tracer.Megaflow_evicted { count = evicted });
   trace t ~now
@@ -621,6 +658,7 @@ let last_megaflow t = t.last_mf
 
 let provenance t = t.prov
 let telemetry t = t.ctx
+let perf t = t.perf
 let cycles_used t = t.cy.(0)
 let handler_cycles_used t = t.cy.(1)
 let n_processed t = t.n_processed
@@ -641,5 +679,8 @@ let reset_stats t =
      handler work to the wrong window. The drained items are not counted
      as drops — they belong to no window any more. *)
   Upcall_queue.reset t.uq;
+  (match t.perf with
+   | Some p -> Pi_telemetry.Perf.reset p
+   | None -> ());
   Megaflow.reset_stats t.mf;
   Emc.reset_stats t.emc

@@ -160,6 +160,14 @@ val telemetry : t -> Pi_telemetry.Ctx.t
 (** The context the datapath was created with ({!Pi_telemetry.Ctx.empty}
     when telemetry is off). *)
 
+val perf : t -> Pi_telemetry.Perf.t option
+(** The per-stage cycle profiler from the creation context, with this
+    datapath's cost-model coefficients installed. Its per-stage cycles
+    decompose exactly the charge recorded in {!cycles_used} plus
+    {!handler_cycles_used}: summing {!Pi_telemetry.Perf.stage_cycles}
+    over all stages reproduces that total to float rounding (the
+    profiler sums per stage, the datapath keeps one running total). *)
+
 val provenance : t -> Provenance.store option
 (** The attribution store ([Some] exactly when [create] was given a
     [provenance] registry). *)

@@ -54,6 +54,7 @@ module type S = sig
   val shard_masks : t -> int array
   val shard_cycles : t -> float array
   val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
+  val shard_perf : t -> int -> Pi_telemetry.Perf.t option
   val last_megaflow : t -> shard:int -> Megaflow.entry option
   val emc_insert_forced : t -> Pi_classifier.Flow.t -> Megaflow.entry -> unit
   val provenance : t -> Provenance.store list
@@ -94,6 +95,7 @@ let shard_of (Packed ((module B), d)) flow = B.shard_of d flow
 let shard_masks (Packed ((module B), d)) = B.shard_masks d
 let shard_cycles (Packed ((module B), d)) = B.shard_cycles d
 let shard_metrics (Packed ((module B), d)) i = B.shard_metrics d i
+let shard_perf (Packed ((module B), d)) i = B.shard_perf d i
 let last_megaflow (Packed ((module B), d)) ~shard = B.last_megaflow d ~shard
 
 let emc_insert_forced (Packed ((module B), d)) flow e =
@@ -163,6 +165,10 @@ let datapath ?config ?tss_config () : backend =
       if i <> 0 then invalid_arg "Dataplane.shard_metrics";
       Pi_telemetry.Ctx.metrics (Datapath.telemetry d)
 
+    let shard_perf d i =
+      if i <> 0 then invalid_arg "Dataplane.shard_perf";
+      Datapath.perf d
+
     let last_megaflow d ~shard =
       if shard <> 0 then invalid_arg "Dataplane.last_megaflow";
       Datapath.last_megaflow d
@@ -226,6 +232,7 @@ let pmd ?config ?tss_config () : backend =
     let shard_masks = Pmd.per_shard_masks
     let shard_cycles = Pmd.per_shard_cycles
     let shard_metrics = Pmd.shard_metrics
+    let shard_perf = Pmd.shard_perf
 
     let last_megaflow d ~shard = Datapath.last_megaflow (Pmd.shard d shard)
 

@@ -110,6 +110,13 @@ module type S = sig
   (** The registry shard [i] reports into ([None] when telemetry is
       off). Raises [Invalid_argument] out of range. *)
 
+  val shard_perf : t -> int -> Pi_telemetry.Perf.t option
+  (** Shard [i]'s per-stage cycle profiler ([None] when the creation
+      context carried none, or the backend does not profile). Merge the
+      shards with {!Pi_telemetry.Perf.merge} for a whole-dataplane
+      view; see [ovsdos dpctl pmd-perf-show]. Raises [Invalid_argument]
+      out of range. *)
+
   val last_megaflow : t -> shard:int -> Megaflow.entry option
   (** The megaflow entry shard [shard] most recently hit or installed;
       [None] for backends without a megaflow cache. *)
@@ -184,6 +191,7 @@ val shard_of : t -> Pi_classifier.Flow.t -> int
 val shard_masks : t -> int array
 val shard_cycles : t -> float array
 val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
+val shard_perf : t -> int -> Pi_telemetry.Perf.t option
 val last_megaflow : t -> shard:int -> Megaflow.entry option
 val emc_insert_forced : t -> Pi_classifier.Flow.t -> Megaflow.entry -> unit
 val provenance : t -> Provenance.store list

@@ -67,6 +67,33 @@ let port_stats ppf dp =
        with a Provenance registry)@,@]"
   | stores -> Provenance.pp_ports ppf (Provenance.report stores)
 
+(* The per-stage block of [pmd-perf-show], from a shard's {!Perf.t}: one
+   line per pipeline stage with its share of the charged cycles —
+   mirroring real OVS's "Cycles breakdown" — then the derived rates. *)
+let pp_perf ppf p =
+  let module P = Pi_telemetry.Perf in
+  let total = P.total_cycles p in
+  let pkts = P.packets p in
+  Format.fprintf ppf "  per-stage cycles:@,";
+  for st = 0 to P.n_stages - 1 do
+    let c = P.stage_cycles p st in
+    Format.fprintf ppf "  - %-12s %14.0f (%5.1f %%)@,"
+      (P.stage_name st ^ ":") c
+      (if total = 0. then 0. else 100. *. c /. total)
+  done;
+  Format.fprintf ppf "  avg cycles/pkt: %.1f@,"
+    (if pkts = 0 then 0. else total /. float_of_int pkts);
+  Format.fprintf ppf "  avg subtables/walk: %.2f@,"
+    (let walks = pkts - P.emc_hits p in
+     if walks <= 0 then 0.
+     else float_of_int (P.mf_probes p) /. float_of_int walks);
+  Format.fprintf ppf "  rx batches:     %d (avg %.1f pkts/batch)@,"
+    (P.batches p)
+    (let b = P.batches p in
+     if b = 0 then 0. else float_of_int pkts /. float_of_int b);
+  Format.fprintf ppf "  reval sweeps:   %d (evicted %d)@," (P.reval_sweeps p)
+    (P.reval_evicted p)
+
 let pmd_perf ppf dp =
   let masks = Dataplane.shard_masks dp in
   let cycles = Dataplane.shard_cycles dp in
@@ -75,27 +102,31 @@ let pmd_perf ppf dp =
     Format.fprintf ppf "pmd thread %d (%s):@," s (Dataplane.name dp);
     Format.fprintf ppf "  masks:          %d@," masks.(s);
     Format.fprintf ppf "  cycles:         %.0f@," cycles.(s);
-    match Dataplane.shard_metrics dp s with
+    (match Dataplane.shard_metrics dp s with
+     | None -> ()
+     | Some m ->
+       let c name =
+         Option.value ~default:0 (Pi_telemetry.Metrics.find_counter m name)
+       in
+       let packets = c "packets" in
+       let pct v =
+         if packets = 0 then 0.
+         else 100. *. float_of_int v /. float_of_int packets
+       in
+       Format.fprintf ppf "  packets:        %d@," packets;
+       Format.fprintf ppf "  emc hits:       %d (%.1f %%)@," (c "emc_hit")
+         (pct (c "emc_hit"));
+       Format.fprintf ppf "  megaflow hits:  %d (%.1f %%)@," (c "mf_hit")
+         (pct (c "mf_hit"));
+       Format.fprintf ppf "  upcalls:        %d (%.1f %%)@," (c "upcall")
+         (pct (c "upcall"));
+       Format.fprintf ppf "  avg subtable lookups/hit: %.2f@,"
+         (let hits = c "mf_hit" in
+          if hits = 0 then 0.
+          else float_of_int (c "mf_probes") /. float_of_int hits));
+    match Dataplane.shard_perf dp s with
     | None -> ()
-    | Some m ->
-      let c name =
-        Option.value ~default:0 (Pi_telemetry.Metrics.find_counter m name)
-      in
-      let packets = c "packets" in
-      let pct v =
-        if packets = 0 then 0. else 100. *. float_of_int v /. float_of_int packets
-      in
-      Format.fprintf ppf "  packets:        %d@," packets;
-      Format.fprintf ppf "  emc hits:       %d (%.1f %%)@," (c "emc_hit")
-        (pct (c "emc_hit"));
-      Format.fprintf ppf "  megaflow hits:  %d (%.1f %%)@," (c "mf_hit")
-        (pct (c "mf_hit"));
-      Format.fprintf ppf "  upcalls:        %d (%.1f %%)@," (c "upcall")
-        (pct (c "upcall"));
-      Format.fprintf ppf "  avg subtable lookups/hit: %.2f@,"
-        (let hits = c "mf_hit" in
-         if hits = 0 then 0.
-         else float_of_int (c "mf_probes") /. float_of_int hits)
+    | Some p -> pp_perf ppf p
   done;
   let st = Dataplane.stats dp in
   Format.fprintf ppf

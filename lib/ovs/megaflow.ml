@@ -100,8 +100,6 @@ let sync_gauges t =
 
 let generation t = t.generation
 
-let last_probes t = t.last_probes
-
 let iter_subtables f t =
   for i = 0 to t.n_tables - 1 do
     f t.arr.(i)

@@ -43,10 +43,10 @@ val create : ?config:config -> ?metrics:Pi_telemetry.Metrics.t -> unit -> t
 val lookup : t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int -> entry option
 (** The matching entry, if any; hit statistics are updated. The result
     is the stored option of the entry arena and a miss is the immediate
-    [None], so lookup allocates nothing. The number of subtable hash
-    probes performed (= position of the matching mask, or the total
-    mask count on a miss) is available from {!last_probes} until the
-    next lookup on this cache. *)
+    [None], so lookup allocates nothing. For the number of subtable
+    hash probes performed (= position of the matching mask, or the
+    total mask count on a miss), use {!lookup_s} with a caller-owned
+    {!lookup_stats} record. *)
 
 val lookup_hinted :
   t -> Mask_cache.t -> Pi_classifier.Flow.t -> now:float -> pkt_len:int ->
@@ -57,14 +57,15 @@ val lookup_hinted :
     kernel; a hint that never reached a subtable (out of range) costs
     nothing. The cache is invalidated first if the subtable array has
     been reordered since the hints were recorded (see {!generation}).
-    Allocation-free, like {!lookup}; probes via {!last_probes}. *)
+    Allocation-free, like {!lookup}; probes via {!lookup_hinted_s}. *)
 
 type lookup_stats = { mutable s_probes : int }
 (** Caller-owned probe reporting. A lookup writes the number of subtable
     hash probes it performed into the record the caller passed, so two
     concurrent walks (e.g. the batch path interleaving with a hinted
-    commit) cannot clobber each other the way the old cache-global
-    {!last_probes} accessor could. *)
+    commit) cannot clobber each other the way the retired cache-global
+    [last_probes] accessor could (removed in 0.11.0 as CHANGES.md
+    0.10.0 announced). *)
 
 val lookup_stats : unit -> lookup_stats
 
@@ -78,17 +79,6 @@ val lookup_hinted_s :
   pkt_len:int -> entry option
 (** {!lookup_hinted}, reporting the probe count into the caller's
     record. *)
-
-val last_probes : t -> int
-[@@alert retiring
-    "last_probes is a single-slot side-channel; pass a caller-owned \
-     Megaflow.lookup_stats record to lookup_s/lookup_hinted_s instead. \
-     This accessor will be removed next release."]
-(** Subtable hash probes performed by the most recent {!lookup} /
-    {!lookup_hinted} on this cache (valid until the next one).
-
-    @deprecated Use {!lookup_s} / {!lookup_hinted_s} with a caller-owned
-    {!lookup_stats} record. *)
 
 (** {2 Batch (subtable-major) lookup}
 

@@ -213,7 +213,10 @@ let worker_body t pl s =
         (* a charged rx burst: the fixed per-burst cost, exactly as the
            deterministic mode's chopping charges it *)
         sh.n_batches <- sh.n_batches + 1;
-        sh.oc.(0) <- sh.oc.(0) +. t.cfg.batch_cycles
+        sh.oc.(0) <- sh.oc.(0) +. t.cfg.batch_cycles;
+        match Datapath.perf sh.dp with
+        | Some p -> Pi_telemetry.Perf.record_batch p
+        | None -> ()
       end;
       let b = pl.cur_b in
       let now = pl.cur_now in
@@ -329,8 +332,13 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
     else begin
       ignore i;
       let metrics = Option.map (fun _ -> Pi_telemetry.Metrics.create ()) metrics in
+      let perf =
+        Option.map
+          (fun _ -> Pi_telemetry.Perf.create ())
+          (Pi_telemetry.Ctx.perf ctx)
+      in
       { dp = Datapath.create ~config:config.dp ?tss_config
-               ~telemetry:(Pi_telemetry.Ctx.v ?metrics ())
+               ~telemetry:(Pi_telemetry.Ctx.v ?metrics ?perf ())
                ?provenance
                (Pi_pkt.Prng.split rng) ();
         metrics;
@@ -340,6 +348,14 @@ let create ?(config = default_config) ?tss_config ?telemetry ?provenance rng
     end
   in
   let shards = Array.init config.n_shards mk_shard in
+  (* The datapath installed its own cost coefficients; the per-rx-burst
+     overhead is a Pmd concept, so its coefficient lands here. *)
+  Array.iter
+    (fun s ->
+      match Datapath.perf s.dp with
+      | Some p -> Pi_telemetry.Perf.configure ~batch:config.batch_cycles p
+      | None -> ())
+    shards;
   let pl =
     match config.mode with
     | Deterministic -> None
@@ -502,6 +518,9 @@ let rec det_run_chunks t (b : Batch.t) ~now s pos =
     let k = min t.cfg.batch_size (len - pos) in
     sh.n_batches <- sh.n_batches + 1;
     sh.oc.(0) <- sh.oc.(0) +. t.cfg.batch_cycles;
+    (match Datapath.perf sh.dp with
+     | Some p -> Pi_telemetry.Perf.record_batch p
+     | None -> ());
     let sb = sh.b and idx = t.sc_idx.(s) in
     for j = 0 to k - 1 do
       let i = idx.(pos + j) in
@@ -636,6 +655,8 @@ let n_masks t = sum_int (fun s -> Datapath.n_masks s.dp) t
 let n_megaflows t = sum_int (fun s -> Datapath.n_megaflows s.dp) t
 
 let telemetry t = t.ctx
+
+let shard_perf t i = Datapath.perf t.shards.(i).dp
 
 let per_shard_masks t =
   Array.map (fun s -> Datapath.n_masks s.dp) t.shards

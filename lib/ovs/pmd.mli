@@ -111,6 +111,14 @@ val shard_metrics : t -> int -> Pi_telemetry.Metrics.t option
     [n_shards = 1], a private one otherwise, [None] if telemetry is
     off). *)
 
+val shard_perf : t -> int -> Pi_telemetry.Perf.t option
+(** Shard [i]'s per-stage cycle profiler ([None] when the creation
+    context carried none). With one shard this is the context's own
+    instance; with several, a private per-shard instance (exactly like
+    {!shard_metrics}) with this Pmd's [batch_cycles] coefficient
+    installed — merge with {!Pi_telemetry.Perf.merge} for the
+    whole-dataplane view. Same quiescence caveat as {!shard}. *)
+
 val shard_provenance : t -> int -> Provenance.store option
 (** Shard [i]'s private attribution store ([None] when provenance is
     off). Raises [Invalid_argument] out of range. *)

@@ -27,6 +27,20 @@ let default_attack =
     refresh_period = 5.;
     attacker_exact_per_tick = 64 }
 
+type sample = {
+  time : float;
+  victim_gbps : float;
+  offered_gbps : float;
+  n_masks : int;
+  n_megaflows : int;
+  shard_masks : int array;
+  shard_gbps : float array;
+  emc_hit_rate : float;
+  victim_cycles_per_pkt : float;
+  attacker_cycles_per_sec : float;
+  loss : float;
+}
+
 type params = {
   seed : int64;
   duration : float;
@@ -64,6 +78,15 @@ type params = {
   provenance : bool;
       (* stamp megaflows/masks with their origin and account per-port /
          per-tenant attribution; the report then carries {!report.attribution} *)
+  profile : bool;
+      (* attach a per-shard Perf profiler to the dataplane's telemetry
+         context; the report then carries the cross-shard merge in
+         {!report.perf} *)
+  sample_log : Pi_telemetry.Sample_log.t option;
+      (* bounded JSONL ring the per-tick scrape appends to *)
+  on_sample : (Dataplane.t -> sample -> unit) option;
+      (* called once per tick, after housekeeping, with the live
+         dataplane and the tick's sample — the [ovsdos monitor] hook *)
 }
 
 let default_params =
@@ -92,21 +115,10 @@ let default_params =
     rtt = 1e-3;
     mss = 1460;
     metrics = None;
-    provenance = false }
-
-type sample = {
-  time : float;
-  victim_gbps : float;
-  offered_gbps : float;
-  n_masks : int;
-  n_megaflows : int;
-  shard_masks : int array;
-  shard_gbps : float array;
-  emc_hit_rate : float;
-  victim_cycles_per_pkt : float;
-  attacker_cycles_per_sec : float;
-  loss : float;
-}
+    provenance = false;
+    profile = false;
+    sample_log = None;
+    on_sample = None }
 
 type report = {
   samples : sample list;
@@ -118,6 +130,7 @@ type report = {
   masks_series : Timeseries.t;
   shard_masks_series : Timeseries.t array;
   scrape : Pi_telemetry.Scrape.t option;
+  perf : Pi_telemetry.Perf.t option;
   final_stats : Dataplane.stats;
   attribution : Provenance.summary option;
 }
@@ -165,7 +178,10 @@ let run p =
         ?tss_config:p.tss_config ()
   in
   let telemetry =
-    Option.map (fun m -> Pi_telemetry.Ctx.v ~metrics:m ()) p.metrics
+    let perf = if p.profile then Some (Pi_telemetry.Perf.create ()) else None in
+    match (p.metrics, perf) with
+    | None, None -> None
+    | metrics, perf -> Some (Pi_telemetry.Ctx.v ?metrics ?perf ())
   in
   let prov_reg = if p.provenance then Some (Provenance.registry ()) else None in
   let dp =
@@ -296,9 +312,9 @@ let run p =
   let samples = ref [] in
   (* Telemetry: sample the cache-state gauges once per tick. *)
   let scrape =
-    match p.metrics with
-    | None -> None
-    | Some _ ->
+    match (p.metrics, p.sample_log) with
+    | None, None -> None
+    | _ ->
       let s = Pi_telemetry.Scrape.create () in
       Pi_telemetry.Scrape.register s ~name:"n_masks" (fun () ->
           float_of_int (Dataplane.stats dp).Dataplane.masks);
@@ -311,6 +327,9 @@ let run p =
           ~name:(Printf.sprintf "shard%d/n_masks" i)
           (fun () -> float_of_int (Dataplane.shard_masks dp).(i))
       done;
+      (match p.sample_log with
+       | Some log -> Pi_telemetry.Scrape.attach_log s log
+       | None -> ());
       Some s
   in
   let victim_b = Batch.create ~capacity:(max 1 p.victim_samples_per_tick) in
@@ -496,7 +515,7 @@ let run p =
     (match scrape with
      | Some s -> Pi_telemetry.Scrape.tick s ~now
      | None -> ());
-    samples :=
+    let sample =
       { time = now;
         victim_gbps;
         offered_gbps = p.victim_offered_gbps;
@@ -508,7 +527,9 @@ let run p =
         victim_cycles_per_pkt = victim_cpp;
         attacker_cycles_per_sec = attacker_cycles /. p.tick;
         loss }
-      :: !samples
+    in
+    (match p.on_sample with Some f -> f dp sample | None -> ());
+    samples := sample :: !samples
   done;
   let samples = List.rev !samples in
   let mean f lo hi =
@@ -551,6 +572,26 @@ let run p =
         (fun i m -> if m > peak_shard_masks.(i) then peak_shard_masks.(i) <- m)
         s.shard_masks)
     samples;
+  (* Cross-shard profiler merge: a fresh accumulator, so per-shard
+     instances stay readable on their own. *)
+  let perf =
+    let acc = ref None in
+    for s = 0 to n_sh - 1 do
+      match Dataplane.shard_perf dp s with
+      | Some sp ->
+        let into =
+          match !acc with
+          | Some i -> i
+          | None ->
+            let i = Pi_telemetry.Perf.create () in
+            acc := Some i;
+            i
+        in
+        Pi_telemetry.Perf.merge ~into sp
+      | None -> ()
+    done;
+    !acc
+  in
   { samples;
     pre_attack_mean_gbps = pre;
     post_attack_mean_gbps = post;
@@ -560,6 +601,7 @@ let run p =
     masks_series;
     shard_masks_series;
     scrape;
+    perf;
     final_stats = Dataplane.stats dp;
     attribution =
       (if p.provenance then Some (Dataplane.attribution dp) else None) }

@@ -41,6 +41,22 @@ val default_attack : attack
 (** Calico variant, starts at t=60 s, 100-byte covert frames refreshed
     every 5 s (≈1.3 Mb/s, the paper's "1–2 Mbps"). *)
 
+type sample = {
+  time : float;
+  victim_gbps : float;
+  offered_gbps : float;
+  n_masks : int;                (** total across shards *)
+  n_megaflows : int;
+  shard_masks : int array;      (** per-shard mask counts *)
+  shard_gbps : float array;
+      (** per-shard slice of [victim_gbps] (sums to it): the goodput of
+          the victim traffic RSS steered that shard's way *)
+  emc_hit_rate : float;
+  victim_cycles_per_pkt : float;
+  attacker_cycles_per_sec : float;
+  loss : float;
+}
+
 type params = {
   seed : int64;
   duration : float;
@@ -89,27 +105,27 @@ type params = {
           and attach per-shard stores, so masks carry origins and the
           report carries {!report.attribution}. Default [false];
           disabled runs are bit-for-bit the historical scenario *)
+  profile : bool;
+      (** attach a per-shard {!Pi_telemetry.Perf.t} per-stage cycle
+          profiler to the dataplane; the report then carries the
+          cross-shard merge in {!report.perf}. Default [false];
+          observation only — results are bit-for-bit the unprofiled
+          run's *)
+  sample_log : Pi_telemetry.Sample_log.t option;
+      (** bounded JSONL event ring: when given (and a scrape is active),
+          every per-tick scrape also appends one
+          [{"samples":{...},"t":...}] line to it — the artifact
+          [ovsdos run --sample-log] / [bench fig3] write out *)
+  on_sample : (Pi_ovs.Dataplane.t -> sample -> unit) option;
+      (** called once per tick, after upcall servicing / revalidation /
+          scraping, with the live dataplane and the tick's sample — the
+          [ovsdos monitor] live-view hook. The dataplane must only be
+          {e inspected} (quiescent at this point) *)
 }
 
 val default_params : params
 (** 150 s, 1 s ticks, 1 Gb/s offered victim load (Fig. 3's scale),
     default attack, one shard. *)
-
-type sample = {
-  time : float;
-  victim_gbps : float;
-  offered_gbps : float;
-  n_masks : int;                (** total across shards *)
-  n_megaflows : int;
-  shard_masks : int array;      (** per-shard mask counts *)
-  shard_gbps : float array;
-      (** per-shard slice of [victim_gbps] (sums to it): the goodput of
-          the victim traffic RSS steered that shard's way *)
-  emc_hit_rate : float;
-  victim_cycles_per_pkt : float;
-  attacker_cycles_per_sec : float;
-  loss : float;
-}
 
 type report = {
   samples : sample list;
@@ -128,7 +144,10 @@ type report = {
   scrape : Pi_telemetry.Scrape.t option;
       (** per-tick [n_masks]/[n_megaflows]/[emc_occupancy] (plus
           [shard<i>/n_masks] when sharded); [Some] exactly when
-          {!params.metrics} was given *)
+          {!params.metrics} or {!params.sample_log} was given *)
+  perf : Pi_telemetry.Perf.t option;
+      (** the per-stage cycle profile merged across shards; [Some]
+          exactly when {!params.profile} *)
   final_stats : Pi_ovs.Dataplane.stats;
       (** the dataplane's cumulative counters at the end of the run —
           includes [upcall_drops] under a bounded upcall queue *)

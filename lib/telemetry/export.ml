@@ -120,6 +120,53 @@ let json_snapshot ?scrape ?tracer ?(extra = []) metrics =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* Delta-encoded timeseries export: scraped columns ship as a first
+   value plus successive differences. Gauge columns in these scenarios
+   are near-constant for long stretches (mask counts plateau, occupancy
+   saturates), so the deltas are mostly "0," — a fraction of the dense
+   [[time, value]] pair encoding — while staying byte-stable (sorted
+   keys, [%.9g] floats) and trivially invertible by prefix sum. *)
+let add_delta_floats b values =
+  Buffer.add_char b '[';
+  let prev = ref 0. in
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      if i = 0 then add_float b v else add_float b (v -. !prev);
+      prev := v)
+    values;
+  Buffer.add_char b ']'
+
+let scrape_delta_json scrape =
+  let b = Buffer.create 4096 in
+  let times = Scrape.times scrape in
+  let names =
+    List.sort String.compare
+      (List.map Timeseries.name (Scrape.all scrape))
+  in
+  add_fields b
+    [ ("dt", fun b -> add_delta_floats b times);
+      ( "series",
+        fun b ->
+          add_fields b
+            (List.map
+               (fun name ->
+                 ( name,
+                   fun b ->
+                     match Scrape.samples scrape name with
+                     | None -> Buffer.add_string b "null"
+                     | Some (start, values) ->
+                       add_fields b
+                         [ ("dv", fun b -> add_delta_floats b values);
+                           ( "start",
+                             fun b ->
+                               Buffer.add_string b (string_of_int start) ) ] ))
+               names) );
+      ( "ticks",
+        fun b -> Buffer.add_string b (string_of_int (Scrape.n_ticks scrape)) ) ];
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
 let write_json_file ?scrape ?tracer ?extra ~path metrics =
   let oc = open_out path in
   Fun.protect

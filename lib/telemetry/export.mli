@@ -18,6 +18,15 @@ val json_snapshot :
     top-level section: [json] must already be valid JSON (e.g.
     {!Pi_ovs.Provenance.summary_json}) and is emitted verbatim. *)
 
+val scrape_delta_json : Scrape.t -> string
+(** Delta-encoded timeseries export (newline-terminated, byte-stable):
+    [{"dt":[t0, t1-t0, ...], "series":{name:{"dv":[v0, v1-v0, ...],
+    "start":tick}, ...}, "ticks":n}] with series names sorted. Dense
+    values are recovered by prefix sum; [start] is the tick index of a
+    late-registered source's first sample. A fraction of the dense
+    [[time, value]] encoding on the plateau-heavy gauges these
+    scenarios scrape. *)
+
 val write_json_file :
   ?scrape:Scrape.t -> ?tracer:Tracer.t -> ?extra:(string * string) list ->
   path:string -> Metrics.t -> unit

@@ -66,7 +66,10 @@ let min_value t = if t.count = 0 then nan else t.vmin
 let max_value t = if t.count = 0 then nan else t.vmax
 
 let percentile t p =
-  if p < 0. || p > 100. then invalid_arg "Histogram.percentile";
+  (* NaN fails both comparisons, so it needs its own guard: without it a
+     NaN rank silently walks the whole bucket array and returns vmax. *)
+  if Float.is_nan p || p < 0. || p > 100. then
+    invalid_arg "Histogram.percentile";
   if t.count = 0 then nan
   else begin
     let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.count))) in
@@ -105,6 +108,107 @@ let summary t =
     s_max = max_value t;
     s_p50 = percentile t 50.;
     s_p99 = percentile t 99. }
+
+(* --- Snapshots: windowed statistics by bucket delta --------------
+
+   A snapshot is a frozen copy of the cumulative bucket counters. Two
+   snapshots of the same histogram bracket a window; their [diff] is the
+   distribution of exactly the observations made between them, at bucket
+   resolution (min/max are not subtractable, so windowed percentiles
+   clamp to bucket edges instead of observed extremes). *)
+
+type snapshot = {
+  sn_counts : int array;  (* same layout as [counts] *)
+  mutable sn_count : int;
+  mutable sn_sum : float;
+}
+
+let snapshot_create t =
+  { sn_counts = Array.make (Array.length t.counts) 0;
+    sn_count = 0;
+    sn_sum = 0. }
+
+let snapshot_into t s =
+  if Array.length s.sn_counts <> Array.length t.counts then
+    invalid_arg "Histogram.snapshot_into: bucket-count mismatch";
+  Array.blit t.counts 0 s.sn_counts 0 (Array.length t.counts);
+  s.sn_count <- t.count;
+  s.sn_sum <- t.sum
+
+let snapshot t =
+  let s = snapshot_create t in
+  snapshot_into t s;
+  s
+
+let snapshot_diff ~into later earlier =
+  let n = Array.length later.sn_counts in
+  if Array.length earlier.sn_counts <> n || Array.length into.sn_counts <> n
+  then invalid_arg "Histogram.snapshot_diff: bucket-count mismatch";
+  for i = 0 to n - 1 do
+    let d = later.sn_counts.(i) - earlier.sn_counts.(i) in
+    if d < 0 then
+      invalid_arg "Histogram.snapshot_diff: earlier is not a prefix of later";
+    into.sn_counts.(i) <- d
+  done;
+  into.sn_count <- later.sn_count - earlier.sn_count;
+  into.sn_sum <- later.sn_sum -. earlier.sn_sum
+
+let snapshot_merge ~into s =
+  let n = Array.length into.sn_counts in
+  if Array.length s.sn_counts <> n then
+    invalid_arg "Histogram.snapshot_merge: bucket-count mismatch";
+  for i = 0 to n - 1 do
+    into.sn_counts.(i) <- into.sn_counts.(i) + s.sn_counts.(i)
+  done;
+  into.sn_count <- into.sn_count + s.sn_count;
+  into.sn_sum <- into.sn_sum +. s.sn_sum
+
+let snapshot_count s = s.sn_count
+let snapshot_sum s = s.sn_sum
+let snapshot_mean s =
+  if s.sn_count = 0 then nan else s.sn_sum /. float_of_int s.sn_count
+
+let snapshot_percentile t s p =
+  if Float.is_nan p || p < 0. || p > 100. then
+    invalid_arg "Histogram.snapshot_percentile";
+  let nb = n_buckets t in
+  if Array.length s.sn_counts <> nb + 2 then
+    invalid_arg "Histogram.snapshot_percentile: bucket-count mismatch";
+  if s.sn_count = 0 then nan
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100. *. float_of_int s.sn_count)))
+    in
+    (* Bucket-resolution nearest rank: the upper edge of the bucket
+       holding the rank ([lo] for underflow). The overflow bucket has no
+       finite upper edge and no observed max to clamp to, so it reports
+       its lower edge — the tightest bound a snapshot can give. *)
+    let rec go i acc =
+      if i > nb + 1 then t.bounds.(nb)
+      else begin
+        let acc = acc + s.sn_counts.(i) in
+        if acc >= rank then
+          if i = 0 then t.lo
+          else if i = nb + 1 then t.bounds.(nb)
+          else t.bounds.(i)
+        else go (i + 1) acc
+      end
+    in
+    go 0 0
+  end
+
+let merge ~into t =
+  if
+    Array.length into.counts <> Array.length t.counts
+    || into.lo <> t.lo || into.growth <> t.growth
+  then invalid_arg "Histogram.merge: geometry mismatch";
+  for i = 0 to Array.length t.counts - 1 do
+    into.counts.(i) <- into.counts.(i) + t.counts.(i)
+  done;
+  into.count <- into.count + t.count;
+  into.sum <- into.sum +. t.sum;
+  if t.vmin < into.vmin then into.vmin <- t.vmin;
+  if t.vmax > into.vmax then into.vmax <- t.vmax
 
 let nonzero_buckets t =
   let acc = ref [] in

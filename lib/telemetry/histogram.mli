@@ -47,7 +47,62 @@ val max_value : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0, 100\]]; bucket-resolution
-    nearest-rank estimate, [nan] when empty. *)
+    nearest-rank estimate, [nan] when empty. Raises [Invalid_argument]
+    when [p] is outside [\[0, 100\]] or NaN. *)
+
+(** {2 Snapshots — windowed statistics by bucket delta}
+
+    A {!snapshot} freezes the cumulative bucket counters; two snapshots
+    of the same histogram bracket a window, and {!snapshot_diff} yields
+    the distribution of exactly the observations made between them.
+    Since exact min/max cannot be subtracted, windowed percentiles are
+    bucket-edge estimates ({!snapshot_percentile}). All operations are
+    allocation-free given preallocated snapshots ({!snapshot_into}). *)
+
+type snapshot = {
+  sn_counts : int array;
+      (** same layout as the histogram's buckets: underflow, finite
+          buckets, overflow *)
+  mutable sn_count : int;
+  mutable sn_sum : float;
+}
+
+val snapshot_create : t -> snapshot
+(** An all-zero snapshot shaped for [t] (reusable scratch). *)
+
+val snapshot : t -> snapshot
+(** Freeze the current counters (allocates a fresh snapshot). *)
+
+val snapshot_into : t -> snapshot -> unit
+(** {!snapshot} into preallocated storage. Raises [Invalid_argument] on
+    bucket-count mismatch. *)
+
+val snapshot_diff : into:snapshot -> snapshot -> snapshot -> unit
+(** [snapshot_diff ~into later earlier] stores [later - earlier].
+    Raises [Invalid_argument] on shape mismatch or if any bucket would
+    go negative ([earlier] not taken before [later], or the histogram
+    was reset between them). *)
+
+val snapshot_merge : into:snapshot -> snapshot -> unit
+(** Accumulate another snapshot (e.g. one per shard) into [into]. *)
+
+val snapshot_count : snapshot -> int
+val snapshot_sum : snapshot -> float
+
+val snapshot_mean : snapshot -> float
+(** [nan] when the snapshot is empty. *)
+
+val snapshot_percentile : t -> snapshot -> float -> float
+(** Nearest-rank percentile of a snapshot taken from [t] (the histogram
+    supplies the bucket bounds). Reports the upper edge of the bucket
+    holding the rank ([lo] for underflow, the last finite bound for
+    overflow); [nan] when empty. Raises [Invalid_argument] on [p]
+    outside [\[0, 100\]] or NaN, or on a shape mismatch. *)
+
+val merge : into:t -> t -> unit
+(** Add [t]'s buckets and exact scalars into [into] — the cross-shard
+    aggregation. Raises [Invalid_argument] unless both histograms share
+    [lo], [growth] and bucket count. *)
 
 type summary = {
   s_count : int;

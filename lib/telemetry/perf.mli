@@ -1,0 +1,117 @@
+(** Zero-allocation per-stage cycle profiler.
+
+    The dataplane's per-packet cycle charge decomposes into pipeline
+    stages (rx/steering, EMC probe, megaflow walk, slow path, batch
+    overhead, revalidation). A [Perf.t] — one per shard — counts the
+    underlying events in a fixed integer array so [ovsdos dpctl
+    pmd-perf-show] can mirror OVS's per-stage breakdown, without putting
+    a single word on the minor heap (or a single float op) on the
+    per-packet path; every stage charge is linear in those events, so
+    {!stage_cycles} evaluates [coefficient . counts] lazily at read
+    time.
+
+    The stage sum is exact: summed stage cycles equal the cycles the
+    owning dataplane charged through its cost model (fast path + handler
+    + batch overhead) up to float association — the profiler multiplies
+    coefficients by exact event totals where the dataplane keeps one
+    per-packet running total — so profiler totals cross-check against
+    [stats.cycles] to rounding error, while per-shard profilers
+    {!merge}d across shards give bit-identical totals regardless of
+    execution order (sequential or Domain-parallel): integer event
+    sums commute.
+
+    The hot recorders take only immediate (int/bool) arguments — float
+    cost coefficients are installed once via {!configure}, because a
+    float argument at a cross-module call is boxed at every packet. *)
+
+type t
+
+val create : unit -> t
+(** A fresh profiler with all stages, counters and coefficients zero.
+    Call {!configure} before recording. *)
+
+val configure :
+  ?emc_lookup:float -> ?mf_probe:float -> ?mf_hit_fixed:float ->
+  ?upcall:float -> ?slow_probe:float -> ?per_byte:float -> ?batch:float ->
+  t -> unit
+(** Install cost coefficients (cycles). Omitted coefficients keep their
+    current value (initially 0). Called once at dataplane creation —
+    never on the per-packet path. *)
+
+(** {2 Stages} *)
+
+val n_stages : int
+
+val stage_steer : int
+(** rx/steering: the per-byte packet copy ([pkt_len * per_byte]). *)
+
+val stage_emc : int
+(** EMC probe, plus the hit fixed cost when the EMC answers. *)
+
+val stage_mf : int
+(** Megaflow TSS walk ([probes * mf_probe]), plus the hit fixed cost
+    when the walk answers. *)
+
+val stage_upcall : int
+(** Slow path: inline upcalls and deferred handler verdicts. *)
+
+val stage_reval : int
+(** Revalidation (counted via {!record_reval}; the cost model assigns
+    no cycles, so this stage stays 0 unless a model is added). *)
+
+val stage_batch : int
+(** Fixed per-rx-burst overhead. *)
+
+val stage_name : int -> string
+(** Stable lowercase stage label; raises [Invalid_argument] out of
+    range. *)
+
+(** {2 Hot-path recorders} — allocation-free. *)
+
+val record :
+  t -> pkt_len:int -> emc_hit:bool -> mf_probes:int -> mf_hit:bool ->
+  upcalled:bool -> slow_probes:int -> unit
+(** One fast-path packet, stage-decomposed exactly as the cost model
+    charges it. [upcalled] means an {e inline} (synchronous) slow-path
+    classification; a deferred miss records [upcalled:false] here and
+    the handler's {!record_handler} later. *)
+
+val record_handler : t -> pkt_len:int -> slow_probes:int -> unit
+(** One deferred upcall verdict applied by the handler; the full
+    handler charge lands on {!stage_upcall}. *)
+
+val record_batch : t -> unit
+(** One charged rx burst (the [batch] coefficient). *)
+
+val record_reval : t -> evicted:int -> unit
+(** One revalidation sweep evicting [evicted] megaflows. *)
+
+(** {2 Reading} *)
+
+val stage_cycles : t -> int -> float
+val total_cycles : t -> float
+
+val packets : t -> int
+val emc_hits : t -> int
+val mf_hits : t -> int
+
+val mf_probes : t -> int
+(** Subtables probed, summed over every megaflow walk. *)
+
+val upcalls : t -> int
+val handler_upcalls : t -> int
+val slow_probes : t -> int
+val batches : t -> int
+val reval_sweeps : t -> int
+val reval_evicted : t -> int
+
+val merge : into:t -> t -> unit
+(** Add [t]'s event counters into [into] (cross-shard aggregation) —
+    pure integer addition, so the result is independent of merge order.
+    Any coefficient of [into] that is still 0 adopts [t]'s, so a fresh
+    {!create}d aggregator inherits the cost model of its sources (all
+    shards of one dataplane share it); coefficients already set are
+    left untouched. *)
+
+val reset : t -> unit
+(** Zero the event counters; coefficients survive. *)

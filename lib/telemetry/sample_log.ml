@@ -1,0 +1,51 @@
+(* Bounded JSONL event/sample log.
+
+   A fixed-capacity ring of pre-rendered JSON lines: producers (the
+   scrape's per-tick sample records, detector events, monitor alarms)
+   append without ever growing memory; once full, the oldest lines are
+   overwritten and counted as dropped — a flight recorder, not an
+   unbounded trace. Lines are written out oldest-first for offline
+   analysis (one JSON object per line). *)
+
+type t = {
+  ring : string array;
+  mutable head : int;  (* next write position *)
+  mutable total : int; (* lines ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Sample_log.create: capacity";
+  { ring = Array.make capacity ""; head = 0; total = 0 }
+
+let capacity t = Array.length t.ring
+
+let record t line =
+  t.ring.(t.head) <- line;
+  t.head <- (t.head + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let total t = t.total
+let retained t = min t.total (Array.length t.ring)
+let dropped t = t.total - retained t
+
+let iter t f =
+  let cap = Array.length t.ring in
+  let n = retained t in
+  let start = if t.total <= cap then 0 else t.head in
+  for i = 0 to n - 1 do
+    f t.ring.((start + i) mod cap)
+  done
+
+let lines t =
+  let acc = ref [] in
+  iter t (fun l -> acc := l :: !acc);
+  List.rev !acc
+
+let output t oc =
+  iter t (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+
+let write t ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output t oc)

@@ -1,0 +1,32 @@
+(** Bounded JSONL event/sample log — a telemetry flight recorder.
+
+    A fixed-capacity ring of pre-rendered JSON lines. Producers (the
+    scrape's per-tick samples, detector events) {!record} freely; memory
+    never grows past [capacity] lines, the oldest being overwritten and
+    counted in {!dropped}. {!write} emits the retained lines
+    oldest-first, one JSON object per line ([.jsonl]). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 4096) is the maximum retained line count;
+    raises [Invalid_argument] below 1. *)
+
+val capacity : t -> int
+
+val record : t -> string -> unit
+(** Append one line (a complete JSON object, without the newline). *)
+
+val total : t -> int
+(** Lines ever recorded. *)
+
+val retained : t -> int
+val dropped : t -> int
+
+val iter : t -> (string -> unit) -> unit
+(** Retained lines, oldest first. *)
+
+val lines : t -> string list
+
+val output : t -> out_channel -> unit
+val write : t -> path:string -> unit

@@ -1,27 +1,51 @@
-(** Periodic gauge sampling into {!Timeseries}.
+(** Streaming gauge sampling into array-backed columns.
 
-    A scrape set is a list of named sampling functions (e.g. the
-    datapath's current mask count, megaflow count, EMC occupancy). Each
-    {!tick} — typically driven by the sim engine's [schedule_every] or a
-    scenario's per-tick loop — evaluates every source at the given sim
-    time and appends the value to that source's timeseries, giving every
-    gauge a history instead of only a last value. *)
+    A scrape set is an ordered collection of named sampling functions
+    (e.g. the datapath's current mask count, megaflow count, EMC
+    occupancy). Each {!tick} — typically a scenario's per-tick loop —
+    evaluates every source at the given sim time and appends the value
+    to that source's flat float column (one shared time column, one
+    value column per source, grown geometrically): a tick performs no
+    list allocation and {!register} is O(1), so scraping stays cheap at
+    fleet scale. An optional {!Sample_log} receives one JSONL record per
+    tick for offline analysis. *)
 
 type t
 
 val create : unit -> t
 
 val register : t -> name:string -> (unit -> float) -> unit
-(** Raises [Invalid_argument] on a duplicate name. *)
+(** Raises [Invalid_argument] on a duplicate name. A source registered
+    after ticks have been recorded starts sampling at the next tick. *)
+
+val attach_log : t -> Sample_log.t -> unit
+(** Every subsequent {!tick} also records a
+    [{"samples":{name:value,...},"t":time}] line (keys sorted, [%.9g]
+    floats, non-finite as [null]) into the bounded log. *)
 
 val tick : t -> now:float -> unit
 (** Sample every source at time [now] (sources are evaluated in
-    registration order). Times must be non-decreasing across ticks
-    (enforced by {!Timeseries.add}). *)
+    registration order). Raises [Invalid_argument] if [now] decreases
+    across ticks. *)
 
 val n_sources : t -> int
 
+val n_ticks : t -> int
+(** Ticks recorded so far. *)
+
+val times : t -> float array
+(** The tick times, oldest first (a fresh copy of length {!n_ticks}). *)
+
+val samples : t -> string -> (int * float array) option
+(** [samples t name] is [(start, values)]: the tick index of the
+    source's first sample and its values from there on (a fresh copy);
+    [None] for an unknown name. *)
+
+(** {2 v1 compatibility} — materialised {!Timeseries} views. *)
+
 val series : t -> string -> Timeseries.t option
+(** Build the named source's history as a fresh {!Timeseries} (one
+    allocation per retained sample — reporting-path only). *)
 
 val all : t -> Timeseries.t list
-(** All series in registration order. *)
+(** All series in registration order (freshly materialised). *)

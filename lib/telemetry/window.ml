@@ -1,0 +1,85 @@
+(* Sliding-window statistics.
+
+   Lifetime aggregates hide the attack's onset: a histogram that has
+   seen an hour of benign traffic barely moves when the last second
+   explodes. A [Window.t] wraps a live histogram and, on every [tick],
+   closes the window bracketed by the previous tick using bucket-delta
+   snapshots (Histogram.snapshot_diff) — "p99 over the last tick"
+   instead of "p99 since boot". All per-tick work reuses preallocated
+   snapshots; nothing is allocated after [create]. *)
+
+type t = {
+  hist : Histogram.t;
+  prev : Histogram.snapshot;  (* counters at the last closed tick *)
+  cur : Histogram.snapshot;   (* scratch for the current counters *)
+  win : Histogram.snapshot;   (* cur - prev: the last closed window *)
+  mutable ticks : int;
+}
+
+let create hist =
+  { hist;
+    prev = Histogram.snapshot hist;
+    cur = Histogram.snapshot_create hist;
+    win = Histogram.snapshot_create hist;
+    ticks = 0 }
+
+let tick t =
+  Histogram.snapshot_into t.hist t.cur;
+  Histogram.snapshot_diff ~into:t.win t.cur t.prev;
+  (* prev <- cur by swapping contents: blit the arrays, no allocation *)
+  Array.blit t.cur.Histogram.sn_counts 0 t.prev.Histogram.sn_counts 0
+    (Array.length t.cur.Histogram.sn_counts);
+  t.prev.Histogram.sn_count <- t.cur.Histogram.sn_count;
+  t.prev.Histogram.sn_sum <- t.cur.Histogram.sn_sum;
+  t.ticks <- t.ticks + 1
+
+let ticks t = t.ticks
+let snapshot t = t.win
+let count t = Histogram.snapshot_count t.win
+let sum t = Histogram.snapshot_sum t.win
+let mean t = Histogram.snapshot_mean t.win
+let percentile t p = Histogram.snapshot_percentile t.hist t.win p
+let p50 t = percentile t 50.
+let p99 t = percentile t 99.
+
+(* Exponentially weighted moving average of a cumulative counter's
+   per-second rate — the windowed "Gbps now" and "upcalls/s now" the
+   monitor displays, smoothed so a single short tick does not whipsaw
+   the reading. *)
+module Ewma = struct
+  type nonrec t = {
+    alpha : float;
+    mutable last_t : float;
+    mutable last_v : float;
+    mutable avg : float;
+    mutable inst : float;
+    mutable n : int;  (* completed windows *)
+  }
+
+  let create ?(alpha = 0.3) () =
+    if alpha <= 0. || alpha > 1. then invalid_arg "Window.Ewma.create: alpha";
+    { alpha; last_t = nan; last_v = nan; avg = nan; inst = nan; n = 0 }
+
+  let tick t ~now v =
+    if t.n = 0 && Float.is_nan t.last_t then begin
+      t.last_t <- now;
+      t.last_v <- v
+    end
+    else begin
+      let dt = now -. t.last_t in
+      if dt > 0. then begin
+        let r = (v -. t.last_v) /. dt in
+        t.inst <- r;
+        t.avg <-
+          (if t.n = 0 then r else (t.alpha *. r) +. ((1. -. t.alpha) *. t.avg));
+        t.n <- t.n + 1;
+        t.last_t <- now;
+        t.last_v <- v
+      end
+      (* dt = 0: same instant, nothing to rate — keep state unchanged *)
+    end
+
+  let rate t = t.avg
+  let last_rate t = t.inst
+  let windows t = t.n
+end

@@ -1,0 +1,66 @@
+(** Sliding-window statistics: "p99 over the last tick", not since boot.
+
+    A [Window.t] wraps a live {!Histogram} and closes a window on every
+    {!tick} using bucket-delta snapshots; the statistics below then
+    describe exactly the observations made between the last two ticks.
+    Detectors and the live monitor need this shape: the stealth-paced
+    attack variants shift windowed latency percentiles long before they
+    move lifetime aggregates. Allocation-free after {!create}. *)
+
+type t
+
+val create : Histogram.t -> t
+(** Wrap a histogram. The first window opens at creation time. *)
+
+val tick : t -> unit
+(** Close the current window (making it the one the readers below
+    describe) and open the next. *)
+
+val ticks : t -> int
+(** Windows closed so far. Before the first {!tick} every reader
+    describes an empty window. *)
+
+val snapshot : t -> Histogram.snapshot
+(** The last closed window's bucket deltas — a live view, overwritten
+    by the next {!tick}. Do not mutate; {!Histogram.snapshot_merge} it
+    into a caller-owned accumulator to aggregate windows across shards
+    (same geometry required). *)
+
+val count : t -> int
+val sum : t -> float
+
+val mean : t -> float
+(** [nan] on an empty window. *)
+
+val percentile : t -> float -> float
+(** Bucket-resolution nearest-rank percentile of the last closed
+    window; [nan] when empty. Raises [Invalid_argument] on [p] outside
+    [\[0, 100\]] or NaN. *)
+
+val p50 : t -> float
+val p99 : t -> float
+
+(** Exponentially weighted moving average of a {e cumulative} counter's
+    per-second rate (packets, bytes, upcalls...). *)
+module Ewma : sig
+  type t
+
+  val create : ?alpha:float -> unit -> t
+  (** [alpha] (default 0.3) weights the newest window; raises
+      [Invalid_argument] outside (0, 1]. *)
+
+  val tick : t -> now:float -> float -> unit
+  (** Feed the counter's cumulative value at time [now]. The first call
+      only anchors; each later call with [now] strictly past the last
+      closes a window and folds its rate in. Equal timestamps are
+      ignored. *)
+
+  val rate : t -> float
+  (** Smoothed per-second rate; [nan] until one window has closed. *)
+
+  val last_rate : t -> float
+  (** The newest window's instantaneous rate; [nan] until one window
+      has closed. *)
+
+  val windows : t -> int
+end

@@ -50,15 +50,19 @@ let test_scan_order_is_creation_order () =
     Alcotest.(check int) "one probe" 1 s.Megaflow.s_probes
   | None -> Alcotest.fail "expected hit"
 
-(* The retiring [last_probes] side-channel must keep answering until its
-   removal next release; this is its only sanctioned in-tree use. *)
-let test_last_probes_compat () =
+(* [last_probes] is gone (0.11.0, as 0.10.0's CHANGES announced); the
+   caller-owned stats record is the only probe-reporting channel and a
+   plain [lookup] still answers without one. *)
+let test_probe_reporting_post_retirement () =
   let mf = mk () in
   let key = Flow.make ~ip_src:(ip "10.0.0.0") () in
   ignore (Megaflow.insert mf ~key ~mask:(src_mask 8) ~action:Action.Drop ~revision:0 ~now:0. ());
-  ignore (Megaflow.lookup mf key ~now:0. ~pkt_len:1);
-  let probes = (Megaflow.last_probes [@alert "-retiring"]) mf in
-  Alcotest.(check int) "side-channel still reports" 1 probes
+  (match Megaflow.lookup mf key ~now:0. ~pkt_len:1 with
+   | Some _ -> ()
+   | None -> Alcotest.fail "expected hit");
+  let s = Megaflow.lookup_stats () in
+  ignore (Megaflow.lookup_s mf s key ~now:0. ~pkt_len:1);
+  Alcotest.(check int) "caller-owned record reports" 1 s.Megaflow.s_probes
 
 let test_replace_same_key () =
   let mf = mk () in
@@ -283,7 +287,7 @@ let suite =
   [ Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
     Alcotest.test_case "miss probes all masks" `Quick test_miss_probes_all_masks;
     Alcotest.test_case "scan order = creation order" `Quick test_scan_order_is_creation_order;
-    Alcotest.test_case "last_probes compat (retiring)" `Quick test_last_probes_compat;
+    Alcotest.test_case "probe reporting post-retirement" `Quick test_probe_reporting_post_retirement;
     Alcotest.test_case "replace same key" `Quick test_replace_same_key;
     Alcotest.test_case "idle expiry" `Quick test_idle_expiry;
     Alcotest.test_case "usage refreshes idle" `Quick test_usage_refreshes_idle;
